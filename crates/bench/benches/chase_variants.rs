@@ -1,0 +1,80 @@
+//! Chase-variant benchmarks (B1): standard vs. semi-oblivious vs. oblivious vs. core
+//! chase on terminating ontology-style workloads (the substrate behind every
+//! ground-truth column of the experiments).
+
+use chase_engine::{CoreChase, ObliviousChase, ObliviousVariant, StandardChase, StepOrder};
+use chase_ontology::generator::{generate, generate_database, OntologyProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn workload(size: usize, facts: usize) -> (chase_core::DependencySet, chase_core::Instance) {
+    let sigma = generate(&OntologyProfile {
+        existential: size / 5,
+        full: size - size / 5 - size / 10,
+        egds: size / 10,
+        cyclic: false,
+        seed: 7,
+    });
+    let db = generate_database(&sigma, facts, 11);
+    (sigma, db)
+}
+
+fn bench_chase_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chase_variants");
+    group.sample_size(10);
+    for &(size, facts) in &[(10usize, 10usize), (20, 20)] {
+        let (sigma, db) = workload(size, facts);
+        group.bench_with_input(
+            BenchmarkId::new("standard_egds_first", format!("{size}x{facts}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    StandardChase::new(&sigma)
+                        .with_order(StepOrder::EgdsFirst)
+                        .with_max_steps(50_000)
+                        .run(&db)
+                        .is_terminating()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("semi_oblivious", format!("{size}x{facts}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    ObliviousChase::new(&sigma, ObliviousVariant::SemiOblivious)
+                        .with_max_steps(50_000)
+                        .run(&db)
+                        .is_terminating()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("oblivious", format!("{size}x{facts}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    ObliviousChase::new(&sigma, ObliviousVariant::Oblivious)
+                        .with_max_steps(50_000)
+                        .run(&db)
+                        .is_terminating()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("core_chase", format!("{size}x{facts}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    CoreChase::new(&sigma)
+                        .with_max_rounds(200)
+                        .run(&db)
+                        .is_terminating()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chase_variants);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criteria-scaling benchmarks (B1): running time of each termination criterion as the
+//! dependency-set size grows, on generated ontology-style inputs. This is the
+//! engineering counterpart of Table 2(b), extended from SAC to all implemented
+//! criteria.
+
+use chase_criteria::prelude::*;
+use chase_ontology::generator::{generate, OntologyProfile};
+use chase_termination::adornment::{adorn_with, AdnConfig, FireableMode};
+use chase_termination::semi_stratification::is_semi_stratified;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ontology(size: usize) -> chase_core::DependencySet {
+    generate(&OntologyProfile {
+        existential: size / 5,
+        full: size - size / 5 - size / 10,
+        egds: size / 10,
+        cyclic: false,
+        seed: 99,
+    })
+}
+
+fn bench_static_criteria(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_criteria");
+    for &size in &[10usize, 20, 40] {
+        let sigma = ontology(size);
+        group.bench_with_input(BenchmarkId::new("weak_acyclicity", size), &sigma, |b, s| {
+            b.iter(|| is_weakly_acyclic(s))
+        });
+        group.bench_with_input(BenchmarkId::new("safety", size), &sigma, |b, s| {
+            b.iter(|| is_safe(s))
+        });
+        group.bench_with_input(BenchmarkId::new("super_weak", size), &sigma, |b, s| {
+            b.iter(|| is_super_weakly_acyclic(s))
+        });
+        group.bench_with_input(BenchmarkId::new("mfa", size), &sigma, |b, s| {
+            b.iter(|| is_mfa(s))
+        });
+    }
+    group.finish();
+}
+
+fn bench_paper_criteria(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paper_criteria");
+    group.sample_size(10);
+    for &size in &[10usize, 20] {
+        let sigma = ontology(size);
+        group.bench_with_input(BenchmarkId::new("semi_stratified", size), &sigma, |b, s| {
+            b.iter(|| is_semi_stratified(s))
+        });
+        let overlap = AdnConfig {
+            fireable_mode: FireableMode::PredicateOverlap,
+            ..AdnConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("adornment_overlap", size), &sigma, |b, s| {
+            b.iter(|| adorn_with(s, &overlap).acyclic)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_criteria, bench_paper_criteria);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Micro-benchmarks (B1): homomorphism search, single chase steps, core computation
+//! and the firing test — the primitives every criterion and every chase variant is
+//! built from.
+
+use chase_core::builder::{atom, var};
+use chase_core::homomorphism::{exists_homomorphism, homomorphisms};
+use chase_core::parser::parse_dependencies;
+use chase_core::{Constant, DepId, Fact, GroundTerm, Instance, NullValue};
+use chase_criteria::firing::{chase_graph_edge, FiringConfig};
+use chase_engine::core_of;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn gc(s: &str) -> GroundTerm {
+    GroundTerm::Const(Constant::new(s))
+}
+
+fn chain_instance(n: usize) -> Instance {
+    Instance::from_facts((0..n).map(|i| {
+        Fact::from_parts("E", vec![gc(&format!("v{i}")), gc(&format!("v{}", i + 1))])
+    }))
+}
+
+fn bench_homomorphisms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("homomorphism");
+    for &n in &[32usize, 128, 512] {
+        let instance = chain_instance(n);
+        let query = vec![
+            atom("E", vec![var("x"), var("y")]),
+            atom("E", vec![var("y"), var("z")]),
+        ];
+        group.bench_with_input(BenchmarkId::new("two_hop_all", n), &n, |b, _| {
+            b.iter(|| homomorphisms(&query, &instance).len())
+        });
+        group.bench_with_input(BenchmarkId::new("two_hop_exists", n), &n, |b, _| {
+            b.iter(|| exists_homomorphism(&query, &instance))
+        });
+    }
+    group.finish();
+}
+
+fn bench_core_of(c: &mut Criterion) {
+    let mut group = c.benchmark_group("core_of");
+    for &nulls in &[4usize, 8, 16] {
+        // A star with redundant null successors that all fold onto the constant hub.
+        let mut inst = Instance::from_facts(vec![Fact::from_parts("E", vec![gc("hub"), gc("spoke")])]);
+        for i in 0..nulls {
+            inst.insert(Fact::from_parts(
+                "E",
+                vec![gc("hub"), GroundTerm::Null(NullValue(i as u64))],
+            ));
+        }
+        group.bench_with_input(BenchmarkId::from_parameter(nulls), &nulls, |b, _| {
+            b.iter(|| core_of(&inst).len())
+        });
+    }
+    group.finish();
+}
+
+fn bench_firing_test(c: &mut Criterion) {
+    let sigma = parse_dependencies(
+        r#"
+        r1: N(?x) -> exists ?y: E(?x, ?y).
+        r2: E(?x, ?y) -> N(?y).
+        r3: E(?x, ?y) -> ?x = ?y.
+        "#,
+    )
+    .unwrap();
+    let config = FiringConfig::default();
+    c.bench_function("firing_test/r1_fires_r2", |b| {
+        b.iter(|| chase_graph_edge(sigma.get(DepId(0)), sigma.get(DepId(1)), &config))
+    });
+    c.bench_function("firing_test/r2_no_edge_to_r3", |b| {
+        b.iter(|| chase_graph_edge(sigma.get(DepId(1)), sigma.get(DepId(2)), &config))
+    });
+}
+
+criterion_group!(benches, bench_homomorphisms, bench_core_of, bench_firing_test);
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! # chase-bench
+//!
+//! Shared infrastructure for the experiment binaries that regenerate every table and
+//! figure of Calautti et al. (PVLDB 2016) — see `EXPERIMENTS.md` at the workspace root
+//! for the experiment index — plus the Criterion micro-benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper_sets;
+
+use chase_core::DependencySet;
+use chase_engine::{ChaseOutcome, StandardChase, StepOrder};
+use chase_ontology::generator::generate_database;
+use std::time::{Duration, Instant};
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Clone, Debug)]
+pub struct ExperimentOptions {
+    /// RNG seed for corpus generation.
+    pub seed: u64,
+    /// Scale factor applied to the corpus sizes of Table 2(a).
+    pub scale: f64,
+    /// Fraction of generated ontologies that receive a non-terminating gadget.
+    pub cyclic_fraction: f64,
+    /// Step budget of the ground-truth standard chase (stands in for the paper's
+    /// 24-hour timeout).
+    pub chase_budget: usize,
+    /// Number of database facts used for the ground-truth chase.
+    pub database_facts: usize,
+}
+
+impl Default for ExperimentOptions {
+    fn default() -> Self {
+        ExperimentOptions {
+            seed: 20160396,
+            scale: 0.01,
+            cyclic_fraction: 0.55,
+            chase_budget: 1_500,
+            database_facts: 8,
+        }
+    }
+}
+
+impl ExperimentOptions {
+    /// Parses `--seed N`, `--scale X`, `--cyclic-fraction X`, `--budget N`,
+    /// `--facts N` from the process arguments; unknown arguments are ignored.
+    pub fn from_args() -> Self {
+        let mut opts = ExperimentOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() {
+            let value = &args[i + 1];
+            match args[i].as_str() {
+                "--seed" => opts.seed = value.parse().unwrap_or(opts.seed),
+                "--scale" => opts.scale = value.parse().unwrap_or(opts.scale),
+                "--cyclic-fraction" => {
+                    opts.cyclic_fraction = value.parse().unwrap_or(opts.cyclic_fraction)
+                }
+                "--budget" => opts.chase_budget = value.parse().unwrap_or(opts.chase_budget),
+                "--facts" => opts.database_facts = value.parse().unwrap_or(opts.database_facts),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            }
+            i += 2;
+        }
+        opts
+    }
+}
+
+/// Ground-truth verdict for one dependency set: did a standard chase sequence
+/// (EGD-first policy) terminate within the step budget on a generated database?
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaseGroundTruth {
+    /// The chase halted (successfully or with a hard EGD failure).
+    Halted,
+    /// The step budget was exhausted (the paper's "did not halt within 24 hours").
+    DidNotHalt,
+}
+
+/// Runs the ground-truth chase for `sigma`.
+///
+/// The database is the *critical instance* of the set (one fact per predicate over a
+/// single constant) extended with a few random facts: every rule of the set is thereby
+/// exercised, so a set with a genuine null-propagation cycle reliably shows up as
+/// non-halting, mirroring the paper's per-ontology 24-hour chase runs.
+pub fn chase_ground_truth(
+    sigma: &DependencySet,
+    opts: &ExperimentOptions,
+    seed: u64,
+) -> ChaseGroundTruth {
+    let db = chase_ontology::generator::critical_database(sigma)
+        .union(&generate_database(sigma, opts.database_facts, seed));
+    let outcome = StandardChase::new(sigma)
+        .with_order(StepOrder::EgdsFirst)
+        .with_max_steps(opts.chase_budget)
+        .run(&db);
+    match outcome {
+        ChaseOutcome::Terminated { .. } | ChaseOutcome::Failed { .. } => ChaseGroundTruth::Halted,
+        ChaseOutcome::BudgetExhausted { .. } => ChaseGroundTruth::DidNotHalt,
+    }
+}
+
+/// Times a closure, returning its result and the elapsed wall-clock time.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Renders a simple aligned text table (header + rows) for the experiment binaries.
+pub fn render_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_dependencies;
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let s = render_table(
+            "demo",
+            &["a", "bbbb"],
+            &[vec!["xx".into(), "y".into()], vec!["1".into(), "22222".into()]],
+        );
+        assert!(s.contains("== demo =="));
+        assert!(s.lines().count() >= 4);
+    }
+
+    #[test]
+    fn ground_truth_detects_halting_and_non_halting_sets() {
+        let opts = ExperimentOptions {
+            chase_budget: 300,
+            database_facts: 4,
+            ..ExperimentOptions::default()
+        };
+        let halting = parse_dependencies("r: A(?x) -> B(?x).").unwrap();
+        assert_eq!(chase_ground_truth(&halting, &opts, 1), ChaseGroundTruth::Halted);
+        let diverging = parse_dependencies(
+            "r1: C0(?x) -> exists ?y: R0(?x, ?y). r2: R0(?x, ?y) -> C0(?y).",
+        )
+        .unwrap();
+        assert_eq!(
+            chase_ground_truth(&diverging, &opts, 1),
+            ChaseGroundTruth::DidNotHalt
+        );
+    }
+
+    #[test]
+    fn default_options_are_sensible() {
+        let opts = ExperimentOptions::default();
+        assert!(opts.scale > 0.0 && opts.scale <= 1.0);
+        assert!(opts.chase_budget > 0);
+    }
+}

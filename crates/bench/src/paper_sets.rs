@@ -1,0 +1,145 @@
+//! The dependency sets used as running examples in the paper, shared by the experiment
+//! binaries and the integration tests.
+
+use chase_core::parser::{parse_database, parse_dependencies};
+use chase_core::{DependencySet, Instance};
+
+/// Σ1 of Example 1: the motivating set — only some standard chase sequences terminate.
+pub fn sigma1() -> DependencySet {
+    parse_dependencies(
+        r#"
+        r1: N(?x) -> exists ?y: E(?x, ?y).
+        r2: E(?x, ?y) -> N(?y).
+        r3: E(?x, ?y) -> ?x = ?y.
+        "#,
+    )
+    .expect("Σ1 parses")
+}
+
+/// The database `D = {N(a)}` of Example 1.
+pub fn sigma1_database() -> Instance {
+    parse_database("N(a).").expect("database parses")
+}
+
+/// Σ3 of Example 3: two existential TGDs with a two-null universal model.
+pub fn sigma3() -> DependencySet {
+    parse_dependencies(
+        r#"
+        r1: P(?x, ?y) -> exists ?z: E(?x, ?z).
+        r2: Q(?x, ?y) -> exists ?z: E(?z, ?y).
+        "#,
+    )
+    .expect("Σ3 parses")
+}
+
+/// The database of Example 3.
+pub fn sigma3_database() -> Instance {
+    parse_database("P(a, b). Q(c, d).").expect("database parses")
+}
+
+/// Σ6 of Example 6: standard chase is empty, semi-oblivious terminates, oblivious
+/// diverges.
+pub fn sigma6() -> DependencySet {
+    parse_dependencies("r: E(?x, ?y) -> exists ?z: E(?x, ?z).").expect("Σ6 parses")
+}
+
+/// The database of Example 6.
+pub fn sigma6_database() -> Instance {
+    parse_database("E(a, b).").expect("database parses")
+}
+
+/// Σ8 of Example 8: in `CT_∀`, but every EGD→TGD simulation of it diverges (Theorem 2).
+pub fn sigma8() -> DependencySet {
+    parse_dependencies(
+        r#"
+        r1: A(?x), B(?x) -> C(?x).
+        r2: C(?x) -> exists ?y: A(?x), B(?y).
+        r3: C(?x) -> exists ?y: A(?y), B(?x).
+        r4: A(?x), A(?y) -> ?x = ?y.
+        r5: B(?x), B(?y) -> ?x = ?y.
+        "#,
+    )
+    .expect("Σ8 parses")
+}
+
+/// A small database exercising Σ8.
+pub fn sigma8_database() -> Instance {
+    parse_database("C(a).").expect("database parses")
+}
+
+/// Σ10 of Example 10: the TGDs alone terminate, adding the EGD destroys termination.
+pub fn sigma10() -> DependencySet {
+    parse_dependencies(
+        r#"
+        r1: N(?x) -> exists ?y, ?z: E(?x, ?y, ?z).
+        r2: E(?x, ?y, ?y) -> N(?y).
+        r3: E(?x, ?y, ?z) -> ?y = ?z.
+        "#,
+    )
+    .expect("Σ10 parses")
+}
+
+/// The database of Example 10.
+pub fn sigma10_database() -> Instance {
+    parse_database("N(a).").expect("database parses")
+}
+
+/// Σ11 of Example 11: semi-stratified but not stratified (Figure 1).
+pub fn sigma11() -> DependencySet {
+    parse_dependencies(
+        r#"
+        r1: N(?x) -> exists ?y: E(?x, ?y).
+        r2: E(?x, ?y) -> N(?y).
+        r3: E(?x, ?y) -> E(?y, ?x).
+        "#,
+    )
+    .expect("Σ11 parses")
+}
+
+/// The database used for Σ11 in Example 11.
+pub fn sigma11_database() -> Instance {
+    parse_database("N(a).").expect("database parses")
+}
+
+/// All named paper sets with human-readable identifiers.
+pub fn all_named_sets() -> Vec<(&'static str, DependencySet)> {
+    vec![
+        ("Σ1 (Ex.1)", sigma1()),
+        ("Σ3 (Ex.3)", sigma3()),
+        ("Σ6 (Ex.6)", sigma6()),
+        ("Σ8 (Ex.8)", sigma8()),
+        ("Σ10 (Ex.10)", sigma10()),
+        ("Σ11 (Ex.11)", sigma11()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_sets_parse_with_expected_sizes() {
+        assert_eq!(sigma1().len(), 3);
+        assert_eq!(sigma3().len(), 2);
+        assert_eq!(sigma6().len(), 1);
+        assert_eq!(sigma8().len(), 5);
+        assert_eq!(sigma10().len(), 3);
+        assert_eq!(sigma11().len(), 3);
+        assert_eq!(all_named_sets().len(), 6);
+    }
+
+    #[test]
+    fn databases_are_ground() {
+        for db in [
+            sigma1_database(),
+            sigma3_database(),
+            sigma6_database(),
+            sigma8_database(),
+            sigma10_database(),
+            sigma11_database(),
+        ] {
+            assert!(db.is_database());
+            assert!(!db.is_empty());
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Certain answers to (unions of) conjunctive queries via universal models.
+//!
+//! The certain answers to a union of conjunctive queries `Q` over `(D, Σ)` can be
+//! computed by evaluating `Q` over an arbitrary universal model and keeping only the
+//! answer tuples free of labeled nulls (`Q(I)↓`, Section 2 of the paper).
+
+use chase_core::homomorphism::homomorphisms;
+use chase_core::{Atom, GroundTerm, Instance, Variable};
+use std::collections::BTreeSet;
+
+/// A conjunctive query: a conjunction of atoms plus a tuple of answer variables.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// The query body.
+    pub body: Vec<Atom>,
+    /// The answer (head) variables, in output order.
+    pub answer_vars: Vec<Variable>,
+}
+
+impl ConjunctiveQuery {
+    /// Creates a conjunctive query; answer variables must occur in the body.
+    pub fn new(body: Vec<Atom>, answer_vars: Vec<Variable>) -> Self {
+        ConjunctiveQuery { body, answer_vars }
+    }
+
+    /// Evaluates the query over an instance, returning all answer tuples (which may
+    /// contain labeled nulls).
+    pub fn evaluate(&self, instance: &Instance) -> BTreeSet<Vec<GroundTerm>> {
+        homomorphisms(&self.body, instance)
+            .into_iter()
+            .map(|h| {
+                self.answer_vars
+                    .iter()
+                    .map(|v| h.get(*v).expect("answer variables must occur in the body"))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Evaluates a union of conjunctive queries over a universal model and keeps only the
+/// null-free answers: `certain(Q, D, Σ) = Q(I)↓`.
+pub fn certain_answers(
+    queries: &[ConjunctiveQuery],
+    universal_model: &Instance,
+) -> BTreeSet<Vec<GroundTerm>> {
+    queries
+        .iter()
+        .flat_map(|q| q.evaluate(universal_model))
+        .filter(|tuple| tuple.iter().all(GroundTerm::is_const))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::standard::StandardChase;
+    use chase_core::builder::{atom, var};
+    use chase_core::parser::parse_program;
+    use chase_core::Constant;
+
+    fn gc(s: &str) -> GroundTerm {
+        GroundTerm::Const(Constant::new(s))
+    }
+
+    #[test]
+    fn certain_answers_drop_null_tuples() {
+        // Data exchange style: copy employees, invent a department.
+        let p = parse_program(
+            r#"
+            r1: Emp(?e) -> exists ?d: Works(?e, ?d).
+            r2: Emp(?e) -> Person(?e).
+            Emp(alice). Emp(bob).
+            "#,
+        )
+        .unwrap();
+        let out = StandardChase::new(&p.dependencies).run(&p.database);
+        let model = out.instance().unwrap();
+
+        // Q1(x) :- Person(x): both constants are certain.
+        let q1 = ConjunctiveQuery::new(vec![atom("Person", vec![var("x")])], vec![Variable::new("x")]);
+        let ans = certain_answers(&[q1], model);
+        assert_eq!(ans.len(), 2);
+        assert!(ans.contains(&vec![gc("alice")]));
+
+        // Q2(d) :- Works(alice, d): the department is a null, so there is no certain answer.
+        let q2 = ConjunctiveQuery::new(
+            vec![atom("Works", vec![chase_core::builder::cst("alice"), var("d")])],
+            vec![Variable::new("d")],
+        );
+        let ans2 = certain_answers(&[q2], model);
+        assert!(ans2.is_empty());
+
+        // Boolean query Q3() :- Works(alice, d): certain (the empty tuple is null-free).
+        let q3 = ConjunctiveQuery::new(
+            vec![atom("Works", vec![chase_core::builder::cst("alice"), var("d")])],
+            vec![],
+        );
+        let ans3 = certain_answers(&[q3], model);
+        assert_eq!(ans3.len(), 1);
+        assert!(ans3.contains(&vec![]));
+    }
+
+    #[test]
+    fn union_of_queries() {
+        let p = parse_program("A(a). B(b).").unwrap();
+        let qa = ConjunctiveQuery::new(vec![atom("A", vec![var("x")])], vec![Variable::new("x")]);
+        let qb = ConjunctiveQuery::new(vec![atom("B", vec![var("x")])], vec![Variable::new("x")]);
+        let ans = certain_answers(&[qa, qb], &p.database);
+        assert_eq!(ans.len(), 2);
+    }
+
+    #[test]
+    fn evaluation_includes_null_tuples_before_filtering() {
+        let p = parse_program(
+            r#"
+            r1: Emp(?e) -> exists ?d: Works(?e, ?d).
+            Emp(alice).
+            "#,
+        )
+        .unwrap();
+        let out = StandardChase::new(&p.dependencies).run(&p.database);
+        let model = out.instance().unwrap();
+        let q = ConjunctiveQuery::new(
+            vec![atom("Works", vec![var("e"), var("d")])],
+            vec![Variable::new("e"), Variable::new("d")],
+        );
+        let raw = q.evaluate(model);
+        assert_eq!(raw.len(), 1);
+        let certain = certain_answers(&[q], model);
+        assert!(certain.is_empty());
+    }
+}

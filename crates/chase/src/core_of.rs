@@ -1,0 +1,200 @@
+//! Core computation: the smallest retract of an instance.
+//!
+//! A subset `C ⊆ J` is a core of `J` if there is a homomorphism from `J` to `C` but
+//! none from `J` to a proper subset of `C`. Cores are unique up to isomorphism. The
+//! algorithm used here folds labeled nulls one at a time: it repeatedly searches for an
+//! endomorphism that maps some null to a different term while keeping every other null
+//! fixed, and replaces the instance by its image. This is the classical retract
+//! computation used by core-chase prototypes; it is exact on the instances produced in
+//! this workspace (see DESIGN.md §4 for the discussion).
+
+use chase_core::homomorphism::{find_homomorphism_extending, Assignment};
+use chase_core::{Atom, Fact, GroundTerm, Instance, NullValue, Term, Variable};
+
+fn null_var(n: NullValue) -> Variable {
+    Variable::new(&format!("__fold_{}", n.0))
+}
+
+/// Converts the facts of an instance into atoms in which every labeled null is replaced
+/// by a designated variable, so that an endomorphism search can move nulls.
+fn atoms_with_null_vars(instance: &Instance) -> Vec<Atom> {
+    instance
+        .facts()
+        .map(|f| {
+            f.to_atom().map_terms(|t| match t {
+                Term::Null(n) => Term::Var(null_var(*n)),
+                other => *other,
+            })
+        })
+        .collect()
+}
+
+/// Tries to fold away a single null: find an endomorphism `h : J → J` with
+/// `h(target) ≠ target` (other nulls are free to move as well) whose image is strictly
+/// smaller than `J`, measured lexicographically by `(#facts, #nulls)`.
+fn fold_null(instance: &Instance, target: NullValue) -> Option<Instance> {
+    let atoms = atoms_with_null_vars(instance);
+    // Candidate images for the folded null: any ground term of the instance except the
+    // null itself. We try constants first (more likely to reach the core quickly).
+    let mut candidates: Vec<GroundTerm> = instance
+        .constants()
+        .into_iter()
+        .map(GroundTerm::Const)
+        .collect();
+    candidates.extend(
+        instance
+            .nulls()
+            .into_iter()
+            .filter(|&n| n != target)
+            .map(GroundTerm::Null),
+    );
+    for image in candidates {
+        let mut attempt = Assignment::new();
+        attempt.bind(null_var(target), image);
+        if let Some(h) = find_homomorphism_extending(&atoms, instance, &attempt) {
+            // The endomorphism exists: apply it to obtain the image.
+            let mut folded = Instance::new();
+            for fact in instance.facts() {
+                let new_terms: Vec<GroundTerm> = fact
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        GroundTerm::Null(n) => h
+                            .get(null_var(*n))
+                            .expect("every null variable is bound by the endomorphism"),
+                        other => *other,
+                    })
+                    .collect();
+                folded.insert(Fact {
+                    predicate: fact.predicate,
+                    terms: new_terms,
+                });
+            }
+            let shrinks = folded.len() < instance.len()
+                || (folded.len() == instance.len()
+                    && folded.nulls().len() < instance.nulls().len());
+            if shrinks {
+                return Some(folded);
+            }
+        }
+    }
+    None
+}
+
+/// Computes the core of an instance by iterated null folding.
+pub fn core_of(instance: &Instance) -> Instance {
+    let mut current = instance.clone();
+    loop {
+        let nulls = current.nulls();
+        let mut progressed = false;
+        for n in nulls {
+            if let Some(folded) = fold_null(&current, n) {
+                current = folded;
+                progressed = true;
+                break;
+            }
+        }
+        if !progressed {
+            return current;
+        }
+    }
+}
+
+/// Returns `true` iff the instance is its own core (no null can be folded away).
+pub fn is_core(instance: &Instance) -> bool {
+    instance.nulls().into_iter().all(|n| fold_null(instance, n).is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::Constant;
+
+    fn gc(s: &str) -> GroundTerm {
+        GroundTerm::Const(Constant::new(s))
+    }
+    fn gn(i: u64) -> GroundTerm {
+        GroundTerm::Null(NullValue(i))
+    }
+
+    #[test]
+    fn database_is_its_own_core() {
+        let d = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![gc("a"), gc("b")]),
+            Fact::from_parts("E", vec![gc("b"), gc("c")]),
+        ]);
+        assert!(is_core(&d));
+        assert_eq!(core_of(&d), d);
+    }
+
+    #[test]
+    fn redundant_null_fact_is_folded_away() {
+        // {E(a, b), E(a, η1)}: η1 folds onto b, core is {E(a, b)}.
+        let j = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![gc("a"), gc("b")]),
+            Fact::from_parts("E", vec![gc("a"), gn(1)]),
+        ]);
+        let core = core_of(&j);
+        assert_eq!(core.len(), 1);
+        assert!(core.contains(&Fact::from_parts("E", vec![gc("a"), gc("b")])));
+        assert!(!is_core(&j));
+    }
+
+    #[test]
+    fn example3_universal_model_is_a_core() {
+        // J1 = {P(a,b), Q(c,d), E(a, η1), E(η2, d)} is a core: η1 cannot fold onto d
+        // (that would require E(a, d) to be present), η2 cannot fold onto a.
+        let j1 = Instance::from_facts(vec![
+            Fact::from_parts("P", vec![gc("a"), gc("b")]),
+            Fact::from_parts("Q", vec![gc("c"), gc("d")]),
+            Fact::from_parts("E", vec![gc("a"), gn(1)]),
+            Fact::from_parts("E", vec![gn(2), gc("d")]),
+        ]);
+        assert!(is_core(&j1));
+        assert_eq!(core_of(&j1), j1);
+    }
+
+    #[test]
+    fn chain_of_nulls_collapses_onto_constants() {
+        // {E(a, η1), E(η1, η2), E(a, b), E(b, c)}: η1 → b, then η2 → c.
+        let j = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![gc("a"), gn(1)]),
+            Fact::from_parts("E", vec![gn(1), gn(2)]),
+            Fact::from_parts("E", vec![gc("a"), gc("b")]),
+            Fact::from_parts("E", vec![gc("b"), gc("c")]),
+        ]);
+        let core = core_of(&j);
+        assert_eq!(core.len(), 2);
+        assert!(core.nulls().is_empty());
+    }
+
+    #[test]
+    fn nulls_that_carry_information_are_kept() {
+        // {E(a, η1)} alone: η1 has nothing to fold onto, the instance is a core.
+        let j = Instance::from_facts(vec![Fact::from_parts("E", vec![gc("a"), gn(1)])]);
+        assert!(is_core(&j));
+    }
+
+    #[test]
+    fn symmetric_pair_of_nulls_folds_to_one_fact() {
+        // {R(η1, η2), R(η2, η1)}: the core is a single fact R(η, η)?  No — folding
+        // η1 ↦ η2 requires R(η2, η2) to be present, which it is not, so both facts stay.
+        let j = Instance::from_facts(vec![
+            Fact::from_parts("R", vec![gn(1), gn(2)]),
+            Fact::from_parts("R", vec![gn(2), gn(1)]),
+        ]);
+        assert!(is_core(&j));
+        // Adding the loop R(η3, η3) makes everything fold onto it.
+        let mut j2 = j.clone();
+        j2.insert(Fact::from_parts("R", vec![gn(3), gn(3)]));
+        let core = core_of(&j2);
+        assert_eq!(core.len(), 1);
+    }
+
+    #[test]
+    fn empty_instance_core() {
+        let e = Instance::new();
+        assert!(is_core(&e));
+        assert!(core_of(&e).is_empty());
+    }
+}

@@ -1,0 +1,66 @@
+//! # chase-engine
+//!
+//! The chase procedure over TGDs and EGDs, in the four variants used by Calautti et
+//! al. (PVLDB 2016): **standard**, **oblivious**, **semi-oblivious** and **core**
+//! chase, together with core computation, universal-model checks and certain-answer
+//! evaluation.
+//!
+//! The central operation is the *chase step* of Definition 1: enforcing a single
+//! dependency under a homomorphism, either by adding facts with fresh labeled nulls
+//! (TGDs) or by replacing a labeled null with another term (EGDs), possibly failing
+//! when an EGD equates two distinct constants.
+//!
+//! ```
+//! use chase_core::parser::parse_program;
+//! use chase_engine::{StandardChase, StepOrder};
+//!
+//! let p = parse_program(
+//!     r#"
+//!     r1: N(?x) -> exists ?y: E(?x, ?y).
+//!     r2: E(?x, ?y) -> N(?y).
+//!     r3: E(?x, ?y) -> ?x = ?y.
+//!     N(a).
+//!     "#,
+//! )
+//! .unwrap();
+//!
+//! // Enforcing EGDs eagerly yields the terminating sequence of Example 1.
+//! let outcome = StandardChase::new(&p.dependencies)
+//!     .with_order(StepOrder::EgdsFirst)
+//!     .with_max_steps(1_000)
+//!     .run(&p.database);
+//! assert!(outcome.is_terminating());
+//! assert_eq!(outcome.instance().unwrap().len(), 2); // {N(a), E(a, a)}
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod certain;
+pub mod core_chase;
+pub mod core_of;
+pub mod oblivious;
+pub mod result;
+pub mod standard;
+pub mod step;
+pub mod universal;
+
+pub use certain::{certain_answers, ConjunctiveQuery};
+pub use core_chase::CoreChase;
+pub use core_of::{core_of, is_core};
+pub use oblivious::{ObliviousChase, ObliviousVariant};
+pub use result::{ChaseOutcome, ChaseStats};
+pub use standard::{StandardChase, StepOrder};
+pub use step::{applicable_standard_triggers, apply_step, StepEffect, Trigger};
+pub use universal::{homomorphically_equivalent, is_model, is_universal_model_among};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::certain::{certain_answers, ConjunctiveQuery};
+    pub use crate::core_chase::CoreChase;
+    pub use crate::core_of::{core_of, is_core};
+    pub use crate::oblivious::{ObliviousChase, ObliviousVariant};
+    pub use crate::result::{ChaseOutcome, ChaseStats};
+    pub use crate::standard::{StandardChase, StepOrder};
+    pub use crate::universal::{homomorphically_equivalent, is_model};
+}

@@ -1,0 +1,326 @@
+//! The oblivious and semi-oblivious chase.
+//!
+//! Both variants apply a chase step for a trigger `(r, h)` unless an "equivalent"
+//! trigger was already applied earlier in the sequence, where equivalence is judged
+//! modulo the EGD substitutions applied in between (`h_i(x) = h_j(x) γ_j · · · γ_{i-1}`
+//! in the paper):
+//!
+//! * the **oblivious** chase compares the images of *all* body variables;
+//! * the **semi-oblivious** chase compares only the variables occurring in both the
+//!   body and the head (for an EGD: the two equated variables).
+//!
+//! In particular, a TGD step is applied even when its head is already satisfied
+//! (contrast with the standard chase, cf. Example 6 of the paper).
+
+use crate::result::{ChaseOutcome, ChaseStats};
+use crate::step::{apply_step, StepEffect, Trigger};
+use chase_core::homomorphism::{Assignment, HomomorphismSearch};
+use chase_core::substitution::NullSubstitution;
+use chase_core::{DepId, Dependency, DependencySet, GroundTerm, Instance, Variable};
+use std::collections::HashSet;
+use std::ops::ControlFlow;
+
+/// Which oblivious variant to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObliviousVariant {
+    /// The oblivious chase (Skolemisation over all body variables).
+    Oblivious,
+    /// The semi-oblivious chase (Skolemisation over the frontier only).
+    SemiOblivious,
+}
+
+/// Runner for the oblivious / semi-oblivious chase.
+#[derive(Clone)]
+pub struct ObliviousChase<'a> {
+    sigma: &'a DependencySet,
+    variant: ObliviousVariant,
+    max_steps: usize,
+}
+
+impl<'a> ObliviousChase<'a> {
+    /// Creates a runner for the given variant with a budget of 100 000 steps.
+    pub fn new(sigma: &'a DependencySet, variant: ObliviousVariant) -> Self {
+        ObliviousChase {
+            sigma,
+            variant,
+            max_steps: 100_000,
+        }
+    }
+
+    /// Sets the step budget.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// The variables of `dep` that participate in the trigger key for this variant,
+    /// in a fixed (sorted) order.
+    fn key_variables(&self, dep: &Dependency) -> Vec<Variable> {
+        let body_vars = dep.body_variables();
+        let relevant: Vec<Variable> = match self.variant {
+            ObliviousVariant::Oblivious => body_vars.into_iter().collect(),
+            ObliviousVariant::SemiOblivious => match dep {
+                Dependency::Tgd(t) => {
+                    let frontier = t.frontier_variables();
+                    body_vars
+                        .into_iter()
+                        .filter(|v| frontier.contains(v))
+                        .collect()
+                }
+                Dependency::Egd(e) => body_vars
+                    .into_iter()
+                    .filter(|v| *v == e.left || *v == e.right)
+                    .collect(),
+            },
+        };
+        relevant
+    }
+
+    /// Runs the chase on `database`.
+    pub fn run(&self, database: &Instance) -> ChaseOutcome {
+        self.run_with_trace(database, |_, _| {})
+    }
+
+    /// Runs the chase, invoking `observer` after every applied step.
+    pub fn run_with_trace(
+        &self,
+        database: &Instance,
+        mut observer: impl FnMut(&Trigger, &StepEffect),
+    ) -> ChaseOutcome {
+        let key_vars: Vec<Vec<Variable>> = self
+            .sigma
+            .iter()
+            .map(|(_, dep)| self.key_variables(dep))
+            .collect();
+        // Fired trigger keys per dependency, kept up to date under EGD substitutions.
+        let mut fired: Vec<Vec<Vec<GroundTerm>>> = vec![Vec::new(); self.sigma.len()];
+        let mut fired_lookup: Vec<HashSet<Vec<GroundTerm>>> =
+            vec![HashSet::new(); self.sigma.len()];
+
+        let mut current = database.clone();
+        let mut stats = ChaseStats::default();
+        loop {
+            if stats.steps >= self.max_steps {
+                return ChaseOutcome::BudgetExhausted {
+                    instance: current,
+                    stats,
+                };
+            }
+            let next_trigger = self.find_new_trigger(&current, &key_vars, &fired_lookup);
+            let (dep_id, assignment, key) = match next_trigger {
+                Some(t) => t,
+                None => {
+                    return ChaseOutcome::Terminated {
+                        instance: current,
+                        stats,
+                    }
+                }
+            };
+            let dep = self.sigma.get(dep_id);
+            let (next, effect) = apply_step(&current, dep, &assignment);
+            let trigger = Trigger {
+                dep: dep_id,
+                assignment,
+            };
+            match &effect {
+                StepEffect::Failure => {
+                    stats.steps += 1;
+                    observer(&trigger, &effect);
+                    return ChaseOutcome::Failed { stats };
+                }
+                StepEffect::NotApplicable => {
+                    // An EGD trigger with equal images: Definition 1 yields no chase
+                    // step. Record the key so we do not reconsider it forever.
+                    fired[dep_id.0].push(key.clone());
+                    fired_lookup[dep_id.0].insert(key);
+                    continue;
+                }
+                StepEffect::AddedFacts { facts, fresh_nulls } => {
+                    stats.steps += 1;
+                    stats.facts_added += facts.len();
+                    stats.nulls_created += fresh_nulls;
+                }
+                StepEffect::Substituted { .. } => {
+                    stats.steps += 1;
+                    stats.null_replacements += 1;
+                }
+            }
+            // Record the trigger key, then propagate the substitution (if any) to all
+            // recorded keys so that future comparisons are "modulo γ_j · · · γ_{i-1}".
+            fired[dep_id.0].push(key.clone());
+            fired_lookup[dep_id.0].insert(key);
+            if let StepEffect::Substituted { gamma } = &effect {
+                apply_gamma_to_keys(&mut fired, &mut fired_lookup, gamma);
+            }
+            observer(&trigger, &effect);
+            current = next.expect("non-failing steps produce a successor instance");
+        }
+    }
+
+    /// Finds a trigger whose key has not been fired yet.
+    fn find_new_trigger(
+        &self,
+        instance: &Instance,
+        key_vars: &[Vec<Variable>],
+        fired_lookup: &[HashSet<Vec<GroundTerm>>],
+    ) -> Option<(DepId, Assignment, Vec<GroundTerm>)> {
+        for (id, dep) in self.sigma.iter() {
+            let vars = &key_vars[id.0];
+            let search = HomomorphismSearch::new(dep.body(), instance);
+            let found = search.for_each_extending(&Assignment::new(), &mut |h| {
+                let key: Vec<GroundTerm> = vars
+                    .iter()
+                    .map(|v| h.get(*v).expect("body variables are bound"))
+                    .collect();
+                if fired_lookup[id.0].contains(&key) {
+                    ControlFlow::Continue(())
+                } else {
+                    ControlFlow::Break((h.clone(), key))
+                }
+            });
+            if let Some((h, key)) = found {
+                return Some((id, h, key));
+            }
+        }
+        None
+    }
+}
+
+fn apply_gamma_to_keys(
+    fired: &mut [Vec<Vec<GroundTerm>>],
+    fired_lookup: &mut [HashSet<Vec<GroundTerm>>],
+    gamma: &NullSubstitution,
+) {
+    for (keys, lookup) in fired.iter_mut().zip(fired_lookup.iter_mut()) {
+        let mut changed = false;
+        for key in keys.iter_mut() {
+            for t in key.iter_mut() {
+                let new = gamma.apply_ground(*t);
+                if new != *t {
+                    *t = new;
+                    changed = true;
+                }
+            }
+        }
+        if changed {
+            lookup.clear();
+            for key in keys.iter() {
+                lookup.insert(key.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_program;
+    use chase_core::satisfaction::satisfies_all;
+
+    #[test]
+    fn example6_semi_oblivious_terminates_oblivious_does_not() {
+        let p = parse_program("r: E(?x, ?y) -> exists ?z: E(?x, ?z). E(a, b).").unwrap();
+        let sobl = ObliviousChase::new(&p.dependencies, ObliviousVariant::SemiOblivious)
+            .run(&p.database);
+        assert!(sobl.is_terminating());
+        // One step: E(a, η1) is added; the trigger with y = η1 has the same frontier
+        // image (x = a) and is therefore skipped.
+        assert_eq!(sobl.stats().steps, 1);
+        assert_eq!(sobl.instance().unwrap().len(), 2);
+
+        let obl = ObliviousChase::new(&p.dependencies, ObliviousVariant::Oblivious)
+            .with_max_steps(100)
+            .run(&p.database);
+        assert!(obl.is_budget_exhausted());
+    }
+
+    #[test]
+    fn example1_oblivious_diverges_even_with_egds() {
+        // For Σ1, the oblivious chase keeps re-firing r1 on new nulls regardless of the
+        // EGD, so it diverges.
+        let p = parse_program(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            N(a).
+            "#,
+        )
+        .unwrap();
+        let obl = ObliviousChase::new(&p.dependencies, ObliviousVariant::Oblivious)
+            .with_max_steps(300)
+            .run(&p.database);
+        assert!(!obl.is_terminating());
+    }
+
+    #[test]
+    fn weakly_acyclic_tgds_terminate_in_all_variants() {
+        let p = parse_program(
+            r#"
+            r1: P(?x, ?y) -> exists ?z: E(?x, ?z).
+            r2: E(?x, ?y) -> M(?y).
+            P(a, b). P(c, d).
+            "#,
+        )
+        .unwrap();
+        for variant in [ObliviousVariant::Oblivious, ObliviousVariant::SemiOblivious] {
+            let out = ObliviousChase::new(&p.dependencies, variant).run(&p.database);
+            assert!(out.is_terminating());
+            assert!(satisfies_all(out.instance().unwrap(), &p.dependencies));
+        }
+    }
+
+    #[test]
+    fn egd_failure_is_detected() {
+        let p = parse_program(
+            r#"
+            k: P(?x, ?y), P(?x, ?z) -> ?y = ?z.
+            P(a, b). P(a, c).
+            "#,
+        )
+        .unwrap();
+        let out = ObliviousChase::new(&p.dependencies, ObliviousVariant::Oblivious)
+            .run(&p.database);
+        assert!(out.is_failing());
+    }
+
+    #[test]
+    fn egd_triggers_are_not_reapplied_after_substitution() {
+        // Functional dependency resolving a null: terminates and satisfies Σ.
+        let p = parse_program(
+            r#"
+            r1: Emp(?x) -> exists ?d: Works(?x, ?d).
+            r2: Works(?x, ?d), Dept(?d) -> Ok(?x).
+            k: Works(?x, ?d1), Works(?x, ?d2) -> ?d1 = ?d2.
+            Emp(e1). Works(e1, d0). Dept(d0).
+            "#,
+        )
+        .unwrap();
+        for variant in [ObliviousVariant::Oblivious, ObliviousVariant::SemiOblivious] {
+            let out = ObliviousChase::new(&p.dependencies, variant).run(&p.database);
+            assert!(out.is_terminating(), "variant {variant:?} must terminate");
+            let j = out.instance().unwrap();
+            assert!(satisfies_all(j, &p.dependencies));
+            // The invented department null is merged into d0 by the key EGD.
+            assert!(j.nulls().is_empty());
+        }
+    }
+
+    #[test]
+    fn oblivious_step_count_at_least_standard() {
+        use crate::standard::StandardChase;
+        let p = parse_program(
+            r#"
+            r1: A(?x) -> exists ?y: B(?x, ?y).
+            r2: B(?x, ?y) -> C(?y).
+            A(a). A(b).
+            "#,
+        )
+        .unwrap();
+        let std_out = StandardChase::new(&p.dependencies).run(&p.database);
+        let obl_out = ObliviousChase::new(&p.dependencies, ObliviousVariant::Oblivious)
+            .run(&p.database);
+        assert!(std_out.is_terminating() && obl_out.is_terminating());
+        assert!(obl_out.stats().steps >= std_out.stats().steps);
+    }
+}

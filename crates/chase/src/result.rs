@@ -1,0 +1,140 @@
+//! Chase outcomes and statistics.
+
+use chase_core::Instance;
+use std::fmt;
+
+/// Statistics collected during a chase run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Number of chase steps applied (for the core chase, number of rounds).
+    pub steps: usize,
+    /// Number of facts added by TGD steps.
+    pub facts_added: usize,
+    /// Number of EGD steps that replaced a null.
+    pub null_replacements: usize,
+    /// Number of fresh labeled nulls invented.
+    pub nulls_created: usize,
+}
+
+/// The outcome of running a chase variant on a database with a dependency set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaseOutcome {
+    /// The sequence is terminating and successful; the result is a (universal) model.
+    Terminated {
+        /// The final instance.
+        instance: Instance,
+        /// Run statistics.
+        stats: ChaseStats,
+    },
+    /// The sequence is failing (`⊥`): an EGD required equating two distinct constants.
+    Failed {
+        /// Run statistics up to the failing step.
+        stats: ChaseStats,
+    },
+    /// The step budget was exhausted before the sequence terminated: the run is
+    /// inconclusive (the sequence may be infinite).
+    BudgetExhausted {
+        /// The instance reached when the budget ran out.
+        instance: Instance,
+        /// Run statistics.
+        stats: ChaseStats,
+    },
+}
+
+impl ChaseOutcome {
+    /// Returns `true` iff the chase terminated successfully.
+    pub fn is_terminating(&self) -> bool {
+        matches!(self, ChaseOutcome::Terminated { .. })
+    }
+
+    /// Returns `true` iff the chase failed (`⊥`).
+    pub fn is_failing(&self) -> bool {
+        matches!(self, ChaseOutcome::Failed { .. })
+    }
+
+    /// Returns `true` iff the step budget was exhausted.
+    pub fn is_budget_exhausted(&self) -> bool {
+        matches!(self, ChaseOutcome::BudgetExhausted { .. })
+    }
+
+    /// The final instance of a terminated run (also available for exhausted runs).
+    pub fn instance(&self) -> Option<&Instance> {
+        match self {
+            ChaseOutcome::Terminated { instance, .. }
+            | ChaseOutcome::BudgetExhausted { instance, .. } => Some(instance),
+            ChaseOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// The run statistics.
+    pub fn stats(&self) -> &ChaseStats {
+        match self {
+            ChaseOutcome::Terminated { stats, .. }
+            | ChaseOutcome::Failed { stats }
+            | ChaseOutcome::BudgetExhausted { stats, .. } => stats,
+        }
+    }
+}
+
+impl fmt::Display for ChaseOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseOutcome::Terminated { instance, stats } => write!(
+                f,
+                "terminated after {} steps with {} facts",
+                stats.steps,
+                instance.len()
+            ),
+            ChaseOutcome::Failed { stats } => {
+                write!(f, "failed (⊥) after {} steps", stats.steps)
+            }
+            ChaseOutcome::BudgetExhausted { stats, .. } => {
+                write!(f, "budget exhausted after {} steps", stats.steps)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let t = ChaseOutcome::Terminated {
+            instance: Instance::new(),
+            stats: ChaseStats::default(),
+        };
+        assert!(t.is_terminating());
+        assert!(!t.is_failing());
+        assert!(t.instance().is_some());
+
+        let fail = ChaseOutcome::Failed {
+            stats: ChaseStats {
+                steps: 3,
+                ..Default::default()
+            },
+        };
+        assert!(fail.is_failing());
+        assert!(fail.instance().is_none());
+        assert_eq!(fail.stats().steps, 3);
+
+        let ex = ChaseOutcome::BudgetExhausted {
+            instance: Instance::new(),
+            stats: ChaseStats::default(),
+        };
+        assert!(ex.is_budget_exhausted());
+        assert!(!ex.is_terminating());
+    }
+
+    #[test]
+    fn display_mentions_steps() {
+        let fail = ChaseOutcome::Failed {
+            stats: ChaseStats {
+                steps: 7,
+                ..Default::default()
+            },
+        };
+        assert!(fail.to_string().contains('7'));
+    }
+}

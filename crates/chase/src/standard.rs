@@ -1,0 +1,321 @@
+//! The standard chase: exhaustive application of *active* triggers.
+//!
+//! A standard chase sequence applies chase steps only to triggers whose TGD head is not
+//! already witnessed (or whose EGD equality does not already hold), and stops when no
+//! further step is applicable. Different trigger-selection policies lead to different
+//! sequences; [`StepOrder`] controls the policy, which is exactly the nondeterminism
+//! the paper exploits (a set may have both terminating and non-terminating sequences,
+//! cf. Example 1).
+
+use crate::result::{ChaseOutcome, ChaseStats};
+use crate::step::{apply_step, first_applicable_trigger, StepEffect, Trigger};
+use chase_core::{DepId, DependencySet, Instance};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Trigger-selection policy of the standard chase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOrder {
+    /// Consider dependencies in the textual order of the dependency set.
+    Textual,
+    /// Consider EGDs first, then full TGDs, then existential TGDs.
+    ///
+    /// This is the policy suggested by the paper's analysis: enforcing EGDs eagerly can
+    /// block the firing of existential TGDs (Definition 2 and Example 11).
+    EgdsFirst,
+    /// Consider all full dependencies (EGDs and full TGDs) before existential TGDs.
+    FullFirst,
+    /// A fixed pseudo-random order derived from the given seed (useful to sample
+    /// different sequences).
+    Shuffled(u64),
+}
+
+/// Runner for the standard chase.
+#[derive(Clone)]
+pub struct StandardChase<'a> {
+    sigma: &'a DependencySet,
+    order: StepOrder,
+    max_steps: usize,
+}
+
+impl<'a> StandardChase<'a> {
+    /// Creates a standard chase runner with the default policy
+    /// ([`StepOrder::EgdsFirst`]) and a budget of 100 000 steps.
+    pub fn new(sigma: &'a DependencySet) -> Self {
+        StandardChase {
+            sigma,
+            order: StepOrder::EgdsFirst,
+            max_steps: 100_000,
+        }
+    }
+
+    /// Sets the trigger-selection policy.
+    pub fn with_order(mut self, order: StepOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Enables or disables EGD priority (a shorthand for switching between
+    /// [`StepOrder::EgdsFirst`] and [`StepOrder::Textual`]).
+    pub fn with_egd_priority(mut self, yes: bool) -> Self {
+        self.order = if yes {
+            StepOrder::EgdsFirst
+        } else {
+            StepOrder::Textual
+        };
+        self
+    }
+
+    /// Sets the step budget.
+    pub fn with_max_steps(mut self, max_steps: usize) -> Self {
+        self.max_steps = max_steps;
+        self
+    }
+
+    /// The dependency order induced by the policy.
+    pub fn dependency_order(&self) -> Vec<DepId> {
+        let mut ids: Vec<DepId> = self.sigma.ids().collect();
+        match self.order {
+            StepOrder::Textual => {}
+            StepOrder::EgdsFirst => {
+                ids.sort_by_key(|&id| {
+                    let dep = self.sigma.get(id);
+                    if dep.is_egd() {
+                        0
+                    } else if dep.is_full() {
+                        1
+                    } else {
+                        2
+                    }
+                });
+            }
+            StepOrder::FullFirst => {
+                ids.sort_by_key(|&id| if self.sigma.get(id).is_full() { 0 } else { 1 });
+            }
+            StepOrder::Shuffled(seed) => {
+                let mut rng = StdRng::seed_from_u64(seed);
+                ids.shuffle(&mut rng);
+            }
+        }
+        ids
+    }
+
+    /// Runs the chase on `database`, producing an outcome.
+    pub fn run(&self, database: &Instance) -> ChaseOutcome {
+        self.run_with_trace(database, |_, _| {})
+    }
+
+    /// Runs the chase, invoking `observer` after every applied step with the trigger
+    /// and the effect. Useful for tests and for producing chase-sequence listings.
+    pub fn run_with_trace(
+        &self,
+        database: &Instance,
+        mut observer: impl FnMut(&Trigger, &StepEffect),
+    ) -> ChaseOutcome {
+        let order = self.dependency_order();
+        let mut current = database.clone();
+        let mut stats = ChaseStats::default();
+        loop {
+            if stats.steps >= self.max_steps {
+                return ChaseOutcome::BudgetExhausted {
+                    instance: current,
+                    stats,
+                };
+            }
+            let trigger = match first_applicable_trigger(&current, self.sigma, &order) {
+                Some(t) => t,
+                None => {
+                    return ChaseOutcome::Terminated {
+                        instance: current,
+                        stats,
+                    }
+                }
+            };
+            let dep = self.sigma.get(trigger.dep);
+            let (next, effect) = apply_step(&current, dep, &trigger.assignment);
+            stats.steps += 1;
+            match &effect {
+                StepEffect::AddedFacts { facts, fresh_nulls } => {
+                    stats.facts_added += facts.len();
+                    stats.nulls_created += fresh_nulls;
+                }
+                StepEffect::Substituted { .. } => stats.null_replacements += 1,
+                StepEffect::Failure => {
+                    observer(&trigger, &effect);
+                    return ChaseOutcome::Failed { stats };
+                }
+                StepEffect::NotApplicable => {
+                    // `first_applicable_trigger` only returns active triggers, so this
+                    // cannot happen; treat defensively as termination of the loop body.
+                    continue;
+                }
+            }
+            observer(&trigger, &effect);
+            current = next.expect("non-failing steps produce a successor instance");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_program;
+    use chase_core::satisfaction::satisfies_all;
+    use chase_core::{Fact, GroundTerm};
+
+    fn gc(s: &str) -> GroundTerm {
+        GroundTerm::Const(chase_core::Constant::new(s))
+    }
+
+    #[test]
+    fn example1_terminating_sequence_with_egd_priority() {
+        let p = parse_program(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            N(a).
+            "#,
+        )
+        .unwrap();
+        let outcome = StandardChase::new(&p.dependencies)
+            .with_order(StepOrder::EgdsFirst)
+            .run(&p.database);
+        assert!(outcome.is_terminating());
+        let j = outcome.instance().unwrap();
+        assert_eq!(j.len(), 2);
+        assert!(j.contains(&Fact::from_parts("N", vec![gc("a")])));
+        assert!(j.contains(&Fact::from_parts("E", vec![gc("a"), gc("a")])));
+        assert!(satisfies_all(j, &p.dependencies));
+        assert_eq!(outcome.stats().steps, 2);
+    }
+
+    #[test]
+    fn example1_textual_order_does_not_terminate() {
+        // Repeatedly enforcing r1 then r2 yields an infinite sequence; with textual
+        // order and a small budget the run must exhaust the budget.
+        let p = parse_program(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            N(a).
+            "#,
+        )
+        .unwrap();
+        let outcome = StandardChase::new(&p.dependencies)
+            .with_order(StepOrder::Textual)
+            .with_max_steps(200)
+            .run(&p.database);
+        // With textual order, r1 is always tried first, then r2; r3 would only be
+        // reached if neither applies, which never happens, so the run diverges.
+        assert!(outcome.is_budget_exhausted());
+    }
+
+    #[test]
+    fn example6_standard_chase_is_empty() {
+        let p = parse_program("r: E(?x, ?y) -> exists ?z: E(?x, ?z). E(a, b).").unwrap();
+        let outcome = StandardChase::new(&p.dependencies).run(&p.database);
+        assert!(outcome.is_terminating());
+        assert_eq!(outcome.stats().steps, 0);
+        assert_eq!(outcome.instance().unwrap(), &p.database);
+    }
+
+    #[test]
+    fn failing_chase_detected() {
+        // Key constraint violated by two distinct constants.
+        let p = parse_program(
+            r#"
+            k: P(?x, ?y), P(?x, ?z) -> ?y = ?z.
+            P(a, b).
+            P(a, c).
+            "#,
+        )
+        .unwrap();
+        let outcome = StandardChase::new(&p.dependencies).run(&p.database);
+        assert!(outcome.is_failing());
+    }
+
+    #[test]
+    fn weakly_acyclic_set_terminates_under_any_order() {
+        let p = parse_program(
+            r#"
+            r1: P(?x, ?y) -> exists ?z: E(?x, ?z).
+            r2: Q(?x, ?y) -> exists ?z: E(?z, ?y).
+            P(a, b).
+            Q(c, d).
+            "#,
+        )
+        .unwrap();
+        for order in [
+            StepOrder::Textual,
+            StepOrder::EgdsFirst,
+            StepOrder::FullFirst,
+            StepOrder::Shuffled(7),
+        ] {
+            let outcome = StandardChase::new(&p.dependencies)
+                .with_order(order)
+                .run(&p.database);
+            assert!(outcome.is_terminating());
+            // Example 3: the universal model adds E(a, η1) and E(η2, d).
+            assert_eq!(outcome.instance().unwrap().len(), 4);
+        }
+    }
+
+    #[test]
+    fn example10_has_no_terminating_sequence() {
+        let p = parse_program(
+            r#"
+            r1: N(?x) -> exists ?y, ?z: E(?x, ?y, ?z).
+            r2: E(?x, ?y, ?y) -> N(?y).
+            r3: E(?x, ?y, ?z) -> ?y = ?z.
+            N(a).
+            "#,
+        )
+        .unwrap();
+        for order in [StepOrder::Textual, StepOrder::EgdsFirst, StepOrder::FullFirst] {
+            let outcome = StandardChase::new(&p.dependencies)
+                .with_order(order)
+                .with_max_steps(500)
+                .run(&p.database);
+            assert!(
+                outcome.is_budget_exhausted(),
+                "Σ10 must not terminate under {order:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_observer_sees_every_step() {
+        let p = parse_program(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            N(a).
+            "#,
+        )
+        .unwrap();
+        let mut trace = Vec::new();
+        let outcome = StandardChase::new(&p.dependencies)
+            .run_with_trace(&p.database, |t, e| trace.push((t.dep, e.clone())));
+        assert!(outcome.is_terminating());
+        assert_eq!(trace.len(), outcome.stats().steps);
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn full_tgds_compute_transitive_closure() {
+        let p = parse_program(
+            r#"
+            t: E(?x, ?y), E(?y, ?z) -> E(?x, ?z).
+            E(a, b). E(b, c). E(c, d).
+            "#,
+        )
+        .unwrap();
+        let outcome = StandardChase::new(&p.dependencies).run(&p.database);
+        assert!(outcome.is_terminating());
+        // Closure of a 4-chain has 3 + 2 + 1 = 6 edges.
+        assert_eq!(outcome.instance().unwrap().len(), 6);
+    }
+}

@@ -1,0 +1,299 @@
+//! The chase step of Definition 1 and trigger enumeration.
+
+use chase_core::homomorphism::{
+    exists_homomorphism_extending, Assignment, HomomorphismSearch,
+};
+use chase_core::substitution::NullSubstitution;
+use chase_core::{DepId, Dependency, DependencySet, Fact, GroundTerm, Instance};
+use std::ops::ControlFlow;
+
+/// A trigger: a dependency together with a homomorphism from its body into the current
+/// instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trigger {
+    /// The dependency being enforced.
+    pub dep: DepId,
+    /// The homomorphism from the dependency's body into the instance.
+    pub assignment: Assignment,
+}
+
+/// The effect of applying a chase step `K --r,h,γ--> J` (Definition 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepEffect {
+    /// A TGD step: the listed facts were added (`J = K ∪ h'(ψ)`), with `γ = ∅`.
+    /// The facts may already be present in `K` for oblivious-style applications.
+    AddedFacts {
+        /// Facts added by the step.
+        facts: Vec<Fact>,
+        /// Number of fresh nulls invented for the existential variables.
+        fresh_nulls: usize,
+    },
+    /// An EGD step that replaced a labeled null: `J = K γ`.
+    Substituted {
+        /// The substitution `γ` (maps a null to a constant or another null).
+        gamma: NullSubstitution,
+    },
+    /// An EGD step on two distinct constants: `J = ⊥`.
+    Failure,
+    /// The EGD is already satisfied under the homomorphism (`h(x1) = h(x2)`), so no
+    /// chase step exists for this trigger.
+    NotApplicable,
+}
+
+/// Applies the chase step for `dep` under `h` to `instance`, returning the successor
+/// instance (if any) and the effect.
+///
+/// For TGDs this follows Definition 1(1): the homomorphism is extended by mapping every
+/// existential variable to a fresh labeled null not occurring in `instance`. For EGDs it
+/// follows Definition 1(2).
+pub fn apply_step(
+    instance: &Instance,
+    dep: &Dependency,
+    h: &Assignment,
+) -> (Option<Instance>, StepEffect) {
+    match dep {
+        Dependency::Tgd(tgd) => {
+            let mut next = instance.clone();
+            let mut extended = h.clone();
+            let ex = tgd.existential_variables();
+            let fresh_nulls = ex.len();
+            for v in ex {
+                let n = next.fresh_null();
+                extended.bind(v, GroundTerm::Null(n));
+            }
+            let mut added = Vec::new();
+            for atom in &tgd.head {
+                let fact = extended
+                    .apply_atom(atom)
+                    .expect("all head variables are bound after extension");
+                if next.insert(fact.clone()) {
+                    added.push(fact);
+                }
+            }
+            (
+                Some(next),
+                StepEffect::AddedFacts {
+                    facts: added,
+                    fresh_nulls,
+                },
+            )
+        }
+        Dependency::Egd(egd) => {
+            let left = h.get(egd.left).expect("EGD body variables must be bound");
+            let right = h.get(egd.right).expect("EGD body variables must be bound");
+            if left == right {
+                return (None, StepEffect::NotApplicable);
+            }
+            match (left, right) {
+                (GroundTerm::Const(_), GroundTerm::Const(_)) => (None, StepEffect::Failure),
+                (GroundTerm::Null(n), other) => {
+                    let gamma = NullSubstitution::single(n, other);
+                    let next = instance.apply_substitution(&gamma);
+                    (Some(next), StepEffect::Substituted { gamma })
+                }
+                (other, GroundTerm::Null(n)) => {
+                    let gamma = NullSubstitution::single(n, other);
+                    let next = instance.apply_substitution(&gamma);
+                    (Some(next), StepEffect::Substituted { gamma })
+                }
+            }
+        }
+    }
+}
+
+/// Returns `true` iff the trigger `(dep, h)` is *active* in the sense of the standard
+/// chase: for a TGD, `h` does not extend to a homomorphism of body ∪ head into the
+/// instance; for an EGD, `h` maps the equated variables to distinct terms.
+pub fn is_standard_active(instance: &Instance, dep: &Dependency, h: &Assignment) -> bool {
+    match dep {
+        Dependency::Tgd(tgd) => !exists_homomorphism_extending(&tgd.head, instance, h),
+        Dependency::Egd(egd) => h.get(egd.left) != h.get(egd.right),
+    }
+}
+
+/// Enumerates all standard-chase-applicable triggers of `sigma` on `instance`, i.e.
+/// pairs `(r, h)` such that `h` maps `Body(r)` into the instance and the trigger is
+/// active (see [`is_standard_active`]).
+pub fn applicable_standard_triggers(instance: &Instance, sigma: &DependencySet) -> Vec<Trigger> {
+    let mut out = Vec::new();
+    for (id, dep) in sigma.iter() {
+        let search = HomomorphismSearch::new(dep.body(), instance);
+        search.for_each_extending::<()>(&Assignment::new(), &mut |h| {
+            if is_standard_active(instance, dep, h) {
+                out.push(Trigger {
+                    dep: id,
+                    assignment: h.clone(),
+                });
+            }
+            ControlFlow::Continue(())
+        });
+    }
+    out
+}
+
+/// Finds the first standard-chase-applicable trigger among the dependencies listed in
+/// `order` (a sequence of dependency ids), if any.
+pub fn first_applicable_trigger(
+    instance: &Instance,
+    sigma: &DependencySet,
+    order: &[DepId],
+) -> Option<Trigger> {
+    for &id in order {
+        let dep = sigma.get(id);
+        let search = HomomorphismSearch::new(dep.body(), instance);
+        let found = search.for_each_extending(&Assignment::new(), &mut |h| {
+            if is_standard_active(instance, dep, h) {
+                ControlFlow::Break(Trigger {
+                    dep: id,
+                    assignment: h.clone(),
+                })
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_program;
+    use chase_core::term::{Constant, NullValue};
+    use chase_core::Variable;
+
+    fn gc(s: &str) -> GroundTerm {
+        GroundTerm::Const(Constant::new(s))
+    }
+    fn gn(i: u64) -> GroundTerm {
+        GroundTerm::Null(NullValue(i))
+    }
+
+    fn sigma1() -> (DependencySet, Instance) {
+        let p = parse_program(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            N(a).
+            "#,
+        )
+        .unwrap();
+        (p.dependencies, p.database)
+    }
+
+    #[test]
+    fn example4_tgd_step() {
+        let (sigma, d) = sigma1();
+        let h1 = Assignment::from_pairs([(Variable::new("x"), gc("a"))]);
+        let (next, effect) = apply_step(&d, sigma.get(DepId(0)), &h1);
+        let k2 = next.unwrap();
+        assert_eq!(k2.len(), 2);
+        match effect {
+            StepEffect::AddedFacts { facts, fresh_nulls } => {
+                assert_eq!(facts.len(), 1);
+                assert_eq!(fresh_nulls, 1);
+                assert_eq!(facts[0].predicate.name.as_str(), "E");
+                assert!(facts[0].terms[1].is_null());
+            }
+            other => panic!("expected AddedFacts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn example4_egd_step_substitutes_null() {
+        let (sigma, _) = sigma1();
+        let k2 = Instance::from_facts(vec![
+            Fact::from_parts("N", vec![gc("a")]),
+            Fact::from_parts("E", vec![gc("a"), gn(1)]),
+        ]);
+        let h2 = Assignment::from_pairs([
+            (Variable::new("x"), gc("a")),
+            (Variable::new("y"), gn(1)),
+        ]);
+        let (next, effect) = apply_step(&k2, sigma.get(DepId(2)), &h2);
+        let k3 = next.unwrap();
+        assert_eq!(k3.len(), 2);
+        assert!(k3.contains(&Fact::from_parts("E", vec![gc("a"), gc("a")])));
+        match effect {
+            StepEffect::Substituted { gamma } => {
+                assert_eq!(gamma.mapping().unwrap().0, NullValue(1));
+                assert_eq!(gamma.mapping().unwrap().1, gc("a"));
+            }
+            other => panic!("expected Substituted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn egd_on_two_constants_fails() {
+        let sigma = parse_program("e: E(?x, ?y) -> ?x = ?y.").unwrap().dependencies;
+        let k = Instance::from_facts(vec![Fact::from_parts("E", vec![gc("a"), gc("b")])]);
+        let h = Assignment::from_pairs([
+            (Variable::new("x"), gc("a")),
+            (Variable::new("y"), gc("b")),
+        ]);
+        let (next, effect) = apply_step(&k, sigma.get(DepId(0)), &h);
+        assert!(next.is_none());
+        assert_eq!(effect, StepEffect::Failure);
+    }
+
+    #[test]
+    fn egd_already_satisfied_is_not_applicable() {
+        let sigma = parse_program("e: E(?x, ?y) -> ?x = ?y.").unwrap().dependencies;
+        let k = Instance::from_facts(vec![Fact::from_parts("E", vec![gc("a"), gc("a")])]);
+        let h = Assignment::from_pairs([
+            (Variable::new("x"), gc("a")),
+            (Variable::new("y"), gc("a")),
+        ]);
+        let (next, effect) = apply_step(&k, sigma.get(DepId(0)), &h);
+        assert!(next.is_none());
+        assert_eq!(effect, StepEffect::NotApplicable);
+    }
+
+    #[test]
+    fn standard_applicability_example1() {
+        let (sigma, d) = sigma1();
+        let triggers = applicable_standard_triggers(&d, &sigma);
+        // Only r1 is applicable on D = {N(a)}.
+        assert_eq!(triggers.len(), 1);
+        assert_eq!(triggers[0].dep, DepId(0));
+    }
+
+    #[test]
+    fn standard_applicability_after_first_step() {
+        let (sigma, _) = sigma1();
+        let k2 = Instance::from_facts(vec![
+            Fact::from_parts("N", vec![gc("a")]),
+            Fact::from_parts("E", vec![gc("a"), gn(1)]),
+        ]);
+        let triggers = applicable_standard_triggers(&k2, &sigma);
+        // r2 and r3 are both violated; r1 is satisfied (E(a, η1) provides the witness).
+        let deps: Vec<DepId> = triggers.iter().map(|t| t.dep).collect();
+        assert!(deps.contains(&DepId(1)));
+        assert!(deps.contains(&DepId(2)));
+        assert!(!deps.contains(&DepId(0)));
+    }
+
+    #[test]
+    fn example6_standard_not_applicable_on_satisfied_tgd() {
+        let p = parse_program("r: E(?x, ?y) -> exists ?z: E(?x, ?z). E(a, b).").unwrap();
+        let triggers = applicable_standard_triggers(&p.database, &p.dependencies);
+        assert!(triggers.is_empty());
+    }
+
+    #[test]
+    fn first_applicable_respects_order() {
+        let (sigma, _) = sigma1();
+        let k2 = Instance::from_facts(vec![
+            Fact::from_parts("N", vec![gc("a")]),
+            Fact::from_parts("E", vec![gc("a"), gn(1)]),
+        ]);
+        let t = first_applicable_trigger(&k2, &sigma, &[DepId(2), DepId(1), DepId(0)]).unwrap();
+        assert_eq!(t.dep, DepId(2));
+        let t = first_applicable_trigger(&k2, &sigma, &[DepId(1), DepId(2), DepId(0)]).unwrap();
+        assert_eq!(t.dep, DepId(1));
+    }
+}

@@ -1,0 +1,125 @@
+//! Models, universal models and homomorphic equivalence.
+
+use chase_core::homomorphism::instance_homomorphism;
+use chase_core::satisfaction::satisfies_all;
+use chase_core::{DependencySet, Instance};
+
+/// Returns `true` iff `j` is a model of `(database, sigma)`: it contains the database
+/// and satisfies every dependency.
+pub fn is_model(j: &Instance, database: &Instance, sigma: &DependencySet) -> bool {
+    database.is_subinstance_of(j) && satisfies_all(j, sigma)
+}
+
+/// Returns `true` iff there is a homomorphism from `from` to `to` (constants fixed).
+pub fn maps_into(from: &Instance, to: &Instance) -> bool {
+    instance_homomorphism(from, to).is_some()
+}
+
+/// Returns `true` iff the two instances are homomorphically equivalent.
+pub fn homomorphically_equivalent(a: &Instance, b: &Instance) -> bool {
+    maps_into(a, b) && maps_into(b, a)
+}
+
+/// Checks that `candidate` is a universal model *among the given models*: it is a model
+/// of `(database, sigma)` and maps homomorphically into every instance of `others`.
+///
+/// Deciding universality against *all* models is not finitely checkable directly; this
+/// helper is used by tests and experiments that compare against an explicit set of
+/// alternative models (e.g. the models of Example 3 of the paper).
+pub fn is_universal_model_among(
+    candidate: &Instance,
+    database: &Instance,
+    sigma: &DependencySet,
+    others: &[Instance],
+) -> bool {
+    is_model(candidate, database, sigma) && others.iter().all(|j| maps_into(candidate, j))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_program;
+    use chase_core::term::{Constant, GroundTerm, NullValue};
+    use chase_core::Fact;
+
+    fn gc(s: &str) -> GroundTerm {
+        GroundTerm::Const(Constant::new(s))
+    }
+    fn gn(i: u64) -> GroundTerm {
+        GroundTerm::Null(NullValue(i))
+    }
+
+    #[test]
+    fn example3_universal_and_non_universal_models() {
+        let p = parse_program(
+            r#"
+            r1: P(?x, ?y) -> exists ?z: E(?x, ?z).
+            r2: Q(?x, ?y) -> exists ?z: E(?z, ?y).
+            P(a, b). Q(c, d).
+            "#,
+        )
+        .unwrap();
+        let d = &p.database;
+        let j1 = d.union(&Instance::from_facts(vec![
+            Fact::from_parts("E", vec![gc("a"), gn(1)]),
+            Fact::from_parts("E", vec![gn(2), gc("d")]),
+        ]));
+        let j2 = d.union(&Instance::from_facts(vec![Fact::from_parts(
+            "E",
+            vec![gc("a"), gc("d")],
+        )]));
+        assert!(is_model(&j1, d, &p.dependencies));
+        assert!(is_model(&j2, d, &p.dependencies));
+        // J1 is universal among {J1, J2}; J2 is not (no homomorphism J2 → J1).
+        assert!(is_universal_model_among(&j1, d, &p.dependencies, &[j2.clone()]));
+        assert!(!is_universal_model_among(&j2, d, &p.dependencies, &[j1.clone()]));
+        assert!(maps_into(&j1, &j2));
+        assert!(!maps_into(&j2, &j1));
+        assert!(!homomorphically_equivalent(&j1, &j2));
+    }
+
+    #[test]
+    fn model_requires_database_inclusion() {
+        let p = parse_program("r: A(?x) -> B(?x). A(a).").unwrap();
+        let j = Instance::from_facts(vec![
+            Fact::from_parts("A", vec![gc("a")]),
+            Fact::from_parts("B", vec![gc("a")]),
+        ]);
+        assert!(is_model(&j, &p.database, &p.dependencies));
+        let missing_db = Instance::from_facts(vec![Fact::from_parts("B", vec![gc("a")])]);
+        assert!(!is_model(&missing_db, &p.database, &p.dependencies));
+    }
+
+    #[test]
+    fn chase_result_is_universal_among_hand_built_models() {
+        use crate::standard::StandardChase;
+        let p = parse_program(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            N(a).
+            "#,
+        )
+        .unwrap();
+        let out = StandardChase::new(&p.dependencies).run(&p.database);
+        let canonical = out.instance().unwrap().clone();
+        // Another model: {N(a), E(a, a), N(b), E(b, b)}.
+        let bigger = canonical.union(&Instance::from_facts(vec![
+            Fact::from_parts("N", vec![gc("b")]),
+            Fact::from_parts("E", vec![gc("b"), gc("b")]),
+        ]));
+        assert!(is_universal_model_among(
+            &canonical,
+            &p.database,
+            &p.dependencies,
+            &[bigger]
+        ));
+    }
+
+    #[test]
+    fn homomorphic_equivalence_is_reflexive() {
+        let j = Instance::from_facts(vec![Fact::from_parts("E", vec![gc("a"), gn(1)])]);
+        assert!(homomorphically_equivalent(&j, &j));
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types of the core crate.
+
+use std::fmt;
+
+/// Errors produced while building or parsing the dependency language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A predicate was used with the wrong number of arguments.
+    ArityMismatch {
+        /// Predicate name.
+        predicate: String,
+        /// Declared arity.
+        expected: usize,
+        /// Number of arguments supplied.
+        found: usize,
+    },
+    /// A dependency is malformed (e.g. a head variable that is neither universally
+    /// quantified in the body nor existentially quantified, or an EGD whose equated
+    /// variables do not occur in the body).
+    MalformedDependency {
+        /// Human readable explanation.
+        reason: String,
+    },
+    /// A labeled null occurred where it is not allowed (dependencies must be null-free).
+    NullInDependency,
+    /// Parse error with location information.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        column: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::ArityMismatch {
+                predicate,
+                expected,
+                found,
+            } => write!(
+                f,
+                "predicate {predicate} used with {found} arguments but has arity {expected}"
+            ),
+            CoreError::MalformedDependency { reason } => {
+                write!(f, "malformed dependency: {reason}")
+            }
+            CoreError::NullInDependency => {
+                write!(f, "labeled nulls are not allowed to occur in dependencies")
+            }
+            CoreError::Parse {
+                line,
+                column,
+                message,
+            } => write!(f, "parse error at {line}:{column}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = CoreError::ArityMismatch {
+            predicate: "R".into(),
+            expected: 2,
+            found: 3,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('R') && msg.contains('2') && msg.contains('3'));
+
+        let p = CoreError::Parse {
+            line: 4,
+            column: 7,
+            message: "expected ')'".into(),
+        };
+        assert!(p.to_string().contains("4:7"));
+    }
+}

@@ -1,0 +1,469 @@
+//! Homomorphisms from conjunctions of atoms into instances.
+//!
+//! A homomorphism `h : Dom(A1) → Dom(A2)` maps variables to ground terms (and is the
+//! identity on constants), such that every atom of `A1` is sent to a fact of `A2`
+//! (Section 2 of the paper). This module provides a backtracking search over the
+//! per-predicate indexes of [`Instance`], with an early-exit callback interface so that
+//! callers can stop at the first witness.
+
+use crate::atom::Atom;
+use crate::instance::Instance;
+use crate::term::{GroundTerm, Term, Variable};
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::ControlFlow;
+
+/// A (partial) assignment of variables to ground terms — the variable part of a
+/// homomorphism. Constants are always mapped to themselves.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Assignment {
+    map: HashMap<Variable, GroundTerm>,
+}
+
+impl Assignment {
+    /// Creates an empty assignment.
+    pub fn new() -> Self {
+        Assignment::default()
+    }
+
+    /// Creates an assignment from pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (Variable, GroundTerm)>>(pairs: I) -> Self {
+        Assignment {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Looks up a variable.
+    pub fn get(&self, v: Variable) -> Option<GroundTerm> {
+        self.map.get(&v).copied()
+    }
+
+    /// Binds a variable (overwrites any previous binding).
+    pub fn bind(&mut self, v: Variable, t: GroundTerm) {
+        self.map.insert(v, t);
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns `true` iff no variable is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over the bindings in an arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (Variable, GroundTerm)> + '_ {
+        self.map.iter().map(|(v, t)| (*v, *t))
+    }
+
+    /// Applies the assignment to a term: bound variables are replaced by their image,
+    /// ground terms are returned unchanged, unbound variables yield `None`.
+    pub fn apply_term(&self, t: &Term) -> Option<GroundTerm> {
+        match t {
+            Term::Const(c) => Some(GroundTerm::Const(*c)),
+            Term::Null(n) => Some(GroundTerm::Null(*n)),
+            Term::Var(v) => self.get(*v),
+        }
+    }
+
+    /// Applies the assignment to an atom, producing a fact if all variables are bound.
+    pub fn apply_atom(&self, atom: &Atom) -> Option<crate::atom::Fact> {
+        let mut terms = Vec::with_capacity(atom.terms.len());
+        for t in &atom.terms {
+            terms.push(self.apply_term(t)?);
+        }
+        Some(crate::atom::Fact {
+            predicate: atom.predicate,
+            terms,
+        })
+    }
+
+    /// Applies the assignment to an atom, leaving unbound variables in place.
+    pub fn apply_atom_partial(&self, atom: &Atom) -> Atom {
+        atom.map_terms(|t| match t {
+            Term::Var(v) => match self.get(*v) {
+                Some(g) => g.into(),
+                None => *t,
+            },
+            _ => *t,
+        })
+    }
+
+    /// Returns a canonical, sorted vector of bindings (useful as a hash key).
+    pub fn canonical(&self) -> Vec<(Variable, GroundTerm)> {
+        let mut v: Vec<_> = self.map.iter().map(|(a, b)| (*a, *b)).collect();
+        v.sort();
+        v
+    }
+}
+
+impl fmt::Display for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (v, t)) in self.canonical().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v} -> {t}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Assignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Backtracking homomorphism search from a conjunction of atoms into an instance.
+pub struct HomomorphismSearch<'a> {
+    atoms: &'a [Atom],
+    instance: &'a Instance,
+}
+
+impl<'a> HomomorphismSearch<'a> {
+    /// Creates a search for homomorphisms from `atoms` into `instance`.
+    pub fn new(atoms: &'a [Atom], instance: &'a Instance) -> Self {
+        HomomorphismSearch { atoms, instance }
+    }
+
+    /// Visits every homomorphism extending `partial`, invoking `visit` for each.
+    /// The visitor can stop the enumeration early by returning
+    /// [`ControlFlow::Break`].
+    pub fn for_each_extending<B>(
+        &self,
+        partial: &Assignment,
+        visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+    ) -> Option<B> {
+        // Order atoms greedily: prefer atoms with many bound terms and few candidate
+        // facts, recomputed at every level of the search tree.
+        let mut remaining: Vec<usize> = (0..self.atoms.len()).collect();
+        let mut assignment = partial.clone();
+        match self.search(&mut remaining, &mut assignment, visit) {
+            ControlFlow::Break(b) => Some(b),
+            ControlFlow::Continue(()) => None,
+        }
+    }
+
+    fn search<B>(
+        &self,
+        remaining: &mut Vec<usize>,
+        assignment: &mut Assignment,
+        visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        if remaining.is_empty() {
+            return visit(assignment);
+        }
+        // Pick the most constrained atom: fewest candidate facts given current bindings.
+        let (pick_pos, _) = remaining
+            .iter()
+            .enumerate()
+            .map(|(pos, &ai)| {
+                let atom = &self.atoms[ai];
+                let candidates = self.instance.facts_of(atom.predicate).len();
+                let unbound = atom
+                    .terms
+                    .iter()
+                    .filter(|t| matches!(t, Term::Var(v) if assignment.get(*v).is_none()))
+                    .count();
+                (pos, (unbound, candidates))
+            })
+            .min_by_key(|&(_, key)| key)
+            .expect("remaining is non-empty");
+        let atom_idx = remaining.swap_remove(pick_pos);
+        let atom = &self.atoms[atom_idx];
+
+        let facts = self.instance.facts_of(atom.predicate);
+        for fact in facts {
+            // Try to unify atom with fact under the current assignment.
+            let mut new_bindings: Vec<Variable> = Vec::new();
+            let mut ok = true;
+            for (t, g) in atom.terms.iter().zip(fact.terms.iter()) {
+                match t {
+                    Term::Const(c) => {
+                        if GroundTerm::Const(*c) != *g {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Null(n) => {
+                        if GroundTerm::Null(*n) != *g {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match assignment.get(*v) {
+                        Some(bound) => {
+                            if bound != *g {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            assignment.bind(*v, *g);
+                            new_bindings.push(*v);
+                        }
+                    },
+                }
+            }
+            if ok {
+                let flow = self.search(remaining, assignment, visit);
+                for v in &new_bindings {
+                    assignment.map.remove(v);
+                }
+                if let ControlFlow::Break(b) = flow {
+                    remaining.push(atom_idx);
+                    let last = remaining.len() - 1;
+                    remaining.swap(pick_pos, last);
+                    return ControlFlow::Break(b);
+                }
+            } else {
+                for v in &new_bindings {
+                    assignment.map.remove(v);
+                }
+            }
+        }
+        // Restore `remaining` exactly as we found it (order irrelevant, content matters).
+        remaining.push(atom_idx);
+        let last = remaining.len() - 1;
+        remaining.swap(pick_pos, last);
+        ControlFlow::Continue(())
+    }
+}
+
+/// Returns every homomorphism from `atoms` into `instance` extending `partial`.
+pub fn homomorphisms_extending(
+    atoms: &[Atom],
+    instance: &Instance,
+    partial: &Assignment,
+) -> Vec<Assignment> {
+    let mut out = Vec::new();
+    HomomorphismSearch::new(atoms, instance).for_each_extending::<()>(partial, &mut |a| {
+        out.push(a.clone());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Returns every homomorphism from `atoms` into `instance`.
+pub fn homomorphisms(atoms: &[Atom], instance: &Instance) -> Vec<Assignment> {
+    homomorphisms_extending(atoms, instance, &Assignment::new())
+}
+
+/// Returns some homomorphism from `atoms` into `instance` extending `partial`, if any.
+pub fn find_homomorphism_extending(
+    atoms: &[Atom],
+    instance: &Instance,
+    partial: &Assignment,
+) -> Option<Assignment> {
+    HomomorphismSearch::new(atoms, instance)
+        .for_each_extending(partial, &mut |a| ControlFlow::Break(a.clone()))
+}
+
+/// Returns `true` iff some homomorphism from `atoms` into `instance` extends `partial`.
+pub fn exists_homomorphism_extending(
+    atoms: &[Atom],
+    instance: &Instance,
+    partial: &Assignment,
+) -> bool {
+    find_homomorphism_extending(atoms, instance, partial).is_some()
+}
+
+/// Returns `true` iff some homomorphism from `atoms` into `instance` exists.
+pub fn exists_homomorphism(atoms: &[Atom], instance: &Instance) -> bool {
+    exists_homomorphism_extending(atoms, instance, &Assignment::new())
+}
+
+/// Searches for a homomorphism from instance `from` into instance `to`, i.e. a mapping
+/// of the labeled nulls of `from` to ground terms of `to` that is the identity on
+/// constants and maps every fact of `from` to a fact of `to`.
+///
+/// This is the notion used to define universal models and cores. Returns the null
+/// mapping if one exists.
+pub fn instance_homomorphism(
+    from: &Instance,
+    to: &Instance,
+) -> Option<HashMap<crate::term::NullValue, GroundTerm>> {
+    // Convert the nulls of `from` into variables and reuse the atom-level search.
+    let atoms: Vec<Atom> = from
+        .facts()
+        .map(|f| {
+            f.to_atom().map_terms(|t| match t {
+                Term::Null(n) => Term::Var(Variable::new(&format!("__null_{}", n.0))),
+                other => *other,
+            })
+        })
+        .collect();
+    let assignment = find_homomorphism_extending(&atoms, to, &Assignment::new())?;
+    let mut out = HashMap::new();
+    for n in from.nulls() {
+        let v = Variable::new(&format!("__null_{}", n.0));
+        if let Some(g) = assignment.get(v) {
+            out.insert(n, g);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Fact;
+    use crate::builder::{atom, cst, var};
+    use crate::term::{Constant, NullValue};
+
+    fn gc(s: &str) -> GroundTerm {
+        GroundTerm::Const(Constant::new(s))
+    }
+    fn gn(i: u64) -> GroundTerm {
+        GroundTerm::Null(NullValue(i))
+    }
+
+    fn path_instance() -> Instance {
+        Instance::from_facts(vec![
+            Fact::from_parts("E", vec![gc("a"), gc("b")]),
+            Fact::from_parts("E", vec![gc("b"), gc("c")]),
+            Fact::from_parts("E", vec![gc("c"), gc("d")]),
+            Fact::from_parts("N", vec![gc("a")]),
+        ])
+    }
+
+    #[test]
+    fn single_atom_homomorphisms() {
+        let k = path_instance();
+        let homs = homomorphisms(&[atom("E", vec![var("x"), var("y")])], &k);
+        assert_eq!(homs.len(), 3);
+    }
+
+    #[test]
+    fn join_two_atoms() {
+        let k = path_instance();
+        // E(x,y), E(y,z): two-step paths a->b->c and b->c->d.
+        let homs = homomorphisms(
+            &[
+                atom("E", vec![var("x"), var("y")]),
+                atom("E", vec![var("y"), var("z")]),
+            ],
+            &k,
+        );
+        assert_eq!(homs.len(), 2);
+        for h in &homs {
+            let x = h.get(Variable::new("x")).unwrap();
+            let y = h.get(Variable::new("y")).unwrap();
+            assert!(k.contains(&Fact::from_parts("E", vec![x, y])));
+        }
+    }
+
+    #[test]
+    fn repeated_variable_constrains_match() {
+        let mut k = path_instance();
+        let homs = homomorphisms(&[atom("E", vec![var("x"), var("x")])], &k);
+        assert!(homs.is_empty());
+        k.insert(Fact::from_parts("E", vec![gc("e"), gc("e")]));
+        let homs = homomorphisms(&[atom("E", vec![var("x"), var("x")])], &k);
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].get(Variable::new("x")), Some(gc("e")));
+    }
+
+    #[test]
+    fn constants_in_query_atoms_must_match() {
+        let k = path_instance();
+        let homs = homomorphisms(&[atom("E", vec![cst("a"), var("y")])], &k);
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].get(Variable::new("y")), Some(gc("b")));
+        let none = homomorphisms(&[atom("E", vec![cst("z"), var("y")])], &k);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn partial_assignment_is_respected() {
+        let k = path_instance();
+        let partial = Assignment::from_pairs([(Variable::new("x"), gc("b"))]);
+        let homs =
+            homomorphisms_extending(&[atom("E", vec![var("x"), var("y")])], &k, &partial);
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].get(Variable::new("y")), Some(gc("c")));
+    }
+
+    #[test]
+    fn exists_homomorphism_early_exit() {
+        let k = path_instance();
+        assert!(exists_homomorphism(
+            &[atom("E", vec![var("x"), var("y")])],
+            &k
+        ));
+        assert!(!exists_homomorphism(
+            &[atom("Missing", vec![var("x")])],
+            &k
+        ));
+    }
+
+    #[test]
+    fn example2_of_the_paper() {
+        // K2 = {N(a), E(a, η1)}; h2 = {x -> a, y -> η1} is a homomorphism from the body
+        // of r2 (and of r3) to K2.
+        let k2 = Instance::from_facts(vec![
+            Fact::from_parts("N", vec![gc("a")]),
+            Fact::from_parts("E", vec![gc("a"), gn(1)]),
+        ]);
+        let homs = homomorphisms(&[atom("E", vec![var("x"), var("y")])], &k2);
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].get(Variable::new("x")), Some(gc("a")));
+        assert_eq!(homs[0].get(Variable::new("y")), Some(gn(1)));
+    }
+
+    #[test]
+    fn nulls_in_query_atoms_behave_as_constants() {
+        let k = Instance::from_facts(vec![Fact::from_parts("E", vec![gc("a"), gn(1)])]);
+        let q = vec![Atom::from_parts(
+            "E",
+            vec![Term::Var(Variable::new("x")), Term::Null(NullValue(1))],
+        )];
+        let homs = homomorphisms(&q, &k);
+        assert_eq!(homs.len(), 1);
+        let q2 = vec![Atom::from_parts(
+            "E",
+            vec![Term::Var(Variable::new("x")), Term::Null(NullValue(2))],
+        )];
+        assert!(homomorphisms(&q2, &k).is_empty());
+    }
+
+    #[test]
+    fn instance_homomorphism_example3() {
+        // J1 = D ∪ {E(a, η1), E(η2, d)}, J2 = D ∪ {E(a, d)}: there is a homomorphism
+        // J1 -> J2 (η1 ↦ d, η2 ↦ a) but none from J2 to J1... actually J2 -> J1 fails
+        // because E(a, d) has no preimage... E(a,d) must map to a fact of J1; E(a, η1)
+        // and E(η2, d) both differ on a constant, so no homomorphism exists.
+        let d = vec![
+            Fact::from_parts("P", vec![gc("a"), gc("b")]),
+            Fact::from_parts("Q", vec![gc("c"), gc("d")]),
+        ];
+        let mut j1 = Instance::from_facts(d.clone());
+        j1.insert(Fact::from_parts("E", vec![gc("a"), gn(1)]));
+        j1.insert(Fact::from_parts("E", vec![gn(2), gc("d")]));
+        let mut j2 = Instance::from_facts(d);
+        j2.insert(Fact::from_parts("E", vec![gc("a"), gc("d")]));
+
+        let h = instance_homomorphism(&j1, &j2).expect("J1 -> J2 must exist");
+        assert_eq!(h.get(&NullValue(1)), Some(&gc("d")));
+        assert_eq!(h.get(&NullValue(2)), Some(&gc("a")));
+        assert!(instance_homomorphism(&j2, &j1).is_none());
+    }
+
+    #[test]
+    fn assignment_apply_atom() {
+        let a = Assignment::from_pairs([
+            (Variable::new("x"), gc("a")),
+            (Variable::new("y"), gn(1)),
+        ]);
+        let fact = a.apply_atom(&atom("E", vec![var("x"), var("y")])).unwrap();
+        assert_eq!(fact, Fact::from_parts("E", vec![gc("a"), gn(1)]));
+        assert!(a.apply_atom(&atom("E", vec![var("x"), var("z")])).is_none());
+        let partial = a.apply_atom_partial(&atom("E", vec![var("x"), var("z")]));
+        assert_eq!(partial.terms[0], Term::Const(Constant::new("a")));
+        assert!(partial.terms[1].is_var());
+    }
+}

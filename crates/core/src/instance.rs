@@ -1,0 +1,325 @@
+//! Instances: finite sets of facts with per-predicate indexes.
+//!
+//! An [`Instance`] stores facts (atoms over constants and labeled nulls), indexed by
+//! predicate so that homomorphism search can iterate only over candidate facts. The
+//! instance also owns the labeled-null allocator used by the chase.
+
+use crate::atom::{Fact, Predicate};
+use crate::substitution::NullSubstitution;
+use crate::term::{Constant, NullValue};
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// A finite set of facts over constants and labeled nulls.
+///
+/// A *database* is an instance whose facts contain no labeled nulls
+/// (see [`Instance::is_database`]).
+#[derive(Clone, Default)]
+pub struct Instance {
+    facts: HashSet<Fact>,
+    by_predicate: HashMap<Predicate, Vec<Fact>>,
+    next_null: u64,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Instance::default()
+    }
+
+    /// Creates an instance from an iterator of facts.
+    pub fn from_facts<I: IntoIterator<Item = Fact>>(facts: I) -> Self {
+        let mut inst = Instance::new();
+        for f in facts {
+            inst.insert(f);
+        }
+        inst
+    }
+
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Returns `true` iff the instance has no facts.
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Returns `true` iff the fact is present.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.facts.contains(fact)
+    }
+
+    /// Inserts a fact; returns `true` iff it was not already present.
+    ///
+    /// Inserting a fact that mentions a null with a label `≥` the internal null counter
+    /// bumps the counter, so that [`Instance::fresh_null`] never collides.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        for n in fact.nulls() {
+            if n.0 >= self.next_null {
+                self.next_null = n.0 + 1;
+            }
+        }
+        if self.facts.insert(fact.clone()) {
+            self.by_predicate
+                .entry(fact.predicate)
+                .or_default()
+                .push(fact);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes a fact; returns `true` iff it was present.
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        if self.facts.remove(fact) {
+            if let Some(v) = self.by_predicate.get_mut(&fact.predicate) {
+                v.retain(|f| f != fact);
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Iterates over all facts (arbitrary order).
+    pub fn facts(&self) -> impl Iterator<Item = &Fact> {
+        self.facts.iter()
+    }
+
+    /// Facts of the given predicate (empty slice if none).
+    pub fn facts_of(&self, predicate: Predicate) -> &[Fact] {
+        self.by_predicate
+            .get(&predicate)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// All predicates with at least one fact.
+    pub fn predicates(&self) -> impl Iterator<Item = Predicate> + '_ {
+        self.by_predicate
+            .iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(p, _)| *p)
+    }
+
+    /// All labeled nulls occurring in the instance.
+    pub fn nulls(&self) -> BTreeSet<NullValue> {
+        self.facts.iter().flat_map(|f| f.nulls()).collect()
+    }
+
+    /// All constants occurring in the instance.
+    pub fn constants(&self) -> BTreeSet<Constant> {
+        self.facts
+            .iter()
+            .flat_map(|f| f.terms.iter())
+            .filter_map(|t| t.as_const())
+            .collect()
+    }
+
+    /// Returns `true` iff no labeled null occurs (i.e. the instance is a database).
+    pub fn is_database(&self) -> bool {
+        self.facts.iter().all(Fact::is_null_free)
+    }
+
+    /// Allocates a fresh labeled null, distinct from every null in the instance.
+    pub fn fresh_null(&mut self) -> NullValue {
+        let n = NullValue(self.next_null);
+        self.next_null += 1;
+        n
+    }
+
+    /// The restriction `J↓`: the facts that contain no labeled nulls.
+    pub fn null_free_part(&self) -> Instance {
+        Instance::from_facts(self.facts.iter().filter(|f| f.is_null_free()).cloned())
+    }
+
+    /// Applies a null substitution `γ` to every fact, i.e. computes `K γ`.
+    ///
+    /// The resulting instance may have fewer facts than `self` because distinct facts
+    /// can collapse onto each other.
+    pub fn apply_substitution(&self, gamma: &NullSubstitution) -> Instance {
+        if gamma.is_empty() {
+            return self.clone();
+        }
+        let mut out = Instance::new();
+        out.next_null = self.next_null;
+        for f in &self.facts {
+            out.insert(f.apply(gamma));
+        }
+        out
+    }
+
+    /// Returns `true` iff `other` contains every fact of `self`.
+    pub fn is_subinstance_of(&self, other: &Instance) -> bool {
+        self.facts.iter().all(|f| other.contains(f))
+    }
+
+    /// Set-union of two instances.
+    pub fn union(&self, other: &Instance) -> Instance {
+        let mut out = self.clone();
+        for f in other.facts() {
+            out.insert(f.clone());
+        }
+        out
+    }
+
+    /// A deterministic, sorted vector of the facts (useful for displays and tests).
+    pub fn sorted_facts(&self) -> Vec<Fact> {
+        let mut v: Vec<Fact> = self.facts.iter().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.facts == other.facts
+    }
+}
+
+impl Eq for Instance {}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, fact) in self.sorted_facts().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{fact}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromIterator<Fact> for Instance {
+    fn from_iter<T: IntoIterator<Item = Fact>>(iter: T) -> Self {
+        Instance::from_facts(iter)
+    }
+}
+
+impl Extend<Fact> for Instance {
+    fn extend<T: IntoIterator<Item = Fact>>(&mut self, iter: T) {
+        for f in iter {
+            self.insert(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Constant, GroundTerm};
+
+    fn cst(s: &str) -> GroundTerm {
+        GroundTerm::Const(Constant::new(s))
+    }
+    fn null(i: u64) -> GroundTerm {
+        GroundTerm::Null(NullValue(i))
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut k = Instance::new();
+        assert!(k.insert(Fact::from_parts("N", vec![cst("a")])));
+        assert!(!k.insert(Fact::from_parts("N", vec![cst("a")])));
+        assert_eq!(k.len(), 1);
+    }
+
+    #[test]
+    fn facts_of_predicate_index() {
+        let k = Instance::from_facts(vec![
+            Fact::from_parts("N", vec![cst("a")]),
+            Fact::from_parts("E", vec![cst("a"), cst("b")]),
+            Fact::from_parts("E", vec![cst("b"), cst("c")]),
+        ]);
+        assert_eq!(k.facts_of(Predicate::new("E", 2)).len(), 2);
+        assert_eq!(k.facts_of(Predicate::new("N", 1)).len(), 1);
+        assert_eq!(k.facts_of(Predicate::new("M", 1)).len(), 0);
+    }
+
+    #[test]
+    fn fresh_nulls_never_collide_with_inserted_nulls() {
+        let mut k = Instance::new();
+        k.insert(Fact::from_parts("E", vec![cst("a"), null(7)]));
+        let n = k.fresh_null();
+        assert!(n.0 > 7);
+        let m = k.fresh_null();
+        assert_ne!(n, m);
+    }
+
+    #[test]
+    fn database_detection_and_null_free_part() {
+        let mut k = Instance::new();
+        k.insert(Fact::from_parts("N", vec![cst("a")]));
+        assert!(k.is_database());
+        k.insert(Fact::from_parts("E", vec![cst("a"), null(0)]));
+        assert!(!k.is_database());
+        let down = k.null_free_part();
+        assert_eq!(down.len(), 1);
+        assert!(down.is_database());
+    }
+
+    #[test]
+    fn substitution_can_collapse_facts() {
+        // {E(a, η1), E(a, a)} γ with γ = {η1/a} collapses to {E(a, a)}.
+        let k = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), null(1)]),
+            Fact::from_parts("E", vec![cst("a"), cst("a")]),
+        ]);
+        let gamma = NullSubstitution::single(NullValue(1), cst("a"));
+        let j = k.apply_substitution(&gamma);
+        assert_eq!(j.len(), 1);
+        assert!(j.contains(&Fact::from_parts("E", vec![cst("a"), cst("a")])));
+    }
+
+    #[test]
+    fn union_and_subinstance() {
+        let a = Instance::from_facts(vec![Fact::from_parts("N", vec![cst("a")])]);
+        let b = Instance::from_facts(vec![Fact::from_parts("N", vec![cst("b")])]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 2);
+        assert!(a.is_subinstance_of(&u));
+        assert!(b.is_subinstance_of(&u));
+        assert!(!u.is_subinstance_of(&a));
+    }
+
+    #[test]
+    fn remove_keeps_index_consistent() {
+        let mut k = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), cst("b")]),
+            Fact::from_parts("E", vec![cst("b"), cst("c")]),
+        ]);
+        let f = Fact::from_parts("E", vec![cst("a"), cst("b")]);
+        assert!(k.remove(&f));
+        assert!(!k.remove(&f));
+        assert_eq!(k.facts_of(Predicate::new("E", 2)).len(), 1);
+        assert_eq!(k.len(), 1);
+    }
+
+    #[test]
+    fn equality_ignores_null_counter() {
+        let mut a = Instance::new();
+        a.insert(Fact::from_parts("N", vec![cst("a")]));
+        let mut b = Instance::new();
+        b.fresh_null();
+        b.insert(Fact::from_parts("N", vec![cst("a")]));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constants_and_nulls_collection() {
+        let k = Instance::from_facts(vec![Fact::from_parts("E", vec![cst("a"), null(3)])]);
+        assert!(k.constants().contains(&Constant::new("a")));
+        assert!(k.nulls().contains(&NullValue(3)));
+    }
+}

@@ -1,0 +1,65 @@
+//! # chase-core
+//!
+//! Core data model for the `egd-chase` workspace: the dependency language of
+//! Calautti et al., *Exploiting Equality Generating Dependencies in Checking Chase
+//! Termination* (PVLDB 9(5), 2016) and the machinery every other crate builds on.
+//!
+//! The crate provides:
+//!
+//! * interned [`Symbol`]s and the three kinds of terms of the paper's Section 2
+//!   (constants, labeled nulls, variables) — see [`term`];
+//! * [`Atom`]s, ground [`Fact`]s and predicates — see [`atom`];
+//! * tuple generating dependencies ([`Tgd`]), equality generating dependencies
+//!   ([`Egd`]) and [`DependencySet`]s with the `Σtgd / Σegd / Σ∀ / Σ∃` views used
+//!   throughout the paper — see [`dependency`];
+//! * instances and databases with per-predicate indexes — see [`instance`];
+//! * homomorphisms, substitutions and first-order satisfaction — see
+//!   [`homomorphism`], [`substitution`] and [`satisfaction`];
+//! * a small textual format and parser for dependencies and facts — see [`parser`];
+//! * ergonomic constructors for writing dependencies in Rust — see [`builder`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use chase_core::parser::parse_program;
+//!
+//! // Σ1 of Example 1 in the paper.
+//! let program = parse_program(
+//!     r#"
+//!     r1: N(?x) -> exists ?y: E(?x, ?y).
+//!     r2: E(?x, ?y) -> N(?y).
+//!     r3: E(?x, ?y) -> ?x = ?y.
+//!     N(a).
+//!     "#,
+//! )
+//! .unwrap();
+//! assert_eq!(program.dependencies.len(), 3);
+//! assert_eq!(program.database.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atom;
+pub mod builder;
+pub mod dependency;
+pub mod error;
+pub mod homomorphism;
+pub mod instance;
+pub mod interner;
+pub mod parser;
+pub mod position;
+pub mod satisfaction;
+pub mod substitution;
+pub mod term;
+
+pub use atom::{Atom, Fact, Predicate};
+pub use dependency::{DepId, Dependency, DependencySet, Egd, Tgd};
+pub use error::CoreError;
+pub use homomorphism::{Assignment, HomomorphismSearch};
+pub use instance::Instance;
+pub use interner::Symbol;
+pub use parser::{parse_dependencies, parse_program, Program};
+pub use position::Position;
+pub use substitution::NullSubstitution;
+pub use term::{Constant, GroundTerm, NullValue, Term, Variable};

@@ -1,0 +1,633 @@
+//! A small textual format for dependencies and databases, and its parser.
+//!
+//! The grammar (whitespace-insensitive, `#` and `%` start line comments):
+//!
+//! ```text
+//! program    := statement*
+//! statement  := (label ':')? body '->' head '.'        // dependency
+//!             | fact '.'                               // database fact
+//! body       := atom (',' atom)*
+//! head       := 'exists' varlist ':' atom (',' atom)*  // existential TGD
+//!             | atom (',' atom)*                       // full TGD
+//!             | term '=' term                          // EGD
+//! varlist    := variable (',' variable)*
+//! atom       := ident '(' term (',' term)* ')' | ident '(' ')'
+//! term       := variable | constant
+//! variable   := '?' ident
+//! constant   := ident | number | '"' chars '"'
+//! fact       := atom containing only constants
+//! ```
+//!
+//! The format is what [`crate::dependency::Dependency`]'s `Display` implementation
+//! produces, so dependency sets round-trip.
+
+use crate::atom::Atom;
+use crate::dependency::{Dependency, DependencySet, Egd, Tgd};
+use crate::error::CoreError;
+use crate::instance::Instance;
+use crate::term::{Constant, Term, Variable};
+
+/// A parsed program: a dependency set plus an optional database of ground facts.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// The dependencies, in source order.
+    pub dependencies: DependencySet,
+    /// The database facts, in source order.
+    pub database: Instance,
+}
+
+impl Program {
+    /// Number of dependencies plus facts.
+    pub fn len(&self) -> usize {
+        self.dependencies.len() + self.database.len()
+    }
+
+    /// Returns `true` iff the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dependencies.is_empty() && self.database.is_empty()
+    }
+}
+
+/// Parses a program containing dependencies and facts.
+pub fn parse_program(input: &str) -> Result<Program, CoreError> {
+    Parser::new(input).parse_program()
+}
+
+/// Parses a set of dependencies; facts are not allowed.
+pub fn parse_dependencies(input: &str) -> Result<DependencySet, CoreError> {
+    let program = parse_program(input)?;
+    if !program.database.is_empty() {
+        return Err(CoreError::MalformedDependency {
+            reason: "expected only dependencies but found database facts".into(),
+        });
+    }
+    Ok(program.dependencies)
+}
+
+/// Parses a single dependency.
+pub fn parse_dependency(input: &str) -> Result<Dependency, CoreError> {
+    let deps = parse_dependencies(input)?;
+    if deps.len() != 1 {
+        return Err(CoreError::MalformedDependency {
+            reason: format!("expected exactly one dependency, found {}", deps.len()),
+        });
+    }
+    Ok(deps.as_slice()[0].clone())
+}
+
+/// Parses a database: a sequence of ground facts.
+pub fn parse_database(input: &str) -> Result<Instance, CoreError> {
+    let program = parse_program(input)?;
+    if !program.dependencies.is_empty() {
+        return Err(CoreError::MalformedDependency {
+            reason: "expected only facts but found dependencies".into(),
+        });
+    }
+    Ok(program.database)
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    _input: &'a str,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Ident(String),
+    Variable(String),
+    LParen,
+    RParen,
+    Comma,
+    Colon,
+    Dot,
+    Arrow,
+    Equals,
+    Eof,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            _input: input,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> CoreError {
+        CoreError::Parse {
+            line: self.line,
+            column: self.column,
+            message: message.into(),
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+                self.column = 1;
+            } else {
+                self.column += 1;
+            }
+        }
+        c
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn skip_whitespace_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') | Some('%') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, CoreError> {
+        self.skip_whitespace_and_comments();
+        let c = match self.peek() {
+            None => return Ok(Token::Eof),
+            Some(c) => c,
+        };
+        match c {
+            '(' => {
+                self.bump();
+                Ok(Token::LParen)
+            }
+            ')' => {
+                self.bump();
+                Ok(Token::RParen)
+            }
+            ',' => {
+                self.bump();
+                Ok(Token::Comma)
+            }
+            ':' => {
+                self.bump();
+                Ok(Token::Colon)
+            }
+            '.' => {
+                self.bump();
+                Ok(Token::Dot)
+            }
+            '=' => {
+                self.bump();
+                Ok(Token::Equals)
+            }
+            '-' => {
+                self.bump();
+                if self.peek() == Some('>') {
+                    self.bump();
+                    Ok(Token::Arrow)
+                } else {
+                    Err(self.error("expected '>' after '-'"))
+                }
+            }
+            '?' => {
+                self.bump();
+                let name = self.read_ident_chars();
+                if name.is_empty() {
+                    return Err(self.error("expected a variable name after '?'"));
+                }
+                Ok(Token::Variable(name))
+            }
+            '"' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some('"') => break,
+                        Some(c) => s.push(c),
+                        None => return Err(self.error("unterminated string literal")),
+                    }
+                }
+                Ok(Token::Ident(s))
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let name = self.read_ident_chars();
+                Ok(Token::Ident(name))
+            }
+            other => Err(self.error(format!("unexpected character '{other}'"))),
+        }
+    }
+
+    fn read_ident_chars(&mut self) -> String {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '\'' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        s
+    }
+
+    fn peek_token(&mut self) -> Result<Token, CoreError> {
+        let save = (self.pos, self.line, self.column);
+        let tok = self.next_token();
+        let (pos, line, column) = save;
+        self.pos = pos;
+        self.line = line;
+        self.column = column;
+        tok
+    }
+
+    fn expect(&mut self, expected: Token) -> Result<(), CoreError> {
+        let tok = self.next_token()?;
+        if tok == expected {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {expected:?}, found {tok:?}")))
+        }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, CoreError> {
+        let mut program = Program::default();
+        let mut auto_label = 0usize;
+        loop {
+            if self.peek_token()? == Token::Eof {
+                break;
+            }
+            self.parse_statement(&mut program, &mut auto_label)?;
+        }
+        Ok(program)
+    }
+
+    /// Parses one statement (dependency or fact) terminated by '.'.
+    fn parse_statement(
+        &mut self,
+        program: &mut Program,
+        _auto_label: &mut usize,
+    ) -> Result<(), CoreError> {
+        // Optional label: IDENT ':' not followed by '(' (which would be an atom).
+        let mut label: Option<String> = None;
+        let save = (self.pos, self.line, self.column);
+        if let Token::Ident(name) = self.peek_token()? {
+            // Look ahead: ident ':' means a label.
+            let save_inner = (self.pos, self.line, self.column);
+            let _ = self.next_token()?; // consume ident
+            if self.peek_token()? == Token::Colon {
+                let _ = self.next_token()?; // consume ':'
+                label = Some(name);
+            } else {
+                // Not a label; rewind.
+                self.pos = save_inner.0;
+                self.line = save_inner.1;
+                self.column = save_inner.2;
+            }
+        } else {
+            self.pos = save.0;
+            self.line = save.1;
+            self.column = save.2;
+        }
+
+        // Parse the first atom list (body or a single fact).
+        let first_atoms = self.parse_atom_list()?;
+        match self.next_token()? {
+            Token::Dot => {
+                // These are facts.
+                if label.is_some() {
+                    return Err(self.error("facts must not carry a label"));
+                }
+                for a in first_atoms {
+                    match a.to_fact() {
+                        Some(f) => {
+                            if !f.is_null_free() {
+                                return Err(
+                                    self.error("database facts must not contain nulls")
+                                );
+                            }
+                            program.database.insert(f);
+                        }
+                        None => {
+                            return Err(self.error(format!(
+                                "fact {a} must be ground (no variables allowed)"
+                            )))
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Token::Arrow => {
+                let dep = self.parse_head(label, first_atoms)?;
+                self.expect(Token::Dot)?;
+                program.dependencies.push(dep);
+                Ok(())
+            }
+            other => Err(self.error(format!("expected '->' or '.', found {other:?}"))),
+        }
+    }
+
+    fn parse_head(
+        &mut self,
+        label: Option<String>,
+        body: Vec<Atom>,
+    ) -> Result<Dependency, CoreError> {
+        // Either: 'exists' varlist ':' atoms  |  atoms  |  term '=' term
+        let save = (self.pos, self.line, self.column);
+        let tok = self.next_token()?;
+        match tok {
+            Token::Ident(kw) if kw == "exists" => {
+                // existential TGD
+                let mut _exvars: Vec<Variable> = Vec::new();
+                loop {
+                    match self.next_token()? {
+                        Token::Variable(v) => _exvars.push(Variable::new(&v)),
+                        other => {
+                            return Err(self
+                                .error(format!("expected a variable after 'exists', found {other:?}")))
+                        }
+                    }
+                    match self.next_token()? {
+                        Token::Comma => continue,
+                        Token::Colon => break,
+                        other => {
+                            return Err(self.error(format!(
+                                "expected ',' or ':' in existential prefix, found {other:?}"
+                            )))
+                        }
+                    }
+                }
+                let head = self.parse_atom_list()?;
+                let tgd = Tgd::new(label, body, head).map_err(|e| self.lift(e))?;
+                Ok(Dependency::Tgd(tgd))
+            }
+            Token::Variable(v1) => {
+                // EGD: ?x = ?y
+                self.expect(Token::Equals)?;
+                match self.next_token()? {
+                    Token::Variable(v2) => {
+                        let egd = Egd::new(label, body, Variable::new(&v1), Variable::new(&v2))
+                            .map_err(|e| self.lift(e))?;
+                        Ok(Dependency::Egd(egd))
+                    }
+                    other => {
+                        Err(self.error(format!("expected a variable after '=', found {other:?}")))
+                    }
+                }
+            }
+            _ => {
+                // Full TGD head: rewind and parse an atom list.
+                self.pos = save.0;
+                self.line = save.1;
+                self.column = save.2;
+                let head = self.parse_atom_list()?;
+                let tgd = Tgd::new(label, body, head).map_err(|e| self.lift(e))?;
+                Ok(Dependency::Tgd(tgd))
+            }
+        }
+    }
+
+    fn lift(&self, e: CoreError) -> CoreError {
+        match e {
+            CoreError::Parse { .. } => e,
+            other => CoreError::Parse {
+                line: self.line,
+                column: self.column,
+                message: other.to_string(),
+            },
+        }
+    }
+
+    fn parse_atom_list(&mut self) -> Result<Vec<Atom>, CoreError> {
+        let mut atoms = vec![self.parse_atom()?];
+        loop {
+            let save = (self.pos, self.line, self.column);
+            if self.next_token()? == Token::Comma {
+                atoms.push(self.parse_atom()?);
+            } else {
+                self.pos = save.0;
+                self.line = save.1;
+                self.column = save.2;
+                break;
+            }
+        }
+        Ok(atoms)
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, CoreError> {
+        let name = match self.next_token()? {
+            Token::Ident(n) => n,
+            other => return Err(self.error(format!("expected a predicate name, found {other:?}"))),
+        };
+        self.expect(Token::LParen)?;
+        let mut terms: Vec<Term> = Vec::new();
+        if self.peek_token()? == Token::RParen {
+            let _ = self.next_token()?;
+            return Ok(Atom::from_parts(&name, terms));
+        }
+        loop {
+            match self.next_token()? {
+                Token::Variable(v) => terms.push(Term::Var(Variable::new(&v))),
+                Token::Ident(c) => terms.push(Term::Const(Constant::new(&c))),
+                other => {
+                    return Err(self.error(format!("expected a term, found {other:?}")))
+                }
+            }
+            match self.next_token()? {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => {
+                    return Err(self.error(format!("expected ',' or ')', found {other:?}")))
+                }
+            }
+        }
+        Ok(Atom::from_parts(&name, terms))
+    }
+}
+
+/// Serialises a dependency set and a database back into the textual format.
+pub fn to_source(sigma: &DependencySet, database: &Instance) -> String {
+    let mut out = String::new();
+    for (_, dep) in sigma.iter() {
+        out.push_str(&dep.to_string());
+        out.push_str(".\n");
+    }
+    for fact in database.sorted_facts() {
+        out.push_str(&fact.to_string());
+        out.push_str(".\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::GroundTerm;
+
+    #[test]
+    fn parse_example1_program() {
+        let p = parse_program(
+            r#"
+            # Σ1 of Example 1
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            N(a).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.dependencies.len(), 3);
+        assert_eq!(p.database.len(), 1);
+        assert!(p.dependencies.get(crate::DepId(0)).is_existential());
+        assert!(p.dependencies.get(crate::DepId(1)).is_full());
+        assert!(p.dependencies.get(crate::DepId(2)).is_egd());
+    }
+
+    #[test]
+    fn parse_multi_atom_bodies_and_heads() {
+        let d = parse_dependency("r: A(?x), B(?x, ?y) -> C(?y), D(?y, ?x).").unwrap();
+        assert_eq!(d.body().len(), 2);
+        assert_eq!(d.head_atoms().len(), 2);
+        assert!(d.is_full());
+    }
+
+    #[test]
+    fn parse_multiple_existential_variables() {
+        let d =
+            parse_dependency("r1: N(?x) -> exists ?y, ?z: E(?x, ?y, ?z).").unwrap();
+        let t = d.as_tgd().unwrap();
+        assert_eq!(t.existential_variables().len(), 2);
+    }
+
+    #[test]
+    fn parse_constants_and_strings() {
+        let p = parse_program(
+            r#"
+            Role(admin, ?u) -> User(?u).
+            Edge("node one", n2).
+            "#,
+        )
+        .unwrap();
+        assert_eq!(p.dependencies.len(), 1);
+        assert_eq!(p.database.len(), 1);
+        let f = p.database.sorted_facts()[0].clone();
+        assert_eq!(f.terms[0], GroundTerm::Const(Constant::new("node one")));
+    }
+
+    #[test]
+    fn labels_are_optional() {
+        let d = parse_dependencies("A(?x) -> B(?x). r2: B(?x) -> C(?x).").unwrap();
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.get(crate::DepId(0)).label(), None);
+        assert_eq!(d.get(crate::DepId(1)).label(), Some("r2"));
+    }
+
+    #[test]
+    fn parse_errors_have_positions() {
+        let err = parse_program("A(?x) -> ").unwrap_err();
+        match err {
+            CoreError::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(parse_program("A(?x -> B(?x).").is_err());
+        assert!(parse_program("A(?x) -> ?x = ?zzz.").is_err());
+    }
+
+    #[test]
+    fn facts_must_be_ground() {
+        assert!(parse_program("N(?x).").is_err());
+    }
+
+    #[test]
+    fn facts_must_not_carry_labels() {
+        assert!(parse_program("f1: N(a).").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_display() {
+        let src = r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            N(a).
+            E(a, b).
+        "#;
+        let p = parse_program(src).unwrap();
+        let printed = to_source(&p.dependencies, &p.database);
+        let reparsed = parse_program(&printed).unwrap();
+        assert_eq!(reparsed.dependencies.len(), p.dependencies.len());
+        assert_eq!(reparsed.database, p.database);
+        for (a, b) in p
+            .dependencies
+            .as_slice()
+            .iter()
+            .zip(reparsed.dependencies.as_slice())
+        {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = parse_program(
+            "# comment\n% other comment\n// c-style\nA(?x) -> B(?x). # trailing\n",
+        )
+        .unwrap();
+        assert_eq!(p.dependencies.len(), 1);
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_program() {
+        let p = parse_program("   \n # nothing \n").unwrap();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn example8_parses() {
+        let sigma = parse_dependencies(
+            r#"
+            r1: A(?x), B(?x) -> C(?x).
+            r2: C(?x) -> exists ?y: A(?x), B(?y).
+            r3: C(?x) -> exists ?y: A(?y), B(?x).
+            r4: A(?x), A(?y) -> ?x = ?y.
+            r5: B(?x), B(?y) -> ?x = ?y.
+            "#,
+        )
+        .unwrap();
+        assert_eq!(sigma.len(), 5);
+        assert_eq!(sigma.egd_ids().len(), 2);
+        assert_eq!(sigma.existential_ids().len(), 2);
+    }
+
+    #[test]
+    fn zero_ary_atoms_are_supported() {
+        let d = parse_dependency("A(?x) -> Flag().").unwrap();
+        assert_eq!(d.head_atoms()[0].predicate.arity, 0);
+    }
+}

@@ -1,0 +1,250 @@
+//! First-order satisfaction of dependencies by instances (`J ⊨ Σ`).
+
+use crate::dependency::{Dependency, DependencySet, Egd, Tgd};
+use crate::homomorphism::{
+    exists_homomorphism_extending, homomorphisms, Assignment, HomomorphismSearch,
+};
+use crate::instance::Instance;
+use std::ops::ControlFlow;
+
+/// Returns `true` iff `instance ⊨ tgd`: every homomorphism from the body extends to a
+/// homomorphism from body ∪ head.
+pub fn satisfies_tgd(instance: &Instance, tgd: &Tgd) -> bool {
+    let search = HomomorphismSearch::new(&tgd.body, instance);
+    search
+        .for_each_extending(&Assignment::new(), &mut |h| {
+            if exists_homomorphism_extending(&tgd.head, instance, h) {
+                ControlFlow::Continue(())
+            } else {
+                ControlFlow::Break(())
+            }
+        })
+        .is_none()
+}
+
+/// Returns `true` iff `instance ⊨ tgd` *under a fixed homomorphism* `h` from the body:
+/// i.e. either `h` does not map the body into the instance, or it extends to the head.
+///
+/// This is the condition `K ⊨ h(r)` used in the definitions of stratification and of
+/// the firing graph (Definition 2).
+pub fn satisfies_tgd_under(instance: &Instance, tgd: &Tgd, h: &Assignment) -> bool {
+    let body_matches = tgd
+        .body
+        .iter()
+        .all(|a| match h.apply_atom(a) {
+            Some(f) => instance.contains(&f),
+            None => false,
+        });
+    if !body_matches {
+        return true;
+    }
+    exists_homomorphism_extending(&tgd.head, instance, h)
+}
+
+/// Returns `true` iff `instance ⊨ egd`: every homomorphism from the body maps the two
+/// equated variables to the same ground term.
+pub fn satisfies_egd(instance: &Instance, egd: &Egd) -> bool {
+    let search = HomomorphismSearch::new(&egd.body, instance);
+    search
+        .for_each_extending(&Assignment::new(), &mut |h| {
+            if h.get(egd.left) == h.get(egd.right) {
+                ControlFlow::Continue(())
+            } else {
+                ControlFlow::Break(())
+            }
+        })
+        .is_none()
+}
+
+/// Returns `true` iff `instance ⊨ egd` under the fixed homomorphism `h`.
+pub fn satisfies_egd_under(instance: &Instance, egd: &Egd, h: &Assignment) -> bool {
+    let body_matches = egd
+        .body
+        .iter()
+        .all(|a| match h.apply_atom(a) {
+            Some(f) => instance.contains(&f),
+            None => false,
+        });
+    if !body_matches {
+        return true;
+    }
+    h.get(egd.left) == h.get(egd.right)
+}
+
+/// Returns `true` iff `instance ⊨ dep`.
+pub fn satisfies(instance: &Instance, dep: &Dependency) -> bool {
+    match dep {
+        Dependency::Tgd(t) => satisfies_tgd(instance, t),
+        Dependency::Egd(e) => satisfies_egd(instance, e),
+    }
+}
+
+/// Returns `true` iff `instance ⊨ dep` under the fixed homomorphism `h` (the paper's
+/// `K ⊨ h(r)`).
+pub fn satisfies_under(instance: &Instance, dep: &Dependency, h: &Assignment) -> bool {
+    match dep {
+        Dependency::Tgd(t) => satisfies_tgd_under(instance, t, h),
+        Dependency::Egd(e) => satisfies_egd_under(instance, e, h),
+    }
+}
+
+/// Returns `true` iff `instance ⊨ Σ` for every dependency of the set.
+pub fn satisfies_all(instance: &Instance, sigma: &DependencySet) -> bool {
+    sigma.iter().all(|(_, d)| satisfies(instance, d))
+}
+
+/// Returns the dependencies of `sigma` violated by `instance`, together with a
+/// violating homomorphism for each (the first one found).
+pub fn violations(instance: &Instance, sigma: &DependencySet) -> Vec<(usize, Assignment)> {
+    let mut out = Vec::new();
+    for (id, dep) in sigma.iter() {
+        match dep {
+            Dependency::Tgd(t) => {
+                let found = HomomorphismSearch::new(&t.body, instance).for_each_extending(
+                    &Assignment::new(),
+                    &mut |h| {
+                        if exists_homomorphism_extending(&t.head, instance, h) {
+                            ControlFlow::Continue(())
+                        } else {
+                            ControlFlow::Break(h.clone())
+                        }
+                    },
+                );
+                if let Some(h) = found {
+                    out.push((id.0, h));
+                }
+            }
+            Dependency::Egd(e) => {
+                for h in homomorphisms(&e.body, instance) {
+                    if h.get(e.left) != h.get(e.right) {
+                        out.push((id.0, h));
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Fact;
+    use crate::builder::{atom, var};
+    use crate::parser::parse_program;
+    use crate::term::{Constant, GroundTerm, NullValue, Variable};
+
+    fn gc(s: &str) -> GroundTerm {
+        GroundTerm::Const(Constant::new(s))
+    }
+    fn gn(i: u64) -> GroundTerm {
+        GroundTerm::Null(NullValue(i))
+    }
+
+    fn sigma1() -> DependencySet {
+        parse_program(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            "#,
+        )
+        .unwrap()
+        .dependencies
+    }
+
+    #[test]
+    fn example1_initial_database_satisfies_all_but_r1() {
+        let sigma = sigma1();
+        let d = Instance::from_facts(vec![Fact::from_parts("N", vec![gc("a")])]);
+        assert!(!satisfies(&d, sigma.get(crate::DepId(0))));
+        assert!(satisfies(&d, sigma.get(crate::DepId(1))));
+        assert!(satisfies(&d, sigma.get(crate::DepId(2))));
+        assert!(!satisfies_all(&d, &sigma));
+        let v = violations(&d, &sigma);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].0, 0);
+    }
+
+    #[test]
+    fn example1_final_instance_satisfies_all() {
+        let sigma = sigma1();
+        // {N(a), E(a, a)} is the result of the terminating sequence of Example 1.
+        let j = Instance::from_facts(vec![
+            Fact::from_parts("N", vec![gc("a")]),
+            Fact::from_parts("E", vec![gc("a"), gc("a")]),
+        ]);
+        assert!(satisfies_all(&j, &sigma));
+    }
+
+    #[test]
+    fn egd_violation_detected() {
+        let sigma = sigma1();
+        let k2 = Instance::from_facts(vec![
+            Fact::from_parts("N", vec![gc("a")]),
+            Fact::from_parts("E", vec![gc("a"), gn(1)]),
+        ]);
+        // r3 is violated: a ≠ η1.
+        assert!(!satisfies(&k2, sigma.get(crate::DepId(2))));
+        // r2 is violated too (no N(η1)).
+        assert!(!satisfies(&k2, sigma.get(crate::DepId(1))));
+    }
+
+    #[test]
+    fn satisfies_under_fixed_homomorphism() {
+        let sigma = sigma1();
+        let r2 = sigma.get(crate::DepId(1));
+        let k2 = Instance::from_facts(vec![
+            Fact::from_parts("N", vec![gc("a")]),
+            Fact::from_parts("E", vec![gc("a"), gn(1)]),
+        ]);
+        let h = Assignment::from_pairs([
+            (Variable::new("x"), gc("a")),
+            (Variable::new("y"), gn(1)),
+        ]);
+        // K2 ⊭ h(r2) since N(η1) is missing.
+        assert!(!satisfies_under(&k2, r2, &h));
+        // Under a homomorphism that does not match the body, the implication is vacuous.
+        let h2 = Assignment::from_pairs([
+            (Variable::new("x"), gc("zzz")),
+            (Variable::new("y"), gc("w")),
+        ]);
+        assert!(satisfies_under(&k2, r2, &h2));
+    }
+
+    #[test]
+    fn full_tgd_satisfaction() {
+        let t = Tgd::new(
+            None,
+            vec![atom("E", vec![var("x"), var("y")])],
+            vec![atom("E", vec![var("y"), var("x")])],
+        )
+        .unwrap();
+        let sym = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![gc("a"), gc("b")]),
+            Fact::from_parts("E", vec![gc("b"), gc("a")]),
+        ]);
+        assert!(satisfies_tgd(&sym, &t));
+        let asym = Instance::from_facts(vec![Fact::from_parts("E", vec![gc("a"), gc("b")])]);
+        assert!(!satisfies_tgd(&asym, &t));
+    }
+
+    #[test]
+    fn empty_instance_satisfies_everything() {
+        let sigma = sigma1();
+        let empty = Instance::new();
+        assert!(satisfies_all(&empty, &sigma));
+        assert!(violations(&empty, &sigma).is_empty());
+    }
+
+    #[test]
+    fn example6_database_satisfies_its_tgd() {
+        // D = {E(a,b)}, r : E(x,y) -> ∃z E(x,z). D ⊨ r.
+        let sigma = parse_program("r: E(?x, ?y) -> exists ?z: E(?x, ?z).")
+            .unwrap()
+            .dependencies;
+        let d = Instance::from_facts(vec![Fact::from_parts("E", vec![gc("a"), gc("b")])]);
+        assert!(satisfies_all(&d, &sigma));
+    }
+}

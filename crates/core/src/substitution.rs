@@ -1,0 +1,176 @@
+//! Null substitutions (the `γ` of Definition 1).
+//!
+//! A substitution is either empty or a singleton `{η/t}` mapping a labeled null to a
+//! constant or another labeled null. Substitutions arise when an EGD is enforced and
+//! are applied to instances, facts and trigger records. Chains of substitutions
+//! (`γ_j · · · γ_{i-1}` in the paper) are represented by [`SubstitutionChain`].
+
+use crate::term::{GroundTerm, NullValue};
+use std::fmt;
+
+/// The substitution `γ` of a chase step: empty, or a single replacement `{η/t}`.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct NullSubstitution {
+    mapping: Option<(NullValue, GroundTerm)>,
+}
+
+impl NullSubstitution {
+    /// The empty substitution.
+    pub fn empty() -> Self {
+        NullSubstitution { mapping: None }
+    }
+
+    /// The singleton substitution `{null / target}`.
+    pub fn single(null: NullValue, target: GroundTerm) -> Self {
+        debug_assert!(
+            GroundTerm::Null(null) != target,
+            "a substitution must not map a null to itself"
+        );
+        NullSubstitution {
+            mapping: Some((null, target)),
+        }
+    }
+
+    /// Returns `true` iff this is the empty substitution.
+    pub fn is_empty(&self) -> bool {
+        self.mapping.is_none()
+    }
+
+    /// Returns the replaced null and its replacement, if any.
+    pub fn mapping(&self) -> Option<(NullValue, GroundTerm)> {
+        self.mapping
+    }
+
+    /// Applies the substitution to a ground term.
+    pub fn apply_ground(&self, t: GroundTerm) -> GroundTerm {
+        match (self.mapping, t) {
+            (Some((from, to)), GroundTerm::Null(n)) if n == from => to,
+            _ => t,
+        }
+    }
+}
+
+impl fmt::Display for NullSubstitution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mapping {
+            None => write!(f, "{{}}"),
+            Some((from, to)) => write!(f, "{{{}/{}}}", GroundTerm::Null(from), to),
+        }
+    }
+}
+
+/// A chain of substitutions `γ_j, γ_{j+1}, …` applied left to right.
+///
+/// Used by the oblivious and semi-oblivious chase to compare a new trigger with an old
+/// one "modulo the substitutions applied in between" (Section 2 of the paper).
+#[derive(Clone, Debug, Default)]
+pub struct SubstitutionChain {
+    steps: Vec<NullSubstitution>,
+}
+
+impl SubstitutionChain {
+    /// Creates an empty chain.
+    pub fn new() -> Self {
+        SubstitutionChain { steps: Vec::new() }
+    }
+
+    /// Appends a substitution to the chain.
+    pub fn push(&mut self, gamma: NullSubstitution) {
+        if !gamma.is_empty() {
+            self.steps.push(gamma);
+        }
+    }
+
+    /// Number of non-empty substitutions recorded.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` iff no non-empty substitution was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Applies the suffix of the chain starting at `from` (inclusive) to a ground term,
+    /// i.e. computes `t γ_from · · · γ_last`.
+    pub fn apply_from(&self, from: usize, t: GroundTerm) -> GroundTerm {
+        let mut cur = t;
+        for gamma in &self.steps[from.min(self.steps.len())..] {
+            cur = gamma.apply_ground(cur);
+        }
+        cur
+    }
+
+    /// Applies the whole chain to a ground term.
+    pub fn apply(&self, t: GroundTerm) -> GroundTerm {
+        self.apply_from(0, t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Constant;
+
+    fn null(i: u64) -> GroundTerm {
+        GroundTerm::Null(NullValue(i))
+    }
+    fn cst(s: &str) -> GroundTerm {
+        GroundTerm::Const(Constant::new(s))
+    }
+
+    #[test]
+    fn empty_substitution_is_identity() {
+        let s = NullSubstitution::empty();
+        assert!(s.is_empty());
+        assert_eq!(s.apply_ground(null(1)), null(1));
+        assert_eq!(s.apply_ground(cst("a")), cst("a"));
+    }
+
+    #[test]
+    fn singleton_substitution_replaces_only_its_null() {
+        let s = NullSubstitution::single(NullValue(1), cst("a"));
+        assert_eq!(s.apply_ground(null(1)), cst("a"));
+        assert_eq!(s.apply_ground(null(2)), null(2));
+        assert_eq!(s.apply_ground(cst("b")), cst("b"));
+    }
+
+    #[test]
+    fn chain_applies_left_to_right() {
+        // γ1 = {η1/η2}, γ2 = {η2/a}  ⇒  η1 γ1 γ2 = a
+        let mut chain = SubstitutionChain::new();
+        chain.push(NullSubstitution::single(NullValue(1), null(2)));
+        chain.push(NullSubstitution::single(NullValue(2), cst("a")));
+        assert_eq!(chain.apply(null(1)), cst("a"));
+        assert_eq!(chain.apply(null(2)), cst("a"));
+        assert_eq!(chain.apply(null(3)), null(3));
+    }
+
+    #[test]
+    fn chain_suffix_application() {
+        let mut chain = SubstitutionChain::new();
+        chain.push(NullSubstitution::single(NullValue(1), null(2)));
+        chain.push(NullSubstitution::single(NullValue(2), cst("a")));
+        // Starting after the first substitution, η1 is untouched.
+        assert_eq!(chain.apply_from(1, null(1)), null(1));
+        assert_eq!(chain.apply_from(1, null(2)), cst("a"));
+        // Starting past the end is the identity.
+        assert_eq!(chain.apply_from(5, null(2)), null(2));
+    }
+
+    #[test]
+    fn empty_substitutions_are_not_recorded() {
+        let mut chain = SubstitutionChain::new();
+        chain.push(NullSubstitution::empty());
+        chain.push(NullSubstitution::empty());
+        assert!(chain.is_empty());
+        assert_eq!(chain.len(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NullSubstitution::empty().to_string(), "{}");
+        let s = NullSubstitution::single(NullValue(3), cst("a"));
+        assert_eq!(s.to_string(), "{_:n3/a}");
+    }
+}

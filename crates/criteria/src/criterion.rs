@@ -1,0 +1,128 @@
+//! The [`TerminationCriterion`] trait and a registry of the built-in criteria.
+
+use chase_core::DependencySet;
+use std::fmt;
+
+/// What a criterion guarantees when it accepts a set of dependencies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Guarantee {
+    /// Every standard chase sequence terminates, for every database (`CT_std_∀`).
+    AllSequences,
+    /// At least one standard chase sequence terminates, for every database
+    /// (`CT_std_∃`).
+    SomeSequence,
+}
+
+impl fmt::Display for Guarantee {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Guarantee::AllSequences => write!(f, "CT_std_∀"),
+            Guarantee::SomeSequence => write!(f, "CT_std_∃"),
+        }
+    }
+}
+
+/// A decidable sufficient condition for chase termination.
+pub trait TerminationCriterion {
+    /// Short name of the criterion (e.g. `"WA"`, `"SC"`, `"S-Str"`).
+    fn name(&self) -> &'static str;
+
+    /// What acceptance guarantees.
+    fn guarantee(&self) -> Guarantee;
+
+    /// Returns `true` iff the criterion accepts `sigma`.
+    fn accepts(&self, sigma: &DependencySet) -> bool;
+}
+
+/// A boxed criterion together with its metadata — convenient for registries.
+pub struct NamedCriterion {
+    /// Display name.
+    pub name: &'static str,
+    /// Termination guarantee.
+    pub guarantee: Guarantee,
+    check: Box<dyn Fn(&DependencySet) -> bool + Send + Sync>,
+}
+
+impl NamedCriterion {
+    /// Wraps a closure as a criterion.
+    pub fn new(
+        name: &'static str,
+        guarantee: Guarantee,
+        check: impl Fn(&DependencySet) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        NamedCriterion {
+            name,
+            guarantee,
+            check: Box::new(check),
+        }
+    }
+}
+
+impl TerminationCriterion for NamedCriterion {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        self.guarantee
+    }
+
+    fn accepts(&self, sigma: &DependencySet) -> bool {
+        (self.check)(sigma)
+    }
+}
+
+/// The registry of baseline criteria implemented in this crate, in increasing order of
+/// analysis cost. (The paper's own criteria, S-Str and SAC, live in
+/// `chase-termination` and can be appended by callers.)
+pub fn baseline_criteria() -> Vec<NamedCriterion> {
+    vec![
+        NamedCriterion::new("WA", Guarantee::AllSequences, |s| {
+            crate::weak_acyclicity::is_weakly_acyclic(s)
+        }),
+        NamedCriterion::new("SC", Guarantee::AllSequences, |s| {
+            crate::safety::is_safe(s)
+        }),
+        NamedCriterion::new("SwA", Guarantee::AllSequences, |s| {
+            crate::super_weak::is_super_weakly_acyclic(s)
+        }),
+        NamedCriterion::new("CStr", Guarantee::AllSequences, |s| {
+            crate::stratification::is_c_stratified(s)
+        }),
+        NamedCriterion::new("Str", Guarantee::SomeSequence, |s| {
+            crate::stratification::is_stratified(s)
+        }),
+        NamedCriterion::new("MFA", Guarantee::AllSequences, |s| {
+            crate::mfa::is_mfa(s)
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_dependencies;
+
+    #[test]
+    fn registry_names_are_unique() {
+        let cs = baseline_criteria();
+        let mut names: Vec<&str> = cs.iter().map(|c| c.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), cs.len());
+    }
+
+    #[test]
+    fn all_registered_criteria_accept_a_trivial_full_set() {
+        let sigma = parse_dependencies("r: A(?x) -> B(?x).").unwrap();
+        for c in baseline_criteria() {
+            assert!(c.accepts(&sigma), "{} must accept a single full TGD", c.name());
+        }
+    }
+
+    #[test]
+    fn guarantee_display() {
+        assert_eq!(Guarantee::AllSequences.to_string(), "CT_std_∀");
+        assert_eq!(Guarantee::SomeSequence.to_string(), "CT_std_∃");
+    }
+}

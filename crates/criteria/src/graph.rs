@@ -1,0 +1,333 @@
+//! Small directed-graph utilities shared by the termination criteria: strongly
+//! connected components (Tarjan), cycle detection and marked-edge cycle detection.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A directed graph over nodes identified by `usize`, with optionally *marked* edges
+/// (used for the "special" edges of weak acyclicity and its refinements).
+#[derive(Clone, Debug, Default)]
+pub struct DiGraph {
+    nodes: BTreeSet<usize>,
+    /// edge -> is there a marked (special) edge between the endpoints
+    edges: BTreeMap<(usize, usize), bool>,
+}
+
+impl DiGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph::default()
+    }
+
+    /// Adds a node (idempotent).
+    pub fn add_node(&mut self, n: usize) {
+        self.nodes.insert(n);
+    }
+
+    /// Adds an edge; `marked` edges are never downgraded by later unmarked insertions.
+    pub fn add_edge(&mut self, from: usize, to: usize, marked: bool) {
+        self.nodes.insert(from);
+        self.nodes.insert(to);
+        let entry = self.edges.entry((from, to)).or_insert(false);
+        *entry = *entry || marked;
+    }
+
+    /// Returns `true` iff the edge exists (marked or not).
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.edges.contains_key(&(from, to))
+    }
+
+    /// Returns `true` iff a marked edge exists between the endpoints.
+    pub fn has_marked_edge(&self, from: usize, to: usize) -> bool {
+        self.edges.get(&(from, to)).copied().unwrap_or(false)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.nodes.iter().copied()
+    }
+
+    /// Iterates over all edges as `(from, to, marked)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, bool)> + '_ {
+        self.edges.iter().map(|(&(f, t), &m)| (f, t, m))
+    }
+
+    /// Successors of a node.
+    pub fn successors(&self, n: usize) -> Vec<usize> {
+        self.edges
+            .range((n, usize::MIN)..=(n, usize::MAX))
+            .map(|(&(_, t), _)| t)
+            .collect()
+    }
+
+    /// Strongly connected components (Tarjan), returned as sorted vectors of nodes in
+    /// reverse topological order of the condensation.
+    pub fn sccs(&self) -> Vec<Vec<usize>> {
+        let nodes: Vec<usize> = self.nodes.iter().copied().collect();
+        let index_of: BTreeMap<usize, usize> =
+            nodes.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let n = nodes.len();
+        let mut state = TarjanState {
+            index: vec![None; n],
+            lowlink: vec![0; n],
+            on_stack: vec![false; n],
+            stack: Vec::new(),
+            next_index: 0,
+            components: Vec::new(),
+        };
+        for v in 0..n {
+            if state.index[v].is_none() {
+                self.tarjan(v, &nodes, &index_of, &mut state);
+            }
+        }
+        let mut out: Vec<Vec<usize>> = state
+            .components
+            .into_iter()
+            .map(|comp| {
+                let mut c: Vec<usize> = comp.into_iter().map(|i| nodes[i]).collect();
+                c.sort_unstable();
+                c
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    fn tarjan(
+        &self,
+        v: usize,
+        nodes: &[usize],
+        index_of: &BTreeMap<usize, usize>,
+        state: &mut TarjanState,
+    ) {
+        // Iterative Tarjan to avoid deep recursion on large graphs.
+        let mut call_stack: Vec<(usize, Vec<usize>, usize)> = Vec::new();
+        let succ: Vec<usize> = self
+            .successors(nodes[v])
+            .into_iter()
+            .map(|s| index_of[&s])
+            .collect();
+        call_stack.push((v, succ, 0));
+        state.index[v] = Some(state.next_index);
+        state.lowlink[v] = state.next_index;
+        state.next_index += 1;
+        state.stack.push(v);
+        state.on_stack[v] = true;
+
+        while let Some((node, succ, mut i)) = call_stack.pop() {
+            let mut descended = false;
+            while i < succ.len() {
+                let w = succ[i];
+                i += 1;
+                match state.index[w] {
+                    None => {
+                        // Descend into w.
+                        call_stack.push((node, succ.clone(), i));
+                        state.index[w] = Some(state.next_index);
+                        state.lowlink[w] = state.next_index;
+                        state.next_index += 1;
+                        state.stack.push(w);
+                        state.on_stack[w] = true;
+                        let wsucc: Vec<usize> = self
+                            .successors(nodes[w])
+                            .into_iter()
+                            .map(|s| index_of[&s])
+                            .collect();
+                        call_stack.push((w, wsucc, 0));
+                        descended = true;
+                        break;
+                    }
+                    Some(widx) => {
+                        if state.on_stack[w] {
+                            state.lowlink[node] = state.lowlink[node].min(widx);
+                        }
+                    }
+                }
+            }
+            if descended {
+                continue;
+            }
+            // Finished node: pop SCC if root, propagate lowlink to parent.
+            if Some(state.lowlink[node]) == state.index[node] {
+                let mut comp = Vec::new();
+                loop {
+                    let w = state.stack.pop().expect("stack underflow in Tarjan");
+                    state.on_stack[w] = false;
+                    comp.push(w);
+                    if w == node {
+                        break;
+                    }
+                }
+                state.components.push(comp);
+            }
+            if let Some((parent, _, _)) = call_stack.last() {
+                let parent = *parent;
+                state.lowlink[parent] = state.lowlink[parent].min(state.lowlink[node]);
+            }
+        }
+    }
+
+    /// Returns `true` iff the graph has a cycle (including self-loops).
+    pub fn has_cycle(&self) -> bool {
+        for scc in self.sccs() {
+            if scc.len() > 1 {
+                return true;
+            }
+            let n = scc[0];
+            if self.has_edge(n, n) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns `true` iff the graph has a cycle that traverses at least one marked edge.
+    ///
+    /// A marked edge `(u, v)` lies on a cycle iff `u` and `v` belong to the same SCC
+    /// (for `u == v` a marked self-loop is a cycle).
+    pub fn has_cycle_through_marked_edge(&self) -> bool {
+        let sccs = self.sccs();
+        let mut comp_of: BTreeMap<usize, usize> = BTreeMap::new();
+        for (i, scc) in sccs.iter().enumerate() {
+            for &n in scc {
+                comp_of.insert(n, i);
+            }
+        }
+        for (from, to, marked) in self.edges() {
+            if marked {
+                if from == to {
+                    return true;
+                }
+                if comp_of.get(&from) == comp_of.get(&to)
+                    && sccs[comp_of[&from]].len() > 1
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Nodes reachable from `start` (including `start`).
+    pub fn reachable_from(&self, start: usize) -> BTreeSet<usize> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![start];
+        while let Some(n) = stack.pop() {
+            if seen.insert(n) {
+                for s in self.successors(n) {
+                    if !seen.contains(&s) {
+                        stack.push(s);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+struct TarjanState {
+    index: Vec<Option<usize>>,
+    lowlink: Vec<usize>,
+    on_stack: Vec<bool>,
+    stack: Vec<usize>,
+    next_index: usize,
+    components: Vec<Vec<usize>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scc_of_a_simple_cycle() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 1, false);
+        g.add_edge(1, 2, false);
+        g.add_edge(2, 0, false);
+        g.add_edge(2, 3, false);
+        let sccs = g.sccs();
+        assert_eq!(sccs.len(), 2);
+        assert!(sccs.contains(&vec![0, 1, 2]));
+        assert!(sccs.contains(&vec![3]));
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn dag_has_no_cycle() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 1, false);
+        g.add_edge(1, 2, true);
+        g.add_edge(0, 2, false);
+        assert!(!g.has_cycle());
+        assert!(!g.has_cycle_through_marked_edge());
+        assert_eq!(g.sccs().len(), 3);
+    }
+
+    #[test]
+    fn marked_cycle_detection() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 1, false);
+        g.add_edge(1, 0, false);
+        // Cycle exists but no marked edge on it.
+        assert!(g.has_cycle());
+        assert!(!g.has_cycle_through_marked_edge());
+        g.add_edge(1, 0, true);
+        assert!(g.has_cycle_through_marked_edge());
+    }
+
+    #[test]
+    fn marked_self_loop_is_a_cycle() {
+        let mut g = DiGraph::new();
+        g.add_edge(5, 5, true);
+        assert!(g.has_cycle());
+        assert!(g.has_cycle_through_marked_edge());
+    }
+
+    #[test]
+    fn reachability() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 1, false);
+        g.add_edge(1, 2, false);
+        g.add_node(7);
+        let r = g.reachable_from(0);
+        assert!(r.contains(&0) && r.contains(&1) && r.contains(&2));
+        assert!(!r.contains(&7));
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_scc() {
+        let mut g = DiGraph::new();
+        g.add_node(1);
+        g.add_node(2);
+        assert_eq!(g.sccs().len(), 2);
+        assert!(!g.has_cycle());
+    }
+
+    #[test]
+    fn marked_edge_is_not_downgraded() {
+        let mut g = DiGraph::new();
+        g.add_edge(0, 1, true);
+        g.add_edge(0, 1, false);
+        assert!(g.has_marked_edge(0, 1));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn large_chain_does_not_overflow_stack() {
+        let mut g = DiGraph::new();
+        for i in 0..20_000 {
+            g.add_edge(i, i + 1, false);
+        }
+        assert_eq!(g.sccs().len(), 20_001);
+        assert!(!g.has_cycle());
+    }
+}

@@ -1,0 +1,71 @@
+//! # chase-criteria
+//!
+//! Baseline chase-termination criteria from the literature, against which the paper's
+//! contribution (semi-stratification and semi-acyclicity, in `chase-termination`) is
+//! compared:
+//!
+//! * [`weak_acyclicity`] — weak acyclicity **WA** (Fagin et al. 2005);
+//! * [`safety`] — safety **SC** and affected positions (Meier et al. 2009);
+//! * [`stratification`] — stratification **Str** and c-stratification **CStr**
+//!   (Deutsch–Nash–Remmel 2008, Meier et al. 2009), built on the bounded-witness
+//!   firing test of [`firing`];
+//! * [`super_weak`] — super-weak acyclicity **SwA** (Marnette 2009);
+//! * [`mfa`] — model-faithful acyclicity **MFA** (Cuenca Grau et al. 2013);
+//! * [`simulation`] — the natural and substitution-free EGD→TGD simulations that the
+//!   TGD-only criteria rely on (Section 4 of the paper);
+//! * [`criterion`] — a common trait and registry used by the experiment harness.
+//!
+//! ```
+//! use chase_core::parser::parse_dependencies;
+//! use chase_criteria::prelude::*;
+//!
+//! // Σ1 of Example 1: none of the classical criteria accepts it …
+//! let sigma1 = parse_dependencies(
+//!     "r1: N(?x) -> exists ?y: E(?x, ?y).
+//!      r2: E(?x, ?y) -> N(?y).
+//!      r3: E(?x, ?y) -> ?x = ?y.",
+//! )
+//! .unwrap();
+//! assert!(!is_weakly_acyclic(&sigma1));
+//! assert!(!is_safe(&sigma1));
+//! assert!(!is_stratified(&sigma1));
+//! assert!(!is_super_weakly_acyclic(&sigma1));
+//! assert!(!is_mfa(&sigma1));
+//! // … which is exactly the gap the paper's EGD-aware criteria close.
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod criterion;
+pub mod firing;
+pub mod graph;
+pub mod mfa;
+pub mod safety;
+pub mod simulation;
+pub mod stratification;
+pub mod super_weak;
+pub mod weak_acyclicity;
+
+pub use criterion::{baseline_criteria, Guarantee, NamedCriterion, TerminationCriterion};
+pub use firing::{
+    chase_graph, chase_graph_edge, for_each_firing_witness, Applicability, FiringAnswer,
+    FiringConfig, FiringWitness,
+};
+pub use mfa::{is_mfa, is_mfa_with, MfaConfig, MfaVerdict};
+pub use safety::{affected_positions, is_safe};
+pub use simulation::{natural_simulation, substitution_free_simulation};
+pub use stratification::{is_c_stratified, is_stratified};
+pub use super_weak::is_super_weakly_acyclic;
+pub use weak_acyclicity::is_weakly_acyclic;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::criterion::{baseline_criteria, Guarantee, TerminationCriterion};
+    pub use crate::mfa::is_mfa;
+    pub use crate::safety::is_safe;
+    pub use crate::simulation::{natural_simulation, substitution_free_simulation};
+    pub use crate::stratification::{is_c_stratified, is_stratified};
+    pub use crate::super_weak::is_super_weakly_acyclic;
+    pub use crate::weak_acyclicity::is_weakly_acyclic;
+}

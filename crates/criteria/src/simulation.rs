@@ -1,0 +1,279 @@
+//! EGD→TGD simulations: the *natural simulation* (Gottlob & Nash 2008) and the
+//! *substitution-free simulation* (Marnette 2009), as discussed in Section 4 and
+//! Example 8 of the paper.
+//!
+//! Both rewritings produce a TGD-only set `Σ'` such that termination of `Σ'` implies
+//! termination of `Σ` (soundness), but not vice versa (Theorem 2) — which is precisely
+//! why criteria that rely on them lose precision on EGD-heavy inputs.
+
+use chase_core::{Atom, Dependency, DependencySet, Term, Tgd, Variable};
+use std::collections::BTreeMap;
+
+/// The interned name of the auxiliary equality predicate introduced by the simulations.
+pub const EQ_PREDICATE: &str = "Eq";
+
+fn eq_atom(a: Term, b: Term) -> Atom {
+    Atom::from_parts(EQ_PREDICATE, vec![a, b])
+}
+
+/// Generates the equality axioms shared by both simulations: symmetry, transitivity and
+/// reflexivity-on-active-domain rules (one per predicate position).
+fn equality_axioms(sigma: &DependencySet) -> Vec<Dependency> {
+    let x = Term::Var(Variable::new("x"));
+    let y = Term::Var(Variable::new("y"));
+    let z = Term::Var(Variable::new("z"));
+    let mut out = vec![
+        Dependency::Tgd(
+            Tgd::new(
+                Some("eq_sym".into()),
+                vec![eq_atom(x, y)],
+                vec![eq_atom(y, x)],
+            )
+            .expect("well-formed"),
+        ),
+        Dependency::Tgd(
+            Tgd::new(
+                Some("eq_trans".into()),
+                vec![eq_atom(x, y), eq_atom(y, z)],
+                vec![eq_atom(x, z)],
+            )
+            .expect("well-formed"),
+        ),
+    ];
+    for pred in sigma.predicates() {
+        if pred.name.as_str() == EQ_PREDICATE {
+            continue;
+        }
+        if pred.arity == 0 {
+            continue;
+        }
+        let vars: Vec<Term> = (0..pred.arity)
+            .map(|i| Term::Var(Variable::new(&format!("x{i}"))))
+            .collect();
+        let body = vec![Atom::from_parts(&pred.name.as_str(), vars.clone())];
+        let head: Vec<Atom> = vars.iter().map(|v| eq_atom(*v, *v)).collect();
+        out.push(Dependency::Tgd(
+            Tgd::new(Some(format!("eq_refl_{}", pred.name)), body, head)
+                .expect("well-formed"),
+        ));
+    }
+    out
+}
+
+/// Replaces every EGD `ϕ → x1 = x2` by the TGD `ϕ → Eq(x1, x2)`.
+fn egd_to_eq_tgd(dep: &Dependency) -> Dependency {
+    match dep {
+        Dependency::Egd(e) => Dependency::Tgd(
+            Tgd::new(
+                e.label.clone(),
+                e.body.clone(),
+                vec![eq_atom(Term::Var(e.left), Term::Var(e.right))],
+            )
+            .expect("EGD bodies are valid TGD bodies"),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// The **substitution-free simulation** of `Σ` (Marnette 2009):
+///
+/// 1. add the equality axioms;
+/// 2. replace every EGD head `x1 = x2` with `Eq(x1, x2)`;
+/// 3. in every TGD body in which a variable `x` occurs more than once, keep the first
+///    occurrence, rename each further occurrence to a fresh variable `x_k`, and add
+///    `Eq(x, x_k)` to the body.
+///
+/// The rewriting in the paper's Example 8 chooses one occurrence to rename
+/// non-deterministically; renaming all further occurrences (as done here) is the
+/// deterministic variant described by Marnette and is equivalent for the purposes of
+/// the termination analysis.
+pub fn substitution_free_simulation(sigma: &DependencySet) -> DependencySet {
+    let mut out: Vec<Dependency> = equality_axioms(sigma);
+    for (_, dep) in sigma.iter() {
+        let dep = egd_to_eq_tgd(dep);
+        let tgd = dep.as_tgd().expect("all dependencies are TGDs at this point");
+        // Split repeated body variables.
+        let mut seen: BTreeMap<Variable, usize> = BTreeMap::new();
+        let mut extra_eq: Vec<Atom> = Vec::new();
+        let mut new_body: Vec<Atom> = Vec::new();
+        for atom in &tgd.body {
+            let mut terms = Vec::with_capacity(atom.terms.len());
+            for t in &atom.terms {
+                match t {
+                    Term::Var(v) => {
+                        let count = seen.entry(*v).or_insert(0);
+                        if *count == 0 {
+                            *count = 1;
+                            terms.push(Term::Var(*v));
+                        } else {
+                            *count += 1;
+                            let fresh =
+                                Variable::new(&format!("{}__{}", v.name(), *count));
+                            extra_eq.push(eq_atom(Term::Var(*v), Term::Var(fresh)));
+                            terms.push(Term::Var(fresh));
+                        }
+                    }
+                    other => terms.push(*other),
+                }
+            }
+            new_body.push(Atom {
+                predicate: atom.predicate,
+                terms,
+            });
+        }
+        new_body.extend(extra_eq);
+        out.push(Dependency::Tgd(
+            Tgd::new(tgd.label.clone(), new_body, tgd.head.clone())
+                .expect("rewritten TGD is well-formed"),
+        ));
+    }
+    DependencySet::from_vec(out)
+}
+
+/// The **natural simulation** of `Σ` (Gottlob & Nash 2008): equality axioms, EGD heads
+/// replaced by `Eq`, plus congruence rules that copy facts along `Eq`, one per
+/// predicate position:
+/// `R(x1, …, xi, …, xn) ∧ Eq(xi, y) → R(x1, …, y, …, xn)`.
+pub fn natural_simulation(sigma: &DependencySet) -> DependencySet {
+    let mut out: Vec<Dependency> = equality_axioms(sigma);
+    for pred in sigma.predicates() {
+        if pred.name.as_str() == EQ_PREDICATE || pred.arity == 0 {
+            continue;
+        }
+        for i in 0..pred.arity {
+            let vars: Vec<Term> = (0..pred.arity)
+                .map(|k| Term::Var(Variable::new(&format!("x{k}"))))
+                .collect();
+            let y = Term::Var(Variable::new("y_subst"));
+            let mut head_terms = vars.clone();
+            head_terms[i] = y;
+            let body = vec![
+                Atom::from_parts(&pred.name.as_str(), vars.clone()),
+                eq_atom(vars[i], y),
+            ];
+            let head = vec![Atom::from_parts(&pred.name.as_str(), head_terms)];
+            out.push(Dependency::Tgd(
+                Tgd::new(Some(format!("cong_{}_{}", pred.name, i + 1)), body, head)
+                    .expect("well-formed"),
+            ));
+        }
+    }
+    for (_, dep) in sigma.iter() {
+        out.push(egd_to_eq_tgd(dep));
+    }
+    DependencySet::from_vec(out)
+}
+
+/// Returns `true` iff the set contains at least one EGD (i.e. a simulation would change
+/// it).
+pub fn has_egds(sigma: &DependencySet) -> bool {
+    !sigma.egd_ids().is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_dependencies;
+
+    fn example8() -> DependencySet {
+        parse_dependencies(
+            r#"
+            r1: A(?x), B(?x) -> C(?x).
+            r2: C(?x) -> exists ?y: A(?x), B(?y).
+            r3: C(?x) -> exists ?y: A(?y), B(?x).
+            r4: A(?x), A(?y) -> ?x = ?y.
+            r5: B(?x), B(?y) -> ?x = ?y.
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn substitution_free_simulation_of_example8() {
+        let sigma = example8();
+        let sim = substitution_free_simulation(&sigma);
+        // No EGDs remain.
+        assert!(sim.egd_ids().is_empty());
+        // Equality axioms: symmetry, transitivity, one reflexivity rule per predicate
+        // (A, B, C), plus the five rewritten dependencies.
+        assert_eq!(sim.len(), 2 + 3 + 5);
+        // r1's repeated x is split: its body now has an Eq atom.
+        let (_, r1) = sim.by_label("r1").expect("r1 is preserved");
+        assert_eq!(r1.body().len(), 3);
+        assert!(r1
+            .body()
+            .iter()
+            .any(|a| a.predicate.name.as_str() == EQ_PREDICATE));
+        // r4, r5 now produce Eq facts.
+        let (_, r4) = sim.by_label("r4").unwrap();
+        assert!(r4.is_tgd());
+        assert_eq!(r4.head_atoms()[0].predicate.name.as_str(), EQ_PREDICATE);
+    }
+
+    #[test]
+    fn simulation_of_an_egd_free_set_only_adds_axioms() {
+        let sigma = parse_dependencies("r: A(?x) -> B(?x).").unwrap();
+        let sim = substitution_free_simulation(&sigma);
+        // Symmetry, transitivity, reflexivity for A and B, plus r itself.
+        assert_eq!(sim.len(), 5);
+        let (_, r) = sim.by_label("r").unwrap();
+        assert_eq!(r.body().len(), 1);
+    }
+
+    #[test]
+    fn natural_simulation_adds_congruence_rules() {
+        let sigma = parse_dependencies(
+            r#"
+            r1: E(?x, ?y) -> ?x = ?y.
+            "#,
+        )
+        .unwrap();
+        let sim = natural_simulation(&sigma);
+        assert!(sim.egd_ids().is_empty());
+        // Congruence rules: one per position of E (2).
+        let cong: Vec<_> = sim
+            .iter()
+            .filter(|(_, d)| d.label().map(|l| l.starts_with("cong_")).unwrap_or(false))
+            .collect();
+        assert_eq!(cong.len(), 2);
+    }
+
+    #[test]
+    fn repeated_variables_across_atoms_are_split_once_per_extra_occurrence() {
+        let sigma = parse_dependencies("r: T(?x, ?x, ?x) -> U(?x).").unwrap();
+        let sim = substitution_free_simulation(&sigma);
+        let (_, r) = sim.by_label("r").unwrap();
+        // Two extra occurrences ⇒ two Eq atoms, plus the rewritten T atom.
+        assert_eq!(r.body().len(), 3);
+        let eq_atoms = r
+            .body()
+            .iter()
+            .filter(|a| a.predicate.name.as_str() == EQ_PREDICATE)
+            .count();
+        assert_eq!(eq_atoms, 2);
+        // The T atom now has three distinct variables.
+        let t_atom = r
+            .body()
+            .iter()
+            .find(|a| a.predicate.name.as_str() == "T")
+            .unwrap();
+        assert_eq!(t_atom.variables().len(), 3);
+    }
+
+    #[test]
+    fn has_egds_detection() {
+        assert!(has_egds(&example8()));
+        assert!(!has_egds(
+            &parse_dependencies("r: A(?x) -> B(?x).").unwrap()
+        ));
+    }
+
+    #[test]
+    fn simulation_preserves_head_structure() {
+        let sigma = example8();
+        let sim = substitution_free_simulation(&sigma);
+        let (_, r2) = sim.by_label("r2").unwrap();
+        assert!(r2.is_existential());
+        assert_eq!(r2.head_atoms().len(), 2);
+    }
+}

@@ -1,0 +1,183 @@
+//! The eight-class corpus of Table 2(a), reproduced synthetically.
+//!
+//! The paper partitions its 178 ontologies by the number of existentially quantified
+//! TGDs (`|Σ∃|` in `[1,10]`, `[11,100]`, `[101,1000]`, `[1001,5000]`) and the number of
+//! EGDs (`|Σegd|` in `[1,10]`, `[11,100]`), reporting per class the number of
+//! ontologies (`#tests`) and the average total size `|Σ|`. [`paper_corpus`] emits a
+//! corpus with exactly those class cardinalities and target sizes;
+//! [`scaled_paper_corpus`] shrinks every size by a scale factor (keeping the class
+//! structure) so the full experiment pipeline can be re-run quickly on a laptop.
+
+use crate::generator::{generate, OntologyProfile};
+use chase_core::DependencySet;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// One of the eight corpus classes of Table 2(a).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CorpusClass {
+    /// Inclusive range of `|Σ∃|`.
+    pub existential_range: (usize, usize),
+    /// Inclusive range of `|Σegd|`.
+    pub egd_range: (usize, usize),
+    /// Number of ontologies in the class (the paper's `#tests` column).
+    pub tests: usize,
+    /// Average total number of dependencies (the paper's `|Σ|` column).
+    pub average_size: usize,
+}
+
+impl CorpusClass {
+    /// A short identifier such as `"E[1,10]xG[1,10]"`.
+    pub fn id(&self) -> String {
+        format!(
+            "E[{},{}]xG[{},{}]",
+            self.existential_range.0,
+            self.existential_range.1,
+            self.egd_range.0,
+            self.egd_range.1
+        )
+    }
+}
+
+/// The eight classes with the paper's `#tests` and average `|Σ|` (Table 2(a)).
+pub fn paper_classes() -> Vec<CorpusClass> {
+    vec![
+        CorpusClass { existential_range: (1, 10), egd_range: (1, 10), tests: 50, average_size: 86 },
+        CorpusClass { existential_range: (1, 10), egd_range: (11, 100), tests: 7, average_size: 451 },
+        CorpusClass { existential_range: (11, 100), egd_range: (1, 10), tests: 15, average_size: 406 },
+        CorpusClass { existential_range: (11, 100), egd_range: (11, 100), tests: 26, average_size: 1_210 },
+        CorpusClass { existential_range: (101, 1000), egd_range: (1, 10), tests: 51, average_size: 3_113 },
+        CorpusClass { existential_range: (101, 1000), egd_range: (11, 100), tests: 13, average_size: 3_176 },
+        CorpusClass { existential_range: (1001, 5000), egd_range: (1, 10), tests: 9, average_size: 9_117 },
+        CorpusClass { existential_range: (1001, 5000), egd_range: (11, 100), tests: 7, average_size: 19_587 },
+    ]
+}
+
+/// A generated ontology together with its provenance.
+#[derive(Clone, Debug)]
+pub struct GeneratedOntology {
+    /// Index of the class in [`paper_classes`].
+    pub class_index: usize,
+    /// Identifier of the class.
+    pub class_id: String,
+    /// The profile the set was generated from.
+    pub profile: OntologyProfile,
+    /// The dependency set itself.
+    pub sigma: DependencySet,
+}
+
+/// Generates the full corpus at the paper's sizes. **Warning**: the two largest classes
+/// contain sets with thousands of dependencies; prefer [`scaled_paper_corpus`] for
+/// interactive use.
+pub fn paper_corpus(seed: u64, cyclic_fraction: f64) -> Vec<GeneratedOntology> {
+    scaled_paper_corpus(seed, cyclic_fraction, 1.0)
+}
+
+/// Generates the corpus with every size multiplied by `scale` (clamped below by small
+/// minima so that every class stays non-degenerate). `cyclic_fraction` is the fraction
+/// of ontologies per class that receive a non-terminating gadget — the paper observed
+/// that a bit more than half of its corpus had non-terminating (or not-terminating-
+/// within-24h) chases.
+pub fn scaled_paper_corpus(
+    seed: u64,
+    cyclic_fraction: f64,
+    scale: f64,
+) -> Vec<GeneratedOntology> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for (class_index, class) in paper_classes().iter().enumerate() {
+        for t in 0..class.tests {
+            let ex_lo = scale_count(class.existential_range.0, scale);
+            let ex_hi = scale_count(class.existential_range.1, scale).max(ex_lo + 1);
+            let egd_lo = scale_count(class.egd_range.0, scale);
+            let egd_hi = scale_count(class.egd_range.1, scale).max(egd_lo + 1);
+            let existential = rng.random_range(ex_lo..=ex_hi);
+            let egds = rng.random_range(egd_lo..=egd_hi);
+            let target_size = scale_count(class.average_size, scale).max(existential + egds + 2);
+            let full = target_size.saturating_sub(existential + egds).max(1);
+            let cyclic = rng.random_range(0.0..1.0) < cyclic_fraction;
+            let profile = OntologyProfile {
+                existential,
+                full,
+                egds,
+                cyclic,
+                seed: seed
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add((class_index * 1_000 + t) as u64),
+            };
+            let sigma = generate(&profile);
+            out.push(GeneratedOntology {
+                class_index,
+                class_id: class.id(),
+                profile,
+                sigma,
+            });
+        }
+    }
+    out
+}
+
+fn scale_count(n: usize, scale: f64) -> usize {
+    ((n as f64) * scale).round().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_classes_match_table_2a() {
+        let classes = paper_classes();
+        assert_eq!(classes.len(), 8);
+        let total: usize = classes.iter().map(|c| c.tests).sum();
+        assert_eq!(total, 178, "the corpus has 178 ontologies");
+        assert_eq!(classes[0].tests, 50);
+        assert_eq!(classes[7].average_size, 19_587);
+    }
+
+    #[test]
+    fn scaled_corpus_has_the_right_class_cardinalities() {
+        let corpus = scaled_paper_corpus(1, 0.5, 0.02);
+        assert_eq!(corpus.len(), 178);
+        let per_class: Vec<usize> = (0..8)
+            .map(|i| corpus.iter().filter(|o| o.class_index == i).count())
+            .collect();
+        assert_eq!(per_class, vec![50, 7, 15, 26, 51, 13, 9, 7]);
+    }
+
+    #[test]
+    fn scaled_corpus_respects_scaled_ranges() {
+        let scale = 0.1;
+        let corpus = scaled_paper_corpus(3, 0.4, scale);
+        for ont in &corpus {
+            let class = paper_classes()[ont.class_index];
+            let ex = ont.sigma.existential_ids().len();
+            let hi = scale_count(class.existential_range.1, scale).max(2) + 2;
+            assert!(
+                ex <= hi + 1,
+                "class {} generated {ex} existential rules (cap {hi})",
+                ont.class_id
+            );
+            assert!(!ont.sigma.egd_ids().is_empty(), "every class has EGDs");
+        }
+    }
+
+    #[test]
+    fn corpus_generation_is_deterministic() {
+        let a = scaled_paper_corpus(9, 0.5, 0.02);
+        let b = scaled_paper_corpus(9, 0.5, 0.02);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.profile, y.profile);
+            assert_eq!(x.sigma.len(), y.sigma.len());
+        }
+    }
+
+    #[test]
+    fn cyclic_fraction_zero_and_one_are_respected() {
+        let none = scaled_paper_corpus(5, 0.0, 0.02);
+        assert!(none.iter().all(|o| !o.profile.cyclic));
+        let all = scaled_paper_corpus(5, 1.0, 0.02);
+        assert!(all.iter().all(|o| o.profile.cyclic));
+    }
+}

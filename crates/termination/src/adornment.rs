@@ -1,0 +1,1237 @@
+//! The adornment algorithm `Adn∃` (Algorithm 1 and Function 2 of the paper) and the
+//! semi-acyclicity criterion (Definition 4).
+//!
+//! The algorithm rewrites a set of dependencies `Σ` into a set of *adorned*
+//! dependencies `Σµ` that tracks how terms can be derived during a chase execution:
+//! every predicate argument is annotated with `b` ("bound": a value derived from the
+//! database) or a *free* symbol `f_i` standing for the labeled nulls invented by one
+//! existential variable of one rule under one adornment of its body. EGDs are analysed
+//! *directly*: when an adorned EGD shows that a free symbol must be equal to `b` (or to
+//! another free symbol), the corresponding substitution is applied to the whole adorned
+//! set, which is exactly how enforcing the EGD during a real chase would collapse the
+//! invented nulls.
+//!
+//! The boolean `Acyc` returned by the algorithm defines the **semi-acyclicity**
+//! criterion (`SAC`): if no "cyclic" adornment symbol is ever produced, then for every
+//! database there is a terminating standard chase sequence of polynomial length
+//! (Theorem 8). The adorned set `Σµ` itself can be fed to any other termination
+//! criterion, yielding the strictly more powerful `Adn∃-C` criteria (Theorems 10–11);
+//! see [`crate::combined`].
+
+use chase_core::{
+    Atom, Constant, Dependency, DependencySet, Egd, Fact, GroundTerm, Instance, NullValue,
+    Predicate, Term, Tgd, Variable,
+};
+use chase_criteria::firing::FiringConfig;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// An adornment symbol: `b` (bound) or a free symbol `f_i`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AdSym {
+    /// The bound symbol `b`.
+    B,
+    /// A free symbol `f_i` (indices start at 1).
+    F(u32),
+}
+
+impl fmt::Display for AdSym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdSym::B => write!(f, "b"),
+            AdSym::F(i) => write!(f, "f{i}"),
+        }
+    }
+}
+
+/// An adornment: one symbol per predicate position.
+pub type Adornment = Vec<AdSym>;
+
+fn adornment_string(adornment: &Adornment) -> String {
+    adornment.iter().map(|s| s.to_string()).collect()
+}
+
+/// An adornment definition `f_i = f^r_z(α)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AdnDefinition {
+    /// The defined free symbol index (`i` in `f_i`).
+    pub symbol: u32,
+    /// The index (in the original set) of the existential TGD `r`.
+    pub rule: usize,
+    /// The index of the existential variable `z` within `r` (in declaration order).
+    pub var_index: usize,
+    /// The argument string `α`: the adornments of the frontier variables of `r`.
+    pub args: Vec<AdSym>,
+}
+
+impl fmt::Display for AdnDefinition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "f{} = f^r{}_z{}({})",
+            self.symbol,
+            self.rule,
+            self.var_index,
+            adornment_string(&self.args)
+        )
+    }
+}
+
+/// An atom whose predicate may carry an adornment (`None` = the original, unadorned
+/// predicate, used in the bodies of the base rules `R(x̄) → R^{b…b}(x̄)`).
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct AdAtom {
+    predicate: Predicate,
+    adornment: Option<Adornment>,
+    terms: Vec<Term>,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+enum AdHead {
+    Atoms(Vec<AdAtom>),
+    Equality(Variable, Variable),
+}
+
+/// An adorned dependency together with the original dependency it was derived from.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+struct AdRule {
+    /// Index of the source dependency in the original set (`None` for base rules).
+    src: Option<usize>,
+    body: Vec<AdAtom>,
+    head: AdHead,
+}
+
+/// How the `fireable` condition of Function 2 is evaluated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FireableMode {
+    /// The exact Definition-2 firing test over the current adorned set. Precise but
+    /// expensive; suitable for small and medium sets.
+    Exact,
+    /// A predicate-overlap over-approximation: a rule counts as fireable if some rule
+    /// of the adorned set can syntactically feed its body. Sound (it only adorns more
+    /// rules, never fewer), and fast enough for large ontologies.
+    PredicateOverlap,
+    /// Use [`FireableMode::Exact`] below [`AdnConfig::auto_threshold`] dependencies and
+    /// [`FireableMode::PredicateOverlap`] above.
+    Auto,
+}
+
+/// Configuration of the adornment algorithm.
+#[derive(Clone, Debug)]
+pub struct AdnConfig {
+    /// Configuration of the underlying firing tests.
+    pub firing: FiringConfig,
+    /// How the fireable condition is evaluated.
+    pub fireable_mode: FireableMode,
+    /// Size (number of dependencies) above which [`FireableMode::Auto`] switches to the
+    /// overlap approximation.
+    pub auto_threshold: usize,
+    /// Hard cap on the number of adorned dependencies; exceeding it aborts with
+    /// `Acyc = false` (a conservative rejection).
+    pub max_adorned_rules: usize,
+}
+
+impl Default for AdnConfig {
+    fn default() -> Self {
+        AdnConfig {
+            firing: FiringConfig::default(),
+            fireable_mode: FireableMode::Auto,
+            auto_threshold: 40,
+            max_adorned_rules: 5_000,
+        }
+    }
+}
+
+/// The result of running `Adn∃` on a dependency set.
+#[derive(Clone, Debug)]
+pub struct AdnResult {
+    /// The adorned dependency set `Σµ = Adn∃(Σ)[1]`, with adorned predicates rendered
+    /// as fresh predicates `R__bf1…`. Includes the base rules `R(x̄) → R^{b…b}(x̄)`.
+    pub adorned: DependencySet,
+    /// The boolean `Acyc = Adn∃(Σ)[2]`: `true` iff no cyclic adornment was detected.
+    pub acyclic: bool,
+    /// The final set of adornment definitions `AD`.
+    pub definitions: Vec<AdnDefinition>,
+    /// Number of adorned dependencies produced (excluding the base rules).
+    pub adorned_rule_count: usize,
+    /// Number of main-loop iterations executed.
+    pub iterations: usize,
+    /// `true` iff the rule budget was exhausted (the result is then a conservative
+    /// rejection).
+    pub budget_exhausted: bool,
+}
+
+impl AdnResult {
+    /// The ratio `|Σµ| / |Σ|` reported in Table 2(b) of the paper (base rules included
+    /// in `|Σµ|`, as they are part of the output set).
+    pub fn size_ratio(&self, original: &DependencySet) -> f64 {
+        if original.is_empty() {
+            return 1.0;
+        }
+        self.adorned.len() as f64 / original.len() as f64
+    }
+}
+
+/// Runs the adornment algorithm with the default configuration.
+pub fn adorn(sigma: &DependencySet) -> AdnResult {
+    adorn_with(sigma, &AdnConfig::default())
+}
+
+/// Returns `true` iff `sigma` is semi-acyclic (`SAC`, Definition 4).
+pub fn is_semi_acyclic(sigma: &DependencySet) -> bool {
+    adorn(sigma).acyclic
+}
+
+/// [`is_semi_acyclic`] with an explicit configuration.
+pub fn is_semi_acyclic_with(sigma: &DependencySet, config: &AdnConfig) -> bool {
+    adorn_with(sigma, config).acyclic
+}
+
+/// Runs the adornment algorithm `Adn∃` (Algorithm 1).
+pub fn adorn_with(sigma: &DependencySet, config: &AdnConfig) -> AdnResult {
+    Adn::new(sigma, config).run()
+}
+
+// ---------------------------------------------------------------------------------
+// Implementation
+// ---------------------------------------------------------------------------------
+
+struct Adn<'a> {
+    sigma: &'a DependencySet,
+    config: &'a AdnConfig,
+    exact_fireable: bool,
+    /// Firing information over the *original* set, used by the Ω(AD) cyclicity test.
+    original_firing: OriginalFiring,
+    rules: Vec<AdRule>,
+    ad: Vec<AdnDefinition>,
+    acyclic: bool,
+    iterations: usize,
+    budget_exhausted: bool,
+}
+
+/// Reachability structure over the original dependency set used by the cyclicity
+/// condition of Ω(AD): `s ⇝ r` iff `s < r1 < · · · < rn < r` with every `ri ∈ Σ∀`.
+struct OriginalFiring {
+    /// `edges[s]` = set of direct successors of `s` under the firing relation (or its
+    /// overlap over-approximation for large inputs).
+    edges: Vec<BTreeSet<usize>>,
+    full: Vec<bool>,
+}
+
+impl OriginalFiring {
+    fn compute(sigma: &DependencySet, config: &AdnConfig, exact: bool) -> Self {
+        let n = sigma.len();
+        let mut edges = vec![BTreeSet::new(); n];
+        if exact {
+            let graph = crate::firing::firing_graph_with(sigma, &config.firing);
+            for (f, t, _) in graph.edges() {
+                edges[f].insert(t);
+            }
+        } else {
+            for (i, r1) in sigma.iter() {
+                for (j, r2) in sigma.iter() {
+                    let fires = if r1.is_tgd() {
+                        r1.head_predicates()
+                            .intersection(&r2.body_predicates())
+                            .next()
+                            .is_some()
+                    } else {
+                        r1.body_predicates()
+                            .intersection(&r2.body_predicates())
+                            .next()
+                            .is_some()
+                    };
+                    if fires {
+                        edges[i.0].insert(j.0);
+                    }
+                }
+            }
+        }
+        let full = sigma.iter().map(|(_, d)| d.is_full()).collect();
+        OriginalFiring { edges, full }
+    }
+
+    /// Is there a chain `s < r1 < … < rn < r` (n ≥ 0) with every intermediate `ri`
+    /// full?
+    fn reaches_via_full(&self, s: usize, r: usize) -> bool {
+        if self.edges[s].contains(&r) {
+            return true;
+        }
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        let mut stack: Vec<usize> = self.edges[s]
+            .iter()
+            .copied()
+            .filter(|&m| self.full[m])
+            .collect();
+        while let Some(m) = stack.pop() {
+            if !seen.insert(m) {
+                continue;
+            }
+            if self.edges[m].contains(&r) {
+                return true;
+            }
+            for &next in &self.edges[m] {
+                if self.full[next] && !seen.contains(&next) {
+                    stack.push(next);
+                }
+            }
+        }
+        false
+    }
+}
+
+impl<'a> Adn<'a> {
+    fn new(sigma: &'a DependencySet, config: &'a AdnConfig) -> Self {
+        let exact = match config.fireable_mode {
+            FireableMode::Exact => true,
+            FireableMode::PredicateOverlap => false,
+            FireableMode::Auto => sigma.len() <= config.auto_threshold,
+        };
+        let original_firing = OriginalFiring::compute(sigma, config, exact);
+        // Base rules: R(x1, …, xn) → R^{b…b}(x1, …, xn) for every predicate of Σ.
+        let mut rules = Vec::new();
+        for pred in sigma.predicates() {
+            let terms: Vec<Term> = (0..pred.arity)
+                .map(|i| Term::Var(Variable::new(&format!("x{i}"))))
+                .collect();
+            rules.push(AdRule {
+                src: None,
+                body: vec![AdAtom {
+                    predicate: pred,
+                    adornment: None,
+                    terms: terms.clone(),
+                }],
+                head: AdHead::Atoms(vec![AdAtom {
+                    predicate: pred,
+                    adornment: Some(vec![AdSym::B; pred.arity]),
+                    terms,
+                }]),
+            });
+        }
+        Adn {
+            sigma,
+            config,
+            exact_fireable: exact,
+            original_firing,
+            rules,
+            ad: Vec::new(),
+            acyclic: true,
+            iterations: 0,
+            budget_exhausted: false,
+        }
+    }
+
+    fn run(mut self) -> AdnResult {
+        loop {
+            self.iterations += 1;
+            if self.rules.len() > self.config.max_adorned_rules
+                || self.iterations > 4 * self.config.max_adorned_rules
+            {
+                self.budget_exhausted = true;
+                self.acyclic = false;
+                break;
+            }
+            let mut changed = false;
+            // Lines 6–10: prefer universally quantified dependencies (EGDs and full
+            // TGDs).
+            let full_first: Vec<usize> = {
+                let mut ids: Vec<usize> = self
+                    .sigma
+                    .iter()
+                    .filter(|(_, d)| d.is_full())
+                    .map(|(i, _)| i.0)
+                    .collect();
+                // EGDs before full TGDs (the order is immaterial for correctness).
+                ids.sort_by_key(|&i| if self.sigma.as_slice()[i].is_egd() { 0 } else { 1 });
+                ids
+            };
+            let mut newly_added: Option<usize> = None;
+            for idx in full_first {
+                if let Some(rule_idx) = self.try_adorn(idx) {
+                    newly_added = Some(rule_idx);
+                    changed = true;
+                    // Line 8–10: if the source is an EGD violated by Dµ(Σµ), apply the
+                    // chase-step substitution τ.
+                    if self.sigma.as_slice()[idx].is_egd() {
+                        if let Some((from, to)) = self.dmu_chase_step(idx) {
+                            self.apply_tau(from, to);
+                        }
+                    }
+                    break;
+                }
+            }
+            if newly_added.is_none() {
+                // Lines 11–12: existentially quantified dependencies.
+                let existential: Vec<usize> = self
+                    .sigma
+                    .iter()
+                    .filter(|(_, d)| d.is_existential())
+                    .map(|(i, _)| i.0)
+                    .collect();
+                for idx in existential {
+                    if let Some(rule_idx) = self.try_adorn(idx) {
+                        newly_added = Some(rule_idx);
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            // Lines 13–16: adornment substitution θ and cyclicity detection.
+            if let Some(rule_idx) = newly_added {
+                if let Some(theta) = self.find_valid_theta(rule_idx) {
+                    let head = self.rules[rule_idx].head.clone();
+                    self.apply_theta(&theta);
+                    let substituted_head = apply_theta_to_head(&head, &theta);
+                    // `headµθ is cyclic`: the head of the newly adorned dependency may
+                    // itself be an equality (when the trigger was an adorned EGD, as in
+                    // Example 13); in that case the cyclicity introduced by θ shows up
+                    // in the heads that θ rewrote, so we also inspect the whole adorned
+                    // set — matching the example's "since Ω(AD) is cyclic, Acyc ≔ false".
+                    if self.head_is_cyclic(&substituted_head) || self.any_head_cyclic() {
+                        self.acyclic = false;
+                    }
+                }
+                self.dedupe_rules();
+            }
+            if !changed {
+                break;
+            }
+        }
+        let adorned = self.to_dependency_set();
+        AdnResult {
+            adorned_rule_count: self.rules.iter().filter(|r| r.src.is_some()).count(),
+            adorned,
+            acyclic: self.acyclic,
+            definitions: self.ad,
+            iterations: self.iterations,
+            budget_exhausted: self.budget_exhausted,
+        }
+    }
+
+    /// The set of adorned predicates `AP(Σµ)` occurring anywhere in the adorned rules.
+    fn adorned_predicates(&self) -> BTreeSet<(Predicate, Adornment)> {
+        let mut out = BTreeSet::new();
+        for rule in &self.rules {
+            for atom in rule.body.iter().chain(match &rule.head {
+                AdHead::Atoms(atoms) => atoms.iter(),
+                AdHead::Equality(_, _) => [].iter(),
+            }) {
+                if let Some(adornment) = &atom.adornment {
+                    out.insert((atom.predicate, adornment.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Function 2 (`adorn`): tries to produce a new adorned version of the original
+    /// dependency `idx`; on success the rule is appended and its index returned.
+    fn try_adorn(&mut self, idx: usize) -> Option<usize> {
+        let dep = &self.sigma.as_slice()[idx];
+        let ap = self.adorned_predicates();
+        let existing_bodies: BTreeSet<Vec<AdAtom>> = self
+            .rules
+            .iter()
+            .filter(|r| r.src == Some(idx))
+            .map(|r| r.body.clone())
+            .collect();
+        let candidates = coherent_adorned_bodies(dep.body(), &ap);
+        for (body, var_adornment) in candidates {
+            if existing_bodies.contains(&body) {
+                continue;
+            }
+            // Tentatively compute the adorned head (HeadAdn); AD additions are only
+            // committed if the rule is accepted.
+            let mut scratch_ad = self.ad.clone();
+            let head = self.head_adorn(dep, idx, &var_adornment, &mut scratch_ad);
+            let candidate = AdRule {
+                src: Some(idx),
+                body: body.clone(),
+                head,
+            };
+            if !self.is_fireable(&candidate) {
+                continue;
+            }
+            self.ad = scratch_ad;
+            self.rules.push(candidate);
+            return Some(self.rules.len() - 1);
+        }
+        None
+    }
+
+    /// HeadAdn (Section 6): propagate body adornments to the head; existential
+    /// variables get Skolem-style adornment definitions.
+    fn head_adorn(
+        &self,
+        dep: &Dependency,
+        idx: usize,
+        var_adornment: &BTreeMap<Variable, AdSym>,
+        ad: &mut Vec<AdnDefinition>,
+    ) -> AdHead {
+        match dep {
+            Dependency::Egd(e) => AdHead::Equality(e.left, e.right),
+            Dependency::Tgd(tgd) => {
+                let mut frontier: Vec<Variable> = tgd.frontier_variables().into_iter().collect();
+                frontier.sort();
+                let args: Vec<AdSym> = frontier
+                    .iter()
+                    .map(|v| *var_adornment.get(v).unwrap_or(&AdSym::B))
+                    .collect();
+                let existential = tgd.existential_variables();
+                let mut ex_symbols: BTreeMap<Variable, AdSym> = BTreeMap::new();
+                for (z_idx, z) in existential.iter().enumerate() {
+                    let existing = ad.iter().find(|d| {
+                        d.rule == idx && d.var_index == z_idx && d.args == args
+                    });
+                    let sym = match existing {
+                        Some(d) => AdSym::F(d.symbol),
+                        None => {
+                            let next = 1 + ad
+                                .iter()
+                                .flat_map(|d| {
+                                    std::iter::once(d.symbol).chain(d.args.iter().filter_map(
+                                        |s| match s {
+                                            AdSym::F(i) => Some(*i),
+                                            AdSym::B => None,
+                                        },
+                                    ))
+                                })
+                                .max()
+                                .unwrap_or(0);
+                            ad.push(AdnDefinition {
+                                symbol: next,
+                                rule: idx,
+                                var_index: z_idx,
+                                args: args.clone(),
+                            });
+                            AdSym::F(next)
+                        }
+                    };
+                    ex_symbols.insert(*z, sym);
+                }
+                let atoms = tgd
+                    .head
+                    .iter()
+                    .map(|atom| {
+                        let adornment: Adornment = atom
+                            .terms
+                            .iter()
+                            .map(|t| match t {
+                                Term::Const(_) => AdSym::B,
+                                Term::Var(v) => *var_adornment
+                                    .get(v)
+                                    .or_else(|| ex_symbols.get(v))
+                                    .unwrap_or(&AdSym::B),
+                                Term::Null(_) => AdSym::B,
+                            })
+                            .collect();
+                        AdAtom {
+                            predicate: atom.predicate,
+                            adornment: Some(adornment),
+                            terms: atom.terms.clone(),
+                        }
+                    })
+                    .collect();
+                AdHead::Atoms(atoms)
+            }
+        }
+    }
+
+    /// Is the candidate adorned rule fireable with respect to the current adorned set?
+    fn is_fireable(&self, candidate: &AdRule) -> bool {
+        if self.exact_fireable {
+            let current = self.to_dependency_set();
+            let candidate_dep = ad_rule_to_dependency(candidate, usize::MAX);
+            self.rules.iter().enumerate().any(|(k, rule)| {
+                let dep = ad_rule_to_dependency(rule, k);
+                crate::firing::definition2_edge(
+                    &current,
+                    &dep,
+                    &candidate_dep,
+                    &self.config.firing,
+                )
+            })
+        } else {
+            // Overlap approximation: some rule's (adorned) head can syntactically feed
+            // the candidate's body.
+            let body_preds: BTreeSet<(Predicate, Option<Adornment>)> = candidate
+                .body
+                .iter()
+                .map(|a| (a.predicate, a.adornment.clone()))
+                .collect();
+            self.rules.iter().any(|rule| match &rule.head {
+                AdHead::Atoms(atoms) => atoms
+                    .iter()
+                    .any(|a| body_preds.contains(&(a.predicate, a.adornment.clone()))),
+                AdHead::Equality(_, _) => rule
+                    .body
+                    .iter()
+                    .any(|a| candidate.body.iter().any(|b| b.predicate == a.predicate)),
+            })
+        }
+    }
+
+    /// `Dµ(Σµ)`: one fact per adorned predicate, with `b` as a constant and each free
+    /// symbol `f_i` as the labeled null `η_i`.
+    fn dmu_instance(&self) -> Instance {
+        let mut inst = Instance::new();
+        for (pred, adornment) in self.adorned_predicates() {
+            let terms: Vec<GroundTerm> = adornment
+                .iter()
+                .map(|s| match s {
+                    AdSym::B => GroundTerm::Const(Constant::new("b")),
+                    AdSym::F(i) => GroundTerm::Null(NullValue(*i as u64)),
+                })
+                .collect();
+            inst.insert(Fact {
+                predicate: pred,
+                terms,
+            });
+        }
+        inst
+    }
+
+    /// Line 9 of Algorithm 1: if the original EGD `idx` is violated by `Dµ(Σµ)`, run one
+    /// chase step and return the induced symbol substitution `{f_i / s}`.
+    fn dmu_chase_step(&self, idx: usize) -> Option<(u32, AdSym)> {
+        let egd = self.sigma.as_slice()[idx].as_egd()?;
+        let dmu = self.dmu_instance();
+        for h in chase_core::homomorphism::homomorphisms(&egd.body, &dmu) {
+            let left = h.get(egd.left)?;
+            let right = h.get(egd.right)?;
+            if left == right {
+                continue;
+            }
+            // Definition 1(2b): replace a labeled null; both sides being constants is
+            // impossible here since the only constant is `b`.
+            return match (left, right) {
+                (GroundTerm::Null(n), GroundTerm::Null(m)) => {
+                    Some((n.0 as u32, AdSym::F(m.0 as u32)))
+                }
+                (GroundTerm::Null(n), GroundTerm::Const(_)) => Some((n.0 as u32, AdSym::B)),
+                (GroundTerm::Const(_), GroundTerm::Null(m)) => Some((m.0 as u32, AdSym::B)),
+                (GroundTerm::Const(_), GroundTerm::Const(_)) => None,
+            };
+        }
+        None
+    }
+
+    /// Line 10: apply `τ = {f_from / to}` to `Σµ`, delete the definitions of `f_from`
+    /// from `AD`, and apply `τ` to the remaining definitions.
+    fn apply_tau(&mut self, from: u32, to: AdSym) {
+        let map: BTreeMap<u32, AdSym> = [(from, to)].into_iter().collect();
+        for rule in &mut self.rules {
+            apply_map_to_rule(rule, &map);
+        }
+        self.ad.retain(|d| d.symbol != from);
+        for def in &mut self.ad {
+            for a in &mut def.args {
+                if let AdSym::F(i) = a {
+                    if *i == from {
+                        *a = to;
+                    }
+                }
+            }
+        }
+        self.ad.dedup();
+    }
+
+    /// Lines 13–14: look for a non-empty valid substitution θ mapping the newly adorned
+    /// rule onto an existing adorned version of the same source dependency.
+    fn find_valid_theta(&self, rule_idx: usize) -> Option<BTreeMap<u32, AdSym>> {
+        let new_rule = &self.rules[rule_idx];
+        let src = new_rule.src?;
+        for (k, other) in self.rules.iter().enumerate() {
+            if k == rule_idx || other.src != Some(src) {
+                continue;
+            }
+            if let Some(theta) = unify_adornments(new_rule, other) {
+                if theta.is_empty() {
+                    continue;
+                }
+                // No chained replacements: the range must not intersect the domain.
+                let range_symbols: BTreeSet<u32> = theta
+                    .values()
+                    .filter_map(|s| match s {
+                        AdSym::F(i) => Some(*i),
+                        AdSym::B => None,
+                    })
+                    .collect();
+                if theta.keys().any(|k| range_symbols.contains(k)) {
+                    continue;
+                }
+                // Validity: every fi/fj pair must have definitions for the same Skolem
+                // function f^r_z.
+                let valid = theta.iter().all(|(i, s)| match s {
+                    AdSym::F(j) => self.ad.iter().any(|d1| {
+                        d1.symbol == *i
+                            && self
+                                .ad
+                                .iter()
+                                .any(|d2| d2.symbol == *j && d2.rule == d1.rule && d2.var_index == d1.var_index)
+                    }),
+                    AdSym::B => false,
+                });
+                if valid {
+                    return Some(theta);
+                }
+            }
+        }
+        None
+    }
+
+    /// Line 14: apply θ to `Σµ` and `AD` (including the defined symbols).
+    fn apply_theta(&mut self, theta: &BTreeMap<u32, AdSym>) {
+        for rule in &mut self.rules {
+            apply_map_to_rule(rule, theta);
+        }
+        for def in &mut self.ad {
+            if let Some(AdSym::F(j)) = theta.get(&def.symbol) {
+                def.symbol = *j;
+            }
+            for a in &mut def.args {
+                if let AdSym::F(i) = a {
+                    if let Some(s) = theta.get(i) {
+                        *a = *s;
+                    }
+                }
+            }
+        }
+        self.ad.dedup();
+        let mut seen = BTreeSet::new();
+        self.ad.retain(|d| {
+            seen.insert((d.symbol, d.rule, d.var_index, d.args.clone()))
+        });
+    }
+
+    fn dedupe_rules(&mut self) {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut kept = Vec::with_capacity(self.rules.len());
+        for rule in self.rules.drain(..) {
+            let key = format!("{rule:?}");
+            if seen.insert(key) {
+                kept.push(rule);
+            }
+        }
+        self.rules = kept;
+    }
+
+    /// Is any head of the current adorned set cyclic w.r.t. `AD`?
+    fn any_head_cyclic(&self) -> bool {
+        let heads: Vec<AdHead> = self.rules.iter().map(|r| r.head.clone()).collect();
+        heads.iter().any(|h| self.head_is_cyclic(h))
+    }
+
+    /// Lines 15–16: is the (θ-substituted) adorned head cyclic w.r.t. `AD`?
+    fn head_is_cyclic(&self, head: &AdHead) -> bool {
+        let atoms = match head {
+            AdHead::Atoms(atoms) => atoms,
+            AdHead::Equality(_, _) => return false,
+        };
+        let omega = self.omega_graph();
+        atoms.iter().any(|atom| {
+            atom.adornment
+                .as_ref()
+                .map(|ad| {
+                    ad.iter().any(|s| match s {
+                        AdSym::F(i) => symbol_is_cyclic(*i, &omega),
+                        AdSym::B => false,
+                    })
+                })
+                .unwrap_or(false)
+        })
+    }
+
+    /// Builds Ω(AD): an edge `f_i → f_j` labeled `f^r_z` whenever `f_i = f^r_z(… f_j …)`
+    /// and `f_j = f^s_w(…)` are in AD and there is a chain `s < r1 < … < rn < r`
+    /// through full dependencies of the original set.
+    fn omega_graph(&self) -> Vec<(u32, u32, (usize, usize))> {
+        let mut edges = Vec::new();
+        for d1 in &self.ad {
+            for arg in &d1.args {
+                let j = match arg {
+                    AdSym::F(j) => *j,
+                    AdSym::B => continue,
+                };
+                let chain_ok = self.ad.iter().any(|d2| {
+                    d2.symbol == j && self.original_firing.reaches_via_full(d2.rule, d1.rule)
+                });
+                if chain_ok {
+                    edges.push((d1.symbol, j, (d1.rule, d1.var_index)));
+                }
+            }
+        }
+        edges
+    }
+
+    /// Converts the current adorned rules into a plain dependency set.
+    fn to_dependency_set(&self) -> DependencySet {
+        DependencySet::from_vec(
+            self.rules
+                .iter()
+                .enumerate()
+                .map(|(k, r)| ad_rule_to_dependency(r, k))
+                .collect(),
+        )
+    }
+}
+
+/// Is the symbol cyclic in Ω(AD): is there a path from it that traverses two edges with
+/// the same label?
+fn symbol_is_cyclic(start: u32, edges: &[(u32, u32, (usize, usize))]) -> bool {
+    // Reachability over symbols.
+    let reachable_from = |s: u32| -> BTreeSet<u32> {
+        let mut seen = BTreeSet::new();
+        let mut stack = vec![s];
+        while let Some(cur) = stack.pop() {
+            for (f, t, _) in edges {
+                if *f == cur && seen.insert(*t) {
+                    stack.push(*t);
+                }
+            }
+        }
+        seen
+    };
+    let from_start: BTreeSet<u32> = {
+        let mut s = reachable_from(start);
+        s.insert(start);
+        s
+    };
+    // A path from `start` uses two same-labelled edges iff there are edges e1 = (a, b, l)
+    // and e2 = (c, d, l) (possibly equal only if reachable twice, i.e. on a cycle) with
+    // a reachable from start and c reachable from b.
+    for (a, b, l1) in edges {
+        if !from_start.contains(a) {
+            continue;
+        }
+        let after_e1: BTreeSet<u32> = {
+            let mut s = reachable_from(*b);
+            s.insert(*b);
+            s
+        };
+        for (c, _, l2) in edges {
+            if l1 == l2 && after_e1.contains(c) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn apply_theta_to_head(head: &AdHead, theta: &BTreeMap<u32, AdSym>) -> AdHead {
+    match head {
+        AdHead::Equality(a, b) => AdHead::Equality(*a, *b),
+        AdHead::Atoms(atoms) => AdHead::Atoms(
+            atoms
+                .iter()
+                .map(|atom| {
+                    let mut atom = atom.clone();
+                    if let Some(ad) = &mut atom.adornment {
+                        for s in ad.iter_mut() {
+                            if let AdSym::F(i) = s {
+                                if let Some(to) = theta.get(i) {
+                                    *s = *to;
+                                }
+                            }
+                        }
+                    }
+                    atom
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn apply_map_to_rule(rule: &mut AdRule, map: &BTreeMap<u32, AdSym>) {
+    let fix = |adornment: &mut Option<Adornment>| {
+        if let Some(ad) = adornment {
+            for s in ad.iter_mut() {
+                if let AdSym::F(i) = s {
+                    if let Some(to) = map.get(i) {
+                        *s = *to;
+                    }
+                }
+            }
+        }
+    };
+    for atom in &mut rule.body {
+        fix(&mut atom.adornment);
+    }
+    if let AdHead::Atoms(atoms) = &mut rule.head {
+        for atom in atoms {
+            fix(&mut atom.adornment);
+        }
+    }
+}
+
+/// Computes θ such that `new_rule θ = other`, comparing adornments position by
+/// position; returns `None` if the rules differ structurally or the mapping is
+/// inconsistent. The returned map may be empty (the rules are already equal).
+fn unify_adornments(new_rule: &AdRule, other: &AdRule) -> Option<BTreeMap<u32, AdSym>> {
+    // `mapping` records the image of every free symbol of `new_rule` (including
+    // identities); the returned θ keeps only the non-identity pairs.
+    let mut mapping: BTreeMap<u32, AdSym> = BTreeMap::new();
+    let pair_atoms = |a: &AdAtom, b: &AdAtom, mapping: &mut BTreeMap<u32, AdSym>| -> bool {
+        if a.predicate != b.predicate || a.terms != b.terms {
+            return false;
+        }
+        match (&a.adornment, &b.adornment) {
+            (None, None) => true,
+            (Some(x), Some(y)) => {
+                for (sa, sb) in x.iter().zip(y.iter()) {
+                    match (sa, sb) {
+                        (AdSym::B, AdSym::B) => {}
+                        (AdSym::F(i), s) => match mapping.get(i) {
+                            Some(existing) if existing != s => return false,
+                            Some(_) => {}
+                            None => {
+                                mapping.insert(*i, *s);
+                            }
+                        },
+                        (AdSym::B, AdSym::F(_)) => return false,
+                    }
+                }
+                true
+            }
+            _ => false,
+        }
+    };
+    if new_rule.body.len() != other.body.len() {
+        return None;
+    }
+    for (a, b) in new_rule.body.iter().zip(other.body.iter()) {
+        if !pair_atoms(a, b, &mut mapping) {
+            return None;
+        }
+    }
+    match (&new_rule.head, &other.head) {
+        (AdHead::Equality(a1, a2), AdHead::Equality(b1, b2)) => {
+            if a1 != b1 || a2 != b2 {
+                return None;
+            }
+        }
+        (AdHead::Atoms(x), AdHead::Atoms(y)) => {
+            if x.len() != y.len() {
+                return None;
+            }
+            for (a, b) in x.iter().zip(y.iter()) {
+                if !pair_atoms(a, b, &mut mapping) {
+                    return None;
+                }
+            }
+        }
+        _ => return None,
+    }
+    Some(
+        mapping
+            .into_iter()
+            .filter(|(i, s)| *s != AdSym::F(*i))
+            .collect(),
+    )
+}
+
+/// Enumerates the coherent adorned versions of a body with respect to the available
+/// adorned predicates, together with the induced variable adornment.
+fn coherent_adorned_bodies(
+    body: &[Atom],
+    ap: &BTreeSet<(Predicate, Adornment)>,
+) -> Vec<(Vec<AdAtom>, BTreeMap<Variable, AdSym>)> {
+    let mut per_atom: Vec<Vec<&Adornment>> = Vec::with_capacity(body.len());
+    for atom in body {
+        let options: Vec<&Adornment> = ap
+            .iter()
+            .filter(|(p, _)| *p == atom.predicate)
+            .map(|(_, a)| a)
+            .collect();
+        if options.is_empty() {
+            return Vec::new();
+        }
+        per_atom.push(options);
+    }
+    let mut out = Vec::new();
+    let mut assignment: BTreeMap<Variable, AdSym> = BTreeMap::new();
+    let mut chosen: Vec<&Adornment> = Vec::with_capacity(body.len());
+    fn recurse2<'x>(
+        body: &[Atom],
+        per_atom: &[Vec<&'x Adornment>],
+        idx: usize,
+        assignment: &mut BTreeMap<Variable, AdSym>,
+        chosen: &mut Vec<&'x Adornment>,
+        out: &mut Vec<(Vec<AdAtom>, BTreeMap<Variable, AdSym>)>,
+    ) {
+        if idx == body.len() {
+            let atoms = body
+                .iter()
+                .zip(chosen.iter())
+                .map(|(atom, adornment)| AdAtom {
+                    predicate: atom.predicate,
+                    adornment: Some((*adornment).clone()),
+                    terms: atom.terms.clone(),
+                })
+                .collect();
+            out.push((atoms, assignment.clone()));
+            return;
+        }
+        let atom = &body[idx];
+        'options: for adornment in &per_atom[idx] {
+            let mut newly_bound: Vec<Variable> = Vec::new();
+            for (t, s) in atom.terms.iter().zip(adornment.iter()) {
+                match t {
+                    Term::Const(_) => {
+                        if *s != AdSym::B {
+                            for v in newly_bound.drain(..) {
+                                assignment.remove(&v);
+                            }
+                            continue 'options;
+                        }
+                    }
+                    Term::Null(_) => {}
+                    Term::Var(v) => match assignment.get(v) {
+                        Some(existing) => {
+                            if existing != s {
+                                for v in newly_bound.drain(..) {
+                                    assignment.remove(&v);
+                                }
+                                continue 'options;
+                            }
+                        }
+                        None => {
+                            assignment.insert(*v, *s);
+                            newly_bound.push(*v);
+                        }
+                    },
+                }
+            }
+            chosen.push(adornment);
+            recurse2(body, per_atom, idx + 1, assignment, chosen, out);
+            chosen.pop();
+            for v in newly_bound {
+                assignment.remove(&v);
+            }
+        }
+    }
+    recurse2(
+        body,
+        &per_atom,
+        0,
+        &mut assignment,
+        &mut chosen,
+        &mut out,
+    );
+    out
+}
+
+/// Renders an adorned rule as an ordinary dependency with mangled predicate names.
+fn ad_rule_to_dependency(rule: &AdRule, index: usize) -> Dependency {
+    let convert = |atom: &AdAtom| -> Atom {
+        match &atom.adornment {
+            None => Atom {
+                predicate: atom.predicate,
+                terms: atom.terms.clone(),
+            },
+            Some(adornment) => Atom {
+                predicate: Predicate::new(
+                    &format!("{}__{}", atom.predicate.name, adornment_string(adornment)),
+                    atom.predicate.arity,
+                ),
+                terms: atom.terms.clone(),
+            },
+        }
+    };
+    let body: Vec<Atom> = rule.body.iter().map(convert).collect();
+    let label = match rule.src {
+        None => format!("base_{}", rule.body[0].predicate.name),
+        Some(s) => format!("adn{index}_of_r{s}"),
+    };
+    match &rule.head {
+        AdHead::Equality(a, b) => Dependency::Egd(
+            Egd::new(Some(label), body, *a, *b).expect("adorned EGD is well-formed"),
+        ),
+        AdHead::Atoms(atoms) => {
+            let head: Vec<Atom> = atoms.iter().map(convert).collect();
+            Dependency::Tgd(Tgd::new(Some(label), body, head).expect("adorned TGD is well-formed"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_dependencies;
+
+    fn sigma1() -> DependencySet {
+        parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            "#,
+        )
+        .unwrap()
+    }
+
+    fn sigma10() -> DependencySet {
+        parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y, ?z: E(?x, ?y, ?z).
+            r2: E(?x, ?y, ?y) -> N(?y).
+            r3: E(?x, ?y, ?z) -> ?y = ?z.
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example12_sigma1_is_semi_acyclic() {
+        let result = adorn(&sigma1());
+        assert!(result.acyclic, "Σ1 must be recognised as semi-acyclic");
+        assert!(!result.budget_exhausted);
+        // After the EGD substitution f1/b the only adorned predicates are N^b and E^bb.
+        let preds: BTreeSet<String> = result
+            .adorned
+            .predicates()
+            .into_iter()
+            .map(|p| p.name.as_str())
+            .collect();
+        assert!(preds.contains("N__b"));
+        assert!(preds.contains("E__bb"));
+        assert!(!preds.iter().any(|p| p.contains("f1")), "f1 must have been replaced by b: {preds:?}");
+        // AD is empty at the end (the definition of f1 was removed by τ).
+        assert!(result.definitions.is_empty());
+    }
+
+    #[test]
+    fn example13_sigma10_is_not_semi_acyclic() {
+        let result = adorn(&sigma10());
+        assert!(!result.acyclic, "Σ10 must be rejected (cyclic adornment)");
+        assert!(!result.budget_exhausted, "rejection must come from the cyclicity test");
+    }
+
+    #[test]
+    fn example11_sigma11_is_semi_acyclic() {
+        // Σ11 is semi-stratified, and SAC generalises S-Str (Theorem 9).
+        let sigma = parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> E(?y, ?x).
+            "#,
+        )
+        .unwrap();
+        assert!(is_semi_acyclic(&sigma));
+    }
+
+    #[test]
+    fn weakly_acyclic_sets_are_semi_acyclic() {
+        let sigma = parse_dependencies(
+            r#"
+            r1: P(?x, ?y) -> exists ?z: E(?x, ?z).
+            r2: Q(?x, ?y) -> exists ?z: E(?z, ?y).
+            r3: E(?x, ?y) -> M(?x).
+            "#,
+        )
+        .unwrap();
+        assert!(is_semi_acyclic(&sigma));
+    }
+
+    #[test]
+    fn self_feeding_rule_is_not_semi_acyclic() {
+        let sigma = parse_dependencies("r: E(?x, ?y) -> exists ?z: E(?y, ?z).").unwrap();
+        assert!(!is_semi_acyclic(&sigma));
+    }
+
+    #[test]
+    fn example6_rule_is_semi_acyclic() {
+        let sigma = parse_dependencies("r: E(?x, ?y) -> exists ?z: E(?x, ?z).").unwrap();
+        assert!(is_semi_acyclic(&sigma));
+    }
+
+    #[test]
+    fn adorned_set_contains_base_rules_and_adorned_rules() {
+        let result = adorn(&sigma1());
+        // Base rules: one per predicate (N, E).
+        let base: Vec<_> = result
+            .adorned
+            .iter()
+            .filter(|(_, d)| d.label().map(|l| l.starts_with("base_")).unwrap_or(false))
+            .collect();
+        assert_eq!(base.len(), 2);
+        assert!(result.adorned_rule_count >= 3, "every dependency of Σ1 gets at least one adorned version");
+        assert!(result.size_ratio(&sigma1()) >= 1.0);
+    }
+
+    #[test]
+    fn fireable_modes_agree_on_small_paper_examples() {
+        for sigma in [sigma1(), sigma10()] {
+            let exact = adorn_with(
+                &sigma,
+                &AdnConfig {
+                    fireable_mode: FireableMode::Exact,
+                    ..AdnConfig::default()
+                },
+            );
+            let overlap = adorn_with(
+                &sigma,
+                &AdnConfig {
+                    fireable_mode: FireableMode::PredicateOverlap,
+                    ..AdnConfig::default()
+                },
+            );
+            assert_eq!(exact.acyclic, overlap.acyclic);
+        }
+    }
+
+    #[test]
+    fn key_constraints_and_full_tgds_are_semi_acyclic() {
+        let sigma = parse_dependencies(
+            r#"
+            t: E(?x, ?y), E(?y, ?z) -> E(?x, ?z).
+            k: E(?x, ?y), E(?x, ?z) -> ?y = ?z.
+            "#,
+        )
+        .unwrap();
+        let result = adorn(&sigma);
+        assert!(result.acyclic);
+        assert!(result.definitions.is_empty());
+    }
+
+    #[test]
+    fn adornment_definitions_reference_existential_rules() {
+        // For a weakly acyclic set with one existential rule the final AD keeps the
+        // definition of its symbol.
+        let sigma = parse_dependencies(
+            r#"
+            r1: A(?x) -> exists ?y: B(?x, ?y).
+            r2: B(?x, ?y) -> C(?y).
+            "#,
+        )
+        .unwrap();
+        let result = adorn(&sigma);
+        assert!(result.acyclic);
+        assert_eq!(result.definitions.len(), 1);
+        assert_eq!(result.definitions[0].rule, 0);
+        assert_eq!(result.definitions[0].args, vec![AdSym::B]);
+    }
+
+    #[test]
+    fn size_ratio_is_moderate_on_paper_examples() {
+        for sigma in [sigma1(), sigma10()] {
+            let result = adorn(&sigma);
+            let ratio = result.size_ratio(&sigma);
+            assert!(ratio < 10.0, "|Σµ|/|Σ| unexpectedly large: {ratio}");
+        }
+    }
+
+    #[test]
+    fn display_of_symbols_and_definitions() {
+        assert_eq!(AdSym::B.to_string(), "b");
+        assert_eq!(AdSym::F(3).to_string(), "f3");
+        let def = AdnDefinition {
+            symbol: 2,
+            rule: 1,
+            var_index: 0,
+            args: vec![AdSym::B, AdSym::F(1)],
+        };
+        assert_eq!(def.to_string(), "f2 = f^r1_z0(bf1)");
+    }
+}

@@ -1,0 +1,173 @@
+//! The `Adn∃-C` combinator (Theorems 10 and 11): apply an arbitrary termination
+//! criterion `C` to the adorned set `Σµ = Adn∃(Σ)[1]` instead of `Σ`.
+//!
+//! If `Σµ ∈ C` then `Σ ∈ CT_std_∃` (Theorem 10), and `C ⊆ Adn∃-C` for every criterion
+//! `C` (Theorem 11) — combining the adornment with a criterion never loses sets and
+//! often gains some, because the adorned set has the same or weaker structural
+//! dependencies (EGD effects having been compiled away into the adornments).
+
+use crate::adornment::{adorn_with, AdnConfig, AdnResult};
+use chase_core::DependencySet;
+use chase_criteria::criterion::{Guarantee, NamedCriterion};
+
+/// Applies criterion `check` to the adorned version of `sigma` (`Adn∃-C`).
+///
+/// Returns the underlying [`AdnResult`] alongside the verdict so that callers can also
+/// inspect `Acyc` and the adorned set.
+pub fn adn_combined_with(
+    sigma: &DependencySet,
+    config: &AdnConfig,
+    check: impl Fn(&DependencySet) -> bool,
+) -> (bool, AdnResult) {
+    let result = adorn_with(sigma, config);
+    let verdict = check(&result.adorned);
+    (verdict, result)
+}
+
+/// Applies criterion `check` to the adorned version of `sigma` with the default
+/// configuration, returning only the verdict.
+pub fn adn_combined(sigma: &DependencySet, check: impl Fn(&DependencySet) -> bool) -> bool {
+    adn_combined_with(sigma, &AdnConfig::default(), check).0
+}
+
+/// Convenience: `Adn∃-WA` — weak acyclicity on the adorned set.
+pub fn adn_weak_acyclicity(sigma: &DependencySet) -> bool {
+    adn_combined(sigma, chase_criteria::weak_acyclicity::is_weakly_acyclic)
+}
+
+/// Convenience: `Adn∃-SC` — safety on the adorned set.
+pub fn adn_safety(sigma: &DependencySet) -> bool {
+    adn_combined(sigma, chase_criteria::safety::is_safe)
+}
+
+/// Convenience: `Adn∃-SwA` — super-weak acyclicity on the adorned set.
+pub fn adn_super_weak_acyclicity(sigma: &DependencySet) -> bool {
+    adn_combined(sigma, chase_criteria::super_weak::is_super_weakly_acyclic)
+}
+
+/// Wraps every baseline criterion `C` into its `Adn∃-C` counterpart, for use in the
+/// experiment harness. All combined criteria guarantee membership in `CT_std_∃`.
+pub fn combined_criteria() -> Vec<NamedCriterion> {
+    vec![
+        NamedCriterion::new("Adn-WA", Guarantee::SomeSequence, adn_weak_acyclicity),
+        NamedCriterion::new("Adn-SC", Guarantee::SomeSequence, adn_safety),
+        NamedCriterion::new("Adn-SwA", Guarantee::SomeSequence, adn_super_weak_acyclicity),
+    ]
+}
+
+/// The paper's own criteria packaged as [`NamedCriterion`]s: semi-stratification and
+/// semi-acyclicity.
+pub fn paper_criteria() -> Vec<NamedCriterion> {
+    vec![
+        NamedCriterion::new("S-Str", Guarantee::SomeSequence, |s| {
+            crate::semi_stratification::is_semi_stratified(s)
+        }),
+        NamedCriterion::new("SAC", Guarantee::SomeSequence, |s| {
+            crate::adornment::is_semi_acyclic(s)
+        }),
+    ]
+}
+
+/// Every criterion known to the workspace: the baselines, the paper's criteria and the
+/// `Adn∃-C` combinations, in that order.
+pub fn all_criteria() -> Vec<NamedCriterion> {
+    let mut out = chase_criteria::criterion::baseline_criteria();
+    out.extend(paper_criteria());
+    out.extend(combined_criteria());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_dependencies;
+    use chase_criteria::prelude::*;
+
+    fn sigma1() -> DependencySet {
+        parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn theorem11_adn_c_contains_c_on_a_corpus() {
+        let inputs = [
+            "r1: P(?x, ?y) -> exists ?z: E(?x, ?z). r2: Q(?x, ?y) -> exists ?z: E(?z, ?y).",
+            "a: A(?x) -> B(?x). b: B(?x) -> C(?x).",
+            "r: E(?x, ?y) -> exists ?z: E(?x, ?z).",
+            "r1: A(?x) -> exists ?y: B(?x, ?y). r2: B(?x, ?y) -> C(?y).",
+            "k: R(?x, ?y), R(?x, ?z) -> ?y = ?z.",
+        ];
+        for src in inputs {
+            let sigma = parse_dependencies(src).unwrap();
+            if is_weakly_acyclic(&sigma) {
+                assert!(adn_weak_acyclicity(&sigma), "WA ⊆ Adn-WA violated on {src}");
+            }
+            if is_safe(&sigma) {
+                assert!(adn_safety(&sigma), "SC ⊆ Adn-SC violated on {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn sigma1_is_gained_by_the_adornment_algorithm_itself() {
+        // Σ1 is rejected by every classical criterion (it is not even in CT_std_∀), but
+        // the adornment algorithm recognises it directly (Example 12). Its adorned set
+        // still carries the structural null-cycle (the adorned rules mirror r1/r2), so
+        // the gain here comes from SAC, not from Adn∃-WA.
+        let sigma = sigma1();
+        assert!(!is_weakly_acyclic(&sigma));
+        assert!(!is_safe(&sigma));
+        assert!(crate::adornment::is_semi_acyclic(&sigma));
+    }
+
+    #[test]
+    fn combined_result_exposes_the_adorned_set() {
+        let chain = parse_dependencies(
+            "r1: A(?x) -> exists ?y: B(?x, ?y). r2: B(?x, ?y) -> C(?y).",
+        )
+        .unwrap();
+        let (verdict, result) = adn_combined_with(
+            &chain,
+            &crate::adornment::AdnConfig::default(),
+            is_weakly_acyclic,
+        );
+        assert!(verdict, "the adorned version of a WA set stays WA");
+        assert!(result.acyclic);
+        assert!(result.adorned.len() > chain.len());
+    }
+
+    #[test]
+    fn registry_contains_paper_and_combined_criteria() {
+        let all = all_criteria();
+        let names: Vec<&str> = all.iter().map(|c| c.name).collect();
+        for expected in ["WA", "SC", "SwA", "Str", "CStr", "MFA", "S-Str", "SAC", "Adn-WA"] {
+            assert!(names.contains(&expected), "missing criterion {expected}");
+        }
+    }
+
+    #[test]
+    fn sigma10_is_rejected_even_after_combination() {
+        // Σ10 has no terminating sequence at all, so every sound criterion must reject.
+        let sigma10 = parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y, ?z: E(?x, ?y, ?z).
+            r2: E(?x, ?y, ?y) -> N(?y).
+            r3: E(?x, ?y, ?z) -> ?y = ?z.
+            "#,
+        )
+        .unwrap();
+        for criterion in all_criteria() {
+            assert!(
+                !criterion.accepts(&sigma10),
+                "{} wrongly accepts Σ10",
+                criterion.name
+            );
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! The firing relation `r1 < r2` and the firing graph `Gf(Σ)` of Definition 2.
+//!
+//! The relation refines the chase-graph relation `≺` of stratification with one extra
+//! condition: when the *target* dependency `r2` is existentially quantified, the edge
+//! only exists if the witnessing situation cannot be defused by first enforcing a full
+//! dependency — formally, there must be **no** `r3 ∈ Σ∀` with a standard chase step
+//! `K --r3,h3,γ3--> J'` such that `J' ⊨ h2(r2)`.
+//!
+//! This is what allows semi-stratification to recognise sets such as Σ11 of Example 11,
+//! where the re-firing of the existential rule can always be blocked by a full TGD.
+
+use chase_core::homomorphism::{Assignment, HomomorphismSearch};
+use chase_core::satisfaction::satisfies_under;
+use chase_core::{Dependency, DependencySet, GroundTerm, Instance};
+use chase_criteria::firing::{
+    for_each_firing_witness, Applicability, FiringConfig, FiringWitness,
+};
+use chase_criteria::graph::DiGraph;
+use std::ops::ControlFlow;
+
+/// Returns `true` iff `r1 < r2` (Definition 2), evaluated over the bounded witness
+/// space of [`chase_criteria::firing`]. `sigma` provides the set `Σ∀` used by the
+/// blocking condition.
+pub fn definition2_edge(
+    sigma: &DependencySet,
+    r1: &Dependency,
+    r2: &Dependency,
+    config: &FiringConfig,
+) -> bool {
+    let full_deps: Vec<&Dependency> = sigma
+        .iter()
+        .filter(|(_, d)| d.is_full())
+        .map(|(_, d)| d)
+        .collect();
+    let answer = for_each_firing_witness(r1, r2, config, &mut |w| {
+        if !r2.is_existential() || !witness_is_blocked(&full_deps, w, r2) {
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    answer.may_fire()
+}
+
+/// Checks the blocking condition of Definition 2 for a single witness: is there a full
+/// dependency `r3` and a standard chase step on `K` whose result satisfies `h2(r2)`?
+fn witness_is_blocked(
+    full_deps: &[&Dependency],
+    witness: &FiringWitness,
+    r2: &Dependency,
+) -> bool {
+    for r3 in full_deps {
+        let blocked = HomomorphismSearch::new(r3.body(), &witness.k).for_each_extending(
+            &Assignment::new(),
+            &mut |h3| {
+                if let Some(j_prime) = standard_step(&witness.k, r3, h3) {
+                    if satisfies_under(&j_prime, r2, &witness.h2) {
+                        return ControlFlow::Break(());
+                    }
+                }
+                ControlFlow::Continue(())
+            },
+        );
+        if blocked.is_some() {
+            return true;
+        }
+    }
+    false
+}
+
+/// Simulates one standard chase step of the full dependency `r3` under `h3`, returning
+/// the successor instance if the step is applicable and non-failing.
+fn standard_step(k: &Instance, r3: &Dependency, h3: &Assignment) -> Option<Instance> {
+    match r3 {
+        Dependency::Tgd(tgd) => {
+            if chase_core::homomorphism::exists_homomorphism_extending(&tgd.head, k, h3) {
+                return None;
+            }
+            // Full TGD: no fresh nulls are needed.
+            let mut j = k.clone();
+            for atom in &tgd.head {
+                j.insert(h3.apply_atom(atom).expect("full TGD head variables bound"));
+            }
+            Some(j)
+        }
+        Dependency::Egd(egd) => {
+            let a = h3.get(egd.left)?;
+            let b = h3.get(egd.right)?;
+            if a == b {
+                return None;
+            }
+            let gamma = match (a, b) {
+                (GroundTerm::Const(_), GroundTerm::Const(_)) => return None,
+                (GroundTerm::Null(n), other) => {
+                    chase_core::NullSubstitution::single(n, other)
+                }
+                (other, GroundTerm::Null(n)) => {
+                    chase_core::NullSubstitution::single(n, other)
+                }
+            };
+            Some(k.apply_substitution(&gamma))
+        }
+    }
+}
+
+/// Builds the firing graph `Gf(Σ)` of Definition 2: nodes are dependency indices, with
+/// an edge `(r1, r2)` iff `r1 < r2`.
+pub fn firing_graph(sigma: &DependencySet) -> DiGraph {
+    firing_graph_with(sigma, &FiringConfig::default())
+}
+
+/// [`firing_graph`] with an explicit firing-test configuration.
+pub fn firing_graph_with(sigma: &DependencySet, config: &FiringConfig) -> DiGraph {
+    debug_assert_eq!(config.applicability, Applicability::Standard);
+    let mut g = DiGraph::new();
+    for id in sigma.ids() {
+        g.add_node(id.0);
+    }
+    for (i, r1) in sigma.iter() {
+        for (j, r2) in sigma.iter() {
+            if definition2_edge(sigma, r1, r2, config) {
+                g.add_edge(i.0, j.0, false);
+            }
+        }
+    }
+    g
+}
+
+/// Returns `true` iff `r1` is *fireable* with respect to `sigma`: some dependency of
+/// `sigma` fires it (Definition 2).
+pub fn is_fireable(sigma: &DependencySet, r1: &Dependency, config: &FiringConfig) -> bool {
+    sigma
+        .iter()
+        .any(|(_, r2)| definition2_edge(sigma, r2, r1, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_dependencies;
+    use chase_core::DepId;
+    use chase_criteria::firing::chase_graph_edge;
+
+    fn cfg() -> FiringConfig {
+        FiringConfig::default()
+    }
+
+    fn sigma11() -> DependencySet {
+        parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> E(?y, ?x).
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example11_edge_r2_r1_is_in_chase_graph_but_not_firing_graph() {
+        let sigma = sigma11();
+        let r1 = sigma.get(DepId(0));
+        let r2 = sigma.get(DepId(1));
+        // Chase graph (stratification) has the edge r2 ≺ r1 …
+        assert!(chase_graph_edge(r2, r1, &cfg()));
+        // … but the firing of r1 because of r2 is always blocked by first enforcing r3,
+        // so r2 < r1 does not hold (Figure 1 of the paper).
+        assert!(!definition2_edge(&sigma, r2, r1, &cfg()));
+    }
+
+    #[test]
+    fn example11_firing_graph_matches_figure1() {
+        // Figure 1 (right): full TGDs r2 and r3 keep their incoming edges; the edge
+        // r2 -> r1 is dropped.
+        let sigma = sigma11();
+        let g = firing_graph(&sigma);
+        assert!(g.has_edge(0, 1), "r1 < r2");
+        assert!(g.has_edge(0, 2), "r1 < r3");
+        assert!(!g.has_edge(1, 0), "r2 < r1 must NOT hold");
+        assert!(!g.has_edge(2, 0), "r3 < r1 must NOT hold");
+    }
+
+    #[test]
+    fn example1_keeps_the_cycle_in_the_firing_graph() {
+        // In Σ1 the blocker is an EGD, and a witness with two distinct constants cannot
+        // be defused (the EGD step would fail), so r2 < r1 still holds.
+        let sigma = parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            "#,
+        )
+        .unwrap();
+        let g = firing_graph(&sigma);
+        assert!(g.has_edge(1, 0), "r2 < r1 holds for Σ1");
+        assert!(g.has_edge(0, 1), "r1 < r2 holds for Σ1");
+    }
+
+    #[test]
+    fn full_dependencies_have_identical_incoming_edges_in_both_graphs() {
+        // For full targets the blocking condition is vacuous, so < and ≺ agree.
+        let sigma = sigma11();
+        let g = firing_graph(&sigma);
+        for (i, r1) in sigma.iter() {
+            for (j, r2) in sigma.iter() {
+                if r2.is_full() {
+                    assert_eq!(
+                        g.has_edge(i.0, j.0),
+                        chase_graph_edge(r1, r2, &cfg()),
+                        "mismatch on ({i:?}, {j:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fireable_dependencies_of_example11() {
+        let sigma = sigma11();
+        // r2 and r3 are fireable (r1 fires them); r1 is not fireable.
+        assert!(is_fireable(&sigma, sigma.get(DepId(1)), &cfg()));
+        assert!(is_fireable(&sigma, sigma.get(DepId(2)), &cfg()));
+        assert!(!is_fireable(&sigma, sigma.get(DepId(0)), &cfg()));
+    }
+
+    #[test]
+    fn firing_graph_is_a_subgraph_of_the_chase_graph() {
+        for src in [
+            "r1: N(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?y) -> N(?y). r3: E(?x, ?y) -> ?x = ?y.",
+            "r1: N(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?y) -> N(?y). r3: E(?x, ?y) -> E(?y, ?x).",
+            "a: A(?x) -> B(?x). b: B(?x) -> C(?x).",
+            "r: E(?x, ?y) -> exists ?z: E(?y, ?z).",
+        ] {
+            let sigma = parse_dependencies(src).unwrap();
+            let gf = firing_graph(&sigma);
+            let gc = chase_criteria::firing::chase_graph(&sigma, &cfg());
+            for (f, t, _) in gf.edges() {
+                assert!(gc.has_edge(f, t), "Gf ⊆ G violated on {src}: ({f},{t})");
+            }
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! # chase-termination
+//!
+//! The contribution of Calautti, Greco, Molinaro, Trubitsyna — *Exploiting Equality
+//! Generating Dependencies in Checking Chase Termination* (PVLDB 9(5), 2016):
+//! EGD-aware sufficient conditions for membership in `CT_std_∃` (for every database,
+//! at least one terminating standard chase sequence exists).
+//!
+//! * [`firing`] — the firing relation `r1 < r2` and the firing graph `Gf(Σ)` of
+//!   **Definition 2**, which refines the chase graph of stratification by discarding
+//!   edges whose firing can always be blocked by first enforcing a full dependency;
+//! * [`semi_stratification`] — **semi-stratification** (`S-Str`, Definition 3): every
+//!   strongly connected component of `Gf(Σ)` must be weakly acyclic;
+//! * [`adornment`] — the **`Adn∃` adornment algorithm** (Algorithm 1) and
+//!   **semi-acyclicity** (`SAC`, Definition 4), which analyse EGDs directly by
+//!   propagating bound/free adornments and applying EGD-induced substitutions;
+//! * [`combined`] — the **`Adn∃-C`** combinator (Theorems 10–11): any existing
+//!   criterion applied to the adorned set recognises strictly more sets in `CT_std_∃`.
+//!
+//! ```
+//! use chase_core::parser::parse_dependencies;
+//! use chase_termination::prelude::*;
+//!
+//! // Σ11 of Example 11: semi-stratified (and semi-acyclic), although not stratified.
+//! let sigma11 = parse_dependencies(
+//!     "r1: N(?x) -> exists ?y: E(?x, ?y).
+//!      r2: E(?x, ?y) -> N(?y).
+//!      r3: E(?x, ?y) -> E(?y, ?x).",
+//! )
+//! .unwrap();
+//! assert!(is_semi_stratified(&sigma11));
+//! assert!(is_semi_acyclic(&sigma11));
+//!
+//! // Σ1 of Example 1: recognised by the adornment algorithm (Example 12).
+//! let sigma1 = parse_dependencies(
+//!     "r1: N(?x) -> exists ?y: E(?x, ?y).
+//!      r2: E(?x, ?y) -> N(?y).
+//!      r3: E(?x, ?y) -> ?x = ?y.",
+//! )
+//! .unwrap();
+//! assert!(is_semi_acyclic(&sigma1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adornment;
+pub mod combined;
+pub mod firing;
+pub mod semi_stratification;
+
+pub use adornment::{
+    adorn, adorn_with, is_semi_acyclic, is_semi_acyclic_with, AdSym, AdnConfig, AdnDefinition,
+    AdnResult, FireableMode,
+};
+pub use combined::{adn_combined, adn_combined_with, all_criteria, paper_criteria};
+pub use firing::{definition2_edge, firing_graph, firing_graph_with, is_fireable};
+pub use semi_stratification::{
+    is_semi_stratified, is_semi_stratified_with, semi_stratification_report,
+    SemiStratificationReport,
+};
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::adornment::{adorn, is_semi_acyclic, AdnConfig, AdnResult};
+    pub use crate::combined::{adn_combined, all_criteria, paper_criteria};
+    pub use crate::firing::{definition2_edge, firing_graph};
+    pub use crate::semi_stratification::{is_semi_stratified, semi_stratification_report};
+}

@@ -1,0 +1,176 @@
+//! Semi-stratification (Definition 3): every strongly connected component of the firing
+//! graph `Gf(Σ)` must be weakly acyclic.
+//!
+//! Semi-stratification strictly generalises stratification (Theorem 5.1): the firing
+//! graph is a subgraph of the chase graph, so its components are smaller, and the
+//! weak-acyclicity check is applied to fewer dependencies at a time. Acceptance
+//! guarantees, for every database, the existence of a terminating standard chase
+//! sequence of length polynomial in the database (Theorem 3).
+
+use crate::firing::firing_graph_with;
+use chase_core::{DepId, DependencySet};
+use chase_criteria::firing::FiringConfig;
+use chase_criteria::graph::DiGraph;
+use chase_criteria::weak_acyclicity::is_weakly_acyclic;
+use std::collections::BTreeSet;
+
+/// The result of the semi-stratification analysis, retaining the firing graph and the
+/// offending component (if any) for reporting.
+#[derive(Clone, Debug)]
+pub struct SemiStratificationReport {
+    /// The firing graph `Gf(Σ)` (node ids are dependency indices).
+    pub firing_graph: DiGraph,
+    /// The strongly connected components of the firing graph.
+    pub components: Vec<Vec<usize>>,
+    /// The first cyclic component that is not weakly acyclic, if any.
+    pub offending_component: Option<Vec<usize>>,
+}
+
+impl SemiStratificationReport {
+    /// Returns `true` iff the analysed set is semi-stratified.
+    pub fn is_semi_stratified(&self) -> bool {
+        self.offending_component.is_none()
+    }
+}
+
+/// Runs the semi-stratification analysis and returns the full report.
+pub fn semi_stratification_report(sigma: &DependencySet) -> SemiStratificationReport {
+    semi_stratification_report_with(sigma, &FiringConfig::default())
+}
+
+/// [`semi_stratification_report`] with an explicit firing-test configuration.
+pub fn semi_stratification_report_with(
+    sigma: &DependencySet,
+    config: &FiringConfig,
+) -> SemiStratificationReport {
+    let graph = firing_graph_with(sigma, config);
+    let components = graph.sccs();
+    let mut offending = None;
+    for scc in &components {
+        let cyclic = scc.len() > 1 || scc.iter().any(|&n| graph.has_edge(n, n));
+        if !cyclic {
+            continue;
+        }
+        let ids: BTreeSet<DepId> = scc.iter().map(|&n| DepId(n)).collect();
+        if !is_weakly_acyclic(&sigma.restrict(&ids)) {
+            offending = Some(scc.clone());
+            break;
+        }
+    }
+    SemiStratificationReport {
+        firing_graph: graph,
+        components,
+        offending_component: offending,
+    }
+}
+
+/// Returns `true` iff `sigma` is semi-stratified (`S-Str`, Definition 3).
+pub fn is_semi_stratified(sigma: &DependencySet) -> bool {
+    semi_stratification_report(sigma).is_semi_stratified()
+}
+
+/// [`is_semi_stratified`] with an explicit firing-test configuration.
+pub fn is_semi_stratified_with(sigma: &DependencySet, config: &FiringConfig) -> bool {
+    semi_stratification_report_with(sigma, config).is_semi_stratified()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_dependencies;
+    use chase_criteria::stratification::is_stratified;
+
+    #[test]
+    fn example11_is_semi_stratified_but_not_stratified() {
+        let sigma = parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> E(?y, ?x).
+            "#,
+        )
+        .unwrap();
+        assert!(is_semi_stratified(&sigma));
+        assert!(!is_stratified(&sigma));
+    }
+
+    #[test]
+    fn example1_is_not_semi_stratified() {
+        // The EGD of Σ1 cannot block a constants-only witness, so the firing graph
+        // still contains the cycle r1 <-> r2 and its component is not weakly acyclic.
+        // (Σ1 is nevertheless recognised by the adornment algorithm — Example 12.)
+        let sigma = parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            "#,
+        )
+        .unwrap();
+        let report = semi_stratification_report(&sigma);
+        assert!(!report.is_semi_stratified());
+        let offending = report.offending_component.unwrap();
+        assert!(offending.contains(&0) && offending.contains(&1));
+    }
+
+    #[test]
+    fn stratified_implies_semi_stratified() {
+        // Theorem 5.1: Str ⊆ S-Str.
+        let inputs = [
+            "r1: P(?x, ?y) -> exists ?z: E(?x, ?z). r2: Q(?x, ?y) -> exists ?z: E(?z, ?y).",
+            "a: A(?x) -> B(?x). b: B(?x) -> C(?x).",
+            "r: E(?x, ?y) -> exists ?z: E(?x, ?z).",
+            "s1: S(?x) -> exists ?y: E(?x, ?y). s2: E(?x, ?y), S(?y) -> S2(?y).",
+            "k1: R(?x, ?y), R(?x, ?z) -> ?y = ?z.",
+            "r1: N(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?y) -> N(?y). r3: E(?x, ?y) -> E(?y, ?x).",
+        ];
+        for src in inputs {
+            let sigma = parse_dependencies(src).unwrap();
+            if is_stratified(&sigma) {
+                assert!(is_semi_stratified(&sigma), "Str ⊆ S-Str violated on {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn weakly_acyclic_components_are_tolerated() {
+        // A genuine firing-graph cycle whose dependencies are weakly acyclic (full
+        // TGDs): transitive closure plus symmetry.
+        let sigma = parse_dependencies(
+            r#"
+            t: E(?x, ?y), E(?y, ?z) -> E(?x, ?z).
+            s: E(?x, ?y) -> E(?y, ?x).
+            "#,
+        )
+        .unwrap();
+        let report = semi_stratification_report(&sigma);
+        assert!(report.is_semi_stratified());
+        // The component containing t and s is cyclic in Gf but weakly acyclic.
+        assert!(report
+            .components
+            .iter()
+            .any(|c| c.len() == 2 || report.firing_graph.has_edge(c[0], c[0])));
+    }
+
+    #[test]
+    fn self_feeding_existential_rule_is_rejected() {
+        let sigma = parse_dependencies("r: E(?x, ?y) -> exists ?z: E(?y, ?z).").unwrap();
+        assert!(!is_semi_stratified(&sigma));
+    }
+
+    #[test]
+    fn report_exposes_the_firing_graph() {
+        let sigma = parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> E(?y, ?x).
+            "#,
+        )
+        .unwrap();
+        let report = semi_stratification_report(&sigma);
+        assert!(report.firing_graph.has_edge(0, 1));
+        assert!(!report.firing_graph.has_edge(1, 0));
+        assert_eq!(report.firing_graph.node_count(), 3);
+    }
+}

@@ -1,0 +1,67 @@
+//! # egd-chase
+//!
+//! Facade crate re-exporting the whole `egd-chase` workspace: a Rust reproduction of
+//! Calautti, Greco, Molinaro, Trubitsyna — *Exploiting Equality Generating Dependencies
+//! in Checking Chase Termination*, PVLDB 9(5):396–407, 2016.
+//!
+//! The workspace is organised as follows:
+//!
+//! * [`core`](chase_core) — the dependency language (TGDs, EGDs), instances,
+//!   homomorphisms, satisfaction and a textual parser;
+//! * [`engine`](chase_engine) — the chase: standard, oblivious, semi-oblivious and
+//!   core variants, core computation, universal models and certain answers;
+//! * [`criteria`](chase_criteria) — baseline termination criteria (weak acyclicity,
+//!   safety, stratification, c-stratification, super-weak acyclicity, MFA) and the
+//!   EGD→TGD simulations;
+//! * [`termination`](chase_termination) — the paper's contribution: the firing graph,
+//!   semi-stratification, the `Adn∃` adornment algorithm, semi-acyclicity and the
+//!   `Adn∃-C` combinator;
+//! * [`ontology`](chase_ontology) — a synthetic ontology-style workload generator
+//!   reproducing the corpus shape of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use egd_chase::prelude::*;
+//!
+//! // Σ1 of Example 1 in the paper, plus the database D = {N(a)}.
+//! let program = parse_program(
+//!     r#"
+//!     r1: N(?x) -> exists ?y: E(?x, ?y).
+//!     r2: E(?x, ?y) -> N(?y).
+//!     r3: E(?x, ?y) -> ?x = ?y.
+//!     N(a).
+//!     "#,
+//! )
+//! .unwrap();
+//!
+//! // Current criteria that require *all* chase sequences to terminate reject Σ1,
+//! // but the adornment algorithm recognises it as semi-acyclic, hence CT_std_∃.
+//! assert!(!is_stratified(&program.dependencies));
+//! assert!(is_semi_acyclic(&program.dependencies));
+//!
+//! // And indeed a terminating standard chase sequence exists.
+//! let result = StandardChase::new(&program.dependencies)
+//!     .with_egd_priority(true)
+//!     .run(&program.database);
+//! assert!(result.is_terminating());
+//! ```
+
+pub use chase_core;
+pub use chase_criteria;
+pub use chase_engine;
+pub use chase_ontology;
+pub use chase_termination;
+
+/// Convenience re-exports for the most common entry points.
+pub mod prelude {
+    pub use chase_core::builder::{atom, cst, egd, tgd, var};
+    pub use chase_core::parser::{parse_database, parse_dependencies, parse_program};
+    pub use chase_core::{
+        Atom, DepId, Dependency, DependencySet, Fact, Instance, Predicate, Term, Variable,
+    };
+    pub use chase_criteria::prelude::*;
+    pub use chase_engine::prelude::*;
+    pub use chase_ontology::prelude::*;
+    pub use chase_termination::prelude::*;
+}

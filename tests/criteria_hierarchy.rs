@@ -1,0 +1,160 @@
+//! Integration tests for the relationships between the termination criteria
+//! (Theorems 5, 9, 10, 11 and the classical hierarchy), checked over a corpus of
+//! hand-written sets plus generated ontologies.
+
+use chase_criteria::criterion::TerminationCriterion;
+use chase_ontology::generator::{generate, generate_database, OntologyProfile};
+use chase_termination::combined::{adn_safety, adn_super_weak_acyclicity, adn_weak_acyclicity, all_criteria};
+use egd_chase::prelude::*;
+
+fn corpus() -> Vec<DependencySet> {
+    let hand_written = [
+        "r1: N(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?y) -> N(?y). r3: E(?x, ?y) -> ?x = ?y.",
+        "r1: N(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?y) -> N(?y). r3: E(?x, ?y) -> E(?y, ?x).",
+        "r1: N(?x) -> exists ?y, ?z: E(?x, ?y, ?z). r2: E(?x, ?y, ?y) -> N(?y). r3: E(?x, ?y, ?z) -> ?y = ?z.",
+        "r1: P(?x, ?y) -> exists ?z: E(?x, ?z). r2: Q(?x, ?y) -> exists ?z: E(?z, ?y).",
+        "r1: A(?x) -> exists ?y: B(?x, ?y). r2: B(?x, ?y) -> C(?y).",
+        "r1: A(?x) -> exists ?y: B(?x, ?y). r2: B(?x, ?y) -> A(?y).",
+        "r: E(?x, ?y) -> exists ?z: E(?x, ?z).",
+        "r: E(?x, ?y) -> exists ?z: E(?y, ?z).",
+        "k1: R(?x, ?y), R(?x, ?z) -> ?y = ?z. k2: S(?x, ?y), S(?z, ?y) -> ?x = ?z.",
+        "t: E(?x, ?y), E(?y, ?z) -> E(?x, ?z). s: E(?x, ?y) -> E(?y, ?x).",
+        "r1: S(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?x) -> S(?x).",
+        "r1: A(?x), B(?x) -> C(?x). r2: C(?x) -> exists ?y: A(?x), B(?y). r3: C(?x) -> exists ?y: A(?y), B(?x). r4: A(?x), A(?y) -> ?x = ?y. r5: B(?x), B(?y) -> ?x = ?y.",
+    ];
+    let mut sets: Vec<DependencySet> = hand_written
+        .iter()
+        .map(|s| parse_dependencies(s).unwrap())
+        .collect();
+    for seed in 0..6u64 {
+        sets.push(generate(&OntologyProfile {
+            existential: 3,
+            full: 6,
+            egds: 2,
+            cyclic: seed % 2 == 0,
+            seed,
+        }));
+    }
+    sets
+}
+
+#[test]
+fn classical_hierarchy_wa_sc_swa_mfa() {
+    for sigma in corpus() {
+        if is_weakly_acyclic(&sigma) {
+            assert!(is_safe(&sigma), "WA ⊆ SC violated on\n{sigma}");
+        }
+        if is_safe(&sigma) {
+            assert!(is_super_weakly_acyclic(&sigma), "SC ⊆ SwA violated on\n{sigma}");
+        }
+        if is_super_weakly_acyclic(&sigma) {
+            assert!(is_mfa(&sigma), "SwA ⊆ MFA violated on\n{sigma}");
+        }
+    }
+}
+
+#[test]
+fn theorem5_stratification_implies_semi_stratification() {
+    for sigma in corpus() {
+        if is_stratified(&sigma) {
+            assert!(is_semi_stratified(&sigma), "Str ⊆ S-Str violated on\n{sigma}");
+        }
+        if is_c_stratified(&sigma) {
+            assert!(is_stratified(&sigma), "CStr ⊆ Str violated on\n{sigma}");
+        }
+    }
+}
+
+#[test]
+fn theorem9_semi_stratification_implies_semi_acyclicity() {
+    for sigma in corpus() {
+        if is_semi_stratified(&sigma) {
+            assert!(is_semi_acyclic(&sigma), "S-Str ⊆ SAC violated on\n{sigma}");
+        }
+    }
+}
+
+#[test]
+fn theorem11_criteria_improve_under_adornment() {
+    for sigma in corpus() {
+        if is_weakly_acyclic(&sigma) {
+            assert!(adn_weak_acyclicity(&sigma), "WA ⊆ Adn-WA violated on\n{sigma}");
+        }
+        if is_safe(&sigma) {
+            assert!(adn_safety(&sigma), "SC ⊆ Adn-SC violated on\n{sigma}");
+        }
+        if is_super_weakly_acyclic(&sigma) {
+            assert!(
+                adn_super_weak_acyclicity(&sigma),
+                "SwA ⊆ Adn-SwA violated on\n{sigma}"
+            );
+        }
+    }
+}
+
+#[test]
+fn soundness_accepted_sets_have_terminating_sequences() {
+    // Every criterion in the registry guarantees at least CT_std_∃; check empirically
+    // that an EGD-first standard chase terminates on sample databases whenever any
+    // criterion accepts.
+    for (i, sigma) in corpus().into_iter().enumerate() {
+        let accepted_by: Vec<&str> = all_criteria()
+            .into_iter()
+            .filter(|c| c.accepts(&sigma))
+            .map(|c| c.name)
+            .collect();
+        if accepted_by.is_empty() {
+            continue;
+        }
+        let db = generate_database(&sigma, 6, i as u64);
+        let out = StandardChase::new(&sigma)
+            .with_order(StepOrder::EgdsFirst)
+            .with_max_steps(30_000)
+            .run(&db);
+        assert!(
+            !out.is_budget_exhausted(),
+            "set #{i} accepted by {accepted_by:?} but the EGD-first chase did not halt:\n{sigma}"
+        );
+    }
+}
+
+#[test]
+fn separating_witnesses_exist() {
+    // The hierarchy is strict: exhibit at least one separation per inclusion.
+    let sigma1 = parse_dependencies(
+        "r1: N(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?y) -> N(?y). r3: E(?x, ?y) -> ?x = ?y.",
+    )
+    .unwrap();
+    let sigma11 = parse_dependencies(
+        "r1: N(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?y) -> N(?y). r3: E(?x, ?y) -> E(?y, ?x).",
+    )
+    .unwrap();
+    // S-Str strictly extends Str (Σ11), SAC strictly extends S-Str (Σ1).
+    assert!(is_semi_stratified(&sigma11) && !is_stratified(&sigma11));
+    assert!(is_semi_acyclic(&sigma1) && !is_semi_stratified(&sigma1));
+    // SAC is incomparable with the CT_∀ criteria: Σ1 ∈ SAC \ MFA …
+    assert!(!is_mfa(&sigma1));
+    // … and the repeated-variable witness is in SwA/MFA but needs no EGD reasoning.
+    let swa_witness = parse_dependencies(
+        "r1: S(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?x) -> S(?x).",
+    )
+    .unwrap();
+    assert!(is_super_weakly_acyclic(&swa_witness));
+}
+
+#[test]
+fn every_criterion_rejects_the_impossible_set() {
+    // Σ10 has no terminating sequence at all, so acceptance by any registered criterion
+    // would be a soundness bug.
+    let sigma10 = parse_dependencies(
+        "r1: N(?x) -> exists ?y, ?z: E(?x, ?y, ?z). r2: E(?x, ?y, ?y) -> N(?y). r3: E(?x, ?y, ?z) -> ?y = ?z.",
+    )
+    .unwrap();
+    for criterion in all_criteria() {
+        assert!(
+            !criterion.accepts(&sigma10),
+            "{} wrongly accepts Σ10",
+            criterion.name
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! Property-based tests (proptest) over the core data structures and the chase:
+//! invariants that must hold for arbitrary small inputs.
+
+use chase_core::builder::{atom, var};
+use chase_core::parser::{parse_program, to_source};
+use chase_core::satisfaction::satisfies_all;
+use chase_core::substitution::NullSubstitution;
+use chase_core::{
+    Constant, Dependency, DependencySet, Egd, Fact, GroundTerm, Instance, NullValue, Tgd,
+    Variable,
+};
+use chase_engine::{core_of, is_core, CoreChase, StandardChase, StepOrder};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------------
+// Strategies
+// ---------------------------------------------------------------------------------
+
+/// A ground term over a small domain of constants and nulls.
+fn ground_term() -> impl Strategy<Value = GroundTerm> {
+    prop_oneof![
+        (0..6u8).prop_map(|i| GroundTerm::Const(Constant::new(&format!("c{i}")))),
+        (0..4u64).prop_map(|i| GroundTerm::Null(NullValue(i))),
+    ]
+}
+
+/// A fact over a small schema of unary and binary predicates.
+fn fact() -> impl Strategy<Value = Fact> {
+    prop_oneof![
+        ((0..3u8), ground_term()).prop_map(|(p, t)| Fact::from_parts(&format!("U{p}"), vec![t])),
+        ((0..3u8), ground_term(), ground_term())
+            .prop_map(|(p, a, b)| Fact::from_parts(&format!("B{p}"), vec![a, b])),
+    ]
+}
+
+fn instance(max_facts: usize) -> impl Strategy<Value = Instance> {
+    prop::collection::vec(fact(), 0..max_facts).prop_map(Instance::from_facts)
+}
+
+/// A small "forward-flowing" dependency set: guaranteed to have terminating chases, so
+/// we can assert strong postconditions.
+fn terminating_dependency_set() -> impl Strategy<Value = DependencySet> {
+    // Rules over unary predicates U0..U3 and binary B0..B2, always moving from lower to
+    // higher predicate index, plus optional functional EGDs.
+    let inclusion = (0..3u8, 0..3u8).prop_map(|(i, d)| {
+        let j = i + d.min(3 - i).max(1).min(3 - i);
+        let j = j.min(3);
+        Dependency::Tgd(
+            Tgd::new(
+                None,
+                vec![atom(&format!("U{i}"), vec![var("x")])],
+                vec![atom(&format!("U{}", j.max(i)), vec![var("x")])],
+            )
+            .unwrap(),
+        )
+    });
+    let existential = (0..2u8, 0..3u8).prop_map(|(i, r)| {
+        Dependency::Tgd(
+            Tgd::new(
+                None,
+                vec![atom(&format!("U{i}"), vec![var("x")])],
+                vec![atom(&format!("B{r}"), vec![var("x"), var("y")])],
+            )
+            .unwrap(),
+        )
+    });
+    let range = (0..3u8, 2..4u8).prop_map(|(r, c)| {
+        Dependency::Tgd(
+            Tgd::new(
+                None,
+                vec![atom(&format!("B{r}"), vec![var("x"), var("y")])],
+                vec![atom(&format!("U{c}"), vec![var("y")])],
+            )
+            .unwrap(),
+        )
+    });
+    let functional = (0..3u8).prop_map(|r| {
+        Dependency::Egd(
+            Egd::new(
+                None,
+                vec![
+                    atom(&format!("B{r}"), vec![var("x"), var("y")]),
+                    atom(&format!("B{r}"), vec![var("x"), var("z")]),
+                ],
+                Variable::new("y"),
+                Variable::new("z"),
+            )
+            .unwrap(),
+        )
+    });
+    prop::collection::vec(
+        prop_oneof![inclusion, existential, range, functional],
+        1..8,
+    )
+    .prop_map(DependencySet::from_vec)
+}
+
+fn small_database() -> impl Strategy<Value = Instance> {
+    prop::collection::vec(
+        prop_oneof![
+            ((0..2u8), (0..4u8)).prop_map(|(p, c)| Fact::from_parts(
+                &format!("U{p}"),
+                vec![GroundTerm::Const(Constant::new(&format!("c{c}")))]
+            )),
+            ((0..3u8), (0..4u8), (0..4u8)).prop_map(|(p, a, b)| Fact::from_parts(
+                &format!("B{p}"),
+                vec![
+                    GroundTerm::Const(Constant::new(&format!("c{a}"))),
+                    GroundTerm::Const(Constant::new(&format!("c{b}"))),
+                ]
+            )),
+        ],
+        0..6,
+    )
+    .prop_map(Instance::from_facts)
+}
+
+// ---------------------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Applying a null substitution never increases the number of facts and removes the
+    /// substituted null entirely.
+    #[test]
+    fn substitution_shrinks_or_preserves_instances(inst in instance(12), to in ground_term()) {
+        let target = NullValue(0);
+        prop_assume!(GroundTerm::Null(target) != to);
+        let gamma = NullSubstitution::single(target, to);
+        let after = inst.apply_substitution(&gamma);
+        prop_assert!(after.len() <= inst.len());
+        prop_assert!(!after.nulls().contains(&target));
+    }
+
+    /// The core of an instance is a sub-instance, is itself a core, and the original
+    /// instance maps homomorphically into it.
+    #[test]
+    fn core_is_a_homomorphically_equivalent_subinstance(inst in instance(8)) {
+        let core = core_of(&inst);
+        prop_assert!(core.is_subinstance_of(&inst));
+        prop_assert!(is_core(&core));
+        prop_assert!(chase_engine::homomorphically_equivalent(&core, &inst));
+        // Idempotence.
+        prop_assert_eq!(core_of(&core), core);
+    }
+
+    /// Instances round-trip through the textual format.
+    #[test]
+    fn database_round_trips_through_parser(db in small_database()) {
+        let src = to_source(&DependencySet::new(), &db);
+        let parsed = parse_program(&src).unwrap();
+        prop_assert_eq!(parsed.database, db);
+        prop_assert!(parsed.dependencies.is_empty());
+    }
+
+    /// On forward-flowing dependency sets the standard chase terminates and, when it
+    /// does not fail, its result is a model of the input.
+    #[test]
+    fn chase_result_is_a_model(sigma in terminating_dependency_set(), db in small_database()) {
+        let out = StandardChase::new(&sigma)
+            .with_order(StepOrder::EgdsFirst)
+            .with_max_steps(50_000)
+            .run(&db);
+        prop_assert!(!out.is_budget_exhausted(), "forward-flowing set diverged");
+        if let Some(model) = out.instance() {
+            prop_assert!(db.is_subinstance_of(model));
+            prop_assert!(satisfies_all(model, &sigma));
+        }
+    }
+
+    /// The core chase agrees with the standard chase about satisfiability and produces
+    /// a model that maps into the standard-chase model.
+    #[test]
+    fn core_chase_agrees_with_standard_chase(sigma in terminating_dependency_set(), db in small_database()) {
+        let std_out = StandardChase::new(&sigma)
+            .with_order(StepOrder::EgdsFirst)
+            .with_max_steps(50_000)
+            .run(&db);
+        let core_out = CoreChase::new(&sigma).with_max_rounds(200).run(&db);
+        prop_assert!(!std_out.is_budget_exhausted());
+        prop_assert!(!core_out.is_budget_exhausted());
+        prop_assert_eq!(std_out.is_failing(), core_out.is_failing());
+        if let (Some(std_model), Some(core_model)) = (std_out.instance(), core_out.instance()) {
+            prop_assert!(satisfies_all(core_model, &sigma));
+            prop_assert!(chase_engine::universal::maps_into(core_model, std_model));
+        }
+    }
+
+    /// Criteria are sound on the generated sets: if weak acyclicity (an all-sequences
+    /// criterion) accepts, then every policy of the standard chase halts.
+    #[test]
+    fn weak_acyclicity_soundness(sigma in terminating_dependency_set(), db in small_database()) {
+        use chase_criteria::prelude::*;
+        if is_weakly_acyclic(&sigma) {
+            for order in [StepOrder::Textual, StepOrder::EgdsFirst, StepOrder::FullFirst] {
+                let out = StandardChase::new(&sigma)
+                    .with_order(order)
+                    .with_max_steps(50_000)
+                    .run(&db);
+                prop_assert!(!out.is_budget_exhausted());
+            }
+        }
+        // And the paper's criteria accept at least everything weak acyclicity accepts.
+        if is_weakly_acyclic(&sigma) {
+            prop_assert!(chase_termination::is_semi_acyclic(&sigma));
+        }
+    }
+
+    /// Dependency sets round-trip through the textual format.
+    #[test]
+    fn dependency_sets_round_trip_through_parser(sigma in terminating_dependency_set()) {
+        let src = to_source(&sigma, &Instance::new());
+        let parsed = chase_core::parser::parse_dependencies(&src).unwrap();
+        prop_assert_eq!(parsed.len(), sigma.len());
+        for (a, b) in sigma.as_slice().iter().zip(parsed.as_slice()) {
+            prop_assert_eq!(a.body().len(), b.body().len());
+            prop_assert_eq!(a.is_egd(), b.is_egd());
+            prop_assert_eq!(a.is_full(), b.is_full());
+        }
+    }
+}
