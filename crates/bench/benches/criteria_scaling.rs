@@ -51,9 +51,11 @@ fn bench_paper_criteria(c: &mut Criterion) {
             fireable_mode: FireableMode::PredicateOverlap,
             ..AdnConfig::default()
         };
-        group.bench_with_input(BenchmarkId::new("adornment_overlap", size), &sigma, |b, s| {
-            b.iter(|| adorn_with(s, &overlap).acyclic)
-        });
+        group.bench_with_input(
+            BenchmarkId::new("adornment_overlap", size),
+            &sigma,
+            |b, s| b.iter(|| adorn_with(s, &overlap).acyclic),
+        );
     }
     group.finish();
 }

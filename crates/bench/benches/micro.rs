@@ -15,9 +15,10 @@ fn gc(s: &str) -> GroundTerm {
 }
 
 fn chain_instance(n: usize) -> Instance {
-    Instance::from_facts((0..n).map(|i| {
-        Fact::from_parts("E", vec![gc(&format!("v{i}")), gc(&format!("v{}", i + 1))])
-    }))
+    Instance::from_facts(
+        (0..n)
+            .map(|i| Fact::from_parts("E", vec![gc(&format!("v{i}")), gc(&format!("v{}", i + 1))])),
+    )
 }
 
 fn bench_homomorphisms(c: &mut Criterion) {
@@ -42,7 +43,8 @@ fn bench_core_of(c: &mut Criterion) {
     let mut group = c.benchmark_group("core_of");
     for &nulls in &[4usize, 8, 16] {
         // A star with redundant null successors that all fold onto the constant hub.
-        let mut inst = Instance::from_facts(vec![Fact::from_parts("E", vec![gc("hub"), gc("spoke")])]);
+        let mut inst =
+            Instance::from_facts(vec![Fact::from_parts("E", vec![gc("hub"), gc("spoke")])]);
         for i in 0..nulls {
             inst.insert(Fact::from_parts(
                 "E",
@@ -74,5 +76,10 @@ fn bench_firing_test(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_homomorphisms, bench_core_of, bench_firing_test);
+criterion_group!(
+    benches,
+    bench_homomorphisms,
+    bench_core_of,
+    bench_firing_test
+);
 criterion_main!(benches);

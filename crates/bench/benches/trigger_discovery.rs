@@ -1,0 +1,98 @@
+//! Trigger-discovery benchmarks: naive full re-scan vs. the delta-driven
+//! incremental [`chase_trigger::TriggerEngine`], on terminating ontology-style
+//! workloads (the substrate of the paper's evaluation) and on a pure-Datalog
+//! transitive-closure stress case where re-scan cost grows with the instance.
+
+use chase_engine::{StandardChase, StepOrder, TriggerDiscovery};
+use chase_ontology::generator::{generate, generate_database, OntologyProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn ontology_workload(
+    size: usize,
+    facts: usize,
+) -> (chase_core::DependencySet, chase_core::Instance) {
+    let sigma = generate(&OntologyProfile {
+        existential: size / 5,
+        full: size - size / 5 - size / 10,
+        egds: size / 10,
+        cyclic: false,
+        seed: 7,
+    });
+    let db = generate_database(&sigma, facts, 11);
+    (sigma, db)
+}
+
+fn chain_database(n: usize) -> (chase_core::DependencySet, chase_core::Instance) {
+    let sigma =
+        chase_core::parser::parse_dependencies("t: E(?x, ?y), E(?y, ?z) -> E(?x, ?z).").unwrap();
+    let db = chase_core::Instance::from_facts((0..n).map(|i| {
+        chase_core::Fact::from_parts(
+            "E",
+            vec![
+                chase_core::GroundTerm::Const(chase_core::Constant::new(&format!("v{i}"))),
+                chase_core::GroundTerm::Const(chase_core::Constant::new(&format!("v{}", i + 1))),
+            ],
+        )
+    }));
+    (sigma, db)
+}
+
+fn bench_ontology_chase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trigger_discovery/ontology");
+    group.sample_size(10);
+    for &(size, facts) in &[(20usize, 20usize), (40, 40), (80, 60)] {
+        let (sigma, db) = ontology_workload(size, facts);
+        let label = format!("{size}x{facts}");
+        group.bench_with_input(BenchmarkId::new("naive_rescan", &label), &(), |b, _| {
+            b.iter(|| {
+                StandardChase::new(&sigma)
+                    .with_order(StepOrder::EgdsFirst)
+                    .with_discovery(TriggerDiscovery::NaiveRescan)
+                    .with_max_steps(50_000)
+                    .run(&db)
+                    .is_terminating()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", &label), &(), |b, _| {
+            b.iter(|| {
+                StandardChase::new(&sigma)
+                    .with_order(StepOrder::EgdsFirst)
+                    .with_discovery(TriggerDiscovery::Incremental)
+                    .with_max_steps(50_000)
+                    .run(&db)
+                    .is_terminating()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trigger_discovery/closure");
+    group.sample_size(10);
+    for &n in &[16usize, 32] {
+        let (sigma, db) = chain_database(n);
+        group.bench_with_input(BenchmarkId::new("naive_rescan", n), &(), |b, _| {
+            b.iter(|| {
+                StandardChase::new(&sigma)
+                    .with_discovery(TriggerDiscovery::NaiveRescan)
+                    .with_max_steps(100_000)
+                    .run(&db)
+                    .is_terminating()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("incremental", n), &(), |b, _| {
+            b.iter(|| {
+                StandardChase::new(&sigma)
+                    .with_discovery(TriggerDiscovery::Incremental)
+                    .with_max_steps(100_000)
+                    .run(&db)
+                    .is_terminating()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ontology_chase, bench_transitive_closure);
+criterion_main!(benches);

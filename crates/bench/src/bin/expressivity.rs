@@ -40,7 +40,14 @@ fn main() {
     for (name, sigma) in witnesses() {
         let mut row = vec![name.clone()];
         for criterion in &criteria {
-            row.push(if criterion.accepts(&sigma) { "yes" } else { "no" }.to_string());
+            row.push(
+                if criterion.accepts(&sigma) {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
+            );
         }
         rows.push(row);
     }
@@ -53,7 +60,9 @@ fn main() {
     println!("    illustrating Theorems 5 and 9 and the gap left by WA/SC/SwA/MFA.");
     println!("  * Σ8 is rejected by every simulation-based criterion although all of its chase sequences");
     println!("    terminate (Theorem 2): the EGD→TGD simulation loses the EGD semantics.");
-    println!("  * Σ10 is rejected by every criterion, as it has no terminating chase sequence at all.");
+    println!(
+        "  * Σ10 is rejected by every criterion, as it has no terminating chase sequence at all."
+    );
     println!("  * The Adn-* columns are the Adn∃-C combinations of Theorems 10–11: they accept everything");
     println!("    their base criterion accepts.");
 }

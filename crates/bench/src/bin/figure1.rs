@@ -11,7 +11,11 @@ fn main() {
     let sigma = sigma11();
     let labels: Vec<String> = sigma
         .iter()
-        .map(|(i, d)| d.label().map(str::to_owned).unwrap_or(format!("r{}", i.0 + 1)))
+        .map(|(i, d)| {
+            d.label()
+                .map(str::to_owned)
+                .unwrap_or(format!("r{}", i.0 + 1))
+        })
         .collect();
 
     println!("Σ11 (Example 11):");
@@ -40,7 +44,11 @@ fn main() {
     );
     println!(
         "semi-stratified (S-Str): {}",
-        if is_semi_stratified(&sigma) { "yes" } else { "no" }
+        if is_semi_stratified(&sigma) {
+            "yes"
+        } else {
+            "no"
+        }
     );
     println!();
     println!("As in the paper, the edge r2 -> r1 is present in the chase graph but absent from");

@@ -24,7 +24,10 @@ fn main() {
             .map(|o| o.sigma.existential_ids().len())
             .sum::<usize>() as f64
             / members.len().max(1) as f64;
-        let avg_egd = members.iter().map(|o| o.sigma.egd_ids().len()).sum::<usize>() as f64
+        let avg_egd = members
+            .iter()
+            .map(|o| o.sigma.egd_ids().len())
+            .sum::<usize>() as f64
             / members.len().max(1) as f64;
         rows.push(vec![
             class.id(),

@@ -91,8 +91,11 @@ pub fn chase_ground_truth(
     opts: &ExperimentOptions,
     seed: u64,
 ) -> ChaseGroundTruth {
-    let db = chase_ontology::generator::critical_database(sigma)
-        .union(&generate_database(sigma, opts.database_facts, seed));
+    let db = chase_ontology::generator::critical_database(sigma).union(&generate_database(
+        sigma,
+        opts.database_facts,
+        seed,
+    ));
     let outcome = StandardChase::new(sigma)
         .with_order(StepOrder::EgdsFirst)
         .with_max_steps(opts.chase_budget)
@@ -152,7 +155,10 @@ mod tests {
         let s = render_table(
             "demo",
             &["a", "bbbb"],
-            &[vec!["xx".into(), "y".into()], vec!["1".into(), "22222".into()]],
+            &[
+                vec!["xx".into(), "y".into()],
+                vec!["1".into(), "22222".into()],
+            ],
         );
         assert!(s.contains("== demo =="));
         assert!(s.lines().count() >= 4);
@@ -166,11 +172,13 @@ mod tests {
             ..ExperimentOptions::default()
         };
         let halting = parse_dependencies("r: A(?x) -> B(?x).").unwrap();
-        assert_eq!(chase_ground_truth(&halting, &opts, 1), ChaseGroundTruth::Halted);
-        let diverging = parse_dependencies(
-            "r1: C0(?x) -> exists ?y: R0(?x, ?y). r2: R0(?x, ?y) -> C0(?y).",
-        )
-        .unwrap();
+        assert_eq!(
+            chase_ground_truth(&halting, &opts, 1),
+            ChaseGroundTruth::Halted
+        );
+        let diverging =
+            parse_dependencies("r1: C0(?x) -> exists ?y: R0(?x, ?y). r2: R0(?x, ?y) -> C0(?y).")
+                .unwrap();
         assert_eq!(
             chase_ground_truth(&diverging, &opts, 1),
             ChaseGroundTruth::DidNotHalt

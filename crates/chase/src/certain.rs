@@ -78,14 +78,20 @@ mod tests {
         let model = out.instance().unwrap();
 
         // Q1(x) :- Person(x): both constants are certain.
-        let q1 = ConjunctiveQuery::new(vec![atom("Person", vec![var("x")])], vec![Variable::new("x")]);
+        let q1 = ConjunctiveQuery::new(
+            vec![atom("Person", vec![var("x")])],
+            vec![Variable::new("x")],
+        );
         let ans = certain_answers(&[q1], model);
         assert_eq!(ans.len(), 2);
         assert!(ans.contains(&vec![gc("alice")]));
 
         // Q2(d) :- Works(alice, d): the department is a null, so there is no certain answer.
         let q2 = ConjunctiveQuery::new(
-            vec![atom("Works", vec![chase_core::builder::cst("alice"), var("d")])],
+            vec![atom(
+                "Works",
+                vec![chase_core::builder::cst("alice"), var("d")],
+            )],
             vec![Variable::new("d")],
         );
         let ans2 = certain_answers(&[q2], model);
@@ -93,7 +99,10 @@ mod tests {
 
         // Boolean query Q3() :- Works(alice, d): certain (the empty tuple is null-free).
         let q3 = ConjunctiveQuery::new(
-            vec![atom("Works", vec![chase_core::builder::cst("alice"), var("d")])],
+            vec![atom(
+                "Works",
+                vec![chase_core::builder::cst("alice"), var("d")],
+            )],
             vec![],
         );
         let ans3 = certain_answers(&[q3], model);

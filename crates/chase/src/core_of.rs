@@ -102,7 +102,10 @@ pub fn core_of(instance: &Instance) -> Instance {
 
 /// Returns `true` iff the instance is its own core (no null can be folded away).
 pub fn is_core(instance: &Instance) -> bool {
-    instance.nulls().into_iter().all(|n| fold_null(instance, n).is_none())
+    instance
+        .nulls()
+        .into_iter()
+        .all(|n| fold_null(instance, n).is_none())
 }
 
 #[cfg(test)]

@@ -10,6 +10,12 @@
 //! (TGDs) or by replacing a labeled null with another term (EGDs), possibly failing
 //! when an EGD equates two distinct constants.
 //!
+//! Trigger discovery is delta-driven by default: the runners feed each step's
+//! added or rewritten facts to the incremental
+//! [`TriggerEngine`](chase_trigger::TriggerEngine) instead of re-scanning the
+//! whole instance (switch back with
+//! [`StandardChase::with_discovery`]`(`[`TriggerDiscovery::NaiveRescan`]`)`).
+//!
 //! ```
 //! use chase_core::parser::parse_program;
 //! use chase_engine::{StandardChase, StepOrder};
@@ -50,7 +56,7 @@ pub use core_chase::CoreChase;
 pub use core_of::{core_of, is_core};
 pub use oblivious::{ObliviousChase, ObliviousVariant};
 pub use result::{ChaseOutcome, ChaseStats};
-pub use standard::{StandardChase, StepOrder};
+pub use standard::{StandardChase, StepOrder, TriggerDiscovery};
 pub use step::{applicable_standard_triggers, apply_step, StepEffect, Trigger};
 pub use universal::{homomorphically_equivalent, is_model, is_universal_model_among};
 
@@ -61,6 +67,6 @@ pub mod prelude {
     pub use crate::core_of::{core_of, is_core};
     pub use crate::oblivious::{ObliviousChase, ObliviousVariant};
     pub use crate::result::{ChaseOutcome, ChaseStats};
-    pub use crate::standard::{StandardChase, StepOrder};
+    pub use crate::standard::{StandardChase, StepOrder, TriggerDiscovery};
     pub use crate::universal::{homomorphically_equivalent, is_model};
 }

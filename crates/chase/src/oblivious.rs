@@ -13,12 +13,11 @@
 //! (contrast with the standard chase, cf. Example 6 of the paper).
 
 use crate::result::{ChaseOutcome, ChaseStats};
-use crate::step::{apply_step, StepEffect, Trigger};
-use chase_core::homomorphism::{Assignment, HomomorphismSearch};
+use crate::step::{StepEffect, Trigger};
 use chase_core::substitution::NullSubstitution;
 use chase_core::{DepId, Dependency, DependencySet, GroundTerm, Instance, Variable};
+use chase_trigger::TriggerEngine;
 use std::collections::HashSet;
-use std::ops::ControlFlow;
 
 /// Which oblivious variant to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,6 +81,10 @@ impl<'a> ObliviousChase<'a> {
     }
 
     /// Runs the chase, invoking `observer` after every applied step.
+    ///
+    /// Trigger discovery is delta-driven: homomorphisms are found once, when the
+    /// facts completing them appear, and wait in the engine's queues; the fired-key
+    /// comparison ("`h_i(x) = h_j(x) γ_j · · · γ_{i-1}`") filters them at pop time.
     pub fn run_with_trace(
         &self,
         database: &Instance,
@@ -96,32 +99,45 @@ impl<'a> ObliviousChase<'a> {
         let mut fired: Vec<Vec<Vec<GroundTerm>>> = vec![Vec::new(); self.sigma.len()];
         let mut fired_lookup: Vec<HashSet<Vec<GroundTerm>>> =
             vec![HashSet::new(); self.sigma.len()];
+        // Dependencies are tried in the textual order of the set, as before.
+        let order: Vec<DepId> = self.sigma.ids().collect();
 
-        let mut current = database.clone();
+        let mut engine = TriggerEngine::with_database(self.sigma, database);
         let mut stats = ChaseStats::default();
         loop {
             if stats.steps >= self.max_steps {
                 return ChaseOutcome::BudgetExhausted {
-                    instance: current,
+                    instance: engine.into_instance(),
                     stats,
                 };
             }
-            let next_trigger = self.find_new_trigger(&current, &key_vars, &fired_lookup);
-            let (dep_id, assignment, key) = match next_trigger {
+            // The accept closure computes each candidate's fired key; the key of
+            // the accepted trigger is carried out through `accepted_key` so it is
+            // not rebuilt after the pop.
+            let mut accepted_key: Option<Vec<GroundTerm>> = None;
+            let trigger = engine.next_trigger_where(&order, |id, h| {
+                let key: Vec<GroundTerm> = key_vars[id.0]
+                    .iter()
+                    .map(|v| h.get(*v).expect("body variables are bound"))
+                    .collect();
+                if fired_lookup[id.0].contains(&key) {
+                    false
+                } else {
+                    accepted_key = Some(key);
+                    true
+                }
+            });
+            let trigger = match trigger {
                 Some(t) => t,
                 None => {
                     return ChaseOutcome::Terminated {
-                        instance: current,
+                        instance: engine.into_instance(),
                         stats,
                     }
                 }
             };
-            let dep = self.sigma.get(dep_id);
-            let (next, effect) = apply_step(&current, dep, &assignment);
-            let trigger = Trigger {
-                dep: dep_id,
-                assignment,
-            };
+            let key = accepted_key.expect("an accepted trigger always sets its key");
+            let effect = engine.apply_trigger(trigger.dep, &trigger.assignment);
             match &effect {
                 StepEffect::Failure => {
                     stats.steps += 1;
@@ -131,8 +147,8 @@ impl<'a> ObliviousChase<'a> {
                 StepEffect::NotApplicable => {
                     // An EGD trigger with equal images: Definition 1 yields no chase
                     // step. Record the key so we do not reconsider it forever.
-                    fired[dep_id.0].push(key.clone());
-                    fired_lookup[dep_id.0].insert(key);
+                    fired[trigger.dep.0].push(key.clone());
+                    fired_lookup[trigger.dep.0].insert(key);
                     continue;
                 }
                 StepEffect::AddedFacts { facts, fresh_nulls } => {
@@ -147,42 +163,13 @@ impl<'a> ObliviousChase<'a> {
             }
             // Record the trigger key, then propagate the substitution (if any) to all
             // recorded keys so that future comparisons are "modulo γ_j · · · γ_{i-1}".
-            fired[dep_id.0].push(key.clone());
-            fired_lookup[dep_id.0].insert(key);
+            fired[trigger.dep.0].push(key.clone());
+            fired_lookup[trigger.dep.0].insert(key);
             if let StepEffect::Substituted { gamma } = &effect {
                 apply_gamma_to_keys(&mut fired, &mut fired_lookup, gamma);
             }
             observer(&trigger, &effect);
-            current = next.expect("non-failing steps produce a successor instance");
         }
-    }
-
-    /// Finds a trigger whose key has not been fired yet.
-    fn find_new_trigger(
-        &self,
-        instance: &Instance,
-        key_vars: &[Vec<Variable>],
-        fired_lookup: &[HashSet<Vec<GroundTerm>>],
-    ) -> Option<(DepId, Assignment, Vec<GroundTerm>)> {
-        for (id, dep) in self.sigma.iter() {
-            let vars = &key_vars[id.0];
-            let search = HomomorphismSearch::new(dep.body(), instance);
-            let found = search.for_each_extending(&Assignment::new(), &mut |h| {
-                let key: Vec<GroundTerm> = vars
-                    .iter()
-                    .map(|v| h.get(*v).expect("body variables are bound"))
-                    .collect();
-                if fired_lookup[id.0].contains(&key) {
-                    ControlFlow::Continue(())
-                } else {
-                    ControlFlow::Break((h.clone(), key))
-                }
-            });
-            if let Some((h, key)) = found {
-                return Some((id, h, key));
-            }
-        }
-        None
     }
 }
 
@@ -220,8 +207,8 @@ mod tests {
     #[test]
     fn example6_semi_oblivious_terminates_oblivious_does_not() {
         let p = parse_program("r: E(?x, ?y) -> exists ?z: E(?x, ?z). E(a, b).").unwrap();
-        let sobl = ObliviousChase::new(&p.dependencies, ObliviousVariant::SemiOblivious)
-            .run(&p.database);
+        let sobl =
+            ObliviousChase::new(&p.dependencies, ObliviousVariant::SemiOblivious).run(&p.database);
         assert!(sobl.is_terminating());
         // One step: E(a, η1) is added; the trigger with y = η1 has the same frontier
         // image (x = a) and is therefore skipped.
@@ -279,8 +266,8 @@ mod tests {
             "#,
         )
         .unwrap();
-        let out = ObliviousChase::new(&p.dependencies, ObliviousVariant::Oblivious)
-            .run(&p.database);
+        let out =
+            ObliviousChase::new(&p.dependencies, ObliviousVariant::Oblivious).run(&p.database);
         assert!(out.is_failing());
     }
 
@@ -318,8 +305,8 @@ mod tests {
         )
         .unwrap();
         let std_out = StandardChase::new(&p.dependencies).run(&p.database);
-        let obl_out = ObliviousChase::new(&p.dependencies, ObliviousVariant::Oblivious)
-            .run(&p.database);
+        let obl_out =
+            ObliviousChase::new(&p.dependencies, ObliviousVariant::Oblivious).run(&p.database);
         assert!(std_out.is_terminating() && obl_out.is_terminating());
         assert!(obl_out.stats().steps >= std_out.stats().steps);
     }

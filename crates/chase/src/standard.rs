@@ -10,9 +10,23 @@
 use crate::result::{ChaseOutcome, ChaseStats};
 use crate::step::{apply_step, first_applicable_trigger, StepEffect, Trigger};
 use chase_core::{DepId, DependencySet, Instance};
+use chase_trigger::TriggerEngine;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+
+/// How the runner discovers applicable triggers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TriggerDiscovery {
+    /// Delta-driven incremental discovery through [`chase_trigger::TriggerEngine`]
+    /// (the default): homomorphism search is seeded only from the facts each step
+    /// adds or rewrites.
+    Incremental,
+    /// The original strategy: a full homomorphism re-scan of the entire instance
+    /// before every step. Kept as the reference implementation and benchmark
+    /// baseline.
+    NaiveRescan,
+}
 
 /// Trigger-selection policy of the standard chase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -37,16 +51,19 @@ pub struct StandardChase<'a> {
     sigma: &'a DependencySet,
     order: StepOrder,
     max_steps: usize,
+    discovery: TriggerDiscovery,
 }
 
 impl<'a> StandardChase<'a> {
     /// Creates a standard chase runner with the default policy
-    /// ([`StepOrder::EgdsFirst`]) and a budget of 100 000 steps.
+    /// ([`StepOrder::EgdsFirst`]), incremental trigger discovery and a budget of
+    /// 100 000 steps.
     pub fn new(sigma: &'a DependencySet) -> Self {
         StandardChase {
             sigma,
             order: StepOrder::EgdsFirst,
             max_steps: 100_000,
+            discovery: TriggerDiscovery::Incremental,
         }
     }
 
@@ -70,6 +87,12 @@ impl<'a> StandardChase<'a> {
     /// Sets the step budget.
     pub fn with_max_steps(mut self, max_steps: usize) -> Self {
         self.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the trigger-discovery strategy.
+    pub fn with_discovery(mut self, discovery: TriggerDiscovery) -> Self {
+        self.discovery = discovery;
         self
     }
 
@@ -109,6 +132,67 @@ impl<'a> StandardChase<'a> {
     /// Runs the chase, invoking `observer` after every applied step with the trigger
     /// and the effect. Useful for tests and for producing chase-sequence listings.
     pub fn run_with_trace(
+        &self,
+        database: &Instance,
+        observer: impl FnMut(&Trigger, &StepEffect),
+    ) -> ChaseOutcome {
+        match self.discovery {
+            TriggerDiscovery::Incremental => self.run_incremental(database, observer),
+            TriggerDiscovery::NaiveRescan => self.run_naive(database, observer),
+        }
+    }
+
+    /// Delta-driven run: the [`TriggerEngine`] owns the instance, discovery is
+    /// seeded from each step's delta, and steps are applied in place.
+    fn run_incremental(
+        &self,
+        database: &Instance,
+        mut observer: impl FnMut(&Trigger, &StepEffect),
+    ) -> ChaseOutcome {
+        let order = self.dependency_order();
+        let mut engine = TriggerEngine::with_database(self.sigma, database);
+        let mut stats = ChaseStats::default();
+        loop {
+            if stats.steps >= self.max_steps {
+                return ChaseOutcome::BudgetExhausted {
+                    instance: engine.into_instance(),
+                    stats,
+                };
+            }
+            let trigger = match engine.next_active_trigger(&order) {
+                Some(t) => t,
+                None => {
+                    return ChaseOutcome::Terminated {
+                        instance: engine.into_instance(),
+                        stats,
+                    }
+                }
+            };
+            let effect = engine.apply_trigger(trigger.dep, &trigger.assignment);
+            stats.steps += 1;
+            match &effect {
+                StepEffect::AddedFacts { facts, fresh_nulls } => {
+                    stats.facts_added += facts.len();
+                    stats.nulls_created += fresh_nulls;
+                }
+                StepEffect::Substituted { .. } => stats.null_replacements += 1,
+                StepEffect::Failure => {
+                    observer(&trigger, &effect);
+                    return ChaseOutcome::Failed { stats };
+                }
+                StepEffect::NotApplicable => {
+                    // `next_active_trigger` only returns active triggers, so this
+                    // cannot happen; treat defensively as a skipped step.
+                    stats.steps -= 1;
+                    continue;
+                }
+            }
+            observer(&trigger, &effect);
+        }
+    }
+
+    /// The original full re-scan loop, kept as reference and benchmark baseline.
+    fn run_naive(
         &self,
         database: &Instance,
         mut observer: impl FnMut(&Trigger, &StepEffect),
@@ -274,7 +358,11 @@ mod tests {
             "#,
         )
         .unwrap();
-        for order in [StepOrder::Textual, StepOrder::EgdsFirst, StepOrder::FullFirst] {
+        for order in [
+            StepOrder::Textual,
+            StepOrder::EgdsFirst,
+            StepOrder::FullFirst,
+        ] {
             let outcome = StandardChase::new(&p.dependencies)
                 .with_order(order)
                 .with_max_steps(500)
@@ -302,6 +390,57 @@ mod tests {
         assert!(outcome.is_terminating());
         assert_eq!(trace.len(), outcome.stats().steps);
         assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn naive_and_incremental_discovery_agree_on_example_1() {
+        let p = parse_program(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            N(a).
+            "#,
+        )
+        .unwrap();
+        for order in [
+            StepOrder::Textual,
+            StepOrder::EgdsFirst,
+            StepOrder::FullFirst,
+        ] {
+            let runner = StandardChase::new(&p.dependencies)
+                .with_order(order)
+                .with_max_steps(200);
+            let naive = runner
+                .clone()
+                .with_discovery(TriggerDiscovery::NaiveRescan)
+                .run(&p.database);
+            let incremental = runner
+                .with_discovery(TriggerDiscovery::Incremental)
+                .run(&p.database);
+            assert_eq!(
+                naive.is_terminating(),
+                incremental.is_terminating(),
+                "termination disagrees under {order:?}"
+            );
+            assert_eq!(naive.is_failing(), incremental.is_failing());
+            assert_eq!(
+                naive.is_budget_exhausted(),
+                incremental.is_budget_exhausted()
+            );
+            if naive.is_terminating() {
+                assert_eq!(naive.instance(), incremental.instance());
+                assert_eq!(naive.stats(), incremental.stats());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_discovery_is_the_default() {
+        let p = parse_program("r: A(?x) -> B(?x). A(a).").unwrap();
+        let out = StandardChase::new(&p.dependencies).run(&p.database);
+        assert!(out.is_terminating());
+        assert_eq!(out.instance().unwrap().len(), 2);
     }
 
     #[test]

@@ -1,44 +1,18 @@
-//! The chase step of Definition 1 and trigger enumeration.
+//! The chase step of Definition 1 and *naive* trigger enumeration.
+//!
+//! This module keeps the original full re-scan strategy: every call searches for
+//! homomorphisms over the whole instance. It remains the reference implementation
+//! (and benchmark baseline) for the delta-driven
+//! [`TriggerEngine`](chase_trigger::TriggerEngine), which the chase runners drive
+//! by default. The [`Trigger`] and [`StepEffect`] types are shared with the
+//! engine and re-exported here.
 
-use chase_core::homomorphism::{
-    exists_homomorphism_extending, Assignment, HomomorphismSearch,
-};
+use chase_core::homomorphism::{exists_homomorphism_extending, Assignment, HomomorphismSearch};
 use chase_core::substitution::NullSubstitution;
-use chase_core::{DepId, Dependency, DependencySet, Fact, GroundTerm, Instance};
+use chase_core::{DepId, Dependency, DependencySet, GroundTerm, Instance};
 use std::ops::ControlFlow;
 
-/// A trigger: a dependency together with a homomorphism from its body into the current
-/// instance.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Trigger {
-    /// The dependency being enforced.
-    pub dep: DepId,
-    /// The homomorphism from the dependency's body into the instance.
-    pub assignment: Assignment,
-}
-
-/// The effect of applying a chase step `K --r,h,γ--> J` (Definition 1).
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum StepEffect {
-    /// A TGD step: the listed facts were added (`J = K ∪ h'(ψ)`), with `γ = ∅`.
-    /// The facts may already be present in `K` for oblivious-style applications.
-    AddedFacts {
-        /// Facts added by the step.
-        facts: Vec<Fact>,
-        /// Number of fresh nulls invented for the existential variables.
-        fresh_nulls: usize,
-    },
-    /// An EGD step that replaced a labeled null: `J = K γ`.
-    Substituted {
-        /// The substitution `γ` (maps a null to a constant or another null).
-        gamma: NullSubstitution,
-    },
-    /// An EGD step on two distinct constants: `J = ⊥`.
-    Failure,
-    /// The EGD is already satisfied under the homomorphism (`h(x1) = h(x2)`), so no
-    /// chase step exists for this trigger.
-    NotApplicable,
-}
+pub use chase_trigger::{StepEffect, Trigger};
 
 /// Applies the chase step for `dep` under `h` to `instance`, returning the successor
 /// instance (if any) and the effect.
@@ -163,7 +137,7 @@ mod tests {
     use super::*;
     use chase_core::parser::parse_program;
     use chase_core::term::{Constant, NullValue};
-    use chase_core::Variable;
+    use chase_core::{Fact, Variable};
 
     fn gc(s: &str) -> GroundTerm {
         GroundTerm::Const(Constant::new(s))
@@ -210,10 +184,8 @@ mod tests {
             Fact::from_parts("N", vec![gc("a")]),
             Fact::from_parts("E", vec![gc("a"), gn(1)]),
         ]);
-        let h2 = Assignment::from_pairs([
-            (Variable::new("x"), gc("a")),
-            (Variable::new("y"), gn(1)),
-        ]);
+        let h2 =
+            Assignment::from_pairs([(Variable::new("x"), gc("a")), (Variable::new("y"), gn(1))]);
         let (next, effect) = apply_step(&k2, sigma.get(DepId(2)), &h2);
         let k3 = next.unwrap();
         assert_eq!(k3.len(), 2);
@@ -229,12 +201,12 @@ mod tests {
 
     #[test]
     fn egd_on_two_constants_fails() {
-        let sigma = parse_program("e: E(?x, ?y) -> ?x = ?y.").unwrap().dependencies;
+        let sigma = parse_program("e: E(?x, ?y) -> ?x = ?y.")
+            .unwrap()
+            .dependencies;
         let k = Instance::from_facts(vec![Fact::from_parts("E", vec![gc("a"), gc("b")])]);
-        let h = Assignment::from_pairs([
-            (Variable::new("x"), gc("a")),
-            (Variable::new("y"), gc("b")),
-        ]);
+        let h =
+            Assignment::from_pairs([(Variable::new("x"), gc("a")), (Variable::new("y"), gc("b"))]);
         let (next, effect) = apply_step(&k, sigma.get(DepId(0)), &h);
         assert!(next.is_none());
         assert_eq!(effect, StepEffect::Failure);
@@ -242,12 +214,12 @@ mod tests {
 
     #[test]
     fn egd_already_satisfied_is_not_applicable() {
-        let sigma = parse_program("e: E(?x, ?y) -> ?x = ?y.").unwrap().dependencies;
+        let sigma = parse_program("e: E(?x, ?y) -> ?x = ?y.")
+            .unwrap()
+            .dependencies;
         let k = Instance::from_facts(vec![Fact::from_parts("E", vec![gc("a"), gc("a")])]);
-        let h = Assignment::from_pairs([
-            (Variable::new("x"), gc("a")),
-            (Variable::new("y"), gc("a")),
-        ]);
+        let h =
+            Assignment::from_pairs([(Variable::new("x"), gc("a")), (Variable::new("y"), gc("a"))]);
         let (next, effect) = apply_step(&k, sigma.get(DepId(0)), &h);
         assert!(next.is_none());
         assert_eq!(effect, StepEffect::NotApplicable);

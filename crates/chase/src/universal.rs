@@ -71,8 +71,18 @@ mod tests {
         assert!(is_model(&j1, d, &p.dependencies));
         assert!(is_model(&j2, d, &p.dependencies));
         // J1 is universal among {J1, J2}; J2 is not (no homomorphism J2 → J1).
-        assert!(is_universal_model_among(&j1, d, &p.dependencies, &[j2.clone()]));
-        assert!(!is_universal_model_among(&j2, d, &p.dependencies, &[j1.clone()]));
+        assert!(is_universal_model_among(
+            &j1,
+            d,
+            &p.dependencies,
+            std::slice::from_ref(&j2)
+        ));
+        assert!(!is_universal_model_among(
+            &j2,
+            d,
+            &p.dependencies,
+            std::slice::from_ref(&j1)
+        ));
         assert!(maps_into(&j1, &j2));
         assert!(!maps_into(&j2, &j1));
         assert!(!homomorphically_equivalent(&j1, &j2));

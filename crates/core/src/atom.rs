@@ -111,10 +111,10 @@ impl Atom {
     }
 
     /// Applies a variable-renaming-free map over terms, producing a new atom.
-    pub fn map_terms(&self, mut f: impl FnMut(&Term) -> Term) -> Atom {
+    pub fn map_terms(&self, f: impl FnMut(&Term) -> Term) -> Atom {
         Atom {
             predicate: self.predicate,
-            terms: self.terms.iter().map(|t| f(t)).collect(),
+            terms: self.terms.iter().map(f).collect(),
         }
     }
 }
@@ -279,8 +279,7 @@ mod tests {
                 GroundTerm::Null(NullValue(1)),
             ],
         );
-        let gamma =
-            NullSubstitution::single(NullValue(1), GroundTerm::Const(Constant::new("a")));
+        let gamma = NullSubstitution::single(NullValue(1), GroundTerm::Const(Constant::new("a")));
         let g = f.apply(&gamma);
         assert!(g.is_null_free());
         assert_eq!(g.terms[1], GroundTerm::Const(Constant::new("a")));

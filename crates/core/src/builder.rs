@@ -33,9 +33,7 @@ pub fn atom(predicate: &str, terms: Vec<Term>) -> Atom {
 /// A TGD with the given label; existential variables are inferred (head variables not
 /// occurring in the body). Panics on malformed input — intended for tests and examples.
 pub fn tgd(label: &str, body: Vec<Atom>, head: Vec<Atom>) -> Dependency {
-    Dependency::Tgd(
-        Tgd::new(Some(label.to_owned()), body, head).expect("malformed TGD in builder"),
-    )
+    Dependency::Tgd(Tgd::new(Some(label.to_owned()), body, head).expect("malformed TGD in builder"))
 }
 
 /// An unlabelled TGD.

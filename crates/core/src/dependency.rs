@@ -26,11 +26,7 @@ pub struct Tgd {
 impl Tgd {
     /// Creates a TGD, validating that it is well formed:
     /// no nulls occur, and the body is non-empty.
-    pub fn new(
-        label: Option<String>,
-        body: Vec<Atom>,
-        head: Vec<Atom>,
-    ) -> Result<Self, CoreError> {
+    pub fn new(label: Option<String>, body: Vec<Atom>, head: Vec<Atom>) -> Result<Self, CoreError> {
         if body.is_empty() {
             return Err(CoreError::MalformedDependency {
                 reason: "a TGD must have a non-empty body".into(),
@@ -422,13 +418,7 @@ impl DependencySet {
 
     /// The set of TGDs only, as a new dependency set (labels preserved).
     pub fn tgds_only(&self) -> DependencySet {
-        DependencySet::from_vec(
-            self.deps
-                .iter()
-                .filter(|d| d.is_tgd())
-                .cloned()
-                .collect(),
-        )
+        DependencySet::from_vec(self.deps.iter().filter(|d| d.is_tgd()).cloned().collect())
     }
 
     /// All predicates occurring in the set (the schema `R`).

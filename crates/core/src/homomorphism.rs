@@ -43,6 +43,11 @@ impl Assignment {
         self.map.insert(v, t);
     }
 
+    /// Removes a binding (used by backtracking searches).
+    pub fn unbind(&mut self, v: Variable) {
+        self.map.remove(&v);
+    }
+
     /// Number of bound variables.
     pub fn len(&self) -> usize {
         self.map.len()
@@ -382,8 +387,7 @@ mod tests {
     fn partial_assignment_is_respected() {
         let k = path_instance();
         let partial = Assignment::from_pairs([(Variable::new("x"), gc("b"))]);
-        let homs =
-            homomorphisms_extending(&[atom("E", vec![var("x"), var("y")])], &k, &partial);
+        let homs = homomorphisms_extending(&[atom("E", vec![var("x"), var("y")])], &k, &partial);
         assert_eq!(homs.len(), 1);
         assert_eq!(homs[0].get(Variable::new("y")), Some(gc("c")));
     }
@@ -395,10 +399,7 @@ mod tests {
             &[atom("E", vec![var("x"), var("y")])],
             &k
         ));
-        assert!(!exists_homomorphism(
-            &[atom("Missing", vec![var("x")])],
-            &k
-        ));
+        assert!(!exists_homomorphism(&[atom("Missing", vec![var("x")])], &k));
     }
 
     #[test]
@@ -455,10 +456,8 @@ mod tests {
 
     #[test]
     fn assignment_apply_atom() {
-        let a = Assignment::from_pairs([
-            (Variable::new("x"), gc("a")),
-            (Variable::new("y"), gn(1)),
-        ]);
+        let a =
+            Assignment::from_pairs([(Variable::new("x"), gc("a")), (Variable::new("y"), gn(1))]);
         let fact = a.apply_atom(&atom("E", vec![var("x"), var("y")])).unwrap();
         assert_eq!(fact, Fact::from_parts("E", vec![gc("a"), gn(1)]));
         assert!(a.apply_atom(&atom("E", vec![var("x"), var("z")])).is_none());

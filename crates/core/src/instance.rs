@@ -1,12 +1,15 @@
-//! Instances: finite sets of facts with per-predicate indexes.
+//! Instances: finite sets of facts with per-predicate and per-position indexes.
 //!
 //! An [`Instance`] stores facts (atoms over constants and labeled nulls), indexed by
-//! predicate so that homomorphism search can iterate only over candidate facts. The
-//! instance also owns the labeled-null allocator used by the chase.
+//! predicate so that homomorphism search can iterate only over candidate facts, and
+//! additionally by (predicate, position, term) so that candidates for a body atom
+//! with a bound term can be *looked up* instead of scanned — the fast path behind the
+//! incremental trigger engine in `chase_trigger`. The instance also owns the
+//! labeled-null allocator used by the chase.
 
 use crate::atom::{Fact, Predicate};
 use crate::substitution::NullSubstitution;
-use crate::term::{Constant, NullValue};
+use crate::term::{Constant, GroundTerm, NullValue};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
@@ -18,6 +21,13 @@ use std::fmt;
 pub struct Instance {
     facts: HashSet<Fact>,
     by_predicate: HashMap<Predicate, Vec<Fact>>,
+    /// Per-(predicate, position) index: maps the ground term at that position to the
+    /// facts carrying it there. Kept consistent by `insert`, `remove` and
+    /// `substitute_in_place`.
+    by_position: HashMap<(Predicate, usize, GroundTerm), Vec<Fact>>,
+    /// Facts mentioning each labeled null (each fact listed once per distinct null),
+    /// so EGD substitution touches only the facts it rewrites.
+    by_null: HashMap<NullValue, Vec<Fact>>,
     next_null: u64,
 }
 
@@ -62,6 +72,18 @@ impl Instance {
             }
         }
         if self.facts.insert(fact.clone()) {
+            for (i, t) in fact.terms.iter().enumerate() {
+                self.by_position
+                    .entry((fact.predicate, i, *t))
+                    .or_default()
+                    .push(fact.clone());
+            }
+            let mut nulls = fact.nulls();
+            nulls.sort_unstable();
+            nulls.dedup();
+            for n in nulls {
+                self.by_null.entry(n).or_default().push(fact.clone());
+            }
             self.by_predicate
                 .entry(fact.predicate)
                 .or_default()
@@ -78,6 +100,25 @@ impl Instance {
             if let Some(v) = self.by_predicate.get_mut(&fact.predicate) {
                 v.retain(|f| f != fact);
             }
+            for (i, t) in fact.terms.iter().enumerate() {
+                if let Some(v) = self.by_position.get_mut(&(fact.predicate, i, *t)) {
+                    v.retain(|f| f != fact);
+                    if v.is_empty() {
+                        self.by_position.remove(&(fact.predicate, i, *t));
+                    }
+                }
+            }
+            let mut nulls = fact.nulls();
+            nulls.sort_unstable();
+            nulls.dedup();
+            for n in nulls {
+                if let Some(v) = self.by_null.get_mut(&n) {
+                    v.retain(|f| f != fact);
+                    if v.is_empty() {
+                        self.by_null.remove(&n);
+                    }
+                }
+            }
             true
         } else {
             false
@@ -93,6 +134,22 @@ impl Instance {
     pub fn facts_of(&self, predicate: Predicate) -> &[Fact] {
         self.by_predicate
             .get(&predicate)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Facts of `predicate` carrying `term` at position `position` (empty slice if
+    /// none). This is the per-(predicate, position) fast path used by indexed
+    /// homomorphism search: candidates for a body atom with a bound term are looked
+    /// up in O(1) instead of scanned across all facts of the predicate.
+    pub fn facts_by_predicate_position(
+        &self,
+        predicate: Predicate,
+        position: usize,
+        term: GroundTerm,
+    ) -> &[Fact] {
+        self.by_position
+            .get(&(predicate, position, term))
             .map(|v| v.as_slice())
             .unwrap_or(&[])
     }
@@ -150,6 +207,31 @@ impl Instance {
             out.insert(f.apply(gamma));
         }
         out
+    }
+
+    /// Applies a null substitution `γ` in place, i.e. turns `self` into `K γ`, and
+    /// returns the rewritten facts (the facts of `K γ` that arose from a fact of `K`
+    /// mentioning the substituted null).
+    ///
+    /// Unlike [`Instance::apply_substitution`], which rebuilds the whole instance,
+    /// this touches only the facts that mention the substituted null, keeping the
+    /// per-predicate and per-position indexes consistent along the way — the delta
+    /// the incremental trigger engine re-seeds its search from.
+    pub fn substitute_in_place(&mut self, gamma: &NullSubstitution) -> Vec<Fact> {
+        let Some((null, _)) = gamma.mapping() else {
+            return Vec::new();
+        };
+        // The null-occurrence index gives exactly the facts that mention the null,
+        // without scanning the whole instance.
+        let changed = self.by_null.remove(&null).unwrap_or_default();
+        let mut rewritten = Vec::with_capacity(changed.len());
+        for f in changed {
+            self.remove(&f);
+            let g = f.apply(gamma);
+            self.insert(g.clone());
+            rewritten.push(g);
+        }
+        rewritten
     }
 
     /// Returns `true` iff `other` contains every fact of `self`.
@@ -303,6 +385,100 @@ mod tests {
         assert!(k.remove(&f));
         assert!(!k.remove(&f));
         assert_eq!(k.facts_of(Predicate::new("E", 2)).len(), 1);
+        assert_eq!(k.len(), 1);
+    }
+
+    #[test]
+    fn position_index_lookup() {
+        let k = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), cst("b")]),
+            Fact::from_parts("E", vec![cst("a"), cst("c")]),
+            Fact::from_parts("E", vec![cst("b"), cst("c")]),
+        ]);
+        let e = Predicate::new("E", 2);
+        assert_eq!(k.facts_by_predicate_position(e, 0, cst("a")).len(), 2);
+        assert_eq!(k.facts_by_predicate_position(e, 1, cst("c")).len(), 2);
+        assert_eq!(k.facts_by_predicate_position(e, 0, cst("c")).len(), 0);
+        assert_eq!(k.facts_by_predicate_position(e, 1, cst("z")).len(), 0);
+    }
+
+    #[test]
+    fn position_index_stays_consistent_after_remove() {
+        let mut k = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), cst("b")]),
+            Fact::from_parts("E", vec![cst("a"), cst("c")]),
+        ]);
+        let e = Predicate::new("E", 2);
+        k.remove(&Fact::from_parts("E", vec![cst("a"), cst("b")]));
+        assert_eq!(k.facts_by_predicate_position(e, 0, cst("a")).len(), 1);
+        assert_eq!(k.facts_by_predicate_position(e, 1, cst("b")).len(), 0);
+    }
+
+    #[test]
+    fn substitute_in_place_matches_apply_substitution() {
+        let k = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), null(1)]),
+            Fact::from_parts("E", vec![null(1), null(2)]),
+            Fact::from_parts("E", vec![cst("a"), cst("a")]),
+            Fact::from_parts("N", vec![cst("b")]),
+        ]);
+        let gamma = NullSubstitution::single(NullValue(1), cst("a"));
+        let rebuilt = k.apply_substitution(&gamma);
+        let mut in_place = k.clone();
+        let rewritten = in_place.substitute_in_place(&gamma);
+        assert_eq!(in_place, rebuilt);
+        // Exactly the two facts mentioning η1 were rewritten.
+        assert_eq!(rewritten.len(), 2);
+        assert!(rewritten.contains(&Fact::from_parts("E", vec![cst("a"), cst("a")])));
+        assert!(rewritten.contains(&Fact::from_parts("E", vec![cst("a"), null(2)])));
+    }
+
+    #[test]
+    fn indexes_stay_consistent_after_in_place_substitution() {
+        let mut k = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), null(1)]),
+            Fact::from_parts("E", vec![cst("a"), cst("a")]),
+        ]);
+        let e = Predicate::new("E", 2);
+        k.substitute_in_place(&NullSubstitution::single(NullValue(1), cst("a")));
+        // The two facts collapsed: every index must agree on the single survivor.
+        assert_eq!(k.len(), 1);
+        assert_eq!(k.facts_of(e).len(), 1);
+        assert_eq!(k.facts_by_predicate_position(e, 0, cst("a")).len(), 1);
+        assert_eq!(k.facts_by_predicate_position(e, 1, cst("a")).len(), 1);
+        assert_eq!(k.facts_by_predicate_position(e, 1, null(1)).len(), 0);
+        assert!(k.nulls().is_empty());
+    }
+
+    #[test]
+    fn repeated_null_occurrences_are_indexed_once() {
+        // E(η1, η1) mentions η1 twice; substitution must rewrite it exactly once.
+        let mut k = Instance::from_facts(vec![Fact::from_parts("E", vec![null(1), null(1)])]);
+        let rewritten = k.substitute_in_place(&NullSubstitution::single(NullValue(1), cst("a")));
+        assert_eq!(
+            rewritten,
+            vec![Fact::from_parts("E", vec![cst("a"), cst("a")])]
+        );
+        assert_eq!(k.len(), 1);
+    }
+
+    #[test]
+    fn chained_in_place_substitutions() {
+        // γ1 = {η1/η2} then γ2 = {η2/a}: the null index must track rewritten facts.
+        let mut k = Instance::from_facts(vec![Fact::from_parts("E", vec![null(1), cst("b")])]);
+        let r1 = k.substitute_in_place(&NullSubstitution::single(NullValue(1), null(2)));
+        assert_eq!(r1, vec![Fact::from_parts("E", vec![null(2), cst("b")])]);
+        let r2 = k.substitute_in_place(&NullSubstitution::single(NullValue(2), cst("a")));
+        assert_eq!(r2, vec![Fact::from_parts("E", vec![cst("a"), cst("b")])]);
+        assert!(k.nulls().is_empty());
+        assert_eq!(k.len(), 1);
+    }
+
+    #[test]
+    fn empty_substitution_in_place_is_a_no_op() {
+        let mut k = Instance::from_facts(vec![Fact::from_parts("E", vec![cst("a"), null(1)])]);
+        let rewritten = k.substitute_in_place(&NullSubstitution::empty());
+        assert!(rewritten.is_empty());
         assert_eq!(k.len(), 1);
     }
 

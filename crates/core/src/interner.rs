@@ -2,15 +2,14 @@
 //!
 //! Predicate names, constant names and variable names are interned into compact
 //! [`Symbol`] handles so that terms and atoms are small, `Copy`, hashable and cheap
-//! to compare. Interning is global (guarded by a [`parking_lot::RwLock`]) which keeps
+//! to compare. Interning is global (guarded by a [`std::sync::RwLock`]) which keeps
 //! the rest of the API free of interner plumbing; the sets of distinct names occurring
 //! in dependency sets and chase runs are small, so the table never becomes a
 //! bottleneck.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string.
 ///
@@ -52,18 +51,18 @@ impl Symbol {
     pub fn new(s: &str) -> Symbol {
         // Fast path: read lock only.
         {
-            let guard = global().read();
+            let guard = global().read().expect("interner lock poisoned");
             if let Some(&id) = guard.map.get(s) {
                 return Symbol(id);
             }
         }
-        let mut guard = global().write();
+        let mut guard = global().write().expect("interner lock poisoned");
         Symbol(guard.intern(s))
     }
 
     /// Returns the string this symbol was interned from.
     pub fn as_str(&self) -> String {
-        global().read().strings[self.0 as usize].clone()
+        global().read().expect("interner lock poisoned").strings[self.0 as usize].clone()
     }
 
     /// Returns the raw numeric id. Only meaningful within a single process.

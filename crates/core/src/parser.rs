@@ -328,16 +328,13 @@ impl<'a> Parser<'a> {
                     match a.to_fact() {
                         Some(f) => {
                             if !f.is_null_free() {
-                                return Err(
-                                    self.error("database facts must not contain nulls")
-                                );
+                                return Err(self.error("database facts must not contain nulls"));
                             }
                             program.database.insert(f);
                         }
                         None => {
-                            return Err(self.error(format!(
-                                "fact {a} must be ground (no variables allowed)"
-                            )))
+                            return Err(self
+                                .error(format!("fact {a} must be ground (no variables allowed)")))
                         }
                     }
                 }
@@ -369,8 +366,9 @@ impl<'a> Parser<'a> {
                     match self.next_token()? {
                         Token::Variable(v) => _exvars.push(Variable::new(&v)),
                         other => {
-                            return Err(self
-                                .error(format!("expected a variable after 'exists', found {other:?}")))
+                            return Err(self.error(format!(
+                                "expected a variable after 'exists', found {other:?}"
+                            )))
                         }
                     }
                     match self.next_token()? {
@@ -455,16 +453,12 @@ impl<'a> Parser<'a> {
             match self.next_token()? {
                 Token::Variable(v) => terms.push(Term::Var(Variable::new(&v))),
                 Token::Ident(c) => terms.push(Term::Const(Constant::new(&c))),
-                other => {
-                    return Err(self.error(format!("expected a term, found {other:?}")))
-                }
+                other => return Err(self.error(format!("expected a term, found {other:?}"))),
             }
             match self.next_token()? {
                 Token::Comma => continue,
                 Token::RParen => break,
-                other => {
-                    return Err(self.error(format!("expected ',' or ')', found {other:?}")))
-                }
+                other => return Err(self.error(format!("expected ',' or ')', found {other:?}"))),
             }
         }
         Ok(Atom::from_parts(&name, terms))
@@ -519,8 +513,7 @@ mod tests {
 
     #[test]
     fn parse_multiple_existential_variables() {
-        let d =
-            parse_dependency("r1: N(?x) -> exists ?y, ?z: E(?x, ?y, ?z).").unwrap();
+        let d = parse_dependency("r1: N(?x) -> exists ?y, ?z: E(?x, ?y, ?z).").unwrap();
         let t = d.as_tgd().unwrap();
         assert_eq!(t.existential_variables().len(), 2);
     }
@@ -595,10 +588,9 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        let p = parse_program(
-            "# comment\n% other comment\n// c-style\nA(?x) -> B(?x). # trailing\n",
-        )
-        .unwrap();
+        let p =
+            parse_program("# comment\n% other comment\n// c-style\nA(?x) -> B(?x). # trailing\n")
+                .unwrap();
         assert_eq!(p.dependencies.len(), 1);
     }
 

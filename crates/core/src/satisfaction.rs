@@ -28,13 +28,10 @@ pub fn satisfies_tgd(instance: &Instance, tgd: &Tgd) -> bool {
 /// This is the condition `K ⊨ h(r)` used in the definitions of stratification and of
 /// the firing graph (Definition 2).
 pub fn satisfies_tgd_under(instance: &Instance, tgd: &Tgd, h: &Assignment) -> bool {
-    let body_matches = tgd
-        .body
-        .iter()
-        .all(|a| match h.apply_atom(a) {
-            Some(f) => instance.contains(&f),
-            None => false,
-        });
+    let body_matches = tgd.body.iter().all(|a| match h.apply_atom(a) {
+        Some(f) => instance.contains(&f),
+        None => false,
+    });
     if !body_matches {
         return true;
     }
@@ -58,13 +55,10 @@ pub fn satisfies_egd(instance: &Instance, egd: &Egd) -> bool {
 
 /// Returns `true` iff `instance ⊨ egd` under the fixed homomorphism `h`.
 pub fn satisfies_egd_under(instance: &Instance, egd: &Egd, h: &Assignment) -> bool {
-    let body_matches = egd
-        .body
-        .iter()
-        .all(|a| match h.apply_atom(a) {
-            Some(f) => instance.contains(&f),
-            None => false,
-        });
+    let body_matches = egd.body.iter().all(|a| match h.apply_atom(a) {
+        Some(f) => instance.contains(&f),
+        None => false,
+    });
     if !body_matches {
         return true;
     }
@@ -199,10 +193,8 @@ mod tests {
             Fact::from_parts("N", vec![gc("a")]),
             Fact::from_parts("E", vec![gc("a"), gn(1)]),
         ]);
-        let h = Assignment::from_pairs([
-            (Variable::new("x"), gc("a")),
-            (Variable::new("y"), gn(1)),
-        ]);
+        let h =
+            Assignment::from_pairs([(Variable::new("x"), gc("a")), (Variable::new("y"), gn(1))]);
         // K2 ⊭ h(r2) since N(η1) is missing.
         assert!(!satisfies_under(&k2, r2, &h));
         // Under a homomorphism that does not match the body, the implication is vacuous.

@@ -80,9 +80,7 @@ pub fn baseline_criteria() -> Vec<NamedCriterion> {
         NamedCriterion::new("WA", Guarantee::AllSequences, |s| {
             crate::weak_acyclicity::is_weakly_acyclic(s)
         }),
-        NamedCriterion::new("SC", Guarantee::AllSequences, |s| {
-            crate::safety::is_safe(s)
-        }),
+        NamedCriterion::new("SC", Guarantee::AllSequences, crate::safety::is_safe),
         NamedCriterion::new("SwA", Guarantee::AllSequences, |s| {
             crate::super_weak::is_super_weakly_acyclic(s)
         }),
@@ -92,9 +90,7 @@ pub fn baseline_criteria() -> Vec<NamedCriterion> {
         NamedCriterion::new("Str", Guarantee::SomeSequence, |s| {
             crate::stratification::is_stratified(s)
         }),
-        NamedCriterion::new("MFA", Guarantee::AllSequences, |s| {
-            crate::mfa::is_mfa(s)
-        }),
+        NamedCriterion::new("MFA", Guarantee::AllSequences, crate::mfa::is_mfa),
     ]
 }
 
@@ -116,7 +112,11 @@ mod tests {
     fn all_registered_criteria_accept_a_trivial_full_set() {
         let sigma = parse_dependencies("r: A(?x) -> B(?x).").unwrap();
         for c in baseline_criteria() {
-            assert!(c.accepts(&sigma), "{} must accept a single full TGD", c.name());
+            assert!(
+                c.accepts(&sigma),
+                "{} must accept a single full TGD",
+                c.name()
+            );
         }
     }
 

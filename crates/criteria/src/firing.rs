@@ -29,8 +29,8 @@ use chase_core::homomorphism::{homomorphisms, Assignment};
 use chase_core::satisfaction::satisfies_under;
 use chase_core::substitution::NullSubstitution;
 use chase_core::{
-    Atom, Constant, Dependency, DependencySet, Fact, GroundTerm, Instance, NullValue,
-    Term, Variable,
+    Atom, Constant, Dependency, DependencySet, Fact, GroundTerm, Instance, NullValue, Term,
+    Variable,
 };
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
@@ -174,8 +174,7 @@ pub fn for_each_firing_witness(
 /// Returns `true` iff `r1 ≺ r2` may hold (conservatively), i.e. the chase-graph edge of
 /// stratification.
 pub fn chase_graph_edge(r1: &Dependency, r2: &Dependency, config: &FiringConfig) -> bool {
-    for_each_firing_witness(r1, r2, config, &mut |_| ControlFlow::Break(()))
-        .may_fire()
+    for_each_firing_witness(r1, r2, config, &mut |_| ControlFlow::Break(())).may_fire()
 }
 
 /// Builds the chase graph `G(Σ)` of stratification: nodes are dependencies, with an
@@ -355,8 +354,8 @@ fn next_restricted_growth_string(rgs: &mut [usize]) -> bool {
         let prefix_max = rgs[..i].iter().copied().max().unwrap_or(0);
         if rgs[i] <= prefix_max {
             rgs[i] += 1;
-            for j in (i + 1)..n {
-                rgs[j] = 0;
+            for slot in rgs.iter_mut().skip(i + 1) {
+                *slot = 0;
             }
             return true;
         }

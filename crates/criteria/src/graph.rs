@@ -207,9 +207,7 @@ impl DiGraph {
                 if from == to {
                     return true;
                 }
-                if comp_of.get(&from) == comp_of.get(&to)
-                    && sccs[comp_of[&from]].len() > 1
-                {
+                if comp_of.get(&from) == comp_of.get(&to) && sccs[comp_of[&from]].len() > 1 {
                     return true;
                 }
             }

@@ -9,10 +9,18 @@
 //!
 //! The criterion is defined for TGDs; EGD-bearing sets are handled via the
 //! substitution-free simulation, as assumed throughout the paper.
+//!
+//! The saturation loop is *semi-naive*: instead of re-joining every rule body
+//! against the entire derived fact set each round, it drives the delta-driven
+//! [`TriggerEngine`](chase_trigger::TriggerEngine) over a star-normalised copy of
+//! the rules, with Skolem terms encoded as interned constants. Each body
+//! homomorphism is discovered exactly once, when the facts completing it appear.
 
 use crate::simulation::{has_egds, substitution_free_simulation};
-use chase_core::{Atom, DependencySet, Term, Tgd, Variable};
-use std::collections::{BTreeMap, BTreeSet};
+use chase_core::term::Constant;
+use chase_core::{DependencySet, GroundTerm, Instance, Term, Variable};
+use chase_trigger::TriggerEngine;
+use std::collections::HashMap;
 
 /// A term of the Skolemised chase: the critical constant, an ordinary constant from the
 /// rules, or a Skolem function applied to arguments.
@@ -55,11 +63,37 @@ impl SkTerm {
     }
 }
 
-/// A fact over Skolem terms.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-struct SkFact {
-    predicate: chase_core::Predicate,
-    terms: Vec<SkTerm>,
+/// Bidirectional encoding of [`SkTerm`]s as interned constants, so the Skolem
+/// chase can run on ordinary [`Instance`]s through the trigger engine.
+#[derive(Default)]
+struct SkInterner {
+    term_of: HashMap<Constant, SkTerm>,
+    const_of: HashMap<SkTerm, Constant>,
+}
+
+impl SkInterner {
+    fn new(star: Constant) -> Self {
+        let mut interner = SkInterner::default();
+        interner.term_of.insert(star, SkTerm::Star);
+        interner.const_of.insert(SkTerm::Star, star);
+        interner
+    }
+
+    fn decode(&self, c: Constant) -> &SkTerm {
+        self.term_of
+            .get(&c)
+            .expect("every constant in the Skolem chase is interned")
+    }
+
+    fn encode(&mut self, term: SkTerm) -> Constant {
+        if let Some(c) = self.const_of.get(&term) {
+            return *c;
+        }
+        let c = Constant::new(&format!("⟨sk{}⟩", self.const_of.len()));
+        self.term_of.insert(c, term.clone());
+        self.const_of.insert(term, c);
+        c
+    }
 }
 
 /// Configuration of the MFA check.
@@ -92,150 +126,109 @@ pub enum MfaVerdict {
 }
 
 /// Runs the MFA analysis on a TGD-only set.
+///
+/// The Skolemised critical-instance chase is saturated semi-naively through the
+/// [`TriggerEngine`]: rules are star-normalised (every rule constant is conflated
+/// with the critical constant, which only adds derivations and keeps the
+/// criterion sound), Skolem terms are encoded as interned constants, and each
+/// body homomorphism fires exactly once, when the facts completing it appear.
 pub fn mfa_verdict_tgds(sigma: &DependencySet, config: &MfaConfig) -> MfaVerdict {
-    let tgds: Vec<(usize, &Tgd)> = sigma
+    let star = Constant::new("⟨★⟩");
+    // Star-normalise the TGDs so that plain homomorphism matching implements the
+    // "rule constants match only *" convention of the original formulation.
+    let mut original_index: Vec<usize> = Vec::new();
+    let normalised: DependencySet = sigma
         .iter()
         .filter_map(|(i, d)| d.as_tgd().map(|t| (i.0, t)))
-        .collect();
-    // Critical instance: every predicate of Σ holds the all-star tuple.
-    let mut facts: BTreeSet<SkFact> = sigma
-        .predicates()
-        .into_iter()
-        .map(|p| SkFact {
-            predicate: p,
-            terms: vec![SkTerm::Star; p.arity],
+        .map(|(i, tgd)| {
+            original_index.push(i);
+            let norm_atoms = |atoms: &[chase_core::Atom]| {
+                atoms
+                    .iter()
+                    .map(|a| {
+                        a.map_terms(|t| match t {
+                            Term::Const(_) => Term::Const(star),
+                            other => *other,
+                        })
+                    })
+                    .collect::<Vec<_>>()
+            };
+            chase_core::Dependency::Tgd(
+                chase_core::Tgd::new(
+                    tgd.label.clone(),
+                    norm_atoms(&tgd.body),
+                    norm_atoms(&tgd.head),
+                )
+                .expect("star-normalisation preserves well-formedness"),
+            )
         })
         .collect();
 
-    loop {
-        let mut new_facts: Vec<SkFact> = Vec::new();
-        for (rule_idx, tgd) in &tgds {
-            let existential = tgd.existential_variables();
-            for assignment in match_body(&tgd.body, &facts) {
-                // Build the head facts under the assignment, inventing Skolem terms for
-                // the existential variables.
-                let frontier: Vec<Variable> = {
-                    let mut f: Vec<Variable> =
-                        tgd.frontier_variables().into_iter().collect();
-                    f.sort();
-                    f
-                };
-                let mut extended = assignment.clone();
-                for (z_idx, z) in existential.iter().enumerate() {
-                    let args: Vec<SkTerm> = frontier
-                        .iter()
-                        .map(|v| assignment.get(v).cloned().unwrap_or(SkTerm::Star))
-                        .collect();
-                    let term = SkTerm::Func(*rule_idx, z_idx, args);
-                    if term.is_cyclic() {
-                        return MfaVerdict::CyclicTermDerived;
+    // Critical instance: every predicate of Σ holds the all-star tuple.
+    let critical = Instance::from_facts(sigma.predicates().into_iter().map(|p| chase_core::Fact {
+        predicate: p,
+        terms: vec![GroundTerm::Const(star); p.arity],
+    }));
+
+    let mut interner = SkInterner::new(star);
+    let order: Vec<chase_core::DepId> = normalised.ids().collect();
+    let mut engine = TriggerEngine::with_database(&normalised, &critical);
+
+    while let Some(trigger) = engine.next_trigger_where(&order, |_, _| true) {
+        let tgd = normalised
+            .get(trigger.dep)
+            .as_tgd()
+            .expect("the normalised set contains only TGDs");
+        let rule_idx = original_index[trigger.dep.0];
+        let existential = tgd.existential_variables();
+        let frontier: Vec<Variable> = {
+            let mut f: Vec<Variable> = tgd.frontier_variables().into_iter().collect();
+            f.sort();
+            f
+        };
+        // Extend the assignment with Skolem terms for the existential variables.
+        let mut extended = trigger.assignment.clone();
+        for (z_idx, z) in existential.iter().enumerate() {
+            let args: Vec<SkTerm> = frontier
+                .iter()
+                .map(|v| {
+                    let g = trigger
+                        .assignment
+                        .get(*v)
+                        .expect("frontier variables are bound by the body match");
+                    match g {
+                        GroundTerm::Const(c) => interner.decode(c).clone(),
+                        GroundTerm::Null(_) => {
+                            unreachable!("the Skolem chase never invents nulls")
+                        }
                     }
-                    if term.depth() > config.max_depth {
-                        return MfaVerdict::BudgetExhausted;
-                    }
-                    extended.insert(*z, term);
-                }
-                for atom in &tgd.head {
-                    let fact = instantiate(atom, &extended);
-                    if !facts.contains(&fact) {
-                        new_facts.push(fact);
-                    }
-                }
+                })
+                .collect();
+            let term = SkTerm::Func(rule_idx, z_idx, args);
+            if term.is_cyclic() {
+                return MfaVerdict::CyclicTermDerived;
             }
+            if term.depth() > config.max_depth {
+                return MfaVerdict::BudgetExhausted;
+            }
+            extended.bind(*z, GroundTerm::Const(interner.encode(term)));
         }
-        if new_facts.is_empty() {
-            return MfaVerdict::Acyclic;
-        }
-        for f in new_facts {
-            facts.insert(f);
-        }
-        if facts.len() > config.max_facts {
+        let head_facts: Vec<chase_core::Fact> = tgd
+            .head
+            .iter()
+            .map(|atom| {
+                extended
+                    .apply_atom(atom)
+                    .expect("all head variables are bound after extension")
+            })
+            .collect();
+        engine.push_facts(head_facts);
+        if engine.instance().len() > config.max_facts {
             return MfaVerdict::BudgetExhausted;
         }
     }
+    MfaVerdict::Acyclic
 }
-
-fn instantiate(atom: &Atom, assignment: &BTreeMap<Variable, SkTerm>) -> SkFact {
-    SkFact {
-        predicate: atom.predicate,
-        terms: atom
-            .terms
-            .iter()
-            .map(|t| match t {
-                Term::Var(v) => assignment
-                    .get(v)
-                    .cloned()
-                    .expect("all atom variables are assigned"),
-                // Rule constants are conflated with the critical constant; this only
-                // adds derivations and keeps the criterion sound.
-                Term::Const(_) => SkTerm::Star,
-                Term::Null(_) => unreachable!("dependencies contain no nulls"),
-            })
-            .collect(),
-    }
-}
-
-/// Enumerates all assignments of the body variables to Skolem terms such that every
-/// body atom is matched by a derived fact.
-fn match_body(body: &[Atom], facts: &BTreeSet<SkFact>) -> Vec<BTreeMap<Variable, SkTerm>> {
-    // Index facts by predicate for the join.
-    let mut by_pred: BTreeMap<chase_core::Predicate, Vec<&SkFact>> = BTreeMap::new();
-    for f in facts {
-        by_pred.entry(f.predicate).or_default().push(f);
-    }
-    let mut results = Vec::new();
-    let mut partial: BTreeMap<Variable, SkTerm> = BTreeMap::new();
-    fn recurse(
-        body: &[Atom],
-        idx: usize,
-        by_pred: &BTreeMap<chase_core::Predicate, Vec<&SkFact>>,
-        partial: &mut BTreeMap<Variable, SkTerm>,
-        results: &mut Vec<BTreeMap<Variable, SkTerm>>,
-    ) {
-        if idx == body.len() {
-            results.push(partial.clone());
-            return;
-        }
-        let atom = &body[idx];
-        let empty = Vec::new();
-        for fact in by_pred.get(&atom.predicate).unwrap_or(&empty) {
-            let mut bound: Vec<Variable> = Vec::new();
-            let mut ok = true;
-            for (t, ft) in atom.terms.iter().zip(fact.terms.iter()) {
-                match t {
-                    Term::Var(v) => match partial.get(v) {
-                        Some(existing) => {
-                            if existing != ft {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        None => {
-                            partial.insert(*v, ft.clone());
-                            bound.push(*v);
-                        }
-                    },
-                    Term::Const(_) => {
-                        if *ft != SkTerm::Star {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    Term::Null(_) => unreachable!("dependencies contain no nulls"),
-                }
-            }
-            if ok {
-                recurse(body, idx + 1, by_pred, partial, results);
-            }
-            for v in bound {
-                partial.remove(&v);
-            }
-        }
-    }
-    recurse(body, 0, &by_pred, &mut partial, &mut results);
-    results
-}
-
 /// Returns `true` iff `sigma` is model-faithfully acyclic (EGDs handled through the
 /// substitution-free simulation).
 pub fn is_mfa(sigma: &DependencySet) -> bool {
@@ -361,6 +354,12 @@ mod tests {
         let sigma = parse_dependencies("r: E(?x, ?y) -> exists ?z: E(?y, ?z).").unwrap();
         let verdict = mfa_verdict_tgds(&sigma, &MfaConfig::default());
         assert_eq!(verdict, MfaVerdict::CyclicTermDerived);
-        assert!(!is_mfa_with(&sigma, &MfaConfig { max_facts: 1, max_depth: 1 }));
+        assert!(!is_mfa_with(
+            &sigma,
+            &MfaConfig {
+                max_facts: 1,
+                max_depth: 1
+            }
+        ));
     }
 }

@@ -53,8 +53,7 @@ fn equality_axioms(sigma: &DependencySet) -> Vec<Dependency> {
         let body = vec![Atom::from_parts(&pred.name.as_str(), vars.clone())];
         let head: Vec<Atom> = vars.iter().map(|v| eq_atom(*v, *v)).collect();
         out.push(Dependency::Tgd(
-            Tgd::new(Some(format!("eq_refl_{}", pred.name)), body, head)
-                .expect("well-formed"),
+            Tgd::new(Some(format!("eq_refl_{}", pred.name)), body, head).expect("well-formed"),
         ));
     }
     out
@@ -91,7 +90,9 @@ pub fn substitution_free_simulation(sigma: &DependencySet) -> DependencySet {
     let mut out: Vec<Dependency> = equality_axioms(sigma);
     for (_, dep) in sigma.iter() {
         let dep = egd_to_eq_tgd(dep);
-        let tgd = dep.as_tgd().expect("all dependencies are TGDs at this point");
+        let tgd = dep
+            .as_tgd()
+            .expect("all dependencies are TGDs at this point");
         // Split repeated body variables.
         let mut seen: BTreeMap<Variable, usize> = BTreeMap::new();
         let mut extra_eq: Vec<Atom> = Vec::new();
@@ -107,8 +108,7 @@ pub fn substitution_free_simulation(sigma: &DependencySet) -> DependencySet {
                             terms.push(Term::Var(*v));
                         } else {
                             *count += 1;
-                            let fresh =
-                                Variable::new(&format!("{}__{}", v.name(), *count));
+                            let fresh = Variable::new(&format!("{}__{}", v.name(), *count));
                             extra_eq.push(eq_atom(Term::Var(*v), Term::Var(fresh)));
                             terms.push(Term::Var(fresh));
                         }

@@ -148,7 +148,10 @@ mod tests {
             "#,
         )
         .unwrap();
-        assert_eq!(is_weakly_acyclic(&with_egd), is_weakly_acyclic(&without_egd));
+        assert_eq!(
+            is_weakly_acyclic(&with_egd),
+            is_weakly_acyclic(&without_egd)
+        );
     }
 
     #[test]

@@ -31,10 +31,7 @@ impl CorpusClass {
     pub fn id(&self) -> String {
         format!(
             "E[{},{}]xG[{},{}]",
-            self.existential_range.0,
-            self.existential_range.1,
-            self.egd_range.0,
-            self.egd_range.1
+            self.existential_range.0, self.existential_range.1, self.egd_range.0, self.egd_range.1
         )
     }
 }
@@ -42,14 +39,54 @@ impl CorpusClass {
 /// The eight classes with the paper's `#tests` and average `|Σ|` (Table 2(a)).
 pub fn paper_classes() -> Vec<CorpusClass> {
     vec![
-        CorpusClass { existential_range: (1, 10), egd_range: (1, 10), tests: 50, average_size: 86 },
-        CorpusClass { existential_range: (1, 10), egd_range: (11, 100), tests: 7, average_size: 451 },
-        CorpusClass { existential_range: (11, 100), egd_range: (1, 10), tests: 15, average_size: 406 },
-        CorpusClass { existential_range: (11, 100), egd_range: (11, 100), tests: 26, average_size: 1_210 },
-        CorpusClass { existential_range: (101, 1000), egd_range: (1, 10), tests: 51, average_size: 3_113 },
-        CorpusClass { existential_range: (101, 1000), egd_range: (11, 100), tests: 13, average_size: 3_176 },
-        CorpusClass { existential_range: (1001, 5000), egd_range: (1, 10), tests: 9, average_size: 9_117 },
-        CorpusClass { existential_range: (1001, 5000), egd_range: (11, 100), tests: 7, average_size: 19_587 },
+        CorpusClass {
+            existential_range: (1, 10),
+            egd_range: (1, 10),
+            tests: 50,
+            average_size: 86,
+        },
+        CorpusClass {
+            existential_range: (1, 10),
+            egd_range: (11, 100),
+            tests: 7,
+            average_size: 451,
+        },
+        CorpusClass {
+            existential_range: (11, 100),
+            egd_range: (1, 10),
+            tests: 15,
+            average_size: 406,
+        },
+        CorpusClass {
+            existential_range: (11, 100),
+            egd_range: (11, 100),
+            tests: 26,
+            average_size: 1_210,
+        },
+        CorpusClass {
+            existential_range: (101, 1000),
+            egd_range: (1, 10),
+            tests: 51,
+            average_size: 3_113,
+        },
+        CorpusClass {
+            existential_range: (101, 1000),
+            egd_range: (11, 100),
+            tests: 13,
+            average_size: 3_176,
+        },
+        CorpusClass {
+            existential_range: (1001, 5000),
+            egd_range: (1, 10),
+            tests: 9,
+            average_size: 9_117,
+        },
+        CorpusClass {
+            existential_range: (1001, 5000),
+            egd_range: (11, 100),
+            tests: 7,
+            average_size: 19_587,
+        },
     ]
 }
 
@@ -78,11 +115,7 @@ pub fn paper_corpus(seed: u64, cyclic_fraction: f64) -> Vec<GeneratedOntology> {
 /// of ontologies per class that receive a non-terminating gadget — the paper observed
 /// that a bit more than half of its corpus had non-terminating (or not-terminating-
 /// within-24h) chases.
-pub fn scaled_paper_corpus(
-    seed: u64,
-    cyclic_fraction: f64,
-    scale: f64,
-) -> Vec<GeneratedOntology> {
+pub fn scaled_paper_corpus(seed: u64, cyclic_fraction: f64, scale: f64) -> Vec<GeneratedOntology> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::new();
     for (class_index, class) in paper_classes().iter().enumerate() {

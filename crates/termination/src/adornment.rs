@@ -342,7 +342,13 @@ impl<'a> Adn<'a> {
                     .map(|(i, _)| i.0)
                     .collect();
                 // EGDs before full TGDs (the order is immaterial for correctness).
-                ids.sort_by_key(|&i| if self.sigma.as_slice()[i].is_egd() { 0 } else { 1 });
+                ids.sort_by_key(|&i| {
+                    if self.sigma.as_slice()[i].is_egd() {
+                        0
+                    } else {
+                        1
+                    }
+                });
                 ids
             };
             let mut newly_added: Option<usize> = None;
@@ -480,21 +486,21 @@ impl<'a> Adn<'a> {
                 let existential = tgd.existential_variables();
                 let mut ex_symbols: BTreeMap<Variable, AdSym> = BTreeMap::new();
                 for (z_idx, z) in existential.iter().enumerate() {
-                    let existing = ad.iter().find(|d| {
-                        d.rule == idx && d.var_index == z_idx && d.args == args
-                    });
+                    let existing = ad
+                        .iter()
+                        .find(|d| d.rule == idx && d.var_index == z_idx && d.args == args);
                     let sym = match existing {
                         Some(d) => AdSym::F(d.symbol),
                         None => {
                             let next = 1 + ad
                                 .iter()
                                 .flat_map(|d| {
-                                    std::iter::once(d.symbol).chain(d.args.iter().filter_map(
-                                        |s| match s {
+                                    std::iter::once(d.symbol).chain(d.args.iter().filter_map(|s| {
+                                        match s {
                                             AdSym::F(i) => Some(*i),
                                             AdSym::B => None,
-                                        },
-                                    ))
+                                        }
+                                    }))
                                 })
                                 .max()
                                 .unwrap_or(0);
@@ -544,12 +550,7 @@ impl<'a> Adn<'a> {
             let candidate_dep = ad_rule_to_dependency(candidate, usize::MAX);
             self.rules.iter().enumerate().any(|(k, rule)| {
                 let dep = ad_rule_to_dependency(rule, k);
-                crate::firing::definition2_edge(
-                    &current,
-                    &dep,
-                    &candidate_dep,
-                    &self.config.firing,
-                )
+                crate::firing::definition2_edge(&current, &dep, &candidate_dep, &self.config.firing)
             })
         } else {
             // Overlap approximation: some rule's (adorned) head can syntactically feed
@@ -665,10 +666,11 @@ impl<'a> Adn<'a> {
                 let valid = theta.iter().all(|(i, s)| match s {
                     AdSym::F(j) => self.ad.iter().any(|d1| {
                         d1.symbol == *i
-                            && self
-                                .ad
-                                .iter()
-                                .any(|d2| d2.symbol == *j && d2.rule == d1.rule && d2.var_index == d1.var_index)
+                            && self.ad.iter().any(|d2| {
+                                d2.symbol == *j
+                                    && d2.rule == d1.rule
+                                    && d2.var_index == d1.var_index
+                            })
                     }),
                     AdSym::B => false,
                 });
@@ -699,9 +701,8 @@ impl<'a> Adn<'a> {
         }
         self.ad.dedup();
         let mut seen = BTreeSet::new();
-        self.ad.retain(|d| {
-            seen.insert((d.symbol, d.rule, d.var_index, d.args.clone()))
-        });
+        self.ad
+            .retain(|d| seen.insert((d.symbol, d.rule, d.var_index, d.args.clone())));
     }
 
     fn dedupe_rules(&mut self) {
@@ -1010,14 +1011,7 @@ fn coherent_adorned_bodies(
             }
         }
     }
-    recurse2(
-        body,
-        &per_atom,
-        0,
-        &mut assignment,
-        &mut chosen,
-        &mut out,
-    );
+    recurse2(body, &per_atom, 0, &mut assignment, &mut chosen, &mut out);
     out
 }
 
@@ -1095,7 +1089,10 @@ mod tests {
             .collect();
         assert!(preds.contains("N__b"));
         assert!(preds.contains("E__bb"));
-        assert!(!preds.iter().any(|p| p.contains("f1")), "f1 must have been replaced by b: {preds:?}");
+        assert!(
+            !preds.iter().any(|p| p.contains("f1")),
+            "f1 must have been replaced by b: {preds:?}"
+        );
         // AD is empty at the end (the definition of f1 was removed by τ).
         assert!(result.definitions.is_empty());
     }
@@ -1104,7 +1101,10 @@ mod tests {
     fn example13_sigma10_is_not_semi_acyclic() {
         let result = adorn(&sigma10());
         assert!(!result.acyclic, "Σ10 must be rejected (cyclic adornment)");
-        assert!(!result.budget_exhausted, "rejection must come from the cyclicity test");
+        assert!(
+            !result.budget_exhausted,
+            "rejection must come from the cyclicity test"
+        );
     }
 
     #[test]
@@ -1156,7 +1156,10 @@ mod tests {
             .filter(|(_, d)| d.label().map(|l| l.starts_with("base_")).unwrap_or(false))
             .collect();
         assert_eq!(base.len(), 2);
-        assert!(result.adorned_rule_count >= 3, "every dependency of Σ1 gets at least one adorned version");
+        assert!(
+            result.adorned_rule_count >= 3,
+            "every dependency of Σ1 gets at least one adorned version"
+        );
         assert!(result.size_ratio(&sigma1()) >= 1.0);
     }
 

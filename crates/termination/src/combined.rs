@@ -51,7 +51,11 @@ pub fn combined_criteria() -> Vec<NamedCriterion> {
     vec![
         NamedCriterion::new("Adn-WA", Guarantee::SomeSequence, adn_weak_acyclicity),
         NamedCriterion::new("Adn-SC", Guarantee::SomeSequence, adn_safety),
-        NamedCriterion::new("Adn-SwA", Guarantee::SomeSequence, adn_super_weak_acyclicity),
+        NamedCriterion::new(
+            "Adn-SwA",
+            Guarantee::SomeSequence,
+            adn_super_weak_acyclicity,
+        ),
     ]
 }
 
@@ -128,10 +132,9 @@ mod tests {
 
     #[test]
     fn combined_result_exposes_the_adorned_set() {
-        let chain = parse_dependencies(
-            "r1: A(?x) -> exists ?y: B(?x, ?y). r2: B(?x, ?y) -> C(?y).",
-        )
-        .unwrap();
+        let chain =
+            parse_dependencies("r1: A(?x) -> exists ?y: B(?x, ?y). r2: B(?x, ?y) -> C(?y).")
+                .unwrap();
         let (verdict, result) = adn_combined_with(
             &chain,
             &crate::adornment::AdnConfig::default(),
@@ -146,7 +149,9 @@ mod tests {
     fn registry_contains_paper_and_combined_criteria() {
         let all = all_criteria();
         let names: Vec<&str> = all.iter().map(|c| c.name).collect();
-        for expected in ["WA", "SC", "SwA", "Str", "CStr", "MFA", "S-Str", "SAC", "Adn-WA"] {
+        for expected in [
+            "WA", "SC", "SwA", "Str", "CStr", "MFA", "S-Str", "SAC", "Adn-WA",
+        ] {
             assert!(names.contains(&expected), "missing criterion {expected}");
         }
     }

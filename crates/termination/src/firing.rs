@@ -12,9 +12,7 @@
 use chase_core::homomorphism::{Assignment, HomomorphismSearch};
 use chase_core::satisfaction::satisfies_under;
 use chase_core::{Dependency, DependencySet, GroundTerm, Instance};
-use chase_criteria::firing::{
-    for_each_firing_witness, Applicability, FiringConfig, FiringWitness,
-};
+use chase_criteria::firing::{for_each_firing_witness, Applicability, FiringConfig, FiringWitness};
 use chase_criteria::graph::DiGraph;
 use std::ops::ControlFlow;
 
@@ -44,11 +42,7 @@ pub fn definition2_edge(
 
 /// Checks the blocking condition of Definition 2 for a single witness: is there a full
 /// dependency `r3` and a standard chase step on `K` whose result satisfies `h2(r2)`?
-fn witness_is_blocked(
-    full_deps: &[&Dependency],
-    witness: &FiringWitness,
-    r2: &Dependency,
-) -> bool {
+fn witness_is_blocked(full_deps: &[&Dependency], witness: &FiringWitness, r2: &Dependency) -> bool {
     for r3 in full_deps {
         let blocked = HomomorphismSearch::new(r3.body(), &witness.k).for_each_extending(
             &Assignment::new(),
@@ -91,12 +85,8 @@ fn standard_step(k: &Instance, r3: &Dependency, h3: &Assignment) -> Option<Insta
             }
             let gamma = match (a, b) {
                 (GroundTerm::Const(_), GroundTerm::Const(_)) => return None,
-                (GroundTerm::Null(n), other) => {
-                    chase_core::NullSubstitution::single(n, other)
-                }
-                (other, GroundTerm::Null(n)) => {
-                    chase_core::NullSubstitution::single(n, other)
-                }
+                (GroundTerm::Null(n), other) => chase_core::NullSubstitution::single(n, other),
+                (other, GroundTerm::Null(n)) => chase_core::NullSubstitution::single(n, other),
             };
             Some(k.apply_substitution(&gamma))
         }

@@ -1,0 +1,80 @@
+//! The delta worklist: facts added or rewritten since trigger discovery last ran.
+
+use chase_core::substitution::NullSubstitution;
+use chase_core::Fact;
+use std::collections::VecDeque;
+
+/// FIFO worklist of facts whose trigger contributions are still undiscovered.
+///
+/// Facts are enqueued when a TGD step inserts them or an EGD substitution rewrites
+/// them, and drained by [`TriggerEngine::drain_deltas`](crate::TriggerEngine) which
+/// seeds homomorphism search from each fact in turn (semi-naive evaluation).
+#[derive(Clone, Debug, Default)]
+pub struct DeltaQueue {
+    queue: VecDeque<Fact>,
+    enqueued_total: usize,
+}
+
+impl DeltaQueue {
+    /// Creates an empty worklist.
+    pub fn new() -> Self {
+        DeltaQueue::default()
+    }
+
+    /// Enqueues a fact.
+    pub fn push(&mut self, fact: Fact) {
+        self.enqueued_total += 1;
+        self.queue.push_back(fact);
+    }
+
+    /// Dequeues the oldest fact, if any.
+    pub fn pop(&mut self) -> Option<Fact> {
+        self.queue.pop_front()
+    }
+
+    /// Number of facts currently waiting.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Returns `true` iff no fact is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total number of facts ever enqueued (for diagnostics).
+    pub fn enqueued_total(&self) -> usize {
+        self.enqueued_total
+    }
+
+    /// Applies an EGD substitution to every waiting fact, keeping the worklist in
+    /// lockstep with the instance (a queued fact that mentioned the substituted
+    /// null no longer exists in `K γ`; its rewrite does).
+    pub fn apply_substitution(&mut self, gamma: &NullSubstitution) {
+        for fact in &mut self.queue {
+            *fact = fact.apply(gamma);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::term::Constant;
+    use chase_core::GroundTerm;
+
+    #[test]
+    fn fifo_order_and_counters() {
+        let mut q = DeltaQueue::new();
+        let a = Fact::from_parts("N", vec![GroundTerm::Const(Constant::new("a"))]);
+        let b = Fact::from_parts("N", vec![GroundTerm::Const(Constant::new("b"))]);
+        q.push(a.clone());
+        q.push(b.clone());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(a));
+        assert_eq!(q.pop(), Some(b));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+        assert_eq!(q.enqueued_total(), 2);
+    }
+}

@@ -1,0 +1,170 @@
+//! Indexed fact storage: an owned [`Instance`] plus candidate-lookup helpers.
+//!
+//! [`FactIndex`] is the storage layer of the trigger engine. It owns the evolving
+//! chase instance and answers the one question join search keeps asking — *which
+//! facts could this body atom map to, given the current partial assignment?* — by
+//! consulting the per-(predicate, position) indexes of [`Instance`] instead of
+//! scanning all facts of the predicate.
+
+use chase_core::substitution::NullSubstitution;
+use chase_core::Assignment;
+use chase_core::{Atom, Fact, GroundTerm, Instance, NullValue, Term};
+
+/// Indexed fact storage for the trigger engine.
+///
+/// Wraps an [`Instance`] (which maintains per-predicate, per-position and per-null
+/// indexes) and exposes delta-aware mutation: insertion reports whether the fact is
+/// new, substitution reports exactly the rewritten facts.
+#[derive(Clone, Debug, Default)]
+pub struct FactIndex {
+    instance: Instance,
+}
+
+impl FactIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        FactIndex::default()
+    }
+
+    /// Creates an index over a copy of `instance`.
+    pub fn from_instance(instance: Instance) -> Self {
+        FactIndex { instance }
+    }
+
+    /// The indexed instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Consumes the index, returning the instance.
+    pub fn into_instance(self) -> Instance {
+        self.instance
+    }
+
+    /// Number of stored facts.
+    pub fn len(&self) -> usize {
+        self.instance.len()
+    }
+
+    /// Returns `true` iff no fact is stored.
+    pub fn is_empty(&self) -> bool {
+        self.instance.is_empty()
+    }
+
+    /// Returns `true` iff the fact is stored.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.instance.contains(fact)
+    }
+
+    /// Inserts a fact; returns `true` iff it was new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        self.instance.insert(fact)
+    }
+
+    /// Allocates a labeled null distinct from every null in the stored facts.
+    pub fn fresh_null(&mut self) -> NullValue {
+        self.instance.fresh_null()
+    }
+
+    /// Applies an EGD substitution in place, returning the rewritten facts (the
+    /// delta the engine re-seeds trigger discovery from).
+    pub fn substitute(&mut self, gamma: &NullSubstitution) -> Vec<Fact> {
+        self.instance.substitute_in_place(gamma)
+    }
+
+    /// The candidate facts for `atom` under `assignment`: the smallest
+    /// per-(predicate, position) bucket among the atom's bound positions, or all
+    /// facts of the predicate when no position is bound.
+    ///
+    /// Every fact the atom can map to is in the returned slice; the slice may
+    /// contain non-matching facts (unification still has to check the remaining
+    /// positions), but for selective positions it is far smaller than the
+    /// per-predicate list.
+    pub fn candidates_for<'a>(&'a self, atom: &Atom, assignment: &Assignment) -> &'a [Fact] {
+        let mut best: Option<&[Fact]> = None;
+        for (i, term) in atom.terms.iter().enumerate() {
+            let ground: Option<GroundTerm> = match term {
+                Term::Const(c) => Some(GroundTerm::Const(*c)),
+                Term::Null(n) => Some(GroundTerm::Null(*n)),
+                Term::Var(v) => assignment.get(*v),
+            };
+            if let Some(g) = ground {
+                let bucket = self
+                    .instance
+                    .facts_by_predicate_position(atom.predicate, i, g);
+                if best.is_none_or(|b| bucket.len() < b.len()) {
+                    best = Some(bucket);
+                }
+                if bucket.is_empty() {
+                    break;
+                }
+            }
+        }
+        best.unwrap_or_else(|| self.instance.facts_of(atom.predicate))
+    }
+
+    /// An upper bound on the number of candidates for `atom` under `assignment`
+    /// (the length of [`FactIndex::candidates_for`]'s result), used to order join
+    /// atoms most-constrained-first.
+    pub fn candidate_count(&self, atom: &Atom, assignment: &Assignment) -> usize {
+        self.candidates_for(atom, assignment).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::builder::{atom, cst, var};
+    use chase_core::term::Constant;
+
+    fn gc(s: &str) -> GroundTerm {
+        GroundTerm::Const(Constant::new(s))
+    }
+
+    fn path() -> FactIndex {
+        let mut idx = FactIndex::new();
+        idx.insert(Fact::from_parts("E", vec![gc("a"), gc("b")]));
+        idx.insert(Fact::from_parts("E", vec![gc("b"), gc("c")]));
+        idx.insert(Fact::from_parts("E", vec![gc("b"), gc("d")]));
+        idx
+    }
+
+    #[test]
+    fn unbound_atom_falls_back_to_predicate_scan() {
+        let idx = path();
+        let a = atom("E", vec![var("x"), var("y")]);
+        assert_eq!(idx.candidates_for(&a, &Assignment::new()).len(), 3);
+    }
+
+    #[test]
+    fn bound_variable_narrows_candidates() {
+        let idx = path();
+        let a = atom("E", vec![var("x"), var("y")]);
+        let h = Assignment::from_pairs([(chase_core::Variable::new("x"), gc("b"))]);
+        assert_eq!(idx.candidates_for(&a, &h).len(), 2);
+        let h = Assignment::from_pairs([(chase_core::Variable::new("y"), gc("c"))]);
+        assert_eq!(idx.candidates_for(&a, &h).len(), 1);
+    }
+
+    #[test]
+    fn constants_in_atoms_narrow_candidates() {
+        let idx = path();
+        let a = atom("E", vec![cst("a"), var("y")]);
+        assert_eq!(idx.candidates_for(&a, &Assignment::new()).len(), 1);
+        let none = atom("E", vec![cst("z"), var("y")]);
+        assert!(idx.candidates_for(&none, &Assignment::new()).is_empty());
+    }
+
+    #[test]
+    fn substitution_reports_rewritten_facts() {
+        let mut idx = FactIndex::new();
+        idx.insert(Fact::from_parts(
+            "E",
+            vec![gc("a"), GroundTerm::Null(NullValue(1))],
+        ));
+        idx.insert(Fact::from_parts("E", vec![gc("a"), gc("b")]));
+        let delta = idx.substitute(&NullSubstitution::single(NullValue(1), gc("b")));
+        assert_eq!(delta, vec![Fact::from_parts("E", vec![gc("a"), gc("b")])]);
+        assert_eq!(idx.len(), 1);
+    }
+}

@@ -1,0 +1,237 @@
+//! Index-backed homomorphism search, seeded from delta facts.
+//!
+//! The engine never enumerates triggers from scratch. When a chase step adds or
+//! rewrites facts, discovery restarts *from those facts only*: for every body atom
+//! unifiable with a delta fact, the atom is pinned to the fact and the remaining
+//! atoms are joined via the per-(predicate, position) indexes of the
+//! [`FactIndex`](crate::FactIndex) — semi-naive evaluation at the granularity of
+//! single chase steps.
+
+use crate::index::FactIndex;
+use chase_core::{Assignment, Atom, Fact, GroundTerm, Term, Variable};
+use std::ops::ControlFlow;
+
+/// Tries to unify `atom` with `fact` under `assignment`, binding unbound variables.
+/// On success returns the newly bound variables; on failure the assignment is
+/// rolled back and `None` is returned.
+pub fn unify_atom_with_fact(
+    atom: &Atom,
+    fact: &Fact,
+    assignment: &mut Assignment,
+) -> Option<Vec<Variable>> {
+    debug_assert_eq!(atom.predicate, fact.predicate);
+    let mut new_bindings: Vec<Variable> = Vec::new();
+    for (t, g) in atom.terms.iter().zip(fact.terms.iter()) {
+        let ok = match t {
+            Term::Const(c) => GroundTerm::Const(*c) == *g,
+            Term::Null(n) => GroundTerm::Null(*n) == *g,
+            Term::Var(v) => match assignment.get(*v) {
+                Some(bound) => bound == *g,
+                None => {
+                    assignment.bind(*v, *g);
+                    new_bindings.push(*v);
+                    true
+                }
+            },
+        };
+        if !ok {
+            for v in &new_bindings {
+                assignment.unbind(*v);
+            }
+            return None;
+        }
+    }
+    Some(new_bindings)
+}
+
+/// Visits every homomorphism from `atoms` into the index that extends `partial`,
+/// choosing at each level the most constrained remaining atom (fewest index
+/// candidates) and iterating only its candidate bucket.
+pub fn for_each_indexed_extending<B>(
+    atoms: &[Atom],
+    index: &FactIndex,
+    partial: &Assignment,
+    visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+) -> Option<B> {
+    let mut remaining: Vec<usize> = (0..atoms.len()).collect();
+    let mut assignment = partial.clone();
+    match search(atoms, index, &mut remaining, &mut assignment, visit) {
+        ControlFlow::Break(b) => Some(b),
+        ControlFlow::Continue(()) => None,
+    }
+}
+
+/// Visits every homomorphism from `atoms` into the index in which atom
+/// `seed_index` is mapped to `seed_fact` — the semi-naive seeding step.
+pub fn for_each_seeded<B>(
+    atoms: &[Atom],
+    index: &FactIndex,
+    seed_index: usize,
+    seed_fact: &Fact,
+    visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+) -> Option<B> {
+    let seed_atom = &atoms[seed_index];
+    if seed_atom.predicate != seed_fact.predicate {
+        return None;
+    }
+    let mut assignment = Assignment::new();
+    unify_atom_with_fact(seed_atom, seed_fact, &mut assignment)?;
+    let mut remaining: Vec<usize> = (0..atoms.len()).filter(|&i| i != seed_index).collect();
+    match search(atoms, index, &mut remaining, &mut assignment, visit) {
+        ControlFlow::Break(b) => Some(b),
+        ControlFlow::Continue(()) => None,
+    }
+}
+
+/// Returns `true` iff some homomorphism from `atoms` into the index extends
+/// `partial` (the indexed standard-activity test for TGD heads).
+pub fn exists_indexed_extension(atoms: &[Atom], index: &FactIndex, partial: &Assignment) -> bool {
+    for_each_indexed_extending(atoms, index, partial, &mut |_| ControlFlow::Break(())).is_some()
+}
+
+fn search<B>(
+    atoms: &[Atom],
+    index: &FactIndex,
+    remaining: &mut Vec<usize>,
+    assignment: &mut Assignment,
+    visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+) -> ControlFlow<B> {
+    if remaining.is_empty() {
+        return visit(assignment);
+    }
+    // Most constrained atom first: fewest candidates under the current bindings.
+    let (pick_pos, _) = remaining
+        .iter()
+        .enumerate()
+        .map(|(pos, &ai)| (pos, index.candidate_count(&atoms[ai], assignment)))
+        .min_by_key(|&(_, count)| count)
+        .expect("remaining is non-empty");
+    let atom_idx = remaining.swap_remove(pick_pos);
+    let atom = &atoms[atom_idx];
+
+    let mut flow = ControlFlow::Continue(());
+    // `candidates_for` borrows the index immutably; cloning the bucket is avoided
+    // by iterating the slice directly (the index is not mutated during search).
+    for fact in index.candidates_for(atom, assignment) {
+        if let Some(new_bindings) = unify_atom_with_fact(atom, fact, assignment) {
+            let inner = search(atoms, index, remaining, assignment, visit);
+            for v in &new_bindings {
+                assignment.unbind(*v);
+            }
+            if inner.is_break() {
+                flow = inner;
+                break;
+            }
+        }
+    }
+    // Restore `remaining` (content matters, order does not).
+    remaining.push(atom_idx);
+    let last = remaining.len() - 1;
+    remaining.swap(pick_pos, last);
+    flow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::builder::{atom, cst, var};
+    use chase_core::term::Constant;
+
+    fn gc(s: &str) -> GroundTerm {
+        GroundTerm::Const(Constant::new(s))
+    }
+
+    fn chain_index() -> FactIndex {
+        let mut idx = FactIndex::new();
+        idx.insert(Fact::from_parts("E", vec![gc("a"), gc("b")]));
+        idx.insert(Fact::from_parts("E", vec![gc("b"), gc("c")]));
+        idx.insert(Fact::from_parts("E", vec![gc("c"), gc("d")]));
+        idx
+    }
+
+    fn collect_all(atoms: &[Atom], index: &FactIndex) -> Vec<Assignment> {
+        let mut out = Vec::new();
+        for_each_indexed_extending::<()>(atoms, index, &Assignment::new(), &mut |h| {
+            out.push(h.clone());
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    #[test]
+    fn indexed_join_matches_expected_two_hop_paths() {
+        let idx = chain_index();
+        let query = vec![
+            atom("E", vec![var("x"), var("y")]),
+            atom("E", vec![var("y"), var("z")]),
+        ];
+        let homs = collect_all(&query, &idx);
+        assert_eq!(homs.len(), 2);
+    }
+
+    #[test]
+    fn seeded_search_only_finds_homs_through_the_seed() {
+        let idx = chain_index();
+        let query = vec![
+            atom("E", vec![var("x"), var("y")]),
+            atom("E", vec![var("y"), var("z")]),
+        ];
+        let seed = Fact::from_parts("E", vec![gc("b"), gc("c")]);
+        // Seeding atom 0 with E(b, c): the only completion is y=c, z=d.
+        let mut homs = Vec::new();
+        for_each_seeded::<()>(&query, &idx, 0, &seed, &mut |h| {
+            homs.push(h.clone());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].get(Variable::new("z")), Some(gc("d")));
+        // Seeding atom 1 with the same fact: the only completion is x=a.
+        let mut homs = Vec::new();
+        for_each_seeded::<()>(&query, &idx, 1, &seed, &mut |h| {
+            homs.push(h.clone());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].get(Variable::new("x")), Some(gc("a")));
+    }
+
+    #[test]
+    fn seeded_search_respects_repeated_variables() {
+        let mut idx = chain_index();
+        idx.insert(Fact::from_parts("E", vec![gc("e"), gc("e")]));
+        let query = vec![atom("E", vec![var("x"), var("x")])];
+        let seed_no = Fact::from_parts("E", vec![gc("a"), gc("b")]);
+        let mut count = 0;
+        for_each_seeded::<()>(&query, &idx, 0, &seed_no, &mut |_| {
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(count, 0);
+        let seed_yes = Fact::from_parts("E", vec![gc("e"), gc("e")]);
+        for_each_seeded::<()>(&query, &idx, 0, &seed_yes, &mut |_| {
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn exists_extension_checks_partial_assignments() {
+        let idx = chain_index();
+        let head = vec![atom("E", vec![var("x"), var("z")])];
+        let h = Assignment::from_pairs([(Variable::new("x"), gc("a"))]);
+        assert!(exists_indexed_extension(&head, &idx, &h));
+        let h = Assignment::from_pairs([(Variable::new("x"), gc("d"))]);
+        assert!(!exists_indexed_extension(&head, &idx, &h));
+    }
+
+    #[test]
+    fn constants_and_early_exit() {
+        let idx = chain_index();
+        let q = vec![atom("E", vec![cst("a"), var("y")])];
+        let found = for_each_indexed_extending(&q, &idx, &Assignment::new(), &mut |h| {
+            ControlFlow::Break(h.get(Variable::new("y")).unwrap())
+        });
+        assert_eq!(found, Some(gc("b")));
+    }
+}

@@ -40,8 +40,14 @@ fn main() {
     .expect("the mapping parses");
 
     println!("Termination analysis of the mapping + target dependencies:");
-    println!("  weak acyclicity: {}", is_weakly_acyclic(&program.dependencies));
-    println!("  semi-acyclic (SAC): {}", is_semi_acyclic(&program.dependencies));
+    println!(
+        "  weak acyclicity: {}",
+        is_weakly_acyclic(&program.dependencies)
+    );
+    println!(
+        "  semi-acyclic (SAC): {}",
+        is_semi_acyclic(&program.dependencies)
+    );
 
     // The chase computes a universal solution. The EGD t1 merges the department nulls
     // invented for alice and bob (same department name) and identifies the sales

@@ -27,7 +27,10 @@ fn main() {
         seed,
     };
     let sigma = generate(&profile);
-    println!("Generated ontology with {} dependencies (seed {seed}):", sigma.len());
+    println!(
+        "Generated ontology with {} dependencies (seed {seed}):",
+        sigma.len()
+    );
     for (_, dep) in sigma.iter() {
         println!("  {dep}.");
     }
@@ -38,7 +41,11 @@ fn main() {
             "  {:8} [{}]  {}",
             criterion.name,
             criterion.guarantee(),
-            if criterion.accepts(&sigma) { "accepts" } else { "rejects" }
+            if criterion.accepts(&sigma) {
+                "accepts"
+            } else {
+                "rejects"
+            }
         );
     }
 
@@ -59,7 +66,10 @@ fn main() {
             );
         }
         ChaseOutcome::Failed { stats } => {
-            println!("Chase failed (inconsistent ABox) after {} steps.", stats.steps)
+            println!(
+                "Chase failed (inconsistent ABox) after {} steps.",
+                stats.steps
+            )
         }
         ChaseOutcome::BudgetExhausted { stats, .. } => {
             println!("Chase did not terminate within {} steps.", stats.steps)

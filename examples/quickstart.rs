@@ -31,7 +31,10 @@ fn main() {
     println!("weak acyclicity (WA):        {}", is_weakly_acyclic(sigma));
     println!("safety (SC):                 {}", is_safe(sigma));
     println!("stratification (Str):        {}", is_stratified(sigma));
-    println!("super-weak acyclicity (SwA): {}", is_super_weakly_acyclic(sigma));
+    println!(
+        "super-weak acyclicity (SwA): {}",
+        is_super_weakly_acyclic(sigma)
+    );
     println!("MFA:                         {}", is_mfa(sigma));
 
     // … while the paper's criteria analyse the EGD directly.

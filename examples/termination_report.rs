@@ -61,7 +61,11 @@ fn main() {
                 "  {:8} [{}]  {}",
                 criterion.name,
                 criterion.guarantee(),
-                if criterion.accepts(&sigma) { "accepts" } else { "rejects" }
+                if criterion.accepts(&sigma) {
+                    "accepts"
+                } else {
+                    "rejects"
+                }
             );
         }
 

@@ -8,6 +8,11 @@
 //!
 //! * [`core`](chase_core) — the dependency language (TGDs, EGDs), instances,
 //!   homomorphisms, satisfaction and a textual parser;
+//! * [`trigger`](chase_trigger) — the delta-driven incremental trigger engine:
+//!   indexed fact storage ([`FactIndex`](chase_trigger::FactIndex)), the delta
+//!   worklist and semi-naive trigger discovery that the chase variants and the
+//!   MFA saturation loop run on (full re-scans remain available as
+//!   [`TriggerDiscovery::NaiveRescan`](chase_engine::TriggerDiscovery));
 //! * [`engine`](chase_engine) — the chase: standard, oblivious, semi-oblivious and
 //!   core variants, core computation, universal models and certain answers;
 //! * [`criteria`](chase_criteria) — baseline termination criteria (weak acyclicity,
@@ -52,6 +57,7 @@ pub use chase_criteria;
 pub use chase_engine;
 pub use chase_ontology;
 pub use chase_termination;
+pub use chase_trigger;
 
 /// Convenience re-exports for the most common entry points.
 pub mod prelude {
@@ -64,4 +70,5 @@ pub mod prelude {
     pub use chase_engine::prelude::*;
     pub use chase_ontology::prelude::*;
     pub use chase_termination::prelude::*;
+    pub use chase_trigger::prelude::*;
 }

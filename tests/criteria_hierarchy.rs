@@ -4,7 +4,9 @@
 
 use chase_criteria::criterion::TerminationCriterion;
 use chase_ontology::generator::{generate, generate_database, OntologyProfile};
-use chase_termination::combined::{adn_safety, adn_super_weak_acyclicity, adn_weak_acyclicity, all_criteria};
+use chase_termination::combined::{
+    adn_safety, adn_super_weak_acyclicity, adn_weak_acyclicity, all_criteria,
+};
 use egd_chase::prelude::*;
 
 fn corpus() -> Vec<DependencySet> {
@@ -45,7 +47,10 @@ fn classical_hierarchy_wa_sc_swa_mfa() {
             assert!(is_safe(&sigma), "WA ⊆ SC violated on\n{sigma}");
         }
         if is_safe(&sigma) {
-            assert!(is_super_weakly_acyclic(&sigma), "SC ⊆ SwA violated on\n{sigma}");
+            assert!(
+                is_super_weakly_acyclic(&sigma),
+                "SC ⊆ SwA violated on\n{sigma}"
+            );
         }
         if is_super_weakly_acyclic(&sigma) {
             assert!(is_mfa(&sigma), "SwA ⊆ MFA violated on\n{sigma}");
@@ -57,7 +62,10 @@ fn classical_hierarchy_wa_sc_swa_mfa() {
 fn theorem5_stratification_implies_semi_stratification() {
     for sigma in corpus() {
         if is_stratified(&sigma) {
-            assert!(is_semi_stratified(&sigma), "Str ⊆ S-Str violated on\n{sigma}");
+            assert!(
+                is_semi_stratified(&sigma),
+                "Str ⊆ S-Str violated on\n{sigma}"
+            );
         }
         if is_c_stratified(&sigma) {
             assert!(is_stratified(&sigma), "CStr ⊆ Str violated on\n{sigma}");
@@ -78,7 +86,10 @@ fn theorem9_semi_stratification_implies_semi_acyclicity() {
 fn theorem11_criteria_improve_under_adornment() {
     for sigma in corpus() {
         if is_weakly_acyclic(&sigma) {
-            assert!(adn_weak_acyclicity(&sigma), "WA ⊆ Adn-WA violated on\n{sigma}");
+            assert!(
+                adn_weak_acyclicity(&sigma),
+                "WA ⊆ Adn-WA violated on\n{sigma}"
+            );
         }
         if is_safe(&sigma) {
             assert!(adn_safety(&sigma), "SC ⊆ Adn-SC violated on\n{sigma}");
@@ -135,10 +146,8 @@ fn separating_witnesses_exist() {
     // SAC is incomparable with the CT_∀ criteria: Σ1 ∈ SAC \ MFA …
     assert!(!is_mfa(&sigma1));
     // … and the repeated-variable witness is in SwA/MFA but needs no EGD reasoning.
-    let swa_witness = parse_dependencies(
-        "r1: S(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?x) -> S(?x).",
-    )
-    .unwrap();
+    let swa_witness =
+        parse_dependencies("r1: S(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?x) -> S(?x).").unwrap();
     assert!(is_super_weakly_acyclic(&swa_witness));
 }
 

@@ -64,7 +64,9 @@ fn example3_universal_versus_non_universal_models() {
     assert_eq!(j1.len(), 4);
     assert_eq!(j1.nulls().len(), 2);
     // J2 = D ∪ {E(a, d)} is a model but not universal: J1 maps into it, not vice versa.
-    let j2 = p.database.union(&parse_program("E(a, d).").unwrap().database);
+    let j2 = p
+        .database
+        .union(&parse_program("E(a, d).").unwrap().database);
     assert!(chase_engine::is_model(&j2, &p.database, &p.dependencies));
     assert!(chase_engine::universal::maps_into(&j1, &j2));
     assert!(!chase_engine::universal::maps_into(&j2, &j1));
@@ -90,8 +92,8 @@ fn example6_separates_the_chase_variants() {
     assert!(std_out.is_terminating());
     assert_eq!(std_out.stats().steps, 0);
     // Semi-oblivious: one step, then the frontier-equal trigger is skipped.
-    let sobl = ObliviousChase::new(&p.dependencies, ObliviousVariant::SemiOblivious)
-        .run(&p.database);
+    let sobl =
+        ObliviousChase::new(&p.dependencies, ObliviousVariant::SemiOblivious).run(&p.database);
     assert!(sobl.is_terminating());
     assert_eq!(sobl.instance().unwrap().len(), 2);
     // Oblivious: diverges.
@@ -119,7 +121,11 @@ fn example8_all_sequences_terminate_but_simulation_based_criteria_reject() {
     )
     .unwrap();
     // The chase terminates (or fails) under several policies.
-    for order in [StepOrder::Textual, StepOrder::EgdsFirst, StepOrder::FullFirst] {
+    for order in [
+        StepOrder::Textual,
+        StepOrder::EgdsFirst,
+        StepOrder::FullFirst,
+    ] {
         let out = StandardChase::new(&p.dependencies)
             .with_order(order)
             .with_max_steps(5_000)
@@ -139,12 +145,14 @@ fn example8_all_sequences_terminate_but_simulation_based_criteria_reject() {
 #[test]
 fn example9_egds_can_create_termination() {
     // Σ'1 = {r1, r2} has no terminating sequence, adding the EGD r3 creates one.
-    let tgds_only = parse_dependencies(
-        "r1: N(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?y) -> N(?y).",
-    )
-    .unwrap();
+    let tgds_only =
+        parse_dependencies("r1: N(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?y) -> N(?y).").unwrap();
     let db = parse_program("N(a).").unwrap().database;
-    for order in [StepOrder::Textual, StepOrder::EgdsFirst, StepOrder::FullFirst] {
+    for order in [
+        StepOrder::Textual,
+        StepOrder::EgdsFirst,
+        StepOrder::FullFirst,
+    ] {
         let out = StandardChase::new(&tgds_only)
             .with_order(order)
             .with_max_steps(300)
@@ -168,13 +176,15 @@ fn example10_egds_can_destroy_termination() {
     let db = parse_program("N(a).").unwrap().database;
     // The TGDs alone terminate under every policy.
     for order in [StepOrder::Textual, StepOrder::EgdsFirst] {
-        let out = StandardChase::new(&tgds_only)
-            .with_order(order)
-            .run(&db);
+        let out = StandardChase::new(&tgds_only).with_order(order).run(&db);
         assert!(out.is_terminating());
     }
     // With the EGD there is no terminating sequence; the criteria must reject.
-    for order in [StepOrder::Textual, StepOrder::EgdsFirst, StepOrder::FullFirst] {
+    for order in [
+        StepOrder::Textual,
+        StepOrder::EgdsFirst,
+        StepOrder::FullFirst,
+    ] {
         let out = StandardChase::new(&sigma10)
             .with_order(order)
             .with_max_steps(400)

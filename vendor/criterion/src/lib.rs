@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API used by `crates/bench`: benchmark
+//! groups, `bench_function` / `bench_with_input`, `Bencher::iter`, `BenchmarkId`
+//! and the `criterion_group!` / `criterion_main!` macros. Timing is a simple
+//! adaptive loop (warm-up, then batches until a wall-clock budget is reached)
+//! reporting the mean time per iteration — no statistical analysis or HTML
+//! reports, but good enough to compare implementations on the same machine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter display.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter display only.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+/// Passed to the benchmark routine; runs and times the measured closure.
+pub struct Bencher {
+    /// Mean duration of one iteration, filled in by [`Bencher::iter`].
+    mean: Duration,
+    /// Total iterations executed during measurement.
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            mean: Duration::ZERO,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Times `routine`, storing the mean per-iteration duration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few untimed iterations.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut batch: u64 = 1;
+        while total < self.budget && iters < 10_000_000 {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total += start.elapsed();
+            iters += batch;
+            batch = batch.saturating_mul(2).min(65_536);
+        }
+        self.iters = iters;
+        self.mean = if iters > 0 {
+            total / iters as u32
+        } else {
+            Duration::ZERO
+        };
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the target sample count (accepted for API compatibility; the
+    /// stand-in uses a wall-clock budget instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine`, passing it `input`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher::new(self.criterion.budget);
+        routine(&mut bencher, input);
+        report(&full, &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with no input.
+    pub fn bench_function<R>(&mut self, id: BenchmarkId, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut bencher = Bencher::new(self.criterion.budget);
+        routine(&mut bencher);
+        report(&full, &bencher);
+        self
+    }
+
+    /// Finishes the group (no-op; present for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let mean = bencher.mean;
+    let pretty = if mean >= Duration::from_millis(1) {
+        format!("{:.3} ms", mean.as_secs_f64() * 1e3)
+    } else if mean >= Duration::from_micros(1) {
+        format!("{:.3} µs", mean.as_secs_f64() * 1e6)
+    } else {
+        format!("{:.1} ns", mean.as_secs_f64() * 1e9)
+    };
+    println!("{name:<60} time: {pretty:>12}   ({} iters)", bencher.iters);
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            budget: Duration::from_millis(60),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let name = name.to_owned();
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<R>(&mut self, name: &str, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.budget);
+        routine(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the `main` function running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(5));
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.iters > 0);
+        assert!(b.mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("f", 4), &4u32, |b, &n| b.iter(|| n * 2));
+        group.bench_function(BenchmarkId::from_parameter(8), |b| b.iter(|| 8u32));
+        group.finish();
+        c.bench_function("standalone", |b| b.iter(|| 1 + 1));
+    }
+}

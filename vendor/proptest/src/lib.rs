@@ -1,0 +1,449 @@
+//! Offline stand-in for the `proptest` property-testing framework.
+//!
+//! Implements the subset of the proptest API used by this workspace's test
+//! suite: the [`strategy::Strategy`] trait with `prop_map` and `boxed`, uniform
+//! range strategies, tuple strategies, [`prop::collection::vec`], the
+//! [`prop_oneof!`] union macro, and the [`proptest!`] test-definition macro with
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Cases are generated from a deterministic per-test seed (derived from the
+//! test name), so failures are reproducible. **Shrinking is not implemented**:
+//! a failing case reports its assertion message and the case index, nothing
+//! more. That trade-off keeps the stand-in dependency-free for offline builds.
+
+#![forbid(unsafe_code)]
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+pub mod config {
+    /// Mirror of `proptest::test_runner::Config` with the only field we use.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// The deterministic RNG and error plumbing used by generated tests.
+pub mod test_runner {
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case does not count.
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    /// A small deterministic generator (SplitMix64).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Creates a generator from a seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x5851_F42D_4C95_7F2D,
+            }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+        }
+    }
+
+    /// FNV-1a hash of a test name, used as the per-test base seed.
+    pub fn fnv1a(s: &str) -> u64 {
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of an associated type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Box::new(self),
+            }
+        }
+    }
+
+    /// Object-safe mirror of [`Strategy`], used for type erasure.
+    trait DynStrategy {
+        type Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl<S: Strategy> DynStrategy for S {
+        type Value = S::Value;
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A heap-allocated, type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Box<dyn DynStrategy<Value = T>>,
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate_dyn(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among equally weighted alternatives ([`crate::prop_oneof!`]).
+    pub struct OneOf<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> OneOf<T> {
+        /// Creates a union of the given strategies; must be non-empty.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            OneOf { options }
+        }
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.options.len() as u64) as usize;
+            self.options[i].generate(rng)
+        }
+    }
+
+    /// Always generates a clone of the same value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    if start == <$t>::MIN && end == <$t>::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    let span = (end as u128 - start as u128 + 1) as u64;
+                    start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+}
+
+/// The `prop::` namespace (`prop::collection::vec`, …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        use std::ops::Range;
+
+        /// Strategy for `Vec`s with a size drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            sizes: Range<usize>,
+        }
+
+        /// Generates vectors of `element` values with length in `sizes`.
+        pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+            assert!(sizes.start < sizes.end, "empty vec size range");
+            VecStrategy { element, sizes }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.sizes.end - self.sizes.start) as u64;
+                let len = self.sizes.start + rng.below(span) as usize;
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Uniform union of strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// Rejects the current case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Defines property tests. Each `fn name(arg in strategy, ...) { body }` becomes
+/// a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::config::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::config::ProptestConfig = $cfg;
+                let base_seed = $crate::test_runner::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+                let mut accepted: u32 = 0;
+                let mut attempt: u64 = 0;
+                let max_attempts = (config.cases as u64) * 20 + 100;
+                while accepted < config.cases && attempt < max_attempts {
+                    attempt += 1;
+                    let mut rng = $crate::test_runner::TestRng::new(
+                        base_seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "property {} failed at case {} (seed {:#x}):\n{}",
+                                stringify!($name), attempt, base_seed, msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small_vec() -> impl Strategy<Value = Vec<u8>> {
+        prop::collection::vec(0..10u8, 0..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_values_in_range(x in 0..7u32, y in 3..=5usize) {
+            prop_assert!(x < 7);
+            prop_assert!((3..=5).contains(&y));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(v in small_vec(), flag in prop_oneof![Just(true), Just(false)]) {
+            prop_assert!(v.len() < 5);
+            if flag {
+                prop_assert!(v.len() <= 4);
+            } else {
+                prop_assert!(v.iter().all(|&x| x < 10), "elements in range");
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0..100u8) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn determinism_of_seeded_generation() {
+        let strat = small_vec();
+        let mut a = TestRng::new(42);
+        let mut b = TestRng::new(42);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

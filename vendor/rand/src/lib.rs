@@ -1,0 +1,201 @@
+//! Offline stand-in for the `rand` crate (0.9-style API).
+//!
+//! Provides exactly the surface the `egd-chase` workspace uses: a seedable
+//! [`rngs::StdRng`], [`RngExt::random_range`] over integer and float ranges, and
+//! [`seq::SliceRandom::shuffle`]. The generator is xoshiro256++ seeded through
+//! SplitMix64, so streams are deterministic, well distributed, and stable across
+//! platforms — which is all the workspace needs (seeded corpus generation and
+//! seeded shuffles).
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard generator: xoshiro256++ (public-domain construction by
+    /// Blackman & Vigna), seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Ranges a value can be uniformly sampled from.
+pub trait SampleRange<T> {
+    /// Samples a uniform value from the range. Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Multiply-shift reduction (Lemire); bias is negligible for the
+                // span sizes used here and determinism is what matters.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                self.start.wrapping_add(hi as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = (end as u128) - (start as u128) + 1;
+                let hi = ((rng.next_u64() as u128 * span) >> 64) as u64;
+                start.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, mirroring `rand::Rng` from the 0.9 API.
+pub trait RngExt: RngCore {
+    /// Samples a uniform value from `range`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random_range(0.0..1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        /// Shuffles the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000u32), b.random_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.random_range(5..=9u64);
+            assert!((5..=9).contains(&w));
+            let f = rng.random_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle should move something");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u32> = (0..10).map(|_| a.random_range(0..1_000_000)).collect();
+        let vb: Vec<u32> = (0..10).map(|_| b.random_range(0..1_000_000)).collect();
+        assert_ne!(va, vb);
+    }
+}
