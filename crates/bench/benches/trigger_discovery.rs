@@ -2,6 +2,12 @@
 //! incremental [`chase_trigger::TriggerEngine`], on terminating ontology-style
 //! workloads (the substrate of the paper's evaluation) and on a pure-Datalog
 //! transitive-closure stress case where re-scan cost grows with the instance.
+//!
+//! The comparison is fair by construction: the naive baseline runs over a plain
+//! index-free [`chase_core::Instance`] (no per-(predicate, position)/per-null
+//! index maintenance on insert), and both strategies join through the single
+//! engine of `chase_core::homomorphism`. Measured numbers are recorded in
+//! `BENCH_trigger_discovery.json` at the repository root.
 
 use chase_engine::{StandardChase, StepOrder, TriggerDiscovery};
 use chase_ontology::generator::{generate, generate_database, OntologyProfile};

@@ -23,8 +23,9 @@ pub enum TriggerDiscovery {
     /// adds or rewrites.
     Incremental,
     /// The original strategy: a full homomorphism re-scan of the entire instance
-    /// before every step. Kept as the reference implementation and benchmark
-    /// baseline.
+    /// before every step, over a plain index-free [`chase_core::Instance`] (the
+    /// join itself still runs through the shared engine, on a transient per-query
+    /// index). Kept as the reference implementation and benchmark baseline.
     NaiveRescan,
 }
 

@@ -1,11 +1,15 @@
 //! The chase step of Definition 1 and *naive* trigger enumeration.
 //!
-//! This module keeps the original full re-scan strategy: every call searches for
-//! homomorphisms over the whole instance. It remains the reference implementation
-//! (and benchmark baseline) for the delta-driven
+//! This module keeps the original re-scan strategy: every call searches for
+//! homomorphisms from scratch over the whole instance. It remains the reference
+//! implementation (and benchmark baseline) for the delta-driven
 //! [`TriggerEngine`](chase_trigger::TriggerEngine), which the chase runners drive
-//! by default. The [`Trigger`] and [`StepEffect`] types are shared with the
-//! engine and re-exported here.
+//! by default. Both strategies share the single join engine of
+//! [`chase_core::homomorphism`] — the naive path joins through a transient
+//! per-query index built per search, the engine through the incrementally
+//! maintained indexes of its `FactIndex` — so "naive" here means *no delta
+//! tracking and no index maintenance*, not a slower join. The [`Trigger`] and
+//! [`StepEffect`] types are shared with the engine and re-exported here.
 
 use chase_core::homomorphism::{exists_homomorphism_extending, Assignment, HomomorphismSearch};
 use chase_core::substitution::NullSubstitution;
@@ -85,20 +89,50 @@ pub fn is_standard_active(instance: &Instance, dep: &Dependency, h: &Assignment)
     }
 }
 
+/// Enumerates the active triggers of one dependency, visiting each. The TGD head
+/// search is hoisted out of the per-homomorphism loop so its per-query index is
+/// built once per enumeration, not once per body match.
+fn for_each_active_trigger<B>(
+    instance: &Instance,
+    dep: &Dependency,
+    visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+) -> Option<B> {
+    let body_search = HomomorphismSearch::new(dep.body(), instance);
+    match dep {
+        Dependency::Tgd(tgd) => {
+            let head_search = HomomorphismSearch::new(&tgd.head, instance);
+            body_search.for_each_extending(&Assignment::new(), &mut |h| {
+                let satisfied = head_search
+                    .for_each_extending::<()>(h, &mut |_| ControlFlow::Break(()))
+                    .is_some();
+                if satisfied {
+                    ControlFlow::Continue(())
+                } else {
+                    visit(h)
+                }
+            })
+        }
+        Dependency::Egd(egd) => body_search.for_each_extending(&Assignment::new(), &mut |h| {
+            if h.get(egd.left) != h.get(egd.right) {
+                visit(h)
+            } else {
+                ControlFlow::Continue(())
+            }
+        }),
+    }
+}
+
 /// Enumerates all standard-chase-applicable triggers of `sigma` on `instance`, i.e.
 /// pairs `(r, h)` such that `h` maps `Body(r)` into the instance and the trigger is
 /// active (see [`is_standard_active`]).
 pub fn applicable_standard_triggers(instance: &Instance, sigma: &DependencySet) -> Vec<Trigger> {
     let mut out = Vec::new();
     for (id, dep) in sigma.iter() {
-        let search = HomomorphismSearch::new(dep.body(), instance);
-        search.for_each_extending::<()>(&Assignment::new(), &mut |h| {
-            if is_standard_active(instance, dep, h) {
-                out.push(Trigger {
-                    dep: id,
-                    assignment: h.clone(),
-                });
-            }
+        for_each_active_trigger::<()>(instance, dep, &mut |h| {
+            out.push(Trigger {
+                dep: id,
+                assignment: h.clone(),
+            });
             ControlFlow::Continue(())
         });
     }
@@ -114,16 +148,11 @@ pub fn first_applicable_trigger(
 ) -> Option<Trigger> {
     for &id in order {
         let dep = sigma.get(id);
-        let search = HomomorphismSearch::new(dep.body(), instance);
-        let found = search.for_each_extending(&Assignment::new(), &mut |h| {
-            if is_standard_active(instance, dep, h) {
-                ControlFlow::Break(Trigger {
-                    dep: id,
-                    assignment: h.clone(),
-                })
-            } else {
-                ControlFlow::Continue(())
-            }
+        let found = for_each_active_trigger(instance, dep, &mut |h| {
+            ControlFlow::Break(Trigger {
+                dep: id,
+                assignment: h.clone(),
+            })
         });
         if found.is_some() {
             return found;

@@ -1,15 +1,30 @@
-//! Homomorphisms from conjunctions of atoms into instances.
+//! Homomorphisms from conjunctions of atoms into instances — the workspace's single
+//! join engine.
 //!
 //! A homomorphism `h : Dom(A1) → Dom(A2)` maps variables to ground terms (and is the
 //! identity on constants), such that every atom of `A1` is sent to a fact of `A2`
-//! (Section 2 of the paper). This module provides a backtracking search over the
-//! per-predicate indexes of [`Instance`], with an early-exit callback interface so that
-//! callers can stop at the first witness.
+//! (Section 2 of the paper). Every chase variant and every termination criterion
+//! bottlenecks on this one primitive — trigger discovery, TGD-activity checks, EGD
+//! satisfaction, core computation, MFA saturation — so this module owns the one
+//! backtracking join everybody shares:
+//!
+//! * a [`JoinPlan`] orders the body atoms most-selective-first (see its docs for the
+//!   exact heuristic);
+//! * per-atom candidate enumeration goes through a per-(predicate, position) index —
+//!   either the incrementally maintained one of an
+//!   [`IndexedInstance`](crate::index::IndexedInstance)
+//!   ([`HomomorphismSearch::over_index`]) or a transient per-query index built over a
+//!   plain [`Instance`] ([`HomomorphismSearch::new`]);
+//! * the early-exit callback interface lets callers stop at the first witness.
+//!
+//! A deliberately index-free, plan-free reference implementation is retained as
+//! [`naive_homomorphisms_extending`] for differential testing of the engine.
 
-use crate::atom::Atom;
+use crate::atom::{Atom, Fact, Predicate};
+use crate::index::IndexedInstance;
 use crate::instance::Instance;
 use crate::term::{GroundTerm, Term, Variable};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 use std::ops::ControlFlow;
 
@@ -123,16 +138,271 @@ impl fmt::Debug for Assignment {
     }
 }
 
-/// Backtracking homomorphism search from a conjunction of atoms into an instance.
+/// Tries to unify `atom` with `fact` under `assignment`, binding unbound variables.
+/// On success returns the newly bound variables; on failure the assignment is
+/// rolled back and `None` is returned.
+pub fn unify_atom_with_fact(
+    atom: &Atom,
+    fact: &Fact,
+    assignment: &mut Assignment,
+) -> Option<Vec<Variable>> {
+    debug_assert_eq!(atom.predicate, fact.predicate);
+    let mut new_bindings: Vec<Variable> = Vec::new();
+    for (t, g) in atom.terms.iter().zip(fact.terms.iter()) {
+        let ok = match t {
+            Term::Const(c) => GroundTerm::Const(*c) == *g,
+            Term::Null(n) => GroundTerm::Null(*n) == *g,
+            Term::Var(v) => match assignment.get(*v) {
+                Some(bound) => bound == *g,
+                None => {
+                    assignment.bind(*v, *g);
+                    new_bindings.push(*v);
+                    true
+                }
+            },
+        };
+        if !ok {
+            for v in &new_bindings {
+                assignment.unbind(*v);
+            }
+            return None;
+        }
+    }
+    Some(new_bindings)
+}
+
+// ---------------------------------------------------------------------------------
+// Join planning
+// ---------------------------------------------------------------------------------
+
+/// A static join order over the atoms of a conjunctive body, most-selective-first.
+///
+/// The plan is computed greedily. Starting from the variables already bound (by the
+/// caller's partial assignment, or by a seed fact), it repeatedly appends the
+/// remaining atom with the smallest key
+///
+/// ```text
+/// (number of distinct still-unbound variables,  candidate-count estimate,  original index)
+/// ```
+///
+/// and marks that atom's variables bound. The three components mean:
+///
+/// 1. **bound positions first** — an atom whose positions are already ground
+///    (constants, nulls, or variables bound earlier) acts as a filter or an index
+///    probe rather than a generator, so it runs as early as possible;
+/// 2. **small relations first** — among equally bound atoms, the one with the
+///    smallest candidate estimate (the smallest per-(predicate, position) bucket over
+///    its statically ground positions, or the predicate's fact count) generates the
+///    fewest branches;
+/// 3. **stability** — ties are broken by the original atom index, so equal-selectivity
+///    bodies keep their textual order and plans are reproducible.
+///
+/// The estimate is *static*: it is computed once against the initial bindings, not
+/// re-evaluated as the join binds more variables. Candidate enumeration at execution
+/// time still consults the index with the *full* current assignment, so later atoms
+/// benefit from every binding made before them regardless of the plan-time estimate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinPlan {
+    order: Vec<usize>,
+}
+
+impl JoinPlan {
+    /// Plans a join over `atoms`, given the variables bound by `partial` and a
+    /// per-atom candidate-count estimate (`cardinality(i)` estimates the candidates
+    /// for `atoms[i]` under `partial`; see the type-level docs).
+    pub fn new(
+        atoms: &[Atom],
+        partial: &Assignment,
+        cardinality: impl FnMut(usize) -> usize,
+    ) -> JoinPlan {
+        let include: Vec<usize> = (0..atoms.len()).collect();
+        JoinPlan::for_subset(atoms, &include, partial, cardinality)
+    }
+
+    /// Plans a join over the subset `include` of `atoms` (used by seeded searches,
+    /// where the seed atom is already matched and excluded from the plan).
+    pub fn for_subset(
+        atoms: &[Atom],
+        include: &[usize],
+        partial: &Assignment,
+        mut cardinality: impl FnMut(usize) -> usize,
+    ) -> JoinPlan {
+        let mut bound: HashSet<Variable> = partial.iter().map(|(v, _)| v).collect();
+        let estimates: HashMap<usize, usize> =
+            include.iter().map(|&i| (i, cardinality(i))).collect();
+        let mut remaining: Vec<usize> = include.to_vec();
+        remaining.sort_unstable();
+        let mut order = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            // `min_by_key` keeps the first minimum; `remaining` is in ascending
+            // original-index order, so ties resolve to the lowest index (stability).
+            let (pos, _) = remaining
+                .iter()
+                .enumerate()
+                .map(|(pos, &ai)| {
+                    let unbound = atoms[ai]
+                        .terms
+                        .iter()
+                        .filter_map(|t| match t {
+                            Term::Var(v) if !bound.contains(v) => Some(*v),
+                            _ => None,
+                        })
+                        .collect::<BTreeSet<_>>()
+                        .len();
+                    (pos, (unbound, estimates[&ai]))
+                })
+                .min_by_key(|&(_, key)| key)
+                .expect("remaining is non-empty");
+            let ai = remaining.remove(pos);
+            for v in atoms[ai].variables() {
+                bound.insert(v);
+            }
+            order.push(ai);
+        }
+        JoinPlan { order }
+    }
+
+    /// The planned atom order (indices into the atom slice the plan was built for).
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// Candidate sources
+// ---------------------------------------------------------------------------------
+
+/// Selects the smallest candidate bucket among the atom's ground positions under
+/// `assignment` — the one bucket-selection heuristic shared by the transient
+/// per-query index and the maintained [`IndexedInstance`] index, so the two cannot
+/// drift. A position is ground when it carries a constant, a null, or a variable
+/// bound by `assignment`; the scan stops early on an empty bucket (no candidate can
+/// match). Returns `None` when no position is ground (callers fall back to the
+/// per-predicate scan).
+pub(crate) fn select_smallest_bucket<B>(
+    atom: &Atom,
+    assignment: &Assignment,
+    mut bucket_for: impl FnMut(usize, GroundTerm) -> B,
+    len_of: impl Fn(&B) -> usize,
+) -> Option<B> {
+    let mut best: Option<B> = None;
+    for (i, term) in atom.terms.iter().enumerate() {
+        let ground: Option<GroundTerm> = match term {
+            Term::Const(c) => Some(GroundTerm::Const(*c)),
+            Term::Null(n) => Some(GroundTerm::Null(*n)),
+            Term::Var(v) => assignment.get(*v),
+        };
+        if let Some(g) = ground {
+            let bucket = bucket_for(i, g);
+            let bucket_len = len_of(&bucket);
+            if best.as_ref().is_none_or(|b| bucket_len < len_of(b)) {
+                best = Some(bucket);
+            }
+            if bucket_len == 0 {
+                break;
+            }
+        }
+    }
+    best
+}
+
+/// A transient per-(predicate, position) index over a plain [`Instance`], built for
+/// the predicates of one query. Buckets hold indices into `facts_of(predicate)`, so
+/// facts are not cloned.
+struct QueryIndex {
+    buckets: HashMap<(Predicate, usize, GroundTerm), Vec<u32>>,
+}
+
+impl QueryIndex {
+    fn build(atoms: &[Atom], instance: &Instance) -> QueryIndex {
+        let mut buckets: HashMap<(Predicate, usize, GroundTerm), Vec<u32>> = HashMap::new();
+        let predicates: BTreeSet<Predicate> = atoms.iter().map(|a| a.predicate).collect();
+        for p in predicates {
+            for (fi, fact) in instance.facts_of(p).iter().enumerate() {
+                for (pos, t) in fact.terms.iter().enumerate() {
+                    buckets.entry((p, pos, *t)).or_default().push(fi as u32);
+                }
+            }
+        }
+        QueryIndex { buckets }
+    }
+
+    /// The smallest bucket among the atom's ground positions under `assignment`, or
+    /// `None` when no position is ground (callers fall back to the predicate scan).
+    fn best_bucket(&self, atom: &Atom, assignment: &Assignment) -> Option<&[u32]> {
+        const EMPTY: &[u32] = &[];
+        select_smallest_bucket(
+            atom,
+            assignment,
+            |i, g| {
+                self.buckets
+                    .get(&(atom.predicate, i, g))
+                    .map(|v| v.as_slice())
+                    .unwrap_or(EMPTY)
+            },
+            |b| b.len(),
+        )
+    }
+}
+
+enum Source<'a> {
+    /// A plain instance plus a transient index over the query's predicates.
+    Scan {
+        instance: &'a Instance,
+        index: QueryIndex,
+    },
+    /// An instance with incrementally maintained indexes.
+    Indexed(&'a IndexedInstance),
+}
+
+impl Source<'_> {
+    /// Candidate-count estimate for `atom` under `h` (plan-time and ordering hints).
+    fn candidate_count(&self, atom: &Atom, h: &Assignment) -> usize {
+        match self {
+            Source::Scan { instance, index } => match index.best_bucket(atom, h) {
+                Some(bucket) => bucket.len(),
+                None => instance.facts_of(atom.predicate).len(),
+            },
+            Source::Indexed(ix) => ix.candidate_count(atom, h),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------------
+// The search
+// ---------------------------------------------------------------------------------
+
+/// Backtracking homomorphism search from a conjunction of atoms into an instance,
+/// executing a [`JoinPlan`] over an indexed candidate source.
 pub struct HomomorphismSearch<'a> {
     atoms: &'a [Atom],
-    instance: &'a Instance,
+    source: Source<'a>,
 }
 
 impl<'a> HomomorphismSearch<'a> {
     /// Creates a search for homomorphisms from `atoms` into `instance`.
+    ///
+    /// Builds a transient per-(predicate, position) index over the predicates the
+    /// query mentions (cost: one pass over their facts), so that the join itself is
+    /// index-backed even though plain instances maintain no indexes.
     pub fn new(atoms: &'a [Atom], instance: &'a Instance) -> Self {
-        HomomorphismSearch { atoms, instance }
+        HomomorphismSearch {
+            atoms,
+            source: Source::Scan {
+                instance,
+                index: QueryIndex::build(atoms, instance),
+            },
+        }
+    }
+
+    /// Creates a search for homomorphisms from `atoms` into an [`IndexedInstance`],
+    /// reusing its incrementally maintained indexes (no per-query build cost). This
+    /// is the entry point of the delta-driven trigger engine.
+    pub fn over_index(atoms: &'a [Atom], index: &'a IndexedInstance) -> Self {
+        HomomorphismSearch {
+            atoms,
+            source: Source::Indexed(index),
+        }
     }
 
     /// Visits every homomorphism extending `partial`, invoking `visit` for each.
@@ -143,11 +413,35 @@ impl<'a> HomomorphismSearch<'a> {
         partial: &Assignment,
         visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
     ) -> Option<B> {
-        // Order atoms greedily: prefer atoms with many bound terms and few candidate
-        // facts, recomputed at every level of the search tree.
-        let mut remaining: Vec<usize> = (0..self.atoms.len()).collect();
+        let plan = JoinPlan::new(self.atoms, partial, |i| {
+            self.source.candidate_count(&self.atoms[i], partial)
+        });
         let mut assignment = partial.clone();
-        match self.search(&mut remaining, &mut assignment, visit) {
+        match self.search(plan.order(), 0, &mut assignment, visit) {
+            ControlFlow::Break(b) => Some(b),
+            ControlFlow::Continue(()) => None,
+        }
+    }
+
+    /// Visits every homomorphism in which atom `seed_index` is mapped to `seed_fact`
+    /// — the semi-naive seeding step of delta-driven trigger discovery.
+    pub fn for_each_seeded<B>(
+        &self,
+        seed_index: usize,
+        seed_fact: &Fact,
+        visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+    ) -> Option<B> {
+        let seed_atom = &self.atoms[seed_index];
+        if seed_atom.predicate != seed_fact.predicate {
+            return None;
+        }
+        let mut assignment = Assignment::new();
+        unify_atom_with_fact(seed_atom, seed_fact, &mut assignment)?;
+        let include: Vec<usize> = (0..self.atoms.len()).filter(|&i| i != seed_index).collect();
+        let plan = JoinPlan::for_subset(self.atoms, &include, &assignment, |i| {
+            self.source.candidate_count(&self.atoms[i], &assignment)
+        });
+        match self.search(plan.order(), 0, &mut assignment, visit) {
             ControlFlow::Break(b) => Some(b),
             ControlFlow::Continue(()) => None,
         }
@@ -155,89 +449,65 @@ impl<'a> HomomorphismSearch<'a> {
 
     fn search<B>(
         &self,
-        remaining: &mut Vec<usize>,
+        order: &[usize],
+        depth: usize,
         assignment: &mut Assignment,
         visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
     ) -> ControlFlow<B> {
-        if remaining.is_empty() {
+        if depth == order.len() {
             return visit(assignment);
         }
-        // Pick the most constrained atom: fewest candidate facts given current bindings.
-        let (pick_pos, _) = remaining
-            .iter()
-            .enumerate()
-            .map(|(pos, &ai)| {
-                let atom = &self.atoms[ai];
-                let candidates = self.instance.facts_of(atom.predicate).len();
-                let unbound = atom
-                    .terms
-                    .iter()
-                    .filter(|t| matches!(t, Term::Var(v) if assignment.get(*v).is_none()))
-                    .count();
-                (pos, (unbound, candidates))
-            })
-            .min_by_key(|&(_, key)| key)
-            .expect("remaining is non-empty");
-        let atom_idx = remaining.swap_remove(pick_pos);
-        let atom = &self.atoms[atom_idx];
-
-        let facts = self.instance.facts_of(atom.predicate);
-        for fact in facts {
-            // Try to unify atom with fact under the current assignment.
-            let mut new_bindings: Vec<Variable> = Vec::new();
-            let mut ok = true;
-            for (t, g) in atom.terms.iter().zip(fact.terms.iter()) {
-                match t {
-                    Term::Const(c) => {
-                        if GroundTerm::Const(*c) != *g {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    Term::Null(n) => {
-                        if GroundTerm::Null(*n) != *g {
-                            ok = false;
-                            break;
-                        }
-                    }
-                    Term::Var(v) => match assignment.get(*v) {
-                        Some(bound) => {
-                            if bound != *g {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        None => {
-                            assignment.bind(*v, *g);
-                            new_bindings.push(*v);
-                        }
-                    },
+        let atom = &self.atoms[order[depth]];
+        match &self.source {
+            Source::Indexed(ix) => {
+                for fact in ix.candidates_for(atom, assignment) {
+                    self.try_fact(order, depth, atom, fact, assignment, visit)?;
                 }
             }
-            if ok {
-                let flow = self.search(remaining, assignment, visit);
-                for v in &new_bindings {
-                    assignment.map.remove(v);
-                }
-                if let ControlFlow::Break(b) = flow {
-                    remaining.push(atom_idx);
-                    let last = remaining.len() - 1;
-                    remaining.swap(pick_pos, last);
-                    return ControlFlow::Break(b);
-                }
-            } else {
-                for v in &new_bindings {
-                    assignment.map.remove(v);
+            Source::Scan { instance, index } => {
+                let all = instance.facts_of(atom.predicate);
+                match index.best_bucket(atom, assignment) {
+                    Some(bucket) => {
+                        for &fi in bucket {
+                            let fact = &all[fi as usize];
+                            self.try_fact(order, depth, atom, fact, assignment, visit)?;
+                        }
+                    }
+                    None => {
+                        for fact in all {
+                            self.try_fact(order, depth, atom, fact, assignment, visit)?;
+                        }
+                    }
                 }
             }
         }
-        // Restore `remaining` exactly as we found it (order irrelevant, content matters).
-        remaining.push(atom_idx);
-        let last = remaining.len() - 1;
-        remaining.swap(pick_pos, last);
         ControlFlow::Continue(())
     }
+
+    fn try_fact<B>(
+        &self,
+        order: &[usize],
+        depth: usize,
+        atom: &Atom,
+        fact: &Fact,
+        assignment: &mut Assignment,
+        visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+    ) -> ControlFlow<B> {
+        if let Some(new_bindings) = unify_atom_with_fact(atom, fact, assignment) {
+            let flow = self.search(order, depth + 1, assignment, visit);
+            for v in &new_bindings {
+                assignment.unbind(*v);
+            }
+            flow
+        } else {
+            ControlFlow::Continue(())
+        }
+    }
 }
+
+// ---------------------------------------------------------------------------------
+// Convenience entry points
+// ---------------------------------------------------------------------------------
 
 /// Returns every homomorphism from `atoms` into `instance` extending `partial`.
 pub fn homomorphisms_extending(
@@ -280,6 +550,41 @@ pub fn exists_homomorphism_extending(
 /// Returns `true` iff some homomorphism from `atoms` into `instance` exists.
 pub fn exists_homomorphism(atoms: &[Atom], instance: &Instance) -> bool {
     exists_homomorphism_extending(atoms, instance, &Assignment::new())
+}
+
+/// Reference implementation retained for differential testing: enumerate every
+/// homomorphism from `atoms` into `instance` extending `partial` by plain
+/// backtracking over `facts_of(predicate)` scans, in textual atom order — no
+/// indexes, no join planning. Exponentially slower than the engine on selective
+/// joins; never use it outside tests.
+pub fn naive_homomorphisms_extending(
+    atoms: &[Atom],
+    instance: &Instance,
+    partial: &Assignment,
+) -> Vec<Assignment> {
+    fn recurse(
+        atoms: &[Atom],
+        instance: &Instance,
+        depth: usize,
+        assignment: &mut Assignment,
+        out: &mut Vec<Assignment>,
+    ) {
+        let Some(atom) = atoms.get(depth) else {
+            out.push(assignment.clone());
+            return;
+        };
+        for fact in instance.facts_of(atom.predicate) {
+            if let Some(new_bindings) = unify_atom_with_fact(atom, fact, assignment) {
+                recurse(atoms, instance, depth + 1, assignment, out);
+                for v in &new_bindings {
+                    assignment.unbind(*v);
+                }
+            }
+        }
+    }
+    let mut out = Vec::new();
+    recurse(atoms, instance, 0, &mut partial.clone(), &mut out);
+    out
 }
 
 /// Searches for a homomorphism from instance `from` into instance `to`, i.e. a mapping
@@ -464,5 +769,114 @@ mod tests {
         let partial = a.apply_atom_partial(&atom("E", vec![var("x"), var("z")]));
         assert_eq!(partial.terms[0], Term::Const(Constant::new("a")));
         assert!(partial.terms[1].is_var());
+    }
+
+    #[test]
+    fn indexed_and_scan_searches_agree() {
+        let k = path_instance();
+        let q = vec![
+            atom("E", vec![var("x"), var("y")]),
+            atom("E", vec![var("y"), var("z")]),
+        ];
+        let via_scan: BTreeSet<_> = homomorphisms(&q, &k)
+            .iter()
+            .map(|h| h.canonical())
+            .collect();
+        let ix = IndexedInstance::from_instance(k.clone());
+        let mut via_index = BTreeSet::new();
+        HomomorphismSearch::over_index(&q, &ix).for_each_extending::<()>(
+            &Assignment::new(),
+            &mut |h| {
+                via_index.insert(h.canonical());
+                ControlFlow::Continue(())
+            },
+        );
+        let via_naive: BTreeSet<_> = naive_homomorphisms_extending(&q, &k, &Assignment::new())
+            .iter()
+            .map(|h| h.canonical())
+            .collect();
+        assert_eq!(via_scan, via_index);
+        assert_eq!(via_scan, via_naive);
+        assert_eq!(via_scan.len(), 2);
+    }
+
+    #[test]
+    fn zero_ary_and_empty_queries() {
+        // Empty atom list: exactly the partial assignment is visited.
+        let k = path_instance();
+        let homs = homomorphisms(&[], &k);
+        assert_eq!(homs.len(), 1);
+        assert!(homs[0].is_empty());
+        // 0-ary predicates join like any other atom.
+        let mut k = Instance::new();
+        k.insert(Fact::from_parts("Init", vec![]));
+        k.insert(Fact::from_parts("N", vec![gc("a")]));
+        let q = vec![atom("Init", vec![]), atom("N", vec![var("x")])];
+        let homs = homomorphisms(&q, &k);
+        assert_eq!(homs.len(), 1);
+        assert!(homomorphisms(&[atom("Missing0", vec![])], &k).is_empty());
+    }
+
+    // -----------------------------------------------------------------------------
+    // JoinPlan ordering (satellite: unit tests for the selectivity heuristic)
+    // -----------------------------------------------------------------------------
+
+    #[test]
+    fn join_plan_puts_bound_atoms_before_free_atoms() {
+        // Atom 1 has a constant (1 unbound var), atom 0 is fully free (2 unbound).
+        let atoms = vec![
+            atom("E", vec![var("x"), var("y")]),
+            atom("E", vec![cst("a"), var("z")]),
+        ];
+        let plan = JoinPlan::new(&atoms, &Assignment::new(), |_| 10);
+        assert_eq!(plan.order(), &[1, 0]);
+    }
+
+    #[test]
+    fn join_plan_respects_partial_bindings() {
+        // With y pre-bound, atom 1 (one unbound var) beats atom 0 (two unbound vars).
+        let atoms = vec![
+            atom("E", vec![var("u"), var("w")]),
+            atom("E", vec![var("y"), var("z")]),
+        ];
+        let partial = Assignment::from_pairs([(Variable::new("y"), gc("b"))]);
+        let plan = JoinPlan::new(&atoms, &partial, |_| 10);
+        assert_eq!(plan.order(), &[1, 0]);
+    }
+
+    #[test]
+    fn join_plan_orders_by_cardinality_when_boundness_ties() {
+        // Same unbound-variable count, different candidate estimates: smaller first.
+        let atoms = vec![
+            atom("Big", vec![var("x")]),
+            atom("Small", vec![var("y")]),
+            atom("Mid", vec![var("z")]),
+        ];
+        let plan = JoinPlan::new(&atoms, &Assignment::new(), |i| [100, 1, 10][i]);
+        assert_eq!(plan.order(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn join_plan_ties_are_stable_in_textual_order() {
+        // Identical selectivity on every key component: original order is kept.
+        let atoms = vec![
+            atom("P", vec![var("a")]),
+            atom("P", vec![var("b")]),
+            atom("P", vec![var("c")]),
+        ];
+        let plan = JoinPlan::new(&atoms, &Assignment::new(), |_| 5);
+        assert_eq!(plan.order(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn join_plan_chains_through_shared_variables() {
+        // Picking the constant-rooted atom first makes its neighbour next-most bound.
+        let atoms = vec![
+            atom("E", vec![var("y"), var("z")]),
+            atom("E", vec![cst("a"), var("y")]),
+        ];
+        let plan = JoinPlan::new(&atoms, &Assignment::new(), |_| 10);
+        // Atom 1 first (constant), then atom 0 whose y is now bound.
+        assert_eq!(plan.order(), &[1, 0]);
     }
 }

@@ -1,0 +1,371 @@
+//! Opt-in indexed instances: per-(predicate, position) and per-null indexes.
+//!
+//! An [`IndexedInstance`] wraps a plain [`Instance`] and maintains, *incrementally*,
+//! the two indexes the join engine and the EGD substitution path consume:
+//!
+//! * a per-(predicate, position, term) index answering "which facts of `P` carry this
+//!   ground term at position `i`?" by lookup instead of scan — the fast path behind
+//!   [`HomomorphismSearch::over_index`](crate::homomorphism::HomomorphismSearch::over_index)
+//!   and the trigger engine of `chase_trigger`;
+//! * a per-null occurrence index, so an EGD substitution rewrites only the facts that
+//!   mention the substituted null.
+//!
+//! Keeping these indexes *off* [`Instance`] is deliberate: maintaining them costs
+//! roughly `(arity + 2)×` extra work and memory per insert, which consumers that never
+//! join through them (parsers, satisfaction checks on small witness instances, the
+//! naive re-scan chase baseline) should not pay. Code that performs many joins against
+//! an evolving instance owns an `IndexedInstance`; everyone else keeps a plain
+//! [`Instance`] and gets a transient, per-query index from
+//! [`HomomorphismSearch::new`](crate::homomorphism::HomomorphismSearch::new).
+
+use crate::atom::{Atom, Fact, Predicate};
+use crate::homomorphism::select_smallest_bucket;
+use crate::instance::Instance;
+use crate::substitution::NullSubstitution;
+use crate::term::{GroundTerm, NullValue};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An [`Instance`] plus incrementally maintained position and null indexes.
+///
+/// All mutation goes through [`IndexedInstance::insert`], [`IndexedInstance::remove`]
+/// and [`IndexedInstance::substitute_in_place`], which keep the indexes consistent
+/// with the underlying fact set.
+#[derive(Default)]
+pub struct IndexedInstance {
+    instance: Instance,
+    /// Per-(predicate, position) index: maps the ground term at that position to the
+    /// facts carrying it there.
+    by_position: HashMap<(Predicate, usize, GroundTerm), Vec<Fact>>,
+    /// Facts mentioning each labeled null (each fact listed once per distinct null),
+    /// so EGD substitution touches only the facts it rewrites.
+    by_null: HashMap<NullValue, Vec<Fact>>,
+    /// Number of position-index lookups served (diagnostics; lets tests assert that a
+    /// caller routed through the indexed path rather than a scan). Atomic so the
+    /// counter does not cost the type its `Sync`-ness.
+    probes: AtomicU64,
+}
+
+impl Clone for IndexedInstance {
+    fn clone(&self) -> Self {
+        IndexedInstance {
+            instance: self.instance.clone(),
+            by_position: self.by_position.clone(),
+            by_null: self.by_null.clone(),
+            probes: AtomicU64::new(self.probes.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+impl IndexedInstance {
+    /// Creates an empty indexed instance.
+    pub fn new() -> Self {
+        IndexedInstance::default()
+    }
+
+    /// Builds the indexes over `instance` (taking ownership, preserving its
+    /// labeled-null allocator state).
+    ///
+    /// Facts are indexed in sorted order so that join candidate enumeration — and any
+    /// chase sequence built on it — is reproducible across process runs.
+    pub fn from_instance(instance: Instance) -> Self {
+        let mut out = IndexedInstance {
+            instance,
+            by_position: HashMap::new(),
+            by_null: HashMap::new(),
+            probes: AtomicU64::new(0),
+        };
+        for fact in out.instance.sorted_facts() {
+            out.index_fact(&fact);
+        }
+        out
+    }
+
+    /// Records `fact` in the position and null indexes (the single place the
+    /// indexing scheme is defined; `from_instance` and `insert` both go through it).
+    fn index_fact(&mut self, fact: &Fact) {
+        for (i, t) in fact.terms.iter().enumerate() {
+            self.by_position
+                .entry((fact.predicate, i, *t))
+                .or_default()
+                .push(fact.clone());
+        }
+        let mut nulls = fact.nulls();
+        nulls.sort_unstable();
+        nulls.dedup();
+        for n in nulls {
+            self.by_null.entry(n).or_default().push(fact.clone());
+        }
+    }
+
+    /// The underlying instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Consumes the index, returning the instance.
+    pub fn into_instance(self) -> Instance {
+        self.instance
+    }
+
+    /// Number of stored facts.
+    pub fn len(&self) -> usize {
+        self.instance.len()
+    }
+
+    /// Returns `true` iff no fact is stored.
+    pub fn is_empty(&self) -> bool {
+        self.instance.is_empty()
+    }
+
+    /// Returns `true` iff the fact is stored.
+    pub fn contains(&self, fact: &Fact) -> bool {
+        self.instance.contains(fact)
+    }
+
+    /// Allocates a labeled null distinct from every null in the stored facts.
+    pub fn fresh_null(&mut self) -> NullValue {
+        self.instance.fresh_null()
+    }
+
+    /// Facts of the given predicate (empty slice if none).
+    pub fn facts_of(&self, predicate: Predicate) -> &[Fact] {
+        self.instance.facts_of(predicate)
+    }
+
+    /// Inserts a fact, updating all indexes; returns `true` iff it was new.
+    pub fn insert(&mut self, fact: Fact) -> bool {
+        if !self.instance.insert(fact.clone()) {
+            return false;
+        }
+        self.index_fact(&fact);
+        true
+    }
+
+    /// Removes a fact, updating all indexes; returns `true` iff it was present.
+    pub fn remove(&mut self, fact: &Fact) -> bool {
+        if !self.instance.remove(fact) {
+            return false;
+        }
+        for (i, t) in fact.terms.iter().enumerate() {
+            if let Some(v) = self.by_position.get_mut(&(fact.predicate, i, *t)) {
+                v.retain(|f| f != fact);
+                if v.is_empty() {
+                    self.by_position.remove(&(fact.predicate, i, *t));
+                }
+            }
+        }
+        let mut nulls = fact.nulls();
+        nulls.sort_unstable();
+        nulls.dedup();
+        for n in nulls {
+            if let Some(v) = self.by_null.get_mut(&n) {
+                v.retain(|f| f != fact);
+                if v.is_empty() {
+                    self.by_null.remove(&n);
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies a null substitution `γ` in place and returns the rewritten facts (the
+    /// facts of `K γ` that arose from a fact of `K` mentioning the substituted null).
+    ///
+    /// The null-occurrence index gives exactly the facts that mention the null, so
+    /// the rewrite touches only those — the delta the incremental trigger engine
+    /// re-seeds its search from.
+    pub fn substitute_in_place(&mut self, gamma: &NullSubstitution) -> Vec<Fact> {
+        let Some((null, _)) = gamma.mapping() else {
+            return Vec::new();
+        };
+        let changed = self.by_null.remove(&null).unwrap_or_default();
+        let mut rewritten = Vec::with_capacity(changed.len());
+        for f in changed {
+            self.remove(&f);
+            let g = f.apply(gamma);
+            self.insert(g.clone());
+            rewritten.push(g);
+        }
+        rewritten
+    }
+
+    /// Facts of `predicate` carrying `term` at position `position` (empty slice if
+    /// none). O(1) lookup instead of a scan over all facts of the predicate.
+    pub fn facts_by_predicate_position(
+        &self,
+        predicate: Predicate,
+        position: usize,
+        term: GroundTerm,
+    ) -> &[Fact] {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+        self.by_position
+            .get(&(predicate, position, term))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The candidate facts for `atom` under `assignment`: the smallest
+    /// per-(predicate, position) bucket among the atom's bound positions, or all
+    /// facts of the predicate when no position is bound.
+    ///
+    /// Every fact the atom can map to is in the returned slice; the slice may
+    /// contain non-matching facts (unification still has to check the remaining
+    /// positions), but for selective positions it is far smaller than the
+    /// per-predicate list.
+    pub fn candidates_for<'a>(
+        &'a self,
+        atom: &Atom,
+        assignment: &crate::homomorphism::Assignment,
+    ) -> &'a [Fact] {
+        select_smallest_bucket(
+            atom,
+            assignment,
+            |i, g| self.facts_by_predicate_position(atom.predicate, i, g),
+            |b| b.len(),
+        )
+        .unwrap_or_else(|| self.instance.facts_of(atom.predicate))
+    }
+
+    /// An upper bound on the number of candidates for `atom` under `assignment`
+    /// (the length of [`IndexedInstance::candidates_for`]'s result), used to order
+    /// join atoms most-selective-first.
+    pub fn candidate_count(
+        &self,
+        atom: &Atom,
+        assignment: &crate::homomorphism::Assignment,
+    ) -> usize {
+        self.candidates_for(atom, assignment).len()
+    }
+
+    /// Total number of position-index lookups served so far. Monotone counter; lets
+    /// tests prove that an evaluation routed through the maintained index.
+    pub fn probe_count(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for IndexedInstance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IndexedInstance({:?})", self.instance)
+    }
+}
+
+impl PartialEq for IndexedInstance {
+    fn eq(&self, other: &Self) -> bool {
+        self.instance == other.instance
+    }
+}
+
+impl Eq for IndexedInstance {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Constant;
+
+    fn cst(s: &str) -> GroundTerm {
+        GroundTerm::Const(Constant::new(s))
+    }
+    fn null(i: u64) -> GroundTerm {
+        GroundTerm::Null(NullValue(i))
+    }
+
+    #[test]
+    fn position_index_lookup() {
+        let k = IndexedInstance::from_instance(Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), cst("b")]),
+            Fact::from_parts("E", vec![cst("a"), cst("c")]),
+            Fact::from_parts("E", vec![cst("b"), cst("c")]),
+        ]));
+        let e = Predicate::new("E", 2);
+        assert_eq!(k.facts_by_predicate_position(e, 0, cst("a")).len(), 2);
+        assert_eq!(k.facts_by_predicate_position(e, 1, cst("c")).len(), 2);
+        assert_eq!(k.facts_by_predicate_position(e, 0, cst("c")).len(), 0);
+        assert_eq!(k.facts_by_predicate_position(e, 1, cst("z")).len(), 0);
+        assert!(k.probe_count() >= 4);
+    }
+
+    #[test]
+    fn position_index_stays_consistent_after_remove() {
+        let mut k = IndexedInstance::new();
+        k.insert(Fact::from_parts("E", vec![cst("a"), cst("b")]));
+        k.insert(Fact::from_parts("E", vec![cst("a"), cst("c")]));
+        let e = Predicate::new("E", 2);
+        k.remove(&Fact::from_parts("E", vec![cst("a"), cst("b")]));
+        assert_eq!(k.facts_by_predicate_position(e, 0, cst("a")).len(), 1);
+        assert_eq!(k.facts_by_predicate_position(e, 1, cst("b")).len(), 0);
+    }
+
+    #[test]
+    fn substitute_in_place_matches_apply_substitution() {
+        let base = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), null(1)]),
+            Fact::from_parts("E", vec![null(1), null(2)]),
+            Fact::from_parts("E", vec![cst("a"), cst("a")]),
+            Fact::from_parts("N", vec![cst("b")]),
+        ]);
+        let gamma = NullSubstitution::single(NullValue(1), cst("a"));
+        let rebuilt = base.apply_substitution(&gamma);
+        let mut indexed = IndexedInstance::from_instance(base);
+        let rewritten = indexed.substitute_in_place(&gamma);
+        assert_eq!(indexed.instance(), &rebuilt);
+        // Exactly the two facts mentioning η1 were rewritten.
+        assert_eq!(rewritten.len(), 2);
+        assert!(rewritten.contains(&Fact::from_parts("E", vec![cst("a"), cst("a")])));
+        assert!(rewritten.contains(&Fact::from_parts("E", vec![cst("a"), null(2)])));
+    }
+
+    #[test]
+    fn indexes_stay_consistent_after_in_place_substitution() {
+        let mut k = IndexedInstance::from_instance(Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), null(1)]),
+            Fact::from_parts("E", vec![cst("a"), cst("a")]),
+        ]));
+        let e = Predicate::new("E", 2);
+        k.substitute_in_place(&NullSubstitution::single(NullValue(1), cst("a")));
+        // The two facts collapsed: every index must agree on the single survivor.
+        assert_eq!(k.len(), 1);
+        assert_eq!(k.facts_of(e).len(), 1);
+        assert_eq!(k.facts_by_predicate_position(e, 0, cst("a")).len(), 1);
+        assert_eq!(k.facts_by_predicate_position(e, 1, cst("a")).len(), 1);
+        assert_eq!(k.facts_by_predicate_position(e, 1, null(1)).len(), 0);
+        assert!(k.instance().nulls().is_empty());
+    }
+
+    #[test]
+    fn repeated_null_occurrences_are_indexed_once() {
+        // E(η1, η1) mentions η1 twice; substitution must rewrite it exactly once.
+        let mut k = IndexedInstance::new();
+        k.insert(Fact::from_parts("E", vec![null(1), null(1)]));
+        let rewritten = k.substitute_in_place(&NullSubstitution::single(NullValue(1), cst("a")));
+        assert_eq!(
+            rewritten,
+            vec![Fact::from_parts("E", vec![cst("a"), cst("a")])]
+        );
+        assert_eq!(k.len(), 1);
+    }
+
+    #[test]
+    fn chained_in_place_substitutions() {
+        // γ1 = {η1/η2} then γ2 = {η2/a}: the null index must track rewritten facts.
+        let mut k = IndexedInstance::new();
+        k.insert(Fact::from_parts("E", vec![null(1), cst("b")]));
+        let r1 = k.substitute_in_place(&NullSubstitution::single(NullValue(1), null(2)));
+        assert_eq!(r1, vec![Fact::from_parts("E", vec![null(2), cst("b")])]);
+        let r2 = k.substitute_in_place(&NullSubstitution::single(NullValue(2), cst("a")));
+        assert_eq!(r2, vec![Fact::from_parts("E", vec![cst("a"), cst("b")])]);
+        assert!(k.instance().nulls().is_empty());
+        assert_eq!(k.len(), 1);
+    }
+
+    #[test]
+    fn empty_substitution_in_place_is_a_no_op() {
+        let mut k = IndexedInstance::new();
+        k.insert(Fact::from_parts("E", vec![cst("a"), null(1)]));
+        let rewritten = k.substitute_in_place(&NullSubstitution::empty());
+        assert!(rewritten.is_empty());
+        assert_eq!(k.len(), 1);
+    }
+}

@@ -1,15 +1,19 @@
-//! Instances: finite sets of facts with per-predicate and per-position indexes.
+//! Instances: finite sets of facts with a per-predicate index.
 //!
 //! An [`Instance`] stores facts (atoms over constants and labeled nulls), indexed by
-//! predicate so that homomorphism search can iterate only over candidate facts, and
-//! additionally by (predicate, position, term) so that candidates for a body atom
-//! with a bound term can be *looked up* instead of scanned — the fast path behind the
-//! incremental trigger engine in `chase_trigger`. The instance also owns the
-//! labeled-null allocator used by the chase.
+//! predicate so that homomorphism search can iterate only over candidate facts. The
+//! instance also owns the labeled-null allocator used by the chase.
+//!
+//! Deliberately, an `Instance` maintains *no* per-(predicate, position) or per-null
+//! indexes: those cost ~(arity + 2)× extra work and memory on every insert, which
+//! most consumers never recoup. Join-heavy code opts into
+//! [`IndexedInstance`](crate::index::IndexedInstance), and one-shot queries get a
+//! transient per-query index from
+//! [`HomomorphismSearch::new`](crate::homomorphism::HomomorphismSearch::new).
 
 use crate::atom::{Fact, Predicate};
 use crate::substitution::NullSubstitution;
-use crate::term::{Constant, GroundTerm, NullValue};
+use crate::term::{Constant, NullValue};
 use std::collections::{BTreeSet, HashMap, HashSet};
 use std::fmt;
 
@@ -21,13 +25,6 @@ use std::fmt;
 pub struct Instance {
     facts: HashSet<Fact>,
     by_predicate: HashMap<Predicate, Vec<Fact>>,
-    /// Per-(predicate, position) index: maps the ground term at that position to the
-    /// facts carrying it there. Kept consistent by `insert`, `remove` and
-    /// `substitute_in_place`.
-    by_position: HashMap<(Predicate, usize, GroundTerm), Vec<Fact>>,
-    /// Facts mentioning each labeled null (each fact listed once per distinct null),
-    /// so EGD substitution touches only the facts it rewrites.
-    by_null: HashMap<NullValue, Vec<Fact>>,
     next_null: u64,
 }
 
@@ -72,18 +69,6 @@ impl Instance {
             }
         }
         if self.facts.insert(fact.clone()) {
-            for (i, t) in fact.terms.iter().enumerate() {
-                self.by_position
-                    .entry((fact.predicate, i, *t))
-                    .or_default()
-                    .push(fact.clone());
-            }
-            let mut nulls = fact.nulls();
-            nulls.sort_unstable();
-            nulls.dedup();
-            for n in nulls {
-                self.by_null.entry(n).or_default().push(fact.clone());
-            }
             self.by_predicate
                 .entry(fact.predicate)
                 .or_default()
@@ -100,25 +85,6 @@ impl Instance {
             if let Some(v) = self.by_predicate.get_mut(&fact.predicate) {
                 v.retain(|f| f != fact);
             }
-            for (i, t) in fact.terms.iter().enumerate() {
-                if let Some(v) = self.by_position.get_mut(&(fact.predicate, i, *t)) {
-                    v.retain(|f| f != fact);
-                    if v.is_empty() {
-                        self.by_position.remove(&(fact.predicate, i, *t));
-                    }
-                }
-            }
-            let mut nulls = fact.nulls();
-            nulls.sort_unstable();
-            nulls.dedup();
-            for n in nulls {
-                if let Some(v) = self.by_null.get_mut(&n) {
-                    v.retain(|f| f != fact);
-                    if v.is_empty() {
-                        self.by_null.remove(&n);
-                    }
-                }
-            }
             true
         } else {
             false
@@ -134,22 +100,6 @@ impl Instance {
     pub fn facts_of(&self, predicate: Predicate) -> &[Fact] {
         self.by_predicate
             .get(&predicate)
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
-    }
-
-    /// Facts of `predicate` carrying `term` at position `position` (empty slice if
-    /// none). This is the per-(predicate, position) fast path used by indexed
-    /// homomorphism search: candidates for a body atom with a bound term are looked
-    /// up in O(1) instead of scanned across all facts of the predicate.
-    pub fn facts_by_predicate_position(
-        &self,
-        predicate: Predicate,
-        position: usize,
-        term: GroundTerm,
-    ) -> &[Fact] {
-        self.by_position
-            .get(&(predicate, position, term))
             .map(|v| v.as_slice())
             .unwrap_or(&[])
     }
@@ -211,19 +161,25 @@ impl Instance {
 
     /// Applies a null substitution `γ` in place, i.e. turns `self` into `K γ`, and
     /// returns the rewritten facts (the facts of `K γ` that arose from a fact of `K`
-    /// mentioning the substituted null).
+    /// mentioning the substituted null), in sorted order.
     ///
     /// Unlike [`Instance::apply_substitution`], which rebuilds the whole instance,
-    /// this touches only the facts that mention the substituted null, keeping the
-    /// per-predicate and per-position indexes consistent along the way — the delta
-    /// the incremental trigger engine re-seeds its search from.
+    /// this rewrites only the facts that mention the substituted null — but it has
+    /// to *find* them by scanning the fact set. Callers that substitute repeatedly
+    /// against a large evolving instance should use
+    /// [`IndexedInstance::substitute_in_place`](crate::index::IndexedInstance::substitute_in_place),
+    /// whose per-null occurrence index locates the affected facts without a scan.
     pub fn substitute_in_place(&mut self, gamma: &NullSubstitution) -> Vec<Fact> {
         let Some((null, _)) = gamma.mapping() else {
             return Vec::new();
         };
-        // The null-occurrence index gives exactly the facts that mention the null,
-        // without scanning the whole instance.
-        let changed = self.by_null.remove(&null).unwrap_or_default();
+        let mut changed: Vec<Fact> = self
+            .facts
+            .iter()
+            .filter(|f| f.nulls().contains(&null))
+            .cloned()
+            .collect();
+        changed.sort();
         let mut rewritten = Vec::with_capacity(changed.len());
         for f in changed {
             self.remove(&f);
@@ -389,32 +345,6 @@ mod tests {
     }
 
     #[test]
-    fn position_index_lookup() {
-        let k = Instance::from_facts(vec![
-            Fact::from_parts("E", vec![cst("a"), cst("b")]),
-            Fact::from_parts("E", vec![cst("a"), cst("c")]),
-            Fact::from_parts("E", vec![cst("b"), cst("c")]),
-        ]);
-        let e = Predicate::new("E", 2);
-        assert_eq!(k.facts_by_predicate_position(e, 0, cst("a")).len(), 2);
-        assert_eq!(k.facts_by_predicate_position(e, 1, cst("c")).len(), 2);
-        assert_eq!(k.facts_by_predicate_position(e, 0, cst("c")).len(), 0);
-        assert_eq!(k.facts_by_predicate_position(e, 1, cst("z")).len(), 0);
-    }
-
-    #[test]
-    fn position_index_stays_consistent_after_remove() {
-        let mut k = Instance::from_facts(vec![
-            Fact::from_parts("E", vec![cst("a"), cst("b")]),
-            Fact::from_parts("E", vec![cst("a"), cst("c")]),
-        ]);
-        let e = Predicate::new("E", 2);
-        k.remove(&Fact::from_parts("E", vec![cst("a"), cst("b")]));
-        assert_eq!(k.facts_by_predicate_position(e, 0, cst("a")).len(), 1);
-        assert_eq!(k.facts_by_predicate_position(e, 1, cst("b")).len(), 0);
-    }
-
-    #[test]
     fn substitute_in_place_matches_apply_substitution() {
         let k = Instance::from_facts(vec![
             Fact::from_parts("E", vec![cst("a"), null(1)]),
@@ -434,24 +364,21 @@ mod tests {
     }
 
     #[test]
-    fn indexes_stay_consistent_after_in_place_substitution() {
+    fn predicate_index_stays_consistent_after_in_place_substitution() {
         let mut k = Instance::from_facts(vec![
             Fact::from_parts("E", vec![cst("a"), null(1)]),
             Fact::from_parts("E", vec![cst("a"), cst("a")]),
         ]);
         let e = Predicate::new("E", 2);
         k.substitute_in_place(&NullSubstitution::single(NullValue(1), cst("a")));
-        // The two facts collapsed: every index must agree on the single survivor.
+        // The two facts collapsed: the index must agree on the single survivor.
         assert_eq!(k.len(), 1);
         assert_eq!(k.facts_of(e).len(), 1);
-        assert_eq!(k.facts_by_predicate_position(e, 0, cst("a")).len(), 1);
-        assert_eq!(k.facts_by_predicate_position(e, 1, cst("a")).len(), 1);
-        assert_eq!(k.facts_by_predicate_position(e, 1, null(1)).len(), 0);
         assert!(k.nulls().is_empty());
     }
 
     #[test]
-    fn repeated_null_occurrences_are_indexed_once() {
+    fn repeated_null_occurrences_rewrite_once() {
         // E(η1, η1) mentions η1 twice; substitution must rewrite it exactly once.
         let mut k = Instance::from_facts(vec![Fact::from_parts("E", vec![null(1), null(1)])]);
         let rewritten = k.substitute_in_place(&NullSubstitution::single(NullValue(1), cst("a")));

@@ -12,9 +12,11 @@
 //! * tuple generating dependencies ([`Tgd`]), equality generating dependencies
 //!   ([`Egd`]) and [`DependencySet`]s with the `Σtgd / Σegd / Σ∀ / Σ∃` views used
 //!   throughout the paper — see [`dependency`];
-//! * instances and databases with per-predicate indexes — see [`instance`];
-//! * homomorphisms, substitutions and first-order satisfaction — see
-//!   [`homomorphism`], [`substitution`] and [`satisfaction`];
+//! * instances and databases with per-predicate indexes — see [`instance`] — and
+//!   opt-in per-(predicate, position) / per-null indexes — see [`index`];
+//! * the workspace's single join engine ([`JoinPlan`] + [`HomomorphismSearch`]),
+//!   substitutions and first-order satisfaction — see [`homomorphism`],
+//!   [`substitution`] and [`satisfaction`];
 //! * a small textual format and parser for dependencies and facts — see [`parser`];
 //! * ergonomic constructors for writing dependencies in Rust — see [`builder`].
 //!
@@ -45,6 +47,7 @@ pub mod builder;
 pub mod dependency;
 pub mod error;
 pub mod homomorphism;
+pub mod index;
 pub mod instance;
 pub mod interner;
 pub mod parser;
@@ -56,7 +59,8 @@ pub mod term;
 pub use atom::{Atom, Fact, Predicate};
 pub use dependency::{DepId, Dependency, DependencySet, Egd, Tgd};
 pub use error::CoreError;
-pub use homomorphism::{Assignment, HomomorphismSearch};
+pub use homomorphism::{Assignment, HomomorphismSearch, JoinPlan};
+pub use index::IndexedInstance;
 pub use instance::Instance;
 pub use interner::Symbol;
 pub use parser::{parse_dependencies, parse_program, Program};

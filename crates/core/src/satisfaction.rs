@@ -11,9 +11,15 @@ use std::ops::ControlFlow;
 /// homomorphism from body ∪ head.
 pub fn satisfies_tgd(instance: &Instance, tgd: &Tgd) -> bool {
     let search = HomomorphismSearch::new(&tgd.body, instance);
+    // One head search serves every body match (its per-query index is built once,
+    // not once per homomorphism).
+    let head_search = HomomorphismSearch::new(&tgd.head, instance);
     search
         .for_each_extending(&Assignment::new(), &mut |h| {
-            if exists_homomorphism_extending(&tgd.head, instance, h) {
+            if head_search
+                .for_each_extending::<()>(h, &mut |_| ControlFlow::Break(()))
+                .is_some()
+            {
                 ControlFlow::Continue(())
             } else {
                 ControlFlow::Break(())
@@ -94,10 +100,14 @@ pub fn violations(instance: &Instance, sigma: &DependencySet) -> Vec<(usize, Ass
     for (id, dep) in sigma.iter() {
         match dep {
             Dependency::Tgd(t) => {
+                let head_search = HomomorphismSearch::new(&t.head, instance);
                 let found = HomomorphismSearch::new(&t.body, instance).for_each_extending(
                     &Assignment::new(),
                     &mut |h| {
-                        if exists_homomorphism_extending(&t.head, instance, h) {
+                        if head_search
+                            .for_each_extending::<()>(h, &mut |_| ControlFlow::Break(()))
+                            .is_some()
+                        {
                             ControlFlow::Continue(())
                         } else {
                             ControlFlow::Break(h.clone())
@@ -228,6 +238,58 @@ mod tests {
         let empty = Instance::new();
         assert!(satisfies_all(&empty, &sigma));
         assert!(violations(&empty, &sigma).is_empty());
+    }
+
+    #[test]
+    fn satisfies_egd_under_agrees_with_the_indexed_engine_enumeration() {
+        // `satisfies_egd` quantifies over exactly the body homomorphisms the shared
+        // join engine enumerates (it runs `HomomorphismSearch` directly), and
+        // `satisfies_egd_under` must agree pointwise with the per-homomorphism
+        // equality check on each of them. The enumeration here is done over a
+        // maintained `IndexedInstance` — the probe-counter assertion shows this
+        // cross-check exercised the indexed path (the engine-side routing proof for
+        // activity checks is `tgd_activity_checks_route_through_the_maintained_index`
+        // in `chase_trigger`) — and the instance is chosen so that index correctness
+        // matters: a null collides with a constant-carrying fact and the body
+        // repeats a variable across atoms.
+        use crate::index::IndexedInstance;
+        use std::ops::ControlFlow;
+        let sigma = parse_program("k: E(?x, ?y), E(?y, ?z) -> ?x = ?z.")
+            .unwrap()
+            .dependencies;
+        let egd = match sigma.get(crate::DepId(0)) {
+            Dependency::Egd(e) => e.clone(),
+            _ => unreachable!("k is an EGD"),
+        };
+        let k = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![gc("a"), gn(1)]),
+            Fact::from_parts("E", vec![gn(1), gc("a")]),
+            Fact::from_parts("E", vec![gn(1), gc("b")]),
+        ]);
+        let indexed = IndexedInstance::from_instance(k.clone());
+        let before = indexed.probe_count();
+        let mut homs = Vec::new();
+        crate::homomorphism::HomomorphismSearch::over_index(&egd.body, &indexed)
+            .for_each_extending::<()>(&Assignment::new(), &mut |h| {
+                homs.push(h.clone());
+                ControlFlow::Continue(())
+            });
+        assert!(
+            indexed.probe_count() > before,
+            "the EGD body join did not touch the position index"
+        );
+        // Three body matches: (a,η1,a) and (η1,a,η1) satisfy the equality,
+        // (a,η1,b) violates it.
+        assert_eq!(homs.len(), 3);
+        for h in &homs {
+            let equal = h.get(egd.left) == h.get(egd.right);
+            assert_eq!(satisfies_egd_under(&k, &egd, h), equal);
+        }
+        assert!(!satisfies_egd(&k, &egd));
+        assert_eq!(
+            satisfies_egd(&k, &egd),
+            homs.iter().all(|h| satisfies_egd_under(&k, &egd, h))
+        );
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //!
 //! For each candidate we simulate one chase step of `r1` on `K` and report every
 //! homomorphism `h2 : Body(r2) → J` with `K ⊨ h2(r2)` and `J ⊭ h2(r2)` to the caller.
+//! The `h2` enumeration and the activity checks run through the shared join engine
+//! of [`chase_core::homomorphism`] (indexed via a transient per-query index over the
+//! small witness instances).
 //!
 //! When the combined variable count exceeds [`FiringConfig::max_variables`] the test
 //! falls back to a conservative answer (an edge is assumed), which keeps every

@@ -135,6 +135,12 @@ impl<'a> TriggerEngine<'a> {
         self.index.instance()
     }
 
+    /// The engine's indexed fact storage (read-only; exposes index diagnostics such
+    /// as [`chase_core::IndexedInstance::probe_count`]).
+    pub fn fact_index(&self) -> &FactIndex {
+        &self.index
+    }
+
     /// Consumes the engine, returning the final instance.
     pub fn into_instance(self) -> Instance {
         self.index.into_instance()
@@ -533,6 +539,26 @@ mod tests {
         let mut engine = TriggerEngine::with_database(&p.dependencies, &p.database);
         engine.drain_deltas();
         assert_eq!(engine.stats().triggers_discovered, 1);
+    }
+
+    #[test]
+    fn tgd_activity_checks_route_through_the_maintained_index() {
+        // The standard-activity test for a TGD head must consult the engine's
+        // per-(predicate, position) indexes, not a scan: the probe counter of the
+        // maintained `IndexedInstance` has to advance across the check.
+        let (sigma, db) = sigma1();
+        let mut engine = TriggerEngine::with_database(&sigma, &db);
+        engine.drain_deltas();
+        let h = Assignment::from_pairs([(Variable::new("x"), gc("a"))]);
+        let before = engine.fact_index().indexed().probe_count();
+        // r1 is a TGD with head E(x, y): activity extends h over the head.
+        let active = engine.is_standard_active(sigma.get(DepId(0)), &h);
+        assert!(active, "no E(a, _) fact exists yet, the trigger is active");
+        let after = engine.fact_index().indexed().probe_count();
+        assert!(
+            after > before,
+            "TGD-activity check did not touch the position index ({before} -> {after})"
+        );
     }
 
     #[test]

@@ -1,23 +1,24 @@
-//! Indexed fact storage: an owned [`Instance`] plus candidate-lookup helpers.
+//! Indexed fact storage: a thin wrapper over [`chase_core::IndexedInstance`].
 //!
-//! [`FactIndex`] is the storage layer of the trigger engine. It owns the evolving
-//! chase instance and answers the one question join search keeps asking — *which
-//! facts could this body atom map to, given the current partial assignment?* — by
-//! consulting the per-(predicate, position) indexes of [`Instance`] instead of
-//! scanning all facts of the predicate.
+//! [`FactIndex`] is the storage layer of the trigger engine. Since the join engine
+//! and the per-(predicate, position) / per-null indexes moved into `chase_core`
+//! ([`chase_core::index::IndexedInstance`], [`chase_core::homomorphism`]), this type
+//! only adds the engine-facing mutation vocabulary: insertion reports whether the
+//! fact is new, substitution reports exactly the rewritten facts — the deltas
+//! semi-naive discovery re-seeds from.
 
 use chase_core::substitution::NullSubstitution;
 use chase_core::Assignment;
-use chase_core::{Atom, Fact, GroundTerm, Instance, NullValue, Term};
+use chase_core::{Atom, Fact, IndexedInstance, Instance, NullValue};
 
 /// Indexed fact storage for the trigger engine.
 ///
-/// Wraps an [`Instance`] (which maintains per-predicate, per-position and per-null
-/// indexes) and exposes delta-aware mutation: insertion reports whether the fact is
-/// new, substitution reports exactly the rewritten facts.
+/// Wraps an [`IndexedInstance`] (which maintains the per-predicate, per-position and
+/// per-null indexes consumed by the shared join engine) and exposes delta-aware
+/// mutation.
 #[derive(Clone, Debug, Default)]
 pub struct FactIndex {
-    instance: Instance,
+    indexed: IndexedInstance,
 }
 
 impl FactIndex {
@@ -28,86 +29,67 @@ impl FactIndex {
 
     /// Creates an index over a copy of `instance`.
     pub fn from_instance(instance: Instance) -> Self {
-        FactIndex { instance }
+        FactIndex {
+            indexed: IndexedInstance::from_instance(instance),
+        }
     }
 
-    /// The indexed instance.
+    /// The indexed instance (the join-engine view).
+    pub fn indexed(&self) -> &IndexedInstance {
+        &self.indexed
+    }
+
+    /// The underlying instance.
     pub fn instance(&self) -> &Instance {
-        &self.instance
+        self.indexed.instance()
     }
 
     /// Consumes the index, returning the instance.
     pub fn into_instance(self) -> Instance {
-        self.instance
+        self.indexed.into_instance()
     }
 
     /// Number of stored facts.
     pub fn len(&self) -> usize {
-        self.instance.len()
+        self.indexed.len()
     }
 
     /// Returns `true` iff no fact is stored.
     pub fn is_empty(&self) -> bool {
-        self.instance.is_empty()
+        self.indexed.is_empty()
     }
 
     /// Returns `true` iff the fact is stored.
     pub fn contains(&self, fact: &Fact) -> bool {
-        self.instance.contains(fact)
+        self.indexed.contains(fact)
     }
 
     /// Inserts a fact; returns `true` iff it was new.
     pub fn insert(&mut self, fact: Fact) -> bool {
-        self.instance.insert(fact)
+        self.indexed.insert(fact)
     }
 
     /// Allocates a labeled null distinct from every null in the stored facts.
     pub fn fresh_null(&mut self) -> NullValue {
-        self.instance.fresh_null()
+        self.indexed.fresh_null()
     }
 
     /// Applies an EGD substitution in place, returning the rewritten facts (the
     /// delta the engine re-seeds trigger discovery from).
     pub fn substitute(&mut self, gamma: &NullSubstitution) -> Vec<Fact> {
-        self.instance.substitute_in_place(gamma)
+        self.indexed.substitute_in_place(gamma)
     }
 
-    /// The candidate facts for `atom` under `assignment`: the smallest
-    /// per-(predicate, position) bucket among the atom's bound positions, or all
-    /// facts of the predicate when no position is bound.
-    ///
-    /// Every fact the atom can map to is in the returned slice; the slice may
-    /// contain non-matching facts (unification still has to check the remaining
-    /// positions), but for selective positions it is far smaller than the
-    /// per-predicate list.
+    /// The candidate facts for `atom` under `assignment` — see
+    /// [`IndexedInstance::candidates_for`].
     pub fn candidates_for<'a>(&'a self, atom: &Atom, assignment: &Assignment) -> &'a [Fact] {
-        let mut best: Option<&[Fact]> = None;
-        for (i, term) in atom.terms.iter().enumerate() {
-            let ground: Option<GroundTerm> = match term {
-                Term::Const(c) => Some(GroundTerm::Const(*c)),
-                Term::Null(n) => Some(GroundTerm::Null(*n)),
-                Term::Var(v) => assignment.get(*v),
-            };
-            if let Some(g) = ground {
-                let bucket = self
-                    .instance
-                    .facts_by_predicate_position(atom.predicate, i, g);
-                if best.is_none_or(|b| bucket.len() < b.len()) {
-                    best = Some(bucket);
-                }
-                if bucket.is_empty() {
-                    break;
-                }
-            }
-        }
-        best.unwrap_or_else(|| self.instance.facts_of(atom.predicate))
+        self.indexed.candidates_for(atom, assignment)
     }
 
-    /// An upper bound on the number of candidates for `atom` under `assignment`
-    /// (the length of [`FactIndex::candidates_for`]'s result), used to order join
-    /// atoms most-constrained-first.
+    /// An upper bound on the number of candidates for `atom` under `assignment` —
+    /// see [`IndexedInstance::candidate_count`].
     pub fn candidate_count(&self, atom: &Atom, assignment: &Assignment) -> usize {
-        self.candidates_for(atom, assignment).len()
+        self.indexed.candidate_count(atom, assignment)
     }
 }
 
@@ -116,6 +98,7 @@ mod tests {
     use super::*;
     use chase_core::builder::{atom, cst, var};
     use chase_core::term::Constant;
+    use chase_core::GroundTerm;
 
     fn gc(s: &str) -> GroundTerm {
         GroundTerm::Const(Constant::new(s))

@@ -9,13 +9,14 @@
 //! over and over. This crate replaces the re-scan with *semi-naive* discovery:
 //!
 //! * [`FactIndex`] — indexed fact storage: an owned
-//!   [`Instance`](chase_core::Instance) whose per-(predicate, position) hash
-//!   indexes answer "which facts can this body atom map to?" by lookup instead
-//!   of scan (see [`chase_core::Instance::facts_by_predicate_position`]);
+//!   [`IndexedInstance`](chase_core::IndexedInstance) whose per-(predicate,
+//!   position) hash indexes answer "which facts can this body atom map to?" by
+//!   lookup instead of scan;
 //! * [`DeltaQueue`] — the worklist of facts added (TGD steps) or rewritten (EGD
 //!   substitutions) since discovery last ran;
-//! * [`search`] — homomorphism search seeded at a delta fact and joined through
-//!   the index, most-constrained-atom first;
+//! * [`search`] — delta-seeded entry points into the shared join engine of
+//!   [`chase_core::homomorphism`] (a [`chase_core::JoinPlan`] executed over the
+//!   maintained indexes, most-selective-atom first);
 //! * [`TriggerEngine`] — the driver: [`TriggerEngine::push_facts`] /
 //!   [`TriggerEngine::apply_substitution`] feed the worklist,
 //!   [`TriggerEngine::next_active_trigger`] (standard chase) and

@@ -1,64 +1,31 @@
-//! Index-backed homomorphism search, seeded from delta facts.
+//! Delta-seeded entry points into the shared join engine.
 //!
-//! The engine never enumerates triggers from scratch. When a chase step adds or
-//! rewrites facts, discovery restarts *from those facts only*: for every body atom
-//! unifiable with a delta fact, the atom is pinned to the fact and the remaining
-//! atoms are joined via the per-(predicate, position) indexes of the
-//! [`FactIndex`](crate::FactIndex) — semi-naive evaluation at the granularity of
-//! single chase steps.
+//! The backtracking join itself lives in `chase_core`
+//! ([`chase_core::homomorphism::HomomorphismSearch`] executing a
+//! [`chase_core::JoinPlan`] over the indexes of a
+//! [`chase_core::IndexedInstance`]); this module only keeps the trigger-engine
+//! vocabulary on top of it. The engine never enumerates triggers from scratch:
+//! when a chase step adds or rewrites facts, discovery restarts *from those facts
+//! only* — for every body atom unifiable with a delta fact, the atom is pinned to
+//! the fact ([`for_each_seeded`]) and the remaining atoms are joined through the
+//! per-(predicate, position) indexes of the [`FactIndex`](crate::FactIndex) —
+//! semi-naive evaluation at the granularity of single chase steps.
 
 use crate::index::FactIndex;
-use chase_core::{Assignment, Atom, Fact, GroundTerm, Term, Variable};
+use chase_core::{Assignment, Atom, Fact, HomomorphismSearch};
 use std::ops::ControlFlow;
 
-/// Tries to unify `atom` with `fact` under `assignment`, binding unbound variables.
-/// On success returns the newly bound variables; on failure the assignment is
-/// rolled back and `None` is returned.
-pub fn unify_atom_with_fact(
-    atom: &Atom,
-    fact: &Fact,
-    assignment: &mut Assignment,
-) -> Option<Vec<Variable>> {
-    debug_assert_eq!(atom.predicate, fact.predicate);
-    let mut new_bindings: Vec<Variable> = Vec::new();
-    for (t, g) in atom.terms.iter().zip(fact.terms.iter()) {
-        let ok = match t {
-            Term::Const(c) => GroundTerm::Const(*c) == *g,
-            Term::Null(n) => GroundTerm::Null(*n) == *g,
-            Term::Var(v) => match assignment.get(*v) {
-                Some(bound) => bound == *g,
-                None => {
-                    assignment.bind(*v, *g);
-                    new_bindings.push(*v);
-                    true
-                }
-            },
-        };
-        if !ok {
-            for v in &new_bindings {
-                assignment.unbind(*v);
-            }
-            return None;
-        }
-    }
-    Some(new_bindings)
-}
+pub use chase_core::homomorphism::unify_atom_with_fact;
 
 /// Visits every homomorphism from `atoms` into the index that extends `partial`,
-/// choosing at each level the most constrained remaining atom (fewest index
-/// candidates) and iterating only its candidate bucket.
+/// joining through the maintained per-(predicate, position) indexes.
 pub fn for_each_indexed_extending<B>(
     atoms: &[Atom],
     index: &FactIndex,
     partial: &Assignment,
     visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
 ) -> Option<B> {
-    let mut remaining: Vec<usize> = (0..atoms.len()).collect();
-    let mut assignment = partial.clone();
-    match search(atoms, index, &mut remaining, &mut assignment, visit) {
-        ControlFlow::Break(b) => Some(b),
-        ControlFlow::Continue(()) => None,
-    }
+    HomomorphismSearch::over_index(atoms, index.indexed()).for_each_extending(partial, visit)
 }
 
 /// Visits every homomorphism from `atoms` into the index in which atom
@@ -70,17 +37,8 @@ pub fn for_each_seeded<B>(
     seed_fact: &Fact,
     visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
 ) -> Option<B> {
-    let seed_atom = &atoms[seed_index];
-    if seed_atom.predicate != seed_fact.predicate {
-        return None;
-    }
-    let mut assignment = Assignment::new();
-    unify_atom_with_fact(seed_atom, seed_fact, &mut assignment)?;
-    let mut remaining: Vec<usize> = (0..atoms.len()).filter(|&i| i != seed_index).collect();
-    match search(atoms, index, &mut remaining, &mut assignment, visit) {
-        ControlFlow::Break(b) => Some(b),
-        ControlFlow::Continue(()) => None,
-    }
+    HomomorphismSearch::over_index(atoms, index.indexed())
+        .for_each_seeded(seed_index, seed_fact, visit)
 }
 
 /// Returns `true` iff some homomorphism from `atoms` into the index extends
@@ -89,53 +47,12 @@ pub fn exists_indexed_extension(atoms: &[Atom], index: &FactIndex, partial: &Ass
     for_each_indexed_extending(atoms, index, partial, &mut |_| ControlFlow::Break(())).is_some()
 }
 
-fn search<B>(
-    atoms: &[Atom],
-    index: &FactIndex,
-    remaining: &mut Vec<usize>,
-    assignment: &mut Assignment,
-    visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
-) -> ControlFlow<B> {
-    if remaining.is_empty() {
-        return visit(assignment);
-    }
-    // Most constrained atom first: fewest candidates under the current bindings.
-    let (pick_pos, _) = remaining
-        .iter()
-        .enumerate()
-        .map(|(pos, &ai)| (pos, index.candidate_count(&atoms[ai], assignment)))
-        .min_by_key(|&(_, count)| count)
-        .expect("remaining is non-empty");
-    let atom_idx = remaining.swap_remove(pick_pos);
-    let atom = &atoms[atom_idx];
-
-    let mut flow = ControlFlow::Continue(());
-    // `candidates_for` borrows the index immutably; cloning the bucket is avoided
-    // by iterating the slice directly (the index is not mutated during search).
-    for fact in index.candidates_for(atom, assignment) {
-        if let Some(new_bindings) = unify_atom_with_fact(atom, fact, assignment) {
-            let inner = search(atoms, index, remaining, assignment, visit);
-            for v in &new_bindings {
-                assignment.unbind(*v);
-            }
-            if inner.is_break() {
-                flow = inner;
-                break;
-            }
-        }
-    }
-    // Restore `remaining` (content matters, order does not).
-    remaining.push(atom_idx);
-    let last = remaining.len() - 1;
-    remaining.swap(pick_pos, last);
-    flow
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use chase_core::builder::{atom, cst, var};
     use chase_core::term::Constant;
+    use chase_core::{GroundTerm, Variable};
 
     fn gc(s: &str) -> GroundTerm {
         GroundTerm::Const(Constant::new(s))

@@ -1,0 +1,84 @@
+//! Regression tests for known soundness gaps in the `Adn∃` adornment algorithm.
+//!
+//! See the ROADMAP.md open item "`adorn_with` … accepts some cyclic
+//! ontology-generator outputs that have no terminating chase sequence": the
+//! generated set below embeds the gadget `C0(x) -> ∃y Rcyc2(x, y);
+//! Rcyc2(x, y) -> C0(y)`, which is rejected in isolation but accepted when an
+//! unrelated functional-role EGD (`R0(x, y), R0(x, z) -> y = z`) is present —
+//! likely a bug in the adornment/substitution bookkeeping of Algorithm 1.
+//!
+//! The `#[ignore]`d test asserts the *correct* behaviour (rejection) and
+//! currently fails; the PR that fixes the adornment bookkeeping should flip it on
+//! by deleting the `#[ignore]` attribute. CI runs it in a non-gating
+//! `--include-ignored` job so the failure stays visible on every PR.
+
+use chase_core::DependencySet;
+use chase_ontology::generator::{generate, OntologyProfile};
+use chase_termination::adornment::{adorn_with, AdnConfig, FireableMode};
+
+/// The profile from the ROADMAP open item. Generates (among others) the cyclic
+/// gadget `r8: C0(?x) -> exists ?y: Rcyc2(?x, ?y). r9: Rcyc2(?x, ?y) -> C0(?y).`
+/// and the unrelated functional-role EGD `r7: R0(?x, ?y), R0(?x, ?z) -> ?y = ?z.`
+fn gadget_profile() -> OntologyProfile {
+    OntologyProfile {
+        existential: 2,
+        full: 4,
+        egds: 1,
+        cyclic: true,
+        seed: 3,
+    }
+}
+
+fn without_egds(sigma: &DependencySet) -> DependencySet {
+    sigma
+        .iter()
+        .filter(|(_, d)| !d.is_egd())
+        .map(|(_, d)| d.clone())
+        .collect()
+}
+
+/// Guard for the *current* (correct) behaviour on the EGD-free projection: the
+/// cyclic gadget alone is rejected under both fireable modes. If this ever
+/// breaks, the gap below has widened.
+#[test]
+fn cyclic_gadget_is_rejected_without_the_unrelated_egd() {
+    let sigma = without_egds(&generate(&gadget_profile()));
+    for mode in [FireableMode::Exact, FireableMode::PredicateOverlap] {
+        let cfg = AdnConfig {
+            fireable_mode: mode,
+            ..AdnConfig::default()
+        };
+        assert!(
+            !adorn_with(&sigma, &cfg).acyclic,
+            "the cyclic gadget must be rejected under {mode:?} without EGDs present"
+        );
+    }
+}
+
+/// The known soundness gap: with the unrelated functional-role EGD present,
+/// `adorn_with` accepts the same cyclic gadget. The correct answer is rejection
+/// (the gadget has no terminating chase sequence, and adding an EGD on a role the
+/// gadget never touches cannot create one).
+///
+/// Ignored because it reproduces a real, currently-unfixed bug — see the
+/// ROADMAP.md open item on `adorn_with`. The fix PR must remove the `#[ignore]`.
+#[test]
+#[ignore = "known adorn_with soundness gap, see ROADMAP.md open item on cyclic generator outputs"]
+fn cyclic_gadget_must_stay_rejected_when_an_unrelated_egd_is_present() {
+    let sigma = generate(&gadget_profile());
+    assert!(
+        sigma.iter().any(|(_, d)| d.is_egd()),
+        "the profile must actually generate the unrelated EGD"
+    );
+    for mode in [FireableMode::Exact, FireableMode::PredicateOverlap] {
+        let cfg = AdnConfig {
+            fireable_mode: mode,
+            ..AdnConfig::default()
+        };
+        assert!(
+            !adorn_with(&sigma, &cfg).acyclic,
+            "unsound acceptance under {mode:?}: the unrelated functional-role EGD \
+             must not make the cyclic gadget pass"
+        );
+    }
+}

@@ -2,14 +2,18 @@
 //! invariants that must hold for arbitrary small inputs.
 
 use chase_core::builder::{atom, var};
+use chase_core::homomorphism::{homomorphisms_extending, naive_homomorphisms_extending};
 use chase_core::parser::{parse_program, to_source};
 use chase_core::satisfaction::satisfies_all;
 use chase_core::substitution::NullSubstitution;
 use chase_core::{
-    Constant, Dependency, DependencySet, Egd, Fact, GroundTerm, Instance, NullValue, Tgd, Variable,
+    Assignment, Atom, Constant, Dependency, DependencySet, Egd, Fact, GroundTerm,
+    HomomorphismSearch, IndexedInstance, Instance, NullValue, Term, Tgd, Variable,
 };
 use chase_engine::{core_of, is_core, CoreChase, StandardChase, StepOrder};
 use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::ops::ControlFlow;
 
 // ---------------------------------------------------------------------------------
 // Strategies
@@ -89,6 +93,46 @@ fn terminating_dependency_set() -> impl Strategy<Value = DependencySet> {
     });
     prop::collection::vec(prop_oneof![inclusion, existential, range, functional], 1..8)
         .prop_map(DependencySet::from_vec)
+}
+
+/// A query term over a small pool: 4 variables (so repetition across atoms is
+/// common), 3 constants, 3 nulls.
+fn query_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        (0..4u8).prop_map(|i| Term::Var(Variable::new(&format!("v{i}")))),
+        (0..3u8).prop_map(|i| Term::Const(Constant::new(&format!("c{i}")))),
+        (0..3u64).prop_map(|i| Term::Null(NullValue(i))),
+    ]
+}
+
+/// A query atom over the same schema as [`fact`], plus a 0-ary predicate `Z`.
+fn query_atom() -> impl Strategy<Value = Atom> {
+    prop_oneof![
+        Just(Atom::from_parts("Z", vec![])),
+        ((0..3u8), query_term()).prop_map(|(p, t)| Atom::from_parts(&format!("U{p}"), vec![t])),
+        ((0..3u8), query_term(), query_term())
+            .prop_map(|(p, a, b)| Atom::from_parts(&format!("B{p}"), vec![a, b])),
+    ]
+}
+
+/// A conjunctive query body: 0..4 atoms, so empty bodies, unbound variables
+/// (variables occurring in a single position), repeated variables, constants and
+/// nulls all arise.
+fn query_body() -> impl Strategy<Value = Vec<Atom>> {
+    prop::collection::vec(query_atom(), 0..4)
+}
+
+/// An instance over the query schema, including 0-ary facts.
+fn query_instance() -> impl Strategy<Value = Instance> {
+    let z = prop_oneof![Just(Vec::new()), Just(vec![Fact::from_parts("Z", vec![])])];
+    (prop::collection::vec(fact(), 0..12), z).prop_map(|(mut facts, z)| {
+        facts.extend(z);
+        Instance::from_facts(facts)
+    })
+}
+
+fn canonical_set(homs: &[Assignment]) -> BTreeSet<Vec<(Variable, GroundTerm)>> {
+    homs.iter().map(|h| h.canonical()).collect()
 }
 
 fn small_database() -> impl Strategy<Value = Instance> {
@@ -202,6 +246,59 @@ proptest! {
         if is_weakly_acyclic(&sigma) {
             prop_assert!(chase_termination::is_semi_acyclic(&sigma));
         }
+    }
+
+    /// Differential test of the unified join engine: on random conjunctive bodies —
+    /// with repeated variables, constants, nulls, unbound (single-occurrence)
+    /// variables, empty bodies and 0-ary atoms — the indexed join (both the
+    /// transient per-query index over a plain `Instance` and the maintained indexes
+    /// of an `IndexedInstance`) and the retained naive full-scan reference return
+    /// exactly the same set of homomorphisms, as canonicalized assignments.
+    /// (The chase-level counterpart under all four `StepOrder` policies is
+    /// `trigger_engine_matches_naive_rescan` below.)
+    #[test]
+    fn indexed_join_matches_naive_scan_reference(
+        body in query_body(),
+        inst in query_instance(),
+        bind in 0..3usize,
+    ) {
+        // Optionally pre-bind v0, to exercise partial-assignment seeding: to a
+        // constant present in the schema (bind = 1) or to a null (bind = 2).
+        let partial = match bind {
+            1 => Assignment::from_pairs([(
+                Variable::new("v0"),
+                GroundTerm::Const(Constant::new("c0")),
+            )]),
+            2 => Assignment::from_pairs([(Variable::new("v0"), GroundTerm::Null(NullValue(0)))]),
+            _ => Assignment::new(),
+        };
+        let reference = canonical_set(&naive_homomorphisms_extending(&body, &inst, &partial));
+        let via_transient = canonical_set(&homomorphisms_extending(&body, &inst, &partial));
+        prop_assert_eq!(
+            &reference,
+            &via_transient,
+            "transient-index join disagrees with the naive scan on body {:?} over {}",
+            &body,
+            &inst
+        );
+        let indexed = IndexedInstance::from_instance(inst.clone());
+        let mut via_maintained = Vec::new();
+        HomomorphismSearch::over_index(&body, &indexed).for_each_extending::<()>(
+            &partial,
+            &mut |h| {
+                via_maintained.push(h.clone());
+                ControlFlow::Continue(())
+            },
+        );
+        // The engine must also visit each homomorphism exactly once.
+        prop_assert_eq!(via_maintained.len(), canonical_set(&via_maintained).len());
+        prop_assert_eq!(
+            &reference,
+            &canonical_set(&via_maintained),
+            "maintained-index join disagrees with the naive scan on body {:?} over {}",
+            &body,
+            &inst
+        );
     }
 
     /// The delta-driven trigger engine and the naive full re-scan are equivalent:
