@@ -2,7 +2,7 @@
 //! chase on terminating ontology-style workloads (the substrate behind every
 //! ground-truth column of the experiments).
 
-use chase_engine::{CoreChase, ObliviousChase, ObliviousVariant, StandardChase, StepOrder};
+use chase_engine::{Chase, ChaseBudget, ObliviousVariant, StepOrder};
 use chase_ontology::generator::{generate, generate_database, OntologyProfile};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -28,9 +28,9 @@ fn bench_chase_variants(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    StandardChase::new(&sigma)
+                    Chase::standard(&sigma)
                         .with_order(StepOrder::EgdsFirst)
-                        .with_max_steps(50_000)
+                        .with_budget(ChaseBudget::unlimited().with_max_steps(50_000))
                         .run(&db)
                         .is_terminating()
                 })
@@ -41,8 +41,8 @@ fn bench_chase_variants(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    ObliviousChase::new(&sigma, ObliviousVariant::SemiOblivious)
-                        .with_max_steps(50_000)
+                    Chase::semi_oblivious(&sigma)
+                        .with_budget(ChaseBudget::unlimited().with_max_steps(50_000))
                         .run(&db)
                         .is_terminating()
                 })
@@ -53,8 +53,8 @@ fn bench_chase_variants(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    ObliviousChase::new(&sigma, ObliviousVariant::Oblivious)
-                        .with_max_steps(50_000)
+                    Chase::oblivious(&sigma, ObliviousVariant::Oblivious)
+                        .with_budget(ChaseBudget::unlimited().with_max_steps(50_000))
                         .run(&db)
                         .is_terminating()
                 })
@@ -65,8 +65,8 @@ fn bench_chase_variants(c: &mut Criterion) {
             &(),
             |b, _| {
                 b.iter(|| {
-                    CoreChase::new(&sigma)
-                        .with_max_rounds(200)
+                    Chase::core(&sigma)
+                        .with_budget(ChaseBudget::unlimited().with_max_rounds(200))
                         .run(&db)
                         .is_terminating()
                 })

@@ -6,7 +6,7 @@
 use chase_criteria::prelude::*;
 use chase_ontology::generator::{generate, OntologyProfile};
 use chase_termination::adornment::{adorn_with, AdnConfig, FireableMode};
-use chase_termination::semi_stratification::is_semi_stratified;
+use chase_termination::semi_stratification::SemiStratification;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn ontology(size: usize) -> chase_core::DependencySet {
@@ -24,16 +24,16 @@ fn bench_static_criteria(c: &mut Criterion) {
     for &size in &[10usize, 20, 40] {
         let sigma = ontology(size);
         group.bench_with_input(BenchmarkId::new("weak_acyclicity", size), &sigma, |b, s| {
-            b.iter(|| is_weakly_acyclic(s))
+            b.iter(|| WeakAcyclicity.accepts(s))
         });
         group.bench_with_input(BenchmarkId::new("safety", size), &sigma, |b, s| {
-            b.iter(|| is_safe(s))
+            b.iter(|| Safety.accepts(s))
         });
         group.bench_with_input(BenchmarkId::new("super_weak", size), &sigma, |b, s| {
-            b.iter(|| is_super_weakly_acyclic(s))
+            b.iter(|| SuperWeakAcyclicity.accepts(s))
         });
         group.bench_with_input(BenchmarkId::new("mfa", size), &sigma, |b, s| {
-            b.iter(|| is_mfa(s))
+            b.iter(|| ModelFaithfulAcyclicity::default().accepts(s))
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_paper_criteria(c: &mut Criterion) {
     for &size in &[10usize, 20] {
         let sigma = ontology(size);
         group.bench_with_input(BenchmarkId::new("semi_stratified", size), &sigma, |b, s| {
-            b.iter(|| is_semi_stratified(s))
+            b.iter(|| SemiStratification::default().accepts(s))
         });
         let overlap = AdnConfig {
             fireable_mode: FireableMode::PredicateOverlap,

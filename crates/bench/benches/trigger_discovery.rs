@@ -9,7 +9,7 @@
 //! engine of `chase_core::homomorphism`. Measured numbers are recorded in
 //! `BENCH_trigger_discovery.json` at the repository root.
 
-use chase_engine::{StandardChase, StepOrder, TriggerDiscovery};
+use chase_engine::{Chase, ChaseBudget, StepOrder, TriggerDiscovery};
 use chase_ontology::generator::{generate, generate_database, OntologyProfile};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -51,20 +51,20 @@ fn bench_ontology_chase(c: &mut Criterion) {
         let label = format!("{size}x{facts}");
         group.bench_with_input(BenchmarkId::new("naive_rescan", &label), &(), |b, _| {
             b.iter(|| {
-                StandardChase::new(&sigma)
+                Chase::standard(&sigma)
                     .with_order(StepOrder::EgdsFirst)
                     .with_discovery(TriggerDiscovery::NaiveRescan)
-                    .with_max_steps(50_000)
+                    .with_budget(ChaseBudget::unlimited().with_max_steps(50_000))
                     .run(&db)
                     .is_terminating()
             })
         });
         group.bench_with_input(BenchmarkId::new("incremental", &label), &(), |b, _| {
             b.iter(|| {
-                StandardChase::new(&sigma)
+                Chase::standard(&sigma)
                     .with_order(StepOrder::EgdsFirst)
                     .with_discovery(TriggerDiscovery::Incremental)
-                    .with_max_steps(50_000)
+                    .with_budget(ChaseBudget::unlimited().with_max_steps(50_000))
                     .run(&db)
                     .is_terminating()
             })
@@ -80,18 +80,18 @@ fn bench_transitive_closure(c: &mut Criterion) {
         let (sigma, db) = chain_database(n);
         group.bench_with_input(BenchmarkId::new("naive_rescan", n), &(), |b, _| {
             b.iter(|| {
-                StandardChase::new(&sigma)
+                Chase::standard(&sigma)
                     .with_discovery(TriggerDiscovery::NaiveRescan)
-                    .with_max_steps(100_000)
+                    .with_budget(ChaseBudget::unlimited().with_max_steps(100_000))
                     .run(&db)
                     .is_terminating()
             })
         });
         group.bench_with_input(BenchmarkId::new("incremental", n), &(), |b, _| {
             b.iter(|| {
-                StandardChase::new(&sigma)
+                Chase::standard(&sigma)
                     .with_discovery(TriggerDiscovery::Incremental)
-                    .with_max_steps(100_000)
+                    .with_budget(ChaseBudget::unlimited().with_max_steps(100_000))
                     .run(&db)
                     .is_terminating()
             })

@@ -2,10 +2,11 @@
 //! Σ11 from Example 11, together with the resulting Str / S-Str verdicts.
 
 use chase_bench::paper_sets::sigma11;
+use chase_criteria::criterion::TerminationCriterion;
 use chase_criteria::firing::{chase_graph, FiringConfig};
-use chase_criteria::stratification::is_stratified;
+use chase_criteria::stratification::Stratification;
 use chase_termination::firing::firing_graph;
-use chase_termination::semi_stratification::is_semi_stratified;
+use chase_termination::semi_stratification::SemiStratification;
 
 fn main() {
     let sigma = sigma11();
@@ -40,11 +41,15 @@ fn main() {
 
     println!(
         "stratified (Str):        {}",
-        if is_stratified(&sigma) { "yes" } else { "no" }
+        if Stratification.accepts(&sigma) {
+            "yes"
+        } else {
+            "no"
+        }
     );
     println!(
         "semi-stratified (S-Str): {}",
-        if is_semi_stratified(&sigma) {
+        if SemiStratification::default().accepts(&sigma) {
             "yes"
         } else {
             "no"

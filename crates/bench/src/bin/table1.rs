@@ -4,58 +4,67 @@
 //! The table itself is a theoretical result (Theorem 1); this binary regenerates its
 //! *evidence*: for every witness dependency set used in the paper's examples it runs
 //! all four chase variants under two different trigger policies and reports which runs
-//! terminate, which diverge (budget exhausted) and which fail, so that each strict
-//! inclusion / incomparability of Table 1 is backed by an observed separation.
+//! terminate, which fail, and which exhaust their budget — naming the tripped limit
+//! (`max_steps`, `max_rounds`, …) rather than silently treating every exhaustion as
+//! divergence. A final column shows the `TerminationAnalyzer`'s static verdict so the
+//! dynamic evidence and the criteria hierarchy can be compared at a glance.
 
 use chase_bench::paper_sets::*;
 use chase_bench::{render_table, ExperimentOptions};
 use chase_core::{DependencySet, Instance};
-use chase_engine::{
-    ChaseOutcome, CoreChase, ObliviousChase, ObliviousVariant, StandardChase, StepOrder,
-};
+use chase_engine::{Chase, ChaseBudget, ChaseOutcome, ObliviousVariant, StepOrder};
+use chase_termination::TerminationAnalyzer;
 
-fn verdict(outcome: &ChaseOutcome) -> &'static str {
+fn verdict(outcome: &ChaseOutcome) -> String {
     match outcome {
-        ChaseOutcome::Terminated { .. } => "terminates",
-        ChaseOutcome::Failed { .. } => "fails (⊥)",
-        ChaseOutcome::BudgetExhausted { .. } => "diverges",
+        ChaseOutcome::Terminated { .. } => "terminates".to_string(),
+        ChaseOutcome::Failed { .. } => "fails (⊥)".to_string(),
+        ChaseOutcome::BudgetExhausted { limit, .. } => format!("budget ({limit})"),
     }
 }
 
-fn run_all(name: &str, sigma: &DependencySet, db: &Instance, budget: usize) -> Vec<String> {
-    let std_textual = StandardChase::new(sigma)
+fn run_all(
+    name: &str,
+    sigma: &DependencySet,
+    db: &Instance,
+    budget: &ChaseBudget,
+    core_budget: &ChaseBudget,
+    analyzer: &TerminationAnalyzer,
+) -> Vec<String> {
+    let std_textual = Chase::standard(sigma)
         .with_order(StepOrder::Textual)
-        .with_max_steps(budget)
+        .with_budget(*budget)
         .run(db);
-    let std_egd_first = StandardChase::new(sigma)
+    let std_egd_first = Chase::standard(sigma)
         .with_order(StepOrder::EgdsFirst)
-        .with_max_steps(budget)
+        .with_budget(*budget)
         .run(db);
-    let sobl = ObliviousChase::new(sigma, ObliviousVariant::SemiOblivious)
-        .with_max_steps(budget)
+    let sobl = Chase::semi_oblivious(sigma).with_budget(*budget).run(db);
+    let obl = Chase::oblivious(sigma, ObliviousVariant::Oblivious)
+        .with_budget(*budget)
         .run(db);
-    let obl = ObliviousChase::new(sigma, ObliviousVariant::Oblivious)
-        .with_max_steps(budget)
-        .run(db);
-    // Core-chase rounds are capped low: on diverging sets (Σ10) the instance keeps
-    // growing and `core_of`'s homomorphism minimisation is exponential in the
-    // number of nulls, so high round budgets run away. 20 rounds are enough to
-    // separate every witness (terminating sets finish in ≤ 3 rounds; diverging
-    // sets exhaust the budget either way).
-    let core = CoreChase::new(sigma).with_max_rounds(20).run(db);
+    let core = Chase::core(sigma).with_budget(*core_budget).run(db);
     vec![
         name.to_string(),
-        verdict(&obl).to_string(),
-        verdict(&sobl).to_string(),
-        verdict(&std_textual).to_string(),
-        verdict(&std_egd_first).to_string(),
-        verdict(&core).to_string(),
+        verdict(&obl),
+        verdict(&sobl),
+        verdict(&std_textual),
+        verdict(&std_egd_first),
+        verdict(&core),
+        analyzer.analyze(sigma).summary(),
     ]
 }
 
 fn main() {
     let opts = ExperimentOptions::from_args();
-    let budget = opts.chase_budget.min(5_000);
+    let budget = ChaseBudget::unlimited().with_max_steps(opts.chase_budget.min(5_000));
+    // Core-chase rounds are capped low: on diverging sets (Σ10) the instance keeps
+    // growing and `core_of`'s homomorphism minimisation is exponential in the
+    // number of nulls, so high round budgets run away. 20 rounds are enough to
+    // separate every witness (terminating sets finish in ≤ 3 rounds; diverging
+    // sets exhaust the budget either way).
+    let core_budget = ChaseBudget::unlimited().with_max_rounds(20);
+    let analyzer = TerminationAnalyzer::new();
 
     let witnesses: Vec<(&str, DependencySet, Instance)> = vec![
         ("Σ1 (Ex.1)", sigma1(), sigma1_database()),
@@ -68,7 +77,7 @@ fn main() {
 
     let rows: Vec<Vec<String>> = witnesses
         .iter()
-        .map(|(name, sigma, db)| run_all(name, sigma, db, budget))
+        .map(|(name, sigma, db)| run_all(name, sigma, db, &budget, &core_budget, &analyzer))
         .collect();
     println!(
         "{}",
@@ -81,10 +90,16 @@ fn main() {
                 "standard (textual)",
                 "standard (EGDs first)",
                 "core",
+                "analyzer",
             ],
             &rows,
         )
     );
+
+    // The full analyzer report for the motivating set, witnesses included.
+    println!("TerminationAnalyzer report for Σ1:");
+    print!("{}", analyzer.analyze(&sigma1()));
+    println!();
 
     println!("Relationships of Table 1 (TGDs and EGDs) backed by the runs above:");
     println!(

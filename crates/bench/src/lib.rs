@@ -10,7 +10,7 @@
 pub mod paper_sets;
 
 use chase_core::DependencySet;
-use chase_engine::{ChaseOutcome, StandardChase, StepOrder};
+use chase_engine::{Chase, ChaseBudget, ChaseOutcome, StepOrder};
 use chase_ontology::generator::generate_database;
 use std::time::{Duration, Instant};
 
@@ -96,9 +96,9 @@ pub fn chase_ground_truth(
         opts.database_facts,
         seed,
     ));
-    let outcome = StandardChase::new(sigma)
+    let outcome = Chase::standard(sigma)
         .with_order(StepOrder::EgdsFirst)
-        .with_max_steps(opts.chase_budget)
+        .with_budget(ChaseBudget::unlimited().with_max_steps(opts.chase_budget))
         .run(&db);
     match outcome {
         ChaseOutcome::Terminated { .. } | ChaseOutcome::Failed { .. } => ChaseGroundTruth::Halted,

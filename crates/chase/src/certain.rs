@@ -54,7 +54,7 @@ pub fn certain_answers(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::standard::StandardChase;
+    use crate::session::Chase;
     use chase_core::builder::{atom, var};
     use chase_core::parser::parse_program;
     use chase_core::Constant;
@@ -74,7 +74,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let out = StandardChase::new(&p.dependencies).run(&p.database);
+        let out = Chase::standard(&p.dependencies).run(&p.database);
         let model = out.instance().unwrap();
 
         // Q1(x) :- Person(x): both constants are certain.
@@ -128,7 +128,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let out = StandardChase::new(&p.dependencies).run(&p.database);
+        let out = Chase::standard(&p.dependencies).run(&p.database);
         let model = out.instance().unwrap();
         let q = ConjunctiveQuery::new(
             vec![atom("Works", vec![var("e"), var("d")])],

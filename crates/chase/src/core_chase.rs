@@ -7,15 +7,125 @@
 //! whenever a universal model of `(D, Σ)` exists, the core chase terminates and
 //! produces one.
 
+use crate::budget::{BudgetClock, BudgetLimit, ChaseBudget};
 use crate::core_of::core_of;
-use crate::result::{ChaseOutcome, ChaseStats};
+use crate::observer::{ChaseObserver, NoopObserver};
+use crate::result::{ChaseOutcome, ChaseStats, EgdViolation};
 use crate::step::applicable_standard_triggers;
 use chase_core::satisfaction::satisfies_all;
 use chase_core::substitution::NullSubstitution;
 use chase_core::{Dependency, DependencySet, GroundTerm, Instance};
 use std::collections::HashMap;
 
-/// Runner for the core chase.
+/// Runs the core chase under `budget`, reporting round-level events to `observer`.
+///
+/// The budget's `max_rounds` and `max_steps` both bound the rounds (conjunctively —
+/// the core chase has no finer step granularity); `max_fresh_nulls`, `max_facts` and
+/// `wall_clock` apply as usual.
+pub(crate) fn run_core(
+    sigma: &DependencySet,
+    budget: &ChaseBudget,
+    database: &Instance,
+    observer: &mut dyn ChaseObserver,
+) -> ChaseOutcome {
+    let clock = BudgetClock::start(budget);
+    let mut current = database.clone();
+    let mut stats = ChaseStats::default();
+    loop {
+        if satisfies_all(&current, sigma) {
+            return ChaseOutcome::Terminated {
+                instance: current,
+                stats,
+            };
+        }
+        if let Some(limit) = clock.check_round(&stats, current.len()) {
+            return ChaseOutcome::BudgetExhausted {
+                limit,
+                instance: current,
+                stats,
+            };
+        }
+        stats.steps += 1;
+        // (i) apply all standard chase steps in parallel.
+        let triggers = applicable_standard_triggers(&current, sigma);
+        let mut next = current.clone();
+        // Union–find over ground terms for the EGD merges of this round.
+        let mut merges = UnionFind::new();
+        let mut round_nulls = 0usize;
+        let mut failure: Option<EgdViolation> = None;
+        for trigger in &triggers {
+            match sigma.get(trigger.dep) {
+                Dependency::Tgd(tgd) => {
+                    let mut extended = trigger.assignment.clone();
+                    let fresh = tgd.existential_variables();
+                    stats.nulls_created += fresh.len();
+                    round_nulls += fresh.len();
+                    for v in fresh {
+                        let n = next.fresh_null();
+                        extended.bind(v, GroundTerm::Null(n));
+                    }
+                    for atom in &tgd.head {
+                        let fact = extended
+                            .apply_atom(atom)
+                            .expect("head variables are bound after extension");
+                        if next.insert(fact) {
+                            stats.facts_added += 1;
+                        }
+                    }
+                }
+                Dependency::Egd(egd) => {
+                    let a = trigger.assignment.get(egd.left).expect("bound");
+                    let b = trigger.assignment.get(egd.right).expect("bound");
+                    if let Err((ra, rb)) = merges.merge(a, b) {
+                        // The merge failure is on the class representatives: the
+                        // trigger's own images may be nulls already merged into two
+                        // distinct constants earlier in the round.
+                        let mut violation = EgdViolation::from_trigger(sigma, trigger);
+                        violation.left = ra;
+                        violation.right = rb;
+                        failure = Some(violation);
+                        break;
+                    }
+                }
+            }
+        }
+        // Report the round's nulls even when the round fails, so observer streams
+        // stay consistent with `stats` (which already counted them).
+        if round_nulls > 0 {
+            observer.nulls_created(round_nulls);
+        }
+        if let Some(violation) = failure {
+            return ChaseOutcome::Failed { violation, stats };
+        }
+        // Apply the merges accumulated this round.
+        for (null, target) in merges.substitutions() {
+            stats.null_replacements += 1;
+            let gamma = NullSubstitution::single(null, target);
+            observer.egd_collapsed(&gamma);
+            next = next.apply_substitution(&gamma);
+        }
+        // (ii) take the core.
+        let cored = core_of(&next);
+        observer.round_completed(stats.steps, cored.len());
+        if cored == current {
+            // No progress is possible: the remaining violations cannot be repaired
+            // (this can only happen when the budget semantics interact with core
+            // computation). Report the dedicated no-progress marker — raising
+            // `max_rounds` would not help, so claiming `Rounds` would mislead.
+            return ChaseOutcome::BudgetExhausted {
+                limit: BudgetLimit::NoProgress,
+                instance: cored,
+                stats,
+            };
+        }
+        current = cored;
+    }
+}
+
+/// Legacy runner for the core chase.
+///
+/// Superseded by [`Chase::core`](crate::Chase::core); this shim delegates to the same
+/// implementation.
 #[derive(Clone)]
 pub struct CoreChase<'a> {
     sigma: &'a DependencySet,
@@ -24,6 +134,7 @@ pub struct CoreChase<'a> {
 
 impl<'a> CoreChase<'a> {
     /// Creates a core chase runner with a budget of 1 000 rounds.
+    #[deprecated(note = "use Chase::core(sigma) with a ChaseBudget instead")]
     pub fn new(sigma: &'a DependencySet) -> Self {
         CoreChase {
             sigma,
@@ -39,78 +150,12 @@ impl<'a> CoreChase<'a> {
 
     /// Runs the core chase on `database`.
     pub fn run(&self, database: &Instance) -> ChaseOutcome {
-        let mut current = database.clone();
-        let mut stats = ChaseStats::default();
-        loop {
-            if satisfies_all(&current, self.sigma) {
-                return ChaseOutcome::Terminated {
-                    instance: current,
-                    stats,
-                };
-            }
-            if stats.steps >= self.max_rounds {
-                return ChaseOutcome::BudgetExhausted {
-                    instance: current,
-                    stats,
-                };
-            }
-            stats.steps += 1;
-            // (i) apply all standard chase steps in parallel.
-            let triggers = applicable_standard_triggers(&current, self.sigma);
-            let mut next = current.clone();
-            // Union–find over ground terms for the EGD merges of this round.
-            let mut merges = UnionFind::new();
-            let mut failed = false;
-            for trigger in &triggers {
-                match self.sigma.get(trigger.dep) {
-                    Dependency::Tgd(tgd) => {
-                        let mut extended = trigger.assignment.clone();
-                        let fresh = tgd.existential_variables();
-                        stats.nulls_created += fresh.len();
-                        for v in fresh {
-                            let n = next.fresh_null();
-                            extended.bind(v, GroundTerm::Null(n));
-                        }
-                        for atom in &tgd.head {
-                            let fact = extended
-                                .apply_atom(atom)
-                                .expect("head variables are bound after extension");
-                            if next.insert(fact) {
-                                stats.facts_added += 1;
-                            }
-                        }
-                    }
-                    Dependency::Egd(egd) => {
-                        let a = trigger.assignment.get(egd.left).expect("bound");
-                        let b = trigger.assignment.get(egd.right).expect("bound");
-                        if !merges.merge(a, b) {
-                            failed = true;
-                            break;
-                        }
-                    }
-                }
-            }
-            if failed {
-                return ChaseOutcome::Failed { stats };
-            }
-            // Apply the merges accumulated this round.
-            for (null, target) in merges.substitutions() {
-                stats.null_replacements += 1;
-                next = next.apply_substitution(&NullSubstitution::single(null, target));
-            }
-            // (ii) take the core.
-            let cored = core_of(&next);
-            if cored == current {
-                // No progress is possible: the remaining violations cannot be repaired
-                // (this can only happen when the budget semantics interact with core
-                // computation); report exhaustion to stay conservative.
-                return ChaseOutcome::BudgetExhausted {
-                    instance: cored,
-                    stats,
-                };
-            }
-            current = cored;
-        }
+        run_core(
+            self.sigma,
+            &ChaseBudget::unlimited().with_max_rounds(self.max_rounds),
+            database,
+            &mut NoopObserver,
+        )
     }
 }
 
@@ -137,23 +182,23 @@ impl UnionFind {
         root
     }
 
-    /// Merges the classes of `a` and `b`; returns `false` iff this would equate two
-    /// distinct constants (the failure case of the chase).
-    fn merge(&mut self, a: GroundTerm, b: GroundTerm) -> bool {
+    /// Merges the classes of `a` and `b`; fails iff this would equate two distinct
+    /// constants (the failure case of the chase), returning the two representatives.
+    fn merge(&mut self, a: GroundTerm, b: GroundTerm) -> Result<(), (GroundTerm, GroundTerm)> {
         let ra = self.find(a);
         let rb = self.find(b);
         if ra == rb {
-            return true;
+            return Ok(());
         }
         match (ra, rb) {
-            (GroundTerm::Const(_), GroundTerm::Const(_)) => false,
+            (GroundTerm::Const(_), GroundTerm::Const(_)) => Err((ra, rb)),
             (GroundTerm::Const(_), GroundTerm::Null(_)) => {
                 self.parent.insert(rb, ra);
-                true
+                Ok(())
             }
             (GroundTerm::Null(_), _) => {
                 self.parent.insert(ra, rb);
-                true
+                Ok(())
             }
         }
     }
@@ -178,6 +223,7 @@ impl UnionFind {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Chase;
     use chase_core::parser::parse_program;
     use chase_core::{Constant, Fact};
 
@@ -188,7 +234,7 @@ mod tests {
     #[test]
     fn example7_core_chase_is_empty_on_satisfied_set() {
         let p = parse_program("r: E(?x, ?y) -> exists ?z: E(?x, ?z). E(a, b).").unwrap();
-        let out = CoreChase::new(&p.dependencies).run(&p.database);
+        let out = Chase::core(&p.dependencies).run(&p.database);
         assert!(out.is_terminating());
         assert_eq!(out.stats().steps, 0);
         assert_eq!(out.instance().unwrap(), &p.database);
@@ -207,7 +253,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let out = CoreChase::new(&p.dependencies).run(&p.database);
+        let out = Chase::core(&p.dependencies).run(&p.database);
         assert!(out.is_terminating());
         let j = out.instance().unwrap();
         assert!(satisfies_all(j, &p.dependencies));
@@ -225,7 +271,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let out = CoreChase::new(&p.dependencies).run(&p.database);
+        let out = Chase::core(&p.dependencies).run(&p.database);
         assert!(out.is_terminating());
         let j = out.instance().unwrap();
         assert_eq!(j.len(), 4);
@@ -241,7 +287,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let out = CoreChase::new(&p.dependencies).run(&p.database);
+        let out = Chase::core(&p.dependencies).run(&p.database);
         assert!(out.is_failing());
     }
 
@@ -257,10 +303,11 @@ mod tests {
             "#,
         )
         .unwrap();
-        let out = CoreChase::new(&p.dependencies)
-            .with_max_rounds(10)
+        let out = Chase::core(&p.dependencies)
+            .with_budget(ChaseBudget::unlimited().with_max_rounds(10))
             .run(&p.database);
         assert!(out.is_budget_exhausted());
+        assert_eq!(out.exhausted_limit(), Some(BudgetLimit::Rounds));
     }
 
     #[test]
@@ -274,7 +321,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let out = CoreChase::new(&p.dependencies).run(&p.database);
+        let out = Chase::core(&p.dependencies).run(&p.database);
         assert!(out.is_terminating());
         let j = out.instance().unwrap();
         // R(a, η) folds onto R(a, a); the core has no nulls.
@@ -292,7 +339,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let out = CoreChase::new(&p.dependencies).run(&p.database);
+        let out = Chase::core(&p.dependencies).run(&p.database);
         assert!(out.is_terminating());
         assert_eq!(out.instance().unwrap().len(), 3);
     }

@@ -10,15 +10,22 @@
 //! (TGDs) or by replacing a labeled null with another term (EGDs), possibly failing
 //! when an EGD equates two distinct constants.
 //!
+//! The front door is the unified [`Chase`] session builder: one constructor per
+//! variant, one [`ChaseBudget`] for resource limits (steps, rounds, fresh nulls,
+//! facts, wall-clock), one [`ChaseOutcome`] whose failure case carries the violating
+//! EGD and trigger and whose budget case names the tripped limit, and a pluggable
+//! [`ChaseObserver`] for tracing and metrics. The per-variant runners
+//! (`StandardChase`, `ObliviousChase`, `CoreChase`) remain as deprecated shims.
+//!
 //! Trigger discovery is delta-driven by default: the runners feed each step's
 //! added or rewritten facts to the incremental
 //! [`TriggerEngine`](chase_trigger::TriggerEngine) instead of re-scanning the
 //! whole instance (switch back with
-//! [`StandardChase::with_discovery`]`(`[`TriggerDiscovery::NaiveRescan`]`)`).
+//! [`Chase::with_discovery`]`(`[`TriggerDiscovery::NaiveRescan`]`)`).
 //!
 //! ```
 //! use chase_core::parser::parse_program;
-//! use chase_engine::{StandardChase, StepOrder};
+//! use chase_engine::{Chase, ChaseBudget, StepOrder};
 //!
 //! let p = parse_program(
 //!     r#"
@@ -31,9 +38,9 @@
 //! .unwrap();
 //!
 //! // Enforcing EGDs eagerly yields the terminating sequence of Example 1.
-//! let outcome = StandardChase::new(&p.dependencies)
+//! let outcome = Chase::standard(&p.dependencies)
 //!     .with_order(StepOrder::EgdsFirst)
-//!     .with_max_steps(1_000)
+//!     .with_budget(ChaseBudget::default().with_max_steps(1_000))
 //!     .run(&p.database);
 //! assert!(outcome.is_terminating());
 //! assert_eq!(outcome.instance().unwrap().len(), 2); // {N(a), E(a, a)}
@@ -42,31 +49,40 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod certain;
 pub mod core_chase;
 pub mod core_of;
 pub mod oblivious;
+pub mod observer;
 pub mod result;
+pub mod session;
 pub mod standard;
 pub mod step;
 pub mod universal;
 
+pub use budget::{BudgetLimit, ChaseBudget};
 pub use certain::{certain_answers, ConjunctiveQuery};
 pub use core_chase::CoreChase;
 pub use core_of::{core_of, is_core};
 pub use oblivious::{ObliviousChase, ObliviousVariant};
-pub use result::{ChaseOutcome, ChaseStats};
+pub use observer::{ChaseObserver, FnObserver, NoopObserver, TraceObserver};
+pub use result::{ChaseOutcome, ChaseStats, EgdViolation};
+pub use session::Chase;
 pub use standard::{StandardChase, StepOrder, TriggerDiscovery};
 pub use step::{applicable_standard_triggers, apply_step, StepEffect, Trigger};
 pub use universal::{homomorphically_equivalent, is_model, is_universal_model_among};
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::budget::{BudgetLimit, ChaseBudget};
     pub use crate::certain::{certain_answers, ConjunctiveQuery};
     pub use crate::core_chase::CoreChase;
     pub use crate::core_of::{core_of, is_core};
     pub use crate::oblivious::{ObliviousChase, ObliviousVariant};
-    pub use crate::result::{ChaseOutcome, ChaseStats};
+    pub use crate::observer::{ChaseObserver, NoopObserver, TraceObserver};
+    pub use crate::result::{ChaseOutcome, ChaseStats, EgdViolation};
+    pub use crate::session::Chase;
     pub use crate::standard::{StandardChase, StepOrder, TriggerDiscovery};
     pub use crate::universal::{homomorphically_equivalent, is_model};
 }

@@ -11,7 +11,13 @@
 //!
 //! In particular, a TGD step is applied even when its head is already satisfied
 //! (contrast with the standard chase, cf. Example 6 of the paper).
+//!
+//! The front door is [`Chase::oblivious`](crate::Chase::oblivious) /
+//! [`Chase::semi_oblivious`](crate::Chase::semi_oblivious); the [`ObliviousChase`]
+//! runner remains as a deprecated shim.
 
+use crate::budget::{BudgetClock, ChaseBudget};
+use crate::observer::{record_step_effect, ChaseObserver, FnObserver, NoopObserver};
 use crate::result::{ChaseOutcome, ChaseStats};
 use crate::step::{StepEffect, Trigger};
 use chase_core::substitution::NullSubstitution;
@@ -28,7 +34,113 @@ pub enum ObliviousVariant {
     SemiOblivious,
 }
 
-/// Runner for the oblivious / semi-oblivious chase.
+/// The variables of `dep` that participate in the trigger key for `variant`, in a
+/// fixed (sorted) order.
+fn key_variables(variant: ObliviousVariant, dep: &Dependency) -> Vec<Variable> {
+    let body_vars = dep.body_variables();
+    match variant {
+        ObliviousVariant::Oblivious => body_vars.into_iter().collect(),
+        ObliviousVariant::SemiOblivious => match dep {
+            Dependency::Tgd(t) => {
+                let frontier = t.frontier_variables();
+                body_vars
+                    .into_iter()
+                    .filter(|v| frontier.contains(v))
+                    .collect()
+            }
+            Dependency::Egd(e) => body_vars
+                .into_iter()
+                .filter(|v| *v == e.left || *v == e.right)
+                .collect(),
+        },
+    }
+}
+
+/// Runs the (semi-)oblivious chase under `budget`, reporting events to `observer`.
+///
+/// Trigger discovery is delta-driven: homomorphisms are found once, when the facts
+/// completing them appear, and wait in the engine's queues; the fired-key comparison
+/// ("`h_i(x) = h_j(x) γ_j · · · γ_{i-1}`") filters them at pop time.
+pub(crate) fn run_oblivious(
+    sigma: &DependencySet,
+    variant: ObliviousVariant,
+    budget: &ChaseBudget,
+    database: &Instance,
+    observer: &mut dyn ChaseObserver,
+) -> ChaseOutcome {
+    let key_vars: Vec<Vec<Variable>> = sigma
+        .iter()
+        .map(|(_, dep)| key_variables(variant, dep))
+        .collect();
+    // Fired trigger keys per dependency, kept up to date under EGD substitutions.
+    let mut fired: Vec<Vec<Vec<GroundTerm>>> = vec![Vec::new(); sigma.len()];
+    let mut fired_lookup: Vec<HashSet<Vec<GroundTerm>>> = vec![HashSet::new(); sigma.len()];
+    // Dependencies are tried in the textual order of the set, as before.
+    let order: Vec<DepId> = sigma.ids().collect();
+
+    let clock = BudgetClock::start(budget);
+    let mut engine = TriggerEngine::with_database(sigma, database);
+    let mut stats = ChaseStats::default();
+    loop {
+        if let Some(limit) = clock.check_step(&stats, engine.instance().len()) {
+            return ChaseOutcome::BudgetExhausted {
+                limit,
+                instance: engine.into_instance(),
+                stats,
+            };
+        }
+        // The accept closure computes each candidate's fired key; the key of
+        // the accepted trigger is carried out through `accepted_key` so it is
+        // not rebuilt after the pop.
+        let mut accepted_key: Option<Vec<GroundTerm>> = None;
+        let trigger = engine.next_trigger_where(&order, |id, h| {
+            let key: Vec<GroundTerm> = key_vars[id.0]
+                .iter()
+                .map(|v| h.get(*v).expect("body variables are bound"))
+                .collect();
+            if fired_lookup[id.0].contains(&key) {
+                false
+            } else {
+                accepted_key = Some(key);
+                true
+            }
+        });
+        let trigger = match trigger {
+            Some(t) => t,
+            None => {
+                return ChaseOutcome::Terminated {
+                    instance: engine.into_instance(),
+                    stats,
+                }
+            }
+        };
+        let key = accepted_key.expect("an accepted trigger always sets its key");
+        let effect = engine.apply_trigger(trigger.dep, &trigger.assignment);
+        if effect == StepEffect::NotApplicable {
+            // An EGD trigger with equal images: Definition 1 yields no chase
+            // step. Record the key so we do not reconsider it forever.
+            fired[trigger.dep.0].push(key.clone());
+            fired_lookup[trigger.dep.0].insert(key);
+            continue;
+        }
+        if let Some(violation) = record_step_effect(sigma, &trigger, &effect, &mut stats, observer)
+        {
+            return ChaseOutcome::Failed { violation, stats };
+        }
+        // Record the trigger key, then propagate the substitution (if any) to all
+        // recorded keys so that future comparisons are "modulo γ_j · · · γ_{i-1}".
+        fired[trigger.dep.0].push(key.clone());
+        fired_lookup[trigger.dep.0].insert(key);
+        if let StepEffect::Substituted { gamma } = &effect {
+            apply_gamma_to_keys(&mut fired, &mut fired_lookup, gamma);
+        }
+    }
+}
+
+/// Legacy runner for the oblivious / semi-oblivious chase.
+///
+/// Superseded by [`Chase::oblivious`](crate::Chase::oblivious); this shim delegates
+/// to the same implementation.
 #[derive(Clone)]
 pub struct ObliviousChase<'a> {
     sigma: &'a DependencySet,
@@ -38,6 +150,7 @@ pub struct ObliviousChase<'a> {
 
 impl<'a> ObliviousChase<'a> {
     /// Creates a runner for the given variant with a budget of 100 000 steps.
+    #[deprecated(note = "use Chase::oblivious(sigma, variant) with a ChaseBudget instead")]
     pub fn new(sigma: &'a DependencySet, variant: ObliviousVariant) -> Self {
         ObliviousChase {
             sigma,
@@ -52,124 +165,33 @@ impl<'a> ObliviousChase<'a> {
         self
     }
 
-    /// The variables of `dep` that participate in the trigger key for this variant,
-    /// in a fixed (sorted) order.
-    fn key_variables(&self, dep: &Dependency) -> Vec<Variable> {
-        let body_vars = dep.body_variables();
-        let relevant: Vec<Variable> = match self.variant {
-            ObliviousVariant::Oblivious => body_vars.into_iter().collect(),
-            ObliviousVariant::SemiOblivious => match dep {
-                Dependency::Tgd(t) => {
-                    let frontier = t.frontier_variables();
-                    body_vars
-                        .into_iter()
-                        .filter(|v| frontier.contains(v))
-                        .collect()
-                }
-                Dependency::Egd(e) => body_vars
-                    .into_iter()
-                    .filter(|v| *v == e.left || *v == e.right)
-                    .collect(),
-            },
-        };
-        relevant
-    }
-
     /// Runs the chase on `database`.
     pub fn run(&self, database: &Instance) -> ChaseOutcome {
-        self.run_with_trace(database, |_, _| {})
+        run_oblivious(
+            self.sigma,
+            self.variant,
+            &ChaseBudget::unlimited().with_max_steps(self.max_steps),
+            database,
+            &mut NoopObserver,
+        )
     }
 
     /// Runs the chase, invoking `observer` after every applied step.
-    ///
-    /// Trigger discovery is delta-driven: homomorphisms are found once, when the
-    /// facts completing them appear, and wait in the engine's queues; the fired-key
-    /// comparison ("`h_i(x) = h_j(x) γ_j · · · γ_{i-1}`") filters them at pop time.
+    #[deprecated(
+        note = "use Chase::oblivious(sigma, variant).run_observed(db, &mut observer) with a ChaseObserver"
+    )]
     pub fn run_with_trace(
         &self,
         database: &Instance,
-        mut observer: impl FnMut(&Trigger, &StepEffect),
+        observer: impl FnMut(&Trigger, &StepEffect),
     ) -> ChaseOutcome {
-        let key_vars: Vec<Vec<Variable>> = self
-            .sigma
-            .iter()
-            .map(|(_, dep)| self.key_variables(dep))
-            .collect();
-        // Fired trigger keys per dependency, kept up to date under EGD substitutions.
-        let mut fired: Vec<Vec<Vec<GroundTerm>>> = vec![Vec::new(); self.sigma.len()];
-        let mut fired_lookup: Vec<HashSet<Vec<GroundTerm>>> =
-            vec![HashSet::new(); self.sigma.len()];
-        // Dependencies are tried in the textual order of the set, as before.
-        let order: Vec<DepId> = self.sigma.ids().collect();
-
-        let mut engine = TriggerEngine::with_database(self.sigma, database);
-        let mut stats = ChaseStats::default();
-        loop {
-            if stats.steps >= self.max_steps {
-                return ChaseOutcome::BudgetExhausted {
-                    instance: engine.into_instance(),
-                    stats,
-                };
-            }
-            // The accept closure computes each candidate's fired key; the key of
-            // the accepted trigger is carried out through `accepted_key` so it is
-            // not rebuilt after the pop.
-            let mut accepted_key: Option<Vec<GroundTerm>> = None;
-            let trigger = engine.next_trigger_where(&order, |id, h| {
-                let key: Vec<GroundTerm> = key_vars[id.0]
-                    .iter()
-                    .map(|v| h.get(*v).expect("body variables are bound"))
-                    .collect();
-                if fired_lookup[id.0].contains(&key) {
-                    false
-                } else {
-                    accepted_key = Some(key);
-                    true
-                }
-            });
-            let trigger = match trigger {
-                Some(t) => t,
-                None => {
-                    return ChaseOutcome::Terminated {
-                        instance: engine.into_instance(),
-                        stats,
-                    }
-                }
-            };
-            let key = accepted_key.expect("an accepted trigger always sets its key");
-            let effect = engine.apply_trigger(trigger.dep, &trigger.assignment);
-            match &effect {
-                StepEffect::Failure => {
-                    stats.steps += 1;
-                    observer(&trigger, &effect);
-                    return ChaseOutcome::Failed { stats };
-                }
-                StepEffect::NotApplicable => {
-                    // An EGD trigger with equal images: Definition 1 yields no chase
-                    // step. Record the key so we do not reconsider it forever.
-                    fired[trigger.dep.0].push(key.clone());
-                    fired_lookup[trigger.dep.0].insert(key);
-                    continue;
-                }
-                StepEffect::AddedFacts { facts, fresh_nulls } => {
-                    stats.steps += 1;
-                    stats.facts_added += facts.len();
-                    stats.nulls_created += fresh_nulls;
-                }
-                StepEffect::Substituted { .. } => {
-                    stats.steps += 1;
-                    stats.null_replacements += 1;
-                }
-            }
-            // Record the trigger key, then propagate the substitution (if any) to all
-            // recorded keys so that future comparisons are "modulo γ_j · · · γ_{i-1}".
-            fired[trigger.dep.0].push(key.clone());
-            fired_lookup[trigger.dep.0].insert(key);
-            if let StepEffect::Substituted { gamma } = &effect {
-                apply_gamma_to_keys(&mut fired, &mut fired_lookup, gamma);
-            }
-            observer(&trigger, &effect);
-        }
+        run_oblivious(
+            self.sigma,
+            self.variant,
+            &ChaseBudget::unlimited().with_max_steps(self.max_steps),
+            database,
+            &mut FnObserver(observer),
+        )
     }
 }
 
@@ -201,22 +223,22 @@ fn apply_gamma_to_keys(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::session::Chase;
     use chase_core::parser::parse_program;
     use chase_core::satisfaction::satisfies_all;
 
     #[test]
     fn example6_semi_oblivious_terminates_oblivious_does_not() {
         let p = parse_program("r: E(?x, ?y) -> exists ?z: E(?x, ?z). E(a, b).").unwrap();
-        let sobl =
-            ObliviousChase::new(&p.dependencies, ObliviousVariant::SemiOblivious).run(&p.database);
+        let sobl = Chase::semi_oblivious(&p.dependencies).run(&p.database);
         assert!(sobl.is_terminating());
         // One step: E(a, η1) is added; the trigger with y = η1 has the same frontier
         // image (x = a) and is therefore skipped.
         assert_eq!(sobl.stats().steps, 1);
         assert_eq!(sobl.instance().unwrap().len(), 2);
 
-        let obl = ObliviousChase::new(&p.dependencies, ObliviousVariant::Oblivious)
-            .with_max_steps(100)
+        let obl = Chase::oblivious(&p.dependencies, ObliviousVariant::Oblivious)
+            .with_budget(ChaseBudget::unlimited().with_max_steps(100))
             .run(&p.database);
         assert!(obl.is_budget_exhausted());
     }
@@ -234,8 +256,8 @@ mod tests {
             "#,
         )
         .unwrap();
-        let obl = ObliviousChase::new(&p.dependencies, ObliviousVariant::Oblivious)
-            .with_max_steps(300)
+        let obl = Chase::oblivious(&p.dependencies, ObliviousVariant::Oblivious)
+            .with_budget(ChaseBudget::unlimited().with_max_steps(300))
             .run(&p.database);
         assert!(!obl.is_terminating());
     }
@@ -251,14 +273,14 @@ mod tests {
         )
         .unwrap();
         for variant in [ObliviousVariant::Oblivious, ObliviousVariant::SemiOblivious] {
-            let out = ObliviousChase::new(&p.dependencies, variant).run(&p.database);
+            let out = Chase::oblivious(&p.dependencies, variant).run(&p.database);
             assert!(out.is_terminating());
             assert!(satisfies_all(out.instance().unwrap(), &p.dependencies));
         }
     }
 
     #[test]
-    fn egd_failure_is_detected() {
+    fn egd_failure_is_detected_with_diagnostics() {
         let p = parse_program(
             r#"
             k: P(?x, ?y), P(?x, ?z) -> ?y = ?z.
@@ -266,9 +288,11 @@ mod tests {
             "#,
         )
         .unwrap();
-        let out =
-            ObliviousChase::new(&p.dependencies, ObliviousVariant::Oblivious).run(&p.database);
+        let out = Chase::oblivious(&p.dependencies, ObliviousVariant::Oblivious).run(&p.database);
         assert!(out.is_failing());
+        let violation = out.violation().unwrap();
+        assert_eq!(violation.dep, chase_core::DepId(0));
+        assert!(violation.left != violation.right);
     }
 
     #[test]
@@ -284,7 +308,7 @@ mod tests {
         )
         .unwrap();
         for variant in [ObliviousVariant::Oblivious, ObliviousVariant::SemiOblivious] {
-            let out = ObliviousChase::new(&p.dependencies, variant).run(&p.database);
+            let out = Chase::oblivious(&p.dependencies, variant).run(&p.database);
             assert!(out.is_terminating(), "variant {variant:?} must terminate");
             let j = out.instance().unwrap();
             assert!(satisfies_all(j, &p.dependencies));
@@ -295,7 +319,6 @@ mod tests {
 
     #[test]
     fn oblivious_step_count_at_least_standard() {
-        use crate::standard::StandardChase;
         let p = parse_program(
             r#"
             r1: A(?x) -> exists ?y: B(?x, ?y).
@@ -304,10 +327,23 @@ mod tests {
             "#,
         )
         .unwrap();
-        let std_out = StandardChase::new(&p.dependencies).run(&p.database);
+        let std_out = Chase::standard(&p.dependencies).run(&p.database);
         let obl_out =
-            ObliviousChase::new(&p.dependencies, ObliviousVariant::Oblivious).run(&p.database);
+            Chase::oblivious(&p.dependencies, ObliviousVariant::Oblivious).run(&p.database);
         assert!(std_out.is_terminating() && obl_out.is_terminating());
         assert!(obl_out.stats().steps >= std_out.stats().steps);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shim_agrees_with_the_session_api() {
+        let p = parse_program("r: E(?x, ?y) -> exists ?z: E(?x, ?z). E(a, b).").unwrap();
+        let legacy = ObliviousChase::new(&p.dependencies, ObliviousVariant::SemiOblivious)
+            .with_max_steps(100)
+            .run(&p.database);
+        let session = Chase::semi_oblivious(&p.dependencies)
+            .with_budget(ChaseBudget::unlimited().with_max_steps(100))
+            .run(&p.database);
+        assert_eq!(legacy, session);
     }
 }

@@ -1,0 +1,180 @@
+//! Pluggable observation of chase runs.
+//!
+//! A [`ChaseObserver`] receives structured events while a chase executes:
+//! step-applied, nulls-created, EGD-collapse and (for the core chase) round-completed
+//! events. It subsumes the legacy `run_with_trace` closures and gives benchmarks,
+//! loggers and future metrics a single hook into every variant.
+//!
+//! Event streams per variant:
+//!
+//! * **standard** and **(semi-)oblivious**: [`ChaseObserver::step_applied`] after
+//!   every applied step (including the failing one), plus
+//!   [`ChaseObserver::nulls_created`] / [`ChaseObserver::egd_collapsed`] for the
+//!   steps that invent nulls or apply a substitution;
+//! * **core**: [`ChaseObserver::round_completed`] after every round, with
+//!   [`ChaseObserver::nulls_created`] and [`ChaseObserver::egd_collapsed`] for the
+//!   round's aggregate effects (the core chase applies all triggers in parallel, so
+//!   there is no meaningful per-step event).
+
+use crate::result::{ChaseStats, EgdViolation};
+use crate::step::{StepEffect, Trigger};
+use chase_core::substitution::NullSubstitution;
+use chase_core::DependencySet;
+
+/// Receives events during a chase run. All methods default to no-ops, so an observer
+/// implements only what it cares about.
+pub trait ChaseObserver {
+    /// A chase step was applied (or failed): the trigger and its effect.
+    fn step_applied(&mut self, trigger: &Trigger, effect: &StepEffect) {
+        let _ = (trigger, effect);
+    }
+
+    /// `count` fresh labeled nulls were invented by the latest step (or round).
+    fn nulls_created(&mut self, count: usize) {
+        let _ = count;
+    }
+
+    /// An EGD step collapsed a labeled null: the substitution `γ` that was applied.
+    fn egd_collapsed(&mut self, gamma: &NullSubstitution) {
+        let _ = gamma;
+    }
+
+    /// A core-chase round completed, leaving `facts` facts in the (cored) instance.
+    fn round_completed(&mut self, round: usize, facts: usize) {
+        let _ = (round, facts);
+    }
+}
+
+/// Records one applied step's effect into the run statistics and the observer
+/// stream — shared by the standard (incremental and naive) and (semi-)oblivious
+/// runners so the per-effect bookkeeping cannot drift between loops. Returns the
+/// violation for failing steps. Callers must handle [`StepEffect::NotApplicable`]
+/// themselves (its semantics differ per variant) and never pass it here.
+pub(crate) fn record_step_effect(
+    sigma: &DependencySet,
+    trigger: &Trigger,
+    effect: &StepEffect,
+    stats: &mut ChaseStats,
+    observer: &mut dyn ChaseObserver,
+) -> Option<EgdViolation> {
+    stats.steps += 1;
+    match effect {
+        StepEffect::AddedFacts { facts, fresh_nulls } => {
+            stats.facts_added += facts.len();
+            stats.nulls_created += fresh_nulls;
+            if *fresh_nulls > 0 {
+                observer.nulls_created(*fresh_nulls);
+            }
+        }
+        StepEffect::Substituted { gamma } => {
+            stats.null_replacements += 1;
+            observer.egd_collapsed(gamma);
+        }
+        StepEffect::Failure => {
+            observer.step_applied(trigger, effect);
+            return Some(EgdViolation::from_trigger(sigma, trigger));
+        }
+        StepEffect::NotApplicable => {
+            unreachable!("callers filter NotApplicable before recording")
+        }
+    }
+    observer.step_applied(trigger, effect);
+    None
+}
+
+/// The do-nothing observer used by plain `run` calls.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopObserver;
+
+impl ChaseObserver for NoopObserver {}
+
+/// An observer that records every step (trigger and effect) in order — the
+/// replacement for the legacy `run_with_trace` entry points.
+#[derive(Clone, Debug, Default)]
+pub struct TraceObserver {
+    /// The recorded steps, in application order.
+    pub steps: Vec<(Trigger, StepEffect)>,
+    /// The EGD substitutions applied, in order.
+    pub collapses: Vec<NullSubstitution>,
+    /// Total fresh nulls reported.
+    pub nulls: usize,
+    /// Core-chase rounds completed (empty for step-based variants).
+    pub rounds: Vec<(usize, usize)>,
+}
+
+impl TraceObserver {
+    /// A fresh, empty trace.
+    pub fn new() -> Self {
+        TraceObserver::default()
+    }
+}
+
+impl ChaseObserver for TraceObserver {
+    fn step_applied(&mut self, trigger: &Trigger, effect: &StepEffect) {
+        self.steps.push((trigger.clone(), effect.clone()));
+    }
+
+    fn nulls_created(&mut self, count: usize) {
+        self.nulls += count;
+    }
+
+    fn egd_collapsed(&mut self, gamma: &NullSubstitution) {
+        self.collapses.push(gamma.clone());
+    }
+
+    fn round_completed(&mut self, round: usize, facts: usize) {
+        self.rounds.push((round, facts));
+    }
+}
+
+/// Adapts a `FnMut(&Trigger, &StepEffect)` closure into a [`ChaseObserver`] (used by
+/// the deprecated `run_with_trace` shims).
+pub struct FnObserver<F>(pub F);
+
+impl<F: FnMut(&Trigger, &StepEffect)> ChaseObserver for FnObserver<F> {
+    fn step_applied(&mut self, trigger: &Trigger, effect: &StepEffect) {
+        (self.0)(trigger, effect)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::Assignment;
+    use chase_core::DepId;
+
+    #[test]
+    fn trace_observer_records_steps_and_collapses() {
+        let mut obs = TraceObserver::new();
+        let trigger = Trigger {
+            dep: DepId(0),
+            assignment: Assignment::new(),
+        };
+        obs.step_applied(
+            &trigger,
+            &StepEffect::AddedFacts {
+                facts: vec![],
+                fresh_nulls: 2,
+            },
+        );
+        obs.nulls_created(2);
+        obs.round_completed(1, 10);
+        assert_eq!(obs.steps.len(), 1);
+        assert_eq!(obs.nulls, 2);
+        assert_eq!(obs.rounds, vec![(1, 10)]);
+    }
+
+    #[test]
+    fn fn_observer_forwards_steps() {
+        let mut count = 0;
+        {
+            let mut obs = FnObserver(|_: &Trigger, _: &StepEffect| count += 1);
+            let trigger = Trigger {
+                dep: DepId(3),
+                assignment: Assignment::new(),
+            };
+            obs.step_applied(&trigger, &StepEffect::Failure);
+        }
+        assert_eq!(count, 1);
+    }
+}

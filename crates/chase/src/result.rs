@@ -1,6 +1,8 @@
-//! Chase outcomes and statistics.
+//! Chase outcomes, statistics and failure diagnostics.
 
-use chase_core::Instance;
+use crate::budget::BudgetLimit;
+use crate::step::Trigger;
+use chase_core::{DependencySet, GroundTerm, Instance};
 use std::fmt;
 
 /// Statistics collected during a chase run.
@@ -16,6 +18,65 @@ pub struct ChaseStats {
     pub nulls_created: usize,
 }
 
+/// The diagnostic context of a failing chase (`⊥`): which EGD failed, under which
+/// trigger, and which two distinct constants it tried to equate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EgdViolation {
+    /// The failing EGD.
+    pub dep: chase_core::DepId,
+    /// The EGD's label, if it has one.
+    pub label: Option<String>,
+    /// The trigger (dependency and body homomorphism) whose step failed.
+    pub trigger: Trigger,
+    /// The left-hand value of the equality — a constant distinct from `right`.
+    pub left: GroundTerm,
+    /// The right-hand value of the equality — a constant distinct from `left`.
+    pub right: GroundTerm,
+}
+
+impl EgdViolation {
+    /// Builds the violation record for a failing trigger: resolves the EGD's equated
+    /// variables under the trigger's assignment.
+    pub fn from_trigger(sigma: &DependencySet, trigger: &Trigger) -> Self {
+        let egd = sigma
+            .get(trigger.dep)
+            .as_egd()
+            .expect("only EGD steps can fail");
+        let left = trigger
+            .assignment
+            .get(egd.left)
+            .expect("EGD body variables are bound");
+        let right = trigger
+            .assignment
+            .get(egd.right)
+            .expect("EGD body variables are bound");
+        EgdViolation {
+            dep: trigger.dep,
+            label: egd.label.clone(),
+            trigger: trigger.clone(),
+            left,
+            right,
+        }
+    }
+}
+
+impl fmt::Display for EgdViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.label {
+            Some(label) => write!(
+                f,
+                "EGD {label} (#{}) tried to equate {} and {}",
+                self.dep.0, self.left, self.right
+            ),
+            None => write!(
+                f,
+                "EGD #{} tried to equate {} and {}",
+                self.dep.0, self.left, self.right
+            ),
+        }
+    }
+}
+
 /// The outcome of running a chase variant on a database with a dependency set.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ChaseOutcome {
@@ -28,12 +89,16 @@ pub enum ChaseOutcome {
     },
     /// The sequence is failing (`⊥`): an EGD required equating two distinct constants.
     Failed {
+        /// The failing EGD, its trigger and the two constants it tried to equate.
+        violation: EgdViolation,
         /// Run statistics up to the failing step.
         stats: ChaseStats,
     },
-    /// The step budget was exhausted before the sequence terminated: the run is
+    /// A resource budget was exhausted before the sequence terminated: the run is
     /// inconclusive (the sequence may be infinite).
     BudgetExhausted {
+        /// Which budget limit tripped.
+        limit: BudgetLimit,
         /// The instance reached when the budget ran out.
         instance: Instance,
         /// Run statistics.
@@ -52,7 +117,7 @@ impl ChaseOutcome {
         matches!(self, ChaseOutcome::Failed { .. })
     }
 
-    /// Returns `true` iff the step budget was exhausted.
+    /// Returns `true` iff a budget limit was exhausted.
     pub fn is_budget_exhausted(&self) -> bool {
         matches!(self, ChaseOutcome::BudgetExhausted { .. })
     }
@@ -70,8 +135,24 @@ impl ChaseOutcome {
     pub fn stats(&self) -> &ChaseStats {
         match self {
             ChaseOutcome::Terminated { stats, .. }
-            | ChaseOutcome::Failed { stats }
+            | ChaseOutcome::Failed { stats, .. }
             | ChaseOutcome::BudgetExhausted { stats, .. } => stats,
+        }
+    }
+
+    /// The failure diagnostics, if the chase failed.
+    pub fn violation(&self) -> Option<&EgdViolation> {
+        match self {
+            ChaseOutcome::Failed { violation, .. } => Some(violation),
+            _ => None,
+        }
+    }
+
+    /// The tripped budget limit, if a budget was exhausted.
+    pub fn exhausted_limit(&self) -> Option<BudgetLimit> {
+        match self {
+            ChaseOutcome::BudgetExhausted { limit, .. } => Some(*limit),
+            _ => None,
         }
     }
 }
@@ -85,11 +166,11 @@ impl fmt::Display for ChaseOutcome {
                 stats.steps,
                 instance.len()
             ),
-            ChaseOutcome::Failed { stats } => {
-                write!(f, "failed (⊥) after {} steps", stats.steps)
+            ChaseOutcome::Failed { violation, stats } => {
+                write!(f, "failed (⊥) after {} steps: {violation}", stats.steps)
             }
-            ChaseOutcome::BudgetExhausted { stats, .. } => {
-                write!(f, "budget exhausted after {} steps", stats.steps)
+            ChaseOutcome::BudgetExhausted { limit, stats, .. } => {
+                write!(f, "budget exhausted ({limit}) after {} steps", stats.steps)
             }
         }
     }
@@ -98,6 +179,34 @@ impl fmt::Display for ChaseOutcome {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chase_core::parser::parse_program;
+    use chase_core::Assignment;
+
+    fn sample_violation() -> EgdViolation {
+        let p = parse_program(
+            r#"
+            k: P(?x, ?y), P(?x, ?z) -> ?y = ?z.
+            P(a, b). P(a, c).
+            "#,
+        )
+        .unwrap();
+        let egd = p.dependencies.get(chase_core::DepId(0)).as_egd().unwrap();
+        let assignment = Assignment::from_pairs([
+            (
+                chase_core::Variable::new("x"),
+                GroundTerm::Const(chase_core::Constant::new("a")),
+            ),
+            (egd.left, GroundTerm::Const(chase_core::Constant::new("b"))),
+            (egd.right, GroundTerm::Const(chase_core::Constant::new("c"))),
+        ]);
+        EgdViolation::from_trigger(
+            &p.dependencies,
+            &Trigger {
+                dep: chase_core::DepId(0),
+                assignment,
+            },
+        )
+    }
 
     #[test]
     fn outcome_accessors() {
@@ -108,8 +217,11 @@ mod tests {
         assert!(t.is_terminating());
         assert!(!t.is_failing());
         assert!(t.instance().is_some());
+        assert!(t.violation().is_none());
+        assert!(t.exhausted_limit().is_none());
 
         let fail = ChaseOutcome::Failed {
+            violation: sample_violation(),
             stats: ChaseStats {
                 steps: 3,
                 ..Default::default()
@@ -118,23 +230,44 @@ mod tests {
         assert!(fail.is_failing());
         assert!(fail.instance().is_none());
         assert_eq!(fail.stats().steps, 3);
+        assert_eq!(fail.violation().unwrap().dep, chase_core::DepId(0));
 
         let ex = ChaseOutcome::BudgetExhausted {
+            limit: BudgetLimit::Steps,
             instance: Instance::new(),
             stats: ChaseStats::default(),
         };
         assert!(ex.is_budget_exhausted());
         assert!(!ex.is_terminating());
+        assert_eq!(ex.exhausted_limit(), Some(BudgetLimit::Steps));
     }
 
     #[test]
-    fn display_mentions_steps() {
+    fn violation_display_names_the_egd_and_constants() {
+        let v = sample_violation();
+        let rendered = v.to_string();
+        assert!(rendered.contains('k'), "label rendered: {rendered}");
+        assert!(rendered.contains('b') && rendered.contains('c'));
+
         let fail = ChaseOutcome::Failed {
+            violation: v,
             stats: ChaseStats {
                 steps: 7,
                 ..Default::default()
             },
         };
-        assert!(fail.to_string().contains('7'));
+        let rendered = fail.to_string();
+        assert!(rendered.contains('7'));
+        assert!(rendered.contains("equate"));
+    }
+
+    #[test]
+    fn exhausted_display_names_the_limit() {
+        let ex = ChaseOutcome::BudgetExhausted {
+            limit: BudgetLimit::FreshNulls,
+            instance: Instance::new(),
+            stats: ChaseStats::default(),
+        };
+        assert!(ex.to_string().contains("max_fresh_nulls"));
     }
 }

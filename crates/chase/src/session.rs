@@ -1,0 +1,228 @@
+//! The unified chase session API: one builder for every variant.
+//!
+//! [`Chase`] is the single front door to the four chase variants of the paper. Every
+//! session shares the same vocabulary — one [`ChaseBudget`] for resource limits, one
+//! [`ChaseOutcome`] with failure diagnostics and tripped-limit reporting, one
+//! [`ChaseObserver`] hook for tracing and metrics:
+//!
+//! ```
+//! use chase_core::parser::parse_program;
+//! use chase_engine::{Chase, ChaseBudget, StepOrder};
+//!
+//! let p = parse_program(
+//!     r#"
+//!     r1: N(?x) -> exists ?y: E(?x, ?y).
+//!     r2: E(?x, ?y) -> N(?y).
+//!     r3: E(?x, ?y) -> ?x = ?y.
+//!     N(a).
+//!     "#,
+//! )
+//! .unwrap();
+//!
+//! // Enforcing EGDs eagerly yields the terminating sequence of Example 1.
+//! let outcome = Chase::standard(&p.dependencies)
+//!     .with_order(StepOrder::EgdsFirst)
+//!     .with_budget(ChaseBudget::default().with_max_steps(1_000))
+//!     .run(&p.database);
+//! assert!(outcome.is_terminating());
+//! assert_eq!(outcome.instance().unwrap().len(), 2); // {N(a), E(a, a)}
+//! ```
+
+use crate::budget::ChaseBudget;
+use crate::core_chase::run_core;
+use crate::oblivious::{run_oblivious, ObliviousVariant};
+use crate::observer::{ChaseObserver, NoopObserver};
+use crate::result::ChaseOutcome;
+use crate::standard::{run_standard, StepOrder, TriggerDiscovery};
+use chase_core::{DependencySet, Instance};
+
+/// Which chase variant a [`Chase`] session runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Variant {
+    Standard,
+    Oblivious(ObliviousVariant),
+    Core,
+}
+
+/// A configured chase session over a dependency set: variant, trigger policy,
+/// discovery strategy and resource budget.
+///
+/// Construct with one of [`Chase::standard`], [`Chase::oblivious`],
+/// [`Chase::semi_oblivious`] or [`Chase::core`], refine with the `with_*` builders,
+/// then [`run`](Chase::run) it on a database (or
+/// [`run_observed`](Chase::run_observed) with a [`ChaseObserver`]).
+#[derive(Clone)]
+pub struct Chase<'a> {
+    sigma: &'a DependencySet,
+    variant: Variant,
+    order: StepOrder,
+    discovery: TriggerDiscovery,
+    budget: ChaseBudget,
+}
+
+impl<'a> Chase<'a> {
+    fn new(sigma: &'a DependencySet, variant: Variant) -> Self {
+        Chase {
+            sigma,
+            variant,
+            order: StepOrder::EgdsFirst,
+            discovery: TriggerDiscovery::Incremental,
+            budget: ChaseBudget::default(),
+        }
+    }
+
+    /// A standard chase session (default policy [`StepOrder::EgdsFirst`], incremental
+    /// trigger discovery).
+    pub fn standard(sigma: &'a DependencySet) -> Self {
+        Chase::new(sigma, Variant::Standard)
+    }
+
+    /// An oblivious or semi-oblivious chase session, selected by `variant`.
+    pub fn oblivious(sigma: &'a DependencySet, variant: ObliviousVariant) -> Self {
+        Chase::new(sigma, Variant::Oblivious(variant))
+    }
+
+    /// A semi-oblivious chase session (shorthand for
+    /// [`Chase::oblivious`]`(sigma, ObliviousVariant::SemiOblivious)`).
+    pub fn semi_oblivious(sigma: &'a DependencySet) -> Self {
+        Chase::new(sigma, Variant::Oblivious(ObliviousVariant::SemiOblivious))
+    }
+
+    /// A core chase session (rounds of parallel steps followed by core computation).
+    pub fn core(sigma: &'a DependencySet) -> Self {
+        Chase::new(sigma, Variant::Core)
+    }
+
+    /// Sets the trigger-selection policy (standard chase only; the oblivious variants
+    /// fire in textual order by definition and the core chase fires all triggers in
+    /// parallel, so the policy is ignored there).
+    pub fn with_order(mut self, order: StepOrder) -> Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the trigger-discovery strategy (standard chase only).
+    pub fn with_discovery(mut self, discovery: TriggerDiscovery) -> Self {
+        self.discovery = discovery;
+        self
+    }
+
+    /// Sets the resource budget.
+    pub fn with_budget(mut self, budget: ChaseBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The session's budget.
+    pub fn budget(&self) -> &ChaseBudget {
+        &self.budget
+    }
+
+    /// Runs the session on `database`.
+    pub fn run(&self, database: &Instance) -> ChaseOutcome {
+        self.run_observed(database, &mut NoopObserver)
+    }
+
+    /// Runs the session on `database`, reporting events to `observer`.
+    pub fn run_observed(
+        &self,
+        database: &Instance,
+        observer: &mut dyn ChaseObserver,
+    ) -> ChaseOutcome {
+        match self.variant {
+            Variant::Standard => run_standard(
+                self.sigma,
+                self.order,
+                self.discovery,
+                &self.budget,
+                database,
+                observer,
+            ),
+            Variant::Oblivious(variant) => {
+                run_oblivious(self.sigma, variant, &self.budget, database, observer)
+            }
+            Variant::Core => run_core(self.sigma, &self.budget, database, observer),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::budget::BudgetLimit;
+    use crate::observer::TraceObserver;
+    use chase_core::parser::parse_program;
+
+    fn sigma1() -> chase_core::Program {
+        parse_program(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            N(a).
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_four_variants_run_through_the_same_builder() {
+        let p = sigma1();
+        let budget = ChaseBudget::default()
+            .with_max_steps(300)
+            .with_max_rounds(20);
+        let std_out = Chase::standard(&p.dependencies)
+            .with_budget(budget)
+            .run(&p.database);
+        assert!(std_out.is_terminating());
+        let sobl = Chase::semi_oblivious(&p.dependencies)
+            .with_budget(budget)
+            .run(&p.database);
+        let obl = Chase::oblivious(&p.dependencies, ObliviousVariant::Oblivious)
+            .with_budget(budget)
+            .run(&p.database);
+        // For Σ1 the oblivious chase keeps re-firing r1 on new nulls.
+        assert!(!obl.is_terminating());
+        assert!(sobl.stats().steps > 0, "the semi-oblivious session ran");
+        let core = Chase::core(&p.dependencies)
+            .with_budget(budget)
+            .run(&p.database);
+        assert!(core.is_terminating());
+        assert_eq!(core.instance().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn budget_reports_the_tripped_limit_per_variant() {
+        let p = sigma1();
+        let steps = Chase::standard(&p.dependencies)
+            .with_order(crate::StepOrder::Textual)
+            .with_budget(ChaseBudget::unlimited().with_max_steps(50))
+            .run(&p.database);
+        assert_eq!(steps.exhausted_limit(), Some(BudgetLimit::Steps));
+
+        let nulls = Chase::standard(&p.dependencies)
+            .with_order(crate::StepOrder::Textual)
+            .with_budget(ChaseBudget::unlimited().with_max_fresh_nulls(5))
+            .run(&p.database);
+        assert_eq!(nulls.exhausted_limit(), Some(BudgetLimit::FreshNulls));
+        assert!(nulls.stats().nulls_created >= 5);
+
+        let facts = Chase::oblivious(&p.dependencies, ObliviousVariant::Oblivious)
+            .with_budget(ChaseBudget::unlimited().with_max_facts(8))
+            .run(&p.database);
+        assert_eq!(facts.exhausted_limit(), Some(BudgetLimit::Facts));
+    }
+
+    #[test]
+    fn observer_reaches_every_variant() {
+        let p = sigma1();
+        let mut trace = TraceObserver::new();
+        let out = Chase::standard(&p.dependencies).run_observed(&p.database, &mut trace);
+        assert_eq!(trace.steps.len(), out.stats().steps);
+
+        let mut core_trace = TraceObserver::new();
+        let core = Chase::core(&p.dependencies).run_observed(&p.database, &mut core_trace);
+        assert!(core.is_terminating());
+        assert_eq!(core_trace.rounds.len(), core.stats().steps);
+    }
+}

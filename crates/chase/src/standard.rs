@@ -6,7 +6,12 @@
 //! sequences; [`StepOrder`] controls the policy, which is exactly the nondeterminism
 //! the paper exploits (a set may have both terminating and non-terminating sequences,
 //! cf. Example 1).
+//!
+//! The front door is [`Chase::standard`](crate::Chase::standard); the [`StandardChase`]
+//! runner remains as a deprecated shim.
 
+use crate::budget::{BudgetClock, ChaseBudget};
+use crate::observer::{record_step_effect, ChaseObserver, FnObserver, NoopObserver};
 use crate::result::{ChaseOutcome, ChaseStats};
 use crate::step::{apply_step, first_applicable_trigger, StepEffect, Trigger};
 use chase_core::{DepId, DependencySet, Instance};
@@ -46,7 +51,141 @@ pub enum StepOrder {
     Shuffled(u64),
 }
 
-/// Runner for the standard chase.
+/// The dependency order induced by a [`StepOrder`] policy.
+pub(crate) fn dependency_order(sigma: &DependencySet, order: StepOrder) -> Vec<DepId> {
+    let mut ids: Vec<DepId> = sigma.ids().collect();
+    match order {
+        StepOrder::Textual => {}
+        StepOrder::EgdsFirst => {
+            ids.sort_by_key(|&id| {
+                let dep = sigma.get(id);
+                if dep.is_egd() {
+                    0
+                } else if dep.is_full() {
+                    1
+                } else {
+                    2
+                }
+            });
+        }
+        StepOrder::FullFirst => {
+            ids.sort_by_key(|&id| if sigma.get(id).is_full() { 0 } else { 1 });
+        }
+        StepOrder::Shuffled(seed) => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            ids.shuffle(&mut rng);
+        }
+    }
+    ids
+}
+
+/// Runs the standard chase under `budget`, reporting events to `observer`.
+pub(crate) fn run_standard(
+    sigma: &DependencySet,
+    order: StepOrder,
+    discovery: TriggerDiscovery,
+    budget: &ChaseBudget,
+    database: &Instance,
+    observer: &mut dyn ChaseObserver,
+) -> ChaseOutcome {
+    match discovery {
+        TriggerDiscovery::Incremental => run_incremental(sigma, order, budget, database, observer),
+        TriggerDiscovery::NaiveRescan => run_naive(sigma, order, budget, database, observer),
+    }
+}
+
+/// Delta-driven run: the [`TriggerEngine`] owns the instance, discovery is seeded
+/// from each step's delta, and steps are applied in place.
+fn run_incremental(
+    sigma: &DependencySet,
+    order: StepOrder,
+    budget: &ChaseBudget,
+    database: &Instance,
+    observer: &mut dyn ChaseObserver,
+) -> ChaseOutcome {
+    let order = dependency_order(sigma, order);
+    let clock = BudgetClock::start(budget);
+    let mut engine = TriggerEngine::with_database(sigma, database);
+    let mut stats = ChaseStats::default();
+    loop {
+        if let Some(limit) = clock.check_step(&stats, engine.instance().len()) {
+            return ChaseOutcome::BudgetExhausted {
+                limit,
+                instance: engine.into_instance(),
+                stats,
+            };
+        }
+        let trigger = match engine.next_active_trigger(&order) {
+            Some(t) => t,
+            None => {
+                return ChaseOutcome::Terminated {
+                    instance: engine.into_instance(),
+                    stats,
+                }
+            }
+        };
+        let effect = engine.apply_trigger(trigger.dep, &trigger.assignment);
+        if effect == StepEffect::NotApplicable {
+            // `next_active_trigger` only returns active triggers, so this
+            // cannot happen; treat defensively as a skipped step.
+            continue;
+        }
+        if let Some(violation) = record_step_effect(sigma, &trigger, &effect, &mut stats, observer)
+        {
+            return ChaseOutcome::Failed { violation, stats };
+        }
+    }
+}
+
+/// The original full re-scan loop, kept as reference and benchmark baseline.
+fn run_naive(
+    sigma: &DependencySet,
+    order: StepOrder,
+    budget: &ChaseBudget,
+    database: &Instance,
+    observer: &mut dyn ChaseObserver,
+) -> ChaseOutcome {
+    let order = dependency_order(sigma, order);
+    let clock = BudgetClock::start(budget);
+    let mut current = database.clone();
+    let mut stats = ChaseStats::default();
+    loop {
+        if let Some(limit) = clock.check_step(&stats, current.len()) {
+            return ChaseOutcome::BudgetExhausted {
+                limit,
+                instance: current,
+                stats,
+            };
+        }
+        let trigger = match first_applicable_trigger(&current, sigma, &order) {
+            Some(t) => t,
+            None => {
+                return ChaseOutcome::Terminated {
+                    instance: current,
+                    stats,
+                }
+            }
+        };
+        let dep = sigma.get(trigger.dep);
+        let (next, effect) = apply_step(&current, dep, &trigger.assignment);
+        if effect == StepEffect::NotApplicable {
+            // `first_applicable_trigger` only returns active triggers, so this
+            // cannot happen; treat defensively as termination of the loop body.
+            continue;
+        }
+        if let Some(violation) = record_step_effect(sigma, &trigger, &effect, &mut stats, observer)
+        {
+            return ChaseOutcome::Failed { violation, stats };
+        }
+        current = next.expect("non-failing steps produce a successor instance");
+    }
+}
+
+/// Legacy runner for the standard chase.
+///
+/// Superseded by [`Chase::standard`](crate::Chase::standard), which adds the full
+/// [`ChaseBudget`] and [`ChaseObserver`] machinery; this shim delegates to the same
+/// implementation.
 #[derive(Clone)]
 pub struct StandardChase<'a> {
     sigma: &'a DependencySet,
@@ -59,6 +198,7 @@ impl<'a> StandardChase<'a> {
     /// Creates a standard chase runner with the default policy
     /// ([`StepOrder::EgdsFirst`]), incremental trigger discovery and a budget of
     /// 100 000 steps.
+    #[deprecated(note = "use Chase::standard(sigma) with a ChaseBudget instead")]
     pub fn new(sigma: &'a DependencySet) -> Self {
         StandardChase {
             sigma,
@@ -99,152 +239,47 @@ impl<'a> StandardChase<'a> {
 
     /// The dependency order induced by the policy.
     pub fn dependency_order(&self) -> Vec<DepId> {
-        let mut ids: Vec<DepId> = self.sigma.ids().collect();
-        match self.order {
-            StepOrder::Textual => {}
-            StepOrder::EgdsFirst => {
-                ids.sort_by_key(|&id| {
-                    let dep = self.sigma.get(id);
-                    if dep.is_egd() {
-                        0
-                    } else if dep.is_full() {
-                        1
-                    } else {
-                        2
-                    }
-                });
-            }
-            StepOrder::FullFirst => {
-                ids.sort_by_key(|&id| if self.sigma.get(id).is_full() { 0 } else { 1 });
-            }
-            StepOrder::Shuffled(seed) => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                ids.shuffle(&mut rng);
-            }
-        }
-        ids
+        dependency_order(self.sigma, self.order)
     }
 
     /// Runs the chase on `database`, producing an outcome.
     pub fn run(&self, database: &Instance) -> ChaseOutcome {
-        self.run_with_trace(database, |_, _| {})
+        run_standard(
+            self.sigma,
+            self.order,
+            self.discovery,
+            &ChaseBudget::unlimited().with_max_steps(self.max_steps),
+            database,
+            &mut NoopObserver,
+        )
     }
 
     /// Runs the chase, invoking `observer` after every applied step with the trigger
-    /// and the effect. Useful for tests and for producing chase-sequence listings.
+    /// and the effect.
+    #[deprecated(
+        note = "use Chase::standard(sigma).run_observed(db, &mut observer) with a ChaseObserver"
+    )]
     pub fn run_with_trace(
         &self,
         database: &Instance,
         observer: impl FnMut(&Trigger, &StepEffect),
     ) -> ChaseOutcome {
-        match self.discovery {
-            TriggerDiscovery::Incremental => self.run_incremental(database, observer),
-            TriggerDiscovery::NaiveRescan => self.run_naive(database, observer),
-        }
-    }
-
-    /// Delta-driven run: the [`TriggerEngine`] owns the instance, discovery is
-    /// seeded from each step's delta, and steps are applied in place.
-    fn run_incremental(
-        &self,
-        database: &Instance,
-        mut observer: impl FnMut(&Trigger, &StepEffect),
-    ) -> ChaseOutcome {
-        let order = self.dependency_order();
-        let mut engine = TriggerEngine::with_database(self.sigma, database);
-        let mut stats = ChaseStats::default();
-        loop {
-            if stats.steps >= self.max_steps {
-                return ChaseOutcome::BudgetExhausted {
-                    instance: engine.into_instance(),
-                    stats,
-                };
-            }
-            let trigger = match engine.next_active_trigger(&order) {
-                Some(t) => t,
-                None => {
-                    return ChaseOutcome::Terminated {
-                        instance: engine.into_instance(),
-                        stats,
-                    }
-                }
-            };
-            let effect = engine.apply_trigger(trigger.dep, &trigger.assignment);
-            stats.steps += 1;
-            match &effect {
-                StepEffect::AddedFacts { facts, fresh_nulls } => {
-                    stats.facts_added += facts.len();
-                    stats.nulls_created += fresh_nulls;
-                }
-                StepEffect::Substituted { .. } => stats.null_replacements += 1,
-                StepEffect::Failure => {
-                    observer(&trigger, &effect);
-                    return ChaseOutcome::Failed { stats };
-                }
-                StepEffect::NotApplicable => {
-                    // `next_active_trigger` only returns active triggers, so this
-                    // cannot happen; treat defensively as a skipped step.
-                    stats.steps -= 1;
-                    continue;
-                }
-            }
-            observer(&trigger, &effect);
-        }
-    }
-
-    /// The original full re-scan loop, kept as reference and benchmark baseline.
-    fn run_naive(
-        &self,
-        database: &Instance,
-        mut observer: impl FnMut(&Trigger, &StepEffect),
-    ) -> ChaseOutcome {
-        let order = self.dependency_order();
-        let mut current = database.clone();
-        let mut stats = ChaseStats::default();
-        loop {
-            if stats.steps >= self.max_steps {
-                return ChaseOutcome::BudgetExhausted {
-                    instance: current,
-                    stats,
-                };
-            }
-            let trigger = match first_applicable_trigger(&current, self.sigma, &order) {
-                Some(t) => t,
-                None => {
-                    return ChaseOutcome::Terminated {
-                        instance: current,
-                        stats,
-                    }
-                }
-            };
-            let dep = self.sigma.get(trigger.dep);
-            let (next, effect) = apply_step(&current, dep, &trigger.assignment);
-            stats.steps += 1;
-            match &effect {
-                StepEffect::AddedFacts { facts, fresh_nulls } => {
-                    stats.facts_added += facts.len();
-                    stats.nulls_created += fresh_nulls;
-                }
-                StepEffect::Substituted { .. } => stats.null_replacements += 1,
-                StepEffect::Failure => {
-                    observer(&trigger, &effect);
-                    return ChaseOutcome::Failed { stats };
-                }
-                StepEffect::NotApplicable => {
-                    // `first_applicable_trigger` only returns active triggers, so this
-                    // cannot happen; treat defensively as termination of the loop body.
-                    continue;
-                }
-            }
-            observer(&trigger, &effect);
-            current = next.expect("non-failing steps produce a successor instance");
-        }
+        run_standard(
+            self.sigma,
+            self.order,
+            self.discovery,
+            &ChaseBudget::unlimited().with_max_steps(self.max_steps),
+            database,
+            &mut FnObserver(observer),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::observer::TraceObserver;
+    use crate::session::Chase;
     use chase_core::parser::parse_program;
     use chase_core::satisfaction::satisfies_all;
     use chase_core::{Fact, GroundTerm};
@@ -264,7 +299,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let outcome = StandardChase::new(&p.dependencies)
+        let outcome = Chase::standard(&p.dependencies)
             .with_order(StepOrder::EgdsFirst)
             .run(&p.database);
         assert!(outcome.is_terminating());
@@ -289,26 +324,30 @@ mod tests {
             "#,
         )
         .unwrap();
-        let outcome = StandardChase::new(&p.dependencies)
+        let outcome = Chase::standard(&p.dependencies)
             .with_order(StepOrder::Textual)
-            .with_max_steps(200)
+            .with_budget(ChaseBudget::unlimited().with_max_steps(200))
             .run(&p.database);
         // With textual order, r1 is always tried first, then r2; r3 would only be
         // reached if neither applies, which never happens, so the run diverges.
         assert!(outcome.is_budget_exhausted());
+        assert_eq!(
+            outcome.exhausted_limit(),
+            Some(crate::budget::BudgetLimit::Steps)
+        );
     }
 
     #[test]
     fn example6_standard_chase_is_empty() {
         let p = parse_program("r: E(?x, ?y) -> exists ?z: E(?x, ?z). E(a, b).").unwrap();
-        let outcome = StandardChase::new(&p.dependencies).run(&p.database);
+        let outcome = Chase::standard(&p.dependencies).run(&p.database);
         assert!(outcome.is_terminating());
         assert_eq!(outcome.stats().steps, 0);
         assert_eq!(outcome.instance().unwrap(), &p.database);
     }
 
     #[test]
-    fn failing_chase_detected() {
+    fn failing_chase_reports_the_violation() {
         // Key constraint violated by two distinct constants.
         let p = parse_program(
             r#"
@@ -318,8 +357,16 @@ mod tests {
             "#,
         )
         .unwrap();
-        let outcome = StandardChase::new(&p.dependencies).run(&p.database);
+        let outcome = Chase::standard(&p.dependencies).run(&p.database);
         assert!(outcome.is_failing());
+        let violation = outcome.violation().expect("failing runs carry a violation");
+        assert_eq!(violation.dep, chase_core::DepId(0));
+        assert_eq!(violation.label.as_deref(), Some("k"));
+        let (mut l, mut r) = (violation.left.to_string(), violation.right.to_string());
+        if l > r {
+            std::mem::swap(&mut l, &mut r);
+        }
+        assert_eq!((l.as_str(), r.as_str()), ("b", "c"));
     }
 
     #[test]
@@ -339,7 +386,7 @@ mod tests {
             StepOrder::FullFirst,
             StepOrder::Shuffled(7),
         ] {
-            let outcome = StandardChase::new(&p.dependencies)
+            let outcome = Chase::standard(&p.dependencies)
                 .with_order(order)
                 .run(&p.database);
             assert!(outcome.is_terminating());
@@ -364,9 +411,9 @@ mod tests {
             StepOrder::EgdsFirst,
             StepOrder::FullFirst,
         ] {
-            let outcome = StandardChase::new(&p.dependencies)
+            let outcome = Chase::standard(&p.dependencies)
                 .with_order(order)
-                .with_max_steps(500)
+                .with_budget(ChaseBudget::unlimited().with_max_steps(500))
                 .run(&p.database);
             assert!(
                 outcome.is_budget_exhausted(),
@@ -385,12 +432,13 @@ mod tests {
             "#,
         )
         .unwrap();
-        let mut trace = Vec::new();
-        let outcome = StandardChase::new(&p.dependencies)
-            .run_with_trace(&p.database, |t, e| trace.push((t.dep, e.clone())));
+        let mut trace = TraceObserver::new();
+        let outcome = Chase::standard(&p.dependencies).run_observed(&p.database, &mut trace);
         assert!(outcome.is_terminating());
-        assert_eq!(trace.len(), outcome.stats().steps);
-        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.steps.len(), outcome.stats().steps);
+        assert_eq!(trace.steps.len(), 2);
+        assert_eq!(trace.nulls, outcome.stats().nulls_created);
+        assert_eq!(trace.collapses.len(), outcome.stats().null_replacements);
     }
 
     #[test]
@@ -409,9 +457,9 @@ mod tests {
             StepOrder::EgdsFirst,
             StepOrder::FullFirst,
         ] {
-            let runner = StandardChase::new(&p.dependencies)
+            let runner = Chase::standard(&p.dependencies)
                 .with_order(order)
-                .with_max_steps(200);
+                .with_budget(ChaseBudget::unlimited().with_max_steps(200));
             let naive = runner
                 .clone()
                 .with_discovery(TriggerDiscovery::NaiveRescan)
@@ -439,7 +487,7 @@ mod tests {
     #[test]
     fn incremental_discovery_is_the_default() {
         let p = parse_program("r: A(?x) -> B(?x). A(a).").unwrap();
-        let out = StandardChase::new(&p.dependencies).run(&p.database);
+        let out = Chase::standard(&p.dependencies).run(&p.database);
         assert!(out.is_terminating());
         assert_eq!(out.instance().unwrap().len(), 2);
     }
@@ -453,9 +501,38 @@ mod tests {
             "#,
         )
         .unwrap();
-        let outcome = StandardChase::new(&p.dependencies).run(&p.database);
+        let outcome = Chase::standard(&p.dependencies).run(&p.database);
         assert!(outcome.is_terminating());
         // Closure of a 4-chain has 3 + 2 + 1 = 6 edges.
         assert_eq!(outcome.instance().unwrap().len(), 6);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_shims_agree_with_the_session_api() {
+        let p = parse_program(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            N(a).
+            "#,
+        )
+        .unwrap();
+        let legacy = StandardChase::new(&p.dependencies)
+            .with_order(StepOrder::EgdsFirst)
+            .with_max_steps(1_000)
+            .run(&p.database);
+        let session = Chase::standard(&p.dependencies)
+            .with_order(StepOrder::EgdsFirst)
+            .with_budget(ChaseBudget::unlimited().with_max_steps(1_000))
+            .run(&p.database);
+        assert_eq!(legacy, session);
+
+        let mut trace = Vec::new();
+        let traced = StandardChase::new(&p.dependencies)
+            .run_with_trace(&p.database, |t, e| trace.push((t.dep, e.clone())));
+        assert!(traced.is_terminating());
+        assert_eq!(trace.len(), traced.stats().steps);
     }
 }

@@ -102,7 +102,7 @@ mod tests {
 
     #[test]
     fn chase_result_is_universal_among_hand_built_models() {
-        use crate::standard::StandardChase;
+        use crate::session::Chase;
         let p = parse_program(
             r#"
             r1: N(?x) -> exists ?y: E(?x, ?y).
@@ -112,7 +112,7 @@ mod tests {
             "#,
         )
         .unwrap();
-        let out = StandardChase::new(&p.dependencies).run(&p.database);
+        let out = Chase::standard(&p.dependencies).run(&p.database);
         let canonical = out.instance().unwrap().clone();
         // Another model: {N(a), E(a, a), N(b), E(b, b)}.
         let bigger = canonical.union(&Instance::from_facts(vec![

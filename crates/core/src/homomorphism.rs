@@ -12,7 +12,7 @@
 //!   exact heuristic);
 //! * per-atom candidate enumeration goes through a per-(predicate, position) index —
 //!   either the incrementally maintained one of an
-//!   [`IndexedInstance`](crate::index::IndexedInstance)
+//!   [`IndexedInstance`]
 //!   ([`HomomorphismSearch::over_index`]) or a transient per-query index built over a
 //!   plain [`Instance`] ([`HomomorphismSearch::new`]);
 //! * the early-exit callback interface lets callers stop at the first witness.

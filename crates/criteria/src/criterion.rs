@@ -1,6 +1,13 @@
-//! The [`TerminationCriterion`] trait and a registry of the built-in criteria.
+//! The [`TerminationCriterion`] trait, the witness-producing [`Verdict`] type and a
+//! registry of the built-in criteria.
+//!
+//! Every criterion answers with a [`Verdict`] carrying a machine-readable [`Witness`]
+//! explaining *why* the set was accepted or rejected — the special-edge cycle for weak
+//! acyclicity, the stratum assignment for (semi-)stratification, the saturation
+//! certificate for MFA, the adornment trace for `Adn∃` — instead of a bare boolean.
+//! The legacy `is_*` functions remain as thin deprecated shims over the verdicts.
 
-use chase_core::DependencySet;
+use chase_core::{DepId, DependencySet, Position};
 use std::fmt;
 
 /// What a criterion guarantees when it accepts a set of dependencies.
@@ -22,6 +29,266 @@ impl fmt::Display for Guarantee {
     }
 }
 
+/// The machine-readable evidence backing a [`Verdict`].
+///
+/// Each criterion produces the witness its algorithm actually computes; rejections
+/// carry the offending structure, acceptances the certificate that none exists.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Witness {
+    /// A cycle through a special (existential) edge in a position graph, as the
+    /// sequence of positions visited (first equals last). Produced by WA and SC
+    /// rejections, and embedded in stratification rejections.
+    PositionCycle {
+        /// The positions on the cycle; the first edge is the special one.
+        positions: Vec<Position>,
+    },
+    /// The position graph has no cycle through a special edge (WA / SC acceptance).
+    AcyclicPositionGraph {
+        /// Number of positions (nodes) in the analysed graph.
+        positions: usize,
+        /// Total number of edges.
+        edges: usize,
+        /// Number of special (existential) edges.
+        special_edges: usize,
+    },
+    /// The SCC decomposition of the chase / firing graph, every cyclic component of
+    /// which is weakly acyclic ((C-)Str and S-Str acceptance). Components are sorted
+    /// lexicographically by their (sorted) dependency ids, not topologically — the
+    /// witness certifies the decomposition, not an evaluation order.
+    StratumAssignment {
+        /// The strata, as dependency ids of the analysed set.
+        strata: Vec<Vec<DepId>>,
+    },
+    /// A strongly connected component of the chase / firing graph whose dependencies
+    /// are not weakly acyclic ((C-)Str and S-Str rejection).
+    OffendingComponent {
+        /// The dependencies of the offending component.
+        component: Vec<DepId>,
+        /// The special-edge position cycle inside the component's dependency graph.
+        position_cycle: Vec<Position>,
+    },
+    /// A cycle in Marnette's trigger graph over existential rules (SwA rejection).
+    /// For EGD-bearing sets the ids refer to the substitution-free simulation.
+    TriggerCycle {
+        /// The existential rules on the cycle (first equals last).
+        rules: Vec<DepId>,
+    },
+    /// The trigger graph over existential rules is acyclic (SwA acceptance).
+    AcyclicTriggerGraph {
+        /// Number of existential rules (nodes).
+        existential_rules: usize,
+        /// Number of trigger edges.
+        edges: usize,
+    },
+    /// The Skolemised critical-instance chase reached its fixpoint without deriving a
+    /// cyclic term (MFA acceptance): a saturation certificate.
+    MfaSaturation {
+        /// Facts in the saturated critical instance.
+        facts: usize,
+        /// Chase steps applied to reach the fixpoint.
+        steps: usize,
+        /// Maximum Skolem-term depth observed.
+        max_term_depth: usize,
+    },
+    /// A cyclic Skolem term was derived during the critical-instance chase (MFA
+    /// rejection).
+    CyclicSkolemTerm {
+        /// The cyclic term, rendered as `f^r_z(…)` nesting.
+        term: String,
+        /// Depth of the term.
+        depth: usize,
+    },
+    /// The trace of the `Adn∃` adornment algorithm (SAC verdict, either way).
+    AdornmentTrace {
+        /// Number of adorned dependencies produced (base rules excluded).
+        adorned_rules: usize,
+        /// Main-loop iterations executed.
+        iterations: usize,
+        /// The final adornment definitions `AD`, rendered as `f_i = f^r_z(α)`.
+        definitions: Vec<String>,
+        /// The fireable pairs `(r, r')` of the original set used by the Ω(AD)
+        /// cyclicity test (the firing relation, or its overlap approximation).
+        fireable_pairs: Vec<(DepId, DepId)>,
+        /// `true` iff the adornment budget was exhausted (conservative rejection).
+        budget_exhausted: bool,
+    },
+    /// An `Adn∃-C` verdict: the adornment trace plus the inner criterion's verdict on
+    /// the adorned set `Σµ`.
+    Combined {
+        /// The `Adn∃` trace on the original set.
+        adornment: Box<Witness>,
+        /// The inner criterion's verdict on the adorned set.
+        inner: Box<Verdict>,
+    },
+    /// The analysis budget was exhausted before a verdict could be computed; the
+    /// criterion rejects conservatively.
+    AnalysisBudgetExhausted {
+        /// What ran out.
+        detail: String,
+    },
+    /// No structured witness is available (legacy boolean checks).
+    Trivial,
+}
+
+impl Witness {
+    /// Returns `true` iff the witness carries no structured information.
+    pub fn is_trivial(&self) -> bool {
+        matches!(self, Witness::Trivial)
+    }
+}
+
+fn render_positions(positions: &[Position]) -> String {
+    positions
+        .iter()
+        .map(|p| p.to_string())
+        .collect::<Vec<_>>()
+        .join(" → ")
+}
+
+fn render_dep_ids(ids: &[DepId]) -> String {
+    ids.iter()
+        .map(|d| format!("r{}", d.0))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+impl fmt::Display for Witness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Witness::PositionCycle { positions } => {
+                write!(f, "special-edge cycle {}", render_positions(positions))
+            }
+            Witness::AcyclicPositionGraph {
+                positions,
+                edges,
+                special_edges,
+            } => write!(
+                f,
+                "no special cycle ({positions} positions, {edges} edges, {special_edges} special)"
+            ),
+            Witness::StratumAssignment { strata } => {
+                write!(f, "strata")?;
+                for s in strata {
+                    write!(f, " [{}]", render_dep_ids(s))?;
+                }
+                Ok(())
+            }
+            Witness::OffendingComponent {
+                component,
+                position_cycle,
+            } => write!(
+                f,
+                "component [{}] is not weakly acyclic: {}",
+                render_dep_ids(component),
+                render_positions(position_cycle)
+            ),
+            Witness::TriggerCycle { rules } => {
+                write!(
+                    f,
+                    "trigger cycle {}",
+                    rules
+                        .iter()
+                        .map(|d| format!("r{}", d.0))
+                        .collect::<Vec<_>>()
+                        .join(" → ")
+                )
+            }
+            Witness::AcyclicTriggerGraph {
+                existential_rules,
+                edges,
+            } => write!(
+                f,
+                "acyclic trigger graph ({existential_rules} existential rules, {edges} edges)"
+            ),
+            Witness::MfaSaturation {
+                facts,
+                steps,
+                max_term_depth,
+            } => write!(
+                f,
+                "critical instance saturated ({facts} facts, {steps} steps, term depth ≤ {max_term_depth})"
+            ),
+            Witness::CyclicSkolemTerm { term, depth } => {
+                write!(f, "cyclic Skolem term {term} (depth {depth})")
+            }
+            Witness::AdornmentTrace {
+                adorned_rules,
+                iterations,
+                definitions,
+                fireable_pairs,
+                budget_exhausted,
+            } => {
+                write!(
+                    f,
+                    "adornment trace ({adorned_rules} adorned rules, {iterations} iterations, {} definitions, {} fireable pairs{})",
+                    definitions.len(),
+                    fireable_pairs.len(),
+                    if *budget_exhausted {
+                        ", budget exhausted"
+                    } else {
+                        ""
+                    }
+                )
+            }
+            Witness::Combined { adornment, inner } => {
+                write!(f, "{adornment}; on Σµ: {inner}")
+            }
+            Witness::AnalysisBudgetExhausted { detail } => {
+                write!(f, "analysis budget exhausted ({detail})")
+            }
+            Witness::Trivial => write!(f, "(no witness)"),
+        }
+    }
+}
+
+/// The result of running one termination criterion on a dependency set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Verdict {
+    /// Short name of the criterion that produced the verdict.
+    pub criterion: &'static str,
+    /// What acceptance would guarantee.
+    pub guarantee: Guarantee,
+    /// Whether the criterion accepts the set.
+    pub accepted: bool,
+    /// The evidence backing the verdict.
+    pub witness: Witness,
+}
+
+impl Verdict {
+    /// Builds an accepting verdict.
+    pub fn accept(criterion: &'static str, guarantee: Guarantee, witness: Witness) -> Self {
+        Verdict {
+            criterion,
+            guarantee,
+            accepted: true,
+            witness,
+        }
+    }
+
+    /// Builds a rejecting verdict.
+    pub fn reject(criterion: &'static str, guarantee: Guarantee, witness: Witness) -> Self {
+        Verdict {
+            criterion,
+            guarantee,
+            accepted: false,
+            witness,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] {} — {}",
+            self.criterion,
+            self.guarantee,
+            if self.accepted { "accepts" } else { "rejects" },
+            self.witness
+        )
+    }
+}
+
 /// A decidable sufficient condition for chase termination.
 pub trait TerminationCriterion {
     /// Short name of the criterion (e.g. `"WA"`, `"SC"`, `"S-Str"`).
@@ -30,8 +297,19 @@ pub trait TerminationCriterion {
     /// What acceptance guarantees.
     fn guarantee(&self) -> Guarantee;
 
+    /// Relative analysis cost, used by the analyzer to schedule cheapest-first.
+    /// Lower is cheaper; the default places unranked criteria last.
+    fn cost(&self) -> u32 {
+        u32::MAX
+    }
+
+    /// Runs the criterion, returning a witness-producing verdict.
+    fn verdict(&self, sigma: &DependencySet) -> Verdict;
+
     /// Returns `true` iff the criterion accepts `sigma`.
-    fn accepts(&self, sigma: &DependencySet) -> bool;
+    fn accepts(&self, sigma: &DependencySet) -> bool {
+        self.verdict(sigma).accepted
+    }
 }
 
 /// A boxed criterion together with its metadata — convenient for registries.
@@ -40,11 +318,16 @@ pub struct NamedCriterion {
     pub name: &'static str,
     /// Termination guarantee.
     pub guarantee: Guarantee,
-    check: Box<dyn Fn(&DependencySet) -> bool + Send + Sync>,
+    /// Relative analysis cost (lower is cheaper).
+    pub cost: u32,
+    check: Box<dyn Fn(&DependencySet) -> Verdict + Send + Sync>,
 }
 
 impl NamedCriterion {
-    /// Wraps a closure as a criterion.
+    /// Wraps a boolean closure as a criterion with a [`Witness::Trivial`] witness.
+    #[deprecated(
+        note = "wrap a Verdict-producing check with NamedCriterion::with_verdict, or box a TerminationCriterion with NamedCriterion::from_criterion"
+    )]
     pub fn new(
         name: &'static str,
         guarantee: Guarantee,
@@ -53,7 +336,39 @@ impl NamedCriterion {
         NamedCriterion {
             name,
             guarantee,
+            cost: u32::MAX,
+            check: Box::new(move |sigma| Verdict {
+                criterion: name,
+                guarantee,
+                accepted: check(sigma),
+                witness: Witness::Trivial,
+            }),
+        }
+    }
+
+    /// Wraps a verdict-producing closure as a criterion.
+    pub fn with_verdict(
+        name: &'static str,
+        guarantee: Guarantee,
+        cost: u32,
+        check: impl Fn(&DependencySet) -> Verdict + Send + Sync + 'static,
+    ) -> Self {
+        NamedCriterion {
+            name,
+            guarantee,
+            cost,
             check: Box::new(check),
+        }
+    }
+
+    /// Boxes any [`TerminationCriterion`] into a registry entry, carrying over its
+    /// name, guarantee and cost.
+    pub fn from_criterion(c: impl TerminationCriterion + Send + Sync + 'static) -> Self {
+        NamedCriterion {
+            name: c.name(),
+            guarantee: c.guarantee(),
+            cost: c.cost(),
+            check: Box::new(move |sigma| c.verdict(sigma)),
         }
     }
 }
@@ -67,7 +382,11 @@ impl TerminationCriterion for NamedCriterion {
         self.guarantee
     }
 
-    fn accepts(&self, sigma: &DependencySet) -> bool {
+    fn cost(&self) -> u32 {
+        self.cost
+    }
+
+    fn verdict(&self, sigma: &DependencySet) -> Verdict {
         (self.check)(sigma)
     }
 }
@@ -77,20 +396,12 @@ impl TerminationCriterion for NamedCriterion {
 /// `chase-termination` and can be appended by callers.)
 pub fn baseline_criteria() -> Vec<NamedCriterion> {
     vec![
-        NamedCriterion::new("WA", Guarantee::AllSequences, |s| {
-            crate::weak_acyclicity::is_weakly_acyclic(s)
-        }),
-        NamedCriterion::new("SC", Guarantee::AllSequences, crate::safety::is_safe),
-        NamedCriterion::new("SwA", Guarantee::AllSequences, |s| {
-            crate::super_weak::is_super_weakly_acyclic(s)
-        }),
-        NamedCriterion::new("CStr", Guarantee::AllSequences, |s| {
-            crate::stratification::is_c_stratified(s)
-        }),
-        NamedCriterion::new("Str", Guarantee::SomeSequence, |s| {
-            crate::stratification::is_stratified(s)
-        }),
-        NamedCriterion::new("MFA", Guarantee::AllSequences, crate::mfa::is_mfa),
+        NamedCriterion::from_criterion(crate::weak_acyclicity::WeakAcyclicity),
+        NamedCriterion::from_criterion(crate::safety::Safety),
+        NamedCriterion::from_criterion(crate::super_weak::SuperWeakAcyclicity),
+        NamedCriterion::from_criterion(crate::stratification::CStratification),
+        NamedCriterion::from_criterion(crate::stratification::Stratification),
+        NamedCriterion::from_criterion(crate::mfa::ModelFaithfulAcyclicity::default()),
     ]
 }
 
@@ -117,6 +428,14 @@ mod tests {
                 "{} must accept a single full TGD",
                 c.name()
             );
+            let verdict = c.verdict(&sigma);
+            assert!(verdict.accepted);
+            assert_eq!(verdict.criterion, c.name());
+            assert!(
+                !verdict.witness.is_trivial(),
+                "{} must produce a structured witness",
+                c.name()
+            );
         }
     }
 
@@ -124,5 +443,29 @@ mod tests {
     fn guarantee_display() {
         assert_eq!(Guarantee::AllSequences.to_string(), "CT_std_∀");
         assert_eq!(Guarantee::SomeSequence.to_string(), "CT_std_∃");
+    }
+
+    #[test]
+    fn verdict_display_mentions_the_witness() {
+        let v = Verdict::reject(
+            "WA",
+            Guarantee::AllSequences,
+            Witness::AnalysisBudgetExhausted {
+                detail: "rule cap".to_string(),
+            },
+        );
+        let rendered = v.to_string();
+        assert!(rendered.contains("WA"));
+        assert!(rendered.contains("rejects"));
+        assert!(rendered.contains("rule cap"));
+    }
+
+    #[test]
+    fn legacy_boolean_registry_entries_still_work() {
+        #[allow(deprecated)]
+        let c = NamedCriterion::new("always", Guarantee::SomeSequence, |_| true);
+        let sigma = parse_dependencies("r: A(?x) -> B(?x).").unwrap();
+        assert!(c.accepts(&sigma));
+        assert!(c.verdict(&sigma).witness.is_trivial());
     }
 }

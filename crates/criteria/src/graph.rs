@@ -69,8 +69,8 @@ impl DiGraph {
             .collect()
     }
 
-    /// Strongly connected components (Tarjan), returned as sorted vectors of nodes in
-    /// reverse topological order of the condensation.
+    /// Strongly connected components (Tarjan), returned as sorted vectors of nodes,
+    /// with the components themselves sorted lexicographically (NOT topologically).
     pub fn sccs(&self) -> Vec<Vec<usize>> {
         let nodes: Vec<usize> = self.nodes.iter().copied().collect();
         let index_of: BTreeMap<usize, usize> =
@@ -215,6 +215,82 @@ impl DiGraph {
         false
     }
 
+    /// Number of marked edges.
+    pub fn marked_edge_count(&self) -> usize {
+        self.edges.values().filter(|&&m| m).count()
+    }
+
+    /// A shortest path `from → … → to` (BFS over edges), if one exists. For
+    /// `from == to` a genuine cycle of length ≥ 1 is required.
+    pub fn path_between(&self, from: usize, to: usize) -> Option<Vec<usize>> {
+        let mut parent: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+        queue.push_back(from);
+        let mut seen: BTreeSet<usize> = BTreeSet::new();
+        while let Some(n) = queue.pop_front() {
+            for s in self.successors(n) {
+                if s == to {
+                    // Reconstruct from → … → n, then append to.
+                    let mut path = vec![n];
+                    let mut cur = n;
+                    while cur != from {
+                        cur = parent[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    path.push(to);
+                    return Some(path);
+                }
+                if seen.insert(s) {
+                    parent.insert(s, n);
+                    queue.push_back(s);
+                }
+            }
+        }
+        None
+    }
+
+    /// An explicit cycle, if the graph has one: a node sequence `n0, …, nk` with an
+    /// edge between consecutive nodes and `n0 == nk`.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        for scc in self.sccs() {
+            let n = scc[0];
+            if scc.len() > 1 || self.has_edge(n, n) {
+                return self.path_between(n, n);
+            }
+        }
+        None
+    }
+
+    /// An explicit cycle through a marked edge, if one exists: the node sequence
+    /// starts with the marked edge `n0 → n1` and closes back at `n0`.
+    pub fn find_cycle_through_marked_edge(&self) -> Option<Vec<usize>> {
+        let sccs = self.sccs();
+        let mut comp_of: BTreeMap<usize, usize> = BTreeMap::new();
+        for (i, scc) in sccs.iter().enumerate() {
+            for &n in scc {
+                comp_of.insert(n, i);
+            }
+        }
+        for (from, to, marked) in self.edges() {
+            if !marked {
+                continue;
+            }
+            if from == to {
+                return Some(vec![from, from]);
+            }
+            if comp_of.get(&from) == comp_of.get(&to) && sccs[comp_of[&from]].len() > 1 {
+                let back = self
+                    .path_between(to, from)
+                    .expect("same non-trivial SCC implies a path back");
+                let mut cycle = vec![from];
+                cycle.extend(back);
+                return Some(cycle);
+            }
+        }
+        None
+    }
+
     /// Nodes reachable from `start` (including `start`).
     pub fn reachable_from(&self, start: usize) -> BTreeSet<usize> {
         let mut seen = BTreeSet::new();
@@ -317,6 +393,71 @@ mod tests {
         g.add_edge(0, 1, false);
         assert!(g.has_marked_edge(0, 1));
         assert_eq!(g.edge_count(), 1);
+    }
+
+    /// A deterministic pseudo-random graph (linear-congruential stream), used to
+    /// differentially test the cycle-extraction routines against the independent
+    /// SCC-based boolean predicates.
+    fn pseudo_random_graph(seed: u64, nodes: usize, edges: usize) -> DiGraph {
+        let mut g = DiGraph::new();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        for n in 0..nodes {
+            g.add_node(n);
+        }
+        for _ in 0..edges {
+            let from = next() % nodes;
+            let to = next() % nodes;
+            let marked = next() % 3 == 0;
+            g.add_edge(from, to, marked);
+        }
+        g
+    }
+
+    #[test]
+    fn cycle_extraction_agrees_with_the_boolean_predicates() {
+        // `find_cycle` / `find_cycle_through_marked_edge` are the new witness
+        // producers; `has_cycle` / `has_cycle_through_marked_edge` are the original
+        // SCC characterizations. They are independent implementations — this
+        // differential keeps them from drifting apart.
+        for seed in 0..40u64 {
+            let nodes = 2 + (seed as usize % 7);
+            let edges = seed as usize % 12;
+            let g = pseudo_random_graph(seed, nodes, edges);
+            assert_eq!(
+                g.find_cycle().is_some(),
+                g.has_cycle(),
+                "find_cycle disagrees with has_cycle (seed {seed})"
+            );
+            assert_eq!(
+                g.find_cycle_through_marked_edge().is_some(),
+                g.has_cycle_through_marked_edge(),
+                "marked-cycle extraction disagrees with the predicate (seed {seed})"
+            );
+            // Returned cycles must be genuine edge paths that close.
+            if let Some(cycle) = g.find_cycle() {
+                assert!(cycle.len() >= 2);
+                assert_eq!(cycle.first(), cycle.last());
+                for pair in cycle.windows(2) {
+                    assert!(g.has_edge(pair[0], pair[1]), "non-edge in cycle {cycle:?}");
+                }
+            }
+            if let Some(cycle) = g.find_cycle_through_marked_edge() {
+                assert_eq!(cycle.first(), cycle.last());
+                assert!(
+                    g.has_marked_edge(cycle[0], cycle[1]),
+                    "marked cycle must start with its marked edge: {cycle:?}"
+                );
+                for pair in cycle.windows(2) {
+                    assert!(g.has_edge(pair[0], pair[1]), "non-edge in cycle {cycle:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,7 +13,14 @@
 //! * [`mfa`] — model-faithful acyclicity **MFA** (Cuenca Grau et al. 2013);
 //! * [`simulation`] — the natural and substitution-free EGD→TGD simulations that the
 //!   TGD-only criteria rely on (Section 4 of the paper);
-//! * [`criterion`] — a common trait and registry used by the experiment harness.
+//! * [`criterion`] — the [`TerminationCriterion`] trait, the witness-producing
+//!   [`Verdict`] type and the registry used by the experiment harness and by
+//!   `chase_termination::TerminationAnalyzer`.
+//!
+//! Every criterion is a unit struct implementing [`TerminationCriterion`]; its
+//! [`verdict`](TerminationCriterion::verdict) explains *why* with a machine-readable
+//! [`Witness`] (the special-edge cycle for WA/SC, the stratum assignment for
+//! (C-)Str, the trigger cycle for SwA, the saturation certificate for MFA):
 //!
 //! ```
 //! use chase_core::parser::parse_dependencies;
@@ -26,11 +33,14 @@
 //!      r3: E(?x, ?y) -> ?x = ?y.",
 //! )
 //! .unwrap();
-//! assert!(!is_weakly_acyclic(&sigma1));
-//! assert!(!is_safe(&sigma1));
-//! assert!(!is_stratified(&sigma1));
-//! assert!(!is_super_weakly_acyclic(&sigma1));
-//! assert!(!is_mfa(&sigma1));
+//! let verdict = WeakAcyclicity.verdict(&sigma1);
+//! assert!(!verdict.accepted);
+//! // … and the rejection carries the offending special-edge cycle.
+//! assert!(matches!(verdict.witness, Witness::PositionCycle { .. }));
+//! assert!(!Safety.accepts(&sigma1));
+//! assert!(!Stratification.accepts(&sigma1));
+//! assert!(!SuperWeakAcyclicity.accepts(&sigma1));
+//! assert!(!ModelFaithfulAcyclicity::default().accepts(&sigma1));
 //! // … which is exactly the gap the paper's EGD-aware criteria close.
 //! ```
 
@@ -47,25 +57,51 @@ pub mod stratification;
 pub mod super_weak;
 pub mod weak_acyclicity;
 
-pub use criterion::{baseline_criteria, Guarantee, NamedCriterion, TerminationCriterion};
+pub use criterion::{
+    baseline_criteria, Guarantee, NamedCriterion, TerminationCriterion, Verdict, Witness,
+};
 pub use firing::{
     chase_graph, chase_graph_edge, for_each_firing_witness, Applicability, FiringAnswer,
     FiringConfig, FiringWitness,
 };
-pub use mfa::{is_mfa, is_mfa_with, MfaConfig, MfaVerdict};
-pub use safety::{affected_positions, is_safe};
+pub use mfa::{mfa_report_tgds, MfaConfig, MfaReport, MfaVerdict, ModelFaithfulAcyclicity};
+pub use safety::{affected_positions, Safety};
 pub use simulation::{natural_simulation, substitution_free_simulation};
+pub use stratification::{CStratification, Stratification};
+pub use super_weak::SuperWeakAcyclicity;
+pub use weak_acyclicity::WeakAcyclicity;
+
+#[allow(deprecated)]
+pub use mfa::{is_mfa, is_mfa_with};
+#[allow(deprecated)]
+pub use safety::is_safe;
+#[allow(deprecated)]
 pub use stratification::{is_c_stratified, is_stratified};
+#[allow(deprecated)]
 pub use super_weak::is_super_weakly_acyclic;
+#[allow(deprecated)]
 pub use weak_acyclicity::is_weakly_acyclic;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::criterion::{baseline_criteria, Guarantee, TerminationCriterion};
-    pub use crate::mfa::is_mfa;
-    pub use crate::safety::is_safe;
+    pub use crate::criterion::{
+        baseline_criteria, Guarantee, TerminationCriterion, Verdict, Witness,
+    };
+    pub use crate::mfa::ModelFaithfulAcyclicity;
+    pub use crate::safety::Safety;
     pub use crate::simulation::{natural_simulation, substitution_free_simulation};
+    pub use crate::stratification::{CStratification, Stratification};
+    pub use crate::super_weak::SuperWeakAcyclicity;
+    pub use crate::weak_acyclicity::WeakAcyclicity;
+
+    #[allow(deprecated)]
+    pub use crate::mfa::is_mfa;
+    #[allow(deprecated)]
+    pub use crate::safety::is_safe;
+    #[allow(deprecated)]
     pub use crate::stratification::{is_c_stratified, is_stratified};
+    #[allow(deprecated)]
     pub use crate::super_weak::is_super_weakly_acyclic;
+    #[allow(deprecated)]
     pub use crate::weak_acyclicity::is_weakly_acyclic;
 }

@@ -12,10 +12,11 @@
 //!
 //! The saturation loop is *semi-naive*: instead of re-joining every rule body
 //! against the entire derived fact set each round, it drives the delta-driven
-//! [`TriggerEngine`](chase_trigger::TriggerEngine) over a star-normalised copy of
+//! [`TriggerEngine`] over a star-normalised copy of
 //! the rules, with Skolem terms encoded as interned constants. Each body
 //! homomorphism is discovered exactly once, when the facts completing it appear.
 
+use crate::criterion::{Guarantee, TerminationCriterion, Verdict, Witness};
 use crate::simulation::{has_egds, substitution_free_simulation};
 use chase_core::term::Constant;
 use chase_core::{DependencySet, GroundTerm, Instance, Term, Variable};
@@ -59,6 +60,20 @@ impl SkTerm {
         match self {
             SkTerm::Star => 0,
             SkTerm::Func(_, _, args) => 1 + args.iter().map(SkTerm::depth).max().unwrap_or(0),
+        }
+    }
+
+    /// Renders the term as `f^r_z(…)` nesting, for witness output.
+    fn render(&self) -> String {
+        match self {
+            SkTerm::Star => "★".to_string(),
+            SkTerm::Func(r, z, args) => format!(
+                "f^r{r}_z{z}({})",
+                args.iter()
+                    .map(SkTerm::render)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
         }
     }
 }
@@ -125,6 +140,29 @@ pub enum MfaVerdict {
     BudgetExhausted,
 }
 
+/// The full result of the MFA analysis: the verdict plus the saturation certificate
+/// (acceptance) or the cyclic Skolem term (rejection).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MfaReport {
+    /// The verdict.
+    pub verdict: MfaVerdict,
+    /// Facts derived in the critical-instance chase (including the critical facts).
+    pub facts: usize,
+    /// Chase steps (trigger applications) executed.
+    pub steps: usize,
+    /// Maximum Skolem-term depth observed.
+    pub max_term_depth: usize,
+    /// The cyclic term that raised the alarm — rendered, together with its own
+    /// depth — if the verdict is [`MfaVerdict::CyclicTermDerived`].
+    pub cyclic_term: Option<(String, usize)>,
+}
+
+/// Runs the MFA analysis on a TGD-only set, returning the verdict only; see
+/// [`mfa_report_tgds`] for the certificate-carrying variant.
+pub fn mfa_verdict_tgds(sigma: &DependencySet, config: &MfaConfig) -> MfaVerdict {
+    mfa_report_tgds(sigma, config).verdict
+}
+
 /// Runs the MFA analysis on a TGD-only set.
 ///
 /// The Skolemised critical-instance chase is saturated semi-naively through the
@@ -132,7 +170,7 @@ pub enum MfaVerdict {
 /// with the critical constant, which only adds derivations and keeps the
 /// criterion sound), Skolem terms are encoded as interned constants, and each
 /// body homomorphism fires exactly once, when the facts completing it appear.
-pub fn mfa_verdict_tgds(sigma: &DependencySet, config: &MfaConfig) -> MfaVerdict {
+pub fn mfa_report_tgds(sigma: &DependencySet, config: &MfaConfig) -> MfaReport {
     let star = Constant::new("⟨★⟩");
     // Star-normalise the TGDs so that plain homomorphism matching implements the
     // "rule constants match only *" convention of the original formulation.
@@ -173,8 +211,11 @@ pub fn mfa_verdict_tgds(sigma: &DependencySet, config: &MfaConfig) -> MfaVerdict
     let mut interner = SkInterner::new(star);
     let order: Vec<chase_core::DepId> = normalised.ids().collect();
     let mut engine = TriggerEngine::with_database(&normalised, &critical);
+    let mut steps = 0usize;
+    let mut max_term_depth = 0usize;
 
     while let Some(trigger) = engine.next_trigger_where(&order, |_, _| true) {
+        steps += 1;
         let tgd = normalised
             .get(trigger.dep)
             .as_tgd()
@@ -205,11 +246,25 @@ pub fn mfa_verdict_tgds(sigma: &DependencySet, config: &MfaConfig) -> MfaVerdict
                 })
                 .collect();
             let term = SkTerm::Func(rule_idx, z_idx, args);
+            let depth = term.depth();
+            max_term_depth = max_term_depth.max(depth);
             if term.is_cyclic() {
-                return MfaVerdict::CyclicTermDerived;
+                return MfaReport {
+                    verdict: MfaVerdict::CyclicTermDerived,
+                    facts: engine.instance().len(),
+                    steps,
+                    max_term_depth,
+                    cyclic_term: Some((term.render(), depth)),
+                };
             }
-            if term.depth() > config.max_depth {
-                return MfaVerdict::BudgetExhausted;
+            if depth > config.max_depth {
+                return MfaReport {
+                    verdict: MfaVerdict::BudgetExhausted,
+                    facts: engine.instance().len(),
+                    steps,
+                    max_term_depth,
+                    cyclic_term: None,
+                };
             }
             extended.bind(*z, GroundTerm::Const(interner.encode(term)));
         }
@@ -224,32 +279,179 @@ pub fn mfa_verdict_tgds(sigma: &DependencySet, config: &MfaConfig) -> MfaVerdict
             .collect();
         engine.push_facts(head_facts);
         if engine.instance().len() > config.max_facts {
-            return MfaVerdict::BudgetExhausted;
+            return MfaReport {
+                verdict: MfaVerdict::BudgetExhausted,
+                facts: engine.instance().len(),
+                steps,
+                max_term_depth,
+                cyclic_term: None,
+            };
         }
     }
-    MfaVerdict::Acyclic
+    MfaReport {
+        verdict: MfaVerdict::Acyclic,
+        facts: engine.instance().len(),
+        steps,
+        max_term_depth,
+        cyclic_term: None,
+    }
 }
+
+/// Model-faithful acyclicity as a witness-producing [`TerminationCriterion`] (`MFA`).
+///
+/// Acceptances carry the saturation certificate of the Skolemised critical-instance
+/// chase; rejections the cyclic Skolem term that raised the alarm. EGD-bearing sets
+/// are analysed through the substitution-free simulation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ModelFaithfulAcyclicity {
+    /// Budget configuration of the saturation.
+    pub config: MfaConfig,
+}
+
+impl TerminationCriterion for ModelFaithfulAcyclicity {
+    fn name(&self) -> &'static str {
+        "MFA"
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::AllSequences
+    }
+
+    fn cost(&self) -> u32 {
+        70
+    }
+
+    fn verdict(&self, sigma: &DependencySet) -> Verdict {
+        let report = if has_egds(sigma) {
+            mfa_report_tgds(&substitution_free_simulation(sigma), &self.config)
+        } else {
+            mfa_report_tgds(sigma, &self.config)
+        };
+        match report.verdict {
+            MfaVerdict::Acyclic => Verdict::accept(
+                self.name(),
+                self.guarantee(),
+                Witness::MfaSaturation {
+                    facts: report.facts,
+                    steps: report.steps,
+                    max_term_depth: report.max_term_depth,
+                },
+            ),
+            MfaVerdict::CyclicTermDerived => {
+                let (term, depth) = report
+                    .cyclic_term
+                    .unwrap_or(("<unrendered>".to_string(), report.max_term_depth));
+                Verdict::reject(
+                    self.name(),
+                    self.guarantee(),
+                    Witness::CyclicSkolemTerm { term, depth },
+                )
+            }
+            MfaVerdict::BudgetExhausted => Verdict::reject(
+                self.name(),
+                self.guarantee(),
+                Witness::AnalysisBudgetExhausted {
+                    detail: format!(
+                        "saturation stopped at {} facts / depth {}",
+                        report.facts, report.max_term_depth
+                    ),
+                },
+            ),
+        }
+    }
+}
+
 /// Returns `true` iff `sigma` is model-faithfully acyclic (EGDs handled through the
 /// substitution-free simulation).
+#[deprecated(
+    note = "use ModelFaithfulAcyclicity (TerminationCriterion) or the TerminationAnalyzer"
+)]
 pub fn is_mfa(sigma: &DependencySet) -> bool {
-    is_mfa_with(sigma, &MfaConfig::default())
+    ModelFaithfulAcyclicity::default().accepts(sigma)
 }
 
 /// [`is_mfa`] with an explicit budget configuration.
+#[deprecated(note = "use ModelFaithfulAcyclicity { config } (TerminationCriterion)")]
 pub fn is_mfa_with(sigma: &DependencySet, config: &MfaConfig) -> bool {
-    let verdict = if has_egds(sigma) {
-        mfa_verdict_tgds(&substitution_free_simulation(sigma), config)
-    } else {
-        mfa_verdict_tgds(sigma, config)
-    };
-    verdict == MfaVerdict::Acyclic
+    ModelFaithfulAcyclicity { config: *config }.accepts(sigma)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy `is_*` shims stay pinned by these tests
+
     use super::*;
     use crate::super_weak::is_super_weakly_acyclic;
     use chase_core::parser::parse_dependencies;
+
+    #[test]
+    fn saturation_certificate_on_acceptance() {
+        let sigma = parse_dependencies(
+            r#"
+            r1: A(?x) -> exists ?y: B(?x, ?y).
+            r2: B(?x, ?y) -> C(?y).
+            "#,
+        )
+        .unwrap();
+        let verdict = ModelFaithfulAcyclicity::default().verdict(&sigma);
+        assert!(verdict.accepted);
+        match verdict.witness {
+            Witness::MfaSaturation {
+                facts,
+                steps,
+                max_term_depth,
+            } => {
+                assert!(facts >= 3, "critical facts plus derived facts");
+                assert!(steps >= 1);
+                assert_eq!(max_term_depth, 1);
+            }
+            other => panic!("expected MfaSaturation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cyclic_term_witness_reports_the_terms_own_depth() {
+        // The acyclic chain r1–r3 derives depth-3 Skolem terms before the engine
+        // reaches the independent r4/r5 cycle, whose alarm term f^r3_z0(f^r3_z0(★))
+        // has depth 2: the witness must carry the cyclic term's own depth, not the
+        // run-wide maximum.
+        let sigma = parse_dependencies(
+            r#"
+            r1: A(?x) -> exists ?y: B(?x, ?y).
+            r2: B(?x, ?y) -> exists ?z: B2(?y, ?z).
+            r3: B2(?x, ?y) -> exists ?w: B3(?y, ?w).
+            r4: Q(?x) -> exists ?y: R(?x, ?y).
+            r5: R(?x, ?y) -> Q(?y).
+            "#,
+        )
+        .unwrap();
+        let report = mfa_report_tgds(&sigma, &MfaConfig::default());
+        assert_eq!(report.verdict, MfaVerdict::CyclicTermDerived);
+        let (term, depth) = report.cyclic_term.expect("rejections carry the term");
+        assert_eq!(depth, 2, "the cyclic term itself nests once: {term}");
+        assert!(report.max_term_depth >= 3, "the chain went deeper first");
+        match ModelFaithfulAcyclicity::default().verdict(&sigma).witness {
+            Witness::CyclicSkolemTerm { depth, .. } => assert_eq!(depth, 2),
+            other => panic!("expected CyclicSkolemTerm, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cyclic_term_witness_on_rejection() {
+        let sigma = parse_dependencies("r: E(?x, ?y) -> exists ?z: E(?y, ?z).").unwrap();
+        let verdict = ModelFaithfulAcyclicity::default().verdict(&sigma);
+        assert!(!verdict.accepted);
+        match verdict.witness {
+            Witness::CyclicSkolemTerm { term, depth } => {
+                assert!(
+                    term.contains("f^r0_z0"),
+                    "term must name the Skolem: {term}"
+                );
+                assert!(depth >= 2, "a cyclic term nests the same function twice");
+            }
+            other => panic!("expected CyclicSkolemTerm, got {other:?}"),
+        }
+    }
 
     #[test]
     fn weakly_acyclic_chain_is_mfa() {

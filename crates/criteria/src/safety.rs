@@ -5,7 +5,9 @@
 //! propagating along body variables all of whose occurrences lie in affected positions.
 //! Like weak acyclicity, the analysis ignores EGDs.
 
+use crate::criterion::{Guarantee, TerminationCriterion, Verdict};
 use crate::graph::DiGraph;
+use crate::weak_acyclicity::verdict_from_position_graph;
 use chase_core::{DependencySet, Position};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -100,17 +102,60 @@ pub fn propagation_graph(sigma: &DependencySet) -> (DiGraph, Vec<Position>) {
     (graph, positions)
 }
 
+/// Safety as a witness-producing [`TerminationCriterion`] (`SC`).
+///
+/// Rejections carry the special-edge cycle of the propagation graph over affected
+/// positions; acceptances the shape of the (acyclic) graph.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Safety;
+
+impl TerminationCriterion for Safety {
+    fn name(&self) -> &'static str {
+        "SC"
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::AllSequences
+    }
+
+    fn cost(&self) -> u32 {
+        20
+    }
+
+    fn verdict(&self, sigma: &DependencySet) -> Verdict {
+        let (graph, positions) = propagation_graph(sigma);
+        verdict_from_position_graph(self.name(), self.guarantee(), &graph, &positions)
+    }
+}
+
 /// Returns `true` iff `sigma` is safe: the propagation graph restricted to affected
 /// positions has no cycle through a special edge.
+#[deprecated(note = "use Safety (TerminationCriterion) or the TerminationAnalyzer")]
 pub fn is_safe(sigma: &DependencySet) -> bool {
-    let (graph, _) = propagation_graph(sigma);
-    !graph.has_cycle_through_marked_edge()
+    Safety.accepts(sigma)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy `is_*` shims stay pinned by these tests
+
     use super::*;
+    use crate::criterion::Witness;
     use crate::weak_acyclicity::is_weakly_acyclic;
+
+    #[test]
+    fn safety_rejection_carries_the_affected_cycle() {
+        let sigma = parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            "#,
+        )
+        .unwrap();
+        let verdict = Safety.verdict(&sigma);
+        assert!(!verdict.accepted);
+        assert!(matches!(verdict.witness, Witness::PositionCycle { .. }));
+    }
     use chase_core::parser::parse_dependencies;
     use chase_core::Predicate;
 

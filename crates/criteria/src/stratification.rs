@@ -12,10 +12,11 @@
 //! simple cycles; as in the research prototypes we check every SCC instead, which is
 //! sound because weak acyclicity is closed under taking subsets of dependencies.
 
+use crate::criterion::{Guarantee, TerminationCriterion, Verdict, Witness};
 use crate::firing::{chase_graph, Applicability, FiringConfig};
 use crate::graph::DiGraph;
-use crate::weak_acyclicity::is_weakly_acyclic;
-use chase_core::{DepId, DependencySet};
+use crate::weak_acyclicity::WeakAcyclicity;
+use chase_core::{DepId, DependencySet, Position};
 use std::collections::BTreeSet;
 
 /// Builds the chase graph `G(Σ)` with standard-chase applicability (the graph of
@@ -46,40 +47,198 @@ pub fn oblivious_chase_graph(sigma: &DependencySet) -> DiGraph {
 /// acyclic subset of `sigma`. Singleton components without a self-loop are trivially
 /// fine.
 pub fn all_components_weakly_acyclic(sigma: &DependencySet, graph: &DiGraph) -> bool {
-    for scc in graph.sccs() {
+    offending_component(sigma, graph).is_none()
+}
+
+/// The first cyclic SCC of `graph` whose dependencies are not weakly acyclic, if any,
+/// together with the special-edge position cycle inside that subset.
+pub fn offending_component(
+    sigma: &DependencySet,
+    graph: &DiGraph,
+) -> Option<(Vec<DepId>, Vec<Position>)> {
+    offending_component_in(sigma, graph, &graph.sccs())
+}
+
+/// [`offending_component`] over a precomputed SCC decomposition of `graph`, so
+/// callers that also need the components pay for Tarjan only once.
+pub fn offending_component_in(
+    sigma: &DependencySet,
+    graph: &DiGraph,
+    sccs: &[Vec<usize>],
+) -> Option<(Vec<DepId>, Vec<Position>)> {
+    for scc in sccs {
         let cyclic = scc.len() > 1 || scc.iter().any(|&n| graph.has_edge(n, n));
         if !cyclic {
             continue;
         }
         let ids: BTreeSet<DepId> = scc.iter().map(|&n| DepId(n)).collect();
         let subset = sigma.restrict(&ids);
-        if !is_weakly_acyclic(&subset) {
-            return false;
+        let wa = WeakAcyclicity.verdict(&subset);
+        if !wa.accepted {
+            let cycle = match wa.witness {
+                Witness::PositionCycle { positions } => positions,
+                _ => Vec::new(),
+            };
+            return Some((ids.into_iter().collect(), cycle));
         }
     }
-    true
+    None
+}
+
+/// Shared verdict construction for the stratification family (also used by
+/// semi-stratification in `chase-termination`): reject with the first offending
+/// component, accept with the stratum assignment (SCCs of the graph, whose nodes are
+/// dependency indices of `sigma`).
+pub fn verdict_from_components(
+    name: &'static str,
+    guarantee: Guarantee,
+    sigma: &DependencySet,
+    graph: &DiGraph,
+) -> Verdict {
+    let sccs = graph.sccs();
+    match offending_component_in(sigma, graph, &sccs) {
+        Some((component, position_cycle)) => Verdict::reject(
+            name,
+            guarantee,
+            Witness::OffendingComponent {
+                component,
+                position_cycle,
+            },
+        ),
+        None => {
+            let mut strata: Vec<Vec<DepId>> = sccs
+                .into_iter()
+                .map(|scc| scc.into_iter().map(DepId).collect())
+                .collect();
+            // Every dependency belongs to a stratum even if it is isolated in the
+            // graph (graphs may omit nodes without edges).
+            let seen: BTreeSet<DepId> = strata.iter().flatten().copied().collect();
+            for id in sigma.ids() {
+                if !seen.contains(&id) {
+                    strata.push(vec![id]);
+                }
+            }
+            Verdict::accept(name, guarantee, Witness::StratumAssignment { strata })
+        }
+    }
+}
+
+/// Stratification as a witness-producing [`TerminationCriterion`] (`Str`).
+///
+/// Acceptance carries the stratum assignment (the SCC decomposition of the chase
+/// graph); rejection the offending component and its inner special-edge cycle.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Stratification;
+
+impl TerminationCriterion for Stratification {
+    fn name(&self) -> &'static str {
+        "Str"
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::SomeSequence
+    }
+
+    fn cost(&self) -> u32 {
+        40
+    }
+
+    fn verdict(&self, sigma: &DependencySet) -> Verdict {
+        let graph = standard_chase_graph(sigma);
+        verdict_from_components(self.name(), self.guarantee(), sigma, &graph)
+    }
+}
+
+/// C-stratification as a witness-producing [`TerminationCriterion`] (`CStr`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CStratification;
+
+impl TerminationCriterion for CStratification {
+    fn name(&self) -> &'static str {
+        "CStr"
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::AllSequences
+    }
+
+    fn cost(&self) -> u32 {
+        50
+    }
+
+    fn verdict(&self, sigma: &DependencySet) -> Verdict {
+        let graph = oblivious_chase_graph(sigma);
+        verdict_from_components(self.name(), self.guarantee(), sigma, &graph)
+    }
 }
 
 /// Returns `true` iff `sigma` is stratified (`Str`): every SCC of the chase graph is
 /// weakly acyclic. Acceptance guarantees the existence of at least one terminating
 /// standard chase sequence for every database.
+#[deprecated(note = "use Stratification (TerminationCriterion) or the TerminationAnalyzer")]
 pub fn is_stratified(sigma: &DependencySet) -> bool {
-    let graph = standard_chase_graph(sigma);
-    all_components_weakly_acyclic(sigma, &graph)
+    Stratification.accepts(sigma)
 }
 
 /// Returns `true` iff `sigma` is c-stratified (`CStr`): every SCC of the oblivious
 /// chase graph is weakly acyclic. Acceptance guarantees that all standard chase
 /// sequences terminate for every database.
+#[deprecated(note = "use CStratification (TerminationCriterion) or the TerminationAnalyzer")]
 pub fn is_c_stratified(sigma: &DependencySet) -> bool {
-    let graph = oblivious_chase_graph(sigma);
-    all_components_weakly_acyclic(sigma, &graph)
+    CStratification.accepts(sigma)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy `is_*` shims stay pinned by these tests
+
     use super::*;
     use chase_core::parser::parse_dependencies;
+
+    #[test]
+    fn rejection_names_the_offending_component() {
+        let sigma = parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            "#,
+        )
+        .unwrap();
+        let verdict = Stratification.verdict(&sigma);
+        assert!(!verdict.accepted);
+        match &verdict.witness {
+            Witness::OffendingComponent {
+                component,
+                position_cycle,
+            } => {
+                assert!(component.contains(&DepId(0)) && component.contains(&DepId(1)));
+                assert!(!position_cycle.is_empty());
+            }
+            other => panic!("expected OffendingComponent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn acceptance_assigns_every_dependency_to_a_stratum() {
+        let sigma = parse_dependencies(
+            r#"
+            r1: A(?x) -> exists ?y: B(?x, ?y).
+            r2: B(?x, ?y) -> C(?y).
+            k: R(?x, ?y), R(?x, ?z) -> ?y = ?z.
+            "#,
+        )
+        .unwrap();
+        let verdict = CStratification.verdict(&sigma);
+        assert!(verdict.accepted);
+        match &verdict.witness {
+            Witness::StratumAssignment { strata } => {
+                let all: BTreeSet<DepId> = strata.iter().flatten().copied().collect();
+                assert_eq!(all.len(), sigma.len(), "every dependency gets a stratum");
+            }
+            other => panic!("expected StratumAssignment, got {other:?}"),
+        }
+    }
 
     #[test]
     fn example1_is_not_stratified() {

@@ -15,9 +15,10 @@
 //! substitution-free simulation (`Σ` is accepted iff its simulation is), exactly as the
 //! paper assumes in Sections 3–4.
 
+use crate::criterion::{Guarantee, TerminationCriterion, Verdict, Witness};
 use crate::graph::DiGraph;
 use crate::simulation::{has_egds, substitution_free_simulation};
-use chase_core::{DependencySet, Position, Variable};
+use chase_core::{DepId, DependencySet, Position, Variable};
 use std::collections::BTreeSet;
 
 /// A marker identifying the nulls invented for one existential variable of one TGD.
@@ -103,7 +104,7 @@ pub fn trigger_graph(sigma: &DependencySet) -> DiGraph {
 
 /// Returns `true` iff the TGD-only set `sigma` is super-weakly acyclic (no cycle in the
 /// trigger graph). Panics in debug builds if EGDs are present — use
-/// [`is_super_weakly_acyclic`] for general sets.
+/// [`SuperWeakAcyclicity`] for general sets.
 pub fn is_super_weakly_acyclic_tgds(sigma: &DependencySet) -> bool {
     debug_assert!(
         sigma.egd_ids().is_empty(),
@@ -112,21 +113,84 @@ pub fn is_super_weakly_acyclic_tgds(sigma: &DependencySet) -> bool {
     !trigger_graph(sigma).has_cycle()
 }
 
+/// Super-weak acyclicity as a witness-producing [`TerminationCriterion`] (`SwA`).
+///
+/// Rejections carry the cycle of the trigger graph; acceptances its (acyclic) shape.
+/// For EGD-bearing sets the analysis — and hence the rule ids in the witness — refers
+/// to the substitution-free simulation.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SuperWeakAcyclicity;
+
+impl TerminationCriterion for SuperWeakAcyclicity {
+    fn name(&self) -> &'static str {
+        "SwA"
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::AllSequences
+    }
+
+    fn cost(&self) -> u32 {
+        30
+    }
+
+    fn verdict(&self, sigma: &DependencySet) -> Verdict {
+        let simulated;
+        let analysed: &DependencySet = if has_egds(sigma) {
+            simulated = substitution_free_simulation(sigma);
+            &simulated
+        } else {
+            sigma
+        };
+        let graph = trigger_graph(analysed);
+        match graph.find_cycle() {
+            Some(cycle) => Verdict::reject(
+                self.name(),
+                self.guarantee(),
+                Witness::TriggerCycle {
+                    rules: cycle.into_iter().map(DepId).collect(),
+                },
+            ),
+            None => Verdict::accept(
+                self.name(),
+                self.guarantee(),
+                Witness::AcyclicTriggerGraph {
+                    existential_rules: graph.node_count(),
+                    edges: graph.edge_count(),
+                },
+            ),
+        }
+    }
+}
+
 /// Returns `true` iff `sigma` is super-weakly acyclic. EGD-bearing sets are first
 /// rewritten with the substitution-free simulation, as in the literature.
+#[deprecated(note = "use SuperWeakAcyclicity (TerminationCriterion) or the TerminationAnalyzer")]
 pub fn is_super_weakly_acyclic(sigma: &DependencySet) -> bool {
-    if has_egds(sigma) {
-        is_super_weakly_acyclic_tgds(&substitution_free_simulation(sigma))
-    } else {
-        is_super_weakly_acyclic_tgds(sigma)
-    }
+    SuperWeakAcyclicity.accepts(sigma)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy `is_*` shims stay pinned by these tests
+
     use super::*;
     use crate::safety::is_safe;
     use chase_core::parser::parse_dependencies;
+
+    #[test]
+    fn rejection_witness_is_a_trigger_cycle() {
+        let sigma = parse_dependencies("r: E(?x, ?y) -> exists ?z: E(?y, ?z).").unwrap();
+        let verdict = SuperWeakAcyclicity.verdict(&sigma);
+        assert!(!verdict.accepted);
+        match &verdict.witness {
+            Witness::TriggerCycle { rules } => {
+                assert_eq!(rules.first(), rules.last());
+                assert!(rules.contains(&DepId(0)));
+            }
+            other => panic!("expected TriggerCycle, got {other:?}"),
+        }
+    }
 
     #[test]
     fn example1_tgds_are_not_super_weakly_acyclic() {

@@ -12,6 +12,7 @@
 //! ignored by the analysis (exactly as in the original definition — this is the
 //! weakness the paper sets out to address).
 
+use crate::criterion::{Guarantee, TerminationCriterion, Verdict, Witness};
 use crate::graph::DiGraph;
 use chase_core::{DependencySet, Position, Term};
 use std::collections::BTreeMap;
@@ -67,16 +68,112 @@ pub fn dependency_graph(sigma: &DependencySet) -> (DiGraph, Vec<Position>) {
     (graph, positions)
 }
 
+/// Weak acyclicity as a witness-producing [`TerminationCriterion`] (`WA`).
+///
+/// Rejections carry the special-edge position cycle; acceptances the shape of the
+/// (acyclic) dependency graph.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WeakAcyclicity;
+
+impl TerminationCriterion for WeakAcyclicity {
+    fn name(&self) -> &'static str {
+        "WA"
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::AllSequences
+    }
+
+    fn cost(&self) -> u32 {
+        10
+    }
+
+    fn verdict(&self, sigma: &DependencySet) -> Verdict {
+        let (graph, positions) = dependency_graph(sigma);
+        verdict_from_position_graph(self.name(), self.guarantee(), &graph, &positions)
+    }
+}
+
+/// Shared WA/SC verdict construction from a position graph: reject with the explicit
+/// special-edge cycle, accept with the graph shape.
+pub(crate) fn verdict_from_position_graph(
+    name: &'static str,
+    guarantee: Guarantee,
+    graph: &DiGraph,
+    positions: &[Position],
+) -> Verdict {
+    match graph.find_cycle_through_marked_edge() {
+        Some(cycle) => Verdict::reject(
+            name,
+            guarantee,
+            Witness::PositionCycle {
+                positions: cycle.into_iter().map(|n| positions[n]).collect(),
+            },
+        ),
+        None => Verdict::accept(
+            name,
+            guarantee,
+            Witness::AcyclicPositionGraph {
+                positions: positions.len(),
+                edges: graph.edge_count(),
+                special_edges: graph.marked_edge_count(),
+            },
+        ),
+    }
+}
+
 /// Returns `true` iff `sigma` is weakly acyclic.
+#[deprecated(note = "use WeakAcyclicity (TerminationCriterion) or the TerminationAnalyzer")]
 pub fn is_weakly_acyclic(sigma: &DependencySet) -> bool {
-    let (graph, _) = dependency_graph(sigma);
-    !graph.has_cycle_through_marked_edge()
+    WeakAcyclicity.accepts(sigma)
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy `is_*` shims stay pinned by these tests
+
     use super::*;
     use chase_core::parser::parse_dependencies;
+
+    #[test]
+    fn rejection_witness_is_a_special_cycle() {
+        let sigma = parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            "#,
+        )
+        .unwrap();
+        let verdict = WeakAcyclicity.verdict(&sigma);
+        assert!(!verdict.accepted);
+        match &verdict.witness {
+            Witness::PositionCycle { positions } => {
+                assert!(positions.len() >= 2);
+                assert_eq!(positions.first(), positions.last());
+                // The cycle starts with the special edge N[1] → E[2].
+                assert_eq!(positions[0].predicate.name.as_str(), "N");
+            }
+            other => panic!("expected PositionCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn acceptance_witness_describes_the_graph() {
+        let sigma = parse_dependencies("r: A(?x) -> exists ?y: B(?x, ?y).").unwrap();
+        let verdict = WeakAcyclicity.verdict(&sigma);
+        assert!(verdict.accepted);
+        match verdict.witness {
+            Witness::AcyclicPositionGraph {
+                positions,
+                special_edges,
+                ..
+            } => {
+                assert_eq!(positions, 3); // A[1], B[1], B[2]
+                assert_eq!(special_edges, 1);
+            }
+            other => panic!("expected AcyclicPositionGraph, got {other:?}"),
+        }
+    }
 
     #[test]
     fn example1_is_not_weakly_acyclic() {

@@ -340,7 +340,7 @@ mod tests {
     fn non_cyclic_ontologies_have_terminating_chases() {
         // The forward-flow discipline makes non-cyclic profiles terminate: verify by
         // actually running the standard chase on generated databases.
-        use chase_engine::StandardChase;
+        use chase_engine::{Chase, ChaseBudget};
         for seed in 0..5 {
             let sigma = generate(&OntologyProfile {
                 existential: 4,
@@ -350,7 +350,9 @@ mod tests {
                 seed,
             });
             let db = generate_database(&sigma, 15, seed);
-            let out = StandardChase::new(&sigma).with_max_steps(20_000).run(&db);
+            let out = Chase::standard(&sigma)
+                .with_budget(ChaseBudget::unlimited().with_max_steps(20_000))
+                .run(&db);
             assert!(
                 !out.is_budget_exhausted(),
                 "non-cyclic ontology (seed {seed}) did not terminate"

@@ -156,6 +156,10 @@ pub struct AdnResult {
     pub adorned_rule_count: usize,
     /// Number of main-loop iterations executed.
     pub iterations: usize,
+    /// The fireable pairs `(s, r)` over the *original* set used by the Ω(AD)
+    /// cyclicity test: the firing relation of Definition 2 in
+    /// [`FireableMode::Exact`], or its predicate-overlap over-approximation.
+    pub fireable_pairs: Vec<(usize, usize)>,
     /// `true` iff the rule budget was exhausted (the result is then a conservative
     /// rejection).
     pub budget_exhausted: bool,
@@ -177,12 +181,64 @@ pub fn adorn(sigma: &DependencySet) -> AdnResult {
     adorn_with(sigma, &AdnConfig::default())
 }
 
+/// Builds the [`Witness`](chase_criteria::Witness) describing an adornment run: the
+/// trace of Algorithm 1 (definitions, rule and iteration counts) together with the
+/// fireable-pair set driving the Ω(AD) cyclicity test.
+pub fn adornment_witness(result: &AdnResult) -> chase_criteria::Witness {
+    chase_criteria::Witness::AdornmentTrace {
+        adorned_rules: result.adorned_rule_count,
+        iterations: result.iterations,
+        definitions: result.definitions.iter().map(|d| d.to_string()).collect(),
+        fireable_pairs: result
+            .fireable_pairs
+            .iter()
+            .map(|&(s, r)| (chase_core::DepId(s), chase_core::DepId(r)))
+            .collect(),
+        budget_exhausted: result.budget_exhausted,
+    }
+}
+
+/// Semi-acyclicity (`SAC`, Definition 4) as a witness-producing
+/// [`TerminationCriterion`](chase_criteria::TerminationCriterion): runs `Adn∃` and
+/// reports the adornment trace and fireable-pair set either way.
+#[derive(Clone, Debug, Default)]
+pub struct SemiAcyclicity {
+    /// Configuration of the adornment algorithm.
+    pub config: AdnConfig,
+}
+
+impl chase_criteria::TerminationCriterion for SemiAcyclicity {
+    fn name(&self) -> &'static str {
+        "SAC"
+    }
+
+    fn guarantee(&self) -> chase_criteria::Guarantee {
+        chase_criteria::Guarantee::SomeSequence
+    }
+
+    fn cost(&self) -> u32 {
+        80
+    }
+
+    fn verdict(&self, sigma: &DependencySet) -> chase_criteria::Verdict {
+        let result = adorn_with(sigma, &self.config);
+        chase_criteria::Verdict {
+            criterion: self.name(),
+            guarantee: chase_criteria::Guarantee::SomeSequence,
+            accepted: result.acyclic,
+            witness: adornment_witness(&result),
+        }
+    }
+}
+
 /// Returns `true` iff `sigma` is semi-acyclic (`SAC`, Definition 4).
+#[deprecated(note = "use SemiAcyclicity (TerminationCriterion) or the TerminationAnalyzer")]
 pub fn is_semi_acyclic(sigma: &DependencySet) -> bool {
     adorn(sigma).acyclic
 }
 
 /// [`is_semi_acyclic`] with an explicit configuration.
+#[deprecated(note = "use SemiAcyclicity { config } (TerminationCriterion)")]
 pub fn is_semi_acyclic_with(sigma: &DependencySet, config: &AdnConfig) -> bool {
     adorn_with(sigma, config).acyclic
 }
@@ -404,12 +460,20 @@ impl<'a> Adn<'a> {
             }
         }
         let adorned = self.to_dependency_set();
+        let fireable_pairs: Vec<(usize, usize)> = self
+            .original_firing
+            .edges
+            .iter()
+            .enumerate()
+            .flat_map(|(s, succs)| succs.iter().map(move |&r| (s, r)))
+            .collect();
         AdnResult {
             adorned_rule_count: self.rules.iter().filter(|r| r.src.is_some()).count(),
             adorned,
             acyclic: self.acyclic,
             definitions: self.ad,
             iterations: self.iterations,
+            fireable_pairs,
             budget_exhausted: self.budget_exhausted,
         }
     }
@@ -1050,8 +1114,35 @@ fn ad_rule_to_dependency(rule: &AdRule, index: usize) -> Dependency {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy `is_*` shims stay pinned by these tests
+
     use super::*;
     use chase_core::parser::parse_dependencies;
+
+    #[test]
+    fn verdict_carries_the_adornment_trace() {
+        use chase_criteria::{TerminationCriterion, Witness};
+        let verdict = SemiAcyclicity::default().verdict(&sigma10());
+        assert!(!verdict.accepted);
+        match verdict.witness {
+            Witness::AdornmentTrace {
+                adorned_rules,
+                iterations,
+                fireable_pairs,
+                budget_exhausted,
+                ..
+            } => {
+                assert!(adorned_rules >= 3);
+                assert!(iterations >= adorned_rules);
+                assert!(
+                    !fireable_pairs.is_empty(),
+                    "Σ10's rules feed each other, the firing relation is non-empty"
+                );
+                assert!(!budget_exhausted);
+            }
+            other => panic!("expected AdornmentTrace, got {other:?}"),
+        }
+    }
 
     fn sigma1() -> DependencySet {
         parse_dependencies(

@@ -6,9 +6,93 @@
 //! often gains some, because the adorned set has the same or weaker structural
 //! dependencies (EGD effects having been compiled away into the adornments).
 
-use crate::adornment::{adorn_with, AdnConfig, AdnResult};
+use crate::adornment::{adorn_with, adornment_witness, AdnConfig, AdnResult, SemiAcyclicity};
+use crate::semi_stratification::SemiStratification;
 use chase_core::DependencySet;
-use chase_criteria::criterion::{Guarantee, NamedCriterion};
+use chase_criteria::criterion::{
+    Guarantee, NamedCriterion, TerminationCriterion, Verdict, Witness,
+};
+use chase_criteria::safety::Safety;
+use chase_criteria::super_weak::SuperWeakAcyclicity;
+use chase_criteria::weak_acyclicity::WeakAcyclicity;
+
+/// The `Adn∃-C` combinator as a witness-producing [`TerminationCriterion`]: runs the
+/// adornment algorithm, then the inner criterion `C` on the adorned set `Σµ`.
+///
+/// The verdict's witness pairs the adornment trace with the inner criterion's verdict
+/// on `Σµ` ([`Witness::Combined`]); the guarantee is always `CT_std_∃` (Theorem 10),
+/// regardless of what `C` guarantees on sets it analyses directly.
+pub struct AdnCombined {
+    name: &'static str,
+    config: AdnConfig,
+    cost: u32,
+    inner: Box<dyn TerminationCriterion + Send + Sync>,
+}
+
+impl AdnCombined {
+    /// Combines the adornment with an arbitrary inner criterion.
+    pub fn new(
+        name: &'static str,
+        cost: u32,
+        inner: impl TerminationCriterion + Send + Sync + 'static,
+    ) -> Self {
+        AdnCombined {
+            name,
+            config: AdnConfig::default(),
+            cost,
+            inner: Box::new(inner),
+        }
+    }
+
+    /// Sets the adornment configuration.
+    pub fn with_config(mut self, config: AdnConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// `Adn∃-WA`: weak acyclicity on the adorned set.
+    pub fn weak_acyclicity() -> Self {
+        AdnCombined::new("Adn-WA", 90, WeakAcyclicity)
+    }
+
+    /// `Adn∃-SC`: safety on the adorned set.
+    pub fn safety() -> Self {
+        AdnCombined::new("Adn-SC", 91, Safety)
+    }
+
+    /// `Adn∃-SwA`: super-weak acyclicity on the adorned set.
+    pub fn super_weak_acyclicity() -> Self {
+        AdnCombined::new("Adn-SwA", 92, SuperWeakAcyclicity)
+    }
+}
+
+impl TerminationCriterion for AdnCombined {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::SomeSequence
+    }
+
+    fn cost(&self) -> u32 {
+        self.cost
+    }
+
+    fn verdict(&self, sigma: &DependencySet) -> Verdict {
+        let result = adorn_with(sigma, &self.config);
+        let inner = self.inner.verdict(&result.adorned);
+        Verdict {
+            criterion: self.name,
+            guarantee: Guarantee::SomeSequence,
+            accepted: inner.accepted,
+            witness: Witness::Combined {
+                adornment: Box::new(adornment_witness(&result)),
+                inner: Box::new(inner),
+            },
+        }
+    }
+}
 
 /// Applies criterion `check` to the adorned version of `sigma` (`Adn∃-C`).
 ///
@@ -31,31 +115,30 @@ pub fn adn_combined(sigma: &DependencySet, check: impl Fn(&DependencySet) -> boo
 }
 
 /// Convenience: `Adn∃-WA` — weak acyclicity on the adorned set.
+#[deprecated(note = "use AdnCombined::weak_acyclicity() (TerminationCriterion)")]
 pub fn adn_weak_acyclicity(sigma: &DependencySet) -> bool {
-    adn_combined(sigma, chase_criteria::weak_acyclicity::is_weakly_acyclic)
+    AdnCombined::weak_acyclicity().accepts(sigma)
 }
 
 /// Convenience: `Adn∃-SC` — safety on the adorned set.
+#[deprecated(note = "use AdnCombined::safety() (TerminationCriterion)")]
 pub fn adn_safety(sigma: &DependencySet) -> bool {
-    adn_combined(sigma, chase_criteria::safety::is_safe)
+    AdnCombined::safety().accepts(sigma)
 }
 
 /// Convenience: `Adn∃-SwA` — super-weak acyclicity on the adorned set.
+#[deprecated(note = "use AdnCombined::super_weak_acyclicity() (TerminationCriterion)")]
 pub fn adn_super_weak_acyclicity(sigma: &DependencySet) -> bool {
-    adn_combined(sigma, chase_criteria::super_weak::is_super_weakly_acyclic)
+    AdnCombined::super_weak_acyclicity().accepts(sigma)
 }
 
 /// Wraps every baseline criterion `C` into its `Adn∃-C` counterpart, for use in the
 /// experiment harness. All combined criteria guarantee membership in `CT_std_∃`.
 pub fn combined_criteria() -> Vec<NamedCriterion> {
     vec![
-        NamedCriterion::new("Adn-WA", Guarantee::SomeSequence, adn_weak_acyclicity),
-        NamedCriterion::new("Adn-SC", Guarantee::SomeSequence, adn_safety),
-        NamedCriterion::new(
-            "Adn-SwA",
-            Guarantee::SomeSequence,
-            adn_super_weak_acyclicity,
-        ),
+        NamedCriterion::from_criterion(AdnCombined::weak_acyclicity()),
+        NamedCriterion::from_criterion(AdnCombined::safety()),
+        NamedCriterion::from_criterion(AdnCombined::super_weak_acyclicity()),
     ]
 }
 
@@ -63,12 +146,8 @@ pub fn combined_criteria() -> Vec<NamedCriterion> {
 /// semi-acyclicity.
 pub fn paper_criteria() -> Vec<NamedCriterion> {
     vec![
-        NamedCriterion::new("S-Str", Guarantee::SomeSequence, |s| {
-            crate::semi_stratification::is_semi_stratified(s)
-        }),
-        NamedCriterion::new("SAC", Guarantee::SomeSequence, |s| {
-            crate::adornment::is_semi_acyclic(s)
-        }),
+        NamedCriterion::from_criterion(SemiStratification::default()),
+        NamedCriterion::from_criterion(SemiAcyclicity::default()),
     ]
 }
 
@@ -83,9 +162,10 @@ pub fn all_criteria() -> Vec<NamedCriterion> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy boolean shims stay pinned by these tests
+
     use super::*;
     use chase_core::parser::parse_dependencies;
-    use chase_criteria::prelude::*;
 
     fn sigma1() -> DependencySet {
         parse_dependencies(
@@ -109,12 +189,39 @@ mod tests {
         ];
         for src in inputs {
             let sigma = parse_dependencies(src).unwrap();
-            if is_weakly_acyclic(&sigma) {
-                assert!(adn_weak_acyclicity(&sigma), "WA ⊆ Adn-WA violated on {src}");
+            if WeakAcyclicity.accepts(&sigma) {
+                assert!(
+                    AdnCombined::weak_acyclicity().accepts(&sigma),
+                    "WA ⊆ Adn-WA violated on {src}"
+                );
             }
-            if is_safe(&sigma) {
-                assert!(adn_safety(&sigma), "SC ⊆ Adn-SC violated on {src}");
+            if Safety.accepts(&sigma) {
+                assert!(
+                    AdnCombined::safety().accepts(&sigma),
+                    "SC ⊆ Adn-SC violated on {src}"
+                );
             }
+        }
+    }
+
+    #[test]
+    fn combined_verdict_nests_the_inner_witness() {
+        let chain =
+            parse_dependencies("r1: A(?x) -> exists ?y: B(?x, ?y). r2: B(?x, ?y) -> C(?y).")
+                .unwrap();
+        let verdict = AdnCombined::weak_acyclicity().verdict(&chain);
+        assert!(verdict.accepted);
+        match verdict.witness {
+            Witness::Combined { adornment, inner } => {
+                assert!(matches!(*adornment, Witness::AdornmentTrace { .. }));
+                assert_eq!(inner.criterion, "WA");
+                assert!(inner.accepted);
+                assert!(matches!(
+                    inner.witness,
+                    Witness::AcyclicPositionGraph { .. }
+                ));
+            }
+            other => panic!("expected Combined, got {other:?}"),
         }
     }
 
@@ -125,9 +232,9 @@ mod tests {
         // still carries the structural null-cycle (the adorned rules mirror r1/r2), so
         // the gain here comes from SAC, not from Adn∃-WA.
         let sigma = sigma1();
-        assert!(!is_weakly_acyclic(&sigma));
-        assert!(!is_safe(&sigma));
-        assert!(crate::adornment::is_semi_acyclic(&sigma));
+        assert!(!WeakAcyclicity.accepts(&sigma));
+        assert!(!Safety.accepts(&sigma));
+        assert!(crate::adornment::SemiAcyclicity::default().accepts(&sigma));
     }
 
     #[test]
@@ -135,11 +242,10 @@ mod tests {
         let chain =
             parse_dependencies("r1: A(?x) -> exists ?y: B(?x, ?y). r2: B(?x, ?y) -> C(?y).")
                 .unwrap();
-        let (verdict, result) = adn_combined_with(
-            &chain,
-            &crate::adornment::AdnConfig::default(),
-            is_weakly_acyclic,
-        );
+        let (verdict, result) =
+            adn_combined_with(&chain, &crate::adornment::AdnConfig::default(), |s| {
+                WeakAcyclicity.accepts(s)
+            });
         assert!(verdict, "the adorned version of a WA set stays WA");
         assert!(result.acyclic);
         assert!(result.adorned.len() > chain.len());
@@ -157,6 +263,20 @@ mod tests {
     }
 
     #[test]
+    fn legacy_boolean_shims_agree_with_the_criteria() {
+        let sigma = sigma1();
+        assert_eq!(
+            adn_weak_acyclicity(&sigma),
+            AdnCombined::weak_acyclicity().accepts(&sigma)
+        );
+        assert_eq!(adn_safety(&sigma), AdnCombined::safety().accepts(&sigma));
+        assert_eq!(
+            adn_super_weak_acyclicity(&sigma),
+            AdnCombined::super_weak_acyclicity().accepts(&sigma)
+        );
+    }
+
+    #[test]
     fn sigma10_is_rejected_even_after_combination() {
         // Σ10 has no terminating sequence at all, so every sound criterion must reject.
         let sigma10 = parse_dependencies(
@@ -168,9 +288,11 @@ mod tests {
         )
         .unwrap();
         for criterion in all_criteria() {
+            let verdict = criterion.verdict(&sigma10);
+            assert!(!verdict.accepted, "{} wrongly accepts Σ10", criterion.name);
             assert!(
-                !criterion.accepts(&sigma10),
-                "{} wrongly accepts Σ10",
+                !verdict.witness.is_trivial(),
+                "{} must explain its rejection",
                 criterion.name
             );
         }

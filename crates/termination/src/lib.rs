@@ -14,7 +14,10 @@
 //!   **semi-acyclicity** (`SAC`, Definition 4), which analyse EGDs directly by
 //!   propagating bound/free adornments and applying EGD-induced substitutions;
 //! * [`combined`] — the **`Adn∃-C`** combinator (Theorems 10–11): any existing
-//!   criterion applied to the adorned set recognises strictly more sets in `CT_std_∃`.
+//!   criterion applied to the adorned set recognises strictly more sets in `CT_std_∃`;
+//! * [`analyzer`] — the [`TerminationAnalyzer`]: the whole hierarchy behind one call,
+//!   run cheapest-first with short-circuiting, producing a witness-carrying
+//!   [`TerminationReport`].
 //!
 //! ```
 //! use chase_core::parser::parse_dependencies;
@@ -27,42 +30,57 @@
 //!      r3: E(?x, ?y) -> E(?y, ?x).",
 //! )
 //! .unwrap();
-//! assert!(is_semi_stratified(&sigma11));
-//! assert!(is_semi_acyclic(&sigma11));
+//! assert!(SemiStratification::default().accepts(&sigma11));
 //!
-//! // Σ1 of Example 1: recognised by the adornment algorithm (Example 12).
+//! // Σ1 of Example 1: recognised by the adornment algorithm (Example 12). The
+//! // analyzer runs the hierarchy cheapest-first and reports who accepted and why.
 //! let sigma1 = parse_dependencies(
 //!     "r1: N(?x) -> exists ?y: E(?x, ?y).
 //!      r2: E(?x, ?y) -> N(?y).
 //!      r3: E(?x, ?y) -> ?x = ?y.",
 //! )
 //! .unwrap();
-//! assert!(is_semi_acyclic(&sigma1));
+//! let report = TerminationAnalyzer::new().analyze(&sigma1);
+//! assert_eq!(report.accepted().unwrap().criterion, "SAC");
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adornment;
+pub mod analyzer;
 pub mod combined;
 pub mod firing;
 pub mod semi_stratification;
 
 pub use adornment::{
-    adorn, adorn_with, is_semi_acyclic, is_semi_acyclic_with, AdSym, AdnConfig, AdnDefinition,
-    AdnResult, FireableMode,
+    adorn, adorn_with, adornment_witness, AdSym, AdnConfig, AdnDefinition, AdnResult, FireableMode,
+    SemiAcyclicity,
 };
-pub use combined::{adn_combined, adn_combined_with, all_criteria, paper_criteria};
+pub use analyzer::{AnalysisEntry, TerminationAnalyzer, TerminationReport};
+pub use combined::{adn_combined, adn_combined_with, all_criteria, paper_criteria, AdnCombined};
 pub use firing::{definition2_edge, firing_graph, firing_graph_with, is_fireable};
 pub use semi_stratification::{
-    is_semi_stratified, is_semi_stratified_with, semi_stratification_report,
-    SemiStratificationReport,
+    semi_stratification_report, SemiStratification, SemiStratificationReport,
 };
+
+#[allow(deprecated)]
+pub use adornment::{is_semi_acyclic, is_semi_acyclic_with};
+#[allow(deprecated)]
+pub use semi_stratification::{is_semi_stratified, is_semi_stratified_with};
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::adornment::{adorn, is_semi_acyclic, AdnConfig, AdnResult};
-    pub use crate::combined::{adn_combined, all_criteria, paper_criteria};
+    pub use chase_criteria::criterion::{Guarantee, TerminationCriterion, Verdict, Witness};
+
+    pub use crate::adornment::{adorn, AdnConfig, AdnResult, SemiAcyclicity};
+    pub use crate::analyzer::{TerminationAnalyzer, TerminationReport};
+    pub use crate::combined::{adn_combined, all_criteria, paper_criteria, AdnCombined};
     pub use crate::firing::{definition2_edge, firing_graph};
-    pub use crate::semi_stratification::{is_semi_stratified, semi_stratification_report};
+    pub use crate::semi_stratification::{semi_stratification_report, SemiStratification};
+
+    #[allow(deprecated)]
+    pub use crate::adornment::is_semi_acyclic;
+    #[allow(deprecated)]
+    pub use crate::semi_stratification::is_semi_stratified;
 }

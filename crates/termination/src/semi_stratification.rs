@@ -8,11 +8,10 @@
 //! sequence of length polynomial in the database (Theorem 3).
 
 use crate::firing::firing_graph_with;
-use chase_core::{DepId, DependencySet};
+use chase_core::DependencySet;
+use chase_criteria::criterion::{Guarantee, TerminationCriterion, Verdict};
 use chase_criteria::firing::FiringConfig;
 use chase_criteria::graph::DiGraph;
-use chase_criteria::weak_acyclicity::is_weakly_acyclic;
-use std::collections::BTreeSet;
 
 /// The result of the semi-stratification analysis, retaining the firing graph and the
 /// offending component (if any) for reporting.
@@ -45,18 +44,10 @@ pub fn semi_stratification_report_with(
 ) -> SemiStratificationReport {
     let graph = firing_graph_with(sigma, config);
     let components = graph.sccs();
-    let mut offending = None;
-    for scc in &components {
-        let cyclic = scc.len() > 1 || scc.iter().any(|&n| graph.has_edge(n, n));
-        if !cyclic {
-            continue;
-        }
-        let ids: BTreeSet<DepId> = scc.iter().map(|&n| DepId(n)).collect();
-        if !is_weakly_acyclic(&sigma.restrict(&ids)) {
-            offending = Some(scc.clone());
-            break;
-        }
-    }
+    // The offending-component search is shared with the stratification family.
+    let offending =
+        chase_criteria::stratification::offending_component_in(sigma, &graph, &components)
+            .map(|(ids, _)| ids.into_iter().map(|d| d.0).collect());
     SemiStratificationReport {
         firing_graph: graph,
         components,
@@ -64,21 +55,95 @@ pub fn semi_stratification_report_with(
     }
 }
 
+/// Semi-stratification as a witness-producing [`TerminationCriterion`] (`S-Str`,
+/// Definition 3).
+///
+/// Acceptance carries the stratum assignment (the SCC decomposition of the firing
+/// graph `Gf(Σ)`); rejection the offending component and its inner special-edge
+/// position cycle.
+#[derive(Clone, Debug, Default)]
+pub struct SemiStratification {
+    /// Configuration of the underlying firing tests.
+    pub config: FiringConfig,
+}
+
+impl TerminationCriterion for SemiStratification {
+    fn name(&self) -> &'static str {
+        "S-Str"
+    }
+
+    fn guarantee(&self) -> Guarantee {
+        Guarantee::SomeSequence
+    }
+
+    fn cost(&self) -> u32 {
+        60
+    }
+
+    fn verdict(&self, sigma: &DependencySet) -> Verdict {
+        let graph = firing_graph_with(sigma, &self.config);
+        chase_criteria::stratification::verdict_from_components(
+            self.name(),
+            self.guarantee(),
+            sigma,
+            &graph,
+        )
+    }
+}
+
 /// Returns `true` iff `sigma` is semi-stratified (`S-Str`, Definition 3).
+#[deprecated(note = "use SemiStratification (TerminationCriterion) or the TerminationAnalyzer")]
 pub fn is_semi_stratified(sigma: &DependencySet) -> bool {
-    semi_stratification_report(sigma).is_semi_stratified()
+    SemiStratification::default().accepts(sigma)
 }
 
 /// [`is_semi_stratified`] with an explicit firing-test configuration.
+#[deprecated(note = "use SemiStratification { config } (TerminationCriterion)")]
 pub fn is_semi_stratified_with(sigma: &DependencySet, config: &FiringConfig) -> bool {
     semi_stratification_report_with(sigma, config).is_semi_stratified()
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the legacy `is_*` shims stay pinned by these tests
+
     use super::*;
     use chase_core::parser::parse_dependencies;
+    use chase_core::DepId;
+    use chase_criteria::criterion::Witness;
     use chase_criteria::stratification::is_stratified;
+
+    #[test]
+    fn verdict_witnesses_match_the_report() {
+        let sigma1 = parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> ?x = ?y.
+            "#,
+        )
+        .unwrap();
+        let verdict = SemiStratification::default().verdict(&sigma1);
+        assert!(!verdict.accepted);
+        match &verdict.witness {
+            Witness::OffendingComponent { component, .. } => {
+                assert!(component.contains(&DepId(0)) && component.contains(&DepId(1)));
+            }
+            other => panic!("expected OffendingComponent, got {other:?}"),
+        }
+
+        let sigma11 = parse_dependencies(
+            r#"
+            r1: N(?x) -> exists ?y: E(?x, ?y).
+            r2: E(?x, ?y) -> N(?y).
+            r3: E(?x, ?y) -> E(?y, ?x).
+            "#,
+        )
+        .unwrap();
+        let verdict = SemiStratification::default().verdict(&sigma11);
+        assert!(verdict.accepted);
+        assert!(matches!(verdict.witness, Witness::StratumAssignment { .. }));
+    }
 
     #[test]
     fn example11_is_semi_stratified_but_not_stratified() {

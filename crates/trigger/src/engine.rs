@@ -10,7 +10,7 @@
 //! * discovered candidate triggers wait in per-dependency FIFO queues;
 //!   [`TriggerEngine::next_active_trigger`] pops them in the caller's dependency
 //!   order, re-checking standard activity at pop time, so every trigger-selection
-//!   policy ([`StepOrder`]-style nondeterminism) behaves exactly as with naive
+//!   policy (`StepOrder`-style nondeterminism) behaves exactly as with naive
 //!   re-scanning;
 //! * EGD substitutions rewrite the pending queues and the dedup set in place
 //!   (`h ↦ γ∘h`), invalidating stale bindings without discarding discovered work.

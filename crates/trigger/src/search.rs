@@ -8,7 +8,7 @@
 //! when a chase step adds or rewrites facts, discovery restarts *from those facts
 //! only* — for every body atom unifiable with a delta fact, the atom is pinned to
 //! the fact ([`for_each_seeded`]) and the remaining atoms are joined through the
-//! per-(predicate, position) indexes of the [`FactIndex`](crate::FactIndex) —
+//! per-(predicate, position) indexes of the [`FactIndex`] —
 //! semi-naive evaluation at the granularity of single chase steps.
 
 use crate::index::FactIndex;

@@ -41,18 +41,18 @@ fn main() {
 
     println!("Termination analysis of the mapping + target dependencies:");
     println!(
-        "  weak acyclicity: {}",
-        is_weakly_acyclic(&program.dependencies)
+        "  weak acyclicity (WA): {}",
+        WeakAcyclicity.accepts(&program.dependencies)
     );
     println!(
-        "  semi-acyclic (SAC): {}",
-        is_semi_acyclic(&program.dependencies)
+        "  semi-acyclic (SAC):   {}",
+        SemiAcyclicity::default().accepts(&program.dependencies)
     );
 
     // The chase computes a universal solution. The EGD t1 merges the department nulls
     // invented for alice and bob (same department name) and identifies the sales
     // department with the one carrying the Berlin location.
-    let outcome = StandardChase::new(&program.dependencies)
+    let outcome = Chase::standard(&program.dependencies)
         .with_order(StepOrder::EgdsFirst)
         .run(&program.database);
     let solution = outcome

@@ -1,15 +1,13 @@
 //! Ontology reasoning: generate a synthetic ontology-style dependency set, decide
-//! whether the chase can be used on it (running the full criteria portfolio), and if
-//! so materialise a universal model for a generated ABox.
+//! whether the chase can be used on it (one `TerminationAnalyzer` call), and if so
+//! materialise a universal model for a generated ABox.
 //!
 //! ```sh
 //! cargo run --example ontology_reasoning
 //! cargo run --example ontology_reasoning -- 42        # different seed
 //! ```
 
-use chase_criteria::criterion::TerminationCriterion;
 use chase_ontology::generator::{generate, generate_database, OntologyProfile};
-use chase_termination::combined::all_criteria;
 use egd_chase::prelude::*;
 
 fn main() {
@@ -35,26 +33,18 @@ fn main() {
         println!("  {dep}.");
     }
 
-    println!("\nTermination criteria:");
-    for criterion in all_criteria() {
-        println!(
-            "  {:8} [{}]  {}",
-            criterion.name,
-            criterion.guarantee(),
-            if criterion.accepts(&sigma) {
-                "accepts"
-            } else {
-                "rejects"
-            }
-        );
-    }
+    // One call runs the whole criteria hierarchy cheapest-first and reports who
+    // accepted (with its witness) and what was skipped.
+    println!("\nTermination analysis:");
+    let report = TerminationAnalyzer::new().analyze(&sigma);
+    print!("{report}");
 
     // Materialise a universal model for a generated ABox.
     let abox = generate_database(&sigma, 10, seed ^ 0xabcd);
     println!("\nABox ({} facts): {abox}", abox.len());
-    let outcome = StandardChase::new(&sigma)
+    let outcome = Chase::standard(&sigma)
         .with_order(StepOrder::EgdsFirst)
-        .with_max_steps(50_000)
+        .with_budget(ChaseBudget::default().with_max_steps(50_000))
         .run(&abox);
     match outcome {
         ChaseOutcome::Terminated { instance, stats } => {
@@ -65,14 +55,17 @@ fn main() {
                 stats.nulls_created
             );
         }
-        ChaseOutcome::Failed { stats } => {
+        ChaseOutcome::Failed { violation, stats } => {
             println!(
-                "Chase failed (inconsistent ABox) after {} steps.",
+                "Chase failed (inconsistent ABox) after {} steps: {violation}.",
                 stats.steps
             )
         }
-        ChaseOutcome::BudgetExhausted { stats, .. } => {
-            println!("Chase did not terminate within {} steps.", stats.steps)
+        ChaseOutcome::BudgetExhausted { limit, stats, .. } => {
+            println!(
+                "Chase stopped by the {limit} budget after {} steps.",
+                stats.steps
+            )
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Quickstart: parse the paper's motivating dependency set (Example 1), analyse it
-//! with the classical and the EGD-aware termination criteria, and run the chase.
+//! with the whole termination-criteria hierarchy in one call, and run the chase
+//! through the unified session API.
 //!
 //! ```sh
 //! cargo run --example quickstart
@@ -27,23 +28,16 @@ fn main() {
     }
     println!("Database: {database}\n");
 
-    // Classical criteria ignore (or simulate away) the EGD and reject Σ1 …
-    println!("weak acyclicity (WA):        {}", is_weakly_acyclic(sigma));
-    println!("safety (SC):                 {}", is_safe(sigma));
-    println!("stratification (Str):        {}", is_stratified(sigma));
-    println!(
-        "super-weak acyclicity (SwA): {}",
-        is_super_weakly_acyclic(sigma)
-    );
-    println!("MFA:                         {}", is_mfa(sigma));
-
-    // … while the paper's criteria analyse the EGD directly.
-    println!("semi-stratified (S-Str):     {}", is_semi_stratified(sigma));
-    println!("semi-acyclic (SAC):          {}", is_semi_acyclic(sigma));
+    // The analyzer runs the hierarchy cheapest-first: the classical criteria ignore
+    // (or simulate away) the EGD and reject Σ1, the paper's adornment algorithm
+    // analyses it directly and accepts. Every verdict carries its witness.
+    println!("Termination analysis:");
+    let report = TerminationAnalyzer::new().analyze(sigma);
+    print!("{report}");
 
     // SAC promises that some standard chase sequence terminates: find it by enforcing
     // EGDs eagerly.
-    let outcome = StandardChase::new(sigma)
+    let outcome = Chase::standard(sigma)
         .with_order(StepOrder::EgdsFirst)
         .run(database);
     println!("\nStandard chase (EGDs first): {outcome}");
@@ -51,14 +45,14 @@ fn main() {
         println!("Universal model: {model}");
     }
 
-    // A naive policy, by contrast, diverges (we stop it after 50 steps).
-    let diverging = StandardChase::new(sigma)
+    // A naive policy, by contrast, diverges — the outcome names the tripped limit.
+    let diverging = Chase::standard(sigma)
         .with_order(StepOrder::Textual)
-        .with_max_steps(50)
+        .with_budget(ChaseBudget::unlimited().with_max_steps(50))
         .run(database);
     println!("Standard chase (textual order, budget 50): {diverging}");
 
     // The core chase is deterministic and complete for universal models.
-    let core = CoreChase::new(sigma).run(database);
+    let core = Chase::core(sigma).run(database);
     println!("Core chase: {core}");
 }

@@ -1,14 +1,12 @@
-//! Termination report: run the whole criteria portfolio over every running example of
-//! the paper and print a compact report, including the firing-graph analysis and the
-//! adorned dependency set of the adornment algorithm.
+//! Termination report: run the `TerminationAnalyzer` over every running example of
+//! the paper and print its report directly, including per-criterion witnesses, the
+//! firing-graph analysis and the adorned dependency set of the adornment algorithm.
 //!
 //! ```sh
 //! cargo run --example termination_report
 //! ```
 
-use chase_criteria::criterion::TerminationCriterion;
 use chase_termination::adornment::adorn;
-use chase_termination::combined::all_criteria;
 use chase_termination::semi_stratification::semi_stratification_report;
 use egd_chase::prelude::*;
 
@@ -48,7 +46,9 @@ fn paper_sets() -> Vec<(&'static str, DependencySet)> {
 }
 
 fn main() {
-    let criteria = all_criteria();
+    // The exhaustive analyzer runs every criterion (no short-circuiting), so the
+    // report shows the full acceptance matrix with witnesses.
+    let analyzer = TerminationAnalyzer::exhaustive();
     for (name, sigma) in paper_sets() {
         println!("================================================================");
         println!("{name}");
@@ -56,18 +56,7 @@ fn main() {
             println!("  {dep}.");
         }
         println!();
-        for criterion in &criteria {
-            println!(
-                "  {:8} [{}]  {}",
-                criterion.name,
-                criterion.guarantee(),
-                if criterion.accepts(&sigma) {
-                    "accepts"
-                } else {
-                    "rejects"
-                }
-            );
-        }
+        print!("{}", analyzer.analyze(&sigma));
 
         // Firing-graph details (the S-Str analysis).
         let report = semi_stratification_report(&sigma);
@@ -85,11 +74,12 @@ fn main() {
         // Adornment details (the SAC analysis).
         let result = adorn(&sigma);
         println!(
-            "  adornment: |Σµ| = {} ({} adorned rules), acyclic = {}, {} definitions",
+            "  adornment: |Σµ| = {} ({} adorned rules), acyclic = {}, {} definitions, {} fireable pairs",
             result.adorned.len(),
             result.adorned_rule_count,
             result.acyclic,
-            result.definitions.len()
+            result.definitions.len(),
+            result.fireable_pairs.len()
         );
         for def in &result.definitions {
             println!("    {def}");

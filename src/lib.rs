@@ -13,14 +13,20 @@
 //!   worklist and semi-naive trigger discovery that the chase variants and the
 //!   MFA saturation loop run on (full re-scans remain available as
 //!   [`TriggerDiscovery::NaiveRescan`](chase_engine::TriggerDiscovery));
-//! * [`engine`](chase_engine) — the chase: standard, oblivious, semi-oblivious and
-//!   core variants, core computation, universal models and certain answers;
+//! * [`engine`](chase_engine) — the chase behind the unified
+//!   [`Chase`](chase_engine::Chase) session builder: standard, oblivious,
+//!   semi-oblivious and core variants under one
+//!   [`ChaseBudget`](chase_engine::ChaseBudget) / [`ChaseObserver`](chase_engine::ChaseObserver)
+//!   vocabulary, plus core computation, universal models and certain answers;
 //! * [`criteria`](chase_criteria) — baseline termination criteria (weak acyclicity,
-//!   safety, stratification, c-stratification, super-weak acyclicity, MFA) and the
-//!   EGD→TGD simulations;
+//!   safety, stratification, c-stratification, super-weak acyclicity, MFA) as
+//!   witness-producing [`TerminationCriterion`](chase_criteria::TerminationCriterion)
+//!   structs, and the EGD→TGD simulations;
 //! * [`termination`](chase_termination) — the paper's contribution: the firing graph,
-//!   semi-stratification, the `Adn∃` adornment algorithm, semi-acyclicity and the
-//!   `Adn∃-C` combinator;
+//!   semi-stratification, the `Adn∃` adornment algorithm, semi-acyclicity, the
+//!   `Adn∃-C` combinator — and the
+//!   [`TerminationAnalyzer`](chase_termination::TerminationAnalyzer) running the whole
+//!   hierarchy cheapest-first;
 //! * [`ontology`](chase_ontology) — a synthetic ontology-style workload generator
 //!   reproducing the corpus shape of the paper's evaluation.
 //!
@@ -40,17 +46,37 @@
 //! )
 //! .unwrap();
 //!
-//! // Current criteria that require *all* chase sequences to terminate reject Σ1,
-//! // but the adornment algorithm recognises it as semi-acyclic, hence CT_std_∃.
-//! assert!(!is_stratified(&program.dependencies));
-//! assert!(is_semi_acyclic(&program.dependencies));
+//! // One call answers "can the chase be used here?": the analyzer runs the whole
+//! // criteria hierarchy cheapest-first; the classical criteria reject Σ1, the
+//! // paper's adornment algorithm recognises it, and every verdict carries a
+//! // machine-readable witness.
+//! let report = TerminationAnalyzer::new().analyze(&program.dependencies);
+//! assert!(report.is_terminating());
+//! assert_eq!(report.accepted().unwrap().criterion, "SAC");
+//! assert!(!report.verdict_for("Str").unwrap().accepted);
 //!
-//! // And indeed a terminating standard chase sequence exists.
-//! let result = StandardChase::new(&program.dependencies)
-//!     .with_egd_priority(true)
+//! // And indeed a terminating standard chase sequence exists: one session builder
+//! // serves every variant, with budgets and failure diagnostics built in.
+//! let result = Chase::standard(&program.dependencies)
+//!     .with_order(StepOrder::EgdsFirst)
+//!     .with_budget(ChaseBudget::default().with_max_steps(1_000))
 //!     .run(&program.database);
 //! assert!(result.is_terminating());
 //! ```
+//!
+//! ## Migrating from the legacy API
+//!
+//! The pre-redesign entry points remain as `#[deprecated]` shims delegating to the
+//! new implementation:
+//!
+//! | old call | new call |
+//! |---|---|
+//! | `StandardChase::new(σ).with_max_steps(n)` | [`Chase::standard`](chase_engine::Chase::standard)`(σ).with_budget(ChaseBudget::unlimited().with_max_steps(n))` |
+//! | `ObliviousChase::new(σ, v)` | [`Chase::oblivious`](chase_engine::Chase::oblivious)`(σ, v)` |
+//! | `CoreChase::new(σ).with_max_rounds(n)` | [`Chase::core`](chase_engine::Chase::core)`(σ).with_budget(ChaseBudget::unlimited().with_max_rounds(n))` |
+//! | `runner.run_with_trace(db, closure)` | `session.run_observed(db, &mut observer)` with a [`ChaseObserver`](chase_engine::ChaseObserver) |
+//! | `is_weakly_acyclic(σ)`, `is_safe(σ)`, … | `WeakAcyclicity.accepts(σ)`, `Safety.accepts(σ)`, … (`.verdict(σ)` for the witness) |
+//! | nine separate `is_*` calls | [`TerminationAnalyzer`](chase_termination::TerminationAnalyzer)`::new().analyze(σ)` |
 
 pub use chase_core;
 pub use chase_criteria;

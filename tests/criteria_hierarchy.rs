@@ -1,12 +1,9 @@
 //! Integration tests for the relationships between the termination criteria
 //! (Theorems 5, 9, 10, 11 and the classical hierarchy), checked over a corpus of
-//! hand-written sets plus generated ontologies.
+//! hand-written sets plus generated ontologies — all through the witness-producing
+//! criterion API.
 
-use chase_criteria::criterion::TerminationCriterion;
 use chase_ontology::generator::{generate, generate_database, OntologyProfile};
-use chase_termination::combined::{
-    adn_safety, adn_super_weak_acyclicity, adn_weak_acyclicity, all_criteria,
-};
 use egd_chase::prelude::*;
 
 fn corpus() -> Vec<DependencySet> {
@@ -42,42 +39,46 @@ fn corpus() -> Vec<DependencySet> {
 
 #[test]
 fn classical_hierarchy_wa_sc_swa_mfa() {
+    let mfa = ModelFaithfulAcyclicity::default();
     for sigma in corpus() {
-        if is_weakly_acyclic(&sigma) {
-            assert!(is_safe(&sigma), "WA ⊆ SC violated on\n{sigma}");
+        if WeakAcyclicity.accepts(&sigma) {
+            assert!(Safety.accepts(&sigma), "WA ⊆ SC violated on\n{sigma}");
         }
-        if is_safe(&sigma) {
+        if Safety.accepts(&sigma) {
             assert!(
-                is_super_weakly_acyclic(&sigma),
+                SuperWeakAcyclicity.accepts(&sigma),
                 "SC ⊆ SwA violated on\n{sigma}"
             );
         }
-        if is_super_weakly_acyclic(&sigma) {
-            assert!(is_mfa(&sigma), "SwA ⊆ MFA violated on\n{sigma}");
+        if SuperWeakAcyclicity.accepts(&sigma) {
+            assert!(mfa.accepts(&sigma), "SwA ⊆ MFA violated on\n{sigma}");
         }
     }
 }
 
 #[test]
 fn theorem5_stratification_implies_semi_stratification() {
+    let s_str = SemiStratification::default();
     for sigma in corpus() {
-        if is_stratified(&sigma) {
-            assert!(
-                is_semi_stratified(&sigma),
-                "Str ⊆ S-Str violated on\n{sigma}"
-            );
+        if Stratification.accepts(&sigma) {
+            assert!(s_str.accepts(&sigma), "Str ⊆ S-Str violated on\n{sigma}");
         }
-        if is_c_stratified(&sigma) {
-            assert!(is_stratified(&sigma), "CStr ⊆ Str violated on\n{sigma}");
+        if CStratification.accepts(&sigma) {
+            assert!(
+                Stratification.accepts(&sigma),
+                "CStr ⊆ Str violated on\n{sigma}"
+            );
         }
     }
 }
 
 #[test]
 fn theorem9_semi_stratification_implies_semi_acyclicity() {
+    let s_str = SemiStratification::default();
+    let sac = SemiAcyclicity::default();
     for sigma in corpus() {
-        if is_semi_stratified(&sigma) {
-            assert!(is_semi_acyclic(&sigma), "S-Str ⊆ SAC violated on\n{sigma}");
+        if s_str.accepts(&sigma) {
+            assert!(sac.accepts(&sigma), "S-Str ⊆ SAC violated on\n{sigma}");
         }
     }
 }
@@ -85,19 +86,50 @@ fn theorem9_semi_stratification_implies_semi_acyclicity() {
 #[test]
 fn theorem11_criteria_improve_under_adornment() {
     for sigma in corpus() {
-        if is_weakly_acyclic(&sigma) {
+        if WeakAcyclicity.accepts(&sigma) {
             assert!(
-                adn_weak_acyclicity(&sigma),
+                AdnCombined::weak_acyclicity().accepts(&sigma),
                 "WA ⊆ Adn-WA violated on\n{sigma}"
             );
         }
-        if is_safe(&sigma) {
-            assert!(adn_safety(&sigma), "SC ⊆ Adn-SC violated on\n{sigma}");
-        }
-        if is_super_weakly_acyclic(&sigma) {
+        if Safety.accepts(&sigma) {
             assert!(
-                adn_super_weak_acyclicity(&sigma),
+                AdnCombined::safety().accepts(&sigma),
+                "SC ⊆ Adn-SC violated on\n{sigma}"
+            );
+        }
+        if SuperWeakAcyclicity.accepts(&sigma) {
+            assert!(
+                AdnCombined::super_weak_acyclicity().accepts(&sigma),
                 "SwA ⊆ Adn-SwA violated on\n{sigma}"
+            );
+        }
+    }
+}
+
+#[test]
+fn analyzer_short_circuit_agrees_with_the_exhaustive_portfolio() {
+    // The cheapest-first short-circuiting analyzer must reach the same accept/reject
+    // conclusion as running every criterion: acceptance by ANY criterion is what both
+    // report, they only differ in how much work they do.
+    let quick = TerminationAnalyzer::new();
+    let full = TerminationAnalyzer::exhaustive();
+    for sigma in corpus() {
+        let q = quick.analyze(&sigma);
+        let f = full.analyze(&sigma);
+        assert_eq!(
+            q.is_terminating(),
+            f.is_terminating(),
+            "short-circuiting changed the conclusion on\n{sigma}"
+        );
+        if let Some(v) = q.accepted() {
+            // The short-circuit acceptance must be among the exhaustive acceptances.
+            assert!(
+                f.verdict_for(v.criterion)
+                    .map(|w| w.accepted)
+                    .unwrap_or(false),
+                "criterion {} accepted only under short-circuiting on\n{sigma}",
+                v.criterion
             );
         }
     }
@@ -109,22 +141,19 @@ fn soundness_accepted_sets_have_terminating_sequences() {
     // that an EGD-first standard chase terminates on sample databases whenever any
     // criterion accepts.
     for (i, sigma) in corpus().into_iter().enumerate() {
-        let accepted_by: Vec<&str> = all_criteria()
-            .into_iter()
-            .filter(|c| c.accepts(&sigma))
-            .map(|c| c.name)
-            .collect();
-        if accepted_by.is_empty() {
+        let report = TerminationAnalyzer::new().analyze(&sigma);
+        let Some(accepted) = report.accepted() else {
             continue;
-        }
+        };
         let db = generate_database(&sigma, 6, i as u64);
-        let out = StandardChase::new(&sigma)
+        let out = Chase::standard(&sigma)
             .with_order(StepOrder::EgdsFirst)
-            .with_max_steps(30_000)
+            .with_budget(ChaseBudget::unlimited().with_max_steps(30_000))
             .run(&db);
         assert!(
             !out.is_budget_exhausted(),
-            "set #{i} accepted by {accepted_by:?} but the EGD-first chase did not halt:\n{sigma}"
+            "set #{i} accepted by {} but the EGD-first chase did not halt:\n{sigma}",
+            accepted.criterion
         );
     }
 }
@@ -140,15 +169,17 @@ fn separating_witnesses_exist() {
         "r1: N(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?y) -> N(?y). r3: E(?x, ?y) -> E(?y, ?x).",
     )
     .unwrap();
+    let s_str = SemiStratification::default();
+    let sac = SemiAcyclicity::default();
     // S-Str strictly extends Str (Σ11), SAC strictly extends S-Str (Σ1).
-    assert!(is_semi_stratified(&sigma11) && !is_stratified(&sigma11));
-    assert!(is_semi_acyclic(&sigma1) && !is_semi_stratified(&sigma1));
+    assert!(s_str.accepts(&sigma11) && !Stratification.accepts(&sigma11));
+    assert!(sac.accepts(&sigma1) && !s_str.accepts(&sigma1));
     // SAC is incomparable with the CT_∀ criteria: Σ1 ∈ SAC \ MFA …
-    assert!(!is_mfa(&sigma1));
+    assert!(!ModelFaithfulAcyclicity::default().accepts(&sigma1));
     // … and the repeated-variable witness is in SwA/MFA but needs no EGD reasoning.
     let swa_witness =
         parse_dependencies("r1: S(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?x) -> S(?x).").unwrap();
-    assert!(is_super_weakly_acyclic(&swa_witness));
+    assert!(SuperWeakAcyclicity.accepts(&swa_witness));
 }
 
 #[test]
@@ -159,11 +190,13 @@ fn every_criterion_rejects_the_impossible_set() {
         "r1: N(?x) -> exists ?y, ?z: E(?x, ?y, ?z). r2: E(?x, ?y, ?y) -> N(?y). r3: E(?x, ?y, ?z) -> ?y = ?z.",
     )
     .unwrap();
-    for criterion in all_criteria() {
+    let report = TerminationAnalyzer::exhaustive().analyze(&sigma10);
+    assert_eq!(report.entries.len(), all_criteria().len());
+    for entry in &report.entries {
         assert!(
-            !criterion.accepts(&sigma10),
+            !entry.verdict.accepted,
             "{} wrongly accepts Σ10",
-            criterion.name
+            entry.verdict.criterion
         );
     }
 }

@@ -21,7 +21,7 @@ fn sigma1_program() -> (DependencySet, Instance) {
 fn example1_has_a_terminating_and_a_diverging_sequence() {
     let (sigma, db) = sigma1_program();
     // Enforcing r1 then r3 terminates with {N(a), E(a, a)}.
-    let good = StandardChase::new(&sigma)
+    let good = Chase::standard(&sigma)
         .with_order(StepOrder::EgdsFirst)
         .run(&db);
     assert!(good.is_terminating());
@@ -29,24 +29,56 @@ fn example1_has_a_terminating_and_a_diverging_sequence() {
     assert_eq!(model.len(), 2);
     assert!(chase_engine::is_model(model, &db, &sigma));
     // Repeatedly enforcing r1 then r2 diverges.
-    let bad = StandardChase::new(&sigma)
+    let bad = Chase::standard(&sigma)
         .with_order(StepOrder::Textual)
-        .with_max_steps(100)
+        .with_budget(ChaseBudget::unlimited().with_max_steps(100))
         .run(&db);
     assert!(bad.is_budget_exhausted());
+    assert_eq!(bad.exhausted_limit(), Some(BudgetLimit::Steps));
 }
 
 #[test]
 fn example1_is_recognised_only_by_the_egd_aware_criteria() {
     let (sigma, _) = sigma1_program();
-    assert!(!is_weakly_acyclic(&sigma));
-    assert!(!is_safe(&sigma));
-    assert!(!is_stratified(&sigma));
-    assert!(!is_c_stratified(&sigma));
-    assert!(!is_super_weakly_acyclic(&sigma));
-    assert!(!is_mfa(&sigma));
-    // Example 12: the adornment algorithm accepts Σ1.
-    assert!(is_semi_acyclic(&sigma));
+    assert!(!WeakAcyclicity.accepts(&sigma));
+    assert!(!Safety.accepts(&sigma));
+    assert!(!Stratification.accepts(&sigma));
+    assert!(!CStratification.accepts(&sigma));
+    assert!(!SuperWeakAcyclicity.accepts(&sigma));
+    assert!(!ModelFaithfulAcyclicity::default().accepts(&sigma));
+    // Example 12: the adornment algorithm accepts Σ1 — and the analyzer reports it.
+    assert!(SemiAcyclicity::default().accepts(&sigma));
+    let report = TerminationAnalyzer::new().analyze(&sigma);
+    assert_eq!(report.accepted().unwrap().criterion, "SAC");
+    assert_eq!(report.guarantee(), Some(Guarantee::SomeSequence));
+}
+
+#[test]
+fn every_criterion_returns_a_non_trivial_witness_on_the_paper_examples() {
+    // Acceptance criterion of the API redesign: each of the nine criteria produces a
+    // structured (non-trivial) witness on at least one of Σ1–Σ10. The exhaustive
+    // analyzer runs all of them on both a rejected and an accepted input.
+    let (sigma1, _) = sigma1_program();
+    let sigma3 = parse_dependencies(
+        "r1: P(?x, ?y) -> exists ?z: E(?x, ?z). r2: Q(?x, ?y) -> exists ?z: E(?z, ?y).",
+    )
+    .unwrap();
+    let analyzer = TerminationAnalyzer::exhaustive();
+    let names = [
+        "WA", "SC", "SwA", "Str", "CStr", "MFA", "S-Str", "SAC", "Adn-WA",
+    ];
+    let rejecting = analyzer.analyze(&sigma1);
+    let accepting = analyzer.analyze(&sigma3);
+    for name in names {
+        let witnessed = [&rejecting, &accepting].iter().any(|r| {
+            r.verdict_for(name)
+                .map(|v| !v.witness.is_trivial())
+                .unwrap_or(false)
+        });
+        assert!(witnessed, "{name} never produced a non-trivial witness");
+    }
+    // On the weakly acyclic Σ3 every criterion accepts (it is in every class).
+    assert!(accepting.entries.iter().all(|e| e.verdict.accepted));
 }
 
 #[test]
@@ -59,7 +91,7 @@ fn example3_universal_versus_non_universal_models() {
         "#,
     )
     .unwrap();
-    let out = StandardChase::new(&p.dependencies).run(&p.database);
+    let out = Chase::standard(&p.dependencies).run(&p.database);
     let j1 = out.instance().unwrap().clone();
     assert_eq!(j1.len(), 4);
     assert_eq!(j1.nulls().len(), 2);
@@ -75,34 +107,37 @@ fn example3_universal_versus_non_universal_models() {
 #[test]
 fn example5_trace_of_the_terminating_sequence() {
     let (sigma, db) = sigma1_program();
-    let mut steps = Vec::new();
-    let out = StandardChase::new(&sigma)
+    let mut trace = TraceObserver::new();
+    let out = Chase::standard(&sigma)
         .with_order(StepOrder::EgdsFirst)
-        .run_with_trace(&db, |trigger, _| steps.push(trigger.dep));
+        .run_observed(&db, &mut trace);
     assert!(out.is_terminating());
     // The sequence has exactly two steps: r1 (DepId 0) then r3 (DepId 2).
+    let steps: Vec<DepId> = trace.steps.iter().map(|(t, _)| t.dep).collect();
     assert_eq!(steps, vec![DepId(0), DepId(2)]);
+    // The observer also saw the invented null and the collapsing substitution.
+    assert_eq!(trace.nulls, 1);
+    assert_eq!(trace.collapses.len(), 1);
 }
 
 #[test]
 fn example6_separates_the_chase_variants() {
     let p = parse_program("r: E(?x, ?y) -> exists ?z: E(?x, ?z). E(a, b).").unwrap();
     // Standard chase: the empty sequence.
-    let std_out = StandardChase::new(&p.dependencies).run(&p.database);
+    let std_out = Chase::standard(&p.dependencies).run(&p.database);
     assert!(std_out.is_terminating());
     assert_eq!(std_out.stats().steps, 0);
     // Semi-oblivious: one step, then the frontier-equal trigger is skipped.
-    let sobl =
-        ObliviousChase::new(&p.dependencies, ObliviousVariant::SemiOblivious).run(&p.database);
+    let sobl = Chase::semi_oblivious(&p.dependencies).run(&p.database);
     assert!(sobl.is_terminating());
     assert_eq!(sobl.instance().unwrap().len(), 2);
     // Oblivious: diverges.
-    let obl = ObliviousChase::new(&p.dependencies, ObliviousVariant::Oblivious)
-        .with_max_steps(200)
+    let obl = Chase::oblivious(&p.dependencies, ObliviousVariant::Oblivious)
+        .with_budget(ChaseBudget::unlimited().with_max_steps(200))
         .run(&p.database);
     assert!(obl.is_budget_exhausted());
     // Example 7: the core chase sequence is empty too.
-    let core = CoreChase::new(&p.dependencies).run(&p.database);
+    let core = Chase::core(&p.dependencies).run(&p.database);
     assert!(core.is_terminating());
     assert_eq!(core.stats().steps, 0);
 }
@@ -126,9 +161,9 @@ fn example8_all_sequences_terminate_but_simulation_based_criteria_reject() {
         StepOrder::EgdsFirst,
         StepOrder::FullFirst,
     ] {
-        let out = StandardChase::new(&p.dependencies)
+        let out = Chase::standard(&p.dependencies)
             .with_order(order)
-            .with_max_steps(5_000)
+            .with_budget(ChaseBudget::unlimited().with_max_steps(5_000))
             .run(&p.database);
         assert!(
             !out.is_budget_exhausted(),
@@ -137,9 +172,9 @@ fn example8_all_sequences_terminate_but_simulation_based_criteria_reject() {
     }
     // Theorem 2: the substitution-free simulation cannot be recognised.
     let simulated = substitution_free_simulation(&p.dependencies);
-    assert!(!is_super_weakly_acyclic(&simulated.tgds_only()));
-    assert!(!is_mfa(&p.dependencies));
-    assert!(!is_super_weakly_acyclic(&p.dependencies));
+    assert!(!SuperWeakAcyclicity.accepts(&simulated.tgds_only()));
+    assert!(!ModelFaithfulAcyclicity::default().accepts(&p.dependencies));
+    assert!(!SuperWeakAcyclicity.accepts(&p.dependencies));
 }
 
 #[test]
@@ -153,14 +188,14 @@ fn example9_egds_can_create_termination() {
         StepOrder::EgdsFirst,
         StepOrder::FullFirst,
     ] {
-        let out = StandardChase::new(&tgds_only)
+        let out = Chase::standard(&tgds_only)
             .with_order(order)
-            .with_max_steps(300)
+            .with_budget(ChaseBudget::unlimited().with_max_steps(300))
             .run(&db);
         assert!(out.is_budget_exhausted());
     }
     let (with_egd, db) = sigma1_program();
-    let out = StandardChase::new(&with_egd)
+    let out = Chase::standard(&with_egd)
         .with_order(StepOrder::EgdsFirst)
         .run(&db);
     assert!(out.is_terminating());
@@ -176,7 +211,7 @@ fn example10_egds_can_destroy_termination() {
     let db = parse_program("N(a).").unwrap().database;
     // The TGDs alone terminate under every policy.
     for order in [StepOrder::Textual, StepOrder::EgdsFirst] {
-        let out = StandardChase::new(&tgds_only).with_order(order).run(&db);
+        let out = Chase::standard(&tgds_only).with_order(order).run(&db);
         assert!(out.is_terminating());
     }
     // With the EGD there is no terminating sequence; the criteria must reject.
@@ -185,14 +220,14 @@ fn example10_egds_can_destroy_termination() {
         StepOrder::EgdsFirst,
         StepOrder::FullFirst,
     ] {
-        let out = StandardChase::new(&sigma10)
+        let out = Chase::standard(&sigma10)
             .with_order(order)
-            .with_max_steps(400)
+            .with_budget(ChaseBudget::unlimited().with_max_steps(400))
             .run(&db);
         assert!(out.is_budget_exhausted());
     }
-    assert!(!is_semi_acyclic(&sigma10));
-    assert!(!is_semi_stratified(&sigma10));
+    let report = TerminationAnalyzer::new().analyze(&sigma10);
+    assert!(!report.is_terminating(), "no criterion may accept Σ10");
 }
 
 #[test]
@@ -201,12 +236,12 @@ fn example11_semi_stratification_and_figure1() {
         "r1: N(?x) -> exists ?y: E(?x, ?y). r2: E(?x, ?y) -> N(?y). r3: E(?x, ?y) -> E(?y, ?x).",
     )
     .unwrap();
-    assert!(!is_stratified(&sigma11));
-    assert!(is_semi_stratified(&sigma11));
-    assert!(is_semi_acyclic(&sigma11));
+    assert!(!Stratification.accepts(&sigma11));
+    assert!(SemiStratification::default().accepts(&sigma11));
+    assert!(SemiAcyclicity::default().accepts(&sigma11));
     // The terminating sequence of Example 11: apply r3 before r1.
     let db = parse_program("N(a).").unwrap().database;
-    let out = StandardChase::new(&sigma11)
+    let out = Chase::standard(&sigma11)
         .with_order(StepOrder::FullFirst)
         .run(&db);
     assert!(out.is_terminating());
@@ -239,7 +274,7 @@ fn canonical_models_are_universal_among_alternatives() {
     // Theorem background of Section 2: the result of a successful terminating standard
     // chase maps homomorphically into every model we can construct by hand.
     let (sigma, db) = sigma1_program();
-    let canonical = StandardChase::new(&sigma)
+    let canonical = Chase::standard(&sigma)
         .with_order(StepOrder::EgdsFirst)
         .run(&db)
         .instance()

@@ -10,7 +10,7 @@ use chase_core::{
     Assignment, Atom, Constant, Dependency, DependencySet, Egd, Fact, GroundTerm,
     HomomorphismSearch, IndexedInstance, Instance, NullValue, Term, Tgd, Variable,
 };
-use chase_engine::{core_of, is_core, CoreChase, StandardChase, StepOrder};
+use chase_engine::{core_of, is_core, Chase, ChaseBudget, StepOrder};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::ops::ControlFlow;
@@ -199,9 +199,9 @@ proptest! {
     /// does not fail, its result is a model of the input.
     #[test]
     fn chase_result_is_a_model(sigma in terminating_dependency_set(), db in small_database()) {
-        let out = StandardChase::new(&sigma)
+        let out = Chase::standard(&sigma)
             .with_order(StepOrder::EgdsFirst)
-            .with_max_steps(50_000)
+            .with_budget(ChaseBudget::unlimited().with_max_steps(50_000))
             .run(&db);
         prop_assert!(!out.is_budget_exhausted(), "forward-flowing set diverged");
         if let Some(model) = out.instance() {
@@ -214,11 +214,13 @@ proptest! {
     /// a model that maps into the standard-chase model.
     #[test]
     fn core_chase_agrees_with_standard_chase(sigma in terminating_dependency_set(), db in small_database()) {
-        let std_out = StandardChase::new(&sigma)
+        let std_out = Chase::standard(&sigma)
             .with_order(StepOrder::EgdsFirst)
-            .with_max_steps(50_000)
+            .with_budget(ChaseBudget::unlimited().with_max_steps(50_000))
             .run(&db);
-        let core_out = CoreChase::new(&sigma).with_max_rounds(200).run(&db);
+        let core_out = Chase::core(&sigma)
+            .with_budget(ChaseBudget::unlimited().with_max_rounds(200))
+            .run(&db);
         prop_assert!(!std_out.is_budget_exhausted());
         prop_assert!(!core_out.is_budget_exhausted());
         prop_assert_eq!(std_out.is_failing(), core_out.is_failing());
@@ -233,18 +235,17 @@ proptest! {
     #[test]
     fn weak_acyclicity_soundness(sigma in terminating_dependency_set(), db in small_database()) {
         use chase_criteria::prelude::*;
-        if is_weakly_acyclic(&sigma) {
+        if WeakAcyclicity.accepts(&sigma) {
             for order in [StepOrder::Textual, StepOrder::EgdsFirst, StepOrder::FullFirst] {
-                let out = StandardChase::new(&sigma)
+                let out = Chase::standard(&sigma)
                     .with_order(order)
-                    .with_max_steps(50_000)
+                    .with_budget(ChaseBudget::unlimited().with_max_steps(50_000))
                     .run(&db);
                 prop_assert!(!out.is_budget_exhausted());
             }
-        }
-        // And the paper's criteria accept at least everything weak acyclicity accepts.
-        if is_weakly_acyclic(&sigma) {
-            prop_assert!(chase_termination::is_semi_acyclic(&sigma));
+            // And the paper's criteria accept at least everything weak acyclicity
+            // accepts.
+            prop_assert!(chase_termination::SemiAcyclicity::default().accepts(&sigma));
         }
     }
 
@@ -324,9 +325,9 @@ proptest! {
             StepOrder::FullFirst,
             StepOrder::Shuffled(seed),
         ] {
-            let runner = StandardChase::new(&sigma)
+            let runner = Chase::standard(&sigma)
                 .with_order(order)
-                .with_max_steps(20_000);
+                .with_budget(ChaseBudget::unlimited().with_max_steps(20_000));
             let naive = runner
                 .clone()
                 .with_discovery(TriggerDiscovery::NaiveRescan)
