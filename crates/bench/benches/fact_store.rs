@@ -1,0 +1,189 @@
+//! Microbenchmarks of the arena-interned fact store: bulk insertion, membership,
+//! position-index probes and in-place EGD substitution on the store-backed
+//! [`chase_core::Instance`] / [`chase_core::IndexedInstance`]. Measured numbers are
+//! recorded in `BENCH_fact_store.json` at the repository root.
+
+use chase_core::substitution::NullSubstitution;
+use chase_core::{Constant, Fact, GroundTerm, IndexedInstance, Instance, NullValue, Predicate};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// `n` binary edge facts over a universe of `n / 4` constants (so terms repeat and
+/// per-(predicate, position) buckets are non-trivial).
+fn edge_facts(n: usize) -> Vec<Fact> {
+    let universe = (n / 4).max(2);
+    (0..n)
+        .map(|i| {
+            Fact::from_parts(
+                "E",
+                vec![
+                    GroundTerm::Const(Constant::new(&format!("c{}", i % universe))),
+                    GroundTerm::Const(Constant::new(&format!("c{}", (i * 7 + 1) % universe))),
+                ],
+            )
+        })
+        .collect()
+}
+
+/// A null chain E(c0, η0), E(η0, η1), …, plus ground padding.
+fn chain_with_nulls(nulls: usize, ground: usize) -> Instance {
+    let mut inst = Instance::new();
+    inst.insert(Fact::from_parts(
+        "E",
+        vec![
+            GroundTerm::Const(Constant::new("c0")),
+            GroundTerm::Null(NullValue(0)),
+        ],
+    ));
+    for i in 0..nulls.saturating_sub(1) {
+        inst.insert(Fact::from_parts(
+            "E",
+            vec![
+                GroundTerm::Null(NullValue(i as u64)),
+                GroundTerm::Null(NullValue(i as u64 + 1)),
+            ],
+        ));
+    }
+    for f in edge_facts(ground) {
+        inst.insert(f);
+    }
+    inst
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fact_store/insert");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let facts = edge_facts(n);
+        group.bench_with_input(BenchmarkId::new("instance", n), &(), |b, _| {
+            b.iter(|| {
+                let mut inst = Instance::new();
+                for f in &facts {
+                    inst.insert(f.clone());
+                }
+                black_box(inst.len())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("indexed", n), &(), |b, _| {
+            b.iter(|| {
+                let mut inst = IndexedInstance::new();
+                for f in &facts {
+                    inst.insert(f.clone());
+                }
+                black_box(inst.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_contains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fact_store/contains");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let facts = edge_facts(n);
+        let inst = Instance::from_facts(facts.iter().cloned());
+        // Misses use a disjoint constant namespace so no probe accidentally hits.
+        let universe = (n / 4).max(2);
+        let misses: Vec<Fact> = (0..n)
+            .map(|i| {
+                Fact::from_parts(
+                    "E",
+                    vec![
+                        GroundTerm::Const(Constant::new(&format!("m{}", i % universe))),
+                        GroundTerm::Const(Constant::new(&format!("m{}", (i * 7 + 1) % universe))),
+                    ],
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("hit", n), &(), |b, _| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for f in &facts {
+                    if inst.contains(f) {
+                        found += 1;
+                    }
+                }
+                black_box(found)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("miss", n), &(), |b, _| {
+            b.iter(|| {
+                let mut found = 0usize;
+                for f in &misses {
+                    if inst.contains(f) {
+                        found += 1;
+                    }
+                }
+                black_box(found)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fact_store/probe");
+    group.sample_size(10);
+    for &n in &[1_000usize, 10_000] {
+        let inst = IndexedInstance::from_instance(Instance::from_facts(edge_facts(n)));
+        let e = Predicate::new("E", 2);
+        let universe = (n / 4).max(2);
+        group.bench_with_input(BenchmarkId::new("position_index", n), &(), |b, _| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for i in 0..universe {
+                    let t = GroundTerm::Const(Constant::new(&format!("c{i}")));
+                    total += inst.facts_by_predicate_position(e, 0, t).len();
+                    total += inst.facts_by_predicate_position(e, 1, t).len();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_substitute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fact_store/substitute");
+    group.sample_size(10);
+    for &(nulls, ground) in &[(16usize, 1_000usize), (64, 4_000)] {
+        let label = format!("{nulls}nulls_{ground}ground");
+        let base = chain_with_nulls(nulls, ground);
+        // Collapse the whole chain: η_{k} / c0 for every k, oldest null first.
+        group.bench_with_input(BenchmarkId::new("instance_scan", &label), &(), |b, _| {
+            b.iter(|| {
+                let mut inst = base.clone();
+                for k in 0..nulls as u64 {
+                    inst.substitute_in_place_ids(&NullSubstitution::single(
+                        NullValue(k),
+                        GroundTerm::Const(Constant::new("c0")),
+                    ));
+                }
+                black_box(inst.len())
+            })
+        });
+        let indexed_base = IndexedInstance::from_instance(base.clone());
+        group.bench_with_input(BenchmarkId::new("indexed_by_null", &label), &(), |b, _| {
+            b.iter(|| {
+                let mut inst = indexed_base.clone();
+                for k in 0..nulls as u64 {
+                    inst.substitute_in_place(&NullSubstitution::single(
+                        NullValue(k),
+                        GroundTerm::Const(Constant::new("c0")),
+                    ));
+                }
+                black_box(inst.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert,
+    bench_contains,
+    bench_probe,
+    bench_substitute
+);
+criterion_main!(benches);

@@ -12,7 +12,7 @@
 use chase_bench::paper_sets::*;
 use chase_bench::{render_table, ExperimentOptions};
 use chase_core::{DependencySet, Instance};
-use chase_engine::{Chase, ChaseBudget, ChaseOutcome, ObliviousVariant, StepOrder};
+use chase_engine::{Chase, ChaseBudget, ChaseObserver, ChaseOutcome, ObliviousVariant, StepOrder};
 use chase_termination::TerminationAnalyzer;
 
 fn verdict(outcome: &ChaseOutcome) -> String {
@@ -20,6 +20,27 @@ fn verdict(outcome: &ChaseOutcome) -> String {
         ChaseOutcome::Terminated { .. } => "terminates".to_string(),
         ChaseOutcome::Failed { .. } => "fails (⊥)".to_string(),
         ChaseOutcome::BudgetExhausted { limit, .. } => format!("budget ({limit})"),
+    }
+}
+
+/// Tracks the peak post-round fact and live-null counts of a core-chase run from
+/// the `ChaseObserver` event stream: `round_completed` carries the cored fact
+/// count, `round_nulls` the cored live-null count (the created/collapsed event
+/// tally would overcount, since nulls folded away by core computation emit no
+/// collapse event).
+#[derive(Default)]
+struct PeakObserver {
+    peak_facts: usize,
+    peak_nulls: usize,
+}
+
+impl ChaseObserver for PeakObserver {
+    fn round_completed(&mut self, _round: usize, facts: usize) {
+        self.peak_facts = self.peak_facts.max(facts);
+    }
+
+    fn round_nulls(&mut self, nulls: usize) {
+        self.peak_nulls = self.peak_nulls.max(nulls);
     }
 }
 
@@ -43,7 +64,10 @@ fn run_all(
     let obl = Chase::oblivious(sigma, ObliviousVariant::Oblivious)
         .with_budget(*budget)
         .run(db);
-    let core = Chase::core(sigma).with_budget(*core_budget).run(db);
+    let mut peaks = PeakObserver::default();
+    let core = Chase::core(sigma)
+        .with_budget(*core_budget)
+        .run_observed(db, &mut peaks);
     vec![
         name.to_string(),
         verdict(&obl),
@@ -51,6 +75,7 @@ fn run_all(
         verdict(&std_textual),
         verdict(&std_egd_first),
         verdict(&core),
+        format!("{}/{}", peaks.peak_facts, peaks.peak_nulls),
         analyzer.analyze(sigma).summary(),
     ]
 }
@@ -58,12 +83,12 @@ fn run_all(
 fn main() {
     let opts = ExperimentOptions::from_args();
     let budget = ChaseBudget::unlimited().with_max_steps(opts.chase_budget.min(5_000));
-    // Core-chase rounds are capped low: on diverging sets (Σ10) the instance keeps
-    // growing and `core_of`'s homomorphism minimisation is exponential in the
-    // number of nulls, so high round budgets run away. 20 rounds are enough to
-    // separate every witness (terminating sets finish in ≤ 3 rounds; diverging
-    // sets exhaust the budget either way).
-    let core_budget = ChaseBudget::unlimited().with_max_rounds(20);
+    // Core-chase rounds: with `core_of`'s memoised, id-based folding (one
+    // endomorphism search per instance version, incremental image construction)
+    // the diverging sets (Σ10) sustain 60 rounds in well under a second — 3× the
+    // previous cap of 20, which the old per-attempt re-materialising fold could
+    // not afford. Terminating sets finish in ≤ 3 rounds either way.
+    let core_budget = ChaseBudget::unlimited().with_max_rounds(60);
     let analyzer = TerminationAnalyzer::new();
 
     let witnesses: Vec<(&str, DependencySet, Instance)> = vec![
@@ -90,6 +115,7 @@ fn main() {
                 "standard (textual)",
                 "standard (EGDs first)",
                 "core",
+                "core peak facts/nulls",
                 "analyzer",
             ],
             &rows,

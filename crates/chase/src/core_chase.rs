@@ -97,16 +97,21 @@ pub(crate) fn run_core(
         if let Some(violation) = failure {
             return ChaseOutcome::Failed { violation, stats };
         }
-        // Apply the merges accumulated this round.
+        // Apply the merges accumulated this round, rewriting ids in place (no
+        // instance rebuild per substitution).
         for (null, target) in merges.substitutions() {
             stats.null_replacements += 1;
             let gamma = NullSubstitution::single(null, target);
             observer.egd_collapsed(&gamma);
-            next = next.apply_substitution(&gamma);
+            next.substitute_in_place_ids(&gamma);
         }
         // (ii) take the core.
-        let cored = core_of(&next);
+        let mut cored = core_of(&next);
+        // Drop the dead arena history this round accumulated (rewritten and
+        // folded-away facts), so the next round's clones copy only live facts.
+        cored.compact();
         observer.round_completed(stats.steps, cored.len());
+        observer.round_nulls(cored.nulls().len());
         if cored == current {
             // No progress is possible: the remaining violations cannot be repaired
             // (this can only happen when the budget semantics interact with core

@@ -21,7 +21,11 @@
 //! added or rewritten facts to the incremental
 //! [`TriggerEngine`](chase_trigger::TriggerEngine) instead of re-scanning the
 //! whole instance (switch back with
-//! [`Chase::with_discovery`]`(`[`TriggerDiscovery::NaiveRescan`]`)`).
+//! [`Chase::with_discovery`]`(`[`TriggerDiscovery::NaiveRescan`]`)`). Step
+//! bookkeeping rides the arena-interned `chase_core::FactStore`: deltas travel
+//! as dense `FactId`s, the core chase substitutes in place through the id delta,
+//! and [`core_of`](crate::core_of::core_of) folds nulls on ids with per-version
+//! memoisation.
 //!
 //! ```
 //! use chase_core::parser::parse_program;

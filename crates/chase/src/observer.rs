@@ -43,6 +43,15 @@ pub trait ChaseObserver {
     fn round_completed(&mut self, round: usize, facts: usize) {
         let _ = (round, facts);
     }
+
+    /// A core-chase round completed, leaving `nulls` distinct labeled nulls in the
+    /// (cored) instance. Emitted right after [`ChaseObserver::round_completed`];
+    /// unlike the [`ChaseObserver::nulls_created`] /
+    /// [`ChaseObserver::egd_collapsed`] stream, this accounts for nulls folded
+    /// away by core computation, so peak-liveness trackers should use it.
+    fn round_nulls(&mut self, nulls: usize) {
+        let _ = nulls;
+    }
 }
 
 /// Records one applied step's effect into the run statistics and the observer

@@ -64,12 +64,7 @@ pub fn apply_step(
             }
             match (left, right) {
                 (GroundTerm::Const(_), GroundTerm::Const(_)) => (None, StepEffect::Failure),
-                (GroundTerm::Null(n), other) => {
-                    let gamma = NullSubstitution::single(n, other);
-                    let next = instance.apply_substitution(&gamma);
-                    (Some(next), StepEffect::Substituted { gamma })
-                }
-                (other, GroundTerm::Null(n)) => {
+                (GroundTerm::Null(n), other) | (other, GroundTerm::Null(n)) => {
                     let gamma = NullSubstitution::single(n, other);
                     let next = instance.apply_substitution(&gamma);
                     (Some(next), StepEffect::Substituted { gamma })

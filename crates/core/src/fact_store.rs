@@ -1,0 +1,377 @@
+//! Arena-interned fact storage: dense ids over a flat term arena.
+//!
+//! A [`FactStore`] interns every fact exactly once: the argument terms of all facts
+//! live contiguously in one flat `Vec<GroundTerm>` arena, each fact is a dense
+//! [`FactId`] pointing at a `(predicate, term-span)` record, and predicates are
+//! interned to dense [`PredicateId`]s. Equal facts always receive the same id, so
+//! fact identity is id equality and set membership is an integer-set operation —
+//! no per-fact heap allocation, no `Vec<GroundTerm>` clones on the hot paths.
+//!
+//! The store is **append-only**: interning never invalidates an id, and ids are
+//! never reused. "Removing" a fact is the owning [`Instance`](crate::Instance)'s
+//! business (it keeps a live-id set); an EGD substitution interns the rewritten
+//! image as a fresh id ([`FactStore::intern_rewritten`]) and reports the
+//! `(old, new)` id pair — the delta the incremental trigger engine re-seeds from.
+//!
+//! ## Who holds what
+//!
+//! * [`crate::Instance`] owns a store plus a live-id set and per-predicate id
+//!   lists; the legacy [`Fact`]-value API is a thin view that materialises facts
+//!   from the arena on demand.
+//! * [`crate::IndexedInstance`] keeps its per-(predicate, position, term) and
+//!   per-null indexes as `Vec<FactId>` buckets over the same store.
+//! * The join engine ([`crate::homomorphism`]) enumerates candidate `FactId`
+//!   slices and unifies atoms directly against arena term slices.
+//!
+//! Dedup is a small open-addressing hash table (linear probing, power-of-two
+//! capacity) whose buckets hold `FactId`s; collisions are resolved by comparing
+//! `(PredicateId, term slice)` against the arena, so the table stores no keys of
+//! its own.
+
+use crate::atom::{Fact, Predicate};
+use crate::substitution::NullSubstitution;
+use crate::term::GroundTerm;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Dense id of an interned fact. Ids are handed out consecutively from 0 and are
+/// stable for the lifetime of the store that issued them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FactId(pub u32);
+
+/// Dense id of an interned predicate (name + arity) within one store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PredicateId(pub u32);
+
+/// Per-fact record: the interned predicate and the start of the argument span in
+/// the term arena (the span length is the predicate's arity).
+#[derive(Clone, Copy, Debug)]
+struct FactMeta {
+    pred: PredicateId,
+    start: u32,
+}
+
+const EMPTY_BUCKET: u32 = u32::MAX;
+
+/// Arena-backed interned fact storage. See the [module docs](self) for the layout.
+#[derive(Clone, Debug, Default)]
+pub struct FactStore {
+    /// Interned predicates, indexed by `PredicateId`.
+    predicates: Vec<Predicate>,
+    predicate_ids: HashMap<Predicate, PredicateId>,
+    /// The flat term arena: argument terms of all facts, contiguous per fact.
+    terms: Vec<GroundTerm>,
+    /// One record per interned fact, indexed by `FactId`.
+    meta: Vec<FactMeta>,
+    /// Open-addressing dedup table: buckets hold `FactId.0` or `EMPTY_BUCKET`.
+    /// Capacity is a power of two; the table stores no keys (comparisons go
+    /// through the arena).
+    table: Vec<u32>,
+    /// Scratch buffer reused by [`FactStore::intern_rewritten`].
+    scratch: Vec<GroundTerm>,
+}
+
+impl FactStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        FactStore::default()
+    }
+
+    /// Number of interned facts (live or not — the store is append-only).
+    pub fn len(&self) -> usize {
+        self.meta.len()
+    }
+
+    /// Returns `true` iff no fact has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Number of interned predicates.
+    pub fn predicate_count(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// Total number of terms in the arena (Σ arity over interned facts).
+    pub fn arena_len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Interns a predicate, returning its dense id.
+    pub fn predicate_id(&mut self, predicate: Predicate) -> PredicateId {
+        if let Some(&id) = self.predicate_ids.get(&predicate) {
+            return id;
+        }
+        let id = PredicateId(self.predicates.len() as u32);
+        self.predicates.push(predicate);
+        self.predicate_ids.insert(predicate, id);
+        id
+    }
+
+    /// The dense id of a predicate, if it has been interned.
+    pub fn lookup_predicate(&self, predicate: Predicate) -> Option<PredicateId> {
+        self.predicate_ids.get(&predicate).copied()
+    }
+
+    /// The predicate behind a dense predicate id.
+    pub fn predicate(&self, id: PredicateId) -> Predicate {
+        self.predicates[id.0 as usize]
+    }
+
+    /// The predicate of an interned fact.
+    pub fn predicate_of(&self, id: FactId) -> Predicate {
+        self.predicates[self.meta[id.0 as usize].pred.0 as usize]
+    }
+
+    /// The dense predicate id of an interned fact.
+    pub fn predicate_id_of(&self, id: FactId) -> PredicateId {
+        self.meta[id.0 as usize].pred
+    }
+
+    /// The argument terms of an interned fact, as a slice into the arena.
+    pub fn terms(&self, id: FactId) -> &[GroundTerm] {
+        let m = self.meta[id.0 as usize];
+        let arity = self.predicates[m.pred.0 as usize].arity;
+        &self.terms[m.start as usize..m.start as usize + arity]
+    }
+
+    /// Materialises the [`Fact`] value behind an id (the thin view layer; hot
+    /// paths stay on ids and [`FactStore::terms`]).
+    pub fn fact(&self, id: FactId) -> Fact {
+        Fact {
+            predicate: self.predicate_of(id),
+            terms: self.terms(id).to_vec(),
+        }
+    }
+
+    /// Compares two interned facts with the same ordering as [`Fact`]'s `Ord`
+    /// (predicate, then argument terms, lexicographically).
+    pub fn compare(&self, a: FactId, b: FactId) -> std::cmp::Ordering {
+        (self.predicate_of(a), self.terms(a)).cmp(&(self.predicate_of(b), self.terms(b)))
+    }
+
+    fn hash_key(pred: PredicateId, terms: &[GroundTerm]) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        pred.0.hash(&mut h);
+        terms.hash(&mut h);
+        h.finish()
+    }
+
+    /// Probes the dedup table for `(pred, terms)`. Returns the matching id, or the
+    /// index of the empty bucket where it would be inserted.
+    fn probe(&self, pred: PredicateId, terms: &[GroundTerm]) -> Result<FactId, usize> {
+        debug_assert!(!self.table.is_empty());
+        let mask = self.table.len() - 1;
+        let mut slot = (Self::hash_key(pred, terms) as usize) & mask;
+        loop {
+            let bucket = self.table[slot];
+            if bucket == EMPTY_BUCKET {
+                return Err(slot);
+            }
+            let id = FactId(bucket);
+            if self.meta[bucket as usize].pred == pred && self.terms(id) == terms {
+                return Ok(id);
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn grow_table(&mut self) {
+        let new_cap = (self.table.len().max(8)) * 2;
+        self.table = vec![EMPTY_BUCKET; new_cap];
+        let mask = new_cap - 1;
+        for (i, m) in self.meta.iter().enumerate() {
+            let arity = self.predicates[m.pred.0 as usize].arity;
+            let terms = &self.terms[m.start as usize..m.start as usize + arity];
+            let mut slot = (Self::hash_key(m.pred, terms) as usize) & mask;
+            while self.table[slot] != EMPTY_BUCKET {
+                slot = (slot + 1) & mask;
+            }
+            self.table[slot] = i as u32;
+        }
+    }
+
+    /// Interns a fact given as predicate + argument terms; returns its dense id.
+    /// Interning an already-present fact returns the existing id.
+    pub fn intern(&mut self, predicate: Predicate, terms: &[GroundTerm]) -> FactId {
+        debug_assert_eq!(predicate.arity, terms.len());
+        let pred = self.predicate_id(predicate);
+        // Keep the load factor ≤ 1/2 so probe chains stay short.
+        if self.table.len() < (self.meta.len() + 1) * 2 {
+            self.grow_table();
+        }
+        match self.probe(pred, terms) {
+            Ok(id) => id,
+            Err(slot) => {
+                // Checked casts: past 2^32 facts or arena terms, wrapping would
+                // silently alias spans; fail loudly instead.
+                let id = FactId(u32::try_from(self.meta.len()).expect("fact-id space exhausted"));
+                let start =
+                    u32::try_from(self.terms.len()).expect("term-arena offset space exhausted");
+                self.terms.extend_from_slice(terms);
+                self.meta.push(FactMeta { pred, start });
+                self.table[slot] = id.0;
+                id
+            }
+        }
+    }
+
+    /// Interns a [`Fact`] value.
+    pub fn intern_fact(&mut self, fact: &Fact) -> FactId {
+        self.intern(fact.predicate, &fact.terms)
+    }
+
+    /// Looks up a fact without interning it; `None` if it was never interned.
+    pub fn lookup(&self, predicate: Predicate, terms: &[GroundTerm]) -> Option<FactId> {
+        let pred = self.lookup_predicate(predicate)?;
+        if self.table.is_empty() {
+            return None;
+        }
+        self.probe(pred, terms).ok()
+    }
+
+    /// Looks up a [`Fact`] value without interning it.
+    pub fn lookup_fact(&self, fact: &Fact) -> Option<FactId> {
+        self.lookup(fact.predicate, &fact.terms)
+    }
+
+    /// Interns the image of fact `id` under the substitution `γ` and returns the
+    /// image's id (which is `id` itself when the fact does not mention the
+    /// substituted null). The rewrite goes through the store's scratch buffer, so
+    /// no per-call allocation happens after warm-up.
+    pub fn intern_rewritten(&mut self, id: FactId, gamma: &NullSubstitution) -> FactId {
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        buf.extend(self.terms(id).iter().map(|&t| gamma.apply_ground(t)));
+        let pred = self.predicate_of(id);
+        let new = self.intern(pred, &buf);
+        self.scratch = buf;
+        new
+    }
+
+    /// Writes the fact behind `id` in the `P(t1, …, tn)` syntax without
+    /// materialising a [`Fact`] value.
+    pub fn fmt_fact(&self, id: FactId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.predicate_of(id).name)?;
+        for (i, t) in self.terms(id).iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Constant, NullValue};
+
+    fn cst(s: &str) -> GroundTerm {
+        GroundTerm::Const(Constant::new(s))
+    }
+    fn null(i: u64) -> GroundTerm {
+        GroundTerm::Null(NullValue(i))
+    }
+
+    #[test]
+    fn interning_is_idempotent_and_dense() {
+        let mut s = FactStore::new();
+        let a = s.intern_fact(&Fact::from_parts("E", vec![cst("a"), cst("b")]));
+        let b = s.intern_fact(&Fact::from_parts("E", vec![cst("a"), cst("b")]));
+        let c = s.intern_fact(&Fact::from_parts("E", vec![cst("b"), cst("a")]));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.0, 0);
+        assert_eq!(c.0, 1);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.arena_len(), 4);
+    }
+
+    #[test]
+    fn same_name_different_arity_are_distinct_predicates() {
+        let mut s = FactStore::new();
+        let a = s.intern_fact(&Fact::from_parts("P", vec![cst("a")]));
+        let b = s.intern_fact(&Fact::from_parts("P", vec![cst("a"), cst("a")]));
+        assert_ne!(a, b);
+        assert_eq!(s.predicate_count(), 2);
+        assert_ne!(s.predicate_id_of(a), s.predicate_id_of(b));
+    }
+
+    #[test]
+    fn round_trip_through_the_view_layer() {
+        let mut s = FactStore::new();
+        let f = Fact::from_parts("E", vec![cst("a"), null(3)]);
+        let id = s.intern_fact(&f);
+        assert_eq!(s.fact(id), f);
+        assert_eq!(s.terms(id), &[cst("a"), null(3)]);
+        assert_eq!(s.predicate_of(id), f.predicate);
+        assert_eq!(s.lookup_fact(&f), Some(id));
+        assert_eq!(
+            s.lookup_fact(&Fact::from_parts("E", vec![cst("a"), null(4)])),
+            None
+        );
+    }
+
+    #[test]
+    fn lookup_on_empty_store_is_none() {
+        let s = FactStore::new();
+        assert_eq!(s.lookup_fact(&Fact::from_parts("P", vec![cst("a")])), None);
+    }
+
+    #[test]
+    fn compare_matches_fact_ord() {
+        let mut s = FactStore::new();
+        let facts = vec![
+            Fact::from_parts("E", vec![cst("a"), null(1)]),
+            Fact::from_parts("E", vec![cst("a"), cst("b")]),
+            Fact::from_parts("N", vec![cst("a")]),
+            Fact::from_parts("E", vec![null(0), cst("b")]),
+        ];
+        let ids: Vec<FactId> = facts.iter().map(|f| s.intern_fact(f)).collect();
+        let mut by_id = ids.clone();
+        by_id.sort_by(|&a, &b| s.compare(a, b));
+        let mut by_value = facts.clone();
+        by_value.sort();
+        let materialised: Vec<Fact> = by_id.iter().map(|&id| s.fact(id)).collect();
+        assert_eq!(materialised, by_value);
+    }
+
+    #[test]
+    fn intern_rewritten_dedups_against_existing_facts() {
+        let mut s = FactStore::new();
+        let with_null = s.intern_fact(&Fact::from_parts("E", vec![cst("a"), null(1)]));
+        let ground = s.intern_fact(&Fact::from_parts("E", vec![cst("a"), cst("a")]));
+        let gamma = NullSubstitution::single(NullValue(1), cst("a"));
+        assert_eq!(s.intern_rewritten(with_null, &gamma), ground);
+        // A fact untouched by γ maps to itself.
+        assert_eq!(s.intern_rewritten(ground, &gamma), ground);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn zero_ary_facts_intern() {
+        let mut s = FactStore::new();
+        let a = s.intern_fact(&Fact::from_parts("Init", vec![]));
+        let b = s.intern_fact(&Fact::from_parts("Init", vec![]));
+        assert_eq!(a, b);
+        assert!(s.terms(a).is_empty());
+    }
+
+    #[test]
+    fn table_growth_keeps_ids_stable() {
+        let mut s = FactStore::new();
+        let ids: Vec<FactId> = (0..1000)
+            .map(|i| s.intern_fact(&Fact::from_parts("N", vec![cst(&format!("c{i}"))])))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                s.lookup_fact(&Fact::from_parts("N", vec![cst(&format!("c{i}"))])),
+                Some(*id)
+            );
+        }
+        assert_eq!(s.len(), 1000);
+    }
+}

@@ -21,6 +21,7 @@
 //! [`naive_homomorphisms_extending`] for differential testing of the engine.
 
 use crate::atom::{Atom, Fact, Predicate};
+use crate::fact_store::{FactId, FactStore};
 use crate::index::IndexedInstance;
 use crate::instance::Instance;
 use crate::term::{GroundTerm, Term, Variable};
@@ -147,8 +148,20 @@ pub fn unify_atom_with_fact(
     assignment: &mut Assignment,
 ) -> Option<Vec<Variable>> {
     debug_assert_eq!(atom.predicate, fact.predicate);
+    unify_atom_with_terms(atom, &fact.terms, assignment)
+}
+
+/// Tries to unify `atom` with a fact given by its argument terms (typically a
+/// [`FactStore`] arena slice) under `assignment`. The predicate is assumed to
+/// match. Semantics are those of [`unify_atom_with_fact`].
+pub fn unify_atom_with_terms(
+    atom: &Atom,
+    fact_terms: &[GroundTerm],
+    assignment: &mut Assignment,
+) -> Option<Vec<Variable>> {
+    debug_assert_eq!(atom.terms.len(), fact_terms.len());
     let mut new_bindings: Vec<Variable> = Vec::new();
-    for (t, g) in atom.terms.iter().zip(fact.terms.iter()) {
+    for (t, g) in atom.terms.iter().zip(fact_terms.iter()) {
         let ok = match t {
             Term::Const(c) => GroundTerm::Const(*c) == *g,
             Term::Null(n) => GroundTerm::Null(*n) == *g,
@@ -307,20 +320,21 @@ pub(crate) fn select_smallest_bucket<B>(
 }
 
 /// A transient per-(predicate, position) index over a plain [`Instance`], built for
-/// the predicates of one query. Buckets hold indices into `facts_of(predicate)`, so
-/// facts are not cloned.
+/// the predicates of one query. Buckets hold [`FactId`]s into the instance's arena,
+/// so facts are never cloned.
 struct QueryIndex {
-    buckets: HashMap<(Predicate, usize, GroundTerm), Vec<u32>>,
+    buckets: HashMap<(Predicate, usize, GroundTerm), Vec<FactId>>,
 }
 
 impl QueryIndex {
     fn build(atoms: &[Atom], instance: &Instance) -> QueryIndex {
-        let mut buckets: HashMap<(Predicate, usize, GroundTerm), Vec<u32>> = HashMap::new();
+        let mut buckets: HashMap<(Predicate, usize, GroundTerm), Vec<FactId>> = HashMap::new();
         let predicates: BTreeSet<Predicate> = atoms.iter().map(|a| a.predicate).collect();
+        let store = instance.store();
         for p in predicates {
-            for (fi, fact) in instance.facts_of(p).iter().enumerate() {
-                for (pos, t) in fact.terms.iter().enumerate() {
-                    buckets.entry((p, pos, *t)).or_default().push(fi as u32);
+            for &id in instance.ids_of(p) {
+                for (pos, t) in store.terms(id).iter().enumerate() {
+                    buckets.entry((p, pos, *t)).or_default().push(id);
                 }
             }
         }
@@ -329,8 +343,8 @@ impl QueryIndex {
 
     /// The smallest bucket among the atom's ground positions under `assignment`, or
     /// `None` when no position is ground (callers fall back to the predicate scan).
-    fn best_bucket(&self, atom: &Atom, assignment: &Assignment) -> Option<&[u32]> {
-        const EMPTY: &[u32] = &[];
+    fn best_bucket(&self, atom: &Atom, assignment: &Assignment) -> Option<&[FactId]> {
+        const EMPTY: &[FactId] = &[];
         select_smallest_bucket(
             atom,
             assignment,
@@ -361,9 +375,17 @@ impl Source<'_> {
         match self {
             Source::Scan { instance, index } => match index.best_bucket(atom, h) {
                 Some(bucket) => bucket.len(),
-                None => instance.facts_of(atom.predicate).len(),
+                None => instance.ids_of(atom.predicate).len(),
             },
             Source::Indexed(ix) => ix.candidate_count(atom, h),
+        }
+    }
+
+    /// The arena behind the candidate ids this source enumerates.
+    fn store(&self) -> &FactStore {
+        match self {
+            Source::Scan { instance, .. } => instance.store(),
+            Source::Indexed(ix) => ix.store(),
         }
     }
 }
@@ -424,19 +446,46 @@ impl<'a> HomomorphismSearch<'a> {
     }
 
     /// Visits every homomorphism in which atom `seed_index` is mapped to `seed_fact`
-    /// — the semi-naive seeding step of delta-driven trigger discovery.
+    /// — the semi-naive seeding step of delta-driven trigger discovery. The seed is
+    /// unified from the given fact value; [`HomomorphismSearch::for_each_seeded_id`]
+    /// is the allocation-free entry point for seeds already interned in the source's
+    /// [`FactStore`].
     pub fn for_each_seeded<B>(
         &self,
         seed_index: usize,
         seed_fact: &Fact,
         visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
     ) -> Option<B> {
-        let seed_atom = &self.atoms[seed_index];
-        if seed_atom.predicate != seed_fact.predicate {
+        if self.atoms[seed_index].predicate != seed_fact.predicate {
             return None;
         }
+        self.seeded_from_terms(seed_index, &seed_fact.terms, visit)
+    }
+
+    /// Visits every homomorphism in which atom `seed_index` is mapped to the
+    /// interned fact `seed` of the source's store.
+    pub fn for_each_seeded_id<B>(
+        &self,
+        seed_index: usize,
+        seed: FactId,
+        visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+    ) -> Option<B> {
+        let store = self.source.store();
+        if self.atoms[seed_index].predicate != store.predicate_of(seed) {
+            return None;
+        }
+        self.seeded_from_terms(seed_index, store.terms(seed), visit)
+    }
+
+    fn seeded_from_terms<B>(
+        &self,
+        seed_index: usize,
+        seed_terms: &[GroundTerm],
+        visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+    ) -> Option<B> {
+        let seed_atom = &self.atoms[seed_index];
         let mut assignment = Assignment::new();
-        unify_atom_with_fact(seed_atom, seed_fact, &mut assignment)?;
+        unify_atom_with_terms(seed_atom, seed_terms, &mut assignment)?;
         let include: Vec<usize> = (0..self.atoms.len()).filter(|&i| i != seed_index).collect();
         let plan = JoinPlan::for_subset(self.atoms, &include, &assignment, |i| {
             self.source.candidate_count(&self.atoms[i], &assignment)
@@ -460,40 +509,34 @@ impl<'a> HomomorphismSearch<'a> {
         let atom = &self.atoms[order[depth]];
         match &self.source {
             Source::Indexed(ix) => {
-                for fact in ix.candidates_for(atom, assignment) {
-                    self.try_fact(order, depth, atom, fact, assignment, visit)?;
+                for &id in ix.candidates_for(atom, assignment) {
+                    self.try_id(order, depth, atom, id, assignment, visit)?;
                 }
             }
             Source::Scan { instance, index } => {
-                let all = instance.facts_of(atom.predicate);
-                match index.best_bucket(atom, assignment) {
-                    Some(bucket) => {
-                        for &fi in bucket {
-                            let fact = &all[fi as usize];
-                            self.try_fact(order, depth, atom, fact, assignment, visit)?;
-                        }
-                    }
-                    None => {
-                        for fact in all {
-                            self.try_fact(order, depth, atom, fact, assignment, visit)?;
-                        }
-                    }
+                let candidates = match index.best_bucket(atom, assignment) {
+                    Some(bucket) => bucket,
+                    None => instance.ids_of(atom.predicate),
+                };
+                for &id in candidates {
+                    self.try_id(order, depth, atom, id, assignment, visit)?;
                 }
             }
         }
         ControlFlow::Continue(())
     }
 
-    fn try_fact<B>(
+    fn try_id<B>(
         &self,
         order: &[usize],
         depth: usize,
         atom: &Atom,
-        fact: &Fact,
+        id: FactId,
         assignment: &mut Assignment,
         visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
     ) -> ControlFlow<B> {
-        if let Some(new_bindings) = unify_atom_with_fact(atom, fact, assignment) {
+        let terms = self.source.store().terms(id);
+        if let Some(new_bindings) = unify_atom_with_terms(atom, terms, assignment) {
             let flow = self.search(order, depth + 1, assignment, visit);
             for v in &new_bindings {
                 assignment.unbind(*v);
@@ -573,8 +616,10 @@ pub fn naive_homomorphisms_extending(
             out.push(assignment.clone());
             return;
         };
-        for fact in instance.facts_of(atom.predicate) {
-            if let Some(new_bindings) = unify_atom_with_fact(atom, fact, assignment) {
+        for &id in instance.ids_of(atom.predicate) {
+            if let Some(new_bindings) =
+                unify_atom_with_terms(atom, instance.store().terms(id), assignment)
+            {
                 recurse(atoms, instance, depth + 1, assignment, out);
                 for v in &new_bindings {
                     assignment.unbind(*v);
@@ -598,13 +643,19 @@ pub fn instance_homomorphism(
     to: &Instance,
 ) -> Option<HashMap<crate::term::NullValue, GroundTerm>> {
     // Convert the nulls of `from` into variables and reuse the atom-level search.
+    let store = from.store();
     let atoms: Vec<Atom> = from
-        .facts()
-        .map(|f| {
-            f.to_atom().map_terms(|t| match t {
-                Term::Null(n) => Term::Var(Variable::new(&format!("__null_{}", n.0))),
-                other => *other,
-            })
+        .fact_ids()
+        .map(|id| Atom {
+            predicate: store.predicate_of(id),
+            terms: store
+                .terms(id)
+                .iter()
+                .map(|t| match t {
+                    GroundTerm::Null(n) => Term::Var(Variable::new(&format!("__null_{}", n.0))),
+                    GroundTerm::Const(c) => Term::Const(*c),
+                })
+                .collect(),
         })
         .collect();
     let assignment = find_homomorphism_extending(&atoms, to, &Assignment::new())?;

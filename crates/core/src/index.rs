@@ -1,14 +1,16 @@
-//! Opt-in indexed instances: per-(predicate, position) and per-null indexes.
+//! Opt-in indexed instances: per-(predicate, position) and per-null id indexes.
 //!
 //! An [`IndexedInstance`] wraps a plain [`Instance`] and maintains, *incrementally*,
-//! the two indexes the join engine and the EGD substitution path consume:
+//! the two indexes the join engine and the EGD substitution path consume — both as
+//! buckets of [`FactId`]s over the instance's arena (no fact is ever cloned into an
+//! index):
 //!
 //! * a per-(predicate, position, term) index answering "which facts of `P` carry this
 //!   ground term at position `i`?" by lookup instead of scan — the fast path behind
 //!   [`HomomorphismSearch::over_index`](crate::homomorphism::HomomorphismSearch::over_index)
 //!   and the trigger engine of `chase_trigger`;
 //! * a per-null occurrence index, so an EGD substitution rewrites only the facts that
-//!   mention the substituted null.
+//!   mention the substituted null and reports the `(old, new)` id delta.
 //!
 //! Keeping these indexes *off* [`Instance`] is deliberate: maintaining them costs
 //! roughly `(arity + 2)×` extra work and memory per insert, which consumers that never
@@ -19,6 +21,7 @@
 //! [`HomomorphismSearch::new`](crate::homomorphism::HomomorphismSearch::new).
 
 use crate::atom::{Atom, Fact, Predicate};
+use crate::fact_store::{FactId, FactStore};
 use crate::homomorphism::select_smallest_bucket;
 use crate::instance::Instance;
 use crate::substitution::NullSubstitution;
@@ -27,7 +30,8 @@ use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// An [`Instance`] plus incrementally maintained position and null indexes.
+/// An [`Instance`] plus incrementally maintained position and null indexes, both
+/// holding [`FactId`]s into the instance's arena.
 ///
 /// All mutation goes through [`IndexedInstance::insert`], [`IndexedInstance::remove`]
 /// and [`IndexedInstance::substitute_in_place`], which keep the indexes consistent
@@ -36,11 +40,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct IndexedInstance {
     instance: Instance,
     /// Per-(predicate, position) index: maps the ground term at that position to the
-    /// facts carrying it there.
-    by_position: HashMap<(Predicate, usize, GroundTerm), Vec<Fact>>,
-    /// Facts mentioning each labeled null (each fact listed once per distinct null),
-    /// so EGD substitution touches only the facts it rewrites.
-    by_null: HashMap<NullValue, Vec<Fact>>,
+    /// ids of the facts carrying it there.
+    by_position: HashMap<(Predicate, usize, GroundTerm), Vec<FactId>>,
+    /// Ids of the facts mentioning each labeled null (each fact listed once per
+    /// distinct null), so EGD substitution touches only the facts it rewrites.
+    by_null: HashMap<NullValue, Vec<FactId>>,
     /// Number of position-index lookups served (diagnostics; lets tests assert that a
     /// caller routed through the indexed path rather than a scan). Atomic so the
     /// counter does not cost the type its `Sync`-ness.
@@ -65,7 +69,7 @@ impl IndexedInstance {
     }
 
     /// Builds the indexes over `instance` (taking ownership, preserving its
-    /// labeled-null allocator state).
+    /// labeled-null allocator state and arena).
     ///
     /// Facts are indexed in sorted order so that join candidate enumeration — and any
     /// chase sequence built on it — is reproducible across process runs.
@@ -76,32 +80,67 @@ impl IndexedInstance {
             by_null: HashMap::new(),
             probes: AtomicU64::new(0),
         };
-        for fact in out.instance.sorted_facts() {
-            out.index_fact(&fact);
+        for id in out.instance.sorted_fact_ids() {
+            out.index_fact(id);
         }
         out
     }
 
-    /// Records `fact` in the position and null indexes (the single place the
-    /// indexing scheme is defined; `from_instance` and `insert` both go through it).
-    fn index_fact(&mut self, fact: &Fact) {
-        for (i, t) in fact.terms.iter().enumerate() {
+    /// Records `id` in the position and null indexes (the single place the indexing
+    /// scheme is defined; `from_instance`, `insert` and `substitute_in_place` all go
+    /// through it).
+    fn index_fact(&mut self, id: FactId) {
+        let store = self.instance.store();
+        let predicate = store.predicate_of(id);
+        let mut nulls: Vec<NullValue> = Vec::new();
+        for (i, t) in store.terms(id).iter().enumerate() {
             self.by_position
-                .entry((fact.predicate, i, *t))
+                .entry((predicate, i, *t))
                 .or_default()
-                .push(fact.clone());
+                .push(id);
+            if let GroundTerm::Null(n) = t {
+                nulls.push(*n);
+            }
         }
-        let mut nulls = fact.nulls();
         nulls.sort_unstable();
         nulls.dedup();
         for n in nulls {
-            self.by_null.entry(n).or_default().push(fact.clone());
+            self.by_null.entry(n).or_default().push(id);
+        }
+    }
+
+    /// Removes `id` from the position and null indexes.
+    fn unindex_fact(&mut self, id: FactId) {
+        let store = self.instance.store();
+        let predicate = store.predicate_of(id);
+        for (i, t) in store.terms(id).iter().enumerate() {
+            if let Some(v) = self.by_position.get_mut(&(predicate, i, *t)) {
+                v.retain(|&f| f != id);
+                if v.is_empty() {
+                    self.by_position.remove(&(predicate, i, *t));
+                }
+            }
+        }
+        for t in store.terms(id) {
+            if let GroundTerm::Null(n) = t {
+                if let Some(v) = self.by_null.get_mut(n) {
+                    v.retain(|&f| f != id);
+                    if v.is_empty() {
+                        self.by_null.remove(n);
+                    }
+                }
+            }
         }
     }
 
     /// The underlying instance.
     pub fn instance(&self) -> &Instance {
         &self.instance
+    }
+
+    /// The arena-interned fact store behind the indexes.
+    pub fn store(&self) -> &FactStore {
+        self.instance.store()
     }
 
     /// Consumes the index, returning the instance.
@@ -129,76 +168,89 @@ impl IndexedInstance {
         self.instance.fresh_null()
     }
 
-    /// Facts of the given predicate (empty slice if none).
-    pub fn facts_of(&self, predicate: Predicate) -> &[Fact] {
-        self.instance.facts_of(predicate)
+    /// Ids of the facts of the given predicate (empty slice if none).
+    pub fn ids_of(&self, predicate: Predicate) -> &[FactId] {
+        self.instance.ids_of(predicate)
     }
 
     /// Inserts a fact, updating all indexes; returns `true` iff it was new.
     pub fn insert(&mut self, fact: Fact) -> bool {
-        if !self.instance.insert(fact.clone()) {
-            return false;
+        self.insert_full(fact).1
+    }
+
+    /// Inserts a fact, updating all indexes; returns its interned id and whether it
+    /// was new.
+    pub fn insert_full(&mut self, fact: Fact) -> (FactId, bool) {
+        let (id, new) = self.instance.insert_full(fact);
+        if new {
+            self.index_fact(id);
         }
-        self.index_fact(&fact);
-        true
+        (id, new)
+    }
+
+    /// Inserts a fact given as predicate + terms, updating all indexes; returns its
+    /// interned id and whether it was new.
+    pub fn insert_parts(&mut self, predicate: Predicate, terms: &[GroundTerm]) -> (FactId, bool) {
+        let (id, new) = self.instance.insert_parts(predicate, terms);
+        if new {
+            self.index_fact(id);
+        }
+        (id, new)
     }
 
     /// Removes a fact, updating all indexes; returns `true` iff it was present.
     pub fn remove(&mut self, fact: &Fact) -> bool {
-        if !self.instance.remove(fact) {
+        match self.instance.store().lookup_fact(fact) {
+            Some(id) => self.remove_id(id),
+            None => false,
+        }
+    }
+
+    /// Removes an interned fact by id, updating all indexes; returns `true` iff it
+    /// was present.
+    pub fn remove_id(&mut self, id: FactId) -> bool {
+        if !self.instance.remove_id(id) {
             return false;
         }
-        for (i, t) in fact.terms.iter().enumerate() {
-            if let Some(v) = self.by_position.get_mut(&(fact.predicate, i, *t)) {
-                v.retain(|f| f != fact);
-                if v.is_empty() {
-                    self.by_position.remove(&(fact.predicate, i, *t));
-                }
-            }
-        }
-        let mut nulls = fact.nulls();
-        nulls.sort_unstable();
-        nulls.dedup();
-        for n in nulls {
-            if let Some(v) = self.by_null.get_mut(&n) {
-                v.retain(|f| f != fact);
-                if v.is_empty() {
-                    self.by_null.remove(&n);
-                }
-            }
-        }
+        self.unindex_fact(id);
         true
     }
 
-    /// Applies a null substitution `γ` in place and returns the rewritten facts (the
-    /// facts of `K γ` that arose from a fact of `K` mentioning the substituted null).
+    /// Applies a null substitution `γ` in place and returns the id delta: one
+    /// `(old, new)` pair per rewritten fact (the facts of `K γ` that arose from a
+    /// fact of `K` mentioning the substituted null).
     ///
     /// The null-occurrence index gives exactly the facts that mention the null, so
     /// the rewrite touches only those — the delta the incremental trigger engine
     /// re-seeds its search from.
-    pub fn substitute_in_place(&mut self, gamma: &NullSubstitution) -> Vec<Fact> {
+    pub fn substitute_in_place(&mut self, gamma: &NullSubstitution) -> Vec<(FactId, FactId)> {
         let Some((null, _)) = gamma.mapping() else {
             return Vec::new();
         };
         let changed = self.by_null.remove(&null).unwrap_or_default();
-        let mut rewritten = Vec::with_capacity(changed.len());
-        for f in changed {
-            self.remove(&f);
-            let g = f.apply(gamma);
-            self.insert(g.clone());
-            rewritten.push(g);
+        let mut delta = Vec::with_capacity(changed.len());
+        for id in changed {
+            // The fact's entry in `by_null[null]` is already gone; `remove_id`
+            // clears the position buckets and any other null lists it is on.
+            self.instance.remove_id(id);
+            self.unindex_fact(id);
+            let new = self.instance.store_mut().intern_rewritten(id, gamma);
+            if self.instance.insert_id(new) {
+                self.index_fact(new);
+            }
+            delta.push((id, new));
         }
-        rewritten
+        delta
     }
 
-    /// Facts of `predicate` carrying `term` at position `position` (empty slice if
-    /// none). O(1) lookup instead of a scan over all facts of the predicate.
+    /// Ids of the facts of `predicate` carrying `term` at position `position` (empty
+    /// slice if none). O(1) lookup instead of a scan over all facts of the predicate.
     pub fn facts_by_predicate_position(
         &self,
         predicate: Predicate,
         position: usize,
         term: GroundTerm,
-    ) -> &[Fact] {
+    ) -> &[FactId] {
         self.probes.fetch_add(1, Ordering::Relaxed);
         self.by_position
             .get(&(predicate, position, term))
@@ -206,7 +258,7 @@ impl IndexedInstance {
             .unwrap_or(&[])
     }
 
-    /// The candidate facts for `atom` under `assignment`: the smallest
+    /// The candidate fact ids for `atom` under `assignment`: the smallest
     /// per-(predicate, position) bucket among the atom's bound positions, or all
     /// facts of the predicate when no position is bound.
     ///
@@ -218,14 +270,14 @@ impl IndexedInstance {
         &'a self,
         atom: &Atom,
         assignment: &crate::homomorphism::Assignment,
-    ) -> &'a [Fact] {
+    ) -> &'a [FactId] {
         select_smallest_bucket(
             atom,
             assignment,
             |i, g| self.facts_by_predicate_position(atom.predicate, i, g),
             |b| b.len(),
         )
-        .unwrap_or_else(|| self.instance.facts_of(atom.predicate))
+        .unwrap_or_else(|| self.instance.ids_of(atom.predicate))
     }
 
     /// An upper bound on the number of candidates for `atom` under `assignment`
@@ -309,10 +361,14 @@ mod tests {
         let gamma = NullSubstitution::single(NullValue(1), cst("a"));
         let rebuilt = base.apply_substitution(&gamma);
         let mut indexed = IndexedInstance::from_instance(base);
-        let rewritten = indexed.substitute_in_place(&gamma);
+        let delta = indexed.substitute_in_place(&gamma);
         assert_eq!(indexed.instance(), &rebuilt);
         // Exactly the two facts mentioning η1 were rewritten.
-        assert_eq!(rewritten.len(), 2);
+        assert_eq!(delta.len(), 2);
+        let rewritten: Vec<Fact> = delta
+            .iter()
+            .map(|&(_, new)| indexed.store().fact(new))
+            .collect();
         assert!(rewritten.contains(&Fact::from_parts("E", vec![cst("a"), cst("a")])));
         assert!(rewritten.contains(&Fact::from_parts("E", vec![cst("a"), null(2)])));
     }
@@ -327,7 +383,7 @@ mod tests {
         k.substitute_in_place(&NullSubstitution::single(NullValue(1), cst("a")));
         // The two facts collapsed: every index must agree on the single survivor.
         assert_eq!(k.len(), 1);
-        assert_eq!(k.facts_of(e).len(), 1);
+        assert_eq!(k.ids_of(e).len(), 1);
         assert_eq!(k.facts_by_predicate_position(e, 0, cst("a")).len(), 1);
         assert_eq!(k.facts_by_predicate_position(e, 1, cst("a")).len(), 1);
         assert_eq!(k.facts_by_predicate_position(e, 1, null(1)).len(), 0);
@@ -339,10 +395,11 @@ mod tests {
         // E(η1, η1) mentions η1 twice; substitution must rewrite it exactly once.
         let mut k = IndexedInstance::new();
         k.insert(Fact::from_parts("E", vec![null(1), null(1)]));
-        let rewritten = k.substitute_in_place(&NullSubstitution::single(NullValue(1), cst("a")));
+        let delta = k.substitute_in_place(&NullSubstitution::single(NullValue(1), cst("a")));
+        assert_eq!(delta.len(), 1);
         assert_eq!(
-            rewritten,
-            vec![Fact::from_parts("E", vec![cst("a"), cst("a")])]
+            k.store().fact(delta[0].1),
+            Fact::from_parts("E", vec![cst("a"), cst("a")])
         );
         assert_eq!(k.len(), 1);
     }
@@ -353,9 +410,17 @@ mod tests {
         let mut k = IndexedInstance::new();
         k.insert(Fact::from_parts("E", vec![null(1), cst("b")]));
         let r1 = k.substitute_in_place(&NullSubstitution::single(NullValue(1), null(2)));
-        assert_eq!(r1, vec![Fact::from_parts("E", vec![null(2), cst("b")])]);
+        assert_eq!(r1.len(), 1);
+        assert_eq!(
+            k.store().fact(r1[0].1),
+            Fact::from_parts("E", vec![null(2), cst("b")])
+        );
         let r2 = k.substitute_in_place(&NullSubstitution::single(NullValue(2), cst("a")));
-        assert_eq!(r2, vec![Fact::from_parts("E", vec![cst("a"), cst("b")])]);
+        assert_eq!(r2.len(), 1);
+        assert_eq!(
+            k.store().fact(r2[0].1),
+            Fact::from_parts("E", vec![cst("a"), cst("b")])
+        );
         assert!(k.instance().nulls().is_empty());
         assert_eq!(k.len(), 1);
     }
@@ -364,8 +429,8 @@ mod tests {
     fn empty_substitution_in_place_is_a_no_op() {
         let mut k = IndexedInstance::new();
         k.insert(Fact::from_parts("E", vec![cst("a"), null(1)]));
-        let rewritten = k.substitute_in_place(&NullSubstitution::empty());
-        assert!(rewritten.is_empty());
+        let delta = k.substitute_in_place(&NullSubstitution::empty());
+        assert!(delta.is_empty());
         assert_eq!(k.len(), 1);
     }
 }

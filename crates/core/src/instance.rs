@@ -1,8 +1,12 @@
-//! Instances: finite sets of facts with a per-predicate index.
+//! Instances: finite sets of facts backed by an arena-interned [`FactStore`].
 //!
-//! An [`Instance`] stores facts (atoms over constants and labeled nulls), indexed by
-//! predicate so that homomorphism search can iterate only over candidate facts. The
-//! instance also owns the labeled-null allocator used by the chase.
+//! An [`Instance`] owns a [`FactStore`] (the flat term arena interning every fact it
+//! has ever seen) and represents its fact set as a live [`FactId`] set plus
+//! per-predicate id lists. Membership, insertion and removal are integer-set
+//! operations against interned ids — no `Fact` values are stored, cloned or hashed
+//! on the hot paths. The legacy [`Fact`]-value API ([`Instance::insert`],
+//! [`Instance::contains`], [`Instance::facts`], [`Instance::sorted_facts`], …)
+//! remains as a thin view layer that interns/materialises at the boundary.
 //!
 //! Deliberately, an `Instance` maintains *no* per-(predicate, position) or per-null
 //! indexes: those cost ~(arity + 2)× extra work and memory on every insert, which
@@ -12,19 +16,24 @@
 //! [`HomomorphismSearch::new`](crate::homomorphism::HomomorphismSearch::new).
 
 use crate::atom::{Fact, Predicate};
+use crate::fact_store::{FactId, FactStore, PredicateId};
 use crate::substitution::NullSubstitution;
-use crate::term::{Constant, NullValue};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use crate::term::{Constant, GroundTerm, NullValue};
+use std::collections::{BTreeSet, HashSet};
 use std::fmt;
 
-/// A finite set of facts over constants and labeled nulls.
+/// A finite set of facts over constants and labeled nulls, stored as interned
+/// [`FactId`]s over an owned [`FactStore`].
 ///
 /// A *database* is an instance whose facts contain no labeled nulls
 /// (see [`Instance::is_database`]).
 #[derive(Clone, Default)]
 pub struct Instance {
-    facts: HashSet<Fact>,
-    by_predicate: HashMap<Predicate, Vec<Fact>>,
+    store: FactStore,
+    /// The facts currently present, as interned ids.
+    live: HashSet<FactId>,
+    /// Per-predicate id lists (insertion order), indexed by `PredicateId`.
+    by_predicate: Vec<Vec<FactId>>,
     next_null: u64,
 }
 
@@ -43,19 +52,46 @@ impl Instance {
         inst
     }
 
+    /// The instance's arena-interned fact store (ids, term slices, rendering).
+    pub fn store(&self) -> &FactStore {
+        &self.store
+    }
+
+    /// Mutable access to the store, for same-crate index maintenance
+    /// ([`IndexedInstance`](crate::index::IndexedInstance)). Interning through it
+    /// is safe (the store is append-only); liveness stays with the instance.
+    pub(crate) fn store_mut(&mut self) -> &mut FactStore {
+        &mut self.store
+    }
+
     /// Number of facts.
     pub fn len(&self) -> usize {
-        self.facts.len()
+        self.live.len()
     }
 
     /// Returns `true` iff the instance has no facts.
     pub fn is_empty(&self) -> bool {
-        self.facts.is_empty()
+        self.live.is_empty()
     }
 
     /// Returns `true` iff the fact is present.
     pub fn contains(&self, fact: &Fact) -> bool {
-        self.facts.contains(fact)
+        self.store
+            .lookup_fact(fact)
+            .is_some_and(|id| self.live.contains(&id))
+    }
+
+    /// Returns `true` iff the interned fact `id` is present.
+    pub fn contains_id(&self, id: FactId) -> bool {
+        self.live.contains(&id)
+    }
+
+    /// Returns `true` iff a fact with this predicate and these argument terms is
+    /// present (cross-store containment check; nothing is interned).
+    pub fn contains_parts(&self, predicate: Predicate, terms: &[GroundTerm]) -> bool {
+        self.store
+            .lookup(predicate, terms)
+            .is_some_and(|id| self.live.contains(&id))
     }
 
     /// Inserts a fact; returns `true` iff it was not already present.
@@ -63,16 +99,37 @@ impl Instance {
     /// Inserting a fact that mentions a null with a label `≥` the internal null counter
     /// bumps the counter, so that [`Instance::fresh_null`] never collides.
     pub fn insert(&mut self, fact: Fact) -> bool {
-        for n in fact.nulls() {
-            if n.0 >= self.next_null {
-                self.next_null = n.0 + 1;
+        self.insert_full(fact).1
+    }
+
+    /// Inserts a fact, returning its interned id and whether it was new.
+    pub fn insert_full(&mut self, fact: Fact) -> (FactId, bool) {
+        let id = self.store.intern_fact(&fact);
+        (id, self.insert_id(id))
+    }
+
+    /// Inserts a fact given as predicate + terms (no [`Fact`] value needed),
+    /// returning its interned id and whether it was new.
+    pub fn insert_parts(&mut self, predicate: Predicate, terms: &[GroundTerm]) -> (FactId, bool) {
+        let id = self.store.intern(predicate, terms);
+        (id, self.insert_id(id))
+    }
+
+    /// Inserts an already-interned fact by id; returns `true` iff it was new.
+    pub fn insert_id(&mut self, id: FactId) -> bool {
+        for t in self.store.terms(id) {
+            if let GroundTerm::Null(n) = t {
+                if n.0 >= self.next_null {
+                    self.next_null = n.0 + 1;
+                }
             }
         }
-        if self.facts.insert(fact.clone()) {
-            self.by_predicate
-                .entry(fact.predicate)
-                .or_default()
-                .push(fact);
+        if self.live.insert(id) {
+            let pid = self.store.predicate_id_of(id);
+            if self.by_predicate.len() <= pid.0 as usize {
+                self.by_predicate.resize_with(pid.0 as usize + 1, Vec::new);
+            }
+            self.by_predicate[pid.0 as usize].push(id);
             true
         } else {
             false
@@ -81,9 +138,18 @@ impl Instance {
 
     /// Removes a fact; returns `true` iff it was present.
     pub fn remove(&mut self, fact: &Fact) -> bool {
-        if self.facts.remove(fact) {
-            if let Some(v) = self.by_predicate.get_mut(&fact.predicate) {
-                v.retain(|f| f != fact);
+        match self.store.lookup_fact(fact) {
+            Some(id) => self.remove_id(id),
+            None => false,
+        }
+    }
+
+    /// Removes an interned fact by id; returns `true` iff it was present.
+    pub fn remove_id(&mut self, id: FactId) -> bool {
+        if self.live.remove(&id) {
+            let pid = self.store.predicate_id_of(id);
+            if let Some(v) = self.by_predicate.get_mut(pid.0 as usize) {
+                v.retain(|&f| f != id);
             }
             true
         } else {
@@ -91,44 +157,69 @@ impl Instance {
         }
     }
 
-    /// Iterates over all facts (arbitrary order).
-    pub fn facts(&self) -> impl Iterator<Item = &Fact> {
-        self.facts.iter()
+    /// Iterates over all facts (arbitrary order), materialising each from the arena.
+    pub fn facts(&self) -> impl Iterator<Item = Fact> + '_ {
+        self.live.iter().map(|&id| self.store.fact(id))
     }
 
-    /// Facts of the given predicate (empty slice if none).
-    pub fn facts_of(&self, predicate: Predicate) -> &[Fact] {
+    /// Iterates over the ids of all present facts (arbitrary order).
+    pub fn fact_ids(&self) -> impl Iterator<Item = FactId> + '_ {
+        self.live.iter().copied()
+    }
+
+    /// Ids of the facts of the given predicate, in insertion order (empty slice if
+    /// none).
+    pub fn ids_of(&self, predicate: Predicate) -> &[FactId] {
+        match self.store.lookup_predicate(predicate) {
+            Some(pid) => self.ids_of_pid(pid),
+            None => &[],
+        }
+    }
+
+    fn ids_of_pid(&self, pid: PredicateId) -> &[FactId] {
         self.by_predicate
-            .get(&predicate)
+            .get(pid.0 as usize)
             .map(|v| v.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// Facts of the given predicate, materialised from the arena in insertion order.
+    pub fn facts_of(&self, predicate: Predicate) -> impl Iterator<Item = Fact> + '_ {
+        self.ids_of(predicate).iter().map(|&id| self.store.fact(id))
     }
 
     /// All predicates with at least one fact.
     pub fn predicates(&self) -> impl Iterator<Item = Predicate> + '_ {
         self.by_predicate
             .iter()
+            .enumerate()
             .filter(|(_, v)| !v.is_empty())
-            .map(|(p, _)| *p)
+            .map(|(i, _)| self.store.predicate(PredicateId(i as u32)))
     }
 
     /// All labeled nulls occurring in the instance.
     pub fn nulls(&self) -> BTreeSet<NullValue> {
-        self.facts.iter().flat_map(|f| f.nulls()).collect()
+        self.live
+            .iter()
+            .flat_map(|&id| self.store.terms(id))
+            .filter_map(|t| t.as_null())
+            .collect()
     }
 
     /// All constants occurring in the instance.
     pub fn constants(&self) -> BTreeSet<Constant> {
-        self.facts
+        self.live
             .iter()
-            .flat_map(|f| f.terms.iter())
+            .flat_map(|&id| self.store.terms(id))
             .filter_map(|t| t.as_const())
             .collect()
     }
 
     /// Returns `true` iff no labeled null occurs (i.e. the instance is a database).
     pub fn is_database(&self) -> bool {
-        self.facts.iter().all(Fact::is_null_free)
+        self.live
+            .iter()
+            .all(|&id| self.store.terms(id).iter().all(|t| t.is_const()))
     }
 
     /// Allocates a fresh labeled null, distinct from every null in the instance.
@@ -140,7 +231,14 @@ impl Instance {
 
     /// The restriction `J↓`: the facts that contain no labeled nulls.
     pub fn null_free_part(&self) -> Instance {
-        Instance::from_facts(self.facts.iter().filter(|f| f.is_null_free()).cloned())
+        let mut out = Instance::new();
+        for &id in &self.live {
+            let terms = self.store.terms(id);
+            if terms.iter().all(|t| t.is_const()) {
+                out.insert_parts(self.store.predicate_of(id), terms);
+            }
+        }
+        out
     }
 
     /// Applies a null substitution `γ` to every fact, i.e. computes `K γ`.
@@ -148,73 +246,121 @@ impl Instance {
     /// The resulting instance may have fewer facts than `self` because distinct facts
     /// can collapse onto each other.
     pub fn apply_substitution(&self, gamma: &NullSubstitution) -> Instance {
-        if gamma.is_empty() {
-            return self.clone();
-        }
-        let mut out = Instance::new();
-        out.next_null = self.next_null;
-        for f in &self.facts {
-            out.insert(f.apply(gamma));
+        let mut out = self.clone();
+        if !gamma.is_empty() {
+            out.substitute_in_place_ids(gamma);
+            // No ids escape this call, so compact away the dead history (the
+            // rewritten-away facts plus whatever the clone inherited): loops that
+            // substitute repeatedly through this value API — the naive chase's
+            // EGD path — stay O(live facts) per step instead of accreting arena.
+            out.compact();
         }
         out
     }
 
     /// Applies a null substitution `γ` in place, i.e. turns `self` into `K γ`, and
     /// returns the rewritten facts (the facts of `K γ` that arose from a fact of `K`
-    /// mentioning the substituted null), in sorted order.
+    /// mentioning the substituted null), in the order induced by the sorted
+    /// pre-substitution facts.
     ///
-    /// Unlike [`Instance::apply_substitution`], which rebuilds the whole instance,
-    /// this rewrites only the facts that mention the substituted null — but it has
-    /// to *find* them by scanning the fact set. Callers that substitute repeatedly
-    /// against a large evolving instance should use
-    /// [`IndexedInstance::substitute_in_place`](crate::index::IndexedInstance::substitute_in_place),
-    /// whose per-null occurrence index locates the affected facts without a scan.
+    /// This is the [`Fact`]-value view over [`Instance::substitute_in_place_ids`];
+    /// callers on the hot path (the trigger engine, the core chase) consume the id
+    /// delta directly.
     pub fn substitute_in_place(&mut self, gamma: &NullSubstitution) -> Vec<Fact> {
+        self.substitute_in_place_ids(gamma)
+            .iter()
+            .map(|&(_, new)| self.store.fact(new))
+            .collect()
+    }
+
+    /// Applies a null substitution `γ` in place and returns the id delta: one
+    /// `(old, new)` pair per rewritten fact, ordered by the sorted pre-substitution
+    /// facts. The rewrite locates affected facts by scanning the live set; callers
+    /// that substitute repeatedly against a large evolving instance should use
+    /// [`IndexedInstance::substitute_in_place`](crate::index::IndexedInstance::substitute_in_place),
+    /// whose per-null occurrence index finds them without a scan.
+    pub fn substitute_in_place_ids(&mut self, gamma: &NullSubstitution) -> Vec<(FactId, FactId)> {
         let Some((null, _)) = gamma.mapping() else {
             return Vec::new();
         };
-        let mut changed: Vec<Fact> = self
-            .facts
+        let needle = GroundTerm::Null(null);
+        let mut changed: Vec<FactId> = self
+            .live
             .iter()
-            .filter(|f| f.nulls().contains(&null))
-            .cloned()
+            .copied()
+            .filter(|&id| self.store.terms(id).contains(&needle))
             .collect();
-        changed.sort();
-        let mut rewritten = Vec::with_capacity(changed.len());
-        for f in changed {
-            self.remove(&f);
-            let g = f.apply(gamma);
-            self.insert(g.clone());
-            rewritten.push(g);
+        changed.sort_by(|&a, &b| self.store.compare(a, b));
+        let mut delta = Vec::with_capacity(changed.len());
+        for id in changed {
+            self.remove_id(id);
+            let new = self.store.intern_rewritten(id, gamma);
+            self.insert_id(new);
+            delta.push((id, new));
         }
-        rewritten
+        delta
+    }
+
+    /// Rebuilds the arena to contain exactly the live facts, dropping dead
+    /// interning history (facts that were removed or rewritten away). Ids are
+    /// re-issued; the labeled-null allocator state and the per-predicate
+    /// insertion order are preserved.
+    ///
+    /// The store is append-only, so long-running remove/substitute-heavy loops
+    /// (the core chase clones its instance every round) accumulate dead arena
+    /// entries that every `clone` would otherwise keep copying; compacting resets
+    /// the clone cost to O(live facts).
+    pub fn compact(&mut self) {
+        if self.store.len() == self.live.len() {
+            return;
+        }
+        let mut fresh = Instance::new();
+        for list in &self.by_predicate {
+            for &id in list {
+                fresh.insert_parts(self.store.predicate_of(id), self.store.terms(id));
+            }
+        }
+        fresh.next_null = self.next_null;
+        *self = fresh;
     }
 
     /// Returns `true` iff `other` contains every fact of `self`.
     pub fn is_subinstance_of(&self, other: &Instance) -> bool {
-        self.facts.iter().all(|f| other.contains(f))
+        self.live
+            .iter()
+            .all(|&id| other.contains_parts(self.store.predicate_of(id), self.store.terms(id)))
     }
 
     /// Set-union of two instances.
     pub fn union(&self, other: &Instance) -> Instance {
         let mut out = self.clone();
-        for f in other.facts() {
-            out.insert(f.clone());
+        for &id in &other.live {
+            out.insert_parts(other.store.predicate_of(id), other.store.terms(id));
         }
         out
     }
 
-    /// A deterministic, sorted vector of the facts (useful for displays and tests).
-    pub fn sorted_facts(&self) -> Vec<Fact> {
-        let mut v: Vec<Fact> = self.facts.iter().cloned().collect();
-        v.sort();
+    /// The present fact ids in the deterministic sorted-fact order.
+    pub fn sorted_fact_ids(&self) -> Vec<FactId> {
+        let mut v: Vec<FactId> = self.live.iter().copied().collect();
+        v.sort_by(|&a, &b| self.store.compare(a, b));
         v
+    }
+
+    /// A deterministic, sorted vector of the facts (useful for tests). Materialises
+    /// every fact; displays and iteration should prefer
+    /// [`Instance::sorted_fact_ids`] + the store.
+    pub fn sorted_facts(&self) -> Vec<Fact> {
+        self.sorted_fact_ids()
+            .into_iter()
+            .map(|id| self.store.fact(id))
+            .collect()
     }
 }
 
 impl PartialEq for Instance {
     fn eq(&self, other: &Self) -> bool {
-        self.facts == other.facts
+        self.live.len() == other.live.len() && self.is_subinstance_of(other)
     }
 }
 
@@ -223,11 +369,11 @@ impl Eq for Instance {}
 impl fmt::Display for Instance {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{{")?;
-        for (i, fact) in self.sorted_facts().iter().enumerate() {
+        for (i, id) in self.sorted_fact_ids().into_iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
-            write!(f, "{fact}")?;
+            self.store.fmt_fact(id, f)?;
         }
         write!(f, "}}")
     }
@@ -271,6 +417,8 @@ mod tests {
         assert!(k.insert(Fact::from_parts("N", vec![cst("a")])));
         assert!(!k.insert(Fact::from_parts("N", vec![cst("a")])));
         assert_eq!(k.len(), 1);
+        // The store interned the fact exactly once.
+        assert_eq!(k.store().len(), 1);
     }
 
     #[test]
@@ -280,9 +428,10 @@ mod tests {
             Fact::from_parts("E", vec![cst("a"), cst("b")]),
             Fact::from_parts("E", vec![cst("b"), cst("c")]),
         ]);
-        assert_eq!(k.facts_of(Predicate::new("E", 2)).len(), 2);
-        assert_eq!(k.facts_of(Predicate::new("N", 1)).len(), 1);
-        assert_eq!(k.facts_of(Predicate::new("M", 1)).len(), 0);
+        assert_eq!(k.ids_of(Predicate::new("E", 2)).len(), 2);
+        assert_eq!(k.ids_of(Predicate::new("N", 1)).len(), 1);
+        assert_eq!(k.ids_of(Predicate::new("M", 1)).len(), 0);
+        assert_eq!(k.facts_of(Predicate::new("E", 2)).count(), 2);
     }
 
     #[test]
@@ -340,7 +489,7 @@ mod tests {
         let f = Fact::from_parts("E", vec![cst("a"), cst("b")]);
         assert!(k.remove(&f));
         assert!(!k.remove(&f));
-        assert_eq!(k.facts_of(Predicate::new("E", 2)).len(), 1);
+        assert_eq!(k.ids_of(Predicate::new("E", 2)).len(), 1);
         assert_eq!(k.len(), 1);
     }
 
@@ -364,6 +513,26 @@ mod tests {
     }
 
     #[test]
+    fn substitute_in_place_ids_report_the_delta() {
+        let mut k = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), null(1)]),
+            Fact::from_parts("N", vec![cst("b")]),
+        ]);
+        let old_id = k
+            .store()
+            .lookup_fact(&Fact::from_parts("E", vec![cst("a"), null(1)]));
+        let delta = k.substitute_in_place_ids(&NullSubstitution::single(NullValue(1), cst("b")));
+        assert_eq!(delta.len(), 1);
+        assert_eq!(Some(delta[0].0), old_id);
+        assert_eq!(
+            k.store().fact(delta[0].1),
+            Fact::from_parts("E", vec![cst("a"), cst("b")])
+        );
+        assert!(!k.contains_id(delta[0].0));
+        assert!(k.contains_id(delta[0].1));
+    }
+
+    #[test]
     fn predicate_index_stays_consistent_after_in_place_substitution() {
         let mut k = Instance::from_facts(vec![
             Fact::from_parts("E", vec![cst("a"), null(1)]),
@@ -373,7 +542,7 @@ mod tests {
         k.substitute_in_place(&NullSubstitution::single(NullValue(1), cst("a")));
         // The two facts collapsed: the index must agree on the single survivor.
         assert_eq!(k.len(), 1);
-        assert_eq!(k.facts_of(e).len(), 1);
+        assert_eq!(k.ids_of(e).len(), 1);
         assert!(k.nulls().is_empty());
     }
 
@@ -391,7 +560,7 @@ mod tests {
 
     #[test]
     fn chained_in_place_substitutions() {
-        // γ1 = {η1/η2} then γ2 = {η2/a}: the null index must track rewritten facts.
+        // γ1 = {η1/η2} then γ2 = {η2/a}: the rewrite must track rewritten facts.
         let mut k = Instance::from_facts(vec![Fact::from_parts("E", vec![null(1), cst("b")])]);
         let r1 = k.substitute_in_place(&NullSubstitution::single(NullValue(1), null(2)));
         assert_eq!(r1, vec![Fact::from_parts("E", vec![null(2), cst("b")])]);
@@ -410,11 +579,15 @@ mod tests {
     }
 
     #[test]
-    fn equality_ignores_null_counter() {
+    fn equality_ignores_null_counter_and_store_history() {
         let mut a = Instance::new();
         a.insert(Fact::from_parts("N", vec![cst("a")]));
         let mut b = Instance::new();
         b.fresh_null();
+        // Interning history differs (b saw an extra fact that was removed again),
+        // but equality is over the live fact sets.
+        b.insert(Fact::from_parts("N", vec![cst("zzz")]));
+        b.remove(&Fact::from_parts("N", vec![cst("zzz")]));
         b.insert(Fact::from_parts("N", vec![cst("a")]));
         assert_eq!(a, b);
     }
@@ -424,5 +597,43 @@ mod tests {
         let k = Instance::from_facts(vec![Fact::from_parts("E", vec![cst("a"), null(3)])]);
         assert!(k.constants().contains(&Constant::new("a")));
         assert!(k.nulls().contains(&NullValue(3)));
+    }
+
+    #[test]
+    fn compact_drops_dead_arena_history() {
+        let mut k = Instance::new();
+        k.insert(Fact::from_parts("E", vec![cst("a"), null(1)]));
+        k.insert(Fact::from_parts("E", vec![cst("a"), cst("b")]));
+        k.insert(Fact::from_parts("N", vec![cst("z")]));
+        k.remove(&Fact::from_parts("N", vec![cst("z")]));
+        k.substitute_in_place(&NullSubstitution::single(NullValue(1), cst("b")));
+        // Arena holds 3 interned facts (the substitution image E(a, b) dedups
+        // onto the already-interned fact), only 1 is live.
+        assert_eq!(k.store().len(), 3);
+        assert_eq!(k.len(), 1);
+        let before = k.clone();
+        k.compact();
+        assert_eq!(k.store().len(), 1);
+        assert_eq!(k, before);
+        assert_eq!(k.ids_of(Predicate::new("E", 2)).len(), 1);
+        // The null allocator still avoids every historical null.
+        assert!(k.fresh_null().0 > 1);
+        // Compacting a fully-live instance is a no-op.
+        let mut d = Instance::from_facts(vec![Fact::from_parts("N", vec![cst("a")])]);
+        d.compact();
+        assert_eq!(d.store().len(), 1);
+    }
+
+    #[test]
+    fn removed_facts_stay_interned_but_not_live() {
+        let mut k = Instance::new();
+        let (id, _) = k.insert_full(Fact::from_parts("N", vec![cst("a")]));
+        k.remove_id(id);
+        assert!(!k.contains_id(id));
+        assert_eq!(k.store().len(), 1);
+        // Re-inserting yields the same id.
+        let (id2, new) = k.insert_full(Fact::from_parts("N", vec![cst("a")]));
+        assert_eq!(id, id2);
+        assert!(new);
     }
 }

@@ -12,8 +12,10 @@
 //! * tuple generating dependencies ([`Tgd`]), equality generating dependencies
 //!   ([`Egd`]) and [`DependencySet`]s with the `Σtgd / Σegd / Σ∀ / Σ∃` views used
 //!   throughout the paper — see [`dependency`];
-//! * instances and databases with per-predicate indexes — see [`instance`] — and
-//!   opt-in per-(predicate, position) / per-null indexes — see [`index`];
+//! * the arena-interned fact store (flat term arena, dense [`FactId`]s) — see
+//!   [`fact_store`] — with store-backed instances and databases holding
+//!   per-predicate id lists — see [`instance`] — and opt-in per-(predicate,
+//!   position) / per-null id indexes — see [`index`];
 //! * the workspace's single join engine ([`JoinPlan`] + [`HomomorphismSearch`]),
 //!   substitutions and first-order satisfaction — see [`homomorphism`],
 //!   [`substitution`] and [`satisfaction`];
@@ -46,6 +48,7 @@ pub mod atom;
 pub mod builder;
 pub mod dependency;
 pub mod error;
+pub mod fact_store;
 pub mod homomorphism;
 pub mod index;
 pub mod instance;
@@ -59,6 +62,7 @@ pub mod term;
 pub use atom::{Atom, Fact, Predicate};
 pub use dependency::{DepId, Dependency, DependencySet, Egd, Tgd};
 pub use error::CoreError;
+pub use fact_store::{FactId, FactStore, PredicateId};
 pub use homomorphism::{Assignment, HomomorphismSearch, JoinPlan};
 pub use index::IndexedInstance;
 pub use instance::Instance;

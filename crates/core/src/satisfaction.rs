@@ -1,11 +1,35 @@
 //! First-order satisfaction of dependencies by instances (`J ⊨ Σ`).
 
+use crate::atom::Atom;
 use crate::dependency::{Dependency, DependencySet, Egd, Tgd};
 use crate::homomorphism::{
     exists_homomorphism_extending, homomorphisms, Assignment, HomomorphismSearch,
 };
 use crate::instance::Instance;
+use crate::term::GroundTerm;
 use std::ops::ControlFlow;
+
+/// Returns `true` iff `h` maps every atom of `body` to a fact of the instance.
+/// Membership goes through the arena ([`Instance::contains_parts`]) — no [`Fact`]
+/// value is materialised per atom.
+///
+/// [`Fact`]: crate::atom::Fact
+fn maps_body_into(instance: &Instance, body: &[Atom], h: &Assignment) -> bool {
+    let mut terms: Vec<GroundTerm> = Vec::new();
+    for atom in body {
+        terms.clear();
+        for t in &atom.terms {
+            match h.apply_term(t) {
+                Some(g) => terms.push(g),
+                None => return false,
+            }
+        }
+        if !instance.contains_parts(atom.predicate, &terms) {
+            return false;
+        }
+    }
+    true
+}
 
 /// Returns `true` iff `instance ⊨ tgd`: every homomorphism from the body extends to a
 /// homomorphism from body ∪ head.
@@ -34,11 +58,7 @@ pub fn satisfies_tgd(instance: &Instance, tgd: &Tgd) -> bool {
 /// This is the condition `K ⊨ h(r)` used in the definitions of stratification and of
 /// the firing graph (Definition 2).
 pub fn satisfies_tgd_under(instance: &Instance, tgd: &Tgd, h: &Assignment) -> bool {
-    let body_matches = tgd.body.iter().all(|a| match h.apply_atom(a) {
-        Some(f) => instance.contains(&f),
-        None => false,
-    });
-    if !body_matches {
+    if !maps_body_into(instance, &tgd.body, h) {
         return true;
     }
     exists_homomorphism_extending(&tgd.head, instance, h)
@@ -61,11 +81,7 @@ pub fn satisfies_egd(instance: &Instance, egd: &Egd) -> bool {
 
 /// Returns `true` iff `instance ⊨ egd` under the fixed homomorphism `h`.
 pub fn satisfies_egd_under(instance: &Instance, egd: &Egd, h: &Assignment) -> bool {
-    let body_matches = egd.body.iter().all(|a| match h.apply_atom(a) {
-        Some(f) => instance.contains(&f),
-        None => false,
-    });
-    if !body_matches {
+    if !maps_body_into(instance, &egd.body, h) {
         return true;
     }
     h.get(egd.left) == h.get(egd.right)

@@ -15,6 +15,10 @@
 //! [`TriggerEngine`] over a star-normalised copy of
 //! the rules, with Skolem terms encoded as interned constants. Each body
 //! homomorphism is discovered exactly once, when the facts completing it appear.
+//! The engine stores the saturated fact set in its arena-interned
+//! `chase_core::FactStore` (facts as dense ids, deltas as id worklists), so the
+//! tens of thousands of critical-instance facts a deep saturation derives are
+//! interned once and never re-hashed or cloned.
 
 use crate::criterion::{Guarantee, TerminationCriterion, Verdict, Witness};
 use crate::simulation::{has_egds, substitution_free_simulation};

@@ -1,17 +1,18 @@
 //! The delta worklist: facts added or rewritten since trigger discovery last ran.
 
-use chase_core::substitution::NullSubstitution;
-use chase_core::Fact;
-use std::collections::VecDeque;
+use chase_core::FactId;
+use std::collections::{HashMap, VecDeque};
 
-/// FIFO worklist of facts whose trigger contributions are still undiscovered.
+/// FIFO worklist of fact ids whose trigger contributions are still undiscovered.
 ///
-/// Facts are enqueued when a TGD step inserts them or an EGD substitution rewrites
-/// them, and drained by [`TriggerEngine::drain_deltas`](crate::TriggerEngine) which
-/// seeds homomorphism search from each fact in turn (semi-naive evaluation).
+/// Facts are enqueued (by their arena [`FactId`]) when a TGD step inserts them or
+/// an EGD substitution rewrites them, and drained by
+/// [`TriggerEngine::drain_deltas`](crate::TriggerEngine) which seeds homomorphism
+/// search from each fact in turn (semi-naive evaluation). Carrying ids instead of
+/// fact values means enqueueing is a 4-byte copy and the queue never clones terms.
 #[derive(Clone, Debug, Default)]
 pub struct DeltaQueue {
-    queue: VecDeque<Fact>,
+    queue: VecDeque<FactId>,
     enqueued_total: usize,
 }
 
@@ -21,14 +22,14 @@ impl DeltaQueue {
         DeltaQueue::default()
     }
 
-    /// Enqueues a fact.
-    pub fn push(&mut self, fact: Fact) {
+    /// Enqueues a fact id.
+    pub fn push(&mut self, id: FactId) {
         self.enqueued_total += 1;
-        self.queue.push_back(fact);
+        self.queue.push_back(id);
     }
 
-    /// Dequeues the oldest fact, if any.
-    pub fn pop(&mut self) -> Option<Fact> {
+    /// Dequeues the oldest fact id, if any.
+    pub fn pop(&mut self) -> Option<FactId> {
         self.queue.pop_front()
     }
 
@@ -47,12 +48,19 @@ impl DeltaQueue {
         self.enqueued_total
     }
 
-    /// Applies an EGD substitution to every waiting fact, keeping the worklist in
-    /// lockstep with the instance (a queued fact that mentioned the substituted
-    /// null no longer exists in `K γ`; its rewrite does).
-    pub fn apply_substitution(&mut self, gamma: &NullSubstitution) {
-        for fact in &mut self.queue {
-            *fact = fact.apply(gamma);
+    /// Applies an EGD substitution's id delta to every waiting fact, keeping the
+    /// worklist in lockstep with the instance: a queued fact that mentioned the
+    /// substituted null no longer exists in `K γ`; its rewrite (the `new` of its
+    /// `(old, new)` pair) does.
+    pub fn apply_rewrites(&mut self, delta: &[(FactId, FactId)]) {
+        if delta.is_empty() || self.queue.is_empty() {
+            return;
+        }
+        let map: HashMap<FactId, FactId> = delta.iter().copied().collect();
+        for id in &mut self.queue {
+            if let Some(&new) = map.get(id) {
+                *id = new;
+            }
         }
     }
 }
@@ -60,21 +68,29 @@ impl DeltaQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chase_core::term::Constant;
-    use chase_core::GroundTerm;
 
     #[test]
     fn fifo_order_and_counters() {
         let mut q = DeltaQueue::new();
-        let a = Fact::from_parts("N", vec![GroundTerm::Const(Constant::new("a"))]);
-        let b = Fact::from_parts("N", vec![GroundTerm::Const(Constant::new("b"))]);
-        q.push(a.clone());
-        q.push(b.clone());
+        q.push(FactId(0));
+        q.push(FactId(1));
         assert_eq!(q.len(), 2);
-        assert_eq!(q.pop(), Some(a));
-        assert_eq!(q.pop(), Some(b));
+        assert_eq!(q.pop(), Some(FactId(0)));
+        assert_eq!(q.pop(), Some(FactId(1)));
         assert_eq!(q.pop(), None);
         assert!(q.is_empty());
         assert_eq!(q.enqueued_total(), 2);
+    }
+
+    #[test]
+    fn rewrites_map_queued_ids() {
+        let mut q = DeltaQueue::new();
+        q.push(FactId(0));
+        q.push(FactId(1));
+        q.push(FactId(2));
+        q.apply_rewrites(&[(FactId(1), FactId(7)), (FactId(2), FactId(7))]);
+        assert_eq!(q.pop(), Some(FactId(0)));
+        assert_eq!(q.pop(), Some(FactId(7)));
+        assert_eq!(q.pop(), Some(FactId(7)));
     }
 }

@@ -22,10 +22,10 @@
 
 use crate::delta::DeltaQueue;
 use crate::index::FactIndex;
-use crate::search::{exists_indexed_extension, for_each_seeded};
+use crate::search::{exists_indexed_extension, for_each_seeded_id};
 use chase_core::substitution::NullSubstitution;
 use chase_core::{
-    Assignment, DepId, Dependency, DependencySet, Fact, GroundTerm, Instance, Variable,
+    Assignment, DepId, Dependency, DependencySet, Fact, FactId, GroundTerm, Instance, Variable,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::ops::ControlFlow;
@@ -123,10 +123,15 @@ impl<'a> TriggerEngine<'a> {
     ///
     /// Facts are seeded in sorted order so that discovery — and hence the chase
     /// sequence built on it — is reproducible across process runs (the database's
-    /// own fact set iterates in hash order).
+    /// own fact set iterates in hash order). The facts are re-interned into the
+    /// engine's own arena directly from the database's term slices; no `Fact`
+    /// values are materialised.
     pub fn with_database(sigma: &'a DependencySet, database: &Instance) -> Self {
         let mut engine = TriggerEngine::new(sigma);
-        engine.push_facts(database.sorted_facts());
+        let store = database.store();
+        for id in database.sorted_fact_ids() {
+            engine.insert_parts(store.predicate_of(id), store.terms(id));
+        }
         engine
     }
 
@@ -159,13 +164,22 @@ impl<'a> TriggerEngine<'a> {
     }
 
     fn insert_fact(&mut self, fact: Fact) -> bool {
-        if self.index.insert(fact.clone()) {
+        let (id, new) = self.index.insert_full(fact);
+        self.record_insert(id, new)
+    }
+
+    /// Inserts a fact given as predicate + terms, bypassing `Fact` materialisation.
+    fn insert_parts(&mut self, predicate: chase_core::Predicate, terms: &[GroundTerm]) -> bool {
+        let (id, new) = self.index.insert_parts(predicate, terms);
+        self.record_insert(id, new)
+    }
+
+    fn record_insert(&mut self, id: FactId, new: bool) -> bool {
+        if new {
             self.stats.facts_inserted += 1;
-            self.deltas.push(fact);
-            true
-        } else {
-            false
+            self.deltas.push(id);
         }
+        new
     }
 
     /// Applies an EGD substitution `γ`: rewrites the instance in place, rewrites
@@ -177,10 +191,11 @@ impl<'a> TriggerEngine<'a> {
             return;
         }
         self.stats.substitutions += 1;
-        let rewritten = self.index.substitute(gamma);
+        let delta = self.index.substitute(gamma);
         // Facts still waiting in the worklist must be rewritten too: they were
-        // enqueued as members of `K` and only their images exist in `K γ`.
-        self.deltas.apply_substitution(gamma);
+        // enqueued as members of `K` and only their images exist in `K γ`. The id
+        // delta maps each rewritten fact's old id onto its image's id.
+        self.deltas.apply_rewrites(&delta);
         for queue in &mut self.pending {
             for h in queue.iter_mut() {
                 *h = rewrite_assignment(h, gamma);
@@ -197,8 +212,8 @@ impl<'a> TriggerEngine<'a> {
                 })
                 .collect();
         }
-        for fact in rewritten {
-            self.deltas.push(fact);
+        for (_, new) in delta {
+            self.deltas.push(new);
         }
     }
 
@@ -207,16 +222,17 @@ impl<'a> TriggerEngine<'a> {
     /// `seed_atoms` map keyed by predicate means a delta fact visits only the body
     /// atoms it can actually unify with, not all of `Σ`.
     pub fn drain_deltas(&mut self) {
-        while let Some(fact) = self.deltas.pop() {
+        while let Some(fact_id) = self.deltas.pop() {
             self.stats.deltas_processed += 1;
-            let Some(seeds) = self.seed_atoms.get(&fact.predicate) else {
+            let predicate = self.index.store().predicate_of(fact_id);
+            let Some(seeds) = self.seed_atoms.get(&predicate) else {
                 continue;
             };
             for &(id, seed_index) in seeds {
                 let body = self.sigma.get(id).body();
                 // Borrow dance: collect first, then dedup against `seen`.
                 let mut found: Vec<Assignment> = Vec::new();
-                for_each_seeded::<()>(body, &self.index, seed_index, &fact, &mut |h| {
+                for_each_seeded_id::<()>(body, &self.index, seed_index, fact_id, &mut |h| {
                     found.push(h.clone());
                     ControlFlow::Continue(())
                 });

@@ -3,19 +3,22 @@
 //! [`FactIndex`] is the storage layer of the trigger engine. Since the join engine
 //! and the per-(predicate, position) / per-null indexes moved into `chase_core`
 //! ([`chase_core::index::IndexedInstance`], [`chase_core::homomorphism`]), this type
-//! only adds the engine-facing mutation vocabulary: insertion reports whether the
-//! fact is new, substitution reports exactly the rewritten facts — the deltas
+//! only adds the engine-facing mutation vocabulary — in [`FactId`]s over the
+//! instance's arena: insertion reports the interned id and whether the fact is new,
+//! substitution reports exactly the rewritten `(old, new)` id pairs — the deltas
 //! semi-naive discovery re-seeds from.
 
 use chase_core::substitution::NullSubstitution;
 use chase_core::Assignment;
-use chase_core::{Atom, Fact, IndexedInstance, Instance, NullValue};
+use chase_core::{
+    Atom, Fact, FactId, FactStore, GroundTerm, IndexedInstance, Instance, NullValue, Predicate,
+};
 
 /// Indexed fact storage for the trigger engine.
 ///
 /// Wraps an [`IndexedInstance`] (which maintains the per-predicate, per-position and
-/// per-null indexes consumed by the shared join engine) and exposes delta-aware
-/// mutation.
+/// per-null id indexes consumed by the shared join engine) and exposes delta-aware
+/// mutation in terms of [`FactId`]s.
 #[derive(Clone, Debug, Default)]
 pub struct FactIndex {
     indexed: IndexedInstance,
@@ -44,6 +47,11 @@ impl FactIndex {
         self.indexed.instance()
     }
 
+    /// The arena-interned fact store behind the index.
+    pub fn store(&self) -> &FactStore {
+        self.indexed.store()
+    }
+
     /// Consumes the index, returning the instance.
     pub fn into_instance(self) -> Instance {
         self.indexed.into_instance()
@@ -69,20 +77,31 @@ impl FactIndex {
         self.indexed.insert(fact)
     }
 
+    /// Inserts a fact; returns its interned id and whether it was new.
+    pub fn insert_full(&mut self, fact: Fact) -> (FactId, bool) {
+        self.indexed.insert_full(fact)
+    }
+
+    /// Inserts a fact given as predicate + terms (no [`Fact`] value needed);
+    /// returns its interned id and whether it was new.
+    pub fn insert_parts(&mut self, predicate: Predicate, terms: &[GroundTerm]) -> (FactId, bool) {
+        self.indexed.insert_parts(predicate, terms)
+    }
+
     /// Allocates a labeled null distinct from every null in the stored facts.
     pub fn fresh_null(&mut self) -> NullValue {
         self.indexed.fresh_null()
     }
 
-    /// Applies an EGD substitution in place, returning the rewritten facts (the
-    /// delta the engine re-seeds trigger discovery from).
-    pub fn substitute(&mut self, gamma: &NullSubstitution) -> Vec<Fact> {
+    /// Applies an EGD substitution in place, returning the rewritten `(old, new)`
+    /// id pairs (the delta the engine re-seeds trigger discovery from).
+    pub fn substitute(&mut self, gamma: &NullSubstitution) -> Vec<(FactId, FactId)> {
         self.indexed.substitute_in_place(gamma)
     }
 
-    /// The candidate facts for `atom` under `assignment` — see
+    /// The candidate fact ids for `atom` under `assignment` — see
     /// [`IndexedInstance::candidates_for`].
-    pub fn candidates_for<'a>(&'a self, atom: &Atom, assignment: &Assignment) -> &'a [Fact] {
+    pub fn candidates_for<'a>(&'a self, atom: &Atom, assignment: &Assignment) -> &'a [FactId] {
         self.indexed.candidates_for(atom, assignment)
     }
 
@@ -139,15 +158,15 @@ mod tests {
     }
 
     #[test]
-    fn substitution_reports_rewritten_facts() {
+    fn substitution_reports_rewritten_id_pairs() {
         let mut idx = FactIndex::new();
-        idx.insert(Fact::from_parts(
+        let (old_id, _) = idx.insert_full(Fact::from_parts(
             "E",
             vec![gc("a"), GroundTerm::Null(NullValue(1))],
         ));
-        idx.insert(Fact::from_parts("E", vec![gc("a"), gc("b")]));
+        let (ground_id, _) = idx.insert_full(Fact::from_parts("E", vec![gc("a"), gc("b")]));
         let delta = idx.substitute(&NullSubstitution::single(NullValue(1), gc("b")));
-        assert_eq!(delta, vec![Fact::from_parts("E", vec![gc("a"), gc("b")])]);
+        assert_eq!(delta, vec![(old_id, ground_id)]);
         assert_eq!(idx.len(), 1);
     }
 }

@@ -13,7 +13,11 @@
 //!   position) hash indexes answer "which facts can this body atom map to?" by
 //!   lookup instead of scan;
 //! * [`DeltaQueue`] — the worklist of facts added (TGD steps) or rewritten (EGD
-//!   substitutions) since discovery last ran;
+//!   substitutions) since discovery last ran, carried as dense
+//!   [`chase_core::FactId`]s over the index's arena-interned
+//!   [`chase_core::FactStore`] (a delta enqueue is a 4-byte copy, and EGD
+//!   substitutions remap queued entries through the reported `(old, new)` id
+//!   pairs);
 //! * [`search`] — delta-seeded entry points into the shared join engine of
 //!   [`chase_core::homomorphism`] (a [`chase_core::JoinPlan`] executed over the
 //!   maintained indexes, most-selective-atom first);

@@ -12,10 +12,10 @@
 //! semi-naive evaluation at the granularity of single chase steps.
 
 use crate::index::FactIndex;
-use chase_core::{Assignment, Atom, Fact, HomomorphismSearch};
+use chase_core::{Assignment, Atom, Fact, FactId, HomomorphismSearch};
 use std::ops::ControlFlow;
 
-pub use chase_core::homomorphism::unify_atom_with_fact;
+pub use chase_core::homomorphism::{unify_atom_with_fact, unify_atom_with_terms};
 
 /// Visits every homomorphism from `atoms` into the index that extends `partial`,
 /// joining through the maintained per-(predicate, position) indexes.
@@ -39,6 +39,20 @@ pub fn for_each_seeded<B>(
 ) -> Option<B> {
     HomomorphismSearch::over_index(atoms, index.indexed())
         .for_each_seeded(seed_index, seed_fact, visit)
+}
+
+/// Visits every homomorphism from `atoms` into the index in which atom
+/// `seed_index` is mapped to the interned fact `seed` — the allocation-free
+/// seeding step the engine's delta worklist drives.
+pub fn for_each_seeded_id<B>(
+    atoms: &[Atom],
+    index: &FactIndex,
+    seed_index: usize,
+    seed: FactId,
+    visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
+) -> Option<B> {
+    HomomorphismSearch::over_index(atoms, index.indexed())
+        .for_each_seeded_id(seed_index, seed, visit)
 }
 
 /// Returns `true` iff some homomorphism from `atoms` into the index extends

@@ -90,7 +90,8 @@ pub mod prelude {
     pub use chase_core::builder::{atom, cst, egd, tgd, var};
     pub use chase_core::parser::{parse_database, parse_dependencies, parse_program};
     pub use chase_core::{
-        Atom, DepId, Dependency, DependencySet, Fact, Instance, Predicate, Term, Variable,
+        Atom, DepId, Dependency, DependencySet, Fact, FactId, FactStore, Instance, Predicate,
+        PredicateId, Term, Variable,
     };
     pub use chase_criteria::prelude::*;
     pub use chase_engine::prelude::*;

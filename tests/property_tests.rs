@@ -135,6 +135,91 @@ fn canonical_set(homs: &[Assignment]) -> BTreeSet<Vec<(Variable, GroundTerm)>> {
     homs.iter().map(|h| h.canonical()).collect()
 }
 
+// ---------------------------------------------------------------------------------
+// Value-based shadow model of the pre-refactor `Instance`
+// ---------------------------------------------------------------------------------
+
+/// The legacy value-based instance semantics, re-implemented verbatim as an
+/// executable specification: a `HashSet<Fact>` plus the scan-sort-rewrite
+/// substitution. The arena-interned, `FactId`-backed [`Instance`] must be
+/// observationally identical to this model on every operation sequence.
+#[derive(Default)]
+struct ValueInstance {
+    facts: std::collections::HashSet<Fact>,
+}
+
+impl ValueInstance {
+    fn insert(&mut self, fact: Fact) -> bool {
+        self.facts.insert(fact)
+    }
+
+    fn remove(&mut self, fact: &Fact) -> bool {
+        self.facts.remove(fact)
+    }
+
+    fn contains(&self, fact: &Fact) -> bool {
+        self.facts.contains(fact)
+    }
+
+    fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// The pre-refactor `Instance::substitute_in_place`: find the facts mentioning
+    /// the null by scanning, rewrite them in sorted order, report the images.
+    fn substitute_in_place(&mut self, gamma: &NullSubstitution) -> Vec<Fact> {
+        let Some((null, _)) = gamma.mapping() else {
+            return Vec::new();
+        };
+        let mut changed: Vec<Fact> = self
+            .facts
+            .iter()
+            .filter(|f| f.nulls().contains(&null))
+            .cloned()
+            .collect();
+        changed.sort();
+        let mut rewritten = Vec::with_capacity(changed.len());
+        for f in changed {
+            self.facts.remove(&f);
+            let g = f.apply(gamma);
+            self.facts.insert(g.clone());
+            rewritten.push(g);
+        }
+        rewritten
+    }
+
+    fn sorted_facts(&self) -> Vec<Fact> {
+        let mut v: Vec<Fact> = self.facts.iter().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// The pre-refactor `Display` rendering.
+    fn render(&self) -> String {
+        let body: Vec<String> = self.sorted_facts().iter().map(|f| f.to_string()).collect();
+        format!("{{{}}}", body.join(", "))
+    }
+}
+
+/// One mutation of the differential store test.
+#[derive(Clone, Debug)]
+enum StoreOp {
+    Insert(Fact),
+    Remove(Fact),
+    Substitute(u64, GroundTerm),
+}
+
+fn store_op() -> impl Strategy<Value = StoreOp> {
+    prop_oneof![
+        // Two insert arms keep the op mix insert-heavy (the stand-in proptest
+        // has no weighted unions), so instances actually grow before they churn.
+        fact().prop_map(StoreOp::Insert),
+        fact().prop_map(StoreOp::Insert),
+        fact().prop_map(StoreOp::Remove),
+        ((0..4u64), ground_term()).prop_map(|(n, to)| StoreOp::Substitute(n, to)),
+    ]
+}
+
 fn small_database() -> impl Strategy<Value = Instance> {
     prop::collection::vec(
         prop_oneof![
@@ -364,6 +449,79 @@ proptest! {
                 prop_assert!(satisfies_all(b, &sigma));
             }
         }
+    }
+
+    /// Differential test of the arena-interned fact store: a store-backed
+    /// [`Instance`] driven through an arbitrary sequence of inserts, removes and
+    /// EGD substitutions is observationally identical to the pre-refactor
+    /// value-based semantics (re-implemented as [`ValueInstance`]) — same
+    /// insert/dedup booleans, same substitution deltas in the same order, same
+    /// membership answers, same sorted fact order, same `Display` rendering — and
+    /// the mutated instance answers joins identically through all three engine
+    /// paths (transient per-query index, maintained `IndexedInstance` indexes,
+    /// naive full scan).
+    #[test]
+    fn store_backed_instance_matches_value_semantics(
+        ops in prop::collection::vec(store_op(), 0..40),
+        body in query_body(),
+        probe in fact(),
+    ) {
+        let mut inst = Instance::new();
+        let mut shadow = ValueInstance::default();
+        for op in ops {
+            match op {
+                StoreOp::Insert(f) => {
+                    prop_assert_eq!(inst.insert(f.clone()), shadow.insert(f));
+                }
+                StoreOp::Remove(f) => {
+                    prop_assert_eq!(inst.remove(&f), shadow.remove(&f));
+                }
+                StoreOp::Substitute(n, to) => {
+                    let target = NullValue(n);
+                    if GroundTerm::Null(target) == to {
+                        continue;
+                    }
+                    let gamma = NullSubstitution::single(target, to);
+                    let delta = inst.substitute_in_place(&gamma);
+                    let shadow_delta = shadow.substitute_in_place(&gamma);
+                    prop_assert_eq!(delta, shadow_delta, "substitution deltas diverged");
+                }
+            }
+            prop_assert_eq!(inst.len(), shadow.len());
+            prop_assert_eq!(inst.contains(&probe), shadow.contains(&probe));
+        }
+        prop_assert_eq!(inst.sorted_facts(), shadow.sorted_facts());
+        prop_assert_eq!(inst.to_string(), shadow.render());
+        // The churned, store-backed instance must answer joins exactly like the
+        // value model — through every engine path.
+        let reference_inst = Instance::from_facts(shadow.sorted_facts());
+        let reference = canonical_set(&naive_homomorphisms_extending(
+            &body,
+            &reference_inst,
+            &Assignment::new(),
+        ));
+        let via_naive = canonical_set(&naive_homomorphisms_extending(
+            &body,
+            &inst,
+            &Assignment::new(),
+        ));
+        let via_transient = canonical_set(&homomorphisms_extending(&body, &inst, &Assignment::new()));
+        let indexed = IndexedInstance::from_instance(inst.clone());
+        let mut via_maintained = Vec::new();
+        HomomorphismSearch::over_index(&body, &indexed).for_each_extending::<()>(
+            &Assignment::new(),
+            &mut |h| {
+                via_maintained.push(h.clone());
+                ControlFlow::Continue(())
+            },
+        );
+        prop_assert_eq!(&reference, &via_naive, "naive scan over the store diverged");
+        prop_assert_eq!(&reference, &via_transient, "transient-index join diverged");
+        prop_assert_eq!(
+            &reference,
+            &canonical_set(&via_maintained),
+            "maintained-index join diverged"
+        );
     }
 
     /// Dependency sets round-trip through the textual format.
