@@ -1,0 +1,101 @@
+//! Round-parallel chase benchmarks: the (semi-)oblivious runner at 1/2/4/8
+//! workers on a large EGD-free ontology workload and a transitive-closure stress
+//! case.
+//!
+//! `workers = 1` is the sequential runner (the exact pre-existing code path);
+//! `workers > 1` runs shard-partitioned trigger discovery over a read-only
+//! snapshot with the deterministic `(DepId, body FactIds)` merge, so every
+//! configuration computes the same model (up to null renaming vs. sequential,
+//! byte-identical among the parallel runs — proven by `tests/property_tests.rs`).
+//! Measured numbers are recorded in `BENCH_parallel_chase.json` at the repository
+//! root, together with the host's CPU budget: on a single-CPU container the
+//! parallel configurations measure determinism overhead, not speedup.
+
+use chase_engine::{Chase, ChaseBudget};
+use chase_ontology::generator::{generate, generate_database, OntologyProfile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// A large EGD-free ontology workload (the round-parallel runner's home turf).
+fn ontology_workload(
+    size: usize,
+    facts: usize,
+) -> (chase_core::DependencySet, chase_core::Instance) {
+    let sigma = generate(&OntologyProfile {
+        existential: size / 4,
+        full: size - size / 4,
+        egds: 0,
+        cyclic: false,
+        seed: 13,
+    });
+    let db = generate_database(&sigma, facts, 17);
+    (sigma, db)
+}
+
+fn chain_database(n: usize) -> (chase_core::DependencySet, chase_core::Instance) {
+    let sigma =
+        chase_core::parser::parse_dependencies("t: E(?x, ?y), E(?y, ?z) -> E(?x, ?z).").unwrap();
+    let db = chase_core::Instance::from_facts((0..n).map(|i| {
+        chase_core::Fact::from_parts(
+            "E",
+            vec![
+                chase_core::GroundTerm::Const(chase_core::Constant::new(&format!("v{i}"))),
+                chase_core::GroundTerm::Const(chase_core::Constant::new(&format!("v{}", i + 1))),
+            ],
+        )
+    }));
+    (sigma, db)
+}
+
+fn bench_ontology(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_chase/ontology");
+    group.sample_size(10);
+    for &(size, facts) in &[(60usize, 60usize), (120, 120)] {
+        let (sigma, db) = ontology_workload(size, facts);
+        let label = format!("{size}x{facts}");
+        for workers in WORKER_COUNTS {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("workers{workers}"), &label),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        Chase::semi_oblivious(&sigma)
+                            .workers(workers)
+                            .with_budget(ChaseBudget::unlimited().with_max_steps(200_000))
+                            .run(&db)
+                            .is_terminating()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_chase/closure");
+    group.sample_size(10);
+    for &n in &[24usize, 40] {
+        let (sigma, db) = chain_database(n);
+        for workers in WORKER_COUNTS {
+            group.bench_with_input(
+                BenchmarkId::new(&format!("workers{workers}"), n),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        Chase::semi_oblivious(&sigma)
+                            .workers(workers)
+                            .with_budget(ChaseBudget::unlimited().with_max_steps(500_000))
+                            .run(&db)
+                            .is_terminating()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ontology, bench_closure);
+criterion_main!(benches);

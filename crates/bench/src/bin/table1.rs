@@ -51,18 +51,30 @@ fn run_all(
     budget: &ChaseBudget,
     core_budget: &ChaseBudget,
     analyzer: &TerminationAnalyzer,
+    workers: usize,
 ) -> Vec<String> {
+    // `--workers N` rides the session builder. Σ3 and Σ6 are EGD-free, so
+    // their (semi-)oblivious runs go round-parallel at N > 1 — including Σ6's
+    // diverging oblivious column, which exercises the budget path; the
+    // EGD-bearing sets take the documented sequential fallback. Either way the
+    // verdicts are identical at any worker count.
     let std_textual = Chase::standard(sigma)
         .with_order(StepOrder::Textual)
         .with_budget(*budget)
+        .workers(workers)
         .run(db);
     let std_egd_first = Chase::standard(sigma)
         .with_order(StepOrder::EgdsFirst)
         .with_budget(*budget)
+        .workers(workers)
         .run(db);
-    let sobl = Chase::semi_oblivious(sigma).with_budget(*budget).run(db);
+    let sobl = Chase::semi_oblivious(sigma)
+        .with_budget(*budget)
+        .workers(workers)
+        .run(db);
     let obl = Chase::oblivious(sigma, ObliviousVariant::Oblivious)
         .with_budget(*budget)
+        .workers(workers)
         .run(db);
     let mut peaks = PeakObserver::default();
     let core = Chase::core(sigma)
@@ -102,7 +114,17 @@ fn main() {
 
     let rows: Vec<Vec<String>> = witnesses
         .iter()
-        .map(|(name, sigma, db)| run_all(name, sigma, db, &budget, &core_budget, &analyzer))
+        .map(|(name, sigma, db)| {
+            run_all(
+                name,
+                sigma,
+                db,
+                &budget,
+                &core_budget,
+                &analyzer,
+                opts.workers,
+            )
+        })
         .collect();
     println!(
         "{}",

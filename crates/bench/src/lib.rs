@@ -28,6 +28,9 @@ pub struct ExperimentOptions {
     pub chase_budget: usize,
     /// Number of database facts used for the ground-truth chase.
     pub database_facts: usize,
+    /// Worker threads for the chase sessions (`Chase::workers`; 1 = sequential).
+    /// EGD-bearing sets and the core chase fall back to sequential regardless.
+    pub workers: usize,
 }
 
 impl Default for ExperimentOptions {
@@ -38,13 +41,15 @@ impl Default for ExperimentOptions {
             cyclic_fraction: 0.55,
             chase_budget: 1_500,
             database_facts: 8,
+            workers: 1,
         }
     }
 }
 
 impl ExperimentOptions {
     /// Parses `--seed N`, `--scale X`, `--cyclic-fraction X`, `--budget N`,
-    /// `--facts N` from the process arguments; unknown arguments are ignored.
+    /// `--facts N`, `--workers N` from the process arguments; unknown arguments
+    /// are ignored.
     pub fn from_args() -> Self {
         let mut opts = ExperimentOptions::default();
         let args: Vec<String> = std::env::args().collect();
@@ -59,6 +64,7 @@ impl ExperimentOptions {
                 }
                 "--budget" => opts.chase_budget = value.parse().unwrap_or(opts.chase_budget),
                 "--facts" => opts.database_facts = value.parse().unwrap_or(opts.database_facts),
+                "--workers" => opts.workers = value.parse::<usize>().unwrap_or(opts.workers).max(1),
                 _ => {
                     i += 1;
                     continue;

@@ -6,6 +6,11 @@
 //! standard chase, and the core chase is complete for finding universal models:
 //! whenever a universal model of `(D, Σ)` exists, the core chase terminates and
 //! produces one.
+//!
+//! "In parallel" here is the paper's logical notion (all triggers of a round fire
+//! against the same instance); execution is always single-threaded —
+//! [`Chase::workers`](crate::Chase::workers) documents why the core chase is a
+//! sequential fallback (its cost is dominated by the memoised core computation).
 
 use crate::budget::{BudgetClock, BudgetLimit, ChaseBudget};
 use crate::core_of::core_of;

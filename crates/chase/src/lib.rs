@@ -59,6 +59,7 @@ pub mod core_chase;
 pub mod core_of;
 pub mod oblivious;
 pub mod observer;
+pub mod parallel;
 pub mod result;
 pub mod session;
 pub mod standard;

@@ -61,17 +61,32 @@ fn key_variables(variant: ObliviousVariant, dep: &Dependency) -> Vec<Variable> {
 /// Trigger discovery is delta-driven: homomorphisms are found once, when the facts
 /// completing them appear, and wait in the engine's queues; the fired-key comparison
 /// ("`h_i(x) = h_j(x) γ_j · · · γ_{i-1}`") filters them at pop time.
+///
+/// With `workers > 1` and an EGD-free `sigma`, the run goes through the
+/// round-parallel runner ([`crate::parallel`]): snapshot discovery on worker
+/// threads, canonical `(DepId, body FactIds)` merge, sequential application.
+/// EGD-bearing sets stay on the sequential path below regardless of `workers`,
+/// because the fired-key sets are rewritten by every substitution
+/// (`h ↦ γ∘h γ_j···γ_{i-1}`): which triggers fire — and how many — then depends
+/// on the interleaving of substitutions with TGD steps, so no worker-count-
+/// independent merge order can reproduce the sequential semantics.
 pub(crate) fn run_oblivious(
     sigma: &DependencySet,
     variant: ObliviousVariant,
     budget: &ChaseBudget,
     database: &Instance,
     observer: &mut dyn ChaseObserver,
+    workers: usize,
 ) -> ChaseOutcome {
     let key_vars: Vec<Vec<Variable>> = sigma
         .iter()
         .map(|(_, dep)| key_variables(variant, dep))
         .collect();
+    if workers > 1 && sigma.egd_ids().is_empty() {
+        return crate::parallel::run_oblivious_parallel(
+            sigma, &key_vars, budget, database, observer, workers,
+        );
+    }
     // Fired trigger keys per dependency, kept up to date under EGD substitutions.
     let mut fired: Vec<Vec<Vec<GroundTerm>>> = vec![Vec::new(); sigma.len()];
     let mut fired_lookup: Vec<HashSet<Vec<GroundTerm>>> = vec![HashSet::new(); sigma.len()];
@@ -173,6 +188,7 @@ impl<'a> ObliviousChase<'a> {
             &ChaseBudget::unlimited().with_max_steps(self.max_steps),
             database,
             &mut NoopObserver,
+            1,
         )
     }
 
@@ -191,6 +207,7 @@ impl<'a> ObliviousChase<'a> {
             &ChaseBudget::unlimited().with_max_steps(self.max_steps),
             database,
             &mut FnObserver(observer),
+            1,
         )
     }
 }

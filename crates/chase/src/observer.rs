@@ -7,14 +7,31 @@
 //!
 //! Event streams per variant:
 //!
-//! * **standard** and **(semi-)oblivious**: [`ChaseObserver::step_applied`] after
-//!   every applied step (including the failing one), plus
+//! * **standard** and **(semi-)oblivious** (sequential): [`ChaseObserver::step_applied`]
+//!   after every applied step (including the failing one), plus
 //!   [`ChaseObserver::nulls_created`] / [`ChaseObserver::egd_collapsed`] for the
 //!   steps that invent nulls or apply a substitution;
 //! * **core**: [`ChaseObserver::round_completed`] after every round, with
 //!   [`ChaseObserver::nulls_created`] and [`ChaseObserver::egd_collapsed`] for the
 //!   round's aggregate effects (the core chase applies all triggers in parallel, so
-//!   there is no meaningful per-step event).
+//!   there is no meaningful per-step event);
+//! * **round-parallel (semi-)oblivious** ([`Chase::workers`](crate::Chase::workers)
+//!   `> 1`): the per-step events of the sequential runners *and* the round pair
+//!   after each completed round.
+//!
+//! ## Round-event order (pinned)
+//!
+//! Every runner that reports rounds emits, per round, the same order:
+//! all of the round's [`ChaseObserver::nulls_created`] /
+//! [`ChaseObserver::egd_collapsed`] (and, for step-granular runners,
+//! [`ChaseObserver::step_applied`]) events first, then
+//! [`ChaseObserver::round_completed`] **immediately followed by**
+//! [`ChaseObserver::round_nulls`] as an adjacent pair. Within a round that both
+//! creates and collapses nulls, the aggregate `nulls_created` precedes the
+//! round's `egd_collapsed` events (core chase). A round cut short by a failure
+//! or a tripped budget emits the events of the work actually done but no round
+//! pair. `tests/api_redesign.rs` pins this contract for both round-emitting
+//! runners.
 
 use crate::result::{ChaseStats, EgdViolation};
 use crate::step::{StepEffect, Trigger};
@@ -44,9 +61,10 @@ pub trait ChaseObserver {
         let _ = (round, facts);
     }
 
-    /// A core-chase round completed, leaving `nulls` distinct labeled nulls in the
-    /// (cored) instance. Emitted right after [`ChaseObserver::round_completed`];
-    /// unlike the [`ChaseObserver::nulls_created`] /
+    /// A round completed, leaving `nulls` distinct labeled nulls in the instance
+    /// (for the core chase: the cored instance). Always emitted immediately after
+    /// [`ChaseObserver::round_completed`] (see the module docs for the pinned
+    /// order); unlike the [`ChaseObserver::nulls_created`] /
     /// [`ChaseObserver::egd_collapsed`] stream, this accounts for nulls folded
     /// away by core computation, so peak-liveness trackers should use it.
     fn round_nulls(&mut self, nulls: usize) {
@@ -107,8 +125,13 @@ pub struct TraceObserver {
     pub collapses: Vec<NullSubstitution>,
     /// Total fresh nulls reported.
     pub nulls: usize,
-    /// Core-chase rounds completed (empty for step-based variants).
+    /// Rounds completed, as `(round, facts)` (core chase and the round-parallel
+    /// runner; empty for sequential step-based variants).
     pub rounds: Vec<(usize, usize)>,
+    /// Per-round live-null counts ([`ChaseObserver::round_nulls`]), parallel to
+    /// [`TraceObserver::rounds`]. Previously this event was silently dropped by
+    /// the trace, making round streams of different runners incomparable.
+    pub round_null_counts: Vec<usize>,
 }
 
 impl TraceObserver {
@@ -133,6 +156,10 @@ impl ChaseObserver for TraceObserver {
 
     fn round_completed(&mut self, round: usize, facts: usize) {
         self.rounds.push((round, facts));
+    }
+
+    fn round_nulls(&mut self, nulls: usize) {
+        self.round_null_counts.push(nulls);
     }
 }
 

@@ -58,6 +58,7 @@ pub struct Chase<'a> {
     order: StepOrder,
     discovery: TriggerDiscovery,
     budget: ChaseBudget,
+    workers: usize,
 }
 
 impl<'a> Chase<'a> {
@@ -68,6 +69,7 @@ impl<'a> Chase<'a> {
             order: StepOrder::EgdsFirst,
             discovery: TriggerDiscovery::Incremental,
             budget: ChaseBudget::default(),
+            workers: 1,
         }
     }
 
@@ -113,9 +115,62 @@ impl<'a> Chase<'a> {
         self
     }
 
+    /// Runs the session with up to `n` worker threads (clamped to at least 1;
+    /// the default of 1 is the sequential behaviour, unchanged).
+    ///
+    /// Trigger discovery — the joins that find each round's applicable triggers —
+    /// runs sharded over a read-only snapshot of the instance; application stays
+    /// sequential behind a deterministic merge, so a session is **deterministic
+    /// at every worker count**: two runs with the same inputs and different `n > 1`
+    /// produce byte-identical instances, statistics, observer streams and tripped
+    /// budget limits. The (semi-)oblivious variants batch whole rounds
+    /// (triggers sorted by `(DepId, body FactIds)` before application); the
+    /// standard chase parallelises each per-step discovery drain with an
+    /// order-preserving merge and is bitwise-identical to `workers(1)`.
+    ///
+    /// Documented sequential fallbacks (the setting is then ignored):
+    ///
+    /// * the **core chase** — each round already fires all triggers, and its cost
+    ///   is dominated by the inherently sequential core computation;
+    /// * **EGD-bearing** dependency sets — substitutions rewrite pending triggers
+    ///   and fired keys in sequence order, so the result would depend on the
+    ///   interleaving (see [`crate::parallel`] for the full argument);
+    /// * [`TriggerDiscovery::NaiveRescan`], the single-threaded reference
+    ///   baseline.
+    ///
+    /// ```
+    /// use chase_core::parser::parse_program;
+    /// use chase_engine::Chase;
+    ///
+    /// let p = parse_program(
+    ///     r#"
+    ///     t: E(?x, ?y), E(?y, ?z) -> E(?x, ?z).
+    ///     E(a, b). E(b, c). E(c, d). E(d, e).
+    ///     "#,
+    /// )
+    /// .unwrap();
+    /// let sequential = Chase::semi_oblivious(&p.dependencies).run(&p.database);
+    /// let parallel = Chase::semi_oblivious(&p.dependencies)
+    ///     .workers(4)
+    ///     .run(&p.database);
+    /// // Full TGDs invent no nulls, so the results are outright equal; with
+    /// // existential rules they are equal up to a renaming of labeled nulls.
+    /// assert_eq!(sequential.instance().unwrap(), parallel.instance().unwrap());
+    /// assert_eq!(sequential.stats(), parallel.stats());
+    /// ```
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
     /// The session's budget.
     pub fn budget(&self) -> &ChaseBudget {
         &self.budget
+    }
+
+    /// The session's worker-thread cap (1 = sequential).
+    pub fn worker_count(&self) -> usize {
+        self.workers
     }
 
     /// Runs the session on `database`.
@@ -137,10 +192,17 @@ impl<'a> Chase<'a> {
                 &self.budget,
                 database,
                 observer,
+                self.workers,
             ),
-            Variant::Oblivious(variant) => {
-                run_oblivious(self.sigma, variant, &self.budget, database, observer)
-            }
+            Variant::Oblivious(variant) => run_oblivious(
+                self.sigma,
+                variant,
+                &self.budget,
+                database,
+                observer,
+                self.workers,
+            ),
+            // The core chase always runs sequentially: see [`Chase::workers`].
             Variant::Core => run_core(self.sigma, &self.budget, database, observer),
         }
     }

@@ -80,6 +80,19 @@ pub(crate) fn dependency_order(sigma: &DependencySet, order: StepOrder) -> Vec<D
 }
 
 /// Runs the standard chase under `budget`, reporting events to `observer`.
+///
+/// `workers > 1` parallelises trigger *discovery* (never application — the
+/// standard chase's activity checks make the result depend on the exact step
+/// sequence, so rounds cannot be batched; see [`crate::parallel`]): each drain of
+/// the delta worklist is sharded across scoped threads with an order-preserving
+/// merge, which keeps the run bitwise-identical to the sequential one. Two
+/// documented fallbacks ignore `workers`:
+///
+/// * **EGD-bearing `sigma`** — substitutions rewrite the pending state between
+///   steps and serialize every drain anyway (delta batches are the rewritten
+///   facts of a single substitution); the run stays sequential;
+/// * **[`TriggerDiscovery::NaiveRescan`]** — the reference baseline is defined as
+///   the single-threaded full re-scan and stays that way.
 pub(crate) fn run_standard(
     sigma: &DependencySet,
     order: StepOrder,
@@ -87,21 +100,32 @@ pub(crate) fn run_standard(
     budget: &ChaseBudget,
     database: &Instance,
     observer: &mut dyn ChaseObserver,
+    workers: usize,
 ) -> ChaseOutcome {
+    let workers = if sigma.egd_ids().is_empty() {
+        workers
+    } else {
+        1
+    };
     match discovery {
-        TriggerDiscovery::Incremental => run_incremental(sigma, order, budget, database, observer),
+        TriggerDiscovery::Incremental => {
+            run_incremental(sigma, order, budget, database, observer, workers)
+        }
         TriggerDiscovery::NaiveRescan => run_naive(sigma, order, budget, database, observer),
     }
 }
 
 /// Delta-driven run: the [`TriggerEngine`] owns the instance, discovery is seeded
-/// from each step's delta, and steps are applied in place.
+/// from each step's delta, and steps are applied in place. With `workers > 1` the
+/// drains run sharded ([`TriggerEngine::next_active_trigger_parallel`]); the
+/// trigger sequence is identical either way.
 fn run_incremental(
     sigma: &DependencySet,
     order: StepOrder,
     budget: &ChaseBudget,
     database: &Instance,
     observer: &mut dyn ChaseObserver,
+    workers: usize,
 ) -> ChaseOutcome {
     let order = dependency_order(sigma, order);
     let clock = BudgetClock::start(budget);
@@ -115,7 +139,7 @@ fn run_incremental(
                 stats,
             };
         }
-        let trigger = match engine.next_active_trigger(&order) {
+        let trigger = match engine.next_active_trigger_parallel(&order, workers) {
             Some(t) => t,
             None => {
                 return ChaseOutcome::Terminated {
@@ -251,6 +275,7 @@ impl<'a> StandardChase<'a> {
             &ChaseBudget::unlimited().with_max_steps(self.max_steps),
             database,
             &mut NoopObserver,
+            1,
         )
     }
 
@@ -271,6 +296,7 @@ impl<'a> StandardChase<'a> {
             &ChaseBudget::unlimited().with_max_steps(self.max_steps),
             database,
             &mut FnObserver(observer),
+            1,
         )
     }
 }

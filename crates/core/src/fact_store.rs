@@ -27,6 +27,19 @@
 //! capacity) whose buckets hold `FactId`s; collisions are resolved by comparing
 //! `(PredicateId, term slice)` against the arena, so the table stores no keys of
 //! its own.
+//!
+//! ## Concurrent reads
+//!
+//! The whole read surface — [`FactStore::terms`], [`FactStore::predicate_of`],
+//! [`FactStore::lookup`], [`FactStore::compare`], `fmt_fact` — takes `&self` and
+//! touches no interior mutability: the arena, the meta records and the dedup table
+//! are plain `Vec`s/`HashMap`s, and the `scratch` buffer is only used by `&mut
+//! self` methods ([`FactStore::intern_rewritten`]). `FactStore` is therefore
+//! `Send + Sync` by construction, and a shared borrow can be handed to any number
+//! of worker threads — this is what
+//! [`Snapshot`](crate::snapshot::Snapshot) relies on for round-parallel trigger
+//! discovery. Appends (interning) still require `&mut self`, so the borrow checker
+//! serialises them against all readers.
 
 use crate::atom::{Fact, Predicate};
 use crate::substitution::NullSubstitution;

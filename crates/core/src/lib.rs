@@ -56,6 +56,7 @@ pub mod interner;
 pub mod parser;
 pub mod position;
 pub mod satisfaction;
+pub mod snapshot;
 pub mod substitution;
 pub mod term;
 
@@ -69,5 +70,6 @@ pub use instance::Instance;
 pub use interner::Symbol;
 pub use parser::{parse_dependencies, parse_program, Program};
 pub use position::Position;
+pub use snapshot::Snapshot;
 pub use substitution::NullSubstitution;
 pub use term::{Constant, GroundTerm, NullValue, Term, Variable};

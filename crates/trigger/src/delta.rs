@@ -33,6 +33,17 @@ impl DeltaQueue {
         self.queue.pop_front()
     }
 
+    /// Drains every waiting fact id at once, in FIFO order — the round snapshot
+    /// of the worklist that partitioned parallel discovery shards across workers.
+    ///
+    /// When no EGD substitution has remapped queued ids, FIFO order *is*
+    /// ascending [`FactId`] order (ids are handed out consecutively as facts are
+    /// interned and enqueued on insertion), so contiguous chunks of the batch are
+    /// disjoint `FactId` ranges.
+    pub fn take_batch(&mut self) -> Vec<FactId> {
+        self.queue.drain(..).collect()
+    }
+
     /// Number of facts currently waiting.
     pub fn len(&self) -> usize {
         self.queue.len()

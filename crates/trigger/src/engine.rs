@@ -22,12 +22,14 @@
 
 use crate::delta::DeltaQueue;
 use crate::index::FactIndex;
+use crate::parallel::{discover_batch, SeedAtoms};
 use crate::search::{exists_indexed_extension, for_each_seeded_id};
 use chase_core::substitution::NullSubstitution;
 use chase_core::{
-    Assignment, DepId, Dependency, DependencySet, Fact, FactId, GroundTerm, Instance, Variable,
+    Assignment, DepId, Dependency, DependencySet, Fact, FactId, GroundTerm, Instance, Snapshot,
+    Variable,
 };
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 use std::ops::ControlFlow;
 
 /// A trigger: a dependency together with a homomorphism from its body into the
@@ -87,7 +89,7 @@ pub struct TriggerEngine<'a> {
     /// For each predicate, the body-atom positions that can unify with a fact of
     /// that predicate: `(dependency, body atom index)`. Built once so that a delta
     /// fact visits only the matching seed atoms instead of scanning all of `Σ`.
-    seed_atoms: HashMap<chase_core::Predicate, Vec<(DepId, usize)>>,
+    seed_atoms: SeedAtoms,
     /// Per-dependency FIFO of discovered candidate triggers.
     pending: Vec<VecDeque<Assignment>>,
     /// Per-dependency set of every assignment ever discovered (canonical form),
@@ -99,20 +101,11 @@ pub struct TriggerEngine<'a> {
 impl<'a> TriggerEngine<'a> {
     /// Creates an engine for `sigma` over an empty instance.
     pub fn new(sigma: &'a DependencySet) -> Self {
-        let mut seed_atoms: HashMap<chase_core::Predicate, Vec<(DepId, usize)>> = HashMap::new();
-        for (id, dep) in sigma.iter() {
-            for (atom_index, atom) in dep.body().iter().enumerate() {
-                seed_atoms
-                    .entry(atom.predicate)
-                    .or_default()
-                    .push((id, atom_index));
-            }
-        }
         TriggerEngine {
             sigma,
             index: FactIndex::new(),
             deltas: DeltaQueue::new(),
-            seed_atoms,
+            seed_atoms: SeedAtoms::new(sigma),
             pending: vec![VecDeque::new(); sigma.len()],
             seen: vec![HashSet::new(); sigma.len()],
             stats: EngineStats::default(),
@@ -128,9 +121,8 @@ impl<'a> TriggerEngine<'a> {
     /// values are materialised.
     pub fn with_database(sigma: &'a DependencySet, database: &Instance) -> Self {
         let mut engine = TriggerEngine::new(sigma);
-        let store = database.store();
-        for id in database.sorted_fact_ids() {
-            engine.insert_parts(store.predicate_of(id), store.terms(id));
+        for id in engine.index.insert_database(database) {
+            engine.record_insert(id, true);
         }
         engine
     }
@@ -165,12 +157,6 @@ impl<'a> TriggerEngine<'a> {
 
     fn insert_fact(&mut self, fact: Fact) -> bool {
         let (id, new) = self.index.insert_full(fact);
-        self.record_insert(id, new)
-    }
-
-    /// Inserts a fact given as predicate + terms, bypassing `Fact` materialisation.
-    fn insert_parts(&mut self, predicate: chase_core::Predicate, terms: &[GroundTerm]) -> bool {
-        let (id, new) = self.index.insert_parts(predicate, terms);
         self.record_insert(id, new)
     }
 
@@ -225,10 +211,7 @@ impl<'a> TriggerEngine<'a> {
         while let Some(fact_id) = self.deltas.pop() {
             self.stats.deltas_processed += 1;
             let predicate = self.index.store().predicate_of(fact_id);
-            let Some(seeds) = self.seed_atoms.get(&predicate) else {
-                continue;
-            };
-            for &(id, seed_index) in seeds {
+            for &(id, seed_index) in self.seed_atoms.seeds_for(predicate) {
                 let body = self.sigma.get(id).body();
                 // Borrow dance: collect first, then dedup against `seen`.
                 let mut found: Vec<Assignment> = Vec::new();
@@ -246,11 +229,55 @@ impl<'a> TriggerEngine<'a> {
         }
     }
 
+    /// Drains the delta worklist like [`TriggerEngine::drain_deltas`], but shards
+    /// the waiting batch across up to `workers` scoped threads
+    /// ([`crate::parallel::discover_batch`]). The per-worker results are merged
+    /// back in batch order, and deduped against `seen` in that order, so the
+    /// pending queues end up **identical** to a sequential drain at any worker
+    /// count — parallelism here changes wall-clock time, never behaviour.
+    pub fn drain_deltas_parallel(&mut self, workers: usize) {
+        if workers <= 1 {
+            return self.drain_deltas();
+        }
+        let batch = self.deltas.take_batch();
+        if batch.is_empty() {
+            return;
+        }
+        self.stats.deltas_processed += batch.len();
+        let found = {
+            let snapshot = Snapshot::new(self.index.indexed());
+            discover_batch(self.sigma, &self.seed_atoms, snapshot, &batch, workers)
+        };
+        for t in found {
+            if self.seen[t.dep.0].insert(t.assignment.canonical()) {
+                self.stats.triggers_discovered += 1;
+                self.pending[t.dep.0].push_back(t.assignment);
+            }
+        }
+    }
+
     /// Pops the first *standard-active* trigger, trying the dependencies in the
     /// order given (the trigger-selection policy). Triggers that are no longer
     /// active are dropped permanently — see the module docs for why that is sound.
     pub fn next_active_trigger(&mut self, order: &[DepId]) -> Option<Trigger> {
         self.drain_deltas();
+        self.pop_active(order)
+    }
+
+    /// [`TriggerEngine::next_active_trigger`] with a parallel delta drain: the
+    /// discovery joins run on up to `workers` threads, the pop is unchanged.
+    /// Returns exactly what the sequential method would (see
+    /// [`TriggerEngine::drain_deltas_parallel`]).
+    pub fn next_active_trigger_parallel(
+        &mut self,
+        order: &[DepId],
+        workers: usize,
+    ) -> Option<Trigger> {
+        self.drain_deltas_parallel(workers);
+        self.pop_active(order)
+    }
+
+    fn pop_active(&mut self, order: &[DepId]) -> Option<Trigger> {
         for &id in order {
             let dep = self.sigma.get(id);
             while let Some(h) = self.pending[id.0].pop_front() {
@@ -575,6 +602,45 @@ mod tests {
             after > before,
             "TGD-activity check did not touch the position index ({before} -> {after})"
         );
+    }
+
+    #[test]
+    fn parallel_drain_is_identical_to_sequential_drain() {
+        // A closure chase driven once with sequential drains and once with
+        // parallel drains at several worker counts must make bit-identical
+        // decisions: same triggers in the same order, same engine stats, same
+        // final instance. (This is the determinism contract of
+        // `drain_deltas_parallel`: merging in batch order reconstructs the
+        // sequential discovery order exactly.)
+        let p = parse_program(
+            r#"
+            t: E(?x, ?y), E(?y, ?z) -> E(?x, ?z).
+            s: E(?x, ?y) -> N(?y).
+            "#,
+        )
+        .unwrap();
+        let db = Instance::from_facts((0..24).map(|i| {
+            Fact::from_parts("E", vec![gc(&format!("v{i}")), gc(&format!("v{}", i + 1))])
+        }));
+        let order: Vec<DepId> = p.dependencies.ids().collect();
+        let run = |workers: usize| {
+            let mut engine = TriggerEngine::with_database(&p.dependencies, &db);
+            let mut picked = Vec::new();
+            while let Some(t) = engine.next_active_trigger_parallel(&order, workers) {
+                picked.push((t.dep, t.assignment.canonical()));
+                engine.apply_trigger(t.dep, &t.assignment);
+                assert!(picked.len() < 5_000, "diverged");
+            }
+            let stats = engine.stats().clone();
+            (picked, stats, engine.into_instance())
+        };
+        let baseline = run(1);
+        for workers in [2, 4, 8] {
+            let parallel = run(workers);
+            assert_eq!(baseline.0, parallel.0, "trigger sequence at {workers}");
+            assert_eq!(baseline.1, parallel.1, "engine stats at {workers}");
+            assert_eq!(baseline.2, parallel.2, "final instance at {workers}");
+        }
     }
 
     #[test]

@@ -88,6 +88,25 @@ impl FactIndex {
         self.indexed.insert_parts(predicate, terms)
     }
 
+    /// Loads a database: every fact is re-interned into this index's arena
+    /// straight from the database's term slices (no [`Fact`] values), in sorted
+    /// order so that discovery — and any chase sequence built on it — is
+    /// reproducible across process runs. Returns the ids of the newly inserted
+    /// facts in insertion order: the initial delta. The one loading routine
+    /// shared by the sequential engine and the round-parallel runner, so their
+    /// round-0 state cannot drift.
+    pub fn insert_database(&mut self, database: &Instance) -> Vec<FactId> {
+        let store = database.store();
+        let mut fresh = Vec::new();
+        for id in database.sorted_fact_ids() {
+            let (new_id, new) = self.insert_parts(store.predicate_of(id), store.terms(id));
+            if new {
+                fresh.push(new_id);
+            }
+        }
+        fresh
+    }
+
     /// Allocates a labeled null distinct from every null in the stored facts.
     pub fn fresh_null(&mut self) -> NullValue {
         self.indexed.fresh_null()

@@ -34,6 +34,12 @@
 //! rewritten `h ↦ γ∘h` in lockstep with the instance, and the rewritten facts
 //! re-enter the worklist because a substitution can *create* matches (e.g. a
 //! body atom `E(x, x)` matching only after two nulls collapse).
+//!
+//! Discovery also runs **in parallel**: [`parallel::discover_batch`] shards a
+//! delta batch across scoped worker threads over a read-only
+//! [`chase_core::Snapshot`] and merges the results deterministically —
+//! [`TriggerEngine::drain_deltas_parallel`] is the drop-in drain whose outcome is
+//! identical to the sequential one at any worker count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,15 +47,18 @@
 pub mod delta;
 pub mod engine;
 pub mod index;
+pub mod parallel;
 pub mod search;
 
 pub use delta::DeltaQueue;
 pub use engine::{EngineStats, StepEffect, Trigger, TriggerEngine};
 pub use index::FactIndex;
+pub use parallel::{body_image, discover_batch, sort_canonical, DiscoveredTrigger, SeedAtoms};
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::delta::DeltaQueue;
     pub use crate::engine::{EngineStats, StepEffect, Trigger, TriggerEngine};
     pub use crate::index::FactIndex;
+    pub use crate::parallel::{discover_batch, DiscoveredTrigger, SeedAtoms};
 }

@@ -17,7 +17,9 @@
 //!   [`Chase`](chase_engine::Chase) session builder: standard, oblivious,
 //!   semi-oblivious and core variants under one
 //!   [`ChaseBudget`](chase_engine::ChaseBudget) / [`ChaseObserver`](chase_engine::ChaseObserver)
-//!   vocabulary, plus core computation, universal models and certain answers;
+//!   vocabulary and an opt-in round-parallel execution mode
+//!   ([`Chase::workers`](chase_engine::Chase::workers)), plus core computation,
+//!   universal models and certain answers;
 //! * [`criteria`](chase_criteria) — baseline termination criteria (weak acyclicity,
 //!   safety, stratification, c-stratification, super-weak acyclicity, MFA) as
 //!   witness-producing [`TerminationCriterion`](chase_criteria::TerminationCriterion)

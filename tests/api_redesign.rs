@@ -298,6 +298,161 @@ fn failing_core_round_still_reports_its_nulls_to_the_observer() {
     assert_eq!(trace.nulls, out.stats().nulls_created);
 }
 
+/// Tagged event stream for the round-order tests below.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+enum Ev {
+    Step,
+    Nulls(usize),
+    Collapse,
+    Round(usize),
+    RoundNulls(usize),
+}
+
+#[derive(Default)]
+struct TaggedObserver(Vec<Ev>);
+
+impl ChaseObserver for TaggedObserver {
+    fn step_applied(&mut self, _t: &Trigger, _e: &StepEffect) {
+        self.0.push(Ev::Step);
+    }
+    fn nulls_created(&mut self, count: usize) {
+        self.0.push(Ev::Nulls(count));
+    }
+    fn egd_collapsed(&mut self, _gamma: &chase_core::NullSubstitution) {
+        self.0.push(Ev::Collapse);
+    }
+    fn round_completed(&mut self, round: usize, _facts: usize) {
+        self.0.push(Ev::Round(round));
+    }
+    fn round_nulls(&mut self, nulls: usize) {
+        self.0.push(Ev::RoundNulls(nulls));
+    }
+}
+
+/// The unified round-event contract (see `chase_engine::observer`):
+/// `round_completed` is immediately followed by `round_nulls`, after every other
+/// event of the round — in *both* round-emitting runners, even when a round both
+/// creates and collapses nulls.
+fn assert_round_pairs_adjacent(stream: &[Ev], context: &str) -> usize {
+    let mut pairs = 0;
+    for (i, ev) in stream.iter().enumerate() {
+        if let Ev::Round(_) = ev {
+            assert!(
+                matches!(stream.get(i + 1), Some(Ev::RoundNulls(_))),
+                "{context}: round_completed at {i} not immediately followed by round_nulls: {stream:?}"
+            );
+            pairs += 1;
+        }
+        if let Ev::RoundNulls(_) = ev {
+            assert!(
+                i > 0 && matches!(stream[i - 1], Ev::Round(_)),
+                "{context}: round_nulls at {i} without a preceding round_completed: {stream:?}"
+            );
+        }
+    }
+    pairs
+}
+
+#[test]
+fn round_events_are_ordered_consistently_across_runners() {
+    // A core-chase round that both creates a null (r3 fires on T(η1)) and
+    // collapses one (k merges η1 into c): the aggregate `nulls_created` must
+    // precede the round's `egd_collapsed` events, and the round pair comes last.
+    let p = parse_program(
+        r#"
+        r1: A(?x) -> exists ?y: R(?x, ?y), T(?y).
+        r2: B(?x) -> R(?x, c).
+        r3: T(?y) -> exists ?z: S(?y, ?z).
+        k: R(?x, ?y1), R(?x, ?y2) -> ?y1 = ?y2.
+        A(a). B(a).
+        "#,
+    )
+    .unwrap();
+    let mut tagged = TaggedObserver::default();
+    let out = Chase::core(&p.dependencies).run_observed(&p.database, &mut tagged);
+    assert!(out.is_terminating(), "unexpected outcome: {out}");
+    let stream = tagged.0;
+    let rounds = assert_round_pairs_adjacent(&stream, "core");
+    assert_eq!(rounds, out.stats().steps, "one pair per core round");
+    // Locate the mixed round: it has both a Nulls and a Collapse event between
+    // the previous pair and its own, with Nulls first.
+    let collapse_at = stream
+        .iter()
+        .position(|e| *e == Ev::Collapse)
+        .expect("the key EGD must collapse η1");
+    let nulls_before = stream[..collapse_at]
+        .iter()
+        .rev()
+        .take_while(|e| !matches!(e, Ev::Round(_)))
+        .any(|e| matches!(e, Ev::Nulls(_)));
+    assert!(
+        nulls_before,
+        "the mixed round must report its created nulls before its collapses: {stream:?}"
+    );
+    assert!(out.stats().nulls_created >= 2 && out.stats().null_replacements >= 1);
+
+    // The round-parallel runner obeys the same contract: step events of round k
+    // strictly precede round k's adjacent pair.
+    let q = parse_program(
+        r#"
+        r1: A(?x) -> exists ?y: R(?x, ?y).
+        r2: R(?x, ?y) -> S(?y, ?x).
+        A(a). A(b).
+        "#,
+    )
+    .unwrap();
+    let mut tagged = TaggedObserver::default();
+    let out = Chase::semi_oblivious(&q.dependencies)
+        .workers(4)
+        .run_observed(&q.database, &mut tagged);
+    assert!(out.is_terminating());
+    let stream = tagged.0;
+    let rounds = assert_round_pairs_adjacent(&stream, "round-parallel");
+    assert!(rounds >= 2, "expected at least two rounds: {stream:?}");
+    // Round numbers are 1-based and increase; steps never land inside a pair.
+    let round_numbers: Vec<usize> = stream
+        .iter()
+        .filter_map(|e| match e {
+            Ev::Round(r) => Some(*r),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(round_numbers, (1..=rounds).collect::<Vec<_>>());
+    // The sequential step-based runners emit no round events at all.
+    let mut tagged = TaggedObserver::default();
+    Chase::semi_oblivious(&q.dependencies).run_observed(&q.database, &mut tagged);
+    assert!(
+        tagged
+            .0
+            .iter()
+            .all(|e| !matches!(e, Ev::Round(_) | Ev::RoundNulls(_))),
+        "sequential step-based runners must not report rounds: {:?}",
+        tagged.0
+    );
+}
+
+#[test]
+fn trace_observer_records_round_nulls() {
+    // Regression: `TraceObserver` used to drop `round_nulls` events, so round
+    // streams could not be compared across runners.
+    let p = parse_program(
+        r#"
+        r1: A(?x) -> exists ?y: R(?x, ?y).
+        A(a).
+        "#,
+    )
+    .unwrap();
+    let mut trace = TraceObserver::new();
+    let out = Chase::core(&p.dependencies).run_observed(&p.database, &mut trace);
+    assert!(out.is_terminating());
+    assert_eq!(
+        trace.round_null_counts.len(),
+        trace.rounds.len(),
+        "every round_completed must have its round_nulls recorded"
+    );
+    assert_eq!(trace.round_null_counts, vec![1], "R(a, η1) keeps one null");
+}
+
 #[test]
 fn observers_see_consistent_event_streams() {
     let (sigma, db) = {

@@ -10,9 +10,11 @@ use chase_core::{
     Assignment, Atom, Constant, Dependency, DependencySet, Egd, Fact, GroundTerm,
     HomomorphismSearch, IndexedInstance, Instance, NullValue, Term, Tgd, Variable,
 };
-use chase_engine::{core_of, is_core, Chase, ChaseBudget, StepOrder};
+use chase_engine::{
+    core_of, is_core, Chase, ChaseBudget, ChaseOutcome, ObliviousVariant, StepOrder, TraceObserver,
+};
 use proptest::prelude::*;
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::ops::ControlFlow;
 
 // ---------------------------------------------------------------------------------
@@ -133,6 +135,185 @@ fn query_instance() -> impl Strategy<Value = Instance> {
 
 fn canonical_set(homs: &[Assignment]) -> BTreeSet<Vec<(Variable, GroundTerm)>> {
     homs.iter().map(|h| h.canonical()).collect()
+}
+
+// ---------------------------------------------------------------------------------
+// Parallel-runner differential harness helpers
+// ---------------------------------------------------------------------------------
+
+/// The worker counts the differential suite exercises: 2, 4 and 8, plus whatever
+/// `CHASE_TEST_WORKERS` asks for (the CI parallel job runs the suite once at the
+/// canonical 4 — guarding the env plumbing — and once at an uneven 7, which
+/// extends the sweep with ragged delta shards).
+fn test_worker_counts() -> Vec<usize> {
+    let mut counts = vec![2usize, 4, 8];
+    if let Ok(value) = std::env::var("CHASE_TEST_WORKERS") {
+        if let Ok(n) = value.parse::<usize>() {
+            if n > 1 && !counts.contains(&n) {
+                counts.push(n);
+            }
+        }
+    }
+    counts
+}
+
+/// Decides whether `a` and `b` are equal up to a renaming of labeled nulls, by
+/// searching for an exact bijection `nulls(a) → nulls(b)` that maps the facts of
+/// `a` onto the facts of `b` (the homomorphism machinery's unification notion,
+/// strengthened to injectivity — a homomorphism in each direction is *not*
+/// enough, since homomorphisms may collapse nulls).
+///
+/// Soundness of the success case: the mapping is the identity on constants and
+/// injective on nulls, hence injective on facts; it sends the null-bearing facts
+/// of `a` into those of `b`, and the cardinality checks make it onto. Complete:
+/// plain backtracking explores every candidate image per fact.
+fn isomorphic_up_to_null_renaming(a: &Instance, b: &Instance) -> bool {
+    if a.len() != b.len() || a.nulls().len() != b.nulls().len() {
+        return false;
+    }
+    if a.null_free_part() != b.null_free_part() {
+        return false;
+    }
+    let mut null_facts: Vec<Fact> = a.facts().filter(|f| !f.nulls().is_empty()).collect();
+    // Constant-anchored facts first: they have the fewest candidate images, so
+    // nulls get bound (and contradictions caught) early.
+    null_facts.sort_by_key(|f| (f.nulls().len(), f.clone()));
+    let mut map: HashMap<NullValue, NullValue> = HashMap::new();
+    let mut used: HashSet<NullValue> = HashSet::new();
+    fn matches(
+        facts: &[Fact],
+        i: usize,
+        b: &Instance,
+        map: &mut HashMap<NullValue, NullValue>,
+        used: &mut HashSet<NullValue>,
+    ) -> bool {
+        let Some(f) = facts.get(i) else {
+            return true;
+        };
+        for g in b.facts_of(f.predicate) {
+            let mut newly: Vec<(NullValue, NullValue)> = Vec::new();
+            let mut ok = true;
+            for (ta, tb) in f.terms.iter().zip(g.terms.iter()) {
+                ok = match (ta, tb) {
+                    (GroundTerm::Const(x), GroundTerm::Const(y)) => x == y,
+                    (GroundTerm::Null(n), GroundTerm::Null(m)) => match map.get(n) {
+                        Some(mapped) => mapped == m,
+                        None if used.contains(m) => false,
+                        None => {
+                            map.insert(*n, *m);
+                            used.insert(*m);
+                            newly.push((*n, *m));
+                            true
+                        }
+                    },
+                    _ => false,
+                };
+                if !ok {
+                    break;
+                }
+            }
+            if ok && matches(facts, i + 1, b, map, used) {
+                return true;
+            }
+            for (n, m) in newly {
+                map.remove(&n);
+                used.remove(&m);
+            }
+        }
+        false
+    }
+    matches(&null_facts, 0, b, &mut map, &mut used)
+}
+
+/// Order-invariant digest of a trace: how many times each `(dependency, effect
+/// kind)` pair was observed. (Per-step added-fact counts are deliberately *not*
+/// part of the key: when two steps' head facts overlap, the split of "who added
+/// the shared fact" depends on the step order, while the pair counts do not.)
+fn event_multiset(
+    trace: &TraceObserver,
+) -> std::collections::BTreeMap<(usize, &'static str), usize> {
+    let mut out = std::collections::BTreeMap::new();
+    for (trigger, effect) in &trace.steps {
+        let kind = match effect {
+            chase_engine::StepEffect::AddedFacts { .. } => "tgd",
+            chase_engine::StepEffect::Substituted { .. } => "egd",
+            chase_engine::StepEffect::Failure => "failure",
+            chase_engine::StepEffect::NotApplicable => "noop",
+        };
+        *out.entry((trigger.dep.0, kind)).or_insert(0) += 1;
+    }
+    out
+}
+
+#[test]
+fn null_renaming_check_accepts_renamings_and_rejects_collapses() {
+    // Sanity of the harness itself: renaming is accepted, collapsing is not.
+    let gc = |s: &str| GroundTerm::Const(Constant::new(s));
+    let gn = |i: u64| GroundTerm::Null(NullValue(i));
+    let a = Instance::from_facts(vec![
+        Fact::from_parts("R", vec![gc("a"), gn(1)]),
+        Fact::from_parts("R", vec![gc("a"), gn(2)]),
+        Fact::from_parts("S", vec![gn(2), gn(1)]),
+    ]);
+    let renamed = Instance::from_facts(vec![
+        Fact::from_parts("R", vec![gc("a"), gn(9)]),
+        Fact::from_parts("R", vec![gc("a"), gn(7)]),
+        Fact::from_parts("S", vec![gn(7), gn(9)]),
+    ]);
+    assert!(isomorphic_up_to_null_renaming(&a, &renamed));
+    assert!(isomorphic_up_to_null_renaming(&renamed, &a));
+    // Homomorphically equivalent-looking but collapsed: not isomorphic.
+    let collapsed = Instance::from_facts(vec![
+        Fact::from_parts("R", vec![gc("a"), gn(3)]),
+        Fact::from_parts("S", vec![gn(3), gn(3)]),
+    ]);
+    assert!(!isomorphic_up_to_null_renaming(&a, &collapsed));
+    // Same sizes, different shape: S relates the two nulls in the wrong order.
+    let twisted = Instance::from_facts(vec![
+        Fact::from_parts("R", vec![gc("a"), gn(1)]),
+        Fact::from_parts("R", vec![gc("a"), gn(2)]),
+        Fact::from_parts("S", vec![gc("a"), gn(1)]),
+    ]);
+    assert!(!isomorphic_up_to_null_renaming(&a, &twisted));
+}
+
+/// Satellite: metamorphic determinism. Two runs of the parallel runner on the
+/// same input at *different* worker counts yield byte-identical
+/// `sorted_facts()` output (same facts, same null labels, same order) and
+/// identical statistics — parallelism changes wall-clock time, never the answer.
+#[test]
+fn parallel_worker_count_never_changes_the_output_bytes() {
+    use chase_ontology::generator::{generate, generate_database, OntologyProfile};
+    for seed in [3u64, 11, 42] {
+        let sigma = generate(&OntologyProfile {
+            existential: 3,
+            full: 6,
+            egds: 0,
+            cyclic: false,
+            seed,
+        });
+        let db = generate_database(&sigma, 10, seed);
+        for variant in [ObliviousVariant::Oblivious, ObliviousVariant::SemiOblivious] {
+            let mut reference: Option<(Vec<Fact>, chase_engine::ChaseStats)> = None;
+            let mut counts = test_worker_counts();
+            counts.push(3); // an uneven shard split, deliberately
+            for workers in counts {
+                let out = Chase::oblivious(&sigma, variant)
+                    .workers(workers)
+                    .with_budget(ChaseBudget::unlimited().with_max_steps(5_000))
+                    .run(&db);
+                assert!(out.is_terminating(), "seed {seed} {variant:?} diverged");
+                let fingerprint = (out.instance().unwrap().sorted_facts(), out.stats().clone());
+                match &reference {
+                    None => reference = Some(fingerprint),
+                    Some(r) => assert_eq!(
+                        r, &fingerprint,
+                        "worker count {workers} changed the output (seed {seed}, {variant:?})"
+                    ),
+                }
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------------
@@ -522,6 +703,119 @@ proptest! {
             &canonical_set(&via_maintained),
             "maintained-index join diverged"
         );
+    }
+
+    /// Differential test of the round-parallel chase runner (satellite of the
+    /// parallel-execution tentpole): on random `OntologyProfile` corpora — with
+    /// and without EGDs, terminating and diverging — the parallel runner at 2, 4
+    /// and 8 workers (plus `CHASE_TEST_WORKERS`, if set) agrees with the
+    /// sequential runner:
+    ///
+    /// * the **standard** chase is *bitwise identical* (parallel discovery merges
+    ///   order-preservingly, so the very same trigger sequence fires);
+    /// * the **(semi-)oblivious** chases produce instances isomorphic to the
+    ///   sequential result — equal up to a renaming of labeled nulls, verified by
+    ///   an exact bijection search — with identical `ChaseOutcome` kind, tripped
+    ///   `BudgetLimit`, `ChaseStats`, and per-`(dep, effect)` observer event
+    ///   multisets;
+    /// * all parallel worker counts are *byte-identical* to each other
+    ///   (instances, stats, full observer streams — the metamorphic determinism
+    ///   contract).
+    #[test]
+    fn parallel_runner_matches_sequential_runner(seed in 0..200u64, facts in 2..8usize) {
+        use chase_ontology::generator::{generate, generate_database, OntologyProfile};
+        let profile = OntologyProfile {
+            existential: (seed % 4) as usize + 1,
+            full: (seed % 6) as usize + 2,
+            egds: if seed % 3 == 0 { 1 } else { 0 },
+            cyclic: seed % 5 == 0,
+            seed,
+        };
+        let sigma = generate(&profile);
+        let db = generate_database(&sigma, facts, seed ^ 0x00c0_ffee);
+        let budget = ChaseBudget::unlimited().with_max_steps(300);
+        let sessions = vec![
+            ("standard", Chase::standard(&sigma).with_budget(budget)),
+            (
+                "oblivious",
+                Chase::oblivious(&sigma, ObliviousVariant::Oblivious).with_budget(budget),
+            ),
+            (
+                "semi-oblivious",
+                Chase::semi_oblivious(&sigma).with_budget(budget),
+            ),
+        ];
+        for (name, session) in sessions {
+            let mut seq_trace = TraceObserver::new();
+            let sequential = session.clone().run_observed(&db, &mut seq_trace);
+            let mut previous: Option<(ChaseOutcome, TraceObserver)> = None;
+            for workers in test_worker_counts() {
+                let mut trace = TraceObserver::new();
+                let parallel = session.clone().workers(workers).run_observed(&db, &mut trace);
+                // Outcome kind, tripped limit and step count match the
+                // sequential runner exactly.
+                prop_assert_eq!(
+                    std::mem::discriminant(&sequential),
+                    std::mem::discriminant(&parallel),
+                    "{} outcome kind diverged at {} workers (seed {})",
+                    name, workers, seed
+                );
+                prop_assert_eq!(
+                    sequential.exhausted_limit(),
+                    parallel.exhausted_limit(),
+                    "{} tripped limit diverged at {} workers (seed {})",
+                    name, workers, seed
+                );
+                prop_assert_eq!(
+                    sequential.stats().steps,
+                    parallel.stats().steps,
+                    "{} step count diverged at {} workers (seed {})",
+                    name, workers, seed
+                );
+                if name == "standard" {
+                    // The per-step parallel drain is order-preserving: bitwise
+                    // identity, not mere isomorphism.
+                    prop_assert_eq!(
+                        &sequential,
+                        &parallel,
+                        "standard chase must be bitwise identical at {} workers (seed {})",
+                        workers,
+                        seed
+                    );
+                    prop_assert_eq!(&seq_trace.steps, &trace.steps);
+                } else {
+                    if sequential.is_terminating() {
+                        prop_assert_eq!(sequential.stats(), parallel.stats());
+                        prop_assert!(
+                            isomorphic_up_to_null_renaming(
+                                sequential.instance().unwrap(),
+                                parallel.instance().unwrap()
+                            ),
+                            "{} results not isomorphic at {} workers (seed {}):\n  seq: {}\n  par: {}",
+                            name, workers, seed,
+                            sequential.instance().unwrap(),
+                            parallel.instance().unwrap()
+                        );
+                        prop_assert_eq!(
+                            event_multiset(&seq_trace),
+                            event_multiset(&trace),
+                            "{} observer event multisets diverged at {} workers (seed {})",
+                            name, workers, seed
+                        );
+                    }
+                }
+                // Metamorphic determinism: every parallel worker count is
+                // byte-identical to every other (instances, stats, full traces).
+                if let Some((prev_out, prev_trace)) = &previous {
+                    prop_assert_eq!(prev_out, &parallel);
+                    prop_assert_eq!(&prev_trace.steps, &trace.steps);
+                    prop_assert_eq!(&prev_trace.rounds, &trace.rounds);
+                    prop_assert_eq!(&prev_trace.round_null_counts, &trace.round_null_counts);
+                    prop_assert_eq!(prev_trace.nulls, trace.nulls);
+                }
+                previous = Some((parallel, trace));
+            }
+        }
     }
 
     /// Dependency sets round-trip through the textual format.
