@@ -10,10 +10,19 @@
 //! Measured numbers are recorded in `BENCH_parallel_chase.json` at the repository
 //! root, together with the host's CPU budget: on a single-CPU container the
 //! parallel configurations measure determinism overhead, not speedup.
+//!
+//! After the timing groups, a **phase-attribution pass** re-runs every
+//! configuration once with a [`MetricsObserver`] attached and prints a JSON
+//! breakdown of the run's wall-clock into the named phases `discovery`, `merge`
+//! and `apply` (the parallel path's overhead — snapshot construction, the
+//! canonical merge sort — lands in `discovery`/`merge` by construction, so the
+//! overhead of the determinism machinery is attributed, not lost). The rows are
+//! recorded in `BENCH_parallel_chase.json` under `"phases"`.
 
-use chase_engine::{Chase, ChaseBudget};
+use chase_engine::{Chase, ChaseBudget, MetricsObserver};
+use chase_obs::{duration_ns, JsonValue};
 use chase_ontology::generator::{generate, generate_database, OntologyProfile};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -97,5 +106,91 @@ fn bench_closure(c: &mut Criterion) {
     group.finish();
 }
 
+/// One phase-attribution row: a single instrumented run of `sigma` on `db`.
+fn phase_row(
+    group: &str,
+    case: &str,
+    workers: usize,
+    sigma: &chase_core::DependencySet,
+    db: &chase_core::Instance,
+    max_steps: usize,
+) -> JsonValue {
+    let mut metrics = MetricsObserver::new();
+    let outcome = Chase::semi_oblivious(sigma)
+        .workers(workers)
+        .with_budget(ChaseBudget::unlimited().with_max_steps(max_steps))
+        .run_observed(db, &mut metrics);
+    let elapsed_ns = duration_ns(outcome.stats().elapsed).max(1);
+    let phase_ns = |name: &str| {
+        metrics
+            .phases()
+            .get(name)
+            .map(|acc| duration_ns(acc.total()))
+            .unwrap_or(0)
+    };
+    let attributed_ns: u64 = metrics
+        .phases()
+        .iter()
+        .map(|(_, acc)| duration_ns(acc.total()))
+        .sum();
+    // The observer's attribution clock starts at construction, a hair before
+    // the session clock: clamp so rounding can't report > 100%.
+    let attribution = (attributed_ns.min(elapsed_ns) as f64) / (elapsed_ns as f64);
+    JsonValue::Object(vec![
+        ("group".to_string(), JsonValue::Str(group.to_string())),
+        ("case".to_string(), JsonValue::Str(case.to_string())),
+        ("workers".to_string(), JsonValue::Int(workers as i64)),
+        (
+            "discovery_ns".to_string(),
+            JsonValue::Int(phase_ns("discovery") as i64),
+        ),
+        (
+            "merge_ns".to_string(),
+            JsonValue::Int(phase_ns("merge") as i64),
+        ),
+        (
+            "apply_ns".to_string(),
+            JsonValue::Int(phase_ns("apply") as i64),
+        ),
+        (
+            "attributed_ns".to_string(),
+            JsonValue::Int(attributed_ns as i64),
+        ),
+        ("elapsed_ns".to_string(), JsonValue::Int(elapsed_ns as i64)),
+        (
+            "attribution".to_string(),
+            JsonValue::Float((attribution * 1000.0).round() / 1000.0),
+        ),
+    ])
+}
+
+/// Prints the per-phase wall-clock breakdown of every benchmarked configuration.
+fn phase_breakdown() {
+    let mut rows = Vec::new();
+    for &(size, facts) in &[(60usize, 60usize), (120, 120)] {
+        let (sigma, db) = ontology_workload(size, facts);
+        let case = format!("{size}x{facts}");
+        for workers in WORKER_COUNTS {
+            rows.push(phase_row("ontology", &case, workers, &sigma, &db, 200_000));
+        }
+    }
+    for &n in &[24usize, 40] {
+        let (sigma, db) = chain_database(n);
+        let case = format!("n={n}");
+        for workers in WORKER_COUNTS {
+            rows.push(phase_row("closure", &case, workers, &sigma, &db, 500_000));
+        }
+    }
+    println!(
+        "phase_breakdown = {}",
+        JsonValue::Array(rows).to_pretty_string()
+    );
+}
+
 criterion_group!(benches, bench_ontology, bench_closure);
-criterion_main!(benches);
+
+fn main() {
+    let mut c = Criterion::default();
+    benches(&mut c);
+    phase_breakdown();
+}

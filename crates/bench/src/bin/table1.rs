@@ -8,11 +8,19 @@
 //! (`max_steps`, `max_rounds`, …) rather than silently treating every exhaustion as
 //! divergence. A final column shows the `TerminationAnalyzer`'s static verdict so the
 //! dynamic evidence and the criteria hierarchy can be compared at a glance.
+//!
+//! `--json` additionally emits one `chase_obs` [`RunReport`] per witness set (a JSON
+//! array on stdout, after the text table): metrics and phase timings come from a
+//! [`MetricsObserver`]-instrumented EGD-first standard run, the analyzer's verdict
+//! table rides in `verdicts`, and the per-variant table cells ride in `annotations`.
 
 use chase_bench::paper_sets::*;
 use chase_bench::{render_table, ExperimentOptions};
 use chase_core::{DependencySet, Instance};
-use chase_engine::{Chase, ChaseBudget, ChaseObserver, ChaseOutcome, ObliviousVariant, StepOrder};
+use chase_engine::{
+    Chase, ChaseBudget, ChaseObserver, ChaseOutcome, MetricsObserver, ObliviousVariant, StepOrder,
+};
+use chase_obs::{JsonValue, RunReport};
 use chase_termination::TerminationAnalyzer;
 
 fn verdict(outcome: &ChaseOutcome) -> String {
@@ -92,6 +100,36 @@ fn run_all(
     ]
 }
 
+/// Builds the `--json` RunReport for one witness set: an instrumented EGD-first
+/// standard run supplies stats, phases and round curves; the analyzer's verdict
+/// table and the text table's per-variant cells ride along.
+fn json_report(
+    name: &str,
+    sigma: &DependencySet,
+    db: &Instance,
+    budget: &ChaseBudget,
+    analyzer: &TerminationAnalyzer,
+    workers: usize,
+    (header, row): (&[&str], &[String]),
+) -> RunReport {
+    let mut metrics = MetricsObserver::new();
+    let outcome = Chase::standard(sigma)
+        .with_order(StepOrder::EgdsFirst)
+        .with_budget(*budget)
+        .workers(workers)
+        .run_observed(db, &mut metrics);
+    let mut report = metrics.report(name, &outcome);
+    report.verdicts = analyzer.analyze(sigma).verdict_rows();
+    // Skip the leading "set" column: the set name is already the report name.
+    report.annotations = header
+        .iter()
+        .zip(row.iter())
+        .skip(1)
+        .map(|(column, cell)| (column.to_string(), cell.clone()))
+        .collect();
+    report
+}
+
 fn main() {
     let opts = ExperimentOptions::from_args();
     let budget = ChaseBudget::unlimited().with_max_steps(opts.chase_budget.min(5_000));
@@ -112,6 +150,16 @@ fn main() {
         ("Σ11 (Ex.11)", sigma11(), sigma11_database()),
     ];
 
+    let header = [
+        "set",
+        "oblivious",
+        "semi-oblivious",
+        "standard (textual)",
+        "standard (EGDs first)",
+        "core",
+        "core peak facts/nulls",
+        "analyzer",
+    ];
     let rows: Vec<Vec<String>> = witnesses
         .iter()
         .map(|(name, sigma, db)| {
@@ -126,20 +174,35 @@ fn main() {
             )
         })
         .collect();
+    // In `--json` mode stdout carries nothing but the report array, so the
+    // output pipes straight into any JSON consumer; the text table's cells
+    // still ride along as per-report annotations.
+    if opts.json {
+        let reports: Vec<JsonValue> = witnesses
+            .iter()
+            .zip(rows.iter())
+            .map(|((name, sigma, db), row)| {
+                json_report(
+                    name,
+                    sigma,
+                    db,
+                    &budget,
+                    &analyzer,
+                    opts.workers,
+                    (&header, row),
+                )
+                .to_json()
+            })
+            .collect();
+        println!("{}", JsonValue::Array(reports).to_pretty_string());
+        return;
+    }
+
     println!(
         "{}",
         render_table(
             "Table 1 evidence — chase behaviour of the paper's witness sets",
-            &[
-                "set",
-                "oblivious",
-                "semi-oblivious",
-                "standard (textual)",
-                "standard (EGDs first)",
-                "core",
-                "core peak facts/nulls",
-                "analyzer",
-            ],
+            &header,
             &rows,
         )
     );

@@ -31,6 +31,9 @@ pub struct ExperimentOptions {
     /// Worker threads for the chase sessions (`Chase::workers`; 1 = sequential).
     /// EGD-bearing sets and the core chase fall back to sequential regardless.
     pub workers: usize,
+    /// Emit machine-readable output (`chase_obs` [`RunReport`](chase_obs::RunReport)
+    /// JSON) instead of, or alongside, the text tables.
+    pub json: bool,
 }
 
 impl Default for ExperimentOptions {
@@ -42,20 +45,32 @@ impl Default for ExperimentOptions {
             chase_budget: 1_500,
             database_facts: 8,
             workers: 1,
+            json: false,
         }
     }
 }
 
 impl ExperimentOptions {
     /// Parses `--seed N`, `--scale X`, `--cyclic-fraction X`, `--budget N`,
-    /// `--facts N`, `--workers N` from the process arguments; unknown arguments
-    /// are ignored.
+    /// `--facts N`, `--workers N` and the boolean `--json` from the process
+    /// arguments; unknown arguments are ignored.
     pub fn from_args() -> Self {
+        Self::from_arg_slice(&std::env::args().skip(1).collect::<Vec<String>>())
+    }
+
+    /// [`from_args`](ExperimentOptions::from_args) over an explicit argument
+    /// slice (exposed for tests).
+    pub fn from_arg_slice(args: &[String]) -> Self {
         let mut opts = ExperimentOptions::default();
-        let args: Vec<String> = std::env::args().collect();
-        let mut i = 1;
-        while i + 1 < args.len() {
-            let value = &args[i + 1];
+        let mut i = 0;
+        while i < args.len() {
+            // `--json` is a bare flag; every other option consumes a value.
+            if args[i] == "--json" {
+                opts.json = true;
+                i += 1;
+                continue;
+            }
+            let Some(value) = args.get(i + 1) else { break };
             match args[i].as_str() {
                 "--seed" => opts.seed = value.parse().unwrap_or(opts.seed),
                 "--scale" => opts.scale = value.parse().unwrap_or(opts.scale),
@@ -196,5 +211,26 @@ mod tests {
         let opts = ExperimentOptions::default();
         assert!(opts.scale > 0.0 && opts.scale <= 1.0);
         assert!(opts.chase_budget > 0);
+        assert!(!opts.json);
+    }
+
+    #[test]
+    fn json_flag_parses_without_a_value() {
+        let args: Vec<String> = ["--json", "--workers", "4", "--seed", "7"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = ExperimentOptions::from_arg_slice(&args);
+        assert!(opts.json);
+        assert_eq!(opts.workers, 4);
+        assert_eq!(opts.seed, 7);
+        // Flag order does not matter, including `--json` last.
+        let args: Vec<String> = ["--budget", "99", "--json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let opts = ExperimentOptions::from_arg_slice(&args);
+        assert!(opts.json);
+        assert_eq!(opts.chase_budget, 99);
     }
 }

@@ -19,8 +19,9 @@ use crate::result::{ChaseOutcome, ChaseStats, EgdViolation};
 use crate::step::applicable_standard_triggers;
 use chase_core::satisfaction::satisfies_all;
 use chase_core::substitution::NullSubstitution;
-use chase_core::{Dependency, DependencySet, GroundTerm, Instance};
+use chase_core::{Dependency, DependencySet, DiscoveryStats, GroundTerm, Instance, ShardStats};
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Runs the core chase under `budget`, reporting round-level events to `observer`.
 ///
@@ -36,6 +37,7 @@ pub(crate) fn run_core(
     let clock = BudgetClock::start(budget);
     let mut current = database.clone();
     let mut stats = ChaseStats::default();
+    let phases = observer.observes_phases();
     loop {
         if satisfies_all(&current, sigma) {
             return ChaseOutcome::Terminated {
@@ -43,7 +45,11 @@ pub(crate) fn run_core(
                 stats,
             };
         }
-        if let Some(limit) = clock.check_round(&stats, current.len()) {
+        let tripped = clock.check_round(&stats, current.len());
+        if phases {
+            observer.budget_checked(tripped);
+        }
+        if let Some(limit) = tripped {
             return ChaseOutcome::BudgetExhausted {
                 limit,
                 instance: current,
@@ -51,8 +57,22 @@ pub(crate) fn run_core(
             };
         }
         stats.steps += 1;
-        // (i) apply all standard chase steps in parallel.
+        // (i) apply all standard chase steps in parallel. With phases on, the
+        // full trigger scan of the round is one worker-0 discovery shard.
+        let search_start = phases.then(Instant::now);
         let triggers = applicable_standard_triggers(&current, sigma);
+        if let Some(start) = search_start {
+            let elapsed = start.elapsed();
+            observer.discovery_completed(&DiscoveryStats {
+                shards: vec![ShardStats {
+                    worker: 0,
+                    facts_scanned: current.len(),
+                    triggers_found: triggers.len(),
+                    elapsed,
+                }],
+                elapsed,
+            });
+        }
         let mut next = current.clone();
         // Union–find over ground terms for the EGD merges of this round.
         let mut merges = UnionFind::new();

@@ -57,6 +57,7 @@ pub mod budget;
 pub mod certain;
 pub mod core_chase;
 pub mod core_of;
+pub mod metrics;
 pub mod oblivious;
 pub mod observer;
 pub mod parallel;
@@ -70,8 +71,11 @@ pub use budget::{BudgetLimit, ChaseBudget};
 pub use certain::{certain_answers, ConjunctiveQuery};
 pub use core_chase::CoreChase;
 pub use core_of::{core_of, is_core};
+pub use metrics::MetricsObserver;
 pub use oblivious::{ObliviousChase, ObliviousVariant};
-pub use observer::{ChaseObserver, FnObserver, NoopObserver, TraceObserver};
+pub use observer::{
+    ChaseEvent, ChaseObserver, EventObserver, FnObserver, NoopObserver, TraceObserver,
+};
 pub use result::{ChaseOutcome, ChaseStats, EgdViolation};
 pub use session::Chase;
 pub use standard::{StandardChase, StepOrder, TriggerDiscovery};
@@ -84,8 +88,11 @@ pub mod prelude {
     pub use crate::certain::{certain_answers, ConjunctiveQuery};
     pub use crate::core_chase::CoreChase;
     pub use crate::core_of::{core_of, is_core};
+    pub use crate::metrics::MetricsObserver;
     pub use crate::oblivious::{ObliviousChase, ObliviousVariant};
-    pub use crate::observer::{ChaseObserver, NoopObserver, TraceObserver};
+    pub use crate::observer::{
+        ChaseEvent, ChaseObserver, EventObserver, NoopObserver, TraceObserver,
+    };
     pub use crate::result::{ChaseOutcome, ChaseStats, EgdViolation};
     pub use crate::session::Chase;
     pub use crate::standard::{StandardChase, StepOrder, TriggerDiscovery};

@@ -21,9 +21,12 @@ use crate::observer::{record_step_effect, ChaseObserver, FnObserver, NoopObserve
 use crate::result::{ChaseOutcome, ChaseStats};
 use crate::step::{StepEffect, Trigger};
 use chase_core::substitution::NullSubstitution;
-use chase_core::{DepId, Dependency, DependencySet, GroundTerm, Instance, Variable};
+use chase_core::{
+    DepId, Dependency, DependencySet, DiscoveryStats, GroundTerm, Instance, ShardStats, Variable,
+};
 use chase_trigger::TriggerEngine;
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Which oblivious variant to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,8 +99,13 @@ pub(crate) fn run_oblivious(
     let clock = BudgetClock::start(budget);
     let mut engine = TriggerEngine::with_database(sigma, database);
     let mut stats = ChaseStats::default();
+    let phases = observer.observes_phases();
     loop {
-        if let Some(limit) = clock.check_step(&stats, engine.instance().len()) {
+        let tripped = clock.check_step(&stats, engine.instance().len());
+        if phases {
+            observer.budget_checked(tripped);
+        }
+        if let Some(limit) = tripped {
             return ChaseOutcome::BudgetExhausted {
                 limit,
                 instance: engine.into_instance(),
@@ -108,6 +116,9 @@ pub(crate) fn run_oblivious(
         // the accepted trigger is carried out through `accepted_key` so it is
         // not rebuilt after the pop.
         let mut accepted_key: Option<Vec<GroundTerm>> = None;
+        let search_start = phases.then(Instant::now);
+        let scanned_before = phases.then(|| engine.stats().deltas_processed);
+        let found_before = phases.then(|| engine.stats().triggers_discovered);
         let trigger = engine.next_trigger_where(&order, |id, h| {
             let key: Vec<GroundTerm> = key_vars[id.0]
                 .iter()
@@ -120,6 +131,20 @@ pub(crate) fn run_oblivious(
                 true
             }
         });
+        if let Some(start) = search_start {
+            // One-shard discovery accounting from the engine-stat deltas of
+            // exactly this search (zero when served from the pending queue).
+            let elapsed = start.elapsed();
+            observer.discovery_completed(&DiscoveryStats {
+                shards: vec![ShardStats {
+                    worker: 0,
+                    facts_scanned: engine.stats().deltas_processed - scanned_before.unwrap(),
+                    triggers_found: engine.stats().triggers_discovered - found_before.unwrap(),
+                    elapsed,
+                }],
+                elapsed,
+            });
+        }
         let trigger = match trigger {
             Some(t) => t,
             None => {

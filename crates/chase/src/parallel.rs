@@ -53,8 +53,11 @@ use crate::observer::{record_step_effect, ChaseObserver};
 use crate::result::{ChaseOutcome, ChaseStats};
 use crate::step::{StepEffect, Trigger};
 use chase_core::{DependencySet, FactId, GroundTerm, Instance, Snapshot, Variable};
-use chase_trigger::{discover_batch, sort_canonical, FactIndex, SeedAtoms};
+use chase_trigger::{
+    discover_batch, discover_batch_instrumented, sort_canonical, FactIndex, SeedAtoms,
+};
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Runs the (semi-)oblivious chase round-parallel. Callers guarantee `sigma` has
 /// no EGDs (the dispatcher in [`crate::oblivious`] falls back to the sequential
@@ -90,23 +93,42 @@ pub(crate) fn run_oblivious_parallel(
     let mut seen: Vec<HashSet<Vec<(Variable, GroundTerm)>>> = vec![HashSet::new(); sigma.len()];
     let mut stats = ChaseStats::default();
     let mut round = 0usize;
+    // Phase instrumentation is opt-in (consulted once): without it the loop
+    // below performs no clock reads beyond the budget's own.
+    let phases = observer.observes_phases();
     loop {
         // Discovery round: every candidate seeded from the delta, against a
         // frozen snapshot, sharded across workers, merged in batch order.
         let mut batch = {
             let snapshot = Snapshot::new(index.indexed());
-            discover_batch(sigma, &seeds, snapshot, &delta, workers)
+            if phases {
+                let (batch, discovery) =
+                    discover_batch_instrumented(sigma, &seeds, snapshot, &delta, workers);
+                observer.discovery_completed(&discovery);
+                batch
+            } else {
+                discover_batch(sigma, &seeds, snapshot, &delta, workers)
+            }
         };
         delta.clear();
         // Dedup in (deterministic) batch order, then impose the canonical
         // (DepId, body FactIds) merge order for application — keys are computed
         // here, for the dedup survivors only.
+        let merge_start = phases.then(Instant::now);
+        let candidates = batch.len();
         batch.retain(|t| seen[t.dep.0].insert(t.assignment.canonical()));
         sort_canonical(sigma, index.store(), &mut batch);
+        if let Some(start) = merge_start {
+            observer.merge_completed(candidates, batch.len(), start.elapsed());
+        }
         if batch.is_empty() {
             // Mirror the sequential loop's cadence: the budget is checked once
             // more before concluding that no applicable trigger remains.
-            if let Some(limit) = clock.check_step(&stats, index.len()) {
+            let tripped = clock.check_step(&stats, index.len());
+            if phases {
+                observer.budget_checked(tripped);
+            }
+            if let Some(limit) = tripped {
                 return ChaseOutcome::BudgetExhausted {
                     limit,
                     instance: index.into_instance(),
@@ -134,7 +156,11 @@ pub(crate) fn run_oblivious_parallel(
             if !fired[candidate.dep.0].insert(key) {
                 continue;
             }
-            if let Some(limit) = clock.check_step(&stats, index.len()) {
+            let tripped = clock.check_step(&stats, index.len());
+            if phases {
+                observer.budget_checked(tripped);
+            }
+            if let Some(limit) = tripped {
                 return ChaseOutcome::BudgetExhausted {
                     limit,
                     instance: index.into_instance(),

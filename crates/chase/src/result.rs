@@ -4,9 +4,10 @@ use crate::budget::BudgetLimit;
 use crate::step::Trigger;
 use chase_core::{DependencySet, GroundTerm, Instance};
 use std::fmt;
+use std::time::Duration;
 
 /// Statistics collected during a chase run.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, Eq)]
 pub struct ChaseStats {
     /// Number of chase steps applied (for the core chase, number of rounds).
     pub steps: usize,
@@ -16,6 +17,23 @@ pub struct ChaseStats {
     pub null_replacements: usize,
     /// Number of fresh labeled nulls invented.
     pub nulls_created: usize,
+    /// Wall-clock time of the run, stamped by the session dispatchers when the
+    /// runner returns. **Excluded from equality**: two runs of the same chase
+    /// are `==` whenever their logical effects agree, regardless of timing —
+    /// the determinism contracts (sequential vs. round-parallel) compare stats
+    /// directly and must not depend on the clock.
+    pub elapsed: Duration,
+}
+
+/// Equality over the logical counters only; `elapsed` is deliberately ignored
+/// (see the field docs).
+impl PartialEq for ChaseStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.steps == other.steps
+            && self.facts_added == other.facts_added
+            && self.null_replacements == other.null_replacements
+            && self.nulls_created == other.nulls_created
+    }
 }
 
 /// The diagnostic context of a failing chase (`⊥`): which EGD failed, under which
@@ -140,6 +158,15 @@ impl ChaseOutcome {
         }
     }
 
+    /// Mutable access for the session dispatchers (wall-clock stamping).
+    pub(crate) fn stats_mut(&mut self) -> &mut ChaseStats {
+        match self {
+            ChaseOutcome::Terminated { stats, .. }
+            | ChaseOutcome::Failed { stats, .. }
+            | ChaseOutcome::BudgetExhausted { stats, .. } => stats,
+        }
+    }
+
     /// The failure diagnostics, if the chase failed.
     pub fn violation(&self) -> Option<&EgdViolation> {
         match self {
@@ -240,6 +267,25 @@ mod tests {
         assert!(ex.is_budget_exhausted());
         assert!(!ex.is_terminating());
         assert_eq!(ex.exhausted_limit(), Some(BudgetLimit::Steps));
+    }
+
+    #[test]
+    fn stats_equality_ignores_elapsed() {
+        let logical = ChaseStats {
+            steps: 2,
+            facts_added: 3,
+            null_replacements: 0,
+            nulls_created: 1,
+            elapsed: Duration::ZERO,
+        };
+        let timed = ChaseStats {
+            elapsed: Duration::from_secs(5),
+            ..logical.clone()
+        };
+        assert_eq!(logical, timed);
+        let mut different = timed;
+        different.steps += 1;
+        assert_ne!(logical, different);
     }
 
     #[test]

@@ -179,12 +179,17 @@ impl<'a> Chase<'a> {
     }
 
     /// Runs the session on `database`, reporting events to `observer`.
+    ///
+    /// The returned outcome's [`ChaseStats::elapsed`](crate::ChaseStats) holds
+    /// the wall-clock of the whole run, stamped here for every variant (it is
+    /// excluded from stats equality, so determinism contracts are unaffected).
     pub fn run_observed(
         &self,
         database: &Instance,
         observer: &mut dyn ChaseObserver,
     ) -> ChaseOutcome {
-        match self.variant {
+        let started = std::time::Instant::now();
+        let mut outcome = match self.variant {
             Variant::Standard => run_standard(
                 self.sigma,
                 self.order,
@@ -204,7 +209,9 @@ impl<'a> Chase<'a> {
             ),
             // The core chase always runs sequentially: see [`Chase::workers`].
             Variant::Core => run_core(self.sigma, &self.budget, database, observer),
-        }
+        };
+        outcome.stats_mut().elapsed = started.elapsed();
+        outcome
     }
 }
 

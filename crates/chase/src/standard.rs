@@ -14,11 +14,12 @@ use crate::budget::{BudgetClock, ChaseBudget};
 use crate::observer::{record_step_effect, ChaseObserver, FnObserver, NoopObserver};
 use crate::result::{ChaseOutcome, ChaseStats};
 use crate::step::{apply_step, first_applicable_trigger, StepEffect, Trigger};
-use chase_core::{DepId, DependencySet, Instance};
+use chase_core::{DepId, DependencySet, DiscoveryStats, Instance, ShardStats};
 use chase_trigger::TriggerEngine;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// How the runner discovers applicable triggers.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -131,15 +132,43 @@ fn run_incremental(
     let clock = BudgetClock::start(budget);
     let mut engine = TriggerEngine::with_database(sigma, database);
     let mut stats = ChaseStats::default();
+    let phases = observer.observes_phases();
     loop {
-        if let Some(limit) = clock.check_step(&stats, engine.instance().len()) {
+        let tripped = clock.check_step(&stats, engine.instance().len());
+        if phases {
+            observer.budget_checked(tripped);
+        }
+        if let Some(limit) = tripped {
             return ChaseOutcome::BudgetExhausted {
                 limit,
                 instance: engine.into_instance(),
                 stats,
             };
         }
-        let trigger = match engine.next_active_trigger_parallel(&order, workers) {
+        // With phases on, each trigger search is reported as a one-shard
+        // discovery event: the engine-stat deltas give the seeds drained and
+        // candidates discovered by exactly this call (zero for searches served
+        // straight from the already-discovered queue).
+        let next = if phases {
+            let scanned_before = engine.stats().deltas_processed;
+            let found_before = engine.stats().triggers_discovered;
+            let start = Instant::now();
+            let next = engine.next_active_trigger_parallel(&order, workers);
+            let elapsed = start.elapsed();
+            observer.discovery_completed(&DiscoveryStats {
+                shards: vec![ShardStats {
+                    worker: 0,
+                    facts_scanned: engine.stats().deltas_processed - scanned_before,
+                    triggers_found: engine.stats().triggers_discovered - found_before,
+                    elapsed,
+                }],
+                elapsed,
+            });
+            next
+        } else {
+            engine.next_active_trigger_parallel(&order, workers)
+        };
+        let trigger = match next {
             Some(t) => t,
             None => {
                 return ChaseOutcome::Terminated {
@@ -173,15 +202,35 @@ fn run_naive(
     let clock = BudgetClock::start(budget);
     let mut current = database.clone();
     let mut stats = ChaseStats::default();
+    let phases = observer.observes_phases();
     loop {
-        if let Some(limit) = clock.check_step(&stats, current.len()) {
+        let tripped = clock.check_step(&stats, current.len());
+        if phases {
+            observer.budget_checked(tripped);
+        }
+        if let Some(limit) = tripped {
             return ChaseOutcome::BudgetExhausted {
                 limit,
                 instance: current,
                 stats,
             };
         }
-        let trigger = match first_applicable_trigger(&current, sigma, &order) {
+        // A full re-scan visits the whole instance; report it as one shard.
+        let search_start = phases.then(Instant::now);
+        let next = first_applicable_trigger(&current, sigma, &order);
+        if let Some(start) = search_start {
+            let elapsed = start.elapsed();
+            observer.discovery_completed(&DiscoveryStats {
+                shards: vec![ShardStats {
+                    worker: 0,
+                    facts_scanned: current.len(),
+                    triggers_found: usize::from(next.is_some()),
+                    elapsed,
+                }],
+                elapsed,
+            });
+        }
+        let trigger = match next {
             Some(t) => t,
             None => {
                 return ChaseOutcome::Terminated {

@@ -70,6 +70,6 @@ pub use instance::Instance;
 pub use interner::Symbol;
 pub use parser::{parse_dependencies, parse_program, Program};
 pub use position::Position;
-pub use snapshot::Snapshot;
+pub use snapshot::{DiscoveryStats, ShardStats, Snapshot};
 pub use substitution::NullSubstitution;
 pub use term::{Constant, GroundTerm, NullValue, Term, Variable};

@@ -45,12 +45,59 @@
 //! snapshot time), so an id fabricated out of thin air — or smuggled in from a
 //! *different* store — fails loudly instead of reading someone else's span.
 
+use std::time::Duration;
+
 use crate::atom::{Atom, Predicate};
 use crate::fact_store::{FactId, FactStore};
 use crate::homomorphism::{Assignment, HomomorphismSearch};
 use crate::index::IndexedInstance;
 use crate::instance::Instance;
 use crate::term::GroundTerm;
+
+/// Work done by one worker over its shard of a snapshot during a single
+/// discovery batch: how many interned fact ids it scanned as seeds, how many
+/// triggers its joins produced, and how long the shard took wall-clock.
+///
+/// Shard stats are the raw material for attributing parallel-discovery cost:
+/// a balanced round has near-equal `elapsed` across workers, while a skewed
+/// predicate distribution shows up as one hot shard. They are collected by
+/// `chase_trigger::parallel::discover_batch_instrumented` and surfaced
+/// through the `ChaseObserver::discovery_completed` phase event.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Index of the worker that processed the shard (0-based; sequential
+    /// discovery reports a single shard for worker 0).
+    pub worker: usize,
+    /// Seed fact ids scanned by this shard.
+    pub facts_scanned: usize,
+    /// Triggers the shard's joins produced (before cross-shard dedup).
+    pub triggers_found: usize,
+    /// Wall-clock time of the shard, measured inside the worker.
+    pub elapsed: Duration,
+}
+
+/// One discovery batch: the per-worker [`ShardStats`] plus the wall-clock of
+/// the whole batch as seen by the coordinating thread (spawn + join overhead
+/// included, which is why `elapsed` can exceed the max shard time).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DiscoveryStats {
+    /// Per-worker shard statistics, in worker order.
+    pub shards: Vec<ShardStats>,
+    /// End-to-end batch wall-clock (coordinator view).
+    pub elapsed: Duration,
+}
+
+impl DiscoveryStats {
+    /// Total seed fact ids scanned across all shards.
+    pub fn facts_scanned(&self) -> usize {
+        self.shards.iter().map(|s| s.facts_scanned).sum()
+    }
+
+    /// Total triggers produced across all shards (before dedup).
+    pub fn triggers_found(&self) -> usize {
+        self.shards.iter().map(|s| s.triggers_found).sum()
+    }
+}
 
 /// A read-only view of an [`IndexedInstance`] frozen at construction time.
 ///

@@ -1,0 +1,478 @@
+//! A serialisable summary of one chase run.
+//!
+//! [`RunReport`] is the exchange format of the observability layer: the
+//! `MetricsObserver` in `chase_engine` fills one in from a live run, the
+//! `table1 --json` experiment emits one per dependency set, and the CI
+//! observability job roundtrips one through [`crate::json::parse`] to prove
+//! the writer and parser agree.
+//!
+//! All durations are stored as integer nanoseconds so that serialisation is
+//! exact and `from_json(parse(to_json_string(r))) == r` holds for every
+//! report (no floats anywhere in the schema).
+
+use std::fmt;
+use std::time::Duration;
+
+use crate::json::{self, JsonValue};
+use crate::phase::PhaseTimes;
+
+/// Schema identifier embedded in every serialised report.
+pub const SCHEMA: &str = "chase_obs/v1";
+
+/// Headline counters of a run, mirroring `ChaseStats` plus wall-clock.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReportStats {
+    pub steps: u64,
+    pub facts_added: u64,
+    pub nulls_created: u64,
+    pub null_replacements: u64,
+    pub elapsed_ns: u64,
+}
+
+/// Aggregated timing for one named phase.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseReport {
+    pub name: String,
+    pub count: u64,
+    pub total_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub max_ns: u64,
+}
+
+/// One point on the per-round fact/null growth curve.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RoundPoint {
+    pub round: u64,
+    pub facts: u64,
+    pub nulls: u64,
+}
+
+/// Per-worker totals over all discovery batches of a run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerReport {
+    pub worker: u64,
+    pub batches: u64,
+    pub facts_scanned: u64,
+    pub triggers_found: u64,
+    pub total_ns: u64,
+}
+
+/// One row of the termination-analyzer verdict table.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerdictRow {
+    /// Criterion name, e.g. `"WA"` or `"SAC"`.
+    pub criterion: String,
+    /// `"accepts"`, `"rejects"` or `"skipped"`.
+    pub status: String,
+    /// Termination guarantee of the criterion (empty when rejected/skipped).
+    pub guarantee: String,
+    pub elapsed_ns: u64,
+    /// Human-readable witness summary.
+    pub witness: String,
+}
+
+/// A whole run, ready for serialisation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunReport {
+    /// Free-form run label (e.g. the dependency-set name).
+    pub name: String,
+    /// `"terminated"`, `"failed"` or `"budget_exhausted"`.
+    pub outcome: String,
+    /// The budget limit that tripped, if any (e.g. `"steps"`).
+    pub tripped: Option<String>,
+    pub stats: ReportStats,
+    /// Phases in first-appearance order.
+    pub phases: Vec<PhaseReport>,
+    /// Fact/null growth per round (only for round-structured runners).
+    pub rounds: Vec<RoundPoint>,
+    /// Per-worker discovery shard totals (parallel path only).
+    pub workers: Vec<WorkerReport>,
+    /// Termination-analyzer verdict table, cheapest criterion first.
+    pub verdicts: Vec<VerdictRow>,
+    /// Free-form key/value annotations (ordered).
+    pub annotations: Vec<(String, String)>,
+}
+
+impl RunReport {
+    pub fn new(name: impl Into<String>) -> Self {
+        RunReport {
+            name: name.into(),
+            ..RunReport::default()
+        }
+    }
+
+    /// Replaces `phases` with the contents of a [`PhaseTimes`] accumulator.
+    pub fn set_phases(&mut self, times: &PhaseTimes) {
+        self.phases = times
+            .iter()
+            .map(|(name, accum)| PhaseReport {
+                name: name.to_string(),
+                count: accum.count(),
+                total_ns: duration_ns(accum.total()),
+                p50_ns: duration_ns(accum.histogram().p50()),
+                p95_ns: duration_ns(accum.histogram().p95()),
+                max_ns: duration_ns(accum.histogram().max()),
+            })
+            .collect();
+    }
+
+    /// Total nanoseconds attributed to named phases.
+    pub fn attributed_ns(&self) -> u64 {
+        self.phases.iter().map(|p| p.total_ns).sum()
+    }
+
+    /// Fraction of the run's wall-clock attributed to named phases
+    /// (`0.0` when no wall-clock was recorded).
+    pub fn attribution(&self) -> f64 {
+        if self.stats.elapsed_ns == 0 {
+            0.0
+        } else {
+            self.attributed_ns() as f64 / self.stats.elapsed_ns as f64
+        }
+    }
+
+    pub fn to_json(&self) -> JsonValue {
+        let mut entries = vec![
+            ("schema".to_string(), JsonValue::Str(SCHEMA.to_string())),
+            ("name".to_string(), JsonValue::Str(self.name.clone())),
+            ("outcome".to_string(), JsonValue::Str(self.outcome.clone())),
+            (
+                "tripped".to_string(),
+                match &self.tripped {
+                    Some(limit) => JsonValue::Str(limit.clone()),
+                    None => JsonValue::Null,
+                },
+            ),
+            (
+                "stats".to_string(),
+                JsonValue::Object(vec![
+                    ("steps".to_string(), int(self.stats.steps)),
+                    ("facts_added".to_string(), int(self.stats.facts_added)),
+                    ("nulls_created".to_string(), int(self.stats.nulls_created)),
+                    (
+                        "null_replacements".to_string(),
+                        int(self.stats.null_replacements),
+                    ),
+                    ("elapsed_ns".to_string(), int(self.stats.elapsed_ns)),
+                ]),
+            ),
+            (
+                "phases".to_string(),
+                JsonValue::Array(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            JsonValue::Object(vec![
+                                ("name".to_string(), JsonValue::Str(p.name.clone())),
+                                ("count".to_string(), int(p.count)),
+                                ("total_ns".to_string(), int(p.total_ns)),
+                                ("p50_ns".to_string(), int(p.p50_ns)),
+                                ("p95_ns".to_string(), int(p.p95_ns)),
+                                ("max_ns".to_string(), int(p.max_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "rounds".to_string(),
+                JsonValue::Array(
+                    self.rounds
+                        .iter()
+                        .map(|r| {
+                            JsonValue::Object(vec![
+                                ("round".to_string(), int(r.round)),
+                                ("facts".to_string(), int(r.facts)),
+                                ("nulls".to_string(), int(r.nulls)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "workers".to_string(),
+                JsonValue::Array(
+                    self.workers
+                        .iter()
+                        .map(|w| {
+                            JsonValue::Object(vec![
+                                ("worker".to_string(), int(w.worker)),
+                                ("batches".to_string(), int(w.batches)),
+                                ("facts_scanned".to_string(), int(w.facts_scanned)),
+                                ("triggers_found".to_string(), int(w.triggers_found)),
+                                ("total_ns".to_string(), int(w.total_ns)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "verdicts".to_string(),
+                JsonValue::Array(
+                    self.verdicts
+                        .iter()
+                        .map(|v| {
+                            JsonValue::Object(vec![
+                                ("criterion".to_string(), JsonValue::Str(v.criterion.clone())),
+                                ("status".to_string(), JsonValue::Str(v.status.clone())),
+                                ("guarantee".to_string(), JsonValue::Str(v.guarantee.clone())),
+                                ("elapsed_ns".to_string(), int(v.elapsed_ns)),
+                                ("witness".to_string(), JsonValue::Str(v.witness.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "annotations".to_string(),
+                JsonValue::Object(
+                    self.annotations
+                        .iter()
+                        .map(|(k, v)| (k.clone(), JsonValue::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+        ];
+        entries.shrink_to_fit();
+        JsonValue::Object(entries)
+    }
+
+    /// Pretty-printed JSON document.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_pretty_string()
+    }
+
+    pub fn from_json(value: &JsonValue) -> Result<RunReport, ReportError> {
+        let schema = req_str(value, "schema")?;
+        if schema != SCHEMA {
+            return Err(ReportError(format!(
+                "unsupported schema {schema:?}, expected {SCHEMA:?}"
+            )));
+        }
+        let stats_value = value
+            .get("stats")
+            .ok_or_else(|| ReportError("missing field 'stats'".into()))?;
+        let stats = ReportStats {
+            steps: req_u64(stats_value, "steps")?,
+            facts_added: req_u64(stats_value, "facts_added")?,
+            nulls_created: req_u64(stats_value, "nulls_created")?,
+            null_replacements: req_u64(stats_value, "null_replacements")?,
+            elapsed_ns: req_u64(stats_value, "elapsed_ns")?,
+        };
+        let phases = req_array(value, "phases")?
+            .iter()
+            .map(|p| {
+                Ok(PhaseReport {
+                    name: req_str(p, "name")?.to_string(),
+                    count: req_u64(p, "count")?,
+                    total_ns: req_u64(p, "total_ns")?,
+                    p50_ns: req_u64(p, "p50_ns")?,
+                    p95_ns: req_u64(p, "p95_ns")?,
+                    max_ns: req_u64(p, "max_ns")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ReportError>>()?;
+        let rounds = req_array(value, "rounds")?
+            .iter()
+            .map(|r| {
+                Ok(RoundPoint {
+                    round: req_u64(r, "round")?,
+                    facts: req_u64(r, "facts")?,
+                    nulls: req_u64(r, "nulls")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ReportError>>()?;
+        let workers = req_array(value, "workers")?
+            .iter()
+            .map(|w| {
+                Ok(WorkerReport {
+                    worker: req_u64(w, "worker")?,
+                    batches: req_u64(w, "batches")?,
+                    facts_scanned: req_u64(w, "facts_scanned")?,
+                    triggers_found: req_u64(w, "triggers_found")?,
+                    total_ns: req_u64(w, "total_ns")?,
+                })
+            })
+            .collect::<Result<Vec<_>, ReportError>>()?;
+        let verdicts = req_array(value, "verdicts")?
+            .iter()
+            .map(|v| {
+                Ok(VerdictRow {
+                    criterion: req_str(v, "criterion")?.to_string(),
+                    status: req_str(v, "status")?.to_string(),
+                    guarantee: req_str(v, "guarantee")?.to_string(),
+                    elapsed_ns: req_u64(v, "elapsed_ns")?,
+                    witness: req_str(v, "witness")?.to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>, ReportError>>()?;
+        let annotations = match value.get("annotations") {
+            Some(JsonValue::Object(entries)) => entries
+                .iter()
+                .map(|(k, v)| match v {
+                    JsonValue::Str(s) => Ok((k.clone(), s.clone())),
+                    _ => Err(ReportError(format!("annotation {k:?} is not a string"))),
+                })
+                .collect::<Result<Vec<_>, ReportError>>()?,
+            Some(_) => return Err(ReportError("'annotations' is not an object".into())),
+            None => Vec::new(),
+        };
+        Ok(RunReport {
+            name: req_str(value, "name")?.to_string(),
+            outcome: req_str(value, "outcome")?.to_string(),
+            tripped: match value.get("tripped") {
+                Some(JsonValue::Str(s)) => Some(s.clone()),
+                Some(JsonValue::Null) | None => None,
+                Some(_) => return Err(ReportError("'tripped' is not a string".into())),
+            },
+            stats,
+            phases,
+            rounds,
+            workers,
+            verdicts,
+            annotations,
+        })
+    }
+
+    /// Parses a JSON document produced by [`RunReport::to_json_string`].
+    pub fn parse(input: &str) -> Result<RunReport, ReportError> {
+        let value = json::parse(input).map_err(|e| ReportError(e.to_string()))?;
+        RunReport::from_json(&value)
+    }
+}
+
+/// A schema violation encountered while reading a serialised report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReportError(pub String);
+
+impl fmt::Display for ReportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid run report: {}", self.0)
+    }
+}
+
+impl std::error::Error for ReportError {}
+
+/// Converts a duration to whole nanoseconds, saturating at `u64::MAX`.
+pub fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+fn int(n: u64) -> JsonValue {
+    JsonValue::Int(i64::try_from(n).unwrap_or(i64::MAX))
+}
+
+fn req_str<'a>(value: &'a JsonValue, key: &str) -> Result<&'a str, ReportError> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| ReportError(format!("missing string field {key:?}")))
+}
+
+fn req_u64(value: &JsonValue, key: &str) -> Result<u64, ReportError> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| ReportError(format!("missing integer field {key:?}")))
+}
+
+fn req_array<'a>(value: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], ReportError> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| ReportError(format!("missing array field {key:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            name: "σ1 / standard".into(),
+            outcome: "terminated".into(),
+            tripped: None,
+            stats: ReportStats {
+                steps: 12,
+                facts_added: 8,
+                nulls_created: 4,
+                null_replacements: 2,
+                elapsed_ns: 1_234_567,
+            },
+            phases: vec![PhaseReport {
+                name: "discovery".into(),
+                count: 3,
+                total_ns: 900_000,
+                p50_ns: 250_000,
+                p95_ns: 400_000,
+                max_ns: 410_000,
+            }],
+            rounds: vec![RoundPoint {
+                round: 1,
+                facts: 9,
+                nulls: 4,
+            }],
+            workers: vec![WorkerReport {
+                worker: 0,
+                batches: 3,
+                facts_scanned: 27,
+                triggers_found: 12,
+                total_ns: 880_000,
+            }],
+            verdicts: vec![VerdictRow {
+                criterion: "SAC".into(),
+                status: "accepts".into(),
+                guarantee: "all standard chase sequences terminate".into(),
+                elapsed_ns: 55_000,
+                witness: "adornment fixpoint after 2 rounds".into(),
+            }],
+            annotations: vec![("workers".into(), "4".into())],
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_string_form() {
+        let report = sample_report();
+        let text = report.to_json_string();
+        assert_eq!(RunReport::parse(&text), Ok(report));
+    }
+
+    #[test]
+    fn tripped_budget_roundtrips() {
+        let mut report = sample_report();
+        report.tripped = Some("steps".into());
+        report.outcome = "budget_exhausted".into();
+        assert_eq!(RunReport::parse(&report.to_json_string()), Ok(report));
+    }
+
+    #[test]
+    fn attribution_is_phase_share_of_elapsed() {
+        let report = sample_report();
+        assert_eq!(report.attributed_ns(), 900_000);
+        let frac = report.attribution();
+        assert!((frac - 900_000.0 / 1_234_567.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_wrong_schema_and_missing_fields() {
+        assert!(RunReport::parse("{}").is_err());
+        let mut doc = sample_report().to_json();
+        if let JsonValue::Object(entries) = &mut doc {
+            entries[0].1 = JsonValue::Str("other/v9".into());
+        }
+        assert!(RunReport::from_json(&doc).is_err());
+    }
+
+    #[test]
+    fn set_phases_copies_accumulator_contents() {
+        let mut times = PhaseTimes::new();
+        times.add("discovery", Duration::from_micros(10));
+        times.add("apply", Duration::from_micros(5));
+        let mut report = RunReport::new("r");
+        report.set_phases(&times);
+        assert_eq!(report.phases.len(), 2);
+        assert_eq!(report.phases[0].name, "discovery");
+        assert_eq!(report.phases[0].total_ns, 10_000);
+    }
+}

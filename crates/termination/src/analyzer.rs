@@ -100,6 +100,42 @@ impl TerminationReport {
             None => "rejected by all".to_string(),
         }
     }
+
+    /// Total wall-clock spent across every criterion that ran.
+    pub fn total_elapsed(&self) -> Duration {
+        self.entries.iter().map(|e| e.elapsed).sum()
+    }
+
+    /// The report as [`chase_obs`] verdict rows, one per registered criterion:
+    /// the verdicts that ran (status `accepts`/`rejects`, with guarantee,
+    /// per-criterion wall-clock and rendered witness) followed by the criteria
+    /// skipped by short-circuiting (status `skipped`). This is the verdict
+    /// table a [`chase_obs::RunReport`] carries.
+    pub fn verdict_rows(&self) -> Vec<chase_obs::VerdictRow> {
+        let mut rows: Vec<chase_obs::VerdictRow> = self
+            .entries
+            .iter()
+            .map(|entry| chase_obs::VerdictRow {
+                criterion: entry.verdict.criterion.to_string(),
+                status: if entry.verdict.accepted {
+                    "accepts".to_string()
+                } else {
+                    "rejects".to_string()
+                },
+                guarantee: entry.verdict.guarantee.to_string(),
+                elapsed_ns: chase_obs::duration_ns(entry.elapsed),
+                witness: entry.verdict.witness.to_string(),
+            })
+            .collect();
+        rows.extend(self.skipped.iter().map(|name| chase_obs::VerdictRow {
+            criterion: name.to_string(),
+            status: "skipped".to_string(),
+            guarantee: String::new(),
+            elapsed_ns: 0,
+            witness: String::new(),
+        }));
+        rows
+    }
 }
 
 impl fmt::Display for TerminationReport {
@@ -280,6 +316,21 @@ mod tests {
         assert_eq!(report.guarantee(), None);
         assert_eq!(report.entries.len(), all_criteria().len());
         assert_eq!(report.summary(), "rejected by all");
+    }
+
+    #[test]
+    fn verdict_rows_cover_ran_and_skipped_criteria() {
+        let wa_set = parse_dependencies("r: A(?x) -> B(?x).").unwrap();
+        let analyzer = TerminationAnalyzer::new();
+        let report = analyzer.analyze(&wa_set);
+        let rows = report.verdict_rows();
+        // One row per registered criterion: the ones that ran, then the skipped.
+        assert_eq!(rows.len(), analyzer.criteria_names().len());
+        assert_eq!(rows[0].criterion, "WA");
+        assert_eq!(rows[0].status, "accepts");
+        assert_eq!(rows[0].guarantee, Guarantee::AllSequences.to_string());
+        assert!(rows[1..].iter().all(|r| r.status == "skipped"));
+        assert!(report.total_elapsed() >= report.entries[0].elapsed);
     }
 
     #[test]

@@ -53,7 +53,10 @@ pub mod search;
 pub use delta::DeltaQueue;
 pub use engine::{EngineStats, StepEffect, Trigger, TriggerEngine};
 pub use index::FactIndex;
-pub use parallel::{body_image, discover_batch, sort_canonical, DiscoveredTrigger, SeedAtoms};
+pub use parallel::{
+    body_image, discover_batch, discover_batch_instrumented, sort_canonical, DiscoveredTrigger,
+    SeedAtoms,
+};
 
 /// Convenience re-exports.
 pub mod prelude {

@@ -24,10 +24,11 @@
 //! to a worker-count-independent order. See the "Parallel execution" section of
 //! `crates/README.md` for the determinism contract.
 
-use chase_core::snapshot::Snapshot;
+use chase_core::snapshot::{DiscoveryStats, ShardStats, Snapshot};
 use chase_core::{Assignment, DepId, DependencySet, FactId, FactStore, Predicate};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
+use std::time::Instant;
 
 /// Below this many delta facts a batch is discovered inline: spawning workers
 /// would cost more than the joins. Purely a latency knob — discovery order (and
@@ -174,30 +175,84 @@ pub fn discover_batch(
     batch: &[FactId],
     workers: usize,
 ) -> Vec<DiscoveredTrigger> {
+    discover_batch_inner(sigma, seeds, snapshot, batch, workers, None)
+}
+
+/// [`discover_batch`] plus per-shard accounting: fact ids scanned, triggers
+/// found and wall-clock per worker (measured inside the worker), and the
+/// end-to-end batch wall-clock, as [`DiscoveryStats`].
+///
+/// The candidate list is bitwise identical to the uninstrumented call — the
+/// instrumentation never influences sharding or merge order. The extra cost
+/// is two `Instant::now()` calls per shard, which is why the chase runners
+/// only take this path when an observer asks for phase events.
+pub fn discover_batch_instrumented(
+    sigma: &DependencySet,
+    seeds: &SeedAtoms,
+    snapshot: Snapshot<'_>,
+    batch: &[FactId],
+    workers: usize,
+) -> (Vec<DiscoveredTrigger>, DiscoveryStats) {
+    let started = Instant::now();
+    let mut stats = DiscoveryStats::default();
+    let merged = discover_batch_inner(sigma, seeds, snapshot, batch, workers, Some(&mut stats));
+    stats.elapsed = started.elapsed();
+    (merged, stats)
+}
+
+fn discover_batch_inner(
+    sigma: &DependencySet,
+    seeds: &SeedAtoms,
+    snapshot: Snapshot<'_>,
+    batch: &[FactId],
+    workers: usize,
+    mut stats: Option<&mut DiscoveryStats>,
+) -> Vec<DiscoveredTrigger> {
     if workers <= 1 || batch.len() < MIN_PARALLEL_BATCH.max(workers) {
+        let shard_start = stats.as_ref().map(|_| Instant::now());
         let mut out = Vec::new();
         for &fact in batch {
             discover_from(sigma, seeds, &snapshot, fact, &mut out);
         }
+        if let (Some(stats), Some(start)) = (stats, shard_start) {
+            stats.shards.push(ShardStats {
+                worker: 0,
+                facts_scanned: batch.len(),
+                triggers_found: out.len(),
+                elapsed: start.elapsed(),
+            });
+        }
         return out;
     }
     let chunk = batch.len().div_ceil(workers);
+    let instrument = stats.is_some();
     std::thread::scope(|scope| {
         let handles: Vec<_> = batch
             .chunks(chunk)
             .map(|shard| {
                 scope.spawn(move || {
+                    let shard_start = instrument.then(Instant::now);
                     let mut out = Vec::new();
                     for &fact in shard {
                         discover_from(sigma, seeds, &snapshot, fact, &mut out);
                     }
-                    out
+                    let elapsed = shard_start.map(|s| s.elapsed());
+                    (out, elapsed)
                 })
             })
             .collect();
         let mut merged = Vec::new();
-        for handle in handles {
-            merged.extend(handle.join().expect("discovery worker panicked"));
+        for (worker, handle) in handles.into_iter().enumerate() {
+            let (out, elapsed) = handle.join().expect("discovery worker panicked");
+            if let Some(stats) = stats.as_deref_mut() {
+                stats.shards.push(ShardStats {
+                    worker,
+                    facts_scanned: chunk.min(batch.len() - worker * chunk),
+                    triggers_found: out.len(),
+                    elapsed: elapsed.unwrap_or_default(),
+                });
+            }
+            merged.extend(out);
         }
         merged
     })
@@ -317,6 +372,38 @@ mod tests {
                 (DepId(1), vec![id2, id1]), // E(z,a), E(a,z)
             ]
         );
+    }
+
+    #[test]
+    fn instrumented_discovery_matches_and_accounts_for_every_seed() {
+        let sigma = parse_dependencies("t: E(?x, ?y), E(?y, ?z) -> E(?x, ?z).").unwrap();
+        let mut index = FactIndex::new();
+        let mut batch = Vec::new();
+        for i in 0..40 {
+            let (id, _) = index.insert_full(edge(&format!("v{i}"), &format!("v{}", i + 1)));
+            batch.push(id);
+        }
+        let seeds = SeedAtoms::new(&sigma);
+        let plain = discover_batch(&sigma, &seeds, Snapshot::new(index.indexed()), &batch, 1);
+        for workers in [1, 4] {
+            let (found, stats) = discover_batch_instrumented(
+                &sigma,
+                &seeds,
+                Snapshot::new(index.indexed()),
+                &batch,
+                workers,
+            );
+            assert_eq!(found, plain, "instrumentation changed discovery output");
+            assert_eq!(stats.shards.len(), workers);
+            assert_eq!(stats.facts_scanned(), batch.len());
+            assert_eq!(stats.triggers_found(), found.len());
+            let shard_total: usize = stats.shards.iter().map(|s| s.triggers_found).sum();
+            assert_eq!(shard_total, found.len());
+            assert_eq!(
+                stats.shards.iter().map(|s| s.worker).collect::<Vec<_>>(),
+                (0..workers).collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Observability end-to-end: run a chase session with a [`MetricsObserver`]
+//! attached, fold the `TerminationAnalyzer`'s verdict table into the resulting
+//! `chase_obs` [`RunReport`], write the report to `target/run_report.json` and
+//! prove the JSON roundtrips through the hand-rolled parser.
+//!
+//! ```sh
+//! cargo run --example observability
+//! ```
+//!
+//! The CI `observability` job runs this example and uploads the written report
+//! as a build artifact.
+
+use egd_chase::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    // Σ1 of Example 1 in the paper, plus the database D = {N(a)}.
+    let program = parse_program(
+        r#"
+        r1: N(?x) -> exists ?y: E(?x, ?y).
+        r2: E(?x, ?y) -> N(?y).
+        r3: E(?x, ?y) -> ?x = ?y.
+        N(a).
+        "#,
+    )
+    .unwrap();
+
+    // 1. Static analysis: the whole criteria hierarchy, cheapest-first.
+    let analyzer = TerminationAnalyzer::new();
+    let analysis = analyzer.analyze(&program.dependencies);
+    println!("analyzer: {}", analysis.summary());
+    println!(
+        "analyzer spent {:?} across {} criteria ({} skipped)",
+        analysis.total_elapsed(),
+        analysis.entries.len(),
+        analysis.skipped.len()
+    );
+
+    // 2. Dynamic run, instrumented: the observer opts into the phase events,
+    //    so the runner reports discovery batches and budget checks too.
+    let mut metrics = MetricsObserver::new();
+    let outcome = Chase::standard(&program.dependencies)
+        .with_order(StepOrder::EgdsFirst)
+        .with_budget(ChaseBudget::default().with_max_steps(1_000))
+        .run_observed(&program.database, &mut metrics);
+    println!("chase: {outcome}");
+    for (name, accum) in metrics.phases().iter() {
+        println!(
+            "  phase {name:10} {:3} samples, total {:?}, p95 {:?}",
+            accum.count(),
+            accum.total(),
+            accum.histogram().p95()
+        );
+    }
+    for (name, value) in metrics.registry().counters() {
+        println!("  counter {name} = {value}");
+    }
+
+    // 3. One report for the whole run: stats, phases, rounds, worker shards,
+    //    and the analyzer's verdict table.
+    let mut report = metrics.report("sigma1", &outcome);
+    report.verdicts = analysis.verdict_rows();
+    report
+        .annotations
+        .push(("example".to_string(), "observability".to_string()));
+    assert_eq!(report.outcome, "terminated");
+    assert_eq!(report.stats.steps, outcome.stats().steps as u64);
+    assert!(Duration::from_nanos(report.stats.elapsed_ns) <= outcome.stats().elapsed);
+
+    // 4. Serialize, reparse, compare: the writer and parser are exact inverses
+    //    on the report schema.
+    let json = report.to_json_string();
+    let reparsed = RunReport::parse(&json).expect("the emitted JSON parses");
+    assert_eq!(reparsed, report, "writer/parser roundtrip");
+
+    let path = std::path::Path::new("target").join("run_report.json");
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write(&path, &json).expect("write the report");
+    println!(
+        "report written to {} ({} bytes)",
+        path.display(),
+        json.len()
+    );
+}

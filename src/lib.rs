@@ -30,7 +30,15 @@
 //!   [`TerminationAnalyzer`](chase_termination::TerminationAnalyzer) running the whole
 //!   hierarchy cheapest-first;
 //! * [`ontology`](chase_ontology) — a synthetic ontology-style workload generator
-//!   reproducing the corpus shape of the paper's evaluation.
+//!   reproducing the corpus shape of the paper's evaluation;
+//! * [`obs`](chase_obs) — the dependency-free observability layer: a
+//!   [`MetricsRegistry`](chase_obs::MetricsRegistry) of counters, gauges and
+//!   log-bucketed duration histograms, phase timing
+//!   ([`PhaseTimes`](chase_obs::PhaseTimes)) and the
+//!   [`RunReport`](chase_obs::RunReport) JSON run-report schema, wired into the
+//!   engine by [`MetricsObserver`](chase_engine::MetricsObserver) and into the
+//!   analyzer by
+//!   [`TerminationReport::verdict_rows`](chase_termination::TerminationReport::verdict_rows).
 //!
 //! ## Quickstart
 //!
@@ -64,6 +72,18 @@
 //!     .with_budget(ChaseBudget::default().with_max_steps(1_000))
 //!     .run(&program.database);
 //! assert!(result.is_terminating());
+//!
+//! // Attach a MetricsObserver instead of `run` to get counters, per-phase
+//! // wall-clock and a JSON-serializable RunReport — including the analyzer's
+//! // verdict table — out of the same session.
+//! let mut metrics = MetricsObserver::new();
+//! let observed = Chase::standard(&program.dependencies)
+//!     .with_budget(ChaseBudget::default().with_max_steps(1_000))
+//!     .run_observed(&program.database, &mut metrics);
+//! let mut run_report = metrics.report("sigma1", &observed);
+//! run_report.verdicts = report.verdict_rows();
+//! assert_eq!(run_report.outcome, "terminated");
+//! assert_eq!(RunReport::parse(&run_report.to_json_string()).unwrap(), run_report);
 //! ```
 //!
 //! ## Migrating from the legacy API
@@ -83,6 +103,7 @@
 pub use chase_core;
 pub use chase_criteria;
 pub use chase_engine;
+pub use chase_obs;
 pub use chase_ontology;
 pub use chase_termination;
 pub use chase_trigger;
@@ -97,6 +118,7 @@ pub mod prelude {
     };
     pub use chase_criteria::prelude::*;
     pub use chase_engine::prelude::*;
+    pub use chase_obs::prelude::*;
     pub use chase_ontology::prelude::*;
     pub use chase_termination::prelude::*;
     pub use chase_trigger::prelude::*;
