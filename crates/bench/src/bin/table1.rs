@@ -119,7 +119,8 @@ fn json_report(
         .workers(workers)
         .run_observed(db, &mut metrics);
     let mut report = metrics.report(name, &outcome);
-    report.verdicts = analyzer.analyze(sigma).verdict_rows();
+    let analysis = analyzer.analyze(sigma);
+    report.verdicts = analysis.verdict_rows();
     // Skip the leading "set" column: the set name is already the report name.
     report.annotations = header
         .iter()
@@ -127,6 +128,15 @@ fn json_report(
         .skip(1)
         .map(|(column, cell)| (column.to_string(), cell.clone()))
         .collect();
+    // Machine-readable key for the settling criterion, so consumers don't have
+    // to parse the display-name summary in the "analyzer" cell.
+    report.annotations.push((
+        "accepted_criterion_id".to_string(),
+        analysis
+            .accepted()
+            .map(|v| v.criterion_id().to_string())
+            .unwrap_or_else(|| "none".to_string()),
+    ));
     report
 }
 

@@ -29,6 +29,45 @@ impl fmt::Display for Guarantee {
     }
 }
 
+/// A stable machine-readable identifier for a termination criterion: the
+/// kebab-case slug of its display name (`"WA"` → `wa`, `"S-Str"` → `s-str`,
+/// `"Adn-SwA"` → `adn-swa`). Downstream tooling — the atlas admission matrix,
+/// `table1 --json` annotations, `chase_obs` verdict rows — keys on this instead
+/// of the display name, whose rendering is free to change.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CriterionId(String);
+
+impl CriterionId {
+    /// Derives the slug from a display name: ASCII-lowercase alphanumerics, with
+    /// every other run of characters collapsed to a single `-` (leading/trailing
+    /// dashes trimmed).
+    pub fn from_name(name: &str) -> Self {
+        let mut slug = String::with_capacity(name.len());
+        for c in name.chars() {
+            if c.is_ascii_alphanumeric() {
+                slug.push(c.to_ascii_lowercase());
+            } else if !slug.ends_with('-') && !slug.is_empty() {
+                slug.push('-');
+            }
+        }
+        while slug.ends_with('-') {
+            slug.pop();
+        }
+        CriterionId(slug)
+    }
+
+    /// The slug as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for CriterionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
 /// The machine-readable evidence backing a [`Verdict`].
 ///
 /// Each criterion produces the witness its algorithm actually computes; rejections
@@ -255,6 +294,12 @@ pub struct Verdict {
 }
 
 impl Verdict {
+    /// The stable machine-readable identifier of the criterion that produced this
+    /// verdict.
+    pub fn criterion_id(&self) -> CriterionId {
+        CriterionId::from_name(self.criterion)
+    }
+
     /// Builds an accepting verdict.
     pub fn accept(criterion: &'static str, guarantee: Guarantee, witness: Witness) -> Self {
         Verdict {
@@ -293,6 +338,11 @@ impl fmt::Display for Verdict {
 pub trait TerminationCriterion {
     /// Short name of the criterion (e.g. `"WA"`, `"SC"`, `"S-Str"`).
     fn name(&self) -> &'static str;
+
+    /// Stable machine-readable identifier: the kebab-case slug of [`Self::name`].
+    fn id(&self) -> CriterionId {
+        CriterionId::from_name(self.name())
+    }
 
     /// What acceptance guarantees.
     fn guarantee(&self) -> Guarantee;
@@ -443,6 +493,29 @@ mod tests {
     fn guarantee_display() {
         assert_eq!(Guarantee::AllSequences.to_string(), "CT_std_∀");
         assert_eq!(Guarantee::SomeSequence.to_string(), "CT_std_∃");
+    }
+
+    #[test]
+    fn criterion_ids_are_kebab_case_slugs() {
+        for (name, slug) in [
+            ("WA", "wa"),
+            ("SwA", "swa"),
+            ("CStr", "cstr"),
+            ("S-Str", "s-str"),
+            ("Adn-SwA", "adn-swa"),
+            ("  Odd name! ", "odd-name"),
+        ] {
+            assert_eq!(CriterionId::from_name(name).as_str(), slug);
+        }
+    }
+
+    #[test]
+    fn registry_ids_are_unique() {
+        let cs = baseline_criteria();
+        let mut ids: Vec<CriterionId> = cs.iter().map(|c| c.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), cs.len());
     }
 
     #[test]

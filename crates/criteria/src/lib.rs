@@ -58,7 +58,8 @@ pub mod super_weak;
 pub mod weak_acyclicity;
 
 pub use criterion::{
-    baseline_criteria, Guarantee, NamedCriterion, TerminationCriterion, Verdict, Witness,
+    baseline_criteria, CriterionId, Guarantee, NamedCriterion, TerminationCriterion, Verdict,
+    Witness,
 };
 pub use firing::{
     chase_graph, chase_graph_edge, for_each_firing_witness, Applicability, FiringAnswer,
@@ -85,7 +86,7 @@ pub use weak_acyclicity::is_weakly_acyclic;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::criterion::{
-        baseline_criteria, Guarantee, TerminationCriterion, Verdict, Witness,
+        baseline_criteria, CriterionId, Guarantee, TerminationCriterion, Verdict, Witness,
     };
     pub use crate::mfa::ModelFaithfulAcyclicity;
     pub use crate::safety::Safety;

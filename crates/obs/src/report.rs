@@ -61,8 +61,12 @@ pub struct WorkerReport {
 /// One row of the termination-analyzer verdict table.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct VerdictRow {
-    /// Criterion name, e.g. `"WA"` or `"SAC"`.
+    /// Criterion display name, e.g. `"WA"` or `"SAC"`.
     pub criterion: String,
+    /// Stable machine-readable criterion identifier (kebab-case slug, e.g.
+    /// `"wa"`, `"s-str"`, `"adn-swa"`). Downstream tooling keys on this, not on
+    /// the display name. Empty when parsed from a pre-slug report.
+    pub criterion_id: String,
     /// `"accepts"`, `"rejects"` or `"skipped"`.
     pub status: String,
     /// Termination guarantee of the criterion (empty when rejected/skipped).
@@ -215,6 +219,10 @@ impl RunReport {
                         .map(|v| {
                             JsonValue::Object(vec![
                                 ("criterion".to_string(), JsonValue::Str(v.criterion.clone())),
+                                (
+                                    "criterion_id".to_string(),
+                                    JsonValue::Str(v.criterion_id.clone()),
+                                ),
                                 ("status".to_string(), JsonValue::Str(v.status.clone())),
                                 ("guarantee".to_string(), JsonValue::Str(v.guarantee.clone())),
                                 ("elapsed_ns".to_string(), int(v.elapsed_ns)),
@@ -300,6 +308,12 @@ impl RunReport {
             .map(|v| {
                 Ok(VerdictRow {
                     criterion: req_str(v, "criterion")?.to_string(),
+                    // Optional for pre-slug reports; new writers always emit it.
+                    criterion_id: v
+                        .get("criterion_id")
+                        .and_then(JsonValue::as_str)
+                        .unwrap_or_default()
+                        .to_string(),
                     status: req_str(v, "status")?.to_string(),
                     guarantee: req_str(v, "guarantee")?.to_string(),
                     elapsed_ns: req_u64(v, "elapsed_ns")?,
@@ -422,6 +436,7 @@ mod tests {
             }],
             verdicts: vec![VerdictRow {
                 criterion: "SAC".into(),
+                criterion_id: "sac".into(),
                 status: "accepts".into(),
                 guarantee: "all standard chase sequences terminate".into(),
                 elapsed_ns: 55_000,
@@ -452,6 +467,27 @@ mod tests {
         assert_eq!(report.attributed_ns(), 900_000);
         let frac = report.attribution();
         assert!((frac - 900_000.0 / 1_234_567.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pre_slug_verdict_rows_parse_with_empty_criterion_id() {
+        let mut doc = sample_report().to_json();
+        if let JsonValue::Object(entries) = &mut doc {
+            for (key, value) in entries.iter_mut() {
+                if key == "verdicts" {
+                    if let JsonValue::Array(rows) = value {
+                        for row in rows.iter_mut() {
+                            if let JsonValue::Object(fields) = row {
+                                fields.retain(|(k, _)| k != "criterion_id");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let parsed = RunReport::from_json(&doc).unwrap();
+        assert_eq!(parsed.verdicts[0].criterion, "SAC");
+        assert_eq!(parsed.verdicts[0].criterion_id, "");
     }
 
     #[test]

@@ -387,12 +387,10 @@ mod tests {
     #[test]
     fn cyclic_profiles_are_rejected_by_the_adornment_algorithm() {
         use chase_termination::adornment::{adorn_with, AdnConfig, FireableMode};
-        // Most seeds are rejected. A few streams (e.g. seed 3) generate an
-        // interaction between the gadget and an unrelated functional-role EGD on
-        // which the current adornment implementation unsoundly accepts; that is a
-        // pre-existing `adorn_with` issue tracked in ROADMAP.md, not a generator
-        // property, so this test pins seeds the implementation handles.
-        for seed in [0, 1, 2, 4, 5] {
+        // Every seed must be rejected — seed 3 included, which used to trip the
+        // historical `adorn_with` per-symbol-null soundness gap (an unrelated
+        // functional-role EGD joining two distinct Dµ facts through a shared null).
+        for seed in 0..8 {
             let sigma = generate(&OntologyProfile {
                 existential: 2,
                 full: 4,

@@ -18,13 +18,16 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod families;
 pub mod generator;
 
 pub use corpus::{paper_corpus, scaled_paper_corpus, CorpusClass, GeneratedOntology};
+pub use families::{atlas_corpus, families, generate_family, AtlasProgram, FamilySpec};
 pub use generator::{generate, generate_database, OntologyProfile};
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::corpus::{paper_corpus, scaled_paper_corpus, CorpusClass, GeneratedOntology};
+    pub use crate::families::{atlas_corpus, families, generate_family, AtlasProgram, FamilySpec};
     pub use crate::generator::{generate, generate_database, OntologyProfile};
 }

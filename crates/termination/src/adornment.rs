@@ -17,6 +17,51 @@
 //! (Theorem 8). The adorned set `Σµ` itself can be fed to any other termination
 //! criterion, yielding the strictly more powerful `Adn∃-C` criteria (Theorems 10–11);
 //! see [`crate::combined`].
+//!
+//! # The `Dµ(Σµ)` substitution-bookkeeping invariant
+//!
+//! Whether an EGD induces a substitution τ (line 9 of Algorithm 1) is tested on the
+//! abstraction `Dµ(Σµ)`: one fact per adorned predicate, `b` as a constant, free
+//! symbols as labeled nulls. The invariant this module maintains is that **distinct
+//! facts of `Dµ(Σµ)` never share a labeled null**: a free symbol `f_i` denotes a
+//! *family* of nulls — one per Skolem instantiation of its definitions, and a θ-merge
+//! (lines 13–14) can fold several Skolem classes into one symbol — so only
+//! occurrences of `f_i` inside the *same* fact are known to denote the same null.
+//!
+//! The historical soundness gap came from violating this invariant: with a single
+//! global null per symbol, an EGD body could join two distinct facts through a
+//! shared null — a match no real chase step realises, since the two facts stand for
+//! different Skolem instantiations — and the resulting spurious τ deleted a cyclic
+//! symbol's definitions, erasing the very evidence the cyclicity test needed. The
+//! distilled reproducer (a cyclic gadget `g1`/`g2`, an unrelated functional EGD on
+//! `R0`, and a copy chain `c1`/`c2` enabling the θ-merge) must be rejected under
+//! both fireable modes:
+//!
+//! ```
+//! use chase_core::parser::parse_dependencies;
+//! use chase_termination::adornment::{adorn_with, AdnConfig, FireableMode};
+//!
+//! let sigma = parse_dependencies(
+//!     r#"
+//!     a1: C0(?x) -> exists ?y: R0(?y, ?x).
+//!     c1: R0(?x, ?y) -> C2(?x).
+//!     c2: C2(?x) -> C3(?x).
+//!     g1: C0(?x) -> exists ?y: Rcyc(?x, ?y).
+//!     g2: Rcyc(?x, ?y) -> C0(?y).
+//!     e1: R0(?x, ?y), R0(?x, ?z) -> ?y = ?z.
+//!     "#,
+//! )
+//! .unwrap();
+//! for mode in [FireableMode::Exact, FireableMode::PredicateOverlap] {
+//!     let cfg = AdnConfig { fireable_mode: mode, ..AdnConfig::default() };
+//!     assert!(!adorn_with(&sigma, &cfg).acyclic, "the gadget's cycle must be found");
+//! }
+//! ```
+//!
+//! Skipping a match that is only realizable across facts biases the criterion toward
+//! *rejection*, which is the sound direction for a sufficient termination condition;
+//! genuinely single-fact EGD violations (e.g. Σ1's `E(?x, ?y) -> ?x = ?y`) still fire
+//! their τ exactly as the paper prescribes.
 
 use chase_core::{
     Atom, Constant, Dependency, DependencySet, Egd, Fact, GroundTerm, Instance, NullValue,
@@ -52,7 +97,7 @@ fn adornment_string(adornment: &Adornment) -> String {
 }
 
 /// An adornment definition `f_i = f^r_z(α)`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub struct AdnDefinition {
     /// The defined free symbol index (`i` in `f_i`).
     pub symbol: u32,
@@ -637,15 +682,35 @@ impl<'a> Adn<'a> {
     }
 
     /// `Dµ(Σµ)`: one fact per adorned predicate, with `b` as a constant and each free
-    /// symbol `f_i` as the labeled null `η_i`.
-    fn dmu_instance(&self) -> Instance {
+    /// symbol rendered as a labeled null that is **unique to its fact**: two
+    /// occurrences of `f_i` inside the same fact share a null, occurrences in
+    /// distinct facts never do. A free symbol denotes a *family* of nulls — one per
+    /// Skolem instantiation of its definitions (and θ-merges can fold several Skolem
+    /// classes into one symbol) — so only same-fact occurrences are known to be the
+    /// same null. A single global null `η_i` per symbol would let an EGD body join
+    /// two distinct facts through a null no real chase step ever equates, firing a
+    /// spurious τ (the historical `adorn_with` soundness gap).
+    ///
+    /// Returns the instance together with the adornment symbol of every null.
+    fn dmu_instance(&self) -> (Instance, BTreeMap<u64, u32>) {
         let mut inst = Instance::new();
+        let mut symbol_of: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut next_null: u64 = 0;
         for (pred, adornment) in self.adorned_predicates() {
+            let mut per_fact: BTreeMap<u32, NullValue> = BTreeMap::new();
             let terms: Vec<GroundTerm> = adornment
                 .iter()
                 .map(|s| match s {
                     AdSym::B => GroundTerm::Const(Constant::new("b")),
-                    AdSym::F(i) => GroundTerm::Null(NullValue(*i as u64)),
+                    AdSym::F(i) => {
+                        let null = *per_fact.entry(*i).or_insert_with(|| {
+                            let n = NullValue(next_null);
+                            next_null += 1;
+                            symbol_of.insert(n.0, *i);
+                            n
+                        });
+                        GroundTerm::Null(null)
+                    }
                 })
                 .collect();
             inst.insert(Fact {
@@ -653,14 +718,20 @@ impl<'a> Adn<'a> {
                 terms,
             });
         }
-        inst
+        (inst, symbol_of)
     }
 
     /// Line 9 of Algorithm 1: if the original EGD `idx` is violated by `Dµ(Σµ)`, run one
     /// chase step and return the induced symbol substitution `{f_i / s}`.
+    ///
+    /// A violation only counts when it is realizable in an actual chase: matches that
+    /// equate two nulls of the *same* symbol are skipped (the symbol stands for a family
+    /// of distinct Skolem values, and τ = {f_i / f_i} would destructively erase the
+    /// symbol's definitions while changing nothing). Skipping an unrealizable match is
+    /// conservative — it can only bias the criterion toward rejection.
     fn dmu_chase_step(&self, idx: usize) -> Option<(u32, AdSym)> {
         let egd = self.sigma.as_slice()[idx].as_egd()?;
-        let dmu = self.dmu_instance();
+        let (dmu, symbol_of) = self.dmu_instance();
         for h in chase_core::homomorphism::homomorphisms(&egd.body, &dmu) {
             let left = h.get(egd.left)?;
             let right = h.get(egd.right)?;
@@ -669,14 +740,19 @@ impl<'a> Adn<'a> {
             }
             // Definition 1(2b): replace a labeled null; both sides being constants is
             // impossible here since the only constant is `b`.
-            return match (left, right) {
+            let tau = match (left, right) {
                 (GroundTerm::Null(n), GroundTerm::Null(m)) => {
-                    Some((n.0 as u32, AdSym::F(m.0 as u32)))
+                    let (sn, sm) = (symbol_of[&n.0], symbol_of[&m.0]);
+                    if sn == sm {
+                        continue;
+                    }
+                    (sn, AdSym::F(sm))
                 }
-                (GroundTerm::Null(n), GroundTerm::Const(_)) => Some((n.0 as u32, AdSym::B)),
-                (GroundTerm::Const(_), GroundTerm::Null(m)) => Some((m.0 as u32, AdSym::B)),
-                (GroundTerm::Const(_), GroundTerm::Const(_)) => None,
+                (GroundTerm::Null(n), GroundTerm::Const(_)) => (symbol_of[&n.0], AdSym::B),
+                (GroundTerm::Const(_), GroundTerm::Null(m)) => (symbol_of[&m.0], AdSym::B),
+                (GroundTerm::Const(_), GroundTerm::Const(_)) => continue,
             };
+            return Some(tau);
         }
         None
     }
@@ -698,7 +774,10 @@ impl<'a> Adn<'a> {
                 }
             }
         }
-        self.ad.dedup();
+        // Rewriting args can make non-adjacent definitions equal; `Vec::dedup` only
+        // collapses neighbours, so deduplicate with a seen-set instead.
+        let mut seen: BTreeSet<AdnDefinition> = BTreeSet::new();
+        self.ad.retain(|d| seen.insert(d.clone()));
     }
 
     /// Lines 13–14: look for a non-empty valid substitution θ mapping the newly adorned

@@ -117,6 +117,7 @@ impl TerminationReport {
             .iter()
             .map(|entry| chase_obs::VerdictRow {
                 criterion: entry.verdict.criterion.to_string(),
+                criterion_id: entry.verdict.criterion_id().as_str().to_string(),
                 status: if entry.verdict.accepted {
                     "accepts".to_string()
                 } else {
@@ -127,12 +128,17 @@ impl TerminationReport {
                 witness: entry.verdict.witness.to_string(),
             })
             .collect();
-        rows.extend(self.skipped.iter().map(|name| chase_obs::VerdictRow {
-            criterion: name.to_string(),
-            status: "skipped".to_string(),
-            guarantee: String::new(),
-            elapsed_ns: 0,
-            witness: String::new(),
+        rows.extend(self.skipped.iter().map(|name| {
+            chase_obs::VerdictRow {
+                criterion: name.to_string(),
+                criterion_id: chase_criteria::CriterionId::from_name(name)
+                    .as_str()
+                    .to_string(),
+                status: "skipped".to_string(),
+                guarantee: String::new(),
+                elapsed_ns: 0,
+                witness: String::new(),
+            }
         }));
         rows
     }
@@ -327,9 +333,12 @@ mod tests {
         // One row per registered criterion: the ones that ran, then the skipped.
         assert_eq!(rows.len(), analyzer.criteria_names().len());
         assert_eq!(rows[0].criterion, "WA");
+        assert_eq!(rows[0].criterion_id, "wa");
         assert_eq!(rows[0].status, "accepts");
         assert_eq!(rows[0].guarantee, Guarantee::AllSequences.to_string());
         assert!(rows[1..].iter().all(|r| r.status == "skipped"));
+        // Every row — ran or skipped — carries a non-empty machine-readable id.
+        assert!(rows.iter().all(|r| !r.criterion_id.is_empty()));
         assert!(report.total_elapsed() >= report.entries[0].elapsed);
     }
 

@@ -1,17 +1,20 @@
-//! Regression tests for known soundness gaps in the `Adn∃` adornment algorithm.
+//! Regression tests for the (fixed) `adorn_with` soundness gap in the `Adn∃`
+//! adornment algorithm.
 //!
-//! See the ROADMAP.md open item "`adorn_with` … accepts some cyclic
-//! ontology-generator outputs that have no terminating chase sequence": the
-//! generated set below embeds the gadget `C0(x) -> ∃y Rcyc2(x, y);
-//! Rcyc2(x, y) -> C0(y)`, which is rejected in isolation but accepted when an
-//! unrelated functional-role EGD (`R0(x, y), R0(x, z) -> y = z`) is present —
-//! likely a bug in the adornment/substitution bookkeeping of Algorithm 1.
+//! The bug (ROADMAP.md "Carryover fixes", fixed in this revision): the `Dµ(Σµ)`
+//! abstraction used to render every free symbol `f_i` as a single global labeled
+//! null `η_i`. After a θ-merge folds several Skolem classes into one symbol, an
+//! EGD body could then join two *distinct* Dµ facts through that shared null — a
+//! match no real chase step can realise, because the two facts stand for
+//! different Skolem instantiations. The spurious τ substitution deleted the
+//! cyclic gadget's definitions from `AD`, destroying the cycle evidence, and the
+//! non-terminating set was accepted. The fix gives every fact its own nulls
+//! (same-fact occurrences of a symbol still share one), so an EGD violation only
+//! fires when it is realizable within a single fact's known-equal nulls.
 //!
-//! The `#[ignore]`d test asserts the *correct* behaviour (rejection) and
-//! currently fails; the PR that fixes the adornment bookkeeping should flip it on
-//! by deleting the `#[ignore]` attribute. CI runs it in a non-gating
-//! `--include-ignored` job so the failure stays visible on every PR.
+//! These tests gate in tier-1; they were `#[ignore]`d while the bug was open.
 
+use chase_core::parser::parse_dependencies;
 use chase_core::DependencySet;
 use chase_ontology::generator::{generate, OntologyProfile};
 use chase_termination::adornment::{adorn_with, AdnConfig, FireableMode};
@@ -37,48 +40,92 @@ fn without_egds(sigma: &DependencySet) -> DependencySet {
         .collect()
 }
 
-/// Guard for the *current* (correct) behaviour on the EGD-free projection: the
-/// cyclic gadget alone is rejected under both fireable modes. If this ever
-/// breaks, the gap below has widened.
+fn rejected_under_both_modes(sigma: &DependencySet) -> bool {
+    [FireableMode::Exact, FireableMode::PredicateOverlap]
+        .into_iter()
+        .all(|mode| {
+            let cfg = AdnConfig {
+                fireable_mode: mode,
+                ..AdnConfig::default()
+            };
+            !adorn_with(sigma, &cfg).acyclic
+        })
+}
+
+/// Guard: the cyclic gadget alone (EGD-free projection) is rejected under both
+/// fireable modes.
 #[test]
 fn cyclic_gadget_is_rejected_without_the_unrelated_egd() {
     let sigma = without_egds(&generate(&gadget_profile()));
-    for mode in [FireableMode::Exact, FireableMode::PredicateOverlap] {
-        let cfg = AdnConfig {
-            fireable_mode: mode,
-            ..AdnConfig::default()
-        };
-        assert!(
-            !adorn_with(&sigma, &cfg).acyclic,
-            "the cyclic gadget must be rejected under {mode:?} without EGDs present"
-        );
-    }
+    assert!(
+        rejected_under_both_modes(&sigma),
+        "the cyclic gadget must be rejected without EGDs present"
+    );
 }
 
-/// The known soundness gap: with the unrelated functional-role EGD present,
-/// `adorn_with` accepts the same cyclic gadget. The correct answer is rejection
-/// (the gadget has no terminating chase sequence, and adding an EGD on a role the
-/// gadget never touches cannot create one).
-///
-/// Ignored because it reproduces a real, currently-unfixed bug — see the
-/// ROADMAP.md open item on `adorn_with`. The fix PR must remove the `#[ignore]`.
+/// The formerly-unsound case: with the unrelated functional-role EGD present,
+/// `adorn_with` must still reject the cyclic gadget (an EGD on a role the gadget
+/// never touches cannot create a terminating sequence).
 #[test]
-#[ignore = "known adorn_with soundness gap, see ROADMAP.md open item on cyclic generator outputs"]
 fn cyclic_gadget_must_stay_rejected_when_an_unrelated_egd_is_present() {
     let sigma = generate(&gadget_profile());
     assert!(
         sigma.iter().any(|(_, d)| d.is_egd()),
         "the profile must actually generate the unrelated EGD"
     );
-    for mode in [FireableMode::Exact, FireableMode::PredicateOverlap] {
-        let cfg = AdnConfig {
-            fireable_mode: mode,
-            ..AdnConfig::default()
-        };
-        assert!(
-            !adorn_with(&sigma, &cfg).acyclic,
-            "unsound acceptance under {mode:?}: the unrelated functional-role EGD \
-             must not make the cyclic gadget pass"
-        );
-    }
+    assert!(
+        rejected_under_both_modes(&sigma),
+        "unsound acceptance: the unrelated functional-role EGD must not make the \
+         cyclic gadget pass"
+    );
+}
+
+/// Generator-independent minimal reproducer of the fixed bug, distilled from the
+/// seed-3 gadget. Six dependencies:
+///
+/// - `g1`/`g2` are the cyclic gadget (no terminating chase sequence).
+/// - `e1` is a functional EGD on `R0`, a role the gadget never touches.
+/// - `a1` gives `R0`'s join position (the first) a free-symbol adornment, and
+///   `c1`/`c2` are the "laundering" copy chain: they let the adornment unify two
+///   copied rules whose incompatible frontier contexts are no longer visible,
+///   producing the θ-merge that conflates two Skolem classes into one symbol.
+///
+/// Pre-fix, the conflated symbol's single global null let `e1`'s body join two
+/// distinct `R0` facts in `Dµ(Σµ)`, firing a spurious τ that erased the gadget's
+/// cycle evidence: the set was accepted under both modes. It must be rejected.
+#[test]
+fn minimal_reproducer_gadget_plus_egd_plus_copy_chain_is_rejected() {
+    let sigma = parse_dependencies(
+        r#"
+        a1: C0(?x) -> exists ?y: R0(?y, ?x).
+        c1: R0(?x, ?y) -> C2(?x).
+        c2: C2(?x) -> C3(?x).
+        g1: C0(?x) -> exists ?y: Rcyc(?x, ?y).
+        g2: Rcyc(?x, ?y) -> C0(?y).
+        e1: R0(?x, ?y), R0(?x, ?z) -> ?y = ?z.
+        "#,
+    )
+    .expect("reproducer parses");
+    assert!(
+        rejected_under_both_modes(&sigma),
+        "the minimal reproducer must be rejected under both fireable modes"
+    );
+}
+
+/// The bare 3-dependency set (gadget + EGD, no laundering chain) was never the
+/// reproducer: without a flow giving `R0` a free-symbol adornment and a θ-merge
+/// conflating Skolem classes, the EGD is simply never violated in `Dµ(Σµ)` and
+/// the gadget's cycle is found. Pinned so the reproducer above stays honest
+/// about what the bug actually required.
+#[test]
+fn bare_gadget_plus_egd_was_always_rejected() {
+    let sigma = parse_dependencies(
+        r#"
+        g1: C0(?x) -> exists ?y: Rcyc(?x, ?y).
+        g2: Rcyc(?x, ?y) -> C0(?y).
+        e1: R0(?x, ?y), R0(?x, ?z) -> ?y = ?z.
+        "#,
+    )
+    .expect("gadget parses");
+    assert!(rejected_under_both_modes(&sigma));
 }

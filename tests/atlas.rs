@@ -1,0 +1,72 @@
+//! Tier-1 slice of the termination-criteria atlas soundness oracle.
+//!
+//! The full atlas (`cargo run -p chase_bench --bin table2`) sweeps the corpus
+//! families at large sizes; this gating test runs the same two invariants over
+//! a small slice so every PR pays for them:
+//!
+//! 1. No criterion accepts a program from a family that is non-terminating by
+//!    construction (`expected_terminating == false`).
+//! 2. Every accepted program reaches a standard-chase verdict (EGDs first, over
+//!    the critical database) within a generous step budget — acceptance means
+//!    `CT_std_∃`, so some sequence must terminate, and EGDs-first is the
+//!    witness strategy the paper's Theorem 8 guarantee corresponds to.
+//!
+//! This is the harness shape that would have caught the historical `adorn_with`
+//! soundness gap (a cyclic set accepted because an unrelated EGD corrupted the
+//! adornment bookkeeping).
+
+use chase_engine::{Chase, ChaseBudget, ChaseOutcome, StepOrder};
+use chase_ontology::families::atlas_corpus;
+use chase_ontology::generator::critical_database;
+use chase_termination::TerminationAnalyzer;
+
+#[test]
+fn no_criterion_accepts_a_non_terminating_family_and_accepted_programs_chase_out() {
+    // Exhaustive mode only where invariant 1 needs every verdict (the
+    // non-terminating families); the terminating families can short-circuit at
+    // the first acceptance, which is all invariant 2 needs to arm the oracle.
+    let exhaustive = TerminationAnalyzer::exhaustive();
+    let short_circuit = TerminationAnalyzer::new();
+    let budget = ChaseBudget::unlimited().with_max_steps(20_000);
+    for program in atlas_corpus(&[8, 14], 20160396) {
+        if !program.expected_terminating {
+            let report = exhaustive.analyze(&program.sigma);
+            let accepted: Vec<String> = report
+                .entries
+                .iter()
+                .filter(|e| e.verdict.accepted)
+                .map(|e| e.verdict.criterion_id().to_string())
+                .collect();
+            assert!(
+                accepted.is_empty(),
+                "{}/{}: criteria {accepted:?} accepted a program from a family \
+                 that is non-terminating by construction",
+                program.family,
+                program.size
+            );
+            continue;
+        }
+
+        let report = short_circuit.analyze(&program.sigma);
+        let accepted: Vec<String> = report
+            .entries
+            .iter()
+            .filter(|e| e.verdict.accepted)
+            .map(|e| e.verdict.criterion_id().to_string())
+            .collect();
+        if !accepted.is_empty() {
+            let db = critical_database(&program.sigma);
+            let outcome = Chase::standard(&program.sigma)
+                .with_order(StepOrder::EgdsFirst)
+                .with_budget(budget)
+                .run(&db);
+            assert!(
+                !matches!(outcome, ChaseOutcome::BudgetExhausted { .. }),
+                "{}/{}: accepted by {accepted:?} but the oracle chase tripped \
+                 its budget",
+                program.family,
+                program.size
+            );
+        }
+    }
+}

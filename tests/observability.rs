@@ -100,14 +100,16 @@ fn worker_report() -> impl Strategy<Value = WorkerReport> {
 fn verdict_row() -> impl Strategy<Value = VerdictRow> {
     (
         name_string(),
+        name_string(),
         0..3u64,
         name_string(),
         0..NS_DOMAIN,
         name_string(),
     )
         .prop_map(
-            |(criterion, status, guarantee, elapsed_ns, witness)| VerdictRow {
+            |(criterion, criterion_id, status, guarantee, elapsed_ns, witness)| VerdictRow {
                 criterion,
+                criterion_id,
                 status: ["accepts", "rejects", "skipped"][status as usize].to_string(),
                 guarantee,
                 elapsed_ns,
