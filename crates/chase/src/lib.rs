@@ -57,6 +57,7 @@ pub mod budget;
 pub mod certain;
 pub mod core_chase;
 pub mod core_of;
+pub mod materialize;
 pub mod metrics;
 pub mod oblivious;
 pub mod observer;
@@ -71,8 +72,9 @@ pub use budget::{BudgetLimit, ChaseBudget};
 pub use certain::{certain_answers, ConjunctiveQuery};
 pub use core_chase::CoreChase;
 pub use core_of::{core_of, is_core};
+pub use materialize::{MaterializeError, MaterializeEvent, MaterializedRun};
 pub use metrics::MetricsObserver;
-pub use oblivious::{ObliviousChase, ObliviousVariant};
+pub use oblivious::{apply_gamma_to_keys, key_variables, ObliviousChase, ObliviousVariant};
 pub use observer::{
     ChaseEvent, ChaseObserver, EventObserver, FnObserver, NoopObserver, TraceObserver,
 };

@@ -38,8 +38,12 @@ pub enum ObliviousVariant {
 }
 
 /// The variables of `dep` that participate in the trigger key for `variant`, in a
-/// fixed (sorted) order.
-fn key_variables(variant: ObliviousVariant, dep: &Dependency) -> Vec<Variable> {
+/// fixed (sorted) order: all body variables for the oblivious chase; the frontier
+/// (TGD) or the two equated variables (EGD) for the semi-oblivious chase.
+///
+/// Public because incremental maintenance (`chase_ivm`) must compute exactly the
+/// keys this module's runner fires, for its own delta repair loop.
+pub fn key_variables(variant: ObliviousVariant, dep: &Dependency) -> Vec<Variable> {
     let body_vars = dep.body_variables();
     match variant {
         ObliviousVariant::Oblivious => body_vars.into_iter().collect(),
@@ -85,7 +89,11 @@ pub(crate) fn run_oblivious(
         .iter()
         .map(|(_, dep)| key_variables(variant, dep))
         .collect();
-    if workers > 1 && sigma.egd_ids().is_empty() {
+    // Derivation-observed runs stay sequential even when EGD-free: the log is
+    // per applied step, and the parallel runner's outcome is sequential-
+    // equivalent anyway (only wall-clock would change).
+    let derivations = observer.observes_derivations();
+    if workers > 1 && sigma.egd_ids().is_empty() && !derivations {
         return crate::parallel::run_oblivious_parallel(
             sigma, &key_vars, budget, database, observer, workers,
         );
@@ -155,7 +163,22 @@ pub(crate) fn run_oblivious(
             }
         };
         let key = accepted_key.expect("an accepted trigger always sets its key");
-        let effect = engine.apply_trigger(trigger.dep, &trigger.assignment);
+        let (effect, log) = if derivations {
+            let (effect, log) = engine.apply_trigger_logged(trigger.dep, &trigger.assignment);
+            (effect, Some(log))
+        } else {
+            (engine.apply_trigger(trigger.dep, &trigger.assignment), None)
+        };
+        // Derivation events precede the step's standard events (pinned order);
+        // `fact_derived` fires for NotApplicable EGD triggers too, because
+        // their key is recorded below and a support ledger must know which
+        // body facts that record leans on.
+        if let Some(log) = &log {
+            observer.fact_derived(trigger.dep, &key, &log.body, &log.heads);
+            if let StepEffect::Substituted { gamma } = &effect {
+                observer.facts_rewritten(gamma, &log.rewrites);
+            }
+        }
         if effect == StepEffect::NotApplicable {
             // An EGD trigger with equal images: Definition 1 yields no chase
             // step. Record the key so we do not reconsider it forever.
@@ -237,7 +260,14 @@ impl<'a> ObliviousChase<'a> {
     }
 }
 
-fn apply_gamma_to_keys(
+/// Rewrites every recorded fired key under an EGD substitution `γ` — the
+/// "modulo `γ_j · · · γ_{i-1}`" of the paper's trigger-equivalence — keeping the
+/// per-dependency key list and its dedup lookup in lockstep.
+///
+/// Public for the same reason as [`key_variables`]: the incremental-maintenance
+/// repair loop carries the fired-key state across update batches and must
+/// rewrite it exactly as the runner would have.
+pub fn apply_gamma_to_keys(
     fired: &mut [Vec<Vec<GroundTerm>>],
     fired_lookup: &mut [HashSet<Vec<GroundTerm>>],
     gamma: &NullSubstitution,

@@ -64,7 +64,7 @@ use crate::budget::BudgetLimit;
 use crate::result::{ChaseStats, EgdViolation};
 use crate::step::{StepEffect, Trigger};
 use chase_core::substitution::NullSubstitution;
-use chase_core::{DependencySet, DiscoveryStats};
+use chase_core::{DepId, DependencySet, DiscoveryStats, FactId, GroundTerm};
 use std::time::Duration;
 
 /// Receives events during a chase run. All methods default to no-ops, so an observer
@@ -128,6 +128,43 @@ pub trait ChaseObserver {
     /// [`ChaseObserver::observes_phases`] returns `true`.
     fn budget_checked(&mut self, tripped: Option<BudgetLimit>) {
         let _ = tripped;
+    }
+
+    /// Opt-in gate for the derivation events below
+    /// ([`ChaseObserver::fact_derived`], [`ChaseObserver::facts_rewritten`]).
+    /// Consulted **once per run**, like [`ChaseObserver::observes_phases`].
+    /// Returning `true` makes the (semi-)oblivious runners resolve each step's
+    /// body image at the [`FactId`] level and — because derivation logs are
+    /// defined per applied step — forces them onto the sequential path even for
+    /// EGD-free sets with `workers > 1` (whose parallel outcome is
+    /// sequential-equivalent, so only wall-clock changes). The standard and
+    /// core chases never emit derivation events: their step semantics are not
+    /// monotone in the base, so no support ledger can maintain them (see
+    /// [`Chase::materialize`](crate::Chase::materialize)).
+    fn observes_derivations(&self) -> bool {
+        false
+    }
+
+    /// A (semi-)oblivious trigger consumed its fired key: the dependency, the
+    /// key (the images of the variant's key variables), the body image (one
+    /// interned id per body atom) and — for TGD steps — **all** head fact ids,
+    /// pre-existing ones included. Also emitted for EGD triggers that yield no
+    /// chase step (`NotApplicable`: equal images) with empty `heads`, because
+    /// the key is recorded as fired and a support ledger must know which body
+    /// facts that record leans on. Emitted immediately before the step's
+    /// standard events. Only when [`ChaseObserver::observes_derivations`] is
+    /// `true`.
+    fn fact_derived(&mut self, dep: DepId, key: &[GroundTerm], body: &[FactId], heads: &[FactId]) {
+        let _ = (dep, key, body, heads);
+    }
+
+    /// An EGD substitution step rewrote the instance: `γ` plus the rewritten
+    /// `(old, new)` id pairs — emitted right after the step's
+    /// [`ChaseObserver::fact_derived`], whose body ids are in the pre-rewrite
+    /// id space this delta maps forward. Only when
+    /// [`ChaseObserver::observes_derivations`] is `true`.
+    fn facts_rewritten(&mut self, gamma: &NullSubstitution, delta: &[(FactId, FactId)]) {
+        let _ = (gamma, delta);
     }
 }
 

@@ -99,7 +99,14 @@ pub(crate) fn run_oblivious_parallel(
     loop {
         // Discovery round: every candidate seeded from the delta, against a
         // frozen snapshot, sharded across workers, merged in batch order.
-        let mut batch = {
+        let had_delta = !delta.is_empty();
+        let mut batch = if !had_delta {
+            // A zero-length delta discovers nothing: skip the snapshot and, in
+            // particular, emit no empty-shard `discovery_completed` event (a
+            // round whose steps added no new facts would otherwise report a
+            // phantom zero-fact discovery round).
+            Vec::new()
+        } else {
             let snapshot = Snapshot::new(index.indexed());
             if phases {
                 let (batch, discovery) =
@@ -114,7 +121,9 @@ pub(crate) fn run_oblivious_parallel(
         // Dedup in (deterministic) batch order, then impose the canonical
         // (DepId, body FactIds) merge order for application — keys are computed
         // here, for the dedup survivors only.
-        let merge_start = phases.then(Instant::now);
+        // No discovery sweep ⇒ nothing to merge either: the skipped round
+        // emits neither event (discovery/merge events stay paired).
+        let merge_start = (phases && had_delta).then(Instant::now);
         let candidates = batch.len();
         batch.retain(|t| seen[t.dep.0].insert(t.assignment.canonical()));
         sort_canonical(sigma, index.store(), &mut batch);
@@ -229,6 +238,34 @@ mod tests {
             src.push_str(&format!("E(v{i}, v{}).\n", i + 1));
         }
         parse_program(&src).unwrap()
+    }
+
+    #[test]
+    fn zero_length_delta_rounds_emit_no_discovery_events() {
+        // Satellite: a round whose delta is empty (steps that added nothing
+        // new, or an empty database) must not emit a phantom zero-fact
+        // `discovery_completed` shard event.
+        use crate::observer::{ChaseEvent, EventObserver};
+        let p = closure_program(6);
+        let count_rounds = |db: &chase_core::Instance| {
+            let mut discoveries = Vec::new();
+            let mut obs = EventObserver(|e: ChaseEvent| {
+                if let ChaseEvent::DiscoveryCompleted { stats } = e {
+                    discoveries.push(stats.facts_scanned());
+                }
+            });
+            let out = Chase::semi_oblivious(&p.dependencies)
+                .workers(4)
+                .run_observed(db, &mut obs);
+            assert!(out.is_terminating());
+            discoveries
+        };
+        // Empty database: the single (empty) round discovers nothing.
+        assert!(count_rounds(&chase_core::Instance::new()).is_empty());
+        // Real run: every reported discovery round scanned at least one fact.
+        let discoveries = count_rounds(&p.database);
+        assert!(!discoveries.is_empty());
+        assert!(discoveries.iter().all(|&scanned| scanned > 0));
     }
 
     #[test]

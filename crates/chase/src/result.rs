@@ -149,6 +149,17 @@ impl ChaseOutcome {
         }
     }
 
+    /// Consumes the outcome, returning the final instance of a terminated run
+    /// (also available for exhausted runs) without cloning it — the handoff
+    /// used when a run's model becomes a maintained materialization.
+    pub fn into_instance(self) -> Option<Instance> {
+        match self {
+            ChaseOutcome::Terminated { instance, .. }
+            | ChaseOutcome::BudgetExhausted { instance, .. } => Some(instance),
+            ChaseOutcome::Failed { .. } => None,
+        }
+    }
+
     /// The run statistics.
     pub fn stats(&self) -> &ChaseStats {
         match self {

@@ -30,6 +30,7 @@
 
 use crate::budget::ChaseBudget;
 use crate::core_chase::run_core;
+use crate::materialize::{DerivationRecorder, MaterializeError, MaterializedRun};
 use crate::oblivious::{run_oblivious, ObliviousVariant};
 use crate::observer::{ChaseObserver, NoopObserver};
 use crate::result::ChaseOutcome;
@@ -212,6 +213,43 @@ impl<'a> Chase<'a> {
         };
         outcome.stats_mut().elapsed = started.elapsed();
         outcome
+    }
+
+    /// Runs the session on `database` while recording every derivation, and
+    /// returns the completed, replayable run — the input to incremental view
+    /// maintenance (`chase_ivm::ChaseMaterialization`).
+    ///
+    /// Only the (semi-)oblivious variants are maintainable: their fired-key
+    /// step semantics are monotone in the base, so inserted facts can ride the
+    /// semi-naive delta path and retractions can be repaired from the recorded
+    /// supports. The standard chase (non-monotone activity check) and the core
+    /// chase (folds facts away) are rejected with
+    /// [`MaterializeError::UnsupportedVariant`]; failing and budget-exhausted
+    /// runs are rejected too, since there is no model to maintain. The run is
+    /// forced sequential — derivation logs are defined per applied step — which
+    /// for EGD-free sets changes only wall-clock, never the outcome.
+    pub fn materialize(&self, database: &Instance) -> Result<MaterializedRun, MaterializeError> {
+        let variant = match self.variant {
+            Variant::Oblivious(v) => v,
+            Variant::Standard => return Err(MaterializeError::UnsupportedVariant("standard")),
+            Variant::Core => return Err(MaterializeError::UnsupportedVariant("core")),
+        };
+        let mut recorder = DerivationRecorder::default();
+        let mut sequential = self.clone();
+        sequential.workers = 1;
+        let outcome = sequential.run_observed(database, &mut recorder);
+        match outcome {
+            ChaseOutcome::Terminated { .. } => Ok(MaterializedRun {
+                variant,
+                database: database.clone(),
+                outcome,
+                log: recorder.into_log(),
+            }),
+            ChaseOutcome::Failed { violation, .. } => Err(MaterializeError::Failed(violation)),
+            ChaseOutcome::BudgetExhausted { limit, .. } => {
+                Err(MaterializeError::BudgetExhausted(limit))
+            }
+        }
     }
 }
 

@@ -26,7 +26,7 @@ use crate::homomorphism::select_smallest_bucket;
 use crate::instance::Instance;
 use crate::substitution::NullSubstitution;
 use crate::term::{GroundTerm, NullValue};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -214,6 +214,24 @@ impl IndexedInstance {
         }
         self.unindex_fact(id);
         true
+    }
+
+    /// Removes a batch of facts by id; returns how many were present
+    /// (duplicates count once). Delegates the dense-list maintenance to
+    /// [`Instance::remove_ids`], which sweeps each affected per-predicate
+    /// list once per batch instead of once per id.
+    pub fn remove_ids(&mut self, ids: &[FactId]) -> usize {
+        let mut seen: HashSet<FactId> = HashSet::with_capacity(ids.len());
+        let present: Vec<FactId> = ids
+            .iter()
+            .copied()
+            .filter(|&id| self.instance.contains_id(id) && seen.insert(id))
+            .collect();
+        self.instance.remove_ids(&present);
+        for &id in &present {
+            self.unindex_fact(id);
+        }
+        present.len()
     }
 
     /// Applies a null substitution `γ` in place and returns the id delta: one

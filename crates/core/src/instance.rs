@@ -86,6 +86,27 @@ impl Instance {
         self.live.contains(&id)
     }
 
+    /// The interned id of a *present* fact, or `None` if the fact is absent
+    /// (never interned, or interned but removed).
+    ///
+    /// This is the id surface external fact-level bookkeeping (e.g. the support
+    /// ledger of `chase_ivm`) resolves through: unlike
+    /// [`FactStore::lookup_fact`], a tombstoned fact — interned once, since
+    /// removed — does not resolve.
+    pub fn id_of(&self, fact: &Fact) -> Option<FactId> {
+        self.store
+            .lookup_fact(fact)
+            .filter(|id| self.live.contains(id))
+    }
+
+    /// The interned id of a *present* fact given as predicate + terms
+    /// (cross-store lookup; nothing is interned). See [`Instance::id_of`].
+    pub fn id_of_parts(&self, predicate: Predicate, terms: &[GroundTerm]) -> Option<FactId> {
+        self.store
+            .lookup(predicate, terms)
+            .filter(|id| self.live.contains(id))
+    }
+
     /// Returns `true` iff a fact with this predicate and these argument terms is
     /// present (cross-store containment check; nothing is interned).
     pub fn contains_parts(&self, predicate: Predicate, terms: &[GroundTerm]) -> bool {
@@ -145,6 +166,22 @@ impl Instance {
     }
 
     /// Removes an interned fact by id; returns `true` iff it was present.
+    ///
+    /// Removal is **tombstoning at the store level**: the id is evicted from the
+    /// live set *and* from the dense per-predicate id list (so
+    /// [`Instance::fact_ids`], [`Instance::ids_of`] and
+    /// [`Instance::sorted_fact_ids`] agree immediately), but the fact stays
+    /// interned in the append-only arena. Consequences external id-holders (the
+    /// `chase_ivm` support ledger) rely on:
+    ///
+    /// * re-inserting the same fact later yields the **same id** (the arena's
+    ///   dedup table survives removal), so retract-then-rederive round-trips
+    ///   preserve identity;
+    /// * a removed id still resolves through the *store*
+    ///   ([`FactStore::fact`], [`FactStore::terms`]), so the removed fact's value
+    ///   can be reconstructed — [`Instance::id_of`] is the live-checked lookup;
+    /// * [`Instance::compact`] **re-issues ids** and must therefore never be
+    ///   called while any external ledger still holds ids into this instance.
     pub fn remove_id(&mut self, id: FactId) -> bool {
         if self.live.remove(&id) {
             let pid = self.store.predicate_id_of(id);
@@ -155,6 +192,28 @@ impl Instance {
         } else {
             false
         }
+    }
+
+    /// Removes a batch of interned facts by id; returns how many were present
+    /// (duplicates count once). Same semantics as [`Instance::remove_id`] per
+    /// id, but each affected dense per-predicate list is swept **once per
+    /// batch** instead of once per id — a large retraction is
+    /// O(batch + affected lists), not O(batch × predicate list).
+    pub fn remove_ids(&mut self, ids: &[FactId]) -> usize {
+        let mut dead: HashSet<FactId> = HashSet::with_capacity(ids.len());
+        let mut affected: HashSet<PredicateId> = HashSet::new();
+        for &id in ids {
+            if self.live.remove(&id) {
+                dead.insert(id);
+                affected.insert(self.store.predicate_id_of(id));
+            }
+        }
+        for pid in affected {
+            if let Some(v) = self.by_predicate.get_mut(pid.0 as usize) {
+                v.retain(|f| !dead.contains(f));
+            }
+        }
+        dead.len()
     }
 
     /// Iterates over all facts (arbitrary order), materialising each from the arena.
@@ -435,6 +494,36 @@ mod tests {
     }
 
     #[test]
+    fn remove_ids_matches_per_id_removal() {
+        let facts: Vec<Fact> = (0..10)
+            .map(|i| Fact::from_parts("E", vec![cst(&format!("a{i}")), cst(&format!("b{i}"))]))
+            .chain((0..5).map(|i| Fact::from_parts("N", vec![cst(&format!("a{i}"))])))
+            .collect();
+        let mut batched = Instance::from_facts(facts.iter().cloned());
+        let mut one_by_one = batched.clone();
+        let mut targets: Vec<FactId> = facts
+            .iter()
+            .step_by(3)
+            .map(|f| batched.id_of(f).expect("live"))
+            .collect();
+        targets.push(targets[0]); // duplicates count once
+        targets.push(FactId(9999)); // unknown ids are skipped
+        assert_eq!(batched.remove_ids(&targets), 5);
+        let mut removed = 0;
+        for &id in &targets {
+            removed += usize::from(one_by_one.remove_id(id));
+        }
+        assert_eq!(removed, 5);
+        assert_eq!(batched.len(), one_by_one.len());
+        assert_eq!(batched.sorted_fact_ids(), one_by_one.sorted_fact_ids());
+        for p in [Predicate::new("E", 2), Predicate::new("N", 1)] {
+            assert_eq!(batched.ids_of(p), one_by_one.ids_of(p));
+        }
+        // Removing an already-removed batch is a no-op.
+        assert_eq!(batched.remove_ids(&targets), 0);
+    }
+
+    #[test]
     fn fresh_nulls_never_collide_with_inserted_nulls() {
         let mut k = Instance::new();
         k.insert(Fact::from_parts("E", vec![cst("a"), null(7)]));
@@ -622,6 +711,59 @@ mod tests {
         let mut d = Instance::from_facts(vec![Fact::from_parts("N", vec![cst("a")])]);
         d.compact();
         assert_eq!(d.store().len(), 1);
+    }
+
+    #[test]
+    fn removal_evicts_the_id_from_every_iteration_surface() {
+        // The tombstone contract of `remove_id`: the id disappears from the
+        // live set, the per-predicate list and the sorted id list *together*,
+        // so ledgers iterating any surface agree with membership.
+        let mut k = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), cst("b")]),
+            Fact::from_parts("E", vec![cst("b"), cst("c")]),
+            Fact::from_parts("N", vec![cst("a")]),
+        ]);
+        let id = k
+            .id_of(&Fact::from_parts("E", vec![cst("a"), cst("b")]))
+            .unwrap();
+        assert!(k.remove_id(id));
+        assert!(!k.contains_id(id));
+        assert!(k.fact_ids().all(|f| f != id));
+        assert!(!k.ids_of(Predicate::new("E", 2)).contains(&id));
+        assert!(!k.sorted_fact_ids().contains(&id));
+        assert_eq!(k.ids_of(Predicate::new("E", 2)).len(), 1);
+        assert_eq!(k.fact_ids().count(), 2);
+        assert_eq!(k.sorted_fact_ids().len(), 2);
+        // The live-checked lookup no longer resolves; the raw store still does.
+        assert_eq!(
+            k.id_of(&Fact::from_parts("E", vec![cst("a"), cst("b")])),
+            None
+        );
+        assert_eq!(
+            k.store()
+                .lookup_fact(&Fact::from_parts("E", vec![cst("a"), cst("b")])),
+            Some(id)
+        );
+    }
+
+    #[test]
+    fn compact_reissues_ids_removal_does_not() {
+        // `remove_id` keeps surviving ids stable; `compact` re-issues them.
+        // External ledgers may hold ids across removals but never across
+        // compaction.
+        let mut k = Instance::from_facts(vec![
+            Fact::from_parts("N", vec![cst("a")]),
+            Fact::from_parts("N", vec![cst("b")]),
+        ]);
+        let b = k.id_of(&Fact::from_parts("N", vec![cst("b")])).unwrap();
+        k.remove(&Fact::from_parts("N", vec![cst("a")]));
+        assert_eq!(k.id_of(&Fact::from_parts("N", vec![cst("b")])), Some(b));
+        k.compact();
+        // After compaction the fact is still present but its id was re-issued
+        // from a fresh arena; the old id must not be trusted.
+        let b_after = k.id_of(&Fact::from_parts("N", vec![cst("b")])).unwrap();
+        assert_eq!(k.len(), 1);
+        assert_ne!(b, b_after, "compaction re-issues ids from a fresh arena");
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! Instance isomorphism up to a renaming of labeled nulls.
+//!
+//! Chase results are canonical only *up to null renaming*: two runs of a
+//! (semi-)oblivious chase — or an incrementally repaired materialization vs. a
+//! from-scratch re-chase — agree on the null-free part and on the shape of the
+//! null-bearing facts, but number their invented nulls differently. The decision
+//! procedure here searches for an exact **bijection** `nulls(a) → nulls(b)` that
+//! maps the facts of `a` onto the facts of `b`. A homomorphism in each direction
+//! is *not* enough (homomorphisms may collapse nulls), which is why this is a
+//! separate notion from [`crate::homomorphism`].
+//!
+//! This is the checker the PR 5 differential harness (`tests/property_tests.rs`)
+//! introduced; it lives in `chase_core` so that the incremental-maintenance
+//! differential suite and the benches can share it. Those suites compare
+//! instances with hundreds of null-bearing facts, so the search is pruned hard
+//! before any backtracking happens:
+//!
+//! 1. **Skeletons.** A fact's skeleton is the fact with every null replaced by a
+//!    placeholder. A bijective renaming preserves skeletons, so `a`'s and `b`'s
+//!    null-bearing facts must have equal skeleton multisets, and a fact can only
+//!    map to a fact with the same skeleton.
+//! 2. **Color refinement.** Nulls are partitioned by iterated 1-WL-style
+//!    refinement over their occurrence structure (predicate, skeleton, argument
+//!    position, co-occurring null colors). Any renaming respects the final
+//!    colors, so `n → m` is only attempted when their colors agree, and color
+//!    histograms that disagree reject without searching at all.
+//! 3. **Most-constrained-first search.** The backtracker always extends the
+//!    partial map at the fact with the fewest viable images left.
+//!
+//! All three prunings are invariant-based, so the procedure stays sound *and*
+//! complete; the worst case is still exponential, but chase-shaped instances
+//! resolve without meaningful backtracking.
+
+use crate::atom::Fact;
+use crate::instance::Instance;
+use crate::term::{GroundTerm, NullValue};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+
+/// A fact with its nulls erased to a placeholder: the renaming-invariant part.
+fn skeleton(f: &Fact) -> Fact {
+    Fact {
+        predicate: f.predicate,
+        terms: f
+            .terms
+            .iter()
+            .map(|t| match t {
+                GroundTerm::Null(_) => GroundTerm::Null(NullValue(u64::MAX)),
+                c => *c,
+            })
+            .collect(),
+    }
+}
+
+fn hashed(value: impl Hash) -> u64 {
+    let mut h = DefaultHasher::new();
+    value.hash(&mut h);
+    h.finish()
+}
+
+/// Iterated color refinement over null occurrences. The initial color of a null
+/// is the multiset of `(skeleton, position)` pairs it occurs at; each round
+/// folds in the colors of the nulls it co-occurs with. Rounds are capped at the
+/// null count (the partition is strictly coarser-to-finer and stabilizes by
+/// then), and stop early at a fixpoint.
+fn null_colors(facts: &[Fact]) -> HashMap<NullValue, u64> {
+    let mut occurrences: HashMap<NullValue, Vec<(usize, usize)>> = HashMap::new();
+    for (fi, f) in facts.iter().enumerate() {
+        for (pos, t) in f.terms.iter().enumerate() {
+            if let GroundTerm::Null(n) = t {
+                occurrences.entry(*n).or_default().push((fi, pos));
+            }
+        }
+    }
+    let skeletons: Vec<u64> = facts.iter().map(|f| hashed(skeleton(f))).collect();
+    let mut colors: HashMap<NullValue, u64> = occurrences
+        .iter()
+        .map(|(n, occ)| {
+            let mut sig: Vec<(u64, usize)> =
+                occ.iter().map(|&(fi, pos)| (skeletons[fi], pos)).collect();
+            sig.sort_unstable();
+            (*n, hashed(&sig))
+        })
+        .collect();
+    let mut classes = colors.values().collect::<HashSet<_>>().len();
+    for _ in 0..colors.len() {
+        let next: HashMap<NullValue, u64> = occurrences
+            .iter()
+            .map(|(n, occ)| {
+                let mut sig: Vec<(u64, usize, Vec<u64>)> = occ
+                    .iter()
+                    .map(|&(fi, pos)| {
+                        let mut neighbors: Vec<u64> = facts[fi]
+                            .terms
+                            .iter()
+                            .filter_map(|t| match t {
+                                GroundTerm::Null(m) => Some(colors[m]),
+                                _ => None,
+                            })
+                            .collect();
+                        neighbors.sort_unstable();
+                        (skeletons[fi], pos, neighbors)
+                    })
+                    .collect();
+                sig.sort_unstable();
+                (*n, hashed((colors[n], &sig)))
+            })
+            .collect();
+        let next_classes = next.values().collect::<HashSet<_>>().len();
+        colors = next;
+        if next_classes == classes {
+            break;
+        }
+        classes = next_classes;
+    }
+    colors
+}
+
+/// Decides whether `a` and `b` are equal up to a renaming of labeled nulls, by
+/// searching for an exact bijection `nulls(a) → nulls(b)` that maps the facts of
+/// `a` onto the facts of `b`.
+///
+/// Soundness of the success case: the mapping is the identity on constants and
+/// injective on nulls, hence injective on facts; it sends the null-bearing facts
+/// of `a` into those of `b`, and the cardinality checks make it onto.
+/// Completeness: skeleton, color, and ordering prunings only discard images no
+/// bijective renaming can use (see the module docs), and the backtracking
+/// explores every remaining candidate.
+pub fn isomorphic_up_to_null_renaming(a: &Instance, b: &Instance) -> bool {
+    if a.len() != b.len() || a.nulls().len() != b.nulls().len() {
+        return false;
+    }
+    if a.null_free_part() != b.null_free_part() {
+        return false;
+    }
+    let fa: Vec<Fact> = a.facts().filter(|f| !f.nulls().is_empty()).collect();
+    let fb: Vec<Fact> = b.facts().filter(|f| !f.nulls().is_empty()).collect();
+    if fa.len() != fb.len() {
+        return false;
+    }
+    if fa.is_empty() {
+        return true;
+    }
+
+    // Renaming-invariant fast rejects: skeleton multisets, then color
+    // histograms.
+    let mut skel_a: Vec<Fact> = fa.iter().map(skeleton).collect();
+    let mut skel_b: Vec<Fact> = fb.iter().map(skeleton).collect();
+    skel_a.sort();
+    skel_b.sort();
+    if skel_a != skel_b {
+        return false;
+    }
+    let colors_a = null_colors(&fa);
+    let colors_b = null_colors(&fb);
+    let histogram = |colors: &HashMap<NullValue, u64>| {
+        let mut h: Vec<u64> = colors.values().copied().collect();
+        h.sort_unstable();
+        h
+    };
+    if histogram(&colors_a) != histogram(&colors_b) {
+        return false;
+    }
+
+    // Candidate images for each fact of `a`: the same-skeleton facts of `b`.
+    let mut b_by_skeleton: HashMap<Fact, Vec<usize>> = HashMap::new();
+    for (i, f) in fb.iter().enumerate() {
+        b_by_skeleton.entry(skeleton(f)).or_default().push(i);
+    }
+    let candidates: Vec<&[usize]> = fa
+        .iter()
+        .map(|f| b_by_skeleton[&skeleton(f)].as_slice())
+        .collect();
+
+    struct Search<'s> {
+        fa: &'s [Fact],
+        fb: &'s [Fact],
+        candidates: &'s [&'s [usize]],
+        colors_a: &'s HashMap<NullValue, u64>,
+        colors_b: &'s HashMap<NullValue, u64>,
+        map: HashMap<NullValue, NullValue>,
+        used_nulls: HashSet<NullValue>,
+        used_facts: Vec<bool>,
+        placed: Vec<bool>,
+    }
+    impl Search<'_> {
+        /// Binds `fa[i] → fb[j]`'s null pairs, returning the newly bound pairs,
+        /// or `None` if the pair is inconsistent with the current map.
+        fn try_bind(&mut self, i: usize, j: usize) -> Option<Vec<(NullValue, NullValue)>> {
+            let mut newly = Vec::new();
+            for (ta, tb) in self.fa[i].terms.iter().zip(self.fb[j].terms.iter()) {
+                let ok = match (ta, tb) {
+                    (GroundTerm::Null(n), GroundTerm::Null(m)) => match self.map.get(n) {
+                        Some(mapped) => mapped == m,
+                        None if self.used_nulls.contains(m) => false,
+                        None if self.colors_a[n] != self.colors_b[m] => false,
+                        None => {
+                            self.map.insert(*n, *m);
+                            self.used_nulls.insert(*m);
+                            newly.push((*n, *m));
+                            true
+                        }
+                    },
+                    // Skeletons already matched, so constant positions agree.
+                    _ => true,
+                };
+                if !ok {
+                    for (n, m) in newly.drain(..) {
+                        self.map.remove(&n);
+                        self.used_nulls.remove(&m);
+                    }
+                    return None;
+                }
+            }
+            Some(newly)
+        }
+
+        fn viable(&mut self, i: usize) -> Vec<usize> {
+            let candidates: Vec<usize> = self.candidates[i].to_vec();
+            let mut viable = Vec::new();
+            for j in candidates {
+                if self.used_facts[j] {
+                    continue;
+                }
+                if let Some(newly) = self.try_bind(i, j) {
+                    for (n, m) in newly {
+                        self.map.remove(&n);
+                        self.used_nulls.remove(&m);
+                    }
+                    viable.push(j);
+                }
+            }
+            viable
+        }
+
+        fn solve(&mut self, remaining: usize) -> bool {
+            if remaining == 0 {
+                return true;
+            }
+            // Most-constrained fact first; a fact with no viable image fails
+            // the whole branch immediately.
+            let mut best: Option<(usize, Vec<usize>)> = None;
+            for i in 0..self.fa.len() {
+                if self.placed[i] {
+                    continue;
+                }
+                let v = self.viable(i);
+                let len = v.len();
+                if best.as_ref().is_none_or(|(_, bv)| len < bv.len()) {
+                    best = Some((i, v));
+                    if len <= 1 {
+                        break;
+                    }
+                }
+            }
+            let (i, viable) = best.expect("remaining > 0 guarantees an unplaced fact");
+            self.placed[i] = true;
+            for j in viable {
+                if self.used_facts[j] {
+                    continue;
+                }
+                let Some(newly) = self.try_bind(i, j) else {
+                    continue;
+                };
+                self.used_facts[j] = true;
+                if self.solve(remaining - 1) {
+                    return true;
+                }
+                self.used_facts[j] = false;
+                for (n, m) in newly {
+                    self.map.remove(&n);
+                    self.used_nulls.remove(&m);
+                }
+            }
+            self.placed[i] = false;
+            false
+        }
+    }
+
+    let used_facts = vec![false; fb.len()];
+    let placed = vec![false; fa.len()];
+    let mut search = Search {
+        fa: &fa,
+        fb: &fb,
+        candidates: &candidates,
+        colors_a: &colors_a,
+        colors_b: &colors_b,
+        map: HashMap::new(),
+        used_nulls: HashSet::new(),
+        used_facts,
+        placed,
+    };
+    search.solve(fa.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Constant;
+
+    fn cst(s: &str) -> GroundTerm {
+        GroundTerm::Const(Constant::new(s))
+    }
+    fn null(i: u64) -> GroundTerm {
+        GroundTerm::Null(NullValue(i))
+    }
+
+    #[test]
+    fn renamed_nulls_are_isomorphic() {
+        let a = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), null(1)]),
+            Fact::from_parts("E", vec![null(1), null(2)]),
+        ]);
+        let b = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), null(9)]),
+            Fact::from_parts("E", vec![null(9), null(4)]),
+        ]);
+        assert!(isomorphic_up_to_null_renaming(&a, &b));
+    }
+
+    #[test]
+    fn collapsed_nulls_are_not_isomorphic() {
+        // b collapses a's two distinct nulls onto one: homomorphic both ways on
+        // the E-shape, but not bijective.
+        let a = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), null(1)]),
+            Fact::from_parts("E", vec![cst("a"), null(2)]),
+            Fact::from_parts("N", vec![cst("a")]),
+        ]);
+        let b = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![cst("a"), null(7)]),
+            Fact::from_parts("E", vec![cst("a"), cst("a")]),
+            Fact::from_parts("N", vec![cst("a")]),
+        ]);
+        assert!(!isomorphic_up_to_null_renaming(&a, &b));
+    }
+
+    #[test]
+    fn differing_null_free_parts_fail_fast() {
+        let a = Instance::from_facts(vec![Fact::from_parts("N", vec![cst("a")])]);
+        let b = Instance::from_facts(vec![Fact::from_parts("N", vec![cst("b")])]);
+        assert!(!isomorphic_up_to_null_renaming(&a, &b));
+    }
+
+    #[test]
+    fn null_linking_structure_is_checked() {
+        // Same fact counts and null counts, but the chain structure differs.
+        let a = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![null(1), null(2)]),
+            Fact::from_parts("E", vec![null(2), null(3)]),
+        ]);
+        let b = Instance::from_facts(vec![
+            Fact::from_parts("E", vec![null(1), null(2)]),
+            Fact::from_parts("E", vec![null(1), null(3)]),
+        ]);
+        assert!(!isomorphic_up_to_null_renaming(&a, &b));
+    }
+
+    #[test]
+    fn symmetric_null_families_stay_tractable() {
+        // Dozens of interchangeable nulls hanging off shared anchors: the old
+        // naive backtracker went exponential here; color refinement plus
+        // skeleton grouping must decide it instantly.
+        let mut av = Vec::new();
+        let mut bv = Vec::new();
+        for i in 0..40u64 {
+            let anchor = cst(if i % 2 == 0 { "even" } else { "odd" });
+            av.push(Fact::from_parts("R", vec![anchor, null(i + 1)]));
+            av.push(Fact::from_parts("S", vec![null(i + 1), null(100 + i)]));
+            bv.push(Fact::from_parts("R", vec![anchor, null(1000 - i)]));
+            bv.push(Fact::from_parts("S", vec![null(1000 - i), null(2000 + i)]));
+        }
+        let a = Instance::from_facts(av);
+        let b = Instance::from_facts(bv);
+        assert!(isomorphic_up_to_null_renaming(&a, &b));
+    }
+
+    #[test]
+    fn symmetric_negative_case_stays_tractable() {
+        // Identical fact/null counts and skeleton multisets, but in `b` one
+        // head null carries two S-links and another carries none — no
+        // bijection exists, and the checker must see that quickly.
+        let mut av = Vec::new();
+        let mut bv = Vec::new();
+        for i in 0..40u64 {
+            av.push(Fact::from_parts("R", vec![cst("c"), null(i + 1)]));
+            av.push(Fact::from_parts("S", vec![null(i + 1), null(100 + i)]));
+            bv.push(Fact::from_parts("R", vec![cst("c"), null(1000 - i)]));
+            let head = if i == 1 { null(1000) } else { null(1000 - i) };
+            bv.push(Fact::from_parts("S", vec![head, null(2000 + i)]));
+        }
+        let a = Instance::from_facts(av);
+        let b = Instance::from_facts(bv);
+        assert_eq!(a.nulls().len(), b.nulls().len());
+        assert!(!isomorphic_up_to_null_renaming(&a, &b));
+    }
+}

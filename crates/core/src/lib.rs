@@ -53,6 +53,7 @@ pub mod homomorphism;
 pub mod index;
 pub mod instance;
 pub mod interner;
+pub mod isomorphism;
 pub mod parser;
 pub mod position;
 pub mod satisfaction;
@@ -68,6 +69,7 @@ pub use homomorphism::{Assignment, HomomorphismSearch, JoinPlan};
 pub use index::IndexedInstance;
 pub use instance::Instance;
 pub use interner::Symbol;
+pub use isomorphism::isomorphic_up_to_null_renaming;
 pub use parser::{parse_dependencies, parse_program, Program};
 pub use position::Position;
 pub use snapshot::{DiscoveryStats, ShardStats, Snapshot};

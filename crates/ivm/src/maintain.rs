@@ -1,0 +1,595 @@
+//! [`ChaseMaterialization`]: a chased model kept live under base updates.
+//!
+//! ## Repair strategy
+//!
+//! **Inserts** ride the engine's semi-naive path unchanged: new base facts
+//! become deltas, trigger discovery is seeded only from them, and the
+//! fired-key filter guarantees no key fires twice — exactly the tail of a
+//! longer from-scratch run, so the maintained instance equals (up to null
+//! renaming) a re-chase of the enlarged base.
+//!
+//! **Retractions** are DRed (delete-and-rederive) on the support ledger:
+//!
+//! 1. *Overdelete*: kill every record whose body touches a deleted fact and
+//!    propagate to the records' heads (base facts are never overdeleted —
+//!    they are their own derivation). This over-approximates on purpose:
+//!    it is what makes cyclic derivations (`A ⊢ B ⊢ A`) come out right.
+//! 2. *Prune*: a fact with a surviving alive record (or base membership) is
+//!    not dead after all.
+//! 3. *Rederive*: each dead record searches for a fresh body witness **bound
+//!    to its fired key** — the Skolem semantics of the (semi-)oblivious chase
+//!    mean the same key always produces the same heads, so a witness lets the
+//!    record resurrect its original heads (original nulls included) instead
+//!    of inventing new ones. Runs to a fixpoint because resurrections can
+//!    feed each other.
+//! 4. Keys of unrederivable records are *un-fired* so a future insert can
+//!    legitimately fire them again, and the engine forgets their discovery
+//!    dedup entries ([`TriggerEngine::retract_ids`]).
+//!
+//! **EGD caveat**: a dead `EgdSubst` record means a null-collapsing rewrite
+//! may no longer be justified, and undoing a substitution is global (it was
+//! applied to the whole instance, the fired-key sets and the ledger). The
+//! repair falls back to replaying the materialization from the current base —
+//! correct, observable via [`BatchStats::egd_replay`], and honest about the
+//! cost. EGD triggers whose images were equal (`EgdNoop`) carry no rewrite
+//! and repair locally like TGDs.
+
+use crate::ledger::{RecordKind, SupportLedger, SupportRecord};
+use crate::{BatchStats, IvmError};
+use chase_core::substitution::NullSubstitution;
+use chase_core::{
+    Assignment, DepId, Dependency, DependencySet, Fact, FactId, GroundTerm, Instance, Variable,
+};
+use chase_engine::{
+    key_variables, Chase, EgdViolation, MaterializeEvent, MaterializedRun, ObliviousVariant,
+};
+use chase_obs::MetricsRegistry;
+use chase_trigger::search::for_each_indexed_extending;
+use chase_trigger::{StepEffect, TriggerEngine};
+use std::collections::{HashSet, VecDeque};
+use std::ops::ControlFlow;
+use std::time::Instant;
+
+/// A materialized (semi-)oblivious chase model, maintained incrementally
+/// under base-fact [`insert`](ChaseMaterialization::insert) /
+/// [`retract`](ChaseMaterialization::retract) batches.
+///
+/// Built from a completed [`MaterializedRun`] via
+/// [`ChaseMaterialization::from_run`]; the maintained instance is guaranteed
+/// isomorphic (up to null renaming) to a from-scratch re-chase of the current
+/// base — the invariant the `ivm_differential` suite pins.
+///
+/// After an error that leaves the model unrepairable (an EGD violation, a
+/// failed replay) the materialization is *poisoned* and every further call
+/// returns [`IvmError::Poisoned`].
+pub struct ChaseMaterialization<'a> {
+    sigma: &'a DependencySet,
+    variant: ObliviousVariant,
+    engine: TriggerEngine<'a>,
+    key_vars: Vec<Vec<Variable>>,
+    order: Vec<DepId>,
+    /// Per-dependency fired-key sets. Unlike the engine's runner, no ordered
+    /// key list is kept: retraction un-fires keys one at a time, and a linear
+    /// scan per un-fired key is quadratic over large models.
+    fired_lookup: Vec<HashSet<Vec<GroundTerm>>>,
+    ledger: SupportLedger,
+    base: HashSet<FactId>,
+    metrics: MetricsRegistry,
+    poisoned: bool,
+}
+
+impl<'a> ChaseMaterialization<'a> {
+    /// Rebuilds a completed run's engine state (instance, fired-key sets,
+    /// support ledger) by replaying its derivation log — no homomorphism
+    /// search is repeated for the recorded steps, though the engine does
+    /// re-discover (and drop) the run's candidate triggers once, to reach a
+    /// clean quiescent state.
+    ///
+    /// `sigma` must be the dependency set the run was chased with; the replay
+    /// cross-checks itself and returns [`IvmError::Reconstruction`] if the
+    /// rebuilt instance diverges from the recorded one.
+    pub fn from_run(sigma: &'a DependencySet, run: MaterializedRun) -> Result<Self, IvmError> {
+        let MaterializedRun {
+            variant,
+            database,
+            outcome,
+            log,
+        } = run;
+        let old = outcome
+            .into_instance()
+            .expect("a materialized run is always terminated");
+        let key_vars: Vec<Vec<Variable>> = sigma
+            .iter()
+            .map(|(_, dep)| key_variables(variant, dep))
+            .collect();
+        let order: Vec<DepId> = sigma.ids().collect();
+        let mut this = ChaseMaterialization {
+            sigma,
+            variant,
+            engine: TriggerEngine::with_database(sigma, &database),
+            key_vars,
+            order,
+            fired_lookup: vec![HashSet::new(); sigma.len()],
+            ledger: SupportLedger::default(),
+            base: HashSet::new(),
+            metrics: MetricsRegistry::new(),
+            poisoned: false,
+        };
+        this.base = this.engine.instance().fact_ids().collect();
+
+        // Replay the log. Logged ids live in the recorded run's arena; each is
+        // resolved to a fact through the recorded final store (arena interning
+        // survives rewrites and removals) and re-interned in the fresh engine.
+        let old_store = old.store();
+        let mut events = log.into_iter().peekable();
+        while let Some(event) = events.next() {
+            match event {
+                MaterializeEvent::Fired {
+                    dep,
+                    key,
+                    body,
+                    heads,
+                } => {
+                    let mut new_body = Vec::with_capacity(body.len());
+                    for id in body {
+                        let fact = old_store.fact(id);
+                        let live =
+                            this.engine
+                                .instance()
+                                .id_of(&fact)
+                                .ok_or(IvmError::Reconstruction(
+                                    "a logged body fact is not live at its replay point",
+                                ))?;
+                        new_body.push(live);
+                    }
+                    let mut new_heads = Vec::with_capacity(heads.len());
+                    for id in heads {
+                        let fact = old_store.fact(id);
+                        let (live, _) = this.engine.push_fact_full(fact);
+                        new_heads.push(live);
+                    }
+                    let kind = match this.sigma.get(dep) {
+                        Dependency::Tgd(_) => RecordKind::Tgd,
+                        // The runner emits an EGD substitution step's
+                        // `Rewritten` event immediately after its `Fired`.
+                        Dependency::Egd(_) => {
+                            if matches!(events.peek(), Some(MaterializeEvent::Rewritten { .. })) {
+                                RecordKind::EgdSubst
+                            } else {
+                                RecordKind::EgdNoop
+                            }
+                        }
+                    };
+                    this.fire_key(dep, key.clone());
+                    this.ledger.push(SupportRecord {
+                        dep,
+                        key,
+                        body: new_body,
+                        heads: new_heads,
+                        kind,
+                        alive: true,
+                    });
+                }
+                MaterializeEvent::Rewritten { gamma, .. } => {
+                    // Recompute the id delta in this engine's arena rather
+                    // than translating the recorded one.
+                    let delta = this.engine.apply_substitution(&gamma);
+                    this.apply_rewrites(&gamma, &delta);
+                }
+            }
+        }
+
+        // Quiesce: the run terminated, so every candidate the engine now
+        // discovers carries an already-fired key and is dropped.
+        this.drain_and_fire().map_err(IvmError::Violation)?;
+        if this.engine.instance() != &old {
+            return Err(IvmError::Reconstruction(
+                "the replayed engine diverged from the recorded run",
+            ));
+        }
+        Ok(this)
+    }
+
+    /// The maintained instance (always a model of the dependencies).
+    pub fn instance(&self) -> &Instance {
+        self.engine.instance()
+    }
+
+    /// The maintained dependency set.
+    pub fn sigma(&self) -> &'a DependencySet {
+        self.sigma
+    }
+
+    /// Which oblivious variant's fired-key discipline is maintained.
+    pub fn variant(&self) -> ObliviousVariant {
+        self.variant
+    }
+
+    /// Number of live base facts.
+    pub fn base_len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// The current base as a standalone instance (what a from-scratch
+    /// re-chase would start from).
+    pub fn base_instance(&self) -> Instance {
+        let store = self.engine.instance().store();
+        Instance::from_facts(self.base.iter().map(|&id| store.fact(id)))
+    }
+
+    /// The support ledger (diagnostics).
+    pub fn ledger(&self) -> &SupportLedger {
+        &self.ledger
+    }
+
+    /// Lifetime counters: `ivm.batches`, `ivm.inserted`, `ivm.retracted`,
+    /// `ivm.triggers_fired`, `ivm.overdeleted`, `ivm.rederived`,
+    /// `ivm.egd_replays`.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// `true` once an unrepairable error occurred; every further batch
+    /// returns [`IvmError::Poisoned`].
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Adds a batch of base facts and repairs the model by running the chase
+    /// forward from the new deltas only.
+    ///
+    /// Facts already present (base or derived) gain base status but add
+    /// nothing; an EGD violation caused by the new facts poisons the
+    /// materialization (the model is `⊥`, there is nothing left to maintain).
+    pub fn insert<I: IntoIterator<Item = Fact>>(
+        &mut self,
+        facts: I,
+    ) -> Result<BatchStats, IvmError> {
+        self.guard()?;
+        let start = Instant::now();
+        let mut stats = BatchStats::default();
+        for fact in facts {
+            let (id, new) = self.engine.push_fact_full(fact);
+            self.base.insert(id);
+            if new {
+                stats.inserted += 1;
+            }
+        }
+        match self.drain_and_fire() {
+            Ok(fires) => stats.triggers_fired = fires,
+            Err(violation) => {
+                self.poisoned = true;
+                return Err(IvmError::Violation(violation));
+            }
+        }
+        self.finish(stats, start)
+    }
+
+    /// Removes a batch of base facts and repairs the model by DRed
+    /// overdelete/rederive on the support ledger (see the module docs).
+    ///
+    /// Only base facts are retractable: requests naming derived-only or
+    /// unknown facts are ignored (and not counted in
+    /// [`BatchStats::retracted`]).
+    pub fn retract<I: IntoIterator<Item = Fact>>(
+        &mut self,
+        facts: I,
+    ) -> Result<BatchStats, IvmError> {
+        self.guard()?;
+        let start = Instant::now();
+        let mut stats = BatchStats::default();
+        let mut requested: Vec<FactId> = Vec::new();
+        for fact in facts {
+            if let Some(id) = self.engine.instance().id_of(&fact) {
+                if self.base.remove(&id) {
+                    requested.push(id);
+                    stats.retracted += 1;
+                }
+            }
+        }
+        if requested.is_empty() {
+            return self.finish(stats, start);
+        }
+
+        // Overdelete: kill every record leaning on a dead fact; heads of
+        // killed records die too unless they are base facts. Deliberately
+        // ignores alternative derivations (that is what makes cycles work) —
+        // the prune and rederive passes below bring survivors back.
+        let mut dead: HashSet<FactId> = HashSet::new();
+        let mut queue: VecDeque<FactId> = VecDeque::new();
+        for id in requested {
+            if dead.insert(id) {
+                queue.push_back(id);
+            }
+        }
+        let mut dirty: Vec<usize> = Vec::new();
+        while let Some(id) = queue.pop_front() {
+            for idx in self.ledger.consumers_of(id) {
+                let rec = &mut self.ledger.records[idx];
+                if !rec.alive {
+                    continue;
+                }
+                rec.alive = false;
+                dirty.push(idx);
+                let heads = rec.heads.clone();
+                for h in heads {
+                    if !self.base.contains(&h) && dead.insert(h) {
+                        queue.push_back(h);
+                    }
+                }
+            }
+        }
+        // Prune: a fact some alive record still derives is not dead.
+        dead.retain(|&id| !self.ledger.has_alive_support(id));
+        stats.overdeleted = dead.len();
+
+        // A dead EgdSubst record would require undoing a global rewrite:
+        // replay from the surviving base instead.
+        if dirty
+            .iter()
+            .any(|&i| self.ledger.records[i].kind == RecordKind::EgdSubst)
+        {
+            return self.replay_from_base(stats, start);
+        }
+
+        // Physically remove the dead facts; the engine forgets the matching
+        // discovery-dedup entries and purges queued work.
+        let dead_vec: Vec<FactId> = dead.iter().copied().collect();
+        self.engine.retract_ids(&dead_vec);
+
+        // Rederive to a fixpoint: resurrections re-insert facts, which can
+        // make further records rederivable.
+        let mut remaining = dirty;
+        loop {
+            let before = remaining.len();
+            let mut kept = Vec::with_capacity(remaining.len());
+            for idx in remaining {
+                if !self.try_rederive(idx, &mut stats) {
+                    kept.push(idx);
+                }
+            }
+            remaining = kept;
+            if remaining.len() == before {
+                break;
+            }
+        }
+        // Un-fire the keys of records that stayed dead, so a future insert
+        // completing their body fires them again (with fresh nulls — the
+        // differential invariant is up to null renaming).
+        for idx in remaining {
+            let (dep, key) = {
+                let rec = &self.ledger.records[idx];
+                (rec.dep, rec.key.clone())
+            };
+            self.unfire_key(dep, &key);
+        }
+        // Resurrected facts are deltas: let any downstream repair run out.
+        match self.drain_and_fire() {
+            Ok(fires) => stats.triggers_fired += fires,
+            Err(violation) => {
+                self.poisoned = true;
+                return Err(IvmError::Violation(violation));
+            }
+        }
+        self.finish(stats, start)
+    }
+
+    /// A mixed batch: retractions first, then insertions. Runs as two repair
+    /// passes, so `ivm.batches` counts it twice; the returned [`BatchStats`]
+    /// are the combined totals.
+    pub fn update(
+        &mut self,
+        inserts: Vec<Fact>,
+        retracts: Vec<Fact>,
+    ) -> Result<BatchStats, IvmError> {
+        let mut stats = self.retract(retracts)?;
+        let ins = self.insert(inserts)?;
+        stats.absorb(&ins);
+        Ok(stats)
+    }
+
+    fn guard(&self) -> Result<(), IvmError> {
+        if self.poisoned {
+            Err(IvmError::Poisoned)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn fire_key(&mut self, dep: DepId, key: Vec<GroundTerm>) {
+        self.fired_lookup[dep.0].insert(key);
+    }
+
+    fn unfire_key(&mut self, dep: DepId, key: &[GroundTerm]) {
+        self.fired_lookup[dep.0].remove(key);
+    }
+
+    /// Propagates an EGD substitution to every id- or term-keyed structure:
+    /// fired keys, the base set, and the ledger.
+    fn apply_rewrites(&mut self, gamma: &NullSubstitution, delta: &[(FactId, FactId)]) {
+        // Rewrite the fired-key sets in place (the set-only analogue of
+        // `chase_engine::apply_gamma_to_keys`); keys colliding post-gamma
+        // merge, exactly as the runner's lookup rebuild merges them.
+        for lookup in self.fired_lookup.iter_mut() {
+            let changed = lookup
+                .iter()
+                .any(|key| key.iter().any(|&t| gamma.apply_ground(t) != t));
+            if changed {
+                *lookup = std::mem::take(lookup)
+                    .into_iter()
+                    .map(|key| key.into_iter().map(|t| gamma.apply_ground(t)).collect())
+                    .collect();
+            }
+        }
+        for &(old, new) in delta {
+            if self.base.remove(&old) {
+                self.base.insert(new);
+            }
+        }
+        self.ledger.rewrite(gamma, delta);
+    }
+
+    /// Runs the (semi-)oblivious chase loop on the engine's queued work:
+    /// pops candidates, filters by fired key, applies accepted steps and
+    /// writes their support records. Returns the number of applied steps
+    /// (EGD triggers with equal images consume their key but do not count).
+    fn drain_and_fire(&mut self) -> Result<usize, EgdViolation> {
+        let mut fires = 0usize;
+        loop {
+            let ChaseMaterialization {
+                engine,
+                order,
+                key_vars,
+                fired_lookup,
+                ..
+            } = self;
+            let mut accepted: Option<Vec<GroundTerm>> = None;
+            let trigger = engine.next_trigger_where(order, |id, h| {
+                let key: Vec<GroundTerm> = key_vars[id.0]
+                    .iter()
+                    .map(|v| h.get(*v).expect("body variables are bound"))
+                    .collect();
+                if fired_lookup[id.0].contains(&key) {
+                    false
+                } else {
+                    accepted = Some(key);
+                    true
+                }
+            });
+            let Some(trigger) = trigger else {
+                return Ok(fires);
+            };
+            let key = accepted.expect("an accepted trigger always sets its key");
+            let (effect, log) = self
+                .engine
+                .apply_trigger_logged(trigger.dep, &trigger.assignment);
+            if effect == StepEffect::Failure {
+                return Err(EgdViolation::from_trigger(self.sigma, &trigger));
+            }
+            let kind = match &effect {
+                StepEffect::AddedFacts { .. } => {
+                    fires += 1;
+                    RecordKind::Tgd
+                }
+                StepEffect::Substituted { .. } => {
+                    fires += 1;
+                    RecordKind::EgdSubst
+                }
+                StepEffect::NotApplicable => RecordKind::EgdNoop,
+                StepEffect::Failure => unreachable!("handled above"),
+            };
+            self.fire_key(trigger.dep, key.clone());
+            self.ledger.push(SupportRecord {
+                dep: trigger.dep,
+                key,
+                body: log.body,
+                heads: log.heads,
+                kind,
+                alive: true,
+            });
+            if let StepEffect::Substituted { gamma } = &effect {
+                self.apply_rewrites(gamma, &log.rewrites);
+            }
+        }
+    }
+
+    /// Tries to resurrect a dead record: searches for a body witness bound to
+    /// the record's fired key and, if found, re-inserts the record's original
+    /// heads (same facts, same arena ids) under a fresh alive record.
+    fn try_rederive(&mut self, idx: usize, stats: &mut BatchStats) -> bool {
+        let (dep_id, key, kind, heads) = {
+            let rec = &self.ledger.records[idx];
+            (rec.dep, rec.key.clone(), rec.kind, rec.heads.clone())
+        };
+        let dep = self.sigma.get(dep_id);
+        let seed = Assignment::from_pairs(
+            self.key_vars[dep_id.0]
+                .iter()
+                .copied()
+                .zip(key.iter().copied()),
+        );
+        let witness = for_each_indexed_extending(
+            dep.body(),
+            self.engine.fact_index(),
+            &seed,
+            &mut |h: &Assignment| ControlFlow::Break(h.clone()),
+        );
+        let Some(h) = witness else { return false };
+        let mut body = Vec::with_capacity(dep.body().len());
+        for atom in dep.body() {
+            let fact = h.apply_atom(atom).expect("body variables are bound");
+            body.push(
+                self.engine
+                    .instance()
+                    .id_of(&fact)
+                    .expect("witness facts are live"),
+            );
+        }
+        // Same key ⇒ same Skolem heads: bring back the original facts (arena
+        // interning returns their original ids, so sibling records that also
+        // reference them stay valid).
+        let store = self.engine.instance().store();
+        let head_facts: Vec<Fact> = heads.iter().map(|&id| store.fact(id)).collect();
+        for fact in head_facts {
+            let (_, new) = self.engine.push_fact_full(fact);
+            if new {
+                stats.rederived += 1;
+            }
+        }
+        self.ledger.push(SupportRecord {
+            dep: dep_id,
+            key,
+            body,
+            heads,
+            kind,
+            alive: true,
+        });
+        true
+    }
+
+    /// The EGD fallback: re-chases the surviving base from scratch and swaps
+    /// the rebuilt state in, keeping the metrics history.
+    fn replay_from_base(
+        &mut self,
+        mut stats: BatchStats,
+        start: Instant,
+    ) -> Result<BatchStats, IvmError> {
+        stats.egd_replay = true;
+        self.metrics.inc("ivm.egd_replays");
+        let database = self.base_instance();
+        let run = match Chase::oblivious(self.sigma, self.variant).materialize(&database) {
+            Ok(run) => run,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(IvmError::Replay(e));
+            }
+        };
+        stats.triggers_fired += run.outcome.stats().steps;
+        let fresh = match Self::from_run(self.sigma, run) {
+            Ok(fresh) => fresh,
+            Err(e) => {
+                self.poisoned = true;
+                return Err(e);
+            }
+        };
+        self.engine = fresh.engine;
+        self.fired_lookup = fresh.fired_lookup;
+        self.ledger = fresh.ledger;
+        self.base = fresh.base;
+        self.finish(stats, start)
+    }
+
+    fn finish(&mut self, mut stats: BatchStats, start: Instant) -> Result<BatchStats, IvmError> {
+        stats.facts_after = self.engine.instance().len();
+        stats.elapsed = start.elapsed();
+        self.metrics.inc("ivm.batches");
+        self.metrics.add("ivm.inserted", stats.inserted as u64);
+        self.metrics.add("ivm.retracted", stats.retracted as u64);
+        self.metrics
+            .add("ivm.triggers_fired", stats.triggers_fired as u64);
+        self.metrics
+            .add("ivm.overdeleted", stats.overdeleted as u64);
+        self.metrics.add("ivm.rederived", stats.rederived as u64);
+        Ok(stats)
+    }
+}

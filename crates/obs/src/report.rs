@@ -106,6 +106,11 @@ impl RunReport {
         }
     }
 
+    /// Appends one free-form key/value annotation (order-preserving).
+    pub fn annotate(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.annotations.push((key.into(), value.into()));
+    }
+
     /// Replaces `phases` with the contents of a [`PhaseTimes`] accumulator.
     pub fn set_phases(&mut self, times: &PhaseTimes) {
         self.phases = times

@@ -221,7 +221,11 @@ pub fn generate(profile: &OntologyProfile) -> DependencySet {
 /// chosen predicates with constants drawn from a domain of `facts / 2 + 2` individuals.
 pub fn generate_database(sigma: &DependencySet, facts: usize, seed: u64) -> Instance {
     let mut rng = StdRng::seed_from_u64(seed);
-    let predicates: Vec<_> = sigma.predicates().into_iter().collect();
+    // Order predicates by *name*, not by their `Ord` (interner id): symbol ids
+    // depend on process-global interning history, so sampling from id order
+    // made "seeded" databases differ between runs of the same seed.
+    let mut predicates: Vec<_> = sigma.predicates().into_iter().collect();
+    predicates.sort_by_key(|p| (p.name.as_str(), p.arity));
     let mut db = Instance::new();
     if predicates.is_empty() {
         return db;
@@ -250,7 +254,9 @@ pub fn generate_database(sigma: &DependencySet, facts: usize, seed: u64) -> Inst
 /// database when probing chase termination behaviour.
 pub fn critical_database(sigma: &DependencySet) -> Instance {
     let mut db = Instance::new();
-    for p in sigma.predicates() {
+    let mut predicates: Vec<_> = sigma.predicates().into_iter().collect();
+    predicates.sort_by_key(|p| (p.name.as_str(), p.arity));
+    for p in predicates {
         let terms = vec![GroundTerm::Const(chase_core::Constant::new("star")); p.arity];
         db.insert(Fact {
             predicate: p,

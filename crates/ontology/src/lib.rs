@@ -20,14 +20,17 @@
 pub mod corpus;
 pub mod families;
 pub mod generator;
+pub mod updates;
 
 pub use corpus::{paper_corpus, scaled_paper_corpus, CorpusClass, GeneratedOntology};
 pub use families::{atlas_corpus, families, generate_family, AtlasProgram, FamilySpec};
 pub use generator::{generate, generate_database, OntologyProfile};
+pub use updates::{update_stream, UpdateBatch, UpdateStreamProfile};
 
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::corpus::{paper_corpus, scaled_paper_corpus, CorpusClass, GeneratedOntology};
     pub use crate::families::{atlas_corpus, families, generate_family, AtlasProgram, FamilySpec};
     pub use crate::generator::{generate, generate_database, OntologyProfile};
+    pub use crate::updates::{update_stream, UpdateBatch, UpdateStreamProfile};
 }

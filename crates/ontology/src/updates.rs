@@ -1,0 +1,264 @@
+//! Seeded base-update streams: workloads for the incremental maintenance path.
+//!
+//! [`update_stream`] turns an ontology's schema plus an initial database into
+//! a deterministic sequence of [`UpdateBatch`]es. The generator simulates the
+//! live base as it goes, so the stream is **consistent by construction**:
+//! every retraction names a fact that is actually in the base at that point
+//! (inserted earlier in the stream or present initially and not yet
+//! retracted), and inserts mix fresh individuals with constants already in
+//! play (so new facts both extend and join the existing instance).
+//!
+//! Equal `(sigma, base, profile)` inputs generate identical streams — the
+//! differential suite replays the same stream against the incremental and the
+//! from-scratch path.
+
+use chase_core::{Constant, DependencySet, Fact, GroundTerm, Instance};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashSet;
+
+/// One batch of base changes: retractions are applied before insertions
+/// (matching `chase_ivm::ChaseMaterialization::update`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UpdateBatch {
+    /// Base facts added by the batch.
+    pub inserts: Vec<Fact>,
+    /// Base facts removed by the batch (guaranteed live at application time).
+    pub retracts: Vec<Fact>,
+}
+
+impl UpdateBatch {
+    /// Total change count of the batch.
+    pub fn len(&self) -> usize {
+        self.inserts.len() + self.retracts.len()
+    }
+
+    /// `true` iff the batch changes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.retracts.is_empty()
+    }
+}
+
+/// Shape of a generated update stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct UpdateStreamProfile {
+    /// Number of batches in the stream.
+    pub batches: usize,
+    /// Changes (inserts + retracts) per batch.
+    pub batch_size: usize,
+    /// Probability that a single change is a retraction (`0.0` = insert-only
+    /// stream, `1.0` = retract-only while live facts remain).
+    pub retract_fraction: f64,
+    /// RNG seed; equal inputs generate identical streams.
+    pub seed: u64,
+}
+
+impl Default for UpdateStreamProfile {
+    fn default() -> Self {
+        UpdateStreamProfile {
+            batches: 4,
+            batch_size: 16,
+            retract_fraction: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+/// A process-independent sort key for a fact: names instead of symbol ids.
+fn fact_name_key(f: &Fact) -> (String, Vec<(u8, String, u64)>) {
+    let terms = f
+        .terms
+        .iter()
+        .map(|t| match t {
+            GroundTerm::Const(c) => (0u8, c.name(), 0u64),
+            GroundTerm::Null(n) => (1u8, String::new(), n.0),
+        })
+        .collect();
+    (f.predicate.name.as_str(), terms)
+}
+
+/// Generates a consistent, seeded update stream over `sigma`'s schema,
+/// starting from `base` (see the module docs for the consistency guarantee).
+pub fn update_stream(
+    sigma: &DependencySet,
+    base: &Instance,
+    profile: &UpdateStreamProfile,
+) -> Vec<UpdateBatch> {
+    let mut rng = StdRng::seed_from_u64(profile.seed);
+    // Name order, not `Ord` (interner-id) order: symbol ids depend on
+    // process-global interning history, and a seeded stream must not.
+    let mut predicates: Vec<_> = sigma.predicates().into_iter().collect();
+    predicates.sort_by_key(|p| (p.name.as_str(), p.arity));
+    // The simulated live base: retraction candidates, kept in a Vec for O(1)
+    // uniform sampling, with a set alongside to keep it duplicate-free. The
+    // initial order is name-based for the same reason as above (`facts()`
+    // iterates a hash set, and `Fact`'s own `Ord` goes through symbol ids).
+    let mut live: Vec<Fact> = base.facts().collect();
+    live.sort_by_key(fact_name_key);
+    let mut live_set: HashSet<Fact> = live.iter().cloned().collect();
+    // Constants in play (for joining inserts) plus a fresh-individual counter.
+    let mut pool: Vec<Constant> = base.constants().into_iter().collect();
+    pool.sort_by_key(Constant::name);
+    let mut fresh = 0usize;
+
+    let mut stream = Vec::with_capacity(profile.batches);
+    for _ in 0..profile.batches {
+        let mut batch = UpdateBatch::default();
+        let ops: Vec<bool> = (0..profile.batch_size)
+            .map(|_| rng.random_bool(profile.retract_fraction))
+            .collect();
+        // Retractions first, then insertions — the order the maintenance
+        // path applies them in — so a batch never retracts a fact it also
+        // inserts (the pair would silently cancel instead of exercising the
+        // repair it claims to). A retraction with nothing left to retract is
+        // dropped, shortening the batch.
+        let mut retracted: HashSet<Fact> = HashSet::new();
+        for &is_retract in &ops {
+            if is_retract && !live.is_empty() {
+                let i = rng.random_range(0..live.len());
+                let fact = live.swap_remove(i);
+                live_set.remove(&fact);
+                retracted.insert(fact.clone());
+                batch.retracts.push(fact);
+            }
+        }
+        for &is_retract in &ops {
+            if is_retract || predicates.is_empty() {
+                continue;
+            }
+            let p = predicates[rng.random_range(0..predicates.len())];
+            let terms: Vec<GroundTerm> = (0..p.arity)
+                .map(|_| {
+                    // Mostly joinable constants, sometimes a fresh one (a
+                    // growing domain keeps streams from saturating).
+                    let c = if pool.is_empty() || rng.random_bool(0.3) {
+                        fresh += 1;
+                        let c = Constant::new(&format!("upd{fresh}"));
+                        pool.push(c);
+                        c
+                    } else {
+                        pool[rng.random_range(0..pool.len())]
+                    };
+                    GroundTerm::Const(c)
+                })
+                .collect();
+            let fact = Fact {
+                predicate: p,
+                terms,
+            };
+            if !live_set.contains(&fact) && !retracted.contains(&fact) {
+                live_set.insert(fact.clone());
+                live.push(fact.clone());
+                batch.inserts.push(fact);
+            }
+        }
+        stream.push(batch);
+    }
+    stream
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, generate_database, OntologyProfile};
+
+    fn setup() -> (DependencySet, Instance) {
+        let profile = OntologyProfile {
+            existential: 4,
+            full: 8,
+            egds: 2,
+            cyclic: false,
+            seed: 11,
+        };
+        let sigma = generate(&profile);
+        let base = generate_database(&sigma, 60, 12);
+        (sigma, base)
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let (sigma, base) = setup();
+        let profile = UpdateStreamProfile::default();
+        let a = update_stream(&sigma, &base, &profile);
+        let b = update_stream(&sigma, &base, &profile);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), profile.batches);
+        let c = update_stream(
+            &sigma,
+            &base,
+            &UpdateStreamProfile {
+                seed: 99,
+                ..profile
+            },
+        );
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn retractions_always_name_live_base_facts() {
+        let (sigma, base) = setup();
+        let stream = update_stream(
+            &sigma,
+            &base,
+            &UpdateStreamProfile {
+                batches: 10,
+                batch_size: 12,
+                retract_fraction: 0.5,
+                seed: 3,
+            },
+        );
+        let mut live: HashSet<Fact> = base.facts().collect();
+        let mut retracted_any = false;
+        for batch in &stream {
+            for f in &batch.retracts {
+                retracted_any = true;
+                assert!(
+                    live.remove(f),
+                    "retraction of a fact not in the base: {f:?}"
+                );
+                assert!(
+                    !batch.inserts.contains(f),
+                    "a batch must not retract and insert the same fact"
+                );
+            }
+            for f in &batch.inserts {
+                assert!(
+                    live.insert(f.clone()),
+                    "insert of an already-live fact: {f:?}"
+                );
+            }
+        }
+        assert!(retracted_any);
+    }
+
+    #[test]
+    fn retract_fraction_extremes_behave() {
+        let (sigma, base) = setup();
+        let inserts_only = update_stream(
+            &sigma,
+            &base,
+            &UpdateStreamProfile {
+                retract_fraction: 0.0,
+                ..UpdateStreamProfile::default()
+            },
+        );
+        assert!(inserts_only.iter().all(|b| b.retracts.is_empty()));
+        assert!(inserts_only.iter().any(|b| !b.inserts.is_empty()));
+        let retracts_only = update_stream(
+            &sigma,
+            &base,
+            &UpdateStreamProfile {
+                retract_fraction: 1.0,
+                batches: 2,
+                batch_size: 10,
+                seed: 0,
+            },
+        );
+        assert!(retracts_only.iter().all(|b| b.inserts.is_empty()));
+        assert_eq!(
+            retracts_only.iter().map(UpdateBatch::len).sum::<usize>(),
+            20,
+            "the base is large enough to serve every retraction"
+        );
+    }
+}

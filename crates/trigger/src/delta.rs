@@ -59,6 +59,15 @@ impl DeltaQueue {
         self.enqueued_total
     }
 
+    /// Keeps only the waiting fact ids accepted by `keep`, preserving FIFO
+    /// order. Retraction support: a fact removed from the instance must not be
+    /// re-seeded into discovery, so
+    /// [`TriggerEngine::retract_ids`](crate::TriggerEngine) purges it from the
+    /// worklist. `enqueued_total` is a lifetime counter and is not rewound.
+    pub fn retain(&mut self, mut keep: impl FnMut(FactId) -> bool) {
+        self.queue.retain(|&id| keep(id));
+    }
+
     /// Applies an EGD substitution's id delta to every waiting fact, keeping the
     /// worklist in lockstep with the instance: a queued fact that mentioned the
     /// substituted null no longer exists in `K γ`; its rewrite (the `new` of its
@@ -91,6 +100,44 @@ mod tests {
         assert_eq!(q.pop(), None);
         assert!(q.is_empty());
         assert_eq!(q.enqueued_total(), 2);
+    }
+
+    #[test]
+    fn take_batch_on_an_empty_queue_is_empty() {
+        let mut q = DeltaQueue::new();
+        assert!(q.take_batch().is_empty());
+        assert_eq!(q.enqueued_total(), 0);
+        // Draining is idempotent: a second take after a real batch is empty too.
+        q.push(FactId(3));
+        assert_eq!(q.take_batch(), vec![FactId(3)]);
+        assert!(q.take_batch().is_empty());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn take_batch_preserves_duplicate_ids_in_fifo_order() {
+        // The queue does not dedup: the same id pushed twice (e.g. a fact
+        // rewritten onto an existing fact by two EGD substitutions) drains
+        // twice, in push order. Dedup happens downstream, against the engine's
+        // `seen` set — never here, so the batch order stays a pure FIFO record.
+        let mut q = DeltaQueue::new();
+        q.push(FactId(5));
+        q.push(FactId(9));
+        q.push(FactId(5));
+        assert_eq!(q.take_batch(), vec![FactId(5), FactId(9), FactId(5)]);
+        assert_eq!(q.enqueued_total(), 3);
+    }
+
+    #[test]
+    fn retain_drops_matching_ids_preserving_order() {
+        let mut q = DeltaQueue::new();
+        q.push(FactId(1));
+        q.push(FactId(2));
+        q.push(FactId(3));
+        q.push(FactId(2));
+        q.retain(|id| id != FactId(2));
+        assert_eq!(q.take_batch(), vec![FactId(1), FactId(3)]);
+        assert_eq!(q.enqueued_total(), 4, "lifetime counter is not rewound");
     }
 
     #[test]

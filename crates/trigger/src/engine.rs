@@ -70,6 +70,8 @@ pub enum StepEffect {
 pub struct EngineStats {
     /// Facts inserted into the index (new facts only).
     pub facts_inserted: usize,
+    /// Facts removed from the index by [`TriggerEngine::retract_ids`].
+    pub facts_retracted: usize,
     /// Delta facts drained through seeded discovery.
     pub deltas_processed: usize,
     /// Candidate triggers discovered (after dedup).
@@ -78,6 +80,28 @@ pub struct EngineStats {
     pub triggers_dropped: usize,
     /// EGD substitutions applied to the engine state.
     pub substitutions: usize,
+}
+
+/// Fact-id level record of one applied chase step, produced by
+/// [`TriggerEngine::apply_trigger_logged`] for support-ledger consumers
+/// (`chase_ivm`).
+///
+/// The body image is resolved **before** the step mutates anything, so for an
+/// EGD substitution step the recorded ids are the pre-rewrite ids; `rewrites`
+/// maps them (and every other rewritten fact) forward into the post-step
+/// instance.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StepLog {
+    /// The image of the body under the trigger's homomorphism: one interned id
+    /// per body atom, in body-atom order.
+    pub body: Vec<FactId>,
+    /// For a TGD step: the interned ids of **all** head facts in head-atom
+    /// order — including facts that already existed (contrast
+    /// [`StepEffect::AddedFacts`], which lists only the new ones). A support
+    /// ledger needs the pre-existing heads too: they gain an extra derivation.
+    pub heads: Vec<FactId>,
+    /// For an EGD substitution step: the `(old, new)` id pairs of the rewrite.
+    pub rewrites: Vec<(FactId, FactId)>,
 }
 
 /// Delta-driven incremental trigger discovery over an owned, indexed instance.
@@ -155,6 +179,29 @@ impl<'a> TriggerEngine<'a> {
         }
     }
 
+    /// Adds one fact, returning its interned id and whether it was new (new
+    /// facts become deltas). The id-reporting flavour of
+    /// [`TriggerEngine::push_facts`], for callers that track facts by id — a
+    /// previously retracted fact comes back under its original id.
+    pub fn push_fact_full(&mut self, fact: Fact) -> (FactId, bool) {
+        let (id, new) = self.index.insert_full(fact);
+        self.record_insert(id, new);
+        (id, new)
+    }
+
+    /// Number of discovered-but-unpopped candidate triggers across all
+    /// dependencies (diagnostics; a quiesced engine has zero pending and an
+    /// empty delta worklist).
+    pub fn pending_len(&self) -> usize {
+        self.pending.iter().map(|q| q.len()).sum()
+    }
+
+    /// Returns `true` iff no delta is waiting and no candidate is pending — the
+    /// engine will discover nothing new until facts are pushed or retracted.
+    pub fn is_quiescent(&self) -> bool {
+        self.deltas.is_empty() && self.pending_len() == 0
+    }
+
     fn insert_fact(&mut self, fact: Fact) -> bool {
         let (id, new) = self.index.insert_full(fact);
         self.record_insert(id, new)
@@ -171,10 +218,13 @@ impl<'a> TriggerEngine<'a> {
     /// Applies an EGD substitution `γ`: rewrites the instance in place, rewrites
     /// every pending trigger and dedup key (`h ↦ γ∘h`), and re-seeds discovery
     /// from the rewritten facts (substitution can *create* triggers, e.g. a body
-    /// atom `E(x, x)` matching a fact only after two nulls collapse).
-    pub fn apply_substitution(&mut self, gamma: &NullSubstitution) {
+    /// atom `E(x, x)` matching a fact only after two nulls collapse). Returns
+    /// the rewritten `(old, new)` id pairs — the same delta the index reported
+    /// — so id-tracking callers (the `chase_ivm` support ledger) can map their
+    /// records forward.
+    pub fn apply_substitution(&mut self, gamma: &NullSubstitution) -> Vec<(FactId, FactId)> {
         if gamma.is_empty() {
-            return;
+            return Vec::new();
         }
         self.stats.substitutions += 1;
         let delta = self.index.substitute(gamma);
@@ -198,9 +248,10 @@ impl<'a> TriggerEngine<'a> {
                 })
                 .collect();
         }
-        for (_, new) in delta {
+        for &(_, new) in &delta {
             self.deltas.push(new);
         }
+        delta
     }
 
     /// Drains the delta worklist, seeding homomorphism search from every (body
@@ -332,6 +383,34 @@ impl<'a> TriggerEngine<'a> {
     /// queues, and returns the effect. Unlike the naive path there is no full
     /// instance clone per step.
     pub fn apply_trigger(&mut self, dep_id: DepId, h: &Assignment) -> StepEffect {
+        self.apply_trigger_inner(dep_id, h, None)
+    }
+
+    /// [`TriggerEngine::apply_trigger`] plus a [`StepLog`]: the step's body
+    /// image, head ids and rewrite pairs at the [`FactId`] level, for support
+    /// ledgers. The body image is resolved before the step runs (see
+    /// [`StepLog`] for the EGD id-space caveat); the effect and every state
+    /// change are identical to the unlogged call.
+    pub fn apply_trigger_logged(&mut self, dep_id: DepId, h: &Assignment) -> (StepEffect, StepLog) {
+        let mut log = StepLog::default();
+        for atom in self.sigma.get(dep_id).body() {
+            let fact = h.apply_atom(atom).expect("body variables are bound");
+            let id = self
+                .index
+                .id_of(&fact)
+                .expect("a trigger's body maps into the live instance");
+            log.body.push(id);
+        }
+        let effect = self.apply_trigger_inner(dep_id, h, Some(&mut log));
+        (effect, log)
+    }
+
+    fn apply_trigger_inner(
+        &mut self,
+        dep_id: DepId,
+        h: &Assignment,
+        mut log: Option<&mut StepLog>,
+    ) -> StepEffect {
         match self.sigma.get(dep_id) {
             Dependency::Tgd(tgd) => {
                 let mut extended = h.clone();
@@ -346,7 +425,12 @@ impl<'a> TriggerEngine<'a> {
                     let fact = extended
                         .apply_atom(atom)
                         .expect("all head variables are bound after extension");
-                    if self.insert_fact(fact.clone()) {
+                    let (id, new) = self.index.insert_full(fact.clone());
+                    self.record_insert(id, new);
+                    if let Some(log) = log.as_deref_mut() {
+                        log.heads.push(id);
+                    }
+                    if new {
                         added.push(fact);
                     }
                 }
@@ -365,12 +449,54 @@ impl<'a> TriggerEngine<'a> {
                     (GroundTerm::Const(_), GroundTerm::Const(_)) => StepEffect::Failure,
                     (GroundTerm::Null(n), other) | (other, GroundTerm::Null(n)) => {
                         let gamma = NullSubstitution::single(n, other);
-                        self.apply_substitution(&gamma);
+                        let rewrites = self.apply_substitution(&gamma);
+                        if let Some(log) = log {
+                            log.rewrites = rewrites;
+                        }
                         StepEffect::Substituted { gamma }
                     }
                 }
             }
         }
+    }
+
+    /// Retracts facts by id: forgets every discovered assignment whose body
+    /// image touches one of them, purges them from the delta worklist, then
+    /// removes them from the instance and its indexes. Returns the number of
+    /// facts actually removed (dead or unknown ids are skipped).
+    ///
+    /// Forgetting runs **before** removal, because the seeded joins that locate
+    /// the affected assignments must still resolve through the departing facts.
+    /// And it must drop the `seen` entries, not just the pending ones: a
+    /// retracted fact that is later rederived or re-inserted comes back under
+    /// its original id (the arena keeps the interning) and re-enters discovery
+    /// as a fresh delta — a stale dedup entry would silently suppress its
+    /// triggers forever.
+    pub fn retract_ids(&mut self, ids: &[FactId]) -> usize {
+        for &id in ids {
+            if !self.index.instance().contains_id(id) {
+                continue;
+            }
+            let predicate = self.index.store().predicate_of(id);
+            for &(dep, seed_index) in self.seed_atoms.seeds_for(predicate) {
+                let body = self.sigma.get(dep).body();
+                let mut found: Vec<Assignment> = Vec::new();
+                for_each_seeded_id::<()>(body, &self.index, seed_index, id, &mut |h| {
+                    found.push(h.clone());
+                    ControlFlow::Continue(())
+                });
+                for h in found {
+                    if self.seen[dep.0].remove(&h.canonical()) {
+                        self.pending[dep.0].retain(|p| p != &h);
+                    }
+                }
+            }
+        }
+        let dead: HashSet<FactId> = ids.iter().copied().collect();
+        self.deltas.retain(|id| !dead.contains(&id));
+        let removed = self.index.remove_ids(ids);
+        self.stats.facts_retracted += removed;
+        removed
     }
 }
 
@@ -641,6 +767,150 @@ mod tests {
             assert_eq!(baseline.1, parallel.1, "engine stats at {workers}");
             assert_eq!(baseline.2, parallel.2, "final instance at {workers}");
         }
+    }
+
+    #[test]
+    fn parallel_drain_of_an_empty_worklist_is_a_noop() {
+        // Satellite: a zero-length batch must not touch discovery at any worker
+        // count — no deltas processed, no snapshot sharding, no candidates.
+        let (sigma, db) = sigma1();
+        let mut engine = TriggerEngine::with_database(&sigma, &db);
+        engine.drain_deltas();
+        let stats = engine.stats().clone();
+        for workers in [1, 2, 4, 8] {
+            engine.drain_deltas_parallel(workers);
+            assert_eq!(engine.stats(), &stats, "at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn logged_tgd_step_records_body_and_all_heads() {
+        let p = parse_program(
+            r#"
+            t: E(?x, ?y), E(?y, ?z) -> E(?x, ?z), N(?x).
+            E(a, b). E(b, c). N(a).
+            "#,
+        )
+        .unwrap();
+        let order: Vec<DepId> = p.dependencies.ids().collect();
+        let mut engine = TriggerEngine::with_database(&p.dependencies, &p.database);
+        let t = engine.next_active_trigger(&order).unwrap();
+        let (effect, log) = engine.apply_trigger_logged(t.dep, &t.assignment);
+        let id = |pred: &str, a: &str, b: &str| {
+            engine
+                .fact_index()
+                .id_of(&Fact::from_parts(pred, vec![gc(a), gc(b)]))
+                .unwrap()
+        };
+        assert_eq!(log.body, vec![id("E", "a", "b"), id("E", "b", "c")]);
+        // Both heads are logged — E(a, c) is new, N(a) already existed.
+        let n_a = engine
+            .fact_index()
+            .id_of(&Fact::from_parts("N", vec![gc("a")]))
+            .unwrap();
+        assert_eq!(log.heads, vec![id("E", "a", "c"), n_a]);
+        assert!(log.rewrites.is_empty());
+        match effect {
+            StepEffect::AddedFacts { facts, .. } => {
+                assert_eq!(facts, vec![Fact::from_parts("E", vec![gc("a"), gc("c")])]);
+            }
+            other => panic!("expected AddedFacts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logged_egd_step_records_prerewrite_body_and_the_rewrites() {
+        let p = parse_program(
+            r#"
+            k: P(?x, ?y), P(?x, ?z) -> ?y = ?z.
+            "#,
+        )
+        .unwrap();
+        let order: Vec<DepId> = p.dependencies.ids().collect();
+        let mut engine = TriggerEngine::new(&p.dependencies);
+        let (null_fact_id, _) = engine.push_fact_full(Fact::from_parts(
+            "P",
+            vec![gc("a"), GroundTerm::Null(NullValue(1))],
+        ));
+        let (ground_id, _) = engine.push_fact_full(Fact::from_parts("P", vec![gc("a"), gc("b")]));
+        let t = engine
+            .next_trigger_where(&order, |_, h| {
+                h.get(Variable::new("y")) != h.get(Variable::new("z"))
+            })
+            .unwrap();
+        let (effect, log) = engine.apply_trigger_logged(t.dep, &t.assignment);
+        assert!(matches!(effect, StepEffect::Substituted { .. }));
+        // The body image is in pre-rewrite id space; the rewrite pairs map the
+        // collapsed fact onto its ground image.
+        assert_eq!(log.body.len(), 2);
+        assert!(log.body.contains(&null_fact_id));
+        assert!(log.body.contains(&ground_id));
+        assert_eq!(log.rewrites, vec![(null_fact_id, ground_id)]);
+        assert!(log.heads.is_empty());
+    }
+
+    #[test]
+    fn retract_forgets_seen_so_rederivation_can_refire() {
+        // Derive N(b) from E(a, b), retract E(a, b), push it back: the trigger
+        // must be discovered and applicable again — a stale `seen` entry would
+        // suppress it forever.
+        let p = parse_program("r: E(?x, ?y) -> N(?y). E(a, b).").unwrap();
+        let order: Vec<DepId> = p.dependencies.ids().collect();
+        let mut engine = TriggerEngine::with_database(&p.dependencies, &p.database);
+        let t = engine.next_trigger_where(&order, |_, _| true).unwrap();
+        engine.apply_trigger(t.dep, &t.assignment);
+        assert!(engine.next_trigger_where(&order, |_, _| true).is_none());
+        let e_ab = engine
+            .fact_index()
+            .id_of(&Fact::from_parts("E", vec![gc("a"), gc("b")]))
+            .unwrap();
+        assert_eq!(engine.retract_ids(&[e_ab]), 1);
+        assert_eq!(engine.stats().facts_retracted, 1);
+        assert_eq!(engine.instance().len(), 1, "N(b) survives, E(a, b) is gone");
+        // Re-insert: same id, and the trigger fires again.
+        let (again, new) = engine.push_fact_full(Fact::from_parts("E", vec![gc("a"), gc("b")]));
+        assert!(new);
+        assert_eq!(again, e_ab);
+        let t = engine
+            .next_trigger_where(&order, |_, _| true)
+            .expect("the forgotten trigger must be rediscovered");
+        assert_eq!(t.dep, DepId(0));
+    }
+
+    #[test]
+    fn retract_purges_pending_and_queued_deltas() {
+        // Retract a fact whose trigger is still pending and whose id is still
+        // in the delta worklist: neither may survive.
+        let p = parse_program("r: E(?x, ?y) -> N(?y).").unwrap();
+        let order: Vec<DepId> = p.dependencies.ids().collect();
+        let mut engine = TriggerEngine::new(&p.dependencies);
+        let (id, _) = engine.push_fact_full(Fact::from_parts("E", vec![gc("a"), gc("b")]));
+        // Drain: discovery has run, the r-trigger is pending.
+        engine.drain_deltas();
+        assert_eq!(engine.pending_len(), 1);
+        // Push a second copy path: enqueue the id again via retraction of a
+        // still-queued fact — first check the queued-delta purge.
+        let (id2, _) = engine.push_fact_full(Fact::from_parts("E", vec![gc("c"), gc("d")]));
+        assert_eq!(engine.retract_ids(&[id, id2]), 2);
+        assert!(engine.is_quiescent(), "no pending trigger, no queued delta");
+        assert!(
+            engine.next_trigger_where(&order, |_, _| true).is_none(),
+            "retracted facts must not fire triggers"
+        );
+        assert!(engine.instance().is_empty());
+    }
+
+    #[test]
+    fn retracting_a_dead_or_unknown_id_is_a_noop() {
+        let p = parse_program("r: E(?x, ?y) -> N(?y). E(a, b).").unwrap();
+        let mut engine = TriggerEngine::with_database(&p.dependencies, &p.database);
+        let e_ab = engine
+            .fact_index()
+            .id_of(&Fact::from_parts("E", vec![gc("a"), gc("b")]))
+            .unwrap();
+        assert_eq!(engine.retract_ids(&[e_ab, e_ab]), 1, "duplicates collapse");
+        assert_eq!(engine.retract_ids(&[e_ab]), 0, "already dead");
+        assert_eq!(engine.stats().facts_retracted, 1);
     }
 
     #[test]

@@ -72,6 +72,28 @@ impl FactIndex {
         self.indexed.contains(fact)
     }
 
+    /// The live id of `fact`, if it is currently stored — see
+    /// [`Instance::id_of`]. Removed (tombstoned) facts resolve to `None` even
+    /// though the arena still knows them.
+    pub fn id_of(&self, fact: &Fact) -> Option<FactId> {
+        self.instance().id_of(fact)
+    }
+
+    /// Removes a fact by id, unindexing it from every per-(predicate, position)
+    /// and per-null bucket — see [`chase_core::IndexedInstance::remove_id`].
+    /// Returns `true` iff the fact was live. The arena keeps the interning, so
+    /// a later re-insert of the same fact yields the same id.
+    pub fn remove_id(&mut self, id: FactId) -> bool {
+        self.indexed.remove_id(id)
+    }
+
+    /// Removes a batch of facts by id; returns how many were present
+    /// (duplicates count once). One dense-list sweep per affected predicate
+    /// — see [`IndexedInstance::remove_ids`].
+    pub fn remove_ids(&mut self, ids: &[FactId]) -> usize {
+        self.indexed.remove_ids(ids)
+    }
+
     /// Inserts a fact; returns `true` iff it was new.
     pub fn insert(&mut self, fact: Fact) -> bool {
         self.indexed.insert(fact)
@@ -174,6 +196,23 @@ mod tests {
         assert_eq!(idx.candidates_for(&a, &Assignment::new()).len(), 1);
         let none = atom("E", vec![cst("z"), var("y")]);
         assert!(idx.candidates_for(&none, &Assignment::new()).is_empty());
+    }
+
+    #[test]
+    fn remove_id_tombstones_and_reinsert_reuses_the_id() {
+        let mut idx = path();
+        let fact = Fact::from_parts("E", vec![gc("b"), gc("c")]);
+        let id = idx.id_of(&fact).expect("stored");
+        assert!(idx.remove_id(id));
+        assert!(!idx.remove_id(id), "second removal is a no-op");
+        assert_eq!(idx.id_of(&fact), None);
+        assert_eq!(idx.len(), 2);
+        let a = atom("E", vec![var("x"), var("y")]);
+        assert_eq!(idx.candidates_for(&a, &Assignment::new()).len(), 2);
+        let (again, new) = idx.insert_full(fact.clone());
+        assert!(new);
+        assert_eq!(again, id, "the arena re-issues the same id");
+        assert_eq!(idx.id_of(&fact), Some(id));
     }
 
     #[test]

@@ -51,7 +51,7 @@ pub mod parallel;
 pub mod search;
 
 pub use delta::DeltaQueue;
-pub use engine::{EngineStats, StepEffect, Trigger, TriggerEngine};
+pub use engine::{EngineStats, StepEffect, StepLog, Trigger, TriggerEngine};
 pub use index::FactIndex;
 pub use parallel::{
     body_image, discover_batch, discover_batch_instrumented, sort_canonical, DiscoveredTrigger,
@@ -61,7 +61,7 @@ pub use parallel::{
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::delta::DeltaQueue;
-    pub use crate::engine::{EngineStats, StepEffect, Trigger, TriggerEngine};
+    pub use crate::engine::{EngineStats, StepEffect, StepLog, Trigger, TriggerEngine};
     pub use crate::index::FactIndex;
     pub use crate::parallel::{discover_batch, DiscoveredTrigger, SeedAtoms};
 }

@@ -29,8 +29,14 @@
 //!   `Adn∃-C` combinator — and the
 //!   [`TerminationAnalyzer`](chase_termination::TerminationAnalyzer) running the whole
 //!   hierarchy cheapest-first;
+//! * [`ivm`](chase_ivm) — incremental view maintenance: keep a completed
+//!   (semi-)oblivious chase live under base-fact inserts and retracts
+//!   ([`ChaseMaterialization`](chase_ivm::ChaseMaterialization)), with
+//!   semi-naive forward repair, DRed overdelete/rederive on a support ledger,
+//!   and a full-replay fallback when a retraction invalidates an EGD rewrite;
 //! * [`ontology`](chase_ontology) — a synthetic ontology-style workload generator
-//!   reproducing the corpus shape of the paper's evaluation;
+//!   reproducing the corpus shape of the paper's evaluation, plus seeded
+//!   base-update streams for exercising the maintenance path;
 //! * [`obs`](chase_obs) — the dependency-free observability layer: a
 //!   [`MetricsRegistry`](chase_obs::MetricsRegistry) of counters, gauges and
 //!   log-bucketed duration histograms, phase timing
@@ -86,6 +92,32 @@
 //! assert_eq!(RunReport::parse(&run_report.to_json_string()).unwrap(), run_report);
 //! ```
 //!
+//! ## Incremental maintenance
+//!
+//! When the base changes faster than you want to re-chase it, materialize the
+//! run once and repair it per batch:
+//!
+//! ```
+//! use egd_chase::prelude::*;
+//! use egd_chase::chase_ivm::ChaseMaterialization;
+//! use egd_chase::chase_core::{Constant, GroundTerm};
+//!
+//! let p = parse_program(
+//!     "t: E(?x, ?y), E(?y, ?z) -> E(?x, ?z). E(a, b). E(b, c).",
+//! )
+//! .unwrap();
+//! let run = Chase::semi_oblivious(&p.dependencies)
+//!     .materialize(&p.database)
+//!     .unwrap();
+//! let mut live = ChaseMaterialization::from_run(&p.dependencies, run).unwrap();
+//!
+//! let c = |s| GroundTerm::Const(Constant::new(s));
+//! let stats = live.insert([Fact::from_parts("E", vec![c("c"), c("d")])]).unwrap();
+//! assert_eq!(stats.triggers_fired, 2); // repair cost, not a full re-chase
+//! let stats = live.retract([Fact::from_parts("E", vec![c("a"), c("b")])]).unwrap();
+//! assert_eq!(stats.overdeleted, 3); // E(a,b), E(a,c), E(a,d)
+//! ```
+//!
 //! ## Migrating from the legacy API
 //!
 //! The pre-redesign entry points remain as `#[deprecated]` shims delegating to the
@@ -103,6 +135,7 @@
 pub use chase_core;
 pub use chase_criteria;
 pub use chase_engine;
+pub use chase_ivm;
 pub use chase_obs;
 pub use chase_ontology;
 pub use chase_termination;
@@ -118,6 +151,7 @@ pub mod prelude {
     };
     pub use chase_criteria::prelude::*;
     pub use chase_engine::prelude::*;
+    pub use chase_ivm::{BatchStats, ChaseMaterialization, IvmError};
     pub use chase_obs::prelude::*;
     pub use chase_ontology::prelude::*;
     pub use chase_termination::prelude::*;

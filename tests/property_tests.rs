@@ -7,14 +7,15 @@ use chase_core::parser::{parse_program, to_source};
 use chase_core::satisfaction::satisfies_all;
 use chase_core::substitution::NullSubstitution;
 use chase_core::{
-    Assignment, Atom, Constant, Dependency, DependencySet, Egd, Fact, GroundTerm,
-    HomomorphismSearch, IndexedInstance, Instance, NullValue, Term, Tgd, Variable,
+    isomorphic_up_to_null_renaming, Assignment, Atom, Constant, Dependency, DependencySet, Egd,
+    Fact, GroundTerm, HomomorphismSearch, IndexedInstance, Instance, NullValue, Term, Tgd,
+    Variable,
 };
 use chase_engine::{
     core_of, is_core, Chase, ChaseBudget, ChaseOutcome, ObliviousVariant, StepOrder, TraceObserver,
 };
 use proptest::prelude::*;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::BTreeSet;
 use std::ops::ControlFlow;
 
 // ---------------------------------------------------------------------------------
@@ -157,73 +158,9 @@ fn test_worker_counts() -> Vec<usize> {
     counts
 }
 
-/// Decides whether `a` and `b` are equal up to a renaming of labeled nulls, by
-/// searching for an exact bijection `nulls(a) → nulls(b)` that maps the facts of
-/// `a` onto the facts of `b` (the homomorphism machinery's unification notion,
-/// strengthened to injectivity — a homomorphism in each direction is *not*
-/// enough, since homomorphisms may collapse nulls).
-///
-/// Soundness of the success case: the mapping is the identity on constants and
-/// injective on nulls, hence injective on facts; it sends the null-bearing facts
-/// of `a` into those of `b`, and the cardinality checks make it onto. Complete:
-/// plain backtracking explores every candidate image per fact.
-fn isomorphic_up_to_null_renaming(a: &Instance, b: &Instance) -> bool {
-    if a.len() != b.len() || a.nulls().len() != b.nulls().len() {
-        return false;
-    }
-    if a.null_free_part() != b.null_free_part() {
-        return false;
-    }
-    let mut null_facts: Vec<Fact> = a.facts().filter(|f| !f.nulls().is_empty()).collect();
-    // Constant-anchored facts first: they have the fewest candidate images, so
-    // nulls get bound (and contradictions caught) early.
-    null_facts.sort_by_key(|f| (f.nulls().len(), f.clone()));
-    let mut map: HashMap<NullValue, NullValue> = HashMap::new();
-    let mut used: HashSet<NullValue> = HashSet::new();
-    fn matches(
-        facts: &[Fact],
-        i: usize,
-        b: &Instance,
-        map: &mut HashMap<NullValue, NullValue>,
-        used: &mut HashSet<NullValue>,
-    ) -> bool {
-        let Some(f) = facts.get(i) else {
-            return true;
-        };
-        for g in b.facts_of(f.predicate) {
-            let mut newly: Vec<(NullValue, NullValue)> = Vec::new();
-            let mut ok = true;
-            for (ta, tb) in f.terms.iter().zip(g.terms.iter()) {
-                ok = match (ta, tb) {
-                    (GroundTerm::Const(x), GroundTerm::Const(y)) => x == y,
-                    (GroundTerm::Null(n), GroundTerm::Null(m)) => match map.get(n) {
-                        Some(mapped) => mapped == m,
-                        None if used.contains(m) => false,
-                        None => {
-                            map.insert(*n, *m);
-                            used.insert(*m);
-                            newly.push((*n, *m));
-                            true
-                        }
-                    },
-                    _ => false,
-                };
-                if !ok {
-                    break;
-                }
-            }
-            if ok && matches(facts, i + 1, b, map, used) {
-                return true;
-            }
-            for (n, m) in newly {
-                map.remove(&n);
-                used.remove(&m);
-            }
-        }
-        false
-    }
-    matches(&null_facts, 0, b, &mut map, &mut used)
-}
+// The null-bijection checker lives in chase_core (`isomorphic_up_to_null_renaming`)
+// since the incremental-maintenance work: the differential suites there and here
+// share one implementation.
 
 /// Order-invariant digest of a trace: how many times each `(dependency, effect
 /// kind)` pair was observed. (Per-step added-fact counts are deliberately *not*
