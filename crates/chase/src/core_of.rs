@@ -59,21 +59,21 @@ impl FoldVersion {
         let mut atoms = Vec::with_capacity(instance.len());
         let mut occurrences: HashMap<NullValue, Vec<FactId>> = HashMap::new();
         for id in instance.sorted_fact_ids() {
-            let terms = store.terms(id);
             let mut seen_in_fact: Vec<NullValue> = Vec::new();
             atoms.push(Atom {
                 predicate: store.predicate_of(id),
-                terms: terms
+                terms: store
+                    .terms(id)
                     .iter()
                     .map(|t| match t {
                         GroundTerm::Null(n) => {
-                            if !seen_in_fact.contains(n) {
-                                seen_in_fact.push(*n);
-                                occurrences.entry(*n).or_default().push(id);
+                            if !seen_in_fact.contains(&n) {
+                                seen_in_fact.push(n);
+                                occurrences.entry(n).or_default().push(id);
                             }
-                            Term::Var(null_var(*n))
+                            Term::Var(null_var(n))
                         }
-                        GroundTerm::Const(c) => Term::Const(*c),
+                        GroundTerm::Const(c) => Term::Const(c),
                     })
                     .collect(),
             });
@@ -175,8 +175,8 @@ fn try_fold(
                 .terms(id)
                 .iter()
                 .map(|t| match t {
-                    GroundTerm::Null(n) => mapping[n],
-                    c => *c,
+                    GroundTerm::Null(n) => mapping[&n],
+                    c => c,
                 })
                 .collect();
             let survives_elsewhere = match store.lookup(predicate, &terms) {

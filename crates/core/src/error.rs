@@ -32,6 +32,15 @@ pub enum CoreError {
         /// Explanation.
         message: String,
     },
+    /// A dense id space of the fact store ([`FactStore`](crate::FactStore)'s
+    /// term dictionary or fact-id space) is full: interning one more entry would
+    /// wrap its `u32` ids.
+    CapacityExhausted {
+        /// Which id space ran out (`"term dictionary"` or `"fact-id space"`).
+        resource: &'static str,
+        /// The capacity that was hit.
+        capacity: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -56,6 +65,10 @@ impl fmt::Display for CoreError {
                 column,
                 message,
             } => write!(f, "parse error at {line}:{column}: {message}"),
+            CoreError::CapacityExhausted { resource, capacity } => write!(
+                f,
+                "fact store capacity exhausted: {resource} is full ({capacity} entries)"
+            ),
         }
     }
 }

@@ -1,11 +1,29 @@
-//! Arena-interned fact storage: dense ids over a flat term arena.
+//! Columnar, dictionary-compressed fact storage: dense ids over per-predicate
+//! column strips.
 //!
-//! A [`FactStore`] interns every fact exactly once: the argument terms of all facts
-//! live contiguously in one flat `Vec<GroundTerm>` arena, each fact is a dense
-//! [`FactId`] pointing at a `(predicate, term-span)` record, and predicates are
-//! interned to dense [`PredicateId`]s. Equal facts always receive the same id, so
-//! fact identity is id equality and set membership is an integer-set operation —
-//! no per-fact heap allocation, no `Vec<GroundTerm>` clones on the hot paths.
+//! A [`FactStore`] interns every fact exactly once. Ground terms are interned
+//! into a per-store **term dictionary** (dense [`TermId`]s: each constant or
+//! null is stored once, as one 16-byte [`GroundTerm`]), and the argument terms
+//! of all facts are stored **column-major**: for each interned predicate there
+//! is one *strip* per argument position, a plain `Vec<TermId>` of 4-byte cells.
+//! A fact is a dense [`FactId`] pointing at a `(predicate, row)` record; its
+//! arguments are the cells at that row across the predicate's strips.
+//!
+//! ```text
+//!             dictionary                     strips of  E/2 (PredicateId 0)
+//!   TermId 0 ──► Const "a"              pos 0        pos 1       fact_of_row
+//!   TermId 1 ──► Const "b"          row 0 │ 0 │    row 0 │ 1 │   row 0 │ F0 │
+//!   TermId 2 ──► Null  η3          row 1 │ 1 │    row 1 │ 2 │   row 1 │ F2 │
+//!                                   row 2 │ 1 │    row 2 │ 0 │   row 2 │ F5 │
+//!                                        ▲ one contiguous Vec<TermId> each ▲
+//! ```
+//!
+//! Equal facts always receive the same id, so fact identity is id equality and
+//! set membership is an integer-set operation — no per-fact heap allocation, no
+//! `Vec<GroundTerm>` clones on the hot paths. Per-position scans
+//! ([`FactStore::column`]) are cache-linear: probing "which `E`-facts carry
+//! term *t* at position 1?" walks one contiguous `u32` array instead of
+//! striding row-major spans.
 //!
 //! The store is **append-only**: interning never invalidates an id, and ids are
 //! never reused. "Removing" a fact is the owning [`Instance`](crate::Instance)'s
@@ -17,31 +35,47 @@
 //!
 //! * [`crate::Instance`] owns a store plus a live-id set and per-predicate id
 //!   lists; the legacy [`Fact`]-value API is a thin view that materialises facts
-//!   from the arena on demand.
+//!   from the strips on demand.
 //! * [`crate::IndexedInstance`] keeps its per-(predicate, position, term) and
 //!   per-null indexes as `Vec<FactId>` buckets over the same store.
 //! * The join engine ([`crate::homomorphism`]) enumerates candidate `FactId`
-//!   slices and unifies atoms directly against arena term slices.
+//!   slices and unifies atoms directly against strip cells through the
+//!   [`FactTerms`] view.
 //!
 //! Dedup is a small open-addressing hash table (linear probing, power-of-two
-//! capacity) whose buckets hold `FactId`s; collisions are resolved by comparing
-//! `(PredicateId, term slice)` against the arena, so the table stores no keys of
-//! its own.
+//! capacity) whose buckets carry `(fact id, predicate, row, hash tag)`. A probe
+//! resolves almost entirely inside the bucket array: slots whose 32-bit tag or
+//! predicate differ are skipped without touching any other structure, and a
+//! candidate match is confirmed by comparing the cells at `(predicate, row)`
+//! straight against the strips — one dependent memory hop, not a chain through
+//! the per-fact meta records. This is what keeps probe latency flat from 100k
+//! to 10M facts: the table walk costs O(1) cache lines regardless of store size.
+//!
+//! ## Capacity and overflow
+//!
+//! All dense id spaces are `u32`. Interning past `u32::MAX` terms or facts —
+//! or past an injected test capacity — fails with
+//! [`CoreError::CapacityExhausted`] through [`FactStore::try_intern`] /
+//! [`FactStore::try_intern_term`]; the panicking [`FactStore::intern`] wrapper
+//! surfaces the same message. Bulk loaders should pre-size the store with
+//! [`FactStore::with_capacity`] so a million-fact load does not pay repeated
+//! dedup-table rehash doubling.
 //!
 //! ## Concurrent reads
 //!
-//! The whole read surface — [`FactStore::terms`], [`FactStore::predicate_of`],
-//! [`FactStore::lookup`], [`FactStore::compare`], `fmt_fact` — takes `&self` and
-//! touches no interior mutability: the arena, the meta records and the dedup table
-//! are plain `Vec`s/`HashMap`s, and the `scratch` buffer is only used by `&mut
-//! self` methods ([`FactStore::intern_rewritten`]). `FactStore` is therefore
-//! `Send + Sync` by construction, and a shared borrow can be handed to any number
-//! of worker threads — this is what
+//! The whole read surface — [`FactStore::terms`], [`FactStore::column`],
+//! [`FactStore::predicate_of`], [`FactStore::lookup`], [`FactStore::compare`],
+//! `fmt_fact` — takes `&self` and touches no interior mutability: the strips,
+//! the dictionary, the meta records and the dedup table are plain
+//! `Vec`s/`HashMap`s, and the `scratch` buffer is only used by `&mut self`
+//! methods. `FactStore` is therefore `Send + Sync` by construction, and a
+//! shared borrow can be handed to any number of worker threads — this is what
 //! [`Snapshot`](crate::snapshot::Snapshot) relies on for round-parallel trigger
-//! discovery. Appends (interning) still require `&mut self`, so the borrow checker
-//! serialises them against all readers.
+//! discovery. Appends (interning) still require `&mut self`, so the borrow
+//! checker serialises them against all readers.
 
 use crate::atom::{Fact, Predicate};
+use crate::error::CoreError;
 use crate::substitution::NullSubstitution;
 use crate::term::GroundTerm;
 use std::collections::HashMap;
@@ -57,38 +91,179 @@ pub struct FactId(pub u32);
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct PredicateId(pub u32);
 
-/// Per-fact record: the interned predicate and the start of the argument span in
-/// the term arena (the span length is the predicate's arity).
+/// Dense id of a ground term (constant or labeled null) in one store's term
+/// dictionary. Column cells are `TermId`s: two cells of the same store are equal
+/// iff their terms are equal, so unification and dedup compare 4-byte ids.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(pub u32);
+
+/// Per-fact record: the interned predicate and the fact's row within that
+/// predicate's column strips.
 #[derive(Clone, Copy, Debug)]
 struct FactMeta {
     pred: PredicateId,
-    start: u32,
+    row: u32,
 }
 
-const EMPTY_BUCKET: u32 = u32::MAX;
-
-/// Arena-backed interned fact storage. See the [module docs](self) for the layout.
+/// The column strips of one predicate: one contiguous `Vec<TermId>` per argument
+/// position (all of equal length = rows), plus the row → fact-id mapping.
 #[derive(Clone, Debug, Default)]
+struct Strip {
+    columns: Vec<Vec<TermId>>,
+    fact_of_row: Vec<FactId>,
+}
+
+/// One dedup-table slot: the fact id plus enough of the fact's identity — its
+/// predicate, its strip row, and a 32-bit hash tag — for a probe to reject
+/// non-matching slots without dereferencing the meta records. Only a slot whose
+/// tag *and* predicate match pays the strip comparison.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Bucket {
+    fact: u32,
+    pred: u32,
+    row: u32,
+    tag: u32,
+}
+
+/// The empty slot marker: `fact == u32::MAX` (fact ids are capacity-checked to
+/// stay strictly below it).
+const EMPTY_BUCKET: Bucket = Bucket {
+    fact: u32::MAX,
+    pred: u32::MAX,
+    row: u32::MAX,
+    tag: 0,
+};
+
+/// One dictionary-map slot: the ground term *inline* next to its id and hash
+/// tag, so a `term → TermId` probe costs a single cache line — hash, key
+/// compare and payload all live in the slot (a boxed-key map pays a second
+/// dependent line for the key). `id == u32::MAX` marks an empty slot (term ids
+/// are capacity-checked to stay strictly below it).
+#[derive(Clone, Copy, Debug)]
+struct TermBucket {
+    term: GroundTerm,
+    id: u32,
+    tag: u32,
+}
+
+const EMPTY_TERM_BUCKET: TermBucket = TermBucket {
+    term: GroundTerm::Null(crate::term::NullValue(0)),
+    id: u32::MAX,
+    tag: 0,
+};
+
+/// Columnar interned fact storage. See the [module docs](self) for the layout.
+#[derive(Clone, Debug)]
 pub struct FactStore {
     /// Interned predicates, indexed by `PredicateId`.
     predicates: Vec<Predicate>,
     predicate_ids: HashMap<Predicate, PredicateId>,
-    /// The flat term arena: argument terms of all facts, contiguous per fact.
-    terms: Vec<GroundTerm>,
+    /// The term dictionary, indexed by `TermId`.
+    dict: Vec<GroundTerm>,
+    /// Inline-key open-addressing dictionary map (power-of-two capacity,
+    /// linear probing, load ≤ 1/2): `GroundTerm → TermId` in one cache line.
+    term_table: Vec<TermBucket>,
+    /// Per-predicate column strips, indexed by `PredicateId`.
+    strips: Vec<Strip>,
     /// One record per interned fact, indexed by `FactId`.
     meta: Vec<FactMeta>,
-    /// Open-addressing dedup table: buckets hold `FactId.0` or `EMPTY_BUCKET`.
-    /// Capacity is a power of two; the table stores no keys (comparisons go
-    /// through the arena).
-    table: Vec<u32>,
-    /// Scratch buffer reused by [`FactStore::intern_rewritten`].
-    scratch: Vec<GroundTerm>,
+    /// Open-addressing dedup table (power-of-two capacity, linear probing).
+    /// Buckets carry `(fact, pred, row, tag)` so probes resolve without a hop
+    /// through `meta`; confirming comparisons go straight to the strips.
+    table: Vec<Bucket>,
+    /// Scratch cell buffer reused by the `&mut self` interning paths.
+    scratch: Vec<TermId>,
+    /// Per-column reserve hint recorded by [`FactStore::with_capacity`].
+    row_hint: usize,
+    /// Dictionary capacity; `u32::MAX` in production, tiny in the overflow tests.
+    max_terms: u32,
+    /// Fact-id capacity; `u32::MAX` in production, tiny in the overflow tests.
+    max_facts: u32,
+}
+
+impl Default for FactStore {
+    fn default() -> Self {
+        FactStore::with_capacity(0, 0, 0)
+    }
+}
+
+/// Heap usage summary of a [`FactStore`], in bytes of element storage (container
+/// headers and hash-map overhead excluded on both sides of the comparison).
+///
+/// `row_equivalent_bytes` is what the same interning history would occupy in the
+/// pre-columnar row-major layout (one 16-byte [`GroundTerm`] per cell in a flat
+/// arena, plus the same 8-byte per-fact meta record) — the baseline the
+/// `fact_store` scale bench reports bytes/fact against.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreFootprint {
+    /// Column cells plus row→fact maps: `(Σ arity + 1) × 4` bytes per fact.
+    pub strip_bytes: usize,
+    /// Dictionary term values: 16 bytes per *distinct* term.
+    pub dict_bytes: usize,
+    /// Per-fact `(predicate, row)` records: 8 bytes per fact.
+    pub meta_bytes: usize,
+    /// Dedup-table buckets: 16 bytes per slot (a layout both row-major and
+    /// columnar stores would need identically).
+    pub table_bytes: usize,
+    /// The row-major baseline: flat `GroundTerm` arena + meta records.
+    pub row_equivalent_bytes: usize,
+}
+
+impl StoreFootprint {
+    /// Total columnar bytes comparable against `row_equivalent_bytes`
+    /// (strips + dictionary + meta; the dedup table is identical in both
+    /// layouts and excluded from both sides).
+    pub fn columnar_bytes(&self) -> usize {
+        self.strip_bytes + self.dict_bytes + self.meta_bytes
+    }
 }
 
 impl FactStore {
     /// Creates an empty store.
     pub fn new() -> Self {
         FactStore::default()
+    }
+
+    /// Creates a store pre-sized for a bulk load of `facts` facts over
+    /// `predicates` predicates and `terms` distinct ground terms: the dedup
+    /// table starts at its final power-of-two capacity, the meta records and
+    /// dictionary are reserved up front, and each predicate's strips reserve
+    /// `facts / predicates` rows — so a 10M-fact load performs no rehash
+    /// doubling. The hints are capacities, not limits; a store grows past them
+    /// exactly like one built with [`FactStore::new`].
+    pub fn with_capacity(predicates: usize, facts: usize, terms: usize) -> Self {
+        let table = match facts {
+            0 => Vec::new(),
+            n => vec![EMPTY_BUCKET; (n * 2).max(8).next_power_of_two()],
+        };
+        let term_table = match terms {
+            0 => Vec::new(),
+            n => vec![EMPTY_TERM_BUCKET; (n * 2).max(8).next_power_of_two()],
+        };
+        FactStore {
+            predicates: Vec::with_capacity(predicates),
+            predicate_ids: HashMap::with_capacity(predicates),
+            dict: Vec::with_capacity(terms),
+            term_table,
+            strips: Vec::with_capacity(predicates),
+            meta: Vec::with_capacity(facts),
+            table,
+            scratch: Vec::new(),
+            row_hint: facts.checked_div(predicates).unwrap_or(0),
+            max_terms: u32::MAX,
+            max_facts: u32::MAX,
+        }
+    }
+
+    /// A store with tiny injected id capacities, for exercising the overflow
+    /// guards without interning four billion entries.
+    #[cfg(test)]
+    fn with_limits(max_terms: u32, max_facts: u32) -> Self {
+        FactStore {
+            max_terms,
+            max_facts,
+            ..FactStore::default()
+        }
     }
 
     /// Number of interned facts (live or not — the store is append-only).
@@ -106,12 +281,38 @@ impl FactStore {
         self.predicates.len()
     }
 
-    /// Total number of terms in the arena (Σ arity over interned facts).
-    pub fn arena_len(&self) -> usize {
-        self.terms.len()
+    /// Number of distinct ground terms in the dictionary.
+    pub fn term_count(&self) -> usize {
+        self.dict.len()
     }
 
-    /// Interns a predicate, returning its dense id.
+    /// Total number of column cells across all strips (Σ arity over interned
+    /// facts) — the size the flat row-major arena would have.
+    pub fn arena_len(&self) -> usize {
+        self.strips
+            .iter()
+            .map(|s| s.columns.len() * s.fact_of_row.len())
+            .sum()
+    }
+
+    /// Element-storage byte counts of the columnar layout next to its row-major
+    /// equivalent. See [`StoreFootprint`].
+    pub fn footprint(&self) -> StoreFootprint {
+        let cell = std::mem::size_of::<TermId>();
+        let term = std::mem::size_of::<GroundTerm>();
+        let meta = std::mem::size_of::<FactMeta>();
+        let cells = self.arena_len();
+        StoreFootprint {
+            strip_bytes: cells * cell + self.meta.len() * std::mem::size_of::<FactId>(),
+            dict_bytes: self.dict.len() * term,
+            meta_bytes: self.meta.len() * meta,
+            table_bytes: self.table.len() * std::mem::size_of::<Bucket>(),
+            row_equivalent_bytes: cells * term + self.meta.len() * meta,
+        }
+    }
+
+    /// Interns a predicate, returning its dense id. Allocates the predicate's
+    /// (empty) column strips on first sight.
     pub fn predicate_id(&mut self, predicate: Predicate) -> PredicateId {
         if let Some(&id) = self.predicate_ids.get(&predicate) {
             return id;
@@ -119,6 +320,17 @@ impl FactStore {
         let id = PredicateId(self.predicates.len() as u32);
         self.predicates.push(predicate);
         self.predicate_ids.insert(predicate, id);
+        let mut strip = Strip {
+            columns: vec![Vec::new(); predicate.arity],
+            fact_of_row: Vec::new(),
+        };
+        if self.row_hint > 0 {
+            for col in &mut strip.columns {
+                col.reserve(self.row_hint);
+            }
+            strip.fact_of_row.reserve(self.row_hint);
+        }
+        self.strips.push(strip);
         id
     }
 
@@ -142,11 +354,148 @@ impl FactStore {
         self.meta[id.0 as usize].pred
     }
 
-    /// The argument terms of an interned fact, as a slice into the arena.
-    pub fn terms(&self, id: FactId) -> &[GroundTerm] {
+    /// The ground term behind a dictionary id.
+    pub fn term(&self, id: TermId) -> GroundTerm {
+        self.dict[id.0 as usize]
+    }
+
+    fn hash_term(term: GroundTerm) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        term.hash(&mut h);
+        h.finish()
+    }
+
+    /// The dictionary id of a ground term, if it has been interned. A term that
+    /// was never interned occurs in no fact, so lookups can miss fast on `None`.
+    pub fn term_id(&self, term: GroundTerm) -> Option<TermId> {
+        if self.term_table.is_empty() {
+            return None;
+        }
+        let hash = Self::hash_term(term);
+        let tag = (hash >> 32) as u32;
+        let mask = self.term_table.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let b = self.term_table[slot];
+            if b.id == EMPTY_TERM_BUCKET.id {
+                return None;
+            }
+            if b.tag == tag && b.term == term {
+                return Some(TermId(b.id));
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    fn grow_term_table(&mut self) {
+        let new_cap = (self.term_table.len().max(8)) * 2;
+        let mut fresh = vec![EMPTY_TERM_BUCKET; new_cap];
+        let mask = new_cap - 1;
+        for (i, &term) in self.dict.iter().enumerate() {
+            let hash = Self::hash_term(term);
+            let mut slot = (hash as usize) & mask;
+            while fresh[slot].id != EMPTY_TERM_BUCKET.id {
+                slot = (slot + 1) & mask;
+            }
+            fresh[slot] = TermBucket {
+                term,
+                id: i as u32,
+                tag: (hash >> 32) as u32,
+            };
+        }
+        self.term_table = fresh;
+    }
+
+    /// Interns a ground term into the dictionary, returning its dense id; fails
+    /// if the dictionary is at capacity.
+    pub fn try_intern_term(&mut self, term: GroundTerm) -> Result<TermId, CoreError> {
+        // Keep the load factor ≤ 1/2 so probe chains stay short.
+        if self.term_table.len() < (self.dict.len() + 1) * 2 {
+            self.grow_term_table();
+        }
+        let hash = Self::hash_term(term);
+        let tag = (hash >> 32) as u32;
+        let mask = self.term_table.len() - 1;
+        let mut slot = (hash as usize) & mask;
+        loop {
+            let b = self.term_table[slot];
+            if b.id == EMPTY_TERM_BUCKET.id {
+                break;
+            }
+            if b.tag == tag && b.term == term {
+                return Ok(TermId(b.id));
+            }
+            slot = (slot + 1) & mask;
+        }
+        if self.dict.len() >= self.max_terms as usize {
+            return Err(CoreError::CapacityExhausted {
+                resource: "term dictionary",
+                capacity: self.max_terms as u64,
+            });
+        }
+        let id = TermId(self.dict.len() as u32);
+        self.dict.push(term);
+        self.term_table[slot] = TermBucket {
+            term,
+            id: id.0,
+            tag,
+        };
+        Ok(id)
+    }
+
+    fn intern_term(&mut self, term: GroundTerm) -> TermId {
+        self.try_intern_term(term).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The column strip of `pred` at argument position `position`: one
+    /// contiguous cell per row, in row order. The cache-linear scan surface for
+    /// per-position probes.
+    pub fn column(&self, pred: PredicateId, position: usize) -> &[TermId] {
+        &self.strips[pred.0 as usize].columns[position]
+    }
+
+    /// Number of rows (interned facts, live or not) in `pred`'s strips.
+    pub fn rows(&self, pred: PredicateId) -> usize {
+        self.strips[pred.0 as usize].fact_of_row.len()
+    }
+
+    /// The fact ids of `pred`'s rows, in row order (parallel to every
+    /// [`FactStore::column`] of the predicate).
+    pub fn row_facts(&self, pred: PredicateId) -> &[FactId] {
+        &self.strips[pred.0 as usize].fact_of_row
+    }
+
+    /// The row of an interned fact within its predicate's strips.
+    pub fn row_of(&self, id: FactId) -> usize {
+        self.meta[id.0 as usize].row as usize
+    }
+
+    /// The argument terms of an interned fact, as a cheap [`FactTerms`] view
+    /// over the predicate's strips (the columnar replacement for the old
+    /// row-span slice).
+    pub fn terms(&self, id: FactId) -> FactTerms<'_> {
         let m = self.meta[id.0 as usize];
-        let arity = self.predicates[m.pred.0 as usize].arity;
-        &self.terms[m.start as usize..m.start as usize + arity]
+        FactTerms {
+            dict: &self.dict,
+            columns: &self.strips[m.pred.0 as usize].columns,
+            row: m.row as usize,
+        }
+    }
+
+    /// The argument term of an interned fact at one position (two array reads).
+    pub fn term_at(&self, id: FactId, position: usize) -> GroundTerm {
+        let m = self.meta[id.0 as usize];
+        let cell = self.strips[m.pred.0 as usize].columns[position][m.row as usize];
+        self.dict[cell.0 as usize]
+    }
+
+    /// Returns `true` iff the fact's cells mention the dictionary term `cell`.
+    pub fn mentions(&self, id: FactId, cell: TermId) -> bool {
+        let m = self.meta[id.0 as usize];
+        self.strips[m.pred.0 as usize]
+            .columns
+            .iter()
+            .any(|col| col[m.row as usize] == cell)
     }
 
     /// Materialises the [`Fact`] value behind an id (the thin view layer; hot
@@ -161,73 +510,204 @@ impl FactStore {
     /// Compares two interned facts with the same ordering as [`Fact`]'s `Ord`
     /// (predicate, then argument terms, lexicographically).
     pub fn compare(&self, a: FactId, b: FactId) -> std::cmp::Ordering {
-        (self.predicate_of(a), self.terms(a)).cmp(&(self.predicate_of(b), self.terms(b)))
+        let (ma, mb) = (self.meta[a.0 as usize], self.meta[b.0 as usize]);
+        let pred_cmp =
+            self.predicates[ma.pred.0 as usize].cmp(&self.predicates[mb.pred.0 as usize]);
+        if pred_cmp != std::cmp::Ordering::Equal {
+            return pred_cmp;
+        }
+        let (sa, sb) = (
+            &self.strips[ma.pred.0 as usize],
+            &self.strips[mb.pred.0 as usize],
+        );
+        for (ca, cb) in sa.columns.iter().zip(&sb.columns) {
+            let (ta, tb) = (ca[ma.row as usize], cb[mb.row as usize]);
+            if ta != tb {
+                return self.dict[ta.0 as usize].cmp(&self.dict[tb.0 as usize]);
+            }
+        }
+        std::cmp::Ordering::Equal
     }
 
-    fn hash_key(pred: PredicateId, terms: &[GroundTerm]) -> u64 {
+    /// The fact hash is computed over the predicate and the *term values* —
+    /// not the cell ids — so a [`FactStore::lookup`] can hash its query terms
+    /// directly and never touch the dictionary map at all.
+    fn hash_fact(pred: PredicateId, terms: impl IntoIterator<Item = GroundTerm>) -> u64 {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         pred.0.hash(&mut h);
-        terms.hash(&mut h);
+        for t in terms {
+            t.hash(&mut h);
+        }
         h.finish()
     }
 
-    /// Probes the dedup table for `(pred, terms)`. Returns the matching id, or the
-    /// index of the empty bucket where it would be inserted.
-    fn probe(&self, pred: PredicateId, terms: &[GroundTerm]) -> Result<FactId, usize> {
+    fn hash_cells(&self, pred: PredicateId, cells: &[TermId]) -> u64 {
+        Self::hash_fact(pred, cells.iter().map(|c| self.dict[c.0 as usize]))
+    }
+
+    /// Walks the dedup table from `hash`'s home slot. Returns the first bucket
+    /// whose tag and predicate match and whose row satisfies `matches`, or the
+    /// empty slot where the fact would be inserted together with the 32-bit
+    /// hash tag to store there.
+    fn probe_with(
+        &self,
+        hash: u64,
+        pred: PredicateId,
+        matches: impl Fn(&Strip, u32) -> bool,
+    ) -> Result<FactId, (usize, u32)> {
         debug_assert!(!self.table.is_empty());
+        let tag = (hash >> 32) as u32;
         let mask = self.table.len() - 1;
-        let mut slot = (Self::hash_key(pred, terms) as usize) & mask;
+        let mut slot = (hash as usize) & mask;
         loop {
-            let bucket = self.table[slot];
-            if bucket == EMPTY_BUCKET {
-                return Err(slot);
+            let b = self.table[slot];
+            if b.fact == EMPTY_BUCKET.fact {
+                return Err((slot, tag));
             }
-            let id = FactId(bucket);
-            if self.meta[bucket as usize].pred == pred && self.terms(id) == terms {
-                return Ok(id);
+            if b.tag == tag && b.pred == pred.0 && matches(&self.strips[pred.0 as usize], b.row) {
+                return Ok(FactId(b.fact));
             }
             slot = (slot + 1) & mask;
         }
     }
 
-    fn grow_table(&mut self) {
-        let new_cap = (self.table.len().max(8)) * 2;
-        self.table = vec![EMPTY_BUCKET; new_cap];
-        let mask = new_cap - 1;
-        for (i, m) in self.meta.iter().enumerate() {
-            let arity = self.predicates[m.pred.0 as usize].arity;
-            let terms = &self.terms[m.start as usize..m.start as usize + arity];
-            let mut slot = (Self::hash_key(m.pred, terms) as usize) & mask;
-            while self.table[slot] != EMPTY_BUCKET {
-                slot = (slot + 1) & mask;
-            }
-            self.table[slot] = i as u32;
-        }
+    /// Probes the dedup table for `(pred, cells)` with the value hash in hand (the
+    /// interning paths fold the hash in while translating terms, so the
+    /// dictionary is not re-read per cell).
+    fn probe_cells_hashed(
+        &self,
+        hash: u64,
+        pred: PredicateId,
+        cells: &[TermId],
+    ) -> Result<FactId, (usize, u32)> {
+        self.probe_with(hash, pred, |strip, row| {
+            cells
+                .iter()
+                .zip(&strip.columns)
+                .all(|(&c, col)| col[row as usize] == c)
+        })
     }
 
-    /// Interns a fact given as predicate + argument terms; returns its dense id.
-    /// Interning an already-present fact returns the existing id.
-    pub fn intern(&mut self, predicate: Predicate, terms: &[GroundTerm]) -> FactId {
-        debug_assert_eq!(predicate.arity, terms.len());
-        let pred = self.predicate_id(predicate);
+    fn grow_table(&mut self) {
+        let new_cap = (self.table.len().max(8)) * 2;
+        let mut fresh = vec![EMPTY_BUCKET; new_cap];
+        let mask = new_cap - 1;
+        let mut cells: Vec<TermId> = Vec::new();
+        for (i, m) in self.meta.iter().enumerate() {
+            let strip = &self.strips[m.pred.0 as usize];
+            cells.clear();
+            cells.extend(strip.columns.iter().map(|col| col[m.row as usize]));
+            let hash = self.hash_cells(m.pred, &cells);
+            let mut slot = (hash as usize) & mask;
+            while fresh[slot].fact != EMPTY_BUCKET.fact {
+                slot = (slot + 1) & mask;
+            }
+            fresh[slot] = Bucket {
+                fact: i as u32,
+                pred: m.pred.0,
+                row: m.row,
+                tag: (hash >> 32) as u32,
+            };
+        }
+        self.table = fresh;
+    }
+
+    /// Interns a fact given as already-dictionary-interned cells.
+    fn try_intern_cells(
+        &mut self,
+        pred: PredicateId,
+        cells: &[TermId],
+    ) -> Result<FactId, CoreError> {
+        self.try_intern_cells_hashed(self.hash_cells(pred, cells), pred, cells)
+    }
+
+    /// [`FactStore::try_intern_cells`] with the value hash already in hand.
+    fn try_intern_cells_hashed(
+        &mut self,
+        hash: u64,
+        pred: PredicateId,
+        cells: &[TermId],
+    ) -> Result<FactId, CoreError> {
         // Keep the load factor ≤ 1/2 so probe chains stay short.
         if self.table.len() < (self.meta.len() + 1) * 2 {
             self.grow_table();
         }
-        match self.probe(pred, terms) {
-            Ok(id) => id,
-            Err(slot) => {
-                // Checked casts: past 2^32 facts or arena terms, wrapping would
-                // silently alias spans; fail loudly instead.
-                let id = FactId(u32::try_from(self.meta.len()).expect("fact-id space exhausted"));
-                let start =
-                    u32::try_from(self.terms.len()).expect("term-arena offset space exhausted");
-                self.terms.extend_from_slice(terms);
-                self.meta.push(FactMeta { pred, start });
-                self.table[slot] = id.0;
-                id
+        match self.probe_cells_hashed(hash, pred, cells) {
+            Ok(id) => Ok(id),
+            Err((slot, tag)) => {
+                if self.meta.len() >= self.max_facts as usize {
+                    return Err(CoreError::CapacityExhausted {
+                        resource: "fact-id space",
+                        capacity: self.max_facts as u64,
+                    });
+                }
+                let id = FactId(self.meta.len() as u32);
+                let strip = &mut self.strips[pred.0 as usize];
+                let row = strip.fact_of_row.len() as u32;
+                for (col, &c) in strip.columns.iter_mut().zip(cells) {
+                    col.push(c);
+                }
+                strip.fact_of_row.push(id);
+                self.meta.push(FactMeta { pred, row });
+                self.table[slot] = Bucket {
+                    fact: id.0,
+                    pred: pred.0,
+                    row,
+                    tag,
+                };
+                Ok(id)
             }
         }
+    }
+
+    /// Interns a fact given as predicate + argument terms; returns its dense id,
+    /// or [`CoreError::CapacityExhausted`] when the dictionary or the fact-id
+    /// space is full. Interning an already-present fact returns the existing id.
+    pub fn try_intern(
+        &mut self,
+        predicate: Predicate,
+        terms: &[GroundTerm],
+    ) -> Result<FactId, CoreError> {
+        debug_assert_eq!(predicate.arity, terms.len());
+        let pred = self.predicate_id(predicate);
+        let mut cells = std::mem::take(&mut self.scratch);
+        cells.clear();
+        // Fold the fact's value hash in while translating terms, so the hot
+        // intern path never re-reads the dictionary to hash.
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        pred.0.hash(&mut h);
+        let mut failed = None;
+        for &t in terms {
+            match self.try_intern_term(t) {
+                Ok(c) => {
+                    cells.push(c);
+                    t.hash(&mut h);
+                }
+                Err(e) => {
+                    failed = Some(e);
+                    break;
+                }
+            }
+        }
+        let result = match failed {
+            Some(e) => Err(e),
+            None => self.try_intern_cells_hashed(h.finish(), pred, &cells),
+        };
+        self.scratch = cells;
+        result
+    }
+
+    /// Interns a fact given as predicate + argument terms; returns its dense id.
+    /// Interning an already-present fact returns the existing id.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a capacity-exhausted message past 2^32 distinct terms or
+    /// facts (where the dense `u32` ids would otherwise silently wrap); fallible
+    /// callers use [`FactStore::try_intern`].
+    pub fn intern(&mut self, predicate: Predicate, terms: &[GroundTerm]) -> FactId {
+        self.try_intern(predicate, terms)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Interns a [`Fact`] value.
@@ -235,13 +715,386 @@ impl FactStore {
         self.intern(fact.predicate, &fact.terms)
     }
 
+    /// Bulk interning: interns every `(predicate, terms)` fact of `batch` and
+    /// returns their ids in input order. Duplicates — against the store or
+    /// within the batch — resolve to the same id, and fact ids are assigned
+    /// in input order, exactly as repeated [`FactStore::try_intern`] calls
+    /// would assign them; only the dictionary-internal [`TermId`] assignment
+    /// order may differ (values, not ids, define fact identity).
+    ///
+    /// Like [`FactStore::lookup_batch`], the batch is processed in phases that
+    /// sweep each hash table in address order (chunked, so the per-chunk sorts
+    /// stay cache-resident): value hashes first, then one sorted sweep that
+    /// translates-or-interns ground terms, then a sorted dedup-table resolve,
+    /// then input-order fact insertion. On a DRAM-resident store the sweeps
+    /// turn dependent random misses into near-sequential streams — the
+    /// intended loading path for million-fact instances. If a table must grow
+    /// mid-chunk, the remainder of that chunk takes the plain per-fact path
+    /// (growth is amortised-rare, and a store pre-sized with
+    /// [`FactStore::with_capacity`] never grows).
+    ///
+    /// On a capacity error, facts before the failing one stay interned — the
+    /// same partial-progress contract as sequential interning.
+    pub fn try_intern_batch(
+        &mut self,
+        batch: &[(Predicate, &[GroundTerm])],
+    ) -> Result<Vec<FactId>, CoreError> {
+        Ok(self.try_intern_batch_tracking_nulls(batch)?.0)
+    }
+
+    /// [`FactStore::try_intern_batch`] plus the largest null label occurring
+    /// anywhere in `batch` — observed for free while hashing, so
+    /// `Instance::try_extend_parts` can maintain its null allocator without
+    /// re-reading every interned fact's terms through the dictionary.
+    pub(crate) fn try_intern_batch_tracking_nulls(
+        &mut self,
+        batch: &[(Predicate, &[GroundTerm])],
+    ) -> Result<(Vec<FactId>, Option<u64>), CoreError> {
+        let mut out = Vec::with_capacity(batch.len());
+        let mut max_null = None;
+        for chunk in batch.chunks(1 << 20) {
+            self.intern_chunk(chunk, &mut out, &mut max_null)?;
+        }
+        Ok((out, max_null))
+    }
+
+    fn intern_chunk(
+        &mut self,
+        chunk: &[(Predicate, &[GroundTerm])],
+        out: &mut Vec<FactId>,
+        max_null: &mut Option<u64>,
+    ) -> Result<(), CoreError> {
+        let n = chunk.len();
+        // Phase A: predicates, value hashes, flat cell layout (CPU, streaming).
+        let mut pred = Vec::with_capacity(n);
+        let mut fhash = Vec::with_capacity(n);
+        let mut start = Vec::with_capacity(n + 1);
+        start.push(0u32);
+        let mut total = 0usize;
+        for &(p, terms) in chunk {
+            debug_assert_eq!(p.arity, terms.len());
+            let pid = self.predicate_id(p);
+            pred.push(pid);
+            fhash.push(Self::hash_fact(pid, terms.iter().copied()));
+            total += terms.len();
+            start.push(total as u32);
+        }
+
+        // Phase B: one sweep in term-table address order that translates known
+        // terms and interns new ones in place (a walk that lands on an empty
+        // slot may claim it — sweep order preserves linear-probing chains).
+        let mut cells = vec![TermId(0); total];
+        if total > 0 {
+            if self.term_table.is_empty() {
+                self.grow_term_table();
+            }
+            // Each request carries its term and hash inline so the sorted
+            // sweep below reads nothing but the request stream and the table —
+            // fetching them through a flat-index indirection would turn every
+            // sweep step into scattered reads of the chunk-sized side arrays.
+            #[derive(Clone, Copy)]
+            struct TermReq {
+                /// `(home slot << 32) | flat cell index`.
+                key: u64,
+                term: GroundTerm,
+                hash: u64,
+            }
+            let tmask = self.term_table.len() - 1;
+            let mut reqs: Vec<TermReq> = Vec::with_capacity(total);
+            for (i, &(_, terms)) in chunk.iter().enumerate() {
+                let base = start[i] as usize;
+                for (j, &t) in terms.iter().enumerate() {
+                    if let GroundTerm::Null(nv) = t {
+                        *max_null = Some(max_null.map_or(nv.0, |m: u64| m.max(nv.0)));
+                    }
+                    let h = Self::hash_term(t);
+                    reqs.push(TermReq {
+                        key: ((((h as usize) & tmask) as u64) << 32) | (base + j) as u64,
+                        term: t,
+                        hash: h,
+                    });
+                }
+            }
+            reqs.sort_unstable_by_key(|r| r.key);
+            // Every occurrence of one term sorts to the same home slot, so
+            // repeats of the chunk's heavy terms are adjacent: resolve each
+            // distinct (slot, term) once and copy the cell forward.
+            let mut k = 0usize;
+            'sweep: while k < reqs.len() {
+                let tmask = self.term_table.len() - 1;
+                let mut prev: Option<usize> = None;
+                while k < reqs.len() {
+                    let r = reqs[k];
+                    let flat = r.key as u32 as usize;
+                    if let Some(p) = prev {
+                        let pr = reqs[p];
+                        if pr.key >> 32 == r.key >> 32 && pr.term == r.term {
+                            cells[flat] = cells[pr.key as u32 as usize];
+                            k += 1;
+                            continue;
+                        }
+                    }
+                    prev = Some(k);
+                    let tag = (r.hash >> 32) as u32;
+                    let mut slot = (r.key >> 32) as usize;
+                    loop {
+                        let b = self.term_table[slot];
+                        if b.id == EMPTY_TERM_BUCKET.id {
+                            if self.term_table.len() < (self.dict.len() + 1) * 2 {
+                                // Growth is due, which rehashes every home
+                                // slot and so forces a rekey + re-sort of the
+                                // unswept tail. One doubling per trigger would
+                                // repeat that once per doubling (~20 times
+                                // when a fresh store loads its first chunk) —
+                                // instead, count the distinct term hashes
+                                // still unswept and grow once to cover them
+                                // all, then resume the sweep on the tail.
+                                let mut hashes: Vec<u64> =
+                                    reqs[k..].iter().map(|r| r.hash).collect();
+                                hashes.sort_unstable();
+                                hashes.dedup();
+                                let distinct = hashes.len();
+                                drop(hashes);
+                                while self.term_table.len() < (self.dict.len() + distinct + 1) * 2 {
+                                    self.grow_term_table();
+                                }
+                                let nmask = (self.term_table.len() - 1) as u64;
+                                for r in &mut reqs[k..] {
+                                    r.key =
+                                        ((r.hash & nmask) << 32) | (r.key & u64::from(u32::MAX));
+                                }
+                                reqs[k..].sort_unstable_by_key(|r| r.key);
+                                continue 'sweep;
+                            }
+                            if self.dict.len() >= self.max_terms as usize {
+                                return Err(CoreError::CapacityExhausted {
+                                    resource: "term dictionary",
+                                    capacity: self.max_terms as u64,
+                                });
+                            }
+                            let id = TermId(self.dict.len() as u32);
+                            self.dict.push(r.term);
+                            self.term_table[slot] = TermBucket {
+                                term: r.term,
+                                id: id.0,
+                                tag,
+                            };
+                            cells[flat] = id;
+                            break;
+                        }
+                        if b.tag == tag && b.term == r.term {
+                            cells[flat] = TermId(b.id);
+                            break;
+                        }
+                        slot = (slot + 1) & tmask;
+                    }
+                    k += 1;
+                }
+            }
+        }
+
+        // Phase C... — an existing id, or the empty slot where it would insert.
+        // Pre-grow the fact table to fit the whole chunk (the worst case of
+        // every fact being new), so neither sorted pass below ever rehashes
+        // mid-chunk; doubling reaches the same final capacity as the per-fact
+        // growth path, so the amortized work and footprint are unchanged.
+        while self.table.len() < (self.meta.len() + n + 1) * 2 {
+            self.grow_table();
+        }
+        let mask = self.table.len() - 1;
+        // As in phase B, the request carries everything the walk compares on
+        // (tag and predicate) so the sweep streams instead of gathering.
+        #[derive(Clone, Copy)]
+        struct FactReq {
+            /// `(home slot << 32) | chunk position`.
+            key: u64,
+            tag: u32,
+            pid: u32,
+        }
+        let mut reqs: Vec<FactReq> = (0..n)
+            .map(|i| FactReq {
+                key: ((((fhash[i] as usize) & mask) as u64) << 32) | i as u64,
+                tag: (fhash[i] >> 32) as u32,
+                pid: pred[i].0,
+            })
+            .collect();
+        reqs.sort_unstable_by_key(|r| r.key);
+        // Per chunk position: `(1 << 63) | fact` for a fact already in the
+        // table, otherwise the empty slot its walk ended on. Every position is
+        // written exactly once, so the zero init is never read.
+        let mut probe = vec![0u64; n];
+        for &r in &reqs {
+            let q = r.key as u32 as usize;
+            let mut slot = (r.key >> 32) as usize;
+            loop {
+                let b = self.table[slot];
+                if b.fact == EMPTY_BUCKET.fact {
+                    probe[q] = slot as u64;
+                    break;
+                }
+                if b.tag == r.tag
+                    && b.pred == r.pid
+                    && cells[start[q] as usize..start[q + 1] as usize]
+                        .iter()
+                        .zip(&self.strips[r.pid as usize].columns)
+                        .all(|(&c, col)| col[b.row as usize] == c)
+                {
+                    probe[q] = (1 << 63) | u64::from(b.fact);
+                    break;
+                }
+                slot = (slot + 1) & mask;
+            }
+        }
+
+        // Phase D: insert in input order, so fact ids come out exactly as
+        // sequential interning would assign them. A walk restarts from the
+        // recorded slot: an earlier insert of this chunk may have claimed it
+        // (including an identical fact, which then resolves as a duplicate).
+        for q in 0..n {
+            let p = probe[q];
+            if p >> 63 == 1 {
+                out.push(FactId(p as u32));
+                continue;
+            }
+            if self.meta.len() >= self.max_facts as usize {
+                return Err(CoreError::CapacityExhausted {
+                    resource: "fact-id space",
+                    capacity: self.max_facts as u64,
+                });
+            }
+            let pid = pred[q];
+            let tag = (fhash[q] >> 32) as u32;
+            let span = start[q] as usize..start[q + 1] as usize;
+            let mut slot = p as usize;
+            let mut existing = None;
+            loop {
+                let b = self.table[slot];
+                if b.fact == EMPTY_BUCKET.fact {
+                    break;
+                }
+                if b.tag == tag
+                    && b.pred == pid.0
+                    && cells[span.clone()]
+                        .iter()
+                        .zip(&self.strips[pid.0 as usize].columns)
+                        .all(|(&c, col)| col[b.row as usize] == c)
+                {
+                    existing = Some(b.fact);
+                    break;
+                }
+                slot = (slot + 1) & mask;
+            }
+            if let Some(f) = existing {
+                out.push(FactId(f));
+                continue;
+            }
+            let id = FactId(self.meta.len() as u32);
+            let strip = &mut self.strips[pid.0 as usize];
+            let row = strip.fact_of_row.len() as u32;
+            for (col, &c) in strip.columns.iter_mut().zip(&cells[span]) {
+                col.push(c);
+            }
+            strip.fact_of_row.push(id);
+            self.meta.push(FactMeta { pred: pid, row });
+            self.table[slot] = Bucket {
+                fact: id.0,
+                pred: pid.0,
+                row,
+                tag,
+            };
+            out.push(id);
+        }
+        Ok(())
+    }
+
+    /// Re-interns the fact `id` of `src` into this store (predicate, dictionary
+    /// terms and cells are translated), returning the local id. The cross-store
+    /// copy primitive behind [`Instance`](crate::Instance) union / restriction
+    /// and database loading — no `Vec<GroundTerm>` is materialised.
+    pub fn intern_copied(&mut self, src: &FactStore, id: FactId) -> FactId {
+        let m = src.meta[id.0 as usize];
+        let pred = self.predicate_id(src.predicates[m.pred.0 as usize]);
+        let mut cells = std::mem::take(&mut self.scratch);
+        cells.clear();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        pred.0.hash(&mut h);
+        for col in &src.strips[m.pred.0 as usize].columns {
+            let term = src.dict[col[m.row as usize].0 as usize];
+            cells.push(self.intern_term(term));
+            term.hash(&mut h);
+        }
+        let out = self
+            .try_intern_cells_hashed(h.finish(), pred, &cells)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.scratch = cells;
+        out
+    }
+
+    /// Like [`FactStore::intern_copied`], but memoising the `src`-dictionary →
+    /// local-dictionary translation in `memo` (indexed by `src` [`TermId`],
+    /// `u32::MAX` = not yet translated). This is the strip-aware rebuild
+    /// primitive of [`Instance::compact`](crate::Instance::compact): each
+    /// distinct term is looked up in the dictionary maps once, and every further
+    /// occurrence is a 4-byte memo read.
+    pub(crate) fn intern_translated(
+        &mut self,
+        src: &FactStore,
+        id: FactId,
+        memo: &mut [u32],
+    ) -> FactId {
+        let m = src.meta[id.0 as usize];
+        let pred = self.predicate_id(src.predicates[m.pred.0 as usize]);
+        let mut cells = std::mem::take(&mut self.scratch);
+        cells.clear();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        pred.0.hash(&mut h);
+        for col in &src.strips[m.pred.0 as usize].columns {
+            let old = col[m.row as usize];
+            let term = src.dict[old.0 as usize];
+            term.hash(&mut h);
+            let slot = memo[old.0 as usize];
+            let cell = if slot != u32::MAX {
+                TermId(slot)
+            } else {
+                let c = self.intern_term(term);
+                memo[old.0 as usize] = c.0;
+                c
+            };
+            cells.push(cell);
+        }
+        let out = self
+            .try_intern_cells_hashed(h.finish(), pred, &cells)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.scratch = cells;
+        out
+    }
+
+    const INLINE_ARITY: usize = 16;
+
     /// Looks up a fact without interning it; `None` if it was never interned.
+    /// Any term absent from the dictionary occurs in no fact, so the lookup
+    /// misses immediately. The query terms are translated through the
+    /// inline-key term table (independent single-line probes the CPU can
+    /// overlap) and the fact hash is computed from the term values directly,
+    /// so the dedup-table walk and the cell comparisons form a two-hop
+    /// dependency chain regardless of store size.
     pub fn lookup(&self, predicate: Predicate, terms: &[GroundTerm]) -> Option<FactId> {
         let pred = self.lookup_predicate(predicate)?;
         if self.table.is_empty() {
             return None;
         }
-        self.probe(pred, terms).ok()
+        let hash = Self::hash_fact(pred, terms.iter().copied());
+        if terms.len() <= Self::INLINE_ARITY {
+            let mut buf = [TermId(0); Self::INLINE_ARITY];
+            for (slot, &t) in buf.iter_mut().zip(terms) {
+                *slot = self.term_id(t)?;
+            }
+            self.probe_cells_hashed(hash, pred, &buf[..terms.len()])
+                .ok()
+        } else {
+            let cells: Option<Vec<TermId>> = terms.iter().map(|&t| self.term_id(t)).collect();
+            self.probe_cells_hashed(hash, pred, &cells?).ok()
+        }
     }
 
     /// Looks up a [`Fact`] value without interning it.
@@ -249,17 +1102,211 @@ impl FactStore {
         self.lookup(fact.predicate, &fact.terms)
     }
 
+    /// Bulk membership: resolves each `(predicate, terms)` query to its
+    /// interned fact id (`None` where the fact was never interned).
+    ///
+    /// Large batches are processed out-of-order, database-style (partitioned /
+    /// vectorized probing): all query hashes are computed up front, then each
+    /// table-walking phase — term translation, dedup-bucket walk, strip
+    /// verification — runs over its requests **sorted by target address**, so
+    /// a phase sweeps its table in address order instead of hopping randomly
+    /// through it. On a DRAM-resident store this turns dependent random misses
+    /// into hardware-prefetchable near-sequential streams, which is what keeps
+    /// bulk probe throughput flat as the store outgrows the caches; a
+    /// one-at-a-time [`FactStore::lookup`] loop instead pays serialized miss
+    /// latency on every hop. Batches under 32 queries take the plain path.
+    pub fn lookup_batch(&self, queries: &[(Predicate, &[GroundTerm])]) -> Vec<Option<FactId>> {
+        let n = queries.len();
+        let mut out = vec![None; n];
+        if self.table.is_empty() {
+            return out;
+        }
+        if n < 32 {
+            for (o, &(p, terms)) in out.iter_mut().zip(queries) {
+                *o = self.lookup(p, terms);
+            }
+            return out;
+        }
+
+        // Phase 1: predicate resolution and value hashing (CPU-bound,
+        // streaming). A query dies here if its predicate was never interned —
+        // or any ground term, when the dictionary is empty.
+        let mut alive = vec![false; n];
+        let mut pred = vec![u32::MAX; n];
+        let mut fhash = vec![0u64; n];
+        let mut start = Vec::with_capacity(n + 1);
+        start.push(0u32);
+        let mut total = 0usize;
+        for (i, &(p, terms)) in queries.iter().enumerate() {
+            if let Some(pid) = self.lookup_predicate(p) {
+                if terms.is_empty() || !self.term_table.is_empty() {
+                    alive[i] = true;
+                    pred[i] = pid.0;
+                    fhash[i] = Self::hash_fact(pid, terms.iter().copied());
+                    total += terms.len();
+                }
+            }
+            start.push(total as u32);
+        }
+
+        // Phase 2: term translation, swept in term-table address order. Each
+        // request is `home slot (high 32) | flat cell index (low 32)`, so the
+        // u64 sort yields address order and the walk loads stream.
+        let mut cells = vec![TermId(0); total];
+        if total > 0 {
+            let tmask = self.term_table.len() - 1;
+            let mut thash = vec![0u64; total];
+            let mut owner = vec![0u32; total];
+            let mut reqs = Vec::with_capacity(total);
+            for (i, &(_, terms)) in queries.iter().enumerate() {
+                if !alive[i] {
+                    continue;
+                }
+                let base = start[i] as usize;
+                for (j, &t) in terms.iter().enumerate() {
+                    let h = Self::hash_term(t);
+                    thash[base + j] = h;
+                    owner[base + j] = i as u32;
+                    reqs.push(((((h as usize) & tmask) as u64) << 32) | (base + j) as u64);
+                }
+            }
+            reqs.sort_unstable();
+            for &key in &reqs {
+                let flat = key as u32 as usize;
+                let q = owner[flat] as usize;
+                if !alive[q] {
+                    continue;
+                }
+                let term = queries[q].1[flat - start[q] as usize];
+                let tag = (thash[flat] >> 32) as u32;
+                let mut slot = (key >> 32) as usize;
+                loop {
+                    let b = self.term_table[slot];
+                    if b.id == EMPTY_TERM_BUCKET.id {
+                        // Term never interned: the fact cannot exist.
+                        alive[q] = false;
+                        break;
+                    }
+                    if b.tag == tag && b.term == term {
+                        cells[flat] = TermId(b.id);
+                        break;
+                    }
+                    slot = (slot + 1) & tmask;
+                }
+            }
+        }
+
+        // Phase 3: dedup-bucket walks, swept in table address order. The walk
+        // stops at the first slot whose tag and predicate match, deferring the
+        // cell comparison — on a miss it runs to the chain's empty slot.
+        let mask = self.table.len() - 1;
+        let mut reqs: Vec<u64> = (0..n)
+            .filter(|&i| alive[i])
+            .map(|i| ((((fhash[i] as usize) & mask) as u64) << 32) | i as u64)
+            .collect();
+        reqs.sort_unstable();
+        let mut cand: Vec<(u32, u32, u32, u32)> = Vec::new();
+        for &key in &reqs {
+            let q = key as u32 as usize;
+            let tag = (fhash[q] >> 32) as u32;
+            let mut slot = (key >> 32) as usize;
+            loop {
+                let b = self.table[slot];
+                if b.fact == EMPTY_BUCKET.fact {
+                    break;
+                }
+                if b.tag == tag && b.pred == pred[q] {
+                    cand.push((b.pred, b.row, q as u32, b.fact));
+                    break;
+                }
+                slot = (slot + 1) & mask;
+            }
+        }
+
+        // Phase 4: verification, swept in (predicate, row) order so the strip
+        // reads stream too. A candidate whose cells mismatch after all — a
+        // 32-bit tag collision within one predicate — re-probes through the
+        // exact single-query walk.
+        cand.sort_unstable();
+        for &(p, row, q, fact) in &cand {
+            let q = q as usize;
+            let strip = &self.strips[p as usize];
+            let span = start[q] as usize..start[q + 1] as usize;
+            if cells[span.clone()]
+                .iter()
+                .zip(&strip.columns)
+                .all(|(&c, col)| col[row as usize] == c)
+            {
+                out[q] = Some(FactId(fact));
+            } else {
+                out[q] = self
+                    .probe_cells_hashed(fhash[q], PredicateId(pred[q]), &cells[span])
+                    .ok();
+            }
+        }
+        out
+    }
+
+    /// Looks up the fact `id` of `src` in this store without interning anything
+    /// (cross-store containment): translates each cell through the dictionaries
+    /// and probes. Any term or predicate unknown here is an immediate miss.
+    pub fn lookup_copied(&self, src: &FactStore, id: FactId) -> Option<FactId> {
+        let m = src.meta[id.0 as usize];
+        let pred = self.lookup_predicate(src.predicates[m.pred.0 as usize])?;
+        if self.table.is_empty() {
+            return None;
+        }
+        let src_columns = &src.strips[m.pred.0 as usize].columns;
+        let src_row = m.row as usize;
+        let hash = Self::hash_fact(
+            pred,
+            src_columns
+                .iter()
+                .map(|col| src.dict[col[src_row].0 as usize]),
+        );
+        if src_columns.len() <= Self::INLINE_ARITY {
+            let mut buf = [TermId(0); Self::INLINE_ARITY];
+            for (slot, col) in buf.iter_mut().zip(src_columns) {
+                *slot = self.term_id(src.dict[col[src_row].0 as usize])?;
+            }
+            self.probe_cells_hashed(hash, pred, &buf[..src_columns.len()])
+                .ok()
+        } else {
+            let cells: Option<Vec<TermId>> = src_columns
+                .iter()
+                .map(|col| self.term_id(src.dict[col[src_row].0 as usize]))
+                .collect();
+            self.probe_cells_hashed(hash, pred, &cells?).ok()
+        }
+    }
+
     /// Interns the image of fact `id` under the substitution `γ` and returns the
     /// image's id (which is `id` itself when the fact does not mention the
-    /// substituted null). The rewrite goes through the store's scratch buffer, so
-    /// no per-call allocation happens after warm-up.
+    /// substituted null). The rewrite is a cell-level `TermId` swap through the
+    /// store's scratch buffer: no term values are materialised and no per-call
+    /// allocation happens after warm-up.
     pub fn intern_rewritten(&mut self, id: FactId, gamma: &NullSubstitution) -> FactId {
-        let mut buf = std::mem::take(&mut self.scratch);
-        buf.clear();
-        buf.extend(self.terms(id).iter().map(|&t| gamma.apply_ground(t)));
-        let pred = self.predicate_of(id);
-        let new = self.intern(pred, &buf);
-        self.scratch = buf;
+        let Some((null, target)) = gamma.mapping() else {
+            return id;
+        };
+        let Some(needle) = self.term_id(GroundTerm::Null(null)) else {
+            return id;
+        };
+        if !self.mentions(id, needle) {
+            return id;
+        }
+        let to_cell = self.intern_term(target);
+        let m = self.meta[id.0 as usize];
+        let mut cells = std::mem::take(&mut self.scratch);
+        cells.clear();
+        for col in &self.strips[m.pred.0 as usize].columns {
+            let c = col[m.row as usize];
+            cells.push(if c == needle { to_cell } else { c });
+        }
+        let new = self
+            .try_intern_cells(m.pred, &cells)
+            .unwrap_or_else(|e| panic!("{e}"));
+        self.scratch = cells;
         new
     }
 
@@ -275,7 +1322,371 @@ impl FactStore {
         }
         write!(f, ")")
     }
+
+    // -- raw-parts construction (snapshot loading) --------------------------------
+
+    /// Rebuilds a store from deserialized snapshot parts, re-deriving the meta
+    /// records, dictionary map and dedup table, and validating structural
+    /// invariants (dense ids, consistent strip dimensions, no duplicates).
+    /// Errors are returned as human-readable detail strings for
+    /// [`PersistError::Format`](crate::persist::PersistError).
+    pub(crate) fn from_raw_parts(
+        predicates: Vec<Predicate>,
+        dict: Vec<GroundTerm>,
+        raw_strips: Vec<(Vec<Vec<TermId>>, Vec<FactId>)>,
+    ) -> Result<FactStore, String> {
+        if raw_strips.len() != predicates.len() {
+            return Err(format!(
+                "strip count {} does not match predicate count {}",
+                raw_strips.len(),
+                predicates.len()
+            ));
+        }
+        // Rebuild the dictionary map with the same sorted sweep the batched
+        // interning path uses: processing terms in home-slot order turns the
+        // table writes into a near-sequential pass (per-term probing would
+        // scatter a cache miss per entry), while still rejecting a corrupt
+        // image with duplicate dictionary terms — a duplicate shares its
+        // home slot, so its walk runs into the earlier bucket.
+        let term_table = match dict.len() {
+            0 => Vec::new(),
+            n => {
+                let cap = (n * 2).max(8).next_power_of_two();
+                let mut fresh = vec![EMPTY_TERM_BUCKET; cap];
+                let mask = cap - 1;
+                let mut reqs: Vec<(u64, GroundTerm, u64)> = dict
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &term)| {
+                        let hash = Self::hash_term(term);
+                        (
+                            ((((hash as usize) & mask) as u64) << 32) | i as u64,
+                            term,
+                            hash,
+                        )
+                    })
+                    .collect();
+                reqs.sort_unstable_by_key(|&(key, _, _)| key);
+                for &(key, term, hash) in &reqs {
+                    let tag = (hash >> 32) as u32;
+                    let mut slot = (key >> 32) as usize;
+                    loop {
+                        let b = fresh[slot];
+                        if b.id == EMPTY_TERM_BUCKET.id {
+                            break;
+                        }
+                        if b.tag == tag && b.term == term {
+                            return Err(format!(
+                                "duplicate dictionary term at TermId({})",
+                                key as u32
+                            ));
+                        }
+                        slot = (slot + 1) & mask;
+                    }
+                    fresh[slot] = TermBucket {
+                        term,
+                        id: key as u32,
+                        tag,
+                    };
+                }
+                fresh
+            }
+        };
+        let mut predicate_ids: HashMap<Predicate, PredicateId> =
+            HashMap::with_capacity(predicates.len());
+        for (i, &p) in predicates.iter().enumerate() {
+            if predicate_ids.insert(p, PredicateId(i as u32)).is_some() {
+                return Err(format!("duplicate predicate at PredicateId({i})"));
+            }
+        }
+        let n_facts: usize = raw_strips.iter().map(|(_, rows)| rows.len()).sum();
+        let mut meta = vec![
+            FactMeta {
+                pred: PredicateId(0),
+                row: 0
+            };
+            n_facts
+        ];
+        let mut assigned = vec![false; n_facts];
+        let mut strips = Vec::with_capacity(raw_strips.len());
+        for (pi, (columns, fact_of_row)) in raw_strips.into_iter().enumerate() {
+            let arity = predicates[pi].arity;
+            if columns.len() != arity {
+                return Err(format!(
+                    "predicate {} has arity {arity} but {} columns",
+                    predicates[pi].name,
+                    columns.len()
+                ));
+            }
+            for col in &columns {
+                if col.len() != fact_of_row.len() {
+                    return Err(format!(
+                        "ragged strip for predicate {}: column of {} cells over {} rows",
+                        predicates[pi].name,
+                        col.len(),
+                        fact_of_row.len()
+                    ));
+                }
+                if let Some(bad) = col.iter().find(|c| c.0 as usize >= dict.len()) {
+                    return Err(format!(
+                        "cell TermId({}) is outside the dictionary (len {})",
+                        bad.0,
+                        dict.len()
+                    ));
+                }
+            }
+            for (row, &fid) in fact_of_row.iter().enumerate() {
+                let idx = fid.0 as usize;
+                if idx >= n_facts {
+                    return Err(format!(
+                        "row fact id FactId({}) is outside the fact space (len {n_facts})",
+                        fid.0
+                    ));
+                }
+                if assigned[idx] {
+                    return Err(format!("FactId({}) is assigned to two rows", fid.0));
+                }
+                assigned[idx] = true;
+                meta[idx] = FactMeta {
+                    pred: PredicateId(pi as u32),
+                    row: row as u32,
+                };
+            }
+            strips.push(Strip {
+                columns,
+                fact_of_row,
+            });
+        }
+        let mut store = FactStore {
+            predicates,
+            predicate_ids,
+            dict,
+            term_table,
+            strips,
+            meta,
+            table: match n_facts {
+                0 => Vec::new(),
+                n => vec![EMPTY_BUCKET; (n * 2).max(8).next_power_of_two()],
+            },
+            scratch: Vec::new(),
+            row_hint: 0,
+            max_terms: u32::MAX,
+            max_facts: u32::MAX,
+        };
+        // Rebuild the fact dedup table with the same sorted sweep: hash every
+        // row predicate-by-predicate (three sequential column streams beat a
+        // meta-order gather), then claim slots in home-slot order. A corrupt
+        // image with duplicate facts is still rejected instead of silently
+        // shadowing ids — duplicates share a home slot, so the later one's
+        // walk runs into the earlier one's bucket and the cells compare equal.
+        #[derive(Clone, Copy)]
+        struct RebuildReq {
+            /// `(home slot << 32) | fact id`.
+            key: u64,
+            tag: u32,
+            pred: u32,
+            row: u32,
+        }
+        let mask = store.table.len().wrapping_sub(1);
+        let mut reqs: Vec<RebuildReq> = Vec::with_capacity(n_facts);
+        let mut cells: Vec<TermId> = Vec::new();
+        for (pi, strip) in store.strips.iter().enumerate() {
+            for (row, &fid) in strip.fact_of_row.iter().enumerate() {
+                cells.clear();
+                cells.extend(strip.columns.iter().map(|col| col[row]));
+                let hash = store.hash_cells(PredicateId(pi as u32), &cells);
+                reqs.push(RebuildReq {
+                    key: ((((hash as usize) & mask) as u64) << 32) | u64::from(fid.0),
+                    tag: (hash >> 32) as u32,
+                    pred: pi as u32,
+                    row: row as u32,
+                });
+            }
+        }
+        reqs.sort_unstable_by_key(|r| r.key);
+        for &r in &reqs {
+            let mut slot = (r.key >> 32) as usize;
+            loop {
+                let b = store.table[slot];
+                if b.fact == EMPTY_BUCKET.fact {
+                    break;
+                }
+                if b.tag == r.tag
+                    && b.pred == r.pred
+                    && store.strips[r.pred as usize]
+                        .columns
+                        .iter()
+                        .all(|col| col[r.row as usize] == col[b.row as usize])
+                {
+                    return Err(format!(
+                        "FactId({}) duplicates the fact behind FactId({})",
+                        r.key as u32, b.fact
+                    ));
+                }
+                slot = (slot + 1) & mask;
+            }
+            store.table[slot] = Bucket {
+                fact: r.key as u32,
+                pred: r.pred,
+                row: r.row,
+                tag: r.tag,
+            };
+        }
+        Ok(store)
+    }
+
+    /// The dictionary in `TermId` order (snapshot serialization).
+    pub(crate) fn dict_terms(&self) -> &[GroundTerm] {
+        &self.dict
+    }
+
+    /// The interned predicates in `PredicateId` order (snapshot serialization).
+    pub(crate) fn predicate_list(&self) -> &[Predicate] {
+        &self.predicates
+    }
 }
+
+// ---------------------------------------------------------------------------------
+// The per-fact view
+// ---------------------------------------------------------------------------------
+
+/// A cheap, copyable view of one fact's argument terms over its predicate's
+/// column strips — the columnar replacement for the row-major `&[GroundTerm]`
+/// span. Resolving position `i` reads the cell `columns[i][row]` and the
+/// dictionary entry behind it.
+#[derive(Clone, Copy)]
+pub struct FactTerms<'a> {
+    dict: &'a [GroundTerm],
+    columns: &'a [Vec<TermId>],
+    row: usize,
+}
+
+impl<'a> FactTerms<'a> {
+    /// Number of argument terms (the predicate's arity).
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Returns `true` iff the fact is 0-ary.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// The term at argument position `position`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position >= self.len()`.
+    pub fn get(&self, position: usize) -> GroundTerm {
+        self.dict[self.columns[position][self.row].0 as usize]
+    }
+
+    /// Iterates over the argument terms in position order.
+    pub fn iter(&self) -> FactTermsIter<'a> {
+        FactTermsIter {
+            view: *self,
+            position: 0,
+        }
+    }
+
+    /// Materialises the argument terms as a vector (boundary layer only).
+    pub fn to_vec(&self) -> Vec<GroundTerm> {
+        self.iter().collect()
+    }
+
+    /// Returns `true` iff some argument position carries `term`.
+    pub fn contains(&self, term: GroundTerm) -> bool {
+        self.iter().any(|t| t == term)
+    }
+}
+
+impl fmt::Debug for FactTerms<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl PartialEq for FactTerms<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter())
+    }
+}
+
+impl Eq for FactTerms<'_> {}
+
+impl PartialEq<[GroundTerm]> for FactTerms<'_> {
+    fn eq(&self, other: &[GroundTerm]) -> bool {
+        self.len() == other.len() && self.iter().eq(other.iter().copied())
+    }
+}
+
+impl PartialEq<&[GroundTerm]> for FactTerms<'_> {
+    fn eq(&self, other: &&[GroundTerm]) -> bool {
+        *self == **other
+    }
+}
+
+impl<const N: usize> PartialEq<[GroundTerm; N]> for FactTerms<'_> {
+    fn eq(&self, other: &[GroundTerm; N]) -> bool {
+        *self == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[GroundTerm; N]> for FactTerms<'_> {
+    fn eq(&self, other: &&[GroundTerm; N]) -> bool {
+        *self == other[..]
+    }
+}
+
+impl PartialEq<Vec<GroundTerm>> for FactTerms<'_> {
+    fn eq(&self, other: &Vec<GroundTerm>) -> bool {
+        *self == other[..]
+    }
+}
+
+impl<'a> IntoIterator for FactTerms<'a> {
+    type Item = GroundTerm;
+    type IntoIter = FactTermsIter<'a>;
+    fn into_iter(self) -> FactTermsIter<'a> {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &FactTerms<'a> {
+    type Item = GroundTerm;
+    type IntoIter = FactTermsIter<'a>;
+    fn into_iter(self) -> FactTermsIter<'a> {
+        self.iter()
+    }
+}
+
+/// Position-order iterator over a [`FactTerms`] view.
+#[derive(Clone)]
+pub struct FactTermsIter<'a> {
+    view: FactTerms<'a>,
+    position: usize,
+}
+
+impl Iterator for FactTermsIter<'_> {
+    type Item = GroundTerm;
+
+    fn next(&mut self) -> Option<GroundTerm> {
+        if self.position < self.view.len() {
+            let t = self.view.get(self.position);
+            self.position += 1;
+            Some(t)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.view.len() - self.position;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for FactTermsIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -301,6 +1712,8 @@ mod tests {
         assert_eq!(c.0, 1);
         assert_eq!(s.len(), 2);
         assert_eq!(s.arena_len(), 4);
+        // The dictionary holds each distinct term once.
+        assert_eq!(s.term_count(), 2);
     }
 
     #[test]
@@ -320,6 +1733,9 @@ mod tests {
         let id = s.intern_fact(&f);
         assert_eq!(s.fact(id), f);
         assert_eq!(s.terms(id), &[cst("a"), null(3)]);
+        assert_eq!(s.terms(id).to_vec(), vec![cst("a"), null(3)]);
+        assert_eq!(s.term_at(id, 0), cst("a"));
+        assert_eq!(s.term_at(id, 1), null(3));
         assert_eq!(s.predicate_of(id), f.predicate);
         assert_eq!(s.lookup_fact(&f), Some(id));
         assert_eq!(
@@ -329,9 +1745,142 @@ mod tests {
     }
 
     #[test]
+    fn column_strips_are_position_major() {
+        let mut s = FactStore::new();
+        let a = s.intern_fact(&Fact::from_parts("E", vec![cst("a"), cst("b")]));
+        let b = s.intern_fact(&Fact::from_parts("E", vec![cst("b"), cst("c")]));
+        let pid = s.predicate_id_of(a);
+        assert_eq!(s.rows(pid), 2);
+        assert_eq!(s.row_facts(pid), &[a, b]);
+        let col0: Vec<GroundTerm> = s.column(pid, 0).iter().map(|&c| s.term(c)).collect();
+        let col1: Vec<GroundTerm> = s.column(pid, 1).iter().map(|&c| s.term(c)).collect();
+        assert_eq!(col0, vec![cst("a"), cst("b")]);
+        assert_eq!(col1, vec![cst("b"), cst("c")]);
+        assert_eq!(s.row_of(b), 1);
+        // Cells are dictionary ids: equal terms share a cell across columns.
+        assert_eq!(s.column(pid, 0)[1], s.column(pid, 1)[0]);
+    }
+
+    #[test]
     fn lookup_on_empty_store_is_none() {
         let s = FactStore::new();
         assert_eq!(s.lookup_fact(&Fact::from_parts("P", vec![cst("a")])), None);
+    }
+
+    #[test]
+    fn lookup_batch_agrees_with_single_lookups() {
+        let mut s = FactStore::new();
+        // 0-ary, nulls, and enough facts to span several pipeline groups.
+        s.intern_fact(&Fact::from_parts("unit", vec![]));
+        s.intern_fact(&Fact::from_parts("E", vec![null(0), null(1)]));
+        for i in 0..40 {
+            s.intern_fact(&Fact::from_parts(
+                "P",
+                vec![cst(&format!("v{i}")), cst(&format!("v{}", i % 7))],
+            ));
+        }
+        let mut queries: Vec<Fact> = vec![
+            Fact::from_parts("unit", vec![]),
+            Fact::from_parts("E", vec![null(0), null(1)]),
+            Fact::from_parts("E", vec![null(1), null(0)]), // miss
+            Fact::from_parts("Q", vec![cst("v0")]),        // unknown predicate
+            Fact::from_parts("P", vec![cst("v1"), cst("zzz")]), // unknown term
+        ];
+        for i in (0..40).rev() {
+            queries.push(Fact::from_parts(
+                "P",
+                vec![cst(&format!("v{i}")), cst(&format!("v{}", i % 6))],
+            ));
+        }
+        let borrowed: Vec<(Predicate, &[GroundTerm])> = queries
+            .iter()
+            .map(|f| (f.predicate, f.terms.as_slice()))
+            .collect();
+        let batched = s.lookup_batch(&borrowed);
+        assert_eq!(batched.len(), queries.len());
+        for (f, got) in queries.iter().zip(&batched) {
+            assert_eq!(*got, s.lookup_fact(f), "batch diverges on {f}");
+        }
+        assert!(batched.iter().filter(|r| r.is_some()).count() >= 2);
+        assert!(FactStore::new()
+            .lookup_batch(&borrowed)
+            .iter()
+            .all(Option::is_none));
+    }
+
+    #[test]
+    fn intern_batch_matches_sequential_interning() {
+        // A mixed batch: 0-ary, nulls, cross-predicate, duplicates both within
+        // the batch and against already-interned facts.
+        let mut facts: Vec<Fact> = Vec::new();
+        facts.push(Fact::from_parts("unit", vec![]));
+        facts.push(Fact::from_parts("E", vec![null(0), null(1)]));
+        for i in 0..300 {
+            facts.push(Fact::from_parts(
+                "P",
+                vec![cst(&format!("v{}", i % 200)), cst(&format!("v{}", i % 7))],
+            ));
+        }
+        facts.push(Fact::from_parts("unit", vec![]));
+        facts.push(Fact::from_parts("E", vec![null(0), null(1)]));
+
+        let mut seq = FactStore::new();
+        let seq_ids: Vec<FactId> = facts.iter().map(|f| seq.intern_fact(f)).collect();
+
+        let mut pre = FactStore::new();
+        let pre_seed = pre.intern_fact(&facts[5]);
+        let borrowed: Vec<(Predicate, &[GroundTerm])> = facts
+            .iter()
+            .map(|f| (f.predicate, f.terms.as_slice()))
+            .collect();
+        let batch_ids = pre.try_intern_batch(&borrowed).unwrap();
+
+        // Same value → id mapping as sequential interning would produce on the
+        // pre-seeded store: the seed keeps id 0, everything else shifts but
+        // duplicates still coincide.
+        assert_eq!(batch_ids.len(), seq_ids.len());
+        assert_eq!(batch_ids[5], pre_seed, "batch dedups against the store");
+        for (i, f) in facts.iter().enumerate() {
+            assert_eq!(Some(batch_ids[i]), pre.lookup_fact(f), "lookup of {f}");
+            assert_eq!(pre.fact(batch_ids[i]), *f, "roundtrip of {f}");
+        }
+        for i in 0..facts.len() {
+            for j in i + 1..facts.len() {
+                assert_eq!(
+                    seq_ids[i] == seq_ids[j],
+                    batch_ids[i] == batch_ids[j],
+                    "duplicate structure diverges at ({i}, {j})"
+                );
+            }
+        }
+        assert_eq!(pre.len(), seq.len());
+        assert_eq!(pre.term_count(), seq.term_count());
+
+        // A fresh store (growth from empty exercises the mid-chunk spill into
+        // the plain path) assigns exactly the sequential ids.
+        let mut fresh = FactStore::new();
+        assert_eq!(fresh.try_intern_batch(&borrowed).unwrap(), seq_ids);
+
+        // A pre-sized store (no growth: the pure sorted-sweep path) agrees too.
+        let mut sized = FactStore::with_capacity(4, facts.len(), 512);
+        assert_eq!(sized.try_intern_batch(&borrowed).unwrap(), seq_ids);
+        assert_eq!(sized.try_intern_batch(&borrowed).unwrap(), seq_ids);
+
+        // Capacity errors surface instead of wrapping.
+        let mut tiny = FactStore::with_limits(8, 4);
+        assert!(matches!(
+            tiny.try_intern_batch(&borrowed),
+            Err(CoreError::CapacityExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn lookup_misses_fast_on_unknown_terms() {
+        let mut s = FactStore::new();
+        s.intern_fact(&Fact::from_parts("P", vec![cst("a")]));
+        // "z" is not in the dictionary: the lookup misses before probing.
+        assert_eq!(s.lookup_fact(&Fact::from_parts("P", vec![cst("z")])), None);
+        assert_eq!(s.term_id(cst("z")), None);
     }
 
     #[test]
@@ -371,6 +1920,7 @@ mod tests {
         let b = s.intern_fact(&Fact::from_parts("Init", vec![]));
         assert_eq!(a, b);
         assert!(s.terms(a).is_empty());
+        assert_eq!(s.terms(a).iter().count(), 0);
     }
 
     #[test]
@@ -386,5 +1936,119 @@ mod tests {
             );
         }
         assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn cross_store_copy_and_lookup() {
+        let mut a = FactStore::new();
+        let fa = a.intern_fact(&Fact::from_parts("E", vec![cst("x"), null(1)]));
+        let mut b = FactStore::new();
+        // Different interning history so the dictionaries disagree on ids.
+        b.intern_fact(&Fact::from_parts("N", vec![cst("pad")]));
+        let fb = b.intern_copied(&a, fa);
+        assert_eq!(b.fact(fb), a.fact(fa));
+        assert_eq!(b.lookup_copied(&a, fa), Some(fb));
+        let other = a.intern_fact(&Fact::from_parts("E", vec![cst("y"), cst("x")]));
+        assert_eq!(b.lookup_copied(&a, other), None);
+    }
+
+    #[test]
+    fn term_dictionary_overflow_is_a_typed_error() {
+        // Injected capacity of 2 terms: the third distinct term must fail with
+        // the typed capacity error, and the panicking path must carry it.
+        let mut s = FactStore::with_limits(2, u32::MAX);
+        assert!(s
+            .try_intern(Predicate::new("E", 2), &[cst("a"), cst("b")])
+            .is_ok());
+        let err = s
+            .try_intern(Predicate::new("E", 2), &[cst("a"), cst("c")])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::CapacityExhausted {
+                resource: "term dictionary",
+                capacity: 2
+            }
+        );
+        assert!(err.to_string().contains("term dictionary"));
+        // The failed intern left no partial fact behind.
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.term_count(), 2);
+        // Re-interning existing terms still works.
+        assert!(s
+            .try_intern(Predicate::new("E", 2), &[cst("b"), cst("a")])
+            .is_ok());
+    }
+
+    #[test]
+    fn fact_id_overflow_is_a_typed_error() {
+        let mut s = FactStore::with_limits(u32::MAX, 1);
+        assert!(s.try_intern(Predicate::new("N", 1), &[cst("a")]).is_ok());
+        // Re-interning the same fact dedups and stays within capacity.
+        assert!(s.try_intern(Predicate::new("N", 1), &[cst("a")]).is_ok());
+        let err = s
+            .try_intern(Predicate::new("N", 1), &[cst("b")])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            CoreError::CapacityExhausted {
+                resource: "fact-id space",
+                capacity: 1
+            }
+        );
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity exhausted")]
+    fn panicking_intern_carries_a_clear_message() {
+        let mut s = FactStore::with_limits(1, u32::MAX);
+        s.intern(Predicate::new("E", 2), &[cst("a"), cst("b")]);
+    }
+
+    #[test]
+    fn with_capacity_presizes_the_dedup_table() {
+        let mut s = FactStore::with_capacity(1, 1000, 1000);
+        let table_before = s.footprint().table_bytes;
+        for i in 0..1000 {
+            s.intern(Predicate::new("N", 1), &[cst(&format!("c{i}"))]);
+        }
+        // No rehash doubling happened: the table was at its final size up front.
+        assert_eq!(s.footprint().table_bytes, table_before);
+        assert_eq!(s.len(), 1000);
+    }
+
+    #[test]
+    fn footprint_reports_columnar_below_row_equivalent() {
+        let mut s = FactStore::new();
+        // Repeating terms: dictionary compression pays off.
+        for i in 0..100 {
+            s.intern(
+                Predicate::new("E", 2),
+                &[cst(&format!("c{}", i % 10)), cst(&format!("c{}", i % 7))],
+            );
+        }
+        let fp = s.footprint();
+        assert_eq!(fp.strip_bytes, s.arena_len() * 4 + s.len() * 4);
+        assert_eq!(fp.dict_bytes, s.term_count() * 16);
+        assert!(
+            fp.columnar_bytes() < fp.row_equivalent_bytes,
+            "columnar {} >= row {}",
+            fp.columnar_bytes(),
+            fp.row_equivalent_bytes
+        );
+    }
+
+    #[test]
+    fn mentions_checks_cells() {
+        let mut s = FactStore::new();
+        let id = s.intern_fact(&Fact::from_parts("E", vec![cst("a"), null(1)]));
+        let a = s.term_id(cst("a")).unwrap();
+        let n1 = s.term_id(null(1)).unwrap();
+        assert!(s.mentions(id, a));
+        assert!(s.mentions(id, n1));
+        s.intern_fact(&Fact::from_parts("N", vec![cst("b")]));
+        let b = s.term_id(cst("b")).unwrap();
+        assert!(!s.mentions(id, b));
     }
 }

@@ -151,9 +151,11 @@ pub fn unify_atom_with_fact(
     unify_atom_with_terms(atom, &fact.terms, assignment)
 }
 
-/// Tries to unify `atom` with a fact given by its argument terms (typically a
-/// [`FactStore`] arena slice) under `assignment`. The predicate is assumed to
-/// match. Semantics are those of [`unify_atom_with_fact`].
+/// Tries to unify `atom` with a fact given by its argument terms as a value
+/// slice under `assignment`. The predicate is assumed to match. Semantics are
+/// those of [`unify_atom_with_fact`]; facts already interned in a
+/// [`FactStore`] unify without materialising a slice via
+/// [`unify_atom_with_stored`].
 pub fn unify_atom_with_terms(
     atom: &Atom,
     fact_terms: &[GroundTerm],
@@ -169,6 +171,43 @@ pub fn unify_atom_with_terms(
                 Some(bound) => bound == *g,
                 None => {
                     assignment.bind(*v, *g);
+                    new_bindings.push(*v);
+                    true
+                }
+            },
+        };
+        if !ok {
+            for v in &new_bindings {
+                assignment.unbind(*v);
+            }
+            return None;
+        }
+    }
+    Some(new_bindings)
+}
+
+/// Tries to unify `atom` with the interned fact `id` of `store` under
+/// `assignment` — the hot-path variant of [`unify_atom_with_terms`], reading
+/// each position straight from the store's column strips (two array reads per
+/// position, no term vector). The predicate is assumed to match.
+pub fn unify_atom_with_stored(
+    atom: &Atom,
+    store: &FactStore,
+    id: FactId,
+    assignment: &mut Assignment,
+) -> Option<Vec<Variable>> {
+    let view = store.terms(id);
+    debug_assert_eq!(atom.terms.len(), view.len());
+    let mut new_bindings: Vec<Variable> = Vec::new();
+    for (pos, t) in atom.terms.iter().enumerate() {
+        let g = view.get(pos);
+        let ok = match t {
+            Term::Const(c) => GroundTerm::Const(*c) == g,
+            Term::Null(n) => GroundTerm::Null(*n) == g,
+            Term::Var(v) => match assignment.get(*v) {
+                Some(bound) => bound == g,
+                None => {
+                    assignment.bind(*v, g);
                     new_bindings.push(*v);
                     true
                 }
@@ -331,10 +370,18 @@ impl QueryIndex {
         let mut buckets: HashMap<(Predicate, usize, GroundTerm), Vec<FactId>> = HashMap::new();
         let predicates: BTreeSet<Predicate> = atoms.iter().map(|a| a.predicate).collect();
         let store = instance.store();
+        // Column-major build: one pass per (predicate, position) over that
+        // position's contiguous strip — cache-linear, instead of striding
+        // across every fact's full row.
         for p in predicates {
-            for &id in instance.ids_of(p) {
-                for (pos, t) in store.terms(id).iter().enumerate() {
-                    buckets.entry((p, pos, *t)).or_default().push(id);
+            let Some(pid) = store.lookup_predicate(p) else {
+                continue;
+            };
+            for pos in 0..p.arity {
+                let col = store.column(pid, pos);
+                for &id in instance.ids_of(p) {
+                    let t = store.term(col[store.row_of(id)]);
+                    buckets.entry((p, pos, t)).or_default().push(id);
                 }
             }
         }
@@ -459,11 +506,14 @@ impl<'a> HomomorphismSearch<'a> {
         if self.atoms[seed_index].predicate != seed_fact.predicate {
             return None;
         }
-        self.seeded_from_terms(seed_index, &seed_fact.terms, visit)
+        let mut assignment = Assignment::new();
+        unify_atom_with_terms(&self.atoms[seed_index], &seed_fact.terms, &mut assignment)?;
+        self.seeded_continue(seed_index, assignment, visit)
     }
 
     /// Visits every homomorphism in which atom `seed_index` is mapped to the
-    /// interned fact `seed` of the source's store.
+    /// interned fact `seed` of the source's store. The seed unifies straight
+    /// from the store's strips — no term slice is materialised.
     pub fn for_each_seeded_id<B>(
         &self,
         seed_index: usize,
@@ -474,18 +524,17 @@ impl<'a> HomomorphismSearch<'a> {
         if self.atoms[seed_index].predicate != store.predicate_of(seed) {
             return None;
         }
-        self.seeded_from_terms(seed_index, store.terms(seed), visit)
+        let mut assignment = Assignment::new();
+        unify_atom_with_stored(&self.atoms[seed_index], store, seed, &mut assignment)?;
+        self.seeded_continue(seed_index, assignment, visit)
     }
 
-    fn seeded_from_terms<B>(
+    fn seeded_continue<B>(
         &self,
         seed_index: usize,
-        seed_terms: &[GroundTerm],
+        mut assignment: Assignment,
         visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
     ) -> Option<B> {
-        let seed_atom = &self.atoms[seed_index];
-        let mut assignment = Assignment::new();
-        unify_atom_with_terms(seed_atom, seed_terms, &mut assignment)?;
         let include: Vec<usize> = (0..self.atoms.len()).filter(|&i| i != seed_index).collect();
         let plan = JoinPlan::for_subset(self.atoms, &include, &assignment, |i| {
             self.source.candidate_count(&self.atoms[i], &assignment)
@@ -535,8 +584,9 @@ impl<'a> HomomorphismSearch<'a> {
         assignment: &mut Assignment,
         visit: &mut impl FnMut(&Assignment) -> ControlFlow<B>,
     ) -> ControlFlow<B> {
-        let terms = self.source.store().terms(id);
-        if let Some(new_bindings) = unify_atom_with_terms(atom, terms, assignment) {
+        if let Some(new_bindings) =
+            unify_atom_with_stored(atom, self.source.store(), id, assignment)
+        {
             let flow = self.search(order, depth + 1, assignment, visit);
             for v in &new_bindings {
                 assignment.unbind(*v);
@@ -618,7 +668,7 @@ pub fn naive_homomorphisms_extending(
         };
         for &id in instance.ids_of(atom.predicate) {
             if let Some(new_bindings) =
-                unify_atom_with_terms(atom, instance.store().terms(id), assignment)
+                unify_atom_with_stored(atom, instance.store(), id, assignment)
             {
                 recurse(atoms, instance, depth + 1, assignment, out);
                 for v in &new_bindings {
@@ -653,7 +703,7 @@ pub fn instance_homomorphism(
                 .iter()
                 .map(|t| match t {
                     GroundTerm::Null(n) => Term::Var(Variable::new(&format!("__null_{}", n.0))),
-                    GroundTerm::Const(c) => Term::Const(*c),
+                    GroundTerm::Const(c) => Term::Const(c),
                 })
                 .collect(),
         })

@@ -1,0 +1,147 @@
+//! A dense bitset over [`FactId`]s — the live-set representation of
+//! [`Instance`](crate::instance::Instance).
+//!
+//! Fact ids are dense `u32`s issued by the append-only store, so set
+//! membership fits one bit per *interned* fact: a million-fact instance's
+//! live set is ~128 KB of contiguous words instead of a multi-megabyte hash
+//! table, membership is a shift-and-mask instead of a SipHash probe, and bulk
+//! loads — which insert ids in ascending order — touch the words
+//! sequentially. At 10M facts this is the difference between an L2-resident
+//! structure and ~80 MB of random DRAM traffic on every insert (measured in
+//! the `fact_store` bench's intern-flatness gate).
+
+use crate::fact_store::FactId;
+
+/// A set of [`FactId`]s stored as a bitmap, one bit per id.
+#[derive(Clone, Debug, Default)]
+pub struct FactIdSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl FactIdSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        FactIdSet::default()
+    }
+
+    /// An empty set with room for ids `0..capacity` without reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FactIdSet {
+            words: vec![0; capacity.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Number of ids in the set.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` iff the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` iff `id` is in the set.
+    pub fn contains(&self, id: FactId) -> bool {
+        match self.words.get(id.0 as usize / 64) {
+            Some(w) => w & (1u64 << (id.0 % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// Adds `id`; returns `true` iff it was not already present.
+    pub fn insert(&mut self, id: FactId) -> bool {
+        let word = id.0 as usize / 64;
+        if word >= self.words.len() {
+            // Amortised doubling: ids arrive mostly in ascending order, so a
+            // plain resize-to-fit would reallocate per word.
+            let target = (word + 1).max(self.words.len() * 2);
+            self.words.resize(target, 0);
+        }
+        let bit = 1u64 << (id.0 % 64);
+        let fresh = self.words[word] & bit == 0;
+        self.words[word] |= bit;
+        self.len += fresh as usize;
+        fresh
+    }
+
+    /// Removes `id`; returns `true` iff it was present.
+    pub fn remove(&mut self, id: FactId) -> bool {
+        let Some(w) = self.words.get_mut(id.0 as usize / 64) else {
+            return false;
+        };
+        let bit = 1u64 << (id.0 % 64);
+        let present = *w & bit != 0;
+        *w &= !bit;
+        self.len -= present as usize;
+        present
+    }
+
+    /// Iterates over the ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = FactId> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut rest = w;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(FactId(i as u32 * 64 + bit))
+            })
+        })
+    }
+}
+
+impl FromIterator<FactId> for FactIdSet {
+    fn from_iter<T: IntoIterator<Item = FactId>>(iter: T) -> Self {
+        let mut set = FactIdSet::new();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_len() {
+        let mut s = FactIdSet::new();
+        assert!(s.is_empty());
+        assert!(!s.contains(FactId(0)));
+        assert!(s.insert(FactId(0)));
+        assert!(s.insert(FactId(65)));
+        assert!(s.insert(FactId(1_000_000)));
+        assert!(!s.insert(FactId(65)), "duplicate insert");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(FactId(65)));
+        assert!(!s.contains(FactId(64)));
+        assert!(!s.contains(FactId(u32::MAX)), "out of range is absent");
+        assert!(s.remove(FactId(65)));
+        assert!(!s.remove(FactId(65)), "double remove");
+        assert!(!s.remove(FactId(7)), "never inserted");
+        assert_eq!(s.len(), 2);
+        assert_eq!(
+            s.iter().collect::<Vec<_>>(),
+            vec![FactId(0), FactId(1_000_000)],
+            "iteration is ascending"
+        );
+    }
+
+    #[test]
+    fn with_capacity_and_from_iter_agree() {
+        let ids = [FactId(3), FactId(300), FactId(3), FactId(63), FactId(64)];
+        let a: FactIdSet = ids.iter().copied().collect();
+        let mut b = FactIdSet::with_capacity(301);
+        for &id in &ids {
+            b.insert(id);
+        }
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.iter().collect::<Vec<_>>(), b.iter().collect::<Vec<_>>());
+    }
+}

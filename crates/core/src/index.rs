@@ -95,11 +95,11 @@ impl IndexedInstance {
         let mut nulls: Vec<NullValue> = Vec::new();
         for (i, t) in store.terms(id).iter().enumerate() {
             self.by_position
-                .entry((predicate, i, *t))
+                .entry((predicate, i, t))
                 .or_default()
                 .push(id);
             if let GroundTerm::Null(n) = t {
-                nulls.push(*n);
+                nulls.push(n);
             }
         }
         nulls.sort_unstable();
@@ -114,19 +114,19 @@ impl IndexedInstance {
         let store = self.instance.store();
         let predicate = store.predicate_of(id);
         for (i, t) in store.terms(id).iter().enumerate() {
-            if let Some(v) = self.by_position.get_mut(&(predicate, i, *t)) {
+            if let Some(v) = self.by_position.get_mut(&(predicate, i, t)) {
                 v.retain(|&f| f != id);
                 if v.is_empty() {
-                    self.by_position.remove(&(predicate, i, *t));
+                    self.by_position.remove(&(predicate, i, t));
                 }
             }
         }
         for t in store.terms(id) {
             if let GroundTerm::Null(n) = t {
-                if let Some(v) = self.by_null.get_mut(n) {
+                if let Some(v) = self.by_null.get_mut(&n) {
                     v.retain(|&f| f != id);
                     if v.is_empty() {
-                        self.by_null.remove(n);
+                        self.by_null.remove(&n);
                     }
                 }
             }
@@ -196,6 +196,17 @@ impl IndexedInstance {
             self.index_fact(id);
         }
         (id, new)
+    }
+
+    /// Inserts a copy of the fact `id` of `src` (a different store), updating all
+    /// indexes; returns the local interned id and whether it was new. Cells are
+    /// translated store-to-store — see [`Instance::insert_copied`].
+    pub fn insert_copied(&mut self, src: &FactStore, id: FactId) -> (FactId, bool) {
+        let (local, new) = self.instance.insert_copied(src, id);
+        if new {
+            self.index_fact(local);
+        }
+        (local, new)
     }
 
     /// Removes a fact, updating all indexes; returns `true` iff it was present.

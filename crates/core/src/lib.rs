@@ -12,10 +12,11 @@
 //! * tuple generating dependencies ([`Tgd`]), equality generating dependencies
 //!   ([`Egd`]) and [`DependencySet`]s with the `Σtgd / Σegd / Σ∀ / Σ∃` views used
 //!   throughout the paper — see [`dependency`];
-//! * the arena-interned fact store (flat term arena, dense [`FactId`]s) — see
-//!   [`fact_store`] — with store-backed instances and databases holding
-//!   per-predicate id lists — see [`instance`] — and opt-in per-(predicate,
-//!   position) / per-null id indexes — see [`index`];
+//! * the columnar, dictionary-compressed fact store (per-predicate column
+//!   strips of dense [`TermId`] cells, dense [`FactId`]s) — see [`fact_store`]
+//!   — with store-backed instances and databases holding per-predicate id lists
+//!   and on-disk snapshot save/load — see [`instance`] and [`persist`] — and
+//!   opt-in per-(predicate, position) / per-null id indexes — see [`index`];
 //! * the workspace's single join engine ([`JoinPlan`] + [`HomomorphismSearch`]),
 //!   substitutions and first-order satisfaction — see [`homomorphism`],
 //!   [`substitution`] and [`satisfaction`];
@@ -50,11 +51,13 @@ pub mod dependency;
 pub mod error;
 pub mod fact_store;
 pub mod homomorphism;
+pub mod id_set;
 pub mod index;
 pub mod instance;
 pub mod interner;
 pub mod isomorphism;
 pub mod parser;
+pub mod persist;
 pub mod position;
 pub mod satisfaction;
 pub mod snapshot;
@@ -64,13 +67,15 @@ pub mod term;
 pub use atom::{Atom, Fact, Predicate};
 pub use dependency::{DepId, Dependency, DependencySet, Egd, Tgd};
 pub use error::CoreError;
-pub use fact_store::{FactId, FactStore, PredicateId};
+pub use fact_store::{FactId, FactStore, FactTerms, PredicateId, StoreFootprint, TermId};
 pub use homomorphism::{Assignment, HomomorphismSearch, JoinPlan};
+pub use id_set::FactIdSet;
 pub use index::IndexedInstance;
 pub use instance::Instance;
 pub use interner::Symbol;
 pub use isomorphism::isomorphic_up_to_null_renaming;
 pub use parser::{parse_dependencies, parse_program, Program};
+pub use persist::PersistError;
 pub use position::Position;
 pub use snapshot::{DiscoveryStats, ShardStats, Snapshot};
 pub use substitution::NullSubstitution;

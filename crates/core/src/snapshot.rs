@@ -48,11 +48,10 @@
 use std::time::Duration;
 
 use crate::atom::{Atom, Predicate};
-use crate::fact_store::{FactId, FactStore};
+use crate::fact_store::{FactId, FactStore, FactTerms};
 use crate::homomorphism::{Assignment, HomomorphismSearch};
 use crate::index::IndexedInstance;
 use crate::instance::Instance;
-use crate::term::GroundTerm;
 
 /// Work done by one worker over its shard of a snapshot during a single
 /// discovery batch: how many interned fact ids it scanned as seeds, how many
@@ -169,9 +168,9 @@ impl<'a> Snapshot<'a> {
     }
 
     /// The argument terms of an interned fact (runtime-checked against the
-    /// horizon).
+    /// horizon), as a [`FactTerms`] view over the store's column strips.
     #[track_caller]
-    pub fn terms(&self, id: FactId) -> &'a [GroundTerm] {
+    pub fn terms(&self, id: FactId) -> FactTerms<'a> {
         self.check(id);
         self.store().terms(id)
     }
@@ -208,7 +207,7 @@ impl<'a> Snapshot<'a> {
 mod tests {
     use super::*;
     use crate::atom::Fact;
-    use crate::term::{Constant, NullValue};
+    use crate::term::{Constant, GroundTerm, NullValue};
     use std::ops::ControlFlow;
 
     fn cst(s: &str) -> GroundTerm {

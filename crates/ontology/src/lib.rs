@@ -20,11 +20,15 @@
 pub mod corpus;
 pub mod families;
 pub mod generator;
+pub mod scale;
 pub mod updates;
 
 pub use corpus::{paper_corpus, scaled_paper_corpus, CorpusClass, GeneratedOntology};
 pub use families::{atlas_corpus, families, generate_family, AtlasProgram, FamilySpec};
 pub use generator::{generate, generate_database, OntologyProfile};
+pub use scale::{
+    data_exchange_dependencies, data_exchange_instance, for_each_scale_fact, ScaleProfile,
+};
 pub use updates::{update_stream, UpdateBatch, UpdateStreamProfile};
 
 /// Convenience re-exports.
@@ -32,5 +36,8 @@ pub mod prelude {
     pub use crate::corpus::{paper_corpus, scaled_paper_corpus, CorpusClass, GeneratedOntology};
     pub use crate::families::{atlas_corpus, families, generate_family, AtlasProgram, FamilySpec};
     pub use crate::generator::{generate, generate_database, OntologyProfile};
+    pub use crate::scale::{
+        data_exchange_dependencies, data_exchange_instance, for_each_scale_fact, ScaleProfile,
+    };
     pub use crate::updates::{update_stream, UpdateBatch, UpdateStreamProfile};
 }

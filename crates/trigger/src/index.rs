@@ -121,7 +121,7 @@ impl FactIndex {
         let store = database.store();
         let mut fresh = Vec::new();
         for id in database.sorted_fact_ids() {
-            let (new_id, new) = self.insert_parts(store.predicate_of(id), store.terms(id));
+            let (new_id, new) = self.indexed.insert_copied(store, id);
             if new {
                 fresh.push(new_id);
             }

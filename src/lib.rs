@@ -118,6 +118,33 @@
 //! assert_eq!(stats.overdeleted, 3); // E(a,b), E(a,c), E(a,d)
 //! ```
 //!
+//! ## Snapshots and million-fact instances
+//!
+//! Instances persist to a versioned, self-checking binary snapshot —
+//! `Instance::save` / `Instance::load`, no serde involved — and bulk loads go
+//! through the columnar store's batched interning. Pre-size with
+//! `Instance::with_capacity` and feed batches via `extend_parts`; chase the
+//! result now or reload it later instead of regenerating:
+//!
+//! ```
+//! use egd_chase::prelude::*;
+//! use egd_chase::chase_ontology::{data_exchange_instance, ScaleProfile};
+//!
+//! // A deterministic data-exchange base (the gated bench runs this at 10M).
+//! let base = data_exchange_instance(&ScaleProfile::new(5_000));
+//! assert_eq!(base.len(), 5_000);
+//!
+//! let path = std::env::temp_dir().join("egd_chase_quickstart.chasefs");
+//! base.save(&path).unwrap();
+//! let reloaded = Instance::load(&path).unwrap();
+//! std::fs::remove_file(&path).ok();
+//!
+//! // The roundtrip is lossless down to fact ids, so it composes with
+//! // id-holding machinery (indexes, the IVM support ledger).
+//! assert_eq!(reloaded, base);
+//! assert_eq!(reloaded.sorted_fact_ids(), base.sorted_fact_ids());
+//! ```
+//!
 //! ## Migrating from the legacy API
 //!
 //! The pre-redesign entry points remain as `#[deprecated]` shims delegating to the

@@ -1,0 +1,260 @@
+//! Integration tests for the on-disk snapshot format (`Instance::save` /
+//! `Instance::load`): property-based roundtrips over instances with nulls,
+//! 0-ary predicates and tombstones, agreement of all three join-engine paths
+//! across a roundtrip, robustness against damaged files, and the
+//! save → compact → load id-space interplay.
+//!
+//! The byte-level format cases (bad magic, version bump, checksum, precise
+//! truncation points) live as unit tests next to the codec in
+//! `chase_core::persist`; these tests exercise the public surface end to end.
+
+use chase_core::builder::{atom, var};
+use chase_core::homomorphism::naive_homomorphisms_extending;
+use chase_core::substitution::NullSubstitution;
+use chase_core::{
+    Assignment, Atom, Constant, Fact, GroundTerm, HomomorphismSearch, IndexedInstance, Instance,
+    NullValue, PersistError,
+};
+use proptest::prelude::*;
+use std::ops::ControlFlow;
+use std::path::PathBuf;
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!(
+        "chase_persistence_{}_{name}.chasefs",
+        std::process::id()
+    ));
+    p
+}
+
+// ---------------------------------------------------------------------------------
+// Strategies: instances with nulls, a 0-ary predicate, tombstones and null
+// substitutions — every interning shape the snapshot has to carry.
+// ---------------------------------------------------------------------------------
+
+fn ground_term() -> impl Strategy<Value = GroundTerm> {
+    prop_oneof![
+        (0..6u8).prop_map(|i| GroundTerm::Const(Constant::new(&format!("c{i}")))),
+        (0..4u64).prop_map(|i| GroundTerm::Null(NullValue(i))),
+    ]
+}
+
+fn fact() -> impl Strategy<Value = Fact> {
+    prop_oneof![
+        Just(Fact::from_parts("Z", vec![])),
+        ((0..3u8), ground_term()).prop_map(|(p, t)| Fact::from_parts(&format!("U{p}"), vec![t])),
+        ((0..3u8), ground_term(), ground_term())
+            .prop_map(|(p, a, b)| Fact::from_parts(&format!("B{p}"), vec![a, b])),
+    ]
+}
+
+/// One mutation in the instance history; removes and substitutions leave
+/// tombstones and rewrite deltas behind, which the snapshot must preserve.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(Fact),
+    Remove(Fact),
+    Substitute(u64, GroundTerm),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        fact().prop_map(Op::Insert),
+        fact().prop_map(Op::Insert),
+        fact().prop_map(Op::Remove),
+        ((0..4u64), ground_term()).prop_map(|(n, to)| Op::Substitute(n, to)),
+    ]
+}
+
+fn churned_instance() -> impl Strategy<Value = Instance> {
+    prop::collection::vec(op(), 0..24).prop_map(|ops| {
+        let mut k = Instance::new();
+        for op in ops {
+            match op {
+                Op::Insert(f) => {
+                    k.insert(f);
+                }
+                Op::Remove(f) => {
+                    k.remove(&f);
+                }
+                Op::Substitute(n, to) => {
+                    if GroundTerm::Null(NullValue(n)) != to {
+                        k.substitute_in_place(&NullSubstitution::single(NullValue(n), to));
+                    }
+                }
+            }
+        }
+        k
+    })
+}
+
+/// Counts the homomorphisms of `atoms` through each engine path — scan search,
+/// indexed search, naive enumeration — and checks they agree.
+fn agreed_join_count(instance: &Instance, atoms: &[Atom]) -> usize {
+    let root = Assignment::new();
+    let mut scan = 0usize;
+    HomomorphismSearch::new(atoms, instance).for_each_extending::<()>(&root, &mut |_| {
+        scan += 1;
+        ControlFlow::Continue(())
+    });
+    let indexed_instance = IndexedInstance::from_instance(instance.clone());
+    let mut indexed = 0usize;
+    HomomorphismSearch::over_index(atoms, &indexed_instance).for_each_extending::<()>(
+        &root,
+        &mut |_| {
+            indexed += 1;
+            ControlFlow::Continue(())
+        },
+    );
+    let naive = naive_homomorphisms_extending(atoms, instance, &root).len();
+    assert_eq!(scan, indexed, "scan vs indexed disagree on {atoms:?}");
+    assert_eq!(indexed, naive, "indexed vs naive disagree on {atoms:?}");
+    scan
+}
+
+fn join_queries() -> Vec<Vec<Atom>> {
+    vec![
+        vec![atom("Z", vec![])],
+        vec![atom("U0", vec![var("x")])],
+        vec![atom("B0", vec![var("x"), var("y")])],
+        vec![
+            atom("B0", vec![var("x"), var("y")]),
+            atom("U1", vec![var("y")]),
+        ],
+        vec![
+            atom("B1", vec![var("x"), var("y")]),
+            atom("B1", vec![var("y"), var("z")]),
+        ],
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The snapshot is lossless: fact ids (live set), rendering, store sizes
+    /// and the answers of every join path survive a save → load roundtrip.
+    #[test]
+    fn roundtrip_is_lossless(k in churned_instance()) {
+        let path = temp_path("prop_roundtrip");
+        k.save(&path).unwrap();
+        let loaded = Instance::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(loaded.sorted_fact_ids(), k.sorted_fact_ids());
+        prop_assert_eq!(loaded.to_string(), k.to_string());
+        prop_assert_eq!(loaded.len(), k.len());
+        prop_assert_eq!(loaded.store().len(), k.store().len());
+        prop_assert_eq!(loaded.store().term_count(), k.store().term_count());
+        for atoms in join_queries() {
+            prop_assert_eq!(
+                agreed_join_count(&loaded, &atoms),
+                agreed_join_count(&k, &atoms),
+                "join answers changed across the roundtrip for {:?}",
+                atoms
+            );
+        }
+        // The loaded store keeps interning correctly: a fresh fact dedups
+        // against reloaded rows, and reloaded nulls stay distinct from fresh.
+        let mut a = k.clone();
+        let mut b = loaded;
+        prop_assert_eq!(a.fresh_null(), b.fresh_null());
+        for f in [Fact::from_parts("Z", vec![]), Fact::from_parts("U0", vec![GroundTerm::Null(NullValue(0))])] {
+            prop_assert_eq!(a.insert_full(f.clone()), b.insert_full(f));
+        }
+    }
+
+    /// Damaging any strict prefix of a snapshot never loads successfully and
+    /// never panics: every cut surfaces as a typed `PersistError`.
+    #[test]
+    fn truncation_always_fails_cleanly(k in churned_instance(), cut_permille in 0..1000u32) {
+        let path = temp_path("prop_truncate");
+        k.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = (bytes.len() * cut_permille as usize / 1000).min(bytes.len() - 1);
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let result = Instance::load(&path);
+        std::fs::remove_file(&path).ok();
+        prop_assert!(
+            matches!(
+                result,
+                Err(PersistError::Truncated)
+                    | Err(PersistError::Format { .. })
+                    | Err(PersistError::ChecksumMismatch)
+            ),
+            "cut at {} of {} bytes must fail cleanly, got {:?}",
+            cut,
+            bytes.len(),
+            result.map(|i| i.len())
+        );
+    }
+}
+
+/// Tombstone-heavy id-space interplay: a snapshot taken *before* compaction
+/// preserves the original (sparse) id space; compacting the reloaded instance
+/// agrees with compacting the original.
+#[test]
+fn save_compact_load_preserves_then_reissues_ids() {
+    let mut k = Instance::new();
+    let c = |s: &str| GroundTerm::Const(Constant::new(s));
+    for i in 0..10 {
+        k.insert(Fact::from_parts("U0", vec![c(&format!("c{i}"))]));
+    }
+    for i in 0..10 {
+        if i % 2 == 0 {
+            k.remove(&Fact::from_parts("U0", vec![c(&format!("c{i}"))]));
+        }
+    }
+    k.insert(Fact::from_parts(
+        "B0",
+        vec![GroundTerm::Null(NullValue(7)), c("c1")],
+    ));
+    assert_eq!(k.len(), 6);
+    assert_eq!(k.store().len(), 11, "tombstones stay interned");
+
+    let path = temp_path("compact");
+    k.save(&path).unwrap();
+
+    // The snapshot preserves the sparse pre-compaction id space...
+    let loaded = Instance::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.sorted_fact_ids(), k.sorted_fact_ids());
+    assert_eq!(loaded.store().len(), 11);
+
+    // ...and compaction re-issues dense ids identically on both sides.
+    let mut original = k;
+    let mut reloaded = loaded;
+    original.compact();
+    reloaded.compact();
+    assert_eq!(original.store().len(), 6, "compaction drops tombstones");
+    assert_eq!(reloaded.sorted_fact_ids(), original.sorted_fact_ids());
+    assert_eq!(reloaded.to_string(), original.to_string());
+    assert_eq!(reloaded, original);
+
+    // A compacted instance roundtrips too (dense ids, smaller file).
+    let path = temp_path("compacted_roundtrip");
+    original.save(&path).unwrap();
+    let again = Instance::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(again.sorted_fact_ids(), original.sorted_fact_ids());
+    assert_eq!(again.to_string(), original.to_string());
+}
+
+/// The 1M-scale roundtrip is exercised by `chase_bench --bin fact_store`; here
+/// a mid-sized scale instance keeps the integration suite fast while still
+/// crossing the u32-block and dictionary-page boundaries of the format.
+#[test]
+fn scale_family_instance_roundtrips() {
+    let k = chase_ontology::data_exchange_instance(&chase_ontology::ScaleProfile::new(20_000));
+    let path = temp_path("scale");
+    k.save(&path).unwrap();
+    let loaded = Instance::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(loaded.sorted_fact_ids(), k.sorted_fact_ids());
+    assert_eq!(loaded.store().term_count(), k.store().term_count());
+    let q = vec![
+        atom("works_for", vec![var("p"), var("co")]),
+        atom("company", vec![var("co"), var("city")]),
+    ];
+    assert_eq!(agreed_join_count(&loaded, &q), agreed_join_count(&k, &q));
+}

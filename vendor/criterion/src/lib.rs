@@ -78,13 +78,22 @@ impl Bencher {
             for _ in 0..batch {
                 black_box(routine());
             }
-            total += start.elapsed();
+            let elapsed = start.elapsed();
+            if elapsed.is_zero() {
+                // The clock couldn't resolve this batch (coarse-granularity
+                // virtualised clocks): grow the batch and retime, counting
+                // nothing, so `mean` can never truncate to zero.
+                batch = batch.saturating_mul(2);
+                continue;
+            }
+            total += elapsed;
             iters += batch;
             batch = batch.saturating_mul(2).min(65_536);
         }
         self.iters = iters;
         self.mean = if iters > 0 {
-            total / iters as u32
+            Duration::from_nanos((total.as_nanos() / iters as u128) as u64)
+                .max(Duration::from_nanos(1))
         } else {
             Duration::ZERO
         };
@@ -212,7 +221,9 @@ mod tests {
     #[test]
     fn bencher_measures_something() {
         let mut b = Bencher::new(Duration::from_millis(5));
-        b.iter(|| (0..100u64).sum::<u64>());
+        // black_box keeps the sum from being const-folded to nothing, whose
+        // sub-nanosecond iterations made `mean` truncate to zero in release.
+        b.iter(|| (0..std::hint::black_box(100u64)).sum::<u64>());
         assert!(b.iters > 0);
         assert!(b.mean > Duration::ZERO);
     }
