@@ -8,12 +8,14 @@
 //! produces one.
 //!
 //! "In parallel" here is the paper's logical notion (all triggers of a round fire
-//! against the same instance); execution is always single-threaded —
-//! [`Chase::workers`](crate::Chase::workers) documents why the core chase is a
-//! sequential fallback (its cost is dominated by the memoised core computation).
+//! against the same instance). Execution-wise, `workers > 1` parallelises the
+//! dominant cost — the per-null endomorphism searches of the round's core
+//! computation — on the persistent pool ([`chase_core::pool`]), deterministically;
+//! the trigger scan and the round's applications stay single-threaded. See
+//! [`Chase::workers`](crate::Chase::workers) for the full coverage matrix.
 
 use crate::budget::{BudgetClock, BudgetLimit, ChaseBudget};
-use crate::core_of::core_of;
+use crate::core_of::core_of_with_workers;
 use crate::observer::{ChaseObserver, NoopObserver};
 use crate::result::{ChaseOutcome, ChaseStats, EgdViolation};
 use crate::step::applicable_standard_triggers;
@@ -28,11 +30,19 @@ use std::time::Instant;
 /// The budget's `max_rounds` and `max_steps` both bound the rounds (conjunctively —
 /// the core chase has no finer step granularity); `max_fresh_nulls`, `max_facts` and
 /// `wall_clock` apply as usual.
+///
+/// `workers > 1` parallelises the round's **core computation** — the per-null
+/// endomorphism searches of [`core_of_with_workers`] run on the persistent
+/// pool, with the first-shrinking-fold selection kept in ascending null order
+/// so the result is bitwise identical at any worker count. The round's trigger
+/// scan and applications stay sequential (they are cheap next to the fold
+/// search).
 pub(crate) fn run_core(
     sigma: &DependencySet,
     budget: &ChaseBudget,
     database: &Instance,
     observer: &mut dyn ChaseObserver,
+    workers: usize,
 ) -> ChaseOutcome {
     let clock = BudgetClock::start(budget);
     let mut current = database.clone();
@@ -130,8 +140,8 @@ pub(crate) fn run_core(
             observer.egd_collapsed(&gamma);
             next.substitute_in_place_ids(&gamma);
         }
-        // (ii) take the core.
-        let mut cored = core_of(&next);
+        // (ii) take the core (fold search parallelised across `workers`).
+        let mut cored = core_of_with_workers(&next, workers);
         // Drop the dead arena history this round accumulated (rewritten and
         // folded-away facts), so the next round's clones copy only live facts.
         cored.compact();
@@ -185,6 +195,7 @@ impl<'a> CoreChase<'a> {
             &ChaseBudget::unlimited().with_max_rounds(self.max_rounds),
             database,
             &mut NoopObserver,
+            1,
         )
     }
 }

@@ -71,7 +71,7 @@ pub mod universal;
 pub use budget::{BudgetLimit, ChaseBudget};
 pub use certain::{certain_answers, ConjunctiveQuery};
 pub use core_chase::CoreChase;
-pub use core_of::{core_of, is_core};
+pub use core_of::{core_of, core_of_with_workers, is_core};
 pub use materialize::{MaterializeError, MaterializeEvent, MaterializedRun};
 pub use metrics::MetricsObserver;
 pub use oblivious::{apply_gamma_to_keys, key_variables, ObliviousChase, ObliviousVariant};

@@ -9,9 +9,10 @@
 //! that:
 //!
 //! 1. **snapshot** — the round's new facts (the delta) are discovered against a
-//!    read-only [`Snapshot`] of the [`FactIndex`], sharded across
-//!    `std::thread::scope` workers over disjoint `FactId` ranges of the delta
-//!    ([`chase_trigger::parallel::discover_batch`]);
+//!    read-only [`Snapshot`] of the [`FactIndex`], sharded over disjoint
+//!    `FactId` ranges of the delta as jobs on the persistent worker pool
+//!    ([`chase_core::pool`] — long-lived channel-fed threads, no per-round
+//!    spawn; see [`chase_trigger::parallel::discover_batch`]);
 //! 2. **deterministic merge** — the merged candidates are deduped and sorted by
 //!    the canonical `(DepId, body FactIds)` order
 //!    ([`chase_trigger::sort_canonical`], keys computed for dedup survivors
@@ -27,16 +28,20 @@
 //! [`ChaseStats`]; `tests/property_tests.rs` proves this differentially over
 //! random ontology corpora.
 //!
-//! ## Why only the oblivious variants
+//! ## Why only the oblivious variants batch whole rounds
 //!
 //! * The **standard chase** checks *activity* at application time: whether a
 //!   trigger fires depends on the facts added earlier in the sequence, so
 //!   batching a whole round against a stale snapshot genuinely changes the result
 //!   (a trigger can fire on the ∃-null it would have found satisfied one step
-//!   later — not even isomorphic). The standard chase therefore keeps its
-//!   per-step loop and parallelises *within* it: each drain of the delta worklist
-//!   runs on workers with an order-preserving merge
-//!   ([`chase_trigger::TriggerEngine::drain_deltas_parallel`]), which is
+//!   later — not even isomorphic). The standard chase therefore keeps the
+//!   sequential *apply* order and parallelises the read-only phases around it:
+//!   each drain of the delta worklist runs sharded with an order-preserving
+//!   merge ([`chase_trigger::TriggerEngine::drain_deltas_parallel`]), and
+//!   conflict-aware scheduling ([`chase_trigger::ConflictSchedule`]) evaluates
+//!   the activity checks of a conflict-free prefix of the trigger order
+//!   concurrently against the frozen pre-batch instance
+//!   ([`chase_trigger::TriggerEngine::next_active_batch`]). Both are
 //!   bitwise-identical to the sequential runner.
 //! * **EGD-bearing** dependency sets fall back to the sequential runners
 //!   entirely: an EGD substitution rewrites the pending state (`h ↦ γ∘h`) and the
@@ -44,9 +49,11 @@
 //!   depends on the interleaving of substitutions with TGD steps. Two orders of
 //!   the same round can produce non-isomorphic results, so no deterministic merge
 //!   can honour the equivalence contract; the run stays sequential instead.
-//! * The **core chase** already fires all triggers per round; its cost is
-//!   dominated by core computation (`core_of`), whose per-version memoisation is
-//!   inherently sequential, so it always runs on the sequential path.
+//! * The **core chase** already fires all triggers per round (logically); its
+//!   execution cost is dominated by core computation, whose per-null fold
+//!   search `workers > 1` parallelises deterministically
+//!   ([`crate::core_of::core_of_with_workers`]) — the round's trigger scan and
+//!   applies stay sequential.
 
 use crate::budget::{BudgetClock, ChaseBudget};
 use crate::observer::{record_step_effect, ChaseObserver};

@@ -116,26 +116,43 @@ impl<'a> Chase<'a> {
         self
     }
 
-    /// Runs the session with up to `n` worker threads (clamped to at least 1;
-    /// the default of 1 is the sequential behaviour, unchanged).
+    /// Runs the session with up to `n` lanes of parallelism on the persistent,
+    /// process-wide worker pool ([`chase_core::pool`]). `workers(0)` and
+    /// `workers(1)` both mean sequential execution (`0` is normalized to 1 —
+    /// here and in every layer below, so the guarantee does not depend on any
+    /// one guard). The pool's threads are spawned once and reused across
+    /// rounds, runs and sessions; repeated runs on one session are
+    /// byte-identical (pinned by the pool-reuse suite).
     ///
-    /// Trigger discovery — the joins that find each round's applicable triggers —
-    /// runs sharded over a read-only snapshot of the instance; application stays
-    /// sequential behind a deterministic merge, so a session is **deterministic
-    /// at every worker count**: two runs with the same inputs and different `n > 1`
-    /// produce byte-identical instances, statistics, observer streams and tripped
-    /// budget limits. The (semi-)oblivious variants batch whole rounds
-    /// (triggers sorted by `(DepId, body FactIds)` before application); the
-    /// standard chase parallelises each per-step discovery drain with an
-    /// order-preserving merge and is bitwise-identical to `workers(1)`.
+    /// All parallel phases are read-only against a frozen snapshot, with
+    /// deterministic ordering re-imposed before any mutation, so a session is
+    /// **deterministic at every worker count**: two runs with the same inputs
+    /// and different `n > 1` produce byte-identical instances, statistics,
+    /// observer streams and tripped budget limits. Per variant:
+    ///
+    /// * the **(semi-)oblivious variants** batch whole rounds — sharded
+    ///   discovery, triggers sorted by `(DepId, body FactIds)` before a
+    ///   sequential apply;
+    /// * the **standard chase** shards each discovery drain (order-preserving
+    ///   merge) *and* batches activity checks via conflict-aware scheduling
+    ///   ([`chase_trigger::ConflictSchedule`]): a conflict-free prefix of the
+    ///   sequential trigger order — pairwise disjoint head-writes vs.
+    ///   body/head-reads, writes that cannot seed an earlier-ranked queue —
+    ///   is checked in parallel against the pre-batch instance, then applied
+    ///   in the exact sequential order. Bitwise-identical to `workers(1)`
+    ///   (same steps, nulls, stats; phase-event granularity may coarsen to
+    ///   one discovery event per batch);
+    /// * the **core chase** parallelises its dominant cost, the per-null
+    ///   endomorphism fold search of each round's core computation, with
+    ///   first-fold selection in ascending null order (bitwise-identical
+    ///   results).
     ///
     /// Documented sequential fallbacks (the setting is then ignored):
     ///
-    /// * the **core chase** — each round already fires all triggers, and its cost
-    ///   is dominated by the inherently sequential core computation;
-    /// * **EGD-bearing** dependency sets — substitutions rewrite pending triggers
-    ///   and fired keys in sequence order, so the result would depend on the
-    ///   interleaving (see [`crate::parallel`] for the full argument);
+    /// * **EGD-bearing** dependency sets — substitutions rewrite pending
+    ///   triggers and fired keys in sequence order, so the result would depend
+    ///   on the interleaving (see [`crate::parallel`] for the full argument);
+    ///   in the conflict schedule an EGD conflicts with everything;
     /// * [`TriggerDiscovery::NaiveRescan`], the single-threaded reference
     ///   baseline.
     ///
@@ -208,8 +225,7 @@ impl<'a> Chase<'a> {
                 observer,
                 self.workers,
             ),
-            // The core chase always runs sequentially: see [`Chase::workers`].
-            Variant::Core => run_core(self.sigma, &self.budget, database, observer),
+            Variant::Core => run_core(self.sigma, &self.budget, database, observer, self.workers),
         };
         outcome.stats_mut().elapsed = started.elapsed();
         outcome

@@ -15,7 +15,7 @@ use crate::observer::{record_step_effect, ChaseObserver, FnObserver, NoopObserve
 use crate::result::{ChaseOutcome, ChaseStats};
 use crate::step::{apply_step, first_applicable_trigger, StepEffect, Trigger};
 use chase_core::{DepId, DependencySet, DiscoveryStats, Instance, ShardStats};
-use chase_trigger::TriggerEngine;
+use chase_trigger::{ConflictSchedule, TriggerEngine};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -82,16 +82,28 @@ pub(crate) fn dependency_order(sigma: &DependencySet, order: StepOrder) -> Vec<D
 
 /// Runs the standard chase under `budget`, reporting events to `observer`.
 ///
-/// `workers > 1` parallelises trigger *discovery* (never application — the
-/// standard chase's activity checks make the result depend on the exact step
-/// sequence, so rounds cannot be batched; see [`crate::parallel`]): each drain of
-/// the delta worklist is sharded across scoped threads with an order-preserving
-/// merge, which keeps the run bitwise-identical to the sequential one. Two
-/// documented fallbacks ignore `workers`:
+/// `workers > 1` parallelises two read-only phases on the persistent worker
+/// pool ([`chase_core::pool`]), keeping the run bitwise-identical to the
+/// sequential one:
+///
+/// * **trigger discovery** — each drain of the delta worklist is sharded with
+///   an order-preserving merge ([`TriggerEngine::drain_deltas_parallel`]);
+/// * **activity checks** — conflict-aware scheduling
+///   ([`chase_trigger::ConflictSchedule`]) pops a conflict-free prefix of the
+///   sequential trigger order per batch and evaluates the prefix's activity
+///   checks concurrently against the frozen pre-batch instance
+///   ([`TriggerEngine::next_active_batch`]); applications themselves stay in
+///   the exact sequential order — that order *is* the standard chase's
+///   semantics (fresh-null numbering, later activity) and batching it is
+///   provably not equivalence-preserving.
+///
+/// `workers == 0` is normalized to 1. Two documented fallbacks ignore
+/// `workers`:
 ///
 /// * **EGD-bearing `sigma`** — substitutions rewrite the pending state between
 ///   steps and serialize every drain anyway (delta batches are the rewritten
-///   facts of a single substitution); the run stays sequential;
+///   facts of a single substitution), and an EGD conflicts with everything in
+///   the schedule; the run stays sequential;
 /// * **[`TriggerDiscovery::NaiveRescan`]** — the reference baseline is defined as
 ///   the single-threaded full re-scan and stays that way.
 pub(crate) fn run_standard(
@@ -104,7 +116,7 @@ pub(crate) fn run_standard(
     workers: usize,
 ) -> ChaseOutcome {
     let workers = if sigma.egd_ids().is_empty() {
-        workers
+        workers.max(1)
     } else {
         1
     };
@@ -129,6 +141,9 @@ fn run_incremental(
     workers: usize,
 ) -> ChaseOutcome {
     let order = dependency_order(sigma, order);
+    if workers > 1 {
+        return run_incremental_batched(sigma, &order, budget, database, observer, workers);
+    }
     let clock = BudgetClock::start(budget);
     let mut engine = TriggerEngine::with_database(sigma, database);
     let mut stats = ChaseStats::default();
@@ -186,6 +201,110 @@ fn run_incremental(
         if let Some(violation) = record_step_effect(sigma, &trigger, &effect, &mut stats, observer)
         {
             return ChaseOutcome::Failed { violation, stats };
+        }
+    }
+}
+
+/// The conflict-aware parallel run (`workers > 1`, EGD-free sets only).
+///
+/// Per batch, [`TriggerEngine::next_active_batch`] pops a conflict-free prefix
+/// of the sequential trigger order and evaluates its activity checks in
+/// parallel; the applications then replay in the exact sequential interleaving
+/// — apply one trigger, drain its deltas (itself sharded on the pool), apply
+/// the next — so queue evolution, fresh-null numbering, every `ChaseStats`
+/// counter and the budget-check cadence (one check before each step's
+/// search-or-apply plus one final) are bitwise identical to the `workers == 1`
+/// loop. The only observable difference is phase-event *granularity* with an
+/// [`observes_phases`](ChaseObserver::observes_phases) observer: one discovery
+/// event per batch instead of per step (totals still agree).
+fn run_incremental_batched(
+    sigma: &DependencySet,
+    order: &[DepId],
+    budget: &ChaseBudget,
+    database: &Instance,
+    observer: &mut dyn ChaseObserver,
+    workers: usize,
+) -> ChaseOutcome {
+    let schedule = ConflictSchedule::new(sigma, order);
+    let clock = BudgetClock::start(budget);
+    let mut engine = TriggerEngine::with_database(sigma, database);
+    let mut stats = ChaseStats::default();
+    let phases = observer.observes_phases();
+    loop {
+        let tripped = clock.check_step(&stats, engine.instance().len());
+        if phases {
+            observer.budget_checked(tripped);
+        }
+        if let Some(limit) = tripped {
+            return ChaseOutcome::BudgetExhausted {
+                limit,
+                instance: engine.into_instance(),
+                stats,
+            };
+        }
+        // One discovery event per batch: the engine-stat deltas cover every
+        // seed drained and candidate discovered while assembling this batch.
+        let batch = if phases {
+            let scanned_before = engine.stats().deltas_processed;
+            let found_before = engine.stats().triggers_discovered;
+            let start = Instant::now();
+            let batch = engine.next_active_batch(order, &schedule, workers);
+            let elapsed = start.elapsed();
+            observer.discovery_completed(&DiscoveryStats {
+                shards: vec![ShardStats {
+                    worker: 0,
+                    facts_scanned: engine.stats().deltas_processed - scanned_before,
+                    triggers_found: engine.stats().triggers_discovered - found_before,
+                    elapsed,
+                }],
+                elapsed,
+            });
+            batch
+        } else {
+            engine.next_active_batch(order, &schedule, workers)
+        };
+        if batch.is_empty() {
+            return ChaseOutcome::Terminated {
+                instance: engine.into_instance(),
+                stats,
+            };
+        }
+        let mut first = true;
+        for trigger in batch {
+            // The check before the batch's first apply already ran above (it
+            // precedes the search, as in the sequential loop); every later
+            // batch member gets its own check between applies.
+            if !first {
+                let tripped = clock.check_step(&stats, engine.instance().len());
+                if phases {
+                    observer.budget_checked(tripped);
+                }
+                if let Some(limit) = tripped {
+                    // Remaining batch members are discarded un-applied — the
+                    // sequential run would never have popped them.
+                    return ChaseOutcome::BudgetExhausted {
+                        limit,
+                        instance: engine.into_instance(),
+                        stats,
+                    };
+                }
+            }
+            first = false;
+            let effect = engine.apply_trigger(trigger.dep, &trigger.assignment);
+            if effect == StepEffect::NotApplicable {
+                // Activity was verified against the pre-batch instance and is
+                // stable under the batch's earlier writes; defensive skip.
+                continue;
+            }
+            if let Some(violation) =
+                record_step_effect(sigma, &trigger, &effect, &mut stats, observer)
+            {
+                return ChaseOutcome::Failed { violation, stats };
+            }
+            // Drain immediately, exactly where the sequential loop's next
+            // search would: the queues must evolve step-by-step, not
+            // batch-by-batch, for the popped order to stay sequential.
+            engine.drain_deltas_parallel(workers);
         }
     }
 }

@@ -42,7 +42,9 @@
 //! assert_eq!(program.database.len(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe code is denied crate-wide; the single audited exception is the scoped
+// job lifetime erasure in [`pool`], which carries its own safety proof.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atom;
@@ -58,6 +60,7 @@ pub mod interner;
 pub mod isomorphism;
 pub mod parser;
 pub mod persist;
+pub mod pool;
 pub mod position;
 pub mod satisfaction;
 pub mod snapshot;

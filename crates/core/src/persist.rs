@@ -180,6 +180,18 @@ impl<W: Write> HashingWriter<W> {
         self.write_bytes(s.as_bytes())
     }
 
+    /// Writes a count/length field, rejecting values the `u32` prefix cannot
+    /// carry instead of silently truncating them. An unchecked `as u32` here
+    /// would write a wrapped count and produce a snapshot whose sections
+    /// disagree with their own headers — corruption that the checksum cannot
+    /// catch because it is computed over the already-wrong bytes.
+    fn write_len(&mut self, len: usize, what: &str) -> Result<(), PersistError> {
+        let v = u32::try_from(len).map_err(|_| PersistError::Format {
+            detail: format!("{what} count {len} exceeds the u32 length prefix"),
+        })?;
+        self.write_u32(v)
+    }
+
     /// Writes a `u32` slice as one contiguous little-endian block (the
     /// single-`write` strip path).
     fn write_u32_block(
@@ -276,7 +288,7 @@ pub(crate) fn save(instance: &Instance, path: &Path) -> Result<(), PersistError>
 
     // Dictionary.
     let dict = store.dict_terms();
-    w.write_u32(dict.len() as u32)?;
+    w.write_len(dict.len(), "dictionary term")?;
     for &term in dict {
         match term {
             GroundTerm::Const(c) => {
@@ -292,19 +304,19 @@ pub(crate) fn save(instance: &Instance, path: &Path) -> Result<(), PersistError>
 
     // Predicates.
     let predicates = store.predicate_list();
-    w.write_u32(predicates.len() as u32)?;
+    w.write_len(predicates.len(), "predicate")?;
     for p in predicates {
         w.write_str(&p.name.as_str())?;
-        w.write_u32(p.arity as u32)?;
+        w.write_len(p.arity, "predicate arity")?;
     }
 
     // Strips: per predicate, rows then one contiguous block per column, then
     // the row → fact-id map.
-    w.write_u32(store.len() as u32)?;
+    w.write_len(store.len(), "interned fact")?;
     for (pi, p) in predicates.iter().enumerate() {
         let pid = crate::fact_store::PredicateId(pi as u32);
         let rows = store.rows(pid);
-        w.write_u32(rows as u32)?;
+        w.write_len(rows, "strip row")?;
         for pos in 0..p.arity {
             w.write_u32_block(store.column(pid, pos).iter().map(|c| c.0), &mut block)?;
         }
@@ -324,7 +336,7 @@ pub(crate) fn save(instance: &Instance, path: &Path) -> Result<(), PersistError>
     let lists = instance.predicate_lists();
     for pi in 0..predicates.len() {
         let list: &[FactId] = lists.get(pi).map(|v| v.as_slice()).unwrap_or(&[]);
-        w.write_u32(list.len() as u32)?;
+        w.write_len(list.len(), "live id list")?;
         w.write_u32_block(list.iter().map(|f| f.0), &mut block)?;
     }
 
@@ -594,6 +606,37 @@ mod tests {
             Err(PersistError::Format { .. })
         ));
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Satellite regression: every length field the writer emits goes through a
+    /// checked conversion. A count above `u32::MAX` must surface as a typed
+    /// [`PersistError::Format`], not wrap silently — a wrapped prefix would
+    /// produce a snapshot whose section headers lie about their own contents
+    /// (and the trailing checksum, computed over the wrapped bytes, would
+    /// happily validate the corruption).
+    #[test]
+    fn oversized_length_fields_are_rejected_not_truncated() {
+        // Exercise the checked path directly: materialising 2^32 facts to push
+        // an overflow through `save` is not practical, and `write_len` is the
+        // single choke point all six count fields (dictionary, predicates,
+        // arity, fact total, strip rows, live lists) now flow through.
+        let mut w = HashingWriter::new(Vec::new());
+        let too_big = u32::MAX as usize + 1;
+        match w.write_len(too_big, "interned fact") {
+            Err(PersistError::Format { detail }) => {
+                assert!(
+                    detail.contains("interned fact") && detail.contains("u32"),
+                    "error should name the field and the prefix width: {detail}"
+                );
+            }
+            other => panic!("expected Format error for oversized count, got {other:?}"),
+        }
+        // Nothing was written: a failed length prefix must not leave a partial
+        // field behind for a later section to misparse.
+        assert!(w.inner.is_empty(), "failed write_len must emit no bytes");
+        // The boundary value itself still round-trips.
+        w.write_len(u32::MAX as usize, "interned fact").unwrap();
+        assert_eq!(w.inner, u32::MAX.to_le_bytes());
     }
 
     #[test]

@@ -100,9 +100,10 @@ impl DiscoveryStats {
 
 /// A read-only view of an [`IndexedInstance`] frozen at construction time.
 ///
-/// `Snapshot` is `Copy` (it is two words plus two counters) and `Send + Sync`, so a
-/// `std::thread::scope` can hand one to every worker. See the [module docs](self)
-/// for the soundness argument and the compile-time `compact()` guarantee.
+/// `Snapshot` is `Copy` (it is two words plus two counters) and `Send + Sync`, so
+/// every job handed to the persistent worker pool ([`crate::pool`]) can carry its
+/// own copy. See the [module docs](self) for the soundness argument and the
+/// compile-time `compact()` guarantee.
 #[derive(Clone, Copy, Debug)]
 pub struct Snapshot<'a> {
     indexed: &'a IndexedInstance,

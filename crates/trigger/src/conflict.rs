@@ -1,0 +1,259 @@
+//! Conflict-aware scheduling for the parallel **standard** chase.
+//!
+//! The standard chase is order-sensitive: each step's *activity check* reads the
+//! current instance, and applying a trigger can deactivate later ones. Batching
+//! steps naively is provably not equivalence-preserving, so this module decides
+//! — statically, per dependency pair — when a group of pending triggers can have
+//! their activity checks evaluated **concurrently against the pre-batch
+//! instance** and then be applied in the exact sequential order, with a result
+//! bitwise identical to the one-at-a-time engine.
+//!
+//! # The two conditions
+//!
+//! Consider the sequential pop order of pending triggers (dependencies in the
+//! fixed selection `order`, FIFO within each dependency) and a candidate prefix
+//! `t₁ … tₖ` of it. For every earlier/later pair `(tᵢ, tⱼ)`, `i < j`, write
+//! `W(tᵢ)` for the predicates `tᵢ`'s head inserts into and `R(tⱼ)` for the
+//! predicates `tⱼ`'s activity check reads (its body **and** its head — the
+//! standard check searches for a head extension). The prefix is *conflict-free*
+//! when both hold pairwise:
+//!
+//! 1. **Activity stability** — `W(tᵢ) ∩ R(tⱼ) = ∅`: nothing `tᵢ` writes can
+//!    flip `tⱼ`'s activity, so checking `tⱼ` against the pre-batch instance
+//!    gives the same verdict the sequential engine would see after applying
+//!    `t₁ … tⱼ₋₁`.
+//! 2. **Ordering stability** — every dependency whose *body* reads a predicate
+//!    in `W(tᵢ)` sits at selection rank ≥ the rank of the **last** batch
+//!    member's dependency: the triggers `tᵢ`'s new facts seed are appended (by
+//!    the per-apply drain) to queues that the sequential engine would pop no
+//!    earlier than the remaining batch, so committing to the whole prefix up
+//!    front cannot overtake a trigger the sequential engine would have chosen
+//!    first. Equal rank is safe: FIFO appends land *behind* the already-queued
+//!    prefix members.
+//!
+//! Triggers of the **same** dependency always conflict: the head predicates are
+//! in both `W` and `R` (the check reads the head), and a fired head really can
+//! witness a sibling's activity check (two assignments that agree on the
+//! frontier produce the same head image — the classic standard-vs-oblivious
+//! divergence). EGDs are treated as conflicting with everything; the parallel
+//! standard path is only entered for EGD-free sets, so the conservatism is
+//! free.
+//!
+//! The schedule is a dense `|Σ|²` bit-matrix built once per run — lookups on
+//! the hot batching path are two array reads.
+
+use chase_core::{DepId, Dependency, DependencySet, Predicate};
+use std::collections::{HashMap, HashSet};
+
+/// Static conflict schedule for one dependency set and one selection order.
+///
+/// Built once per chase run by [`ConflictSchedule::new`]; consulted by
+/// [`TriggerEngine::next_active_batch`](crate::TriggerEngine::next_active_batch)
+/// to grow conflict-free prefixes of the sequential pop order.
+#[derive(Clone, Debug)]
+pub struct ConflictSchedule {
+    /// Number of dependencies (matrix dimension).
+    n: usize,
+    /// `independent[e * n + l]` ⇔ a trigger of dependency `e` popped earlier
+    /// may share a batch with a trigger of dependency `l` popped later, as far
+    /// as **activity stability** is concerned (`W(e) ∩ R(l) = ∅`, no EGDs).
+    independent: Vec<bool>,
+    /// Selection rank of each dependency (position in the pop order).
+    rank: Vec<usize>,
+    /// For each dependency `d`: the minimum selection rank over dependencies
+    /// whose *body* reads a predicate in `W(d)` — i.e. the earliest queue a
+    /// fact written by `d` can seed. `usize::MAX` when `W(d)` seeds nothing.
+    min_seed_rank: Vec<usize>,
+}
+
+impl ConflictSchedule {
+    /// Analyzes `sigma` under the selection `order` (the same order the engine
+    /// pops with; every [`DepId`] must appear in it).
+    pub fn new(sigma: &DependencySet, order: &[DepId]) -> Self {
+        let n = sigma.len();
+        let mut rank = vec![usize::MAX; n];
+        for (r, &id) in order.iter().enumerate() {
+            rank[id.0] = r;
+        }
+
+        // Per-dependency read/write predicate sets.
+        let mut reads: Vec<HashSet<Predicate>> = vec![HashSet::new(); n];
+        let mut writes: Vec<HashSet<Predicate>> = vec![HashSet::new(); n];
+        let mut is_egd = vec![false; n];
+        for (id, dep) in sigma.iter() {
+            for atom in dep.body() {
+                reads[id.0].insert(atom.predicate);
+            }
+            match dep {
+                Dependency::Tgd(tgd) => {
+                    for atom in &tgd.head {
+                        // The activity check reads the head too (it searches
+                        // for an extension witnessing the head).
+                        reads[id.0].insert(atom.predicate);
+                        writes[id.0].insert(atom.predicate);
+                    }
+                }
+                Dependency::Egd(_) => {
+                    // An EGD "writes" arbitrary rewrites; mark it conflicting
+                    // with everything below instead of enumerating predicates.
+                    is_egd[id.0] = true;
+                }
+            }
+        }
+
+        // Earliest rank a predicate seeds: min rank over deps reading it in
+        // their *body* (head reads don't enqueue triggers).
+        let mut body_seed_rank: HashMap<Predicate, usize> = HashMap::new();
+        for (id, dep) in sigma.iter() {
+            for atom in dep.body() {
+                let entry = body_seed_rank.entry(atom.predicate).or_insert(usize::MAX);
+                *entry = (*entry).min(rank[id.0]);
+            }
+        }
+        let min_seed_rank: Vec<usize> = (0..n)
+            .map(|d| {
+                writes[d]
+                    .iter()
+                    .map(|p| *body_seed_rank.get(p).unwrap_or(&usize::MAX))
+                    .min()
+                    .unwrap_or(usize::MAX)
+            })
+            .collect();
+
+        let mut independent = vec![false; n * n];
+        for e in 0..n {
+            for l in 0..n {
+                independent[e * n + l] =
+                    e != l && !is_egd[e] && !is_egd[l] && writes[e].is_disjoint(&reads[l]);
+            }
+        }
+
+        ConflictSchedule {
+            n,
+            independent,
+            rank,
+            min_seed_rank,
+        }
+    }
+
+    /// Selection rank of `dep` in the pop order.
+    pub fn rank(&self, dep: DepId) -> usize {
+        self.rank[dep.0]
+    }
+
+    /// Earliest selection rank that a fact written by `dep` can seed a new
+    /// trigger onto (`usize::MAX` if its writes seed no dependency body).
+    pub fn min_seed_rank(&self, dep: DepId) -> usize {
+        self.min_seed_rank[dep.0]
+    }
+
+    /// `true` iff a trigger of `earlier` may precede a trigger of `later` in
+    /// one conflict-free batch (activity-stability condition; the ordering
+    /// condition additionally bounds the batch via [`min_seed_rank`]).
+    ///
+    /// Not symmetric: only the earlier trigger's writes matter. Same-dependency
+    /// pairs are never independent.
+    ///
+    /// [`min_seed_rank`]: ConflictSchedule::min_seed_rank
+    pub fn independent(&self, earlier: DepId, later: DepId) -> bool {
+        self.independent[earlier.0 * self.n + later.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chase_core::parser::parse_dependencies;
+
+    fn schedule(src: &str) -> (ConflictSchedule, Vec<DepId>) {
+        let sigma = parse_dependencies(src).unwrap();
+        let order: Vec<DepId> = sigma.iter().map(|(id, _)| id).collect();
+        (ConflictSchedule::new(&sigma, &order), order)
+    }
+
+    #[test]
+    fn disjoint_read_write_predicate_sets_are_independent() {
+        // r0 writes P from A; r1 writes Q from B — no overlap in any direction.
+        let (s, o) = schedule("r0: A(?x) -> P(?x). r1: B(?x) -> Q(?x).");
+        assert!(s.independent(o[0], o[1]));
+        assert!(s.independent(o[1], o[0]));
+    }
+
+    #[test]
+    fn writer_into_a_later_readers_body_conflicts() {
+        // r0 writes B; r1 reads B in its body.
+        let (s, o) = schedule("r0: A(?x) -> B(?x). r1: B(?x) -> C(?x).");
+        assert!(!s.independent(o[0], o[1]), "W(r0) ∩ body-reads(r1) = {{B}}");
+        // The reverse direction is fine: r1 writes C, which r0 never reads.
+        assert!(s.independent(o[1], o[0]));
+    }
+
+    #[test]
+    fn writer_into_a_later_heads_predicate_conflicts() {
+        // r1's activity check reads its own head predicate P; r0 writes P.
+        let (s, o) = schedule("r0: A(?x) -> P(?x). r1: B(?x) -> P(?x).");
+        assert!(!s.independent(o[0], o[1]));
+        assert!(!s.independent(o[1], o[0]));
+    }
+
+    #[test]
+    fn same_dependency_always_conflicts() {
+        // Even a self-contained rule conflicts with itself: one fired head can
+        // witness a sibling trigger's activity check.
+        let (s, o) = schedule("r0: A(?x) -> P(?x).");
+        assert!(!s.independent(o[0], o[0]));
+    }
+
+    #[test]
+    fn self_recursive_rules_conflict_with_themselves_transitively() {
+        // Transitive closure writes and reads E: serializes (by design — the
+        // paper's argument that round-batching the standard chase is unsound).
+        let (s, o) = schedule("t: E(?x, ?y), E(?y, ?z) -> E(?x, ?z).");
+        assert!(!s.independent(o[0], o[0]));
+    }
+
+    #[test]
+    fn egds_conflict_with_everything() {
+        let (s, o) = schedule("r0: A(?x) -> P(?x). e: P(?x), P(?y) -> ?x = ?y.");
+        assert!(!s.independent(o[0], o[1]));
+        assert!(!s.independent(o[1], o[0]));
+        assert!(!s.independent(o[1], o[1]));
+    }
+
+    #[test]
+    fn min_seed_rank_tracks_the_earliest_reader_of_written_predicates() {
+        let (s, o) = schedule(
+            "r0: A(?x) -> C(?x). \
+             r1: B(?x) -> D(?x). \
+             r2: C(?x) -> E(?x).",
+        );
+        // r0 writes C, which only r2 (rank 2) reads in its body.
+        assert_eq!(s.min_seed_rank(o[0]), 2);
+        // r1 writes D, which nobody reads.
+        assert_eq!(s.min_seed_rank(o[1]), usize::MAX);
+        // r2 writes E, which nobody reads.
+        assert_eq!(s.min_seed_rank(o[2]), usize::MAX);
+        assert_eq!(s.rank(o[0]), 0);
+        assert_eq!(s.rank(o[2]), 2);
+    }
+
+    #[test]
+    fn overlapping_partitions_conflict_but_disjoint_chains_do_not() {
+        // Two disjoint chains A→B→C and X→Y→Z: cross-chain pairs independent,
+        // within-chain successive writers conflict.
+        let (s, o) = schedule(
+            "a1: A(?x) -> B(?x). a2: B(?x) -> C(?x). \
+             x1: X(?x) -> Y(?x). x2: Y(?x) -> Z(?x).",
+        );
+        // Cross-chain: every ordered pair independent.
+        for &e in &[o[0], o[1]] {
+            for &l in &[o[2], o[3]] {
+                assert!(s.independent(e, l), "{e:?} vs {l:?}");
+                assert!(s.independent(l, e), "{l:?} vs {e:?}");
+            }
+        }
+        // Within-chain: a1 writes B which a2 reads.
+        assert!(!s.independent(o[0], o[1]));
+        assert!(s.independent(o[1], o[0]), "a2 writes C; a1 reads only A");
+    }
+}

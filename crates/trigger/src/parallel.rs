@@ -8,9 +8,11 @@
 //! 1. the delta batch (one round's worth of new facts, in FIFO = ascending
 //!    [`FactId`] order) is split into contiguous chunks — disjoint `FactId`
 //!    ranges — one per worker;
-//! 2. each worker walks its chunk in order against a shared read-only
-//!    [`Snapshot`] (`std::thread::scope`, no channels, no locks), collecting the
-//!    candidate triggers its seeds discover;
+//! 2. each chunk becomes a job on the persistent process-wide worker pool
+//!    ([`chase_core::pool`]) — long-lived threads fed by channels, so the
+//!    per-round `thread::scope` spawn cost of the first parallel cut is gone —
+//!    and every job walks its chunk in order against a shared read-only
+//!    [`Snapshot`], collecting the candidate triggers its seeds discover;
 //! 3. the per-worker results are concatenated **in chunk order**, which
 //!    reconstructs exactly the order a single-threaded drain would have produced
 //!    — so the merged candidate list is independent of the worker count, and a
@@ -24,11 +26,12 @@
 //! to a worker-count-independent order. See the "Parallel execution" section of
 //! `crates/README.md` for the determinism contract.
 
+use chase_core::pool::{self, ScopedJob};
 use chase_core::snapshot::{DiscoveryStats, ShardStats, Snapshot};
 use chase_core::{Assignment, DepId, DependencySet, FactId, FactStore, Predicate};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Below this many delta facts a batch is discovered inline: spawning workers
 /// would cost more than the joins. Purely a latency knob — discovery order (and
@@ -208,7 +211,11 @@ fn discover_batch_inner(
     workers: usize,
     mut stats: Option<&mut DiscoveryStats>,
 ) -> Vec<DiscoveredTrigger> {
-    if workers <= 1 || batch.len() < MIN_PARALLEL_BATCH.max(workers) {
+    // `workers(0)` is defined to mean sequential execution, the same as 1 —
+    // normalized here (not left to the `<= 1` guard) so the invariant holds
+    // even if the guard's threshold ever changes.
+    let workers = workers.max(1);
+    if workers == 1 || batch.len() < MIN_PARALLEL_BATCH.max(workers) {
         let shard_start = stats.as_ref().map(|_| Instant::now());
         let mut out = Vec::new();
         for &fact in batch {
@@ -224,38 +231,41 @@ fn discover_batch_inner(
         }
         return out;
     }
+    // What one shard job hands back: its discoveries, its actual length
+    // (`facts_scanned`), and its wall-clock when instrumented.
+    type ShardResult = (Vec<DiscoveredTrigger>, usize, Option<Duration>);
     let chunk = batch.len().div_ceil(workers);
     let instrument = stats.is_some();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = batch
-            .chunks(chunk)
-            .map(|shard| {
-                scope.spawn(move || {
-                    let shard_start = instrument.then(Instant::now);
-                    let mut out = Vec::new();
-                    for &fact in shard {
-                        discover_from(sigma, seeds, &snapshot, fact, &mut out);
-                    }
-                    let elapsed = shard_start.map(|s| s.elapsed());
-                    (out, elapsed)
-                })
-            })
-            .collect();
-        let mut merged = Vec::new();
-        for (worker, handle) in handles.into_iter().enumerate() {
-            let (out, elapsed) = handle.join().expect("discovery worker panicked");
-            if let Some(stats) = stats.as_deref_mut() {
-                stats.shards.push(ShardStats {
-                    worker,
-                    facts_scanned: chunk.min(batch.len() - worker * chunk),
-                    triggers_found: out.len(),
-                    elapsed: elapsed.unwrap_or_default(),
-                });
-            }
-            merged.extend(out);
+    let jobs: Vec<ScopedJob<'_, ShardResult>> = batch
+        .chunks(chunk)
+        .map(|shard| {
+            Box::new(move || {
+                let shard_start = instrument.then(Instant::now);
+                let mut out = Vec::new();
+                for &fact in shard {
+                    discover_from(sigma, seeds, &snapshot, fact, &mut out);
+                }
+                let elapsed = shard_start.map(|s| s.elapsed());
+                // Report the shard's *actual* length: recomputing it from the
+                // chunk arithmetic breaks silently under non-uniform chunking.
+                (out, shard.len(), elapsed)
+            }) as ScopedJob<'_, _>
+        })
+        .collect();
+    let results = pool::with_workers(workers).run_jobs(jobs);
+    let mut merged = Vec::new();
+    for (worker, (out, scanned, elapsed)) in results.into_iter().enumerate() {
+        if let Some(stats) = stats.as_deref_mut() {
+            stats.shards.push(ShardStats {
+                worker,
+                facts_scanned: scanned,
+                triggers_found: out.len(),
+                elapsed: elapsed.unwrap_or_default(),
+            });
         }
-        merged
-    })
+        merged.extend(out);
+    }
+    merged
 }
 
 #[cfg(test)]
@@ -320,7 +330,8 @@ mod tests {
         }
         let sequential = discover_all(&sigma, &index, &batch, 1);
         assert!(!sequential.is_empty());
-        for workers in [2, 3, 4, 8] {
+        // `workers(0)` is defined as sequential execution (normalized to 1).
+        for workers in [0, 2, 3, 4, 8] {
             let parallel = discover_all(&sigma, &index, &batch, workers);
             assert_eq!(
                 sequential, parallel,

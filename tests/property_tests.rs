@@ -142,12 +142,14 @@ fn canonical_set(homs: &[Assignment]) -> BTreeSet<Vec<(Variable, GroundTerm)>> {
 // Parallel-runner differential harness helpers
 // ---------------------------------------------------------------------------------
 
-/// The worker counts the differential suite exercises: 2, 4 and 8, plus whatever
-/// `CHASE_TEST_WORKERS` asks for (the CI parallel job runs the suite once at the
-/// canonical 4 — guarding the env plumbing — and once at an uneven 7, which
-/// extends the sweep with ragged delta shards).
+/// The worker counts the differential suite exercises: the even splits 2, 4
+/// and 8 plus the uneven 3 and 7 (ragged shards — the last pool job gets a
+/// shorter chunk, and on a wave-based search like the core fold scan the final
+/// wave is partial), plus whatever `CHASE_TEST_WORKERS` asks for (the CI
+/// parallel job runs the suite once at the canonical 4 — guarding the env
+/// plumbing — and once at 7).
 fn test_worker_counts() -> Vec<usize> {
-    let mut counts = vec![2usize, 4, 8];
+    let mut counts = vec![2usize, 3, 4, 7, 8];
     if let Ok(value) = std::env::var("CHASE_TEST_WORKERS") {
         if let Ok(n) = value.parse::<usize>() {
             if n > 1 && !counts.contains(&n) {
@@ -232,9 +234,7 @@ fn parallel_worker_count_never_changes_the_output_bytes() {
         let db = generate_database(&sigma, 10, seed);
         for variant in [ObliviousVariant::Oblivious, ObliviousVariant::SemiOblivious] {
             let mut reference: Option<(Vec<Fact>, chase_engine::ChaseStats)> = None;
-            let mut counts = test_worker_counts();
-            counts.push(3); // an uneven shard split, deliberately
-            for workers in counts {
+            for workers in test_worker_counts() {
                 let out = Chase::oblivious(&sigma, variant)
                     .workers(workers)
                     .with_budget(ChaseBudget::unlimited().with_max_steps(5_000))
@@ -250,6 +250,49 @@ fn parallel_worker_count_never_changes_the_output_bytes() {
                 }
             }
         }
+    }
+}
+
+/// Satellite: pool reuse. Worker threads are persistent — a second run on the
+/// very same `Chase` session reuses the already-spawned pool threads instead of
+/// spawning fresh ones — and must be byte-identical to the first: no state
+/// (queued jobs, stale results, panic residue) leaks from one run into the
+/// next. Exercised across all pool-backed variants, including the standard
+/// chase (conflict-aware batching + parallel drains) and the core chase
+/// (parallel fold search).
+#[test]
+fn pool_reuse_across_consecutive_runs_is_byte_identical() {
+    use chase_ontology::generator::{generate, generate_database, OntologyProfile};
+    let sigma = generate(&OntologyProfile {
+        existential: 2,
+        full: 5,
+        egds: 0,
+        cyclic: false,
+        seed: 17,
+    });
+    let db = generate_database(&sigma, 12, 17);
+    let budget = ChaseBudget::unlimited().with_max_steps(5_000);
+    let sessions = vec![
+        ("standard", Chase::standard(&sigma).with_budget(budget)),
+        (
+            "oblivious",
+            Chase::oblivious(&sigma, ObliviousVariant::Oblivious).with_budget(budget),
+        ),
+        (
+            "semi-oblivious",
+            Chase::semi_oblivious(&sigma).with_budget(budget),
+        ),
+        ("core", Chase::core(&sigma).with_budget(budget)),
+    ];
+    for (name, session) in sessions {
+        let session = session.workers(4);
+        let first = session.run(&db);
+        let second = session.run(&db);
+        assert_eq!(
+            first, second,
+            "{name}: second run on the same session (reusing the pool) diverged"
+        );
+        assert!(first.is_terminating(), "{name}: fixture must terminate");
     }
 }
 
@@ -644,9 +687,9 @@ proptest! {
 
     /// Differential test of the round-parallel chase runner (satellite of the
     /// parallel-execution tentpole): on random `OntologyProfile` corpora — with
-    /// and without EGDs, terminating and diverging — the parallel runner at 2, 4
-    /// and 8 workers (plus `CHASE_TEST_WORKERS`, if set) agrees with the
-    /// sequential runner:
+    /// and without EGDs, terminating and diverging — the parallel runner at 2,
+    /// 3, 4, 7 and 8 workers (plus `CHASE_TEST_WORKERS`, if set) agrees with
+    /// the sequential runner:
     ///
     /// * the **standard** chase is *bitwise identical* (parallel discovery merges
     ///   order-preservingly, so the very same trigger sequence fires);
